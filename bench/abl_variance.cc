@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Section 4.4.5 verification: MeRLiN's AVF estimator is unbiased and
+ * its variance stays orders of magnitude below the mean.
+ *
+ * Two parts:
+ *  1. analytic — evaluate the paper's mean/variance formulas on the
+ *     measured group structure (sizes s_i, non-masking rates p_i) of a
+ *     ground-truth campaign;
+ *  2. empirical — repeat the MeRLiN campaign across many seeds (new
+ *     fault sample + new representatives each time) and compare the
+ *     spread of the AVF estimate against the baseline estimator's.
+ */
+
+#include <cmath>
+
+#include "bench/common.hh"
+#include "base/statistics.hh"
+#include "merlin/theory.hh"
+
+using namespace merlin;
+using namespace merlin::bench;
+
+int
+main(int argc, char **argv)
+{
+    Options opts = Options::parse(argc, argv);
+    const std::uint64_t default_faults = 3'000;
+    header("Section 4.4.5 (statistical behaviour of MeRLiN)",
+           "mean preservation and variance bound", opts, default_faults);
+
+    auto w = workloads::buildWorkload("qsort");
+    core::CampaignConfig cc;
+    cc.target = uarch::Structure::RegisterFile;
+    cc.core = uarch::CoreConfig{}.withRegisterFile(128);
+    cc.sampling = opts.sampling(default_faults);
+    cc.seed = opts.seed;
+
+    // ---- analytic: moments from the measured group structure ----
+    core::Campaign camp(w.program, cc);
+    auto truth_run = camp.run(/*inject_all=*/true);
+    auto m = core::avfMoments(truth_run.groupModels,
+                              truth_run.initialFaults);
+    std::printf("\nanalytic (from %llu groups, max size %llu):\n",
+                static_cast<unsigned long long>(
+                    truth_run.groupModels.size()),
+                static_cast<unsigned long long>(m.maxGroupSize));
+    std::printf("  E(k) = E(k_MeRLiN) = %.5f   (measured truth AVF "
+                "%.5f, MeRLiN %.5f)\n",
+                m.meanComprehensive, truth_run.fullTruth().avf(),
+                truth_run.merlinEstimate.avf());
+    std::printf("  Var(k) = %.3e  Var(k_MeRLiN) = %.3e  (inflation "
+                "%.1fx <= max group size %llu)\n",
+                m.varComprehensive, m.varMerlin,
+                m.varComprehensive > 0
+                    ? m.varMerlin / m.varComprehensive
+                    : 0.0,
+                static_cast<unsigned long long>(m.maxGroupSize));
+    std::printf("  mean/Var(k_MeRLiN) ratio: %.1e (paper: 6-8 orders "
+                "of magnitude at 60K faults)\n",
+                m.varMerlin > 0 ? m.meanComprehensive / m.varMerlin
+                                : 0.0);
+
+    // ---- empirical: estimator spread across seeds ----
+    const unsigned seeds = 12;
+    std::vector<double> merlin_avf, base_avf;
+    for (unsigned s = 1; s <= seeds; ++s) {
+        core::CampaignConfig c2 = cc;
+        c2.seed = opts.seed * 1000 + s;
+        core::Campaign c(w.program, c2);
+        auto r = c.run(/*inject_all=*/true);
+        merlin_avf.push_back(r.merlinEstimate.avf());
+        base_avf.push_back(r.fullTruth().avf());
+    }
+    const double mu_m = stats::mean(merlin_avf);
+    const double mu_b = stats::mean(base_avf);
+    std::printf("\nempirical over %u seeds:\n", seeds);
+    std::printf("  mean AVF: baseline %.5f vs MeRLiN %.5f (delta %.5f)\n",
+                mu_b, mu_m, std::abs(mu_b - mu_m));
+    std::printf("  stddev:   baseline %.5f vs MeRLiN %.5f\n",
+                std::sqrt(stats::variance(base_avf)),
+                std::sqrt(stats::variance(merlin_avf)));
+    std::printf("\nShape check: identical means (unbiased estimator) "
+                "and a MeRLiN stddev of the\nsame order as the "
+                "baseline's — the \"almost statistically equivalent\" "
+                "claim.\n");
+    return 0;
+}

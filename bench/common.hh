@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Shared scaffolding for the per-figure/table bench binaries.
+ *
+ * Every binary regenerates one table or figure of the paper.  Defaults
+ * are scaled so the whole bench suite finishes in minutes on a laptop;
+ * flags restore paper scale:
+ *
+ *   --faults N        initial fault-list size (default per bench)
+ *   --paper           paper-scale fault lists (60,000 / 600,000)
+ *   --workloads a,b   comma-separated subset (default per bench)
+ *   --seed N          campaign seed
+ */
+
+#ifndef MERLIN_BENCH_COMMON_HH
+#define MERLIN_BENCH_COMMON_HH
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "merlin/campaign.hh"
+#include "workloads/workloads.hh"
+
+namespace merlin::bench
+{
+
+struct Options
+{
+    std::uint64_t faults = 0; ///< 0 = per-bench default
+    std::uint64_t seed = 1;
+    bool paper = false;
+    std::vector<std::string> workloads;
+
+    static Options
+    parse(int argc, char **argv)
+    {
+        Options o;
+        for (int i = 1; i < argc; ++i) {
+            std::string a = argv[i];
+            auto val = [&](const char *flag) -> const char * {
+                std::size_t n = std::strlen(flag);
+                if (a.rfind(flag, 0) == 0 && a.size() > n &&
+                    a[n] == '=') {
+                    return a.c_str() + n + 1;
+                }
+                return nullptr;
+            };
+            if (a == "--paper") {
+                o.paper = true;
+            } else if (const char *v = val("--faults")) {
+                o.faults = std::strtoull(v, nullptr, 10);
+            } else if (const char *v2 = val("--seed")) {
+                o.seed = std::strtoull(v2, nullptr, 10);
+            } else if (const char *v3 = val("--workloads")) {
+                std::string s = v3;
+                std::size_t pos = 0;
+                while (pos != std::string::npos) {
+                    std::size_t c = s.find(',', pos);
+                    o.workloads.push_back(
+                        s.substr(pos, c == std::string::npos ? c
+                                                             : c - pos));
+                    pos = c == std::string::npos ? c : c + 1;
+                }
+            } else if (a == "--help" || a == "-h") {
+                std::printf("flags: --faults=N --paper "
+                            "--workloads=a,b --seed=N\n");
+                std::exit(0);
+            }
+        }
+        return o;
+    }
+
+    /** Sampling spec given this bench's scaled default. */
+    core::SamplingSpec
+    sampling(std::uint64_t scaled_default) const
+    {
+        if (paper)
+            return core::spec60k();
+        return core::specFixed(faults ? faults : scaled_default);
+    }
+
+    std::vector<std::string>
+    workloadsOr(const std::vector<std::string> &def) const
+    {
+        return workloads.empty() ? def : workloads;
+    }
+};
+
+/** The paper's size variants per structure (Table 1). */
+inline const std::vector<unsigned> &
+sizeVariants(uarch::Structure s)
+{
+    static const std::vector<unsigned> rf = {256, 128, 64};
+    static const std::vector<unsigned> sq = {64, 32, 16};
+    static const std::vector<unsigned> l1d = {64, 32, 16}; // KB
+    switch (s) {
+      case uarch::Structure::RegisterFile: return rf;
+      case uarch::Structure::StoreQueue:   return sq;
+      default:                             return l1d;
+    }
+}
+
+inline std::string
+sizeLabel(uarch::Structure s, unsigned v)
+{
+    switch (s) {
+      case uarch::Structure::RegisterFile:
+        return std::to_string(v) + "regs";
+      case uarch::Structure::StoreQueue:
+        return std::to_string(v) + "entries";
+      default:
+        return std::to_string(v) + "KB";
+    }
+}
+
+/** Core config with the target structure set to one size variant. */
+inline uarch::CoreConfig
+configFor(uarch::Structure s, unsigned variant)
+{
+    uarch::CoreConfig cfg;
+    switch (s) {
+      case uarch::Structure::RegisterFile:
+        return cfg.withRegisterFile(variant);
+      case uarch::Structure::StoreQueue:
+        return cfg.withStoreQueue(variant);
+      default:
+        return cfg.withL1dKb(variant);
+    }
+}
+
+/** The SPEC evaluation configuration (Section 4.4.2.3). */
+inline uarch::CoreConfig
+specConfig(std::uint64_t window)
+{
+    uarch::CoreConfig cfg;
+    cfg = cfg.withRegisterFile(128).withStoreQueue(16).withL1dKb(32);
+    cfg.instructionWindowEnd = window;
+    return cfg;
+}
+
+/** Bits of the target structure (for FIT). */
+inline std::uint64_t
+structureBits(uarch::Structure s, const uarch::CoreConfig &cfg)
+{
+    switch (s) {
+      case uarch::Structure::RegisterFile:
+        return std::uint64_t(cfg.numPhysIntRegs) * 64;
+      case uarch::Structure::StoreQueue:
+        return std::uint64_t(cfg.sqEntries) * 64;
+      default:
+        return std::uint64_t(cfg.l1d.totalWords()) * 64;
+    }
+}
+
+inline void
+header(const char *id, const char *what, const Options &o,
+       std::uint64_t default_faults)
+{
+    std::printf("==============================================================\n");
+    std::printf("%s — %s\n", id, what);
+    std::printf("initial fault list: %llu per campaign%s (paper: 60,000)\n",
+                static_cast<unsigned long long>(
+                    o.paper ? 60000 : (o.faults ? o.faults
+                                                : default_faults)),
+                o.paper ? " [--paper]" : "");
+    std::printf("machine: %s\n",
+                uarch::CoreConfig{}.summary().c_str());
+    std::printf("==============================================================\n");
+}
+
+} // namespace merlin::bench
+
+#endif // MERLIN_BENCH_COMMON_HH

@@ -1,0 +1,16 @@
+/**
+ * @file
+ * Figure 8: MeRLiN speedup for the physical integer register file
+ * (256/128/64 registers) over 10 MiBench workloads.
+ */
+
+#include "bench/speedup_common.hh"
+
+int
+main(int argc, char **argv)
+{
+    merlin::bench::PaperAverages paper{"Figure 8 (RF speedup)",
+                                       {93.1, 62.1, 43.7}};
+    return merlin::bench::runSpeedupFigure(
+        merlin::uarch::Structure::RegisterFile, argc, argv, paper);
+}

@@ -1,0 +1,16 @@
+/**
+ * @file
+ * Figure 9: MeRLiN speedup for the store queue data field
+ * (64/32/16 entries) over 10 MiBench workloads.
+ */
+
+#include "bench/speedup_common.hh"
+
+int
+main(int argc, char **argv)
+{
+    merlin::bench::PaperAverages paper{"Figure 9 (SQ speedup)",
+                                       {224.9, 186.7, 146.9}};
+    return merlin::bench::runSpeedupFigure(
+        merlin::uarch::Structure::StoreQueue, argc, argv, paper);
+}

@@ -1,0 +1,16 @@
+/**
+ * @file
+ * Figure 10: MeRLiN speedup for the L1 data cache data array
+ * (64/32/16 KB) over 10 MiBench workloads.
+ */
+
+#include "bench/speedup_common.hh"
+
+int
+main(int argc, char **argv)
+{
+    merlin::bench::PaperAverages paper{"Figure 10 (L1D speedup)",
+                                       {67.9, 61.6, 59.0}};
+    return merlin::bench::runSpeedupFigure(
+        merlin::uarch::Structure::L1DCache, argc, argv, paper);
+}

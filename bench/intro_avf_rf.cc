@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Section 1 motivating measurement: injection-based AVF of the physical
+ * integer register file vs its size, against the ACE-like upper bound.
+ * The paper reports 2.56% / 4.81% / 8.92% for 256 / 128 / 64 registers
+ * (and ~25-30% from classic ACE analysis on an 80-register file) —
+ * AVF must *rise* as the file shrinks because fewer entries are dead.
+ */
+
+#include "bench/common.hh"
+
+using namespace merlin;
+using namespace merlin::bench;
+
+int
+main(int argc, char **argv)
+{
+    Options opts = Options::parse(argc, argv);
+    const std::uint64_t default_faults = 3'000;
+    header("Section 1 (RF AVF vs size)",
+           "injection AVF against the ACE-like bound", opts,
+           default_faults);
+
+    auto names = opts.workloadsOr({"qsort", "sha", "fft"});
+    const double paper_avf[] = {2.56, 4.81, 8.92};
+
+    std::printf("\n%-10s %14s %14s %16s\n", "registers",
+                "injection AVF", "ACE-like AVF", "paper injection");
+    const auto &variants = sizeVariants(uarch::Structure::RegisterFile);
+    for (unsigned vi = 0; vi < variants.size(); ++vi) {
+        double avf = 0, ace = 0;
+        for (const auto &name : names) {
+            auto w = workloads::buildWorkload(name);
+            core::CampaignConfig cc;
+            cc.target = uarch::Structure::RegisterFile;
+            cc.core = configFor(uarch::Structure::RegisterFile,
+                                variants[vi]);
+            cc.sampling = opts.sampling(default_faults);
+            cc.seed = opts.seed;
+            core::Campaign camp(w.program, cc);
+            auto r = camp.run(false);
+            avf += r.merlinEstimate.avf();
+            ace += r.aceAvf;
+        }
+        avf /= names.size();
+        ace /= names.size();
+        std::printf("%-10u %13.2f%% %13.2f%% %15.2f%%\n", variants[vi],
+                    100 * avf, 100 * ace, paper_avf[vi]);
+    }
+    std::printf("\nShape check: AVF rises monotonically as the register "
+                "file shrinks, and the\nACE-like bound sits above the "
+                "injection AVF at every size — the gap that\nmotivates "
+                "injection-based assessment in the first place.\n");
+    return 0;
+}

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the substrates: out-of-order core
+ * throughput, functional interpreter throughput, cache access path,
+ * ACE-like profiling overhead, fault-list grouping throughput.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "isa/interp.hh"
+#include "merlin/grouping.hh"
+#include "merlin/sampling.hh"
+#include "profile/ace.hh"
+#include "uarch/core.hh"
+#include "workloads/workloads.hh"
+
+namespace
+{
+
+using namespace merlin;
+
+const workloads::BuiltWorkload &
+qsortWorkload()
+{
+    static auto w = workloads::buildWorkload("qsort");
+    return w;
+}
+
+void
+BM_CoreRun(benchmark::State &state)
+{
+    const auto &w = qsortWorkload();
+    std::uint64_t cycles = 0;
+    for (auto _ : state) {
+        uarch::Core core(w.program, uarch::CoreConfig{});
+        core.run();
+        cycles += core.stats().cycles;
+    }
+    state.counters["Mcycles/s"] = benchmark::Counter(
+        static_cast<double>(cycles) / 1e6, benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_CoreRun)->Unit(benchmark::kMillisecond);
+
+void
+BM_CoreRunProfiled(benchmark::State &state)
+{
+    const auto &w = qsortWorkload();
+    uarch::CoreConfig cfg;
+    std::uint64_t cycles = 0;
+    for (auto _ : state) {
+        profile::AceProfiler prof(cfg.numPhysIntRegs, cfg.sqEntries,
+                                  cfg.l1d.totalWords());
+        uarch::Core core(w.program, cfg, &prof);
+        core.run();
+        prof.finalize();
+        cycles += core.stats().cycles;
+    }
+    state.counters["Mcycles/s"] = benchmark::Counter(
+        static_cast<double>(cycles) / 1e6, benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_CoreRunProfiled)->Unit(benchmark::kMillisecond);
+
+void
+BM_Interp(benchmark::State &state)
+{
+    const auto &w = qsortWorkload();
+    std::uint64_t instrs = 0;
+    for (auto _ : state) {
+        auto r = isa::interpret(w.program);
+        instrs += r.instret;
+    }
+    state.counters["Minstr/s"] = benchmark::Counter(
+        static_cast<double>(instrs) / 1e6, benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_Interp)->Unit(benchmark::kMillisecond);
+
+void
+BM_CacheAccess(benchmark::State &state)
+{
+    isa::SegmentedMemory mem;
+    mem.addSegment(0x10000, 1 << 20, isa::PermRead | isa::PermWrite);
+    uarch::Cache l2("l2", uarch::CacheConfig{256 * 1024, 8, 64, 12},
+                    nullptr, &mem);
+    uarch::Cache l1("l1", uarch::CacheConfig{32 * 1024, 4, 64, 3}, &l2,
+                    nullptr);
+    Rng rng(1);
+    std::uint64_t n = 0;
+    for (auto _ : state) {
+        Addr a = 0x10000 + (rng.nextBelow((1 << 20) - 64) & ~7ULL);
+        auto r = l1.access(a, false, n, 0, 0);
+        benchmark::DoNotOptimize(l1.readBytes(r.set, r.way, a & 63, 8));
+        ++n;
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_CacheAccess);
+
+void
+BM_GroupingThroughput(benchmark::State &state)
+{
+    const auto &w = qsortWorkload();
+    uarch::CoreConfig cfg;
+    profile::AceProfiler prof(cfg.numPhysIntRegs, cfg.sqEntries,
+                              cfg.l1d.totalWords());
+    uarch::Core core(w.program, cfg, &prof);
+    core.run();
+    prof.finalize();
+    Rng sample_rng(3);
+    auto faults = core::sampleFaults(
+        uarch::Structure::RegisterFile, cfg.numPhysIntRegs,
+        core.stats().cycles, core::specFixed(state.range(0)), sample_rng);
+    std::uint64_t total = 0;
+    for (auto _ : state) {
+        Rng rng(7);
+        auto res = core::groupFaults(
+            faults, prof.profile(uarch::Structure::RegisterFile),
+            core::GroupingOptions{}, rng);
+        benchmark::DoNotOptimize(res.groups.data());
+        total += faults.size();
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(total));
+}
+BENCHMARK(BM_GroupingThroughput)->Arg(60000)->Arg(600000)
+    ->Unit(benchmark::kMillisecond);
+
+void
+BM_Sampling(benchmark::State &state)
+{
+    Rng rng(5);
+    std::uint64_t total = 0;
+    for (auto _ : state) {
+        auto faults = core::sampleFaults(uarch::Structure::L1DCache,
+                                         8192, 100000,
+                                         core::specFixed(60000), rng);
+        benchmark::DoNotOptimize(faults.data());
+        total += faults.size();
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(total));
+}
+BENCHMARK(BM_Sampling)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

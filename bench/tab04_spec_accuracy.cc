@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Table 4: MeRLiN's accuracy on window-truncated SPEC campaigns (gcc
+ * and bzip2, register file, 128 regs / 16 SQ / 32KB L1D), using the
+ * paper's five-way classification with the Unknown category for faults
+ * still latent at the SimPoint boundary.
+ */
+
+#include "bench/common.hh"
+#include "faultsim/fault.hh"
+
+using namespace merlin;
+using namespace merlin::bench;
+using faultsim::Outcome;
+
+int
+main(int argc, char **argv)
+{
+    Options opts = Options::parse(argc, argv);
+    const std::uint64_t default_faults = 4'000;
+    header("Table 4 (SPEC accuracy at the SimPoint boundary)",
+           "gcc and bzip2, RF campaigns ended at the window", opts,
+           default_faults);
+
+    struct PaperCol
+    {
+        const char *cls;
+        double merlin, baseline;
+    };
+    const PaperCol paper_gcc[] = {{"Masked", 85.08, 85.08},
+                                  {"DUE", 0.06, 0.07},
+                                  {"Crash", 3.67, 3.13},
+                                  {"Assert", 0.01, 0.01},
+                                  {"Unknown", 11.18, 11.71}};
+
+    auto names = opts.workloadsOr({"gcc", "bzip2"});
+    for (const auto &name : names) {
+        auto w = workloads::buildWorkload(name);
+        core::CampaignConfig cc;
+        cc.target = uarch::Structure::RegisterFile;
+        cc.core = specConfig(w.suggestedWindow);
+        cc.sampling = opts.sampling(default_faults);
+        cc.seed = opts.seed;
+        core::Campaign camp(w.program, cc);
+        auto r = camp.run(/*inject_all_survivors=*/true);
+        auto truth = r.fullTruth();
+        const auto &est = r.merlinEstimate;
+
+        std::printf("\n-- %s (window %llu instructions) --\n",
+                    name.c_str(),
+                    static_cast<unsigned long long>(w.suggestedWindow));
+        std::printf("%-10s %12s %12s\n", "class", "MeRLiN",
+                    "baseline");
+        for (unsigned c = 0; c < faultsim::NUM_OUTCOMES; ++c) {
+            const Outcome o = static_cast<Outcome>(c);
+            if (truth.of(o) == 0 && est.of(o) == 0)
+                continue;
+            std::printf("%-10s %11.2f%% %11.2f%%\n",
+                        faultsim::outcomeName(o),
+                        100.0 * est.fraction(o),
+                        100.0 * truth.fraction(o));
+        }
+        std::printf("max inaccuracy: %.2f percentile units "
+                    "(paper max: 1.11 for bzip2 Unknown)\n",
+                    est.maxInaccuracyVs(truth));
+    }
+
+    std::printf("\npaper's gcc column for reference:\n");
+    std::printf("%-10s %12s %12s\n", "class", "MeRLiN", "baseline");
+    for (const auto &p : paper_gcc)
+        std::printf("%-10s %11.2f%% %11.2f%%\n", p.cls, p.merlin,
+                    p.baseline);
+    std::printf("\nShape check: Masked dominates, a sizeable Unknown "
+                "share of still-latent faults,\nand MeRLiN within ~1 "
+                "percentile unit of the baseline per class.\n");
+    return 0;
+}

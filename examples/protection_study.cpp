@@ -1,0 +1,84 @@
+/**
+ * @file
+ * An early design-space study, the use case the paper motivates:
+ * "which structure deserves ECC?"  Runs scaled MeRLiN campaigns over
+ * RF / SQ / L1D size variants on two workloads and ranks the structures
+ * by FIT contribution, with per-class breakdowns a designer would use
+ * to pick a protection mechanism (parity catches SDC reads, ECC also
+ * corrects, watchdogs address timeouts...).
+ *
+ * Build & run:  ./build/examples/protection_study
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "merlin/campaign.hh"
+#include "workloads/workloads.hh"
+
+int
+main()
+{
+    using namespace merlin;
+
+    const std::vector<std::string> names = {"sha", "fft"};
+    struct Candidate
+    {
+        uarch::Structure s;
+        unsigned variant;
+    };
+    const Candidate candidates[] = {
+        {uarch::Structure::RegisterFile, 256},
+        {uarch::Structure::RegisterFile, 64},
+        {uarch::Structure::StoreQueue, 64},
+        {uarch::Structure::StoreQueue, 16},
+        {uarch::Structure::L1DCache, 64},
+        {uarch::Structure::L1DCache, 16},
+    };
+
+    std::printf("%-6s %-10s %10s %8s %8s %8s %10s\n", "struct", "size",
+                "AVF", "SDC%", "DUE%", "Crash%", "FIT");
+    for (const auto &cand : candidates) {
+        core::ClassCounts agg;
+        std::uint64_t bits = 0;
+        for (const auto &name : names) {
+            auto w = workloads::buildWorkload(name);
+            core::CampaignConfig cfg;
+            cfg.target = cand.s;
+            switch (cand.s) {
+              case uarch::Structure::RegisterFile:
+                cfg.core = cfg.core.withRegisterFile(cand.variant);
+                bits = cand.variant * 64ULL;
+                break;
+              case uarch::Structure::StoreQueue:
+                cfg.core = cfg.core.withStoreQueue(cand.variant);
+                bits = cand.variant * 64ULL;
+                break;
+              case uarch::Structure::L1DCache:
+                cfg.core = cfg.core.withL1dKb(cand.variant);
+                bits = cand.variant * 1024ULL * 8;
+                break;
+            }
+            cfg.sampling = core::specFixed(1200);
+            cfg.seed = 7;
+            core::Campaign camp(w.program, cfg);
+            agg = agg + camp.run().merlinEstimate;
+        }
+        const double avf = agg.avf();
+        std::printf("%-6s %-10u %9.2f%% %7.2f%% %7.2f%% %7.2f%% %10.3f\n",
+                    uarch::structureName(cand.s), cand.variant,
+                    100 * avf,
+                    100 * agg.fraction(faultsim::Outcome::SDC),
+                    100 * agg.fraction(faultsim::Outcome::DUE),
+                    100 * agg.fraction(faultsim::Outcome::Crash),
+                    core::fitRate(avf, bits));
+    }
+
+    std::printf("\nReading the table like the paper's Section 1: the "
+                "L1D dominates FIT through\nsheer bit count even at "
+                "modest AVF — protect it first; the register file's\n"
+                "AVF rises as it shrinks (fewer dead entries); the SQ "
+                "is small enough that\nparity on forwarding paths "
+                "usually suffices.\n");
+    return 0;
+}

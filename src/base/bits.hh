@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Bit and byte manipulation helpers used by the ISA and the injector.
+ */
+
+#ifndef MERLIN_BASE_BITS_HH
+#define MERLIN_BASE_BITS_HH
+
+#include <cstdint>
+#include <cstring>
+
+namespace merlin
+{
+
+/** Sign-extend the low @p bits of @p value to 64 bits. */
+inline std::int64_t
+signExtend(std::uint64_t value, unsigned bits)
+{
+    const unsigned shift = 64 - bits;
+    return static_cast<std::int64_t>(value << shift) >> shift;
+}
+
+/** Extract bits [lo, lo+len) of @p value. */
+inline std::uint64_t
+bitsOf(std::uint64_t value, unsigned lo, unsigned len)
+{
+    if (len >= 64)
+        return value >> lo;
+    return (value >> lo) & ((1ULL << len) - 1);
+}
+
+/** Read a little-endian integer of @p size bytes from @p p. */
+inline std::uint64_t
+loadLE(const std::uint8_t *p, unsigned size)
+{
+    std::uint64_t v = 0;
+    std::memcpy(&v, p, size);
+    return v;
+}
+
+/** Write the low @p size bytes of @p v little-endian at @p p. */
+inline void
+storeLE(std::uint8_t *p, std::uint64_t v, unsigned size)
+{
+    std::memcpy(p, &v, size);
+}
+
+/** True if @p addr is naturally aligned for an access of @p size bytes. */
+inline bool
+isAligned(std::uint64_t addr, unsigned size)
+{
+    return (addr & (size - 1)) == 0;
+}
+
+} // namespace merlin
+
+#endif // MERLIN_BASE_BITS_HH

@@ -1,0 +1,40 @@
+#include "base/logging.hh"
+
+#include <iostream>
+
+namespace merlin::detail
+{
+
+[[noreturn]] void
+panicImpl(const char *file, int line, const std::string &msg)
+{
+    std::ostringstream os;
+    os << "panic: " << msg;
+    if (line != 0)
+        os << " [" << file << ":" << line << "]";
+    throw SimAssertError(os.str());
+}
+
+[[noreturn]] void
+fatalImpl(const char *file, int line, const std::string &msg)
+{
+    std::ostringstream os;
+    os << "fatal: " << msg;
+    if (line != 0)
+        os << " [" << file << ":" << line << "]";
+    throw FatalError(os.str());
+}
+
+void
+warnImpl(const std::string &msg)
+{
+    std::cerr << "warn: " << msg << "\n";
+}
+
+void
+informImpl(const std::string &msg)
+{
+    std::cerr << "info: " << msg << "\n";
+}
+
+} // namespace merlin::detail

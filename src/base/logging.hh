@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Error-reporting idioms in the gem5 tradition.
+ *
+ * panic()  - an internal invariant of the simulator itself is broken;
+ *            never the user's fault.  Raises SimAssertError, which the
+ *            fault-injection harness classifies in the Assert category
+ *            (Table 2 of the paper).
+ * fatal()  - the simulation cannot continue because of a user error
+ *            (bad configuration, malformed program).  Raises FatalError.
+ * warn()/inform() - status messages on stderr; never stop the run.
+ */
+
+#ifndef MERLIN_BASE_LOGGING_HH
+#define MERLIN_BASE_LOGGING_HH
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace merlin
+{
+
+/** Thrown by panic()/MERLIN_ASSERT: a simulator-internal bug tripped. */
+class SimAssertError : public std::logic_error
+{
+  public:
+    explicit SimAssertError(const std::string &msg)
+        : std::logic_error(msg)
+    {}
+};
+
+/** Thrown by fatal(): user-caused condition the simulation cannot survive. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &msg)
+        : std::runtime_error(msg)
+    {}
+};
+
+namespace detail
+{
+
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+
+/** Stream-concatenate arbitrary arguments into one string. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << std::forward<Args>(args));
+    return os.str();
+}
+
+} // namespace detail
+
+template <typename... Args>
+[[noreturn]] void
+panic(Args &&...args)
+{
+    detail::panicImpl("?", 0, detail::concat(std::forward<Args>(args)...));
+}
+
+template <typename... Args>
+[[noreturn]] void
+fatal(Args &&...args)
+{
+    detail::fatalImpl("?", 0, detail::concat(std::forward<Args>(args)...));
+}
+
+template <typename... Args>
+void
+warn(Args &&...args)
+{
+    detail::warnImpl(detail::concat(std::forward<Args>(args)...));
+}
+
+template <typename... Args>
+void
+inform(Args &&...args)
+{
+    detail::informImpl(detail::concat(std::forward<Args>(args)...));
+}
+
+} // namespace merlin
+
+/**
+ * Simulator invariant check.  Unlike assert(3) this stays on in release
+ * builds and is trappable: the injection harness catches SimAssertError
+ * and classifies the run as Assert instead of killing the process.
+ */
+#define MERLIN_ASSERT(cond, ...)                                            \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            ::merlin::detail::panicImpl(                                    \
+                __FILE__, __LINE__,                                         \
+                ::merlin::detail::concat("assertion '" #cond "' failed: ",  \
+                                         __VA_ARGS__));                     \
+        }                                                                   \
+    } while (0)
+
+#endif // MERLIN_BASE_LOGGING_HH

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * Every stochastic step of a campaign (fault sampling, representative
+ * selection, Relyzer pilot choice) draws from an explicitly seeded Rng so
+ * that campaigns are bit-for-bit reproducible.  The generator is
+ * xoshiro256**, seeded through SplitMix64 as its authors recommend.
+ */
+
+#ifndef MERLIN_BASE_RNG_HH
+#define MERLIN_BASE_RNG_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace merlin
+{
+
+/** Deterministic 64-bit PRNG (xoshiro256**). */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+    /** Next raw 64-bit value. */
+    std::uint64_t next();
+
+    /** Uniform integer in [0, bound); bound must be non-zero. */
+    std::uint64_t nextBelow(std::uint64_t bound);
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::uint64_t nextInRange(std::uint64_t lo, std::uint64_t hi);
+
+    /** Uniform double in [0, 1). */
+    double nextDouble();
+
+    /** Fisher-Yates shuffle of a vector. */
+    template <typename T>
+    void
+    shuffle(std::vector<T> &v)
+    {
+        for (std::size_t i = v.size(); i > 1; --i) {
+            std::size_t j = nextBelow(i);
+            std::swap(v[i - 1], v[j]);
+        }
+    }
+
+    /** Derive an independent child generator (for per-run streams). */
+    Rng fork();
+
+  private:
+    std::array<std::uint64_t, 4> state_;
+};
+
+} // namespace merlin
+
+#endif // MERLIN_BASE_RNG_HH

@@ -1,0 +1,114 @@
+#include "base/statistics.hh"
+
+#include <cmath>
+
+#include "base/logging.hh"
+
+namespace merlin::stats
+{
+
+namespace
+{
+
+/**
+ * Inverse of the standard normal CDF (Acklam's rational approximation,
+ * relative error < 1.15e-9 — far tighter than sampling needs).
+ */
+double
+normalQuantile(double p)
+{
+    MERLIN_ASSERT(p > 0.0 && p < 1.0, "quantile domain");
+
+    static const double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                               -2.759285104469687e+02, 1.383577518672690e+02,
+                               -3.066479806614716e+01, 2.506628277459239e+00};
+    static const double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                               -1.556989798598866e+02, 6.680131188771972e+01,
+                               -1.328068155288572e+01};
+    static const double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                               -2.400758277161838e+00, -2.549732539343734e+00,
+                               4.374664141464968e+00,  2.938163982698783e+00};
+    static const double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                               2.445134137142996e+00, 3.754408661907416e+00};
+
+    const double plow = 0.02425;
+    const double phigh = 1 - plow;
+
+    if (p < plow) {
+        double q = std::sqrt(-2 * std::log(p));
+        return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+                c[5]) /
+               ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1);
+    }
+    if (p <= phigh) {
+        double q = p - 0.5;
+        double r = q * q;
+        return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r +
+                a[5]) *
+               q /
+               (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r +
+                1);
+    }
+    double q = std::sqrt(-2 * std::log(1 - p));
+    return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+             c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1);
+}
+
+} // namespace
+
+double
+zForConfidence(double confidence)
+{
+    MERLIN_ASSERT(confidence > 0.0 && confidence < 1.0, "confidence domain");
+    return normalQuantile(0.5 + confidence / 2.0);
+}
+
+std::uint64_t
+sampleSize(double population, double error_margin, double confidence,
+           double p)
+{
+    MERLIN_ASSERT(population >= 1.0, "empty population");
+    MERLIN_ASSERT(error_margin > 0.0, "zero error margin");
+    const double t = zForConfidence(confidence);
+    const double denom =
+        1.0 + error_margin * error_margin * (population - 1.0) /
+                  (t * t * p * (1.0 - p));
+    const double n = population / denom;
+    return static_cast<std::uint64_t>(std::ceil(n));
+}
+
+double
+errorMargin(double population, double sample, double confidence, double p)
+{
+    MERLIN_ASSERT(sample >= 1.0 && population >= sample, "bad sample");
+    const double t = zForConfidence(confidence);
+    const double e2 = (population / sample - 1.0) * t * t * p * (1.0 - p) /
+                      (population - 1.0);
+    return std::sqrt(std::max(0.0, e2));
+}
+
+double
+mean(const std::vector<double> &v)
+{
+    if (v.empty())
+        return 0.0;
+    double s = 0.0;
+    for (double x : v)
+        s += x;
+    return s / static_cast<double>(v.size());
+}
+
+double
+variance(const std::vector<double> &v)
+{
+    if (v.size() < 2)
+        return 0.0;
+    const double m = mean(v);
+    double s = 0.0;
+    for (double x : v)
+        s += (x - m) * (x - m);
+    return s / static_cast<double>(v.size());
+}
+
+} // namespace merlin::stats

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Statistical fault-sampling math (Leveugle et al., DATE 2009 [26]).
+ *
+ * The initial fault list of a campaign is a simple random sample from the
+ * exhaustive fault population N = structure_bits x execution_cycles.  The
+ * sample size for error margin e and confidence level c (with the
+ * conservative p = 0.5) is
+ *
+ *     n = N / (1 + e^2 * (N - 1) / (t^2 * p * (1 - p)))
+ *
+ * where t is the two-sided normal quantile for confidence c.  The paper's
+ * campaigns: e = 0.0288, c = 0.99  ->  ~2,000 faults;
+ *            e = 0.0063, c = 0.998 ->  ~60,000 faults;
+ *            e = 0.0019, c = 0.998 ->  ~600,000 faults.
+ */
+
+#ifndef MERLIN_BASE_STATISTICS_HH
+#define MERLIN_BASE_STATISTICS_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace merlin::stats
+{
+
+/** Two-sided standard-normal quantile for a confidence level in (0,1). */
+double zForConfidence(double confidence);
+
+/**
+ * Leveugle sample size for a finite population.
+ *
+ * @param population     exhaustive fault count N (bits x cycles)
+ * @param error_margin   e, e.g. 0.0063
+ * @param confidence     c, e.g. 0.998
+ * @param p              assumed proportion (0.5 is the conservative choice)
+ */
+std::uint64_t sampleSize(double population, double error_margin,
+                         double confidence, double p = 0.5);
+
+/**
+ * Error margin achieved by a sample of size n from population N at the
+ * given confidence (inverse of sampleSize).
+ */
+double errorMargin(double population, double sample, double confidence,
+                   double p = 0.5);
+
+/** Arithmetic mean; 0 for an empty vector. */
+double mean(const std::vector<double> &v);
+
+/** Population variance; 0 for fewer than two elements. */
+double variance(const std::vector<double> &v);
+
+} // namespace merlin::stats
+
+#endif // MERLIN_BASE_STATISTICS_HH

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Fundamental scalar types shared by every MeRLiN module.
+ */
+
+#ifndef MERLIN_BASE_TYPES_HH
+#define MERLIN_BASE_TYPES_HH
+
+#include <cstdint>
+
+namespace merlin
+{
+
+/** Simulated clock cycle count. */
+using Cycle = std::uint64_t;
+
+/** Virtual / physical address in the simulated machine (flat mapping). */
+using Addr = std::uint64_t;
+
+/** Instruction pointer of a static macro instruction (the paper's RIP). */
+using Rip = std::uint64_t;
+
+/** Index of a micro-op within its macro instruction (the paper's uPC). */
+using Upc = std::uint8_t;
+
+/** Global commit sequence number of a dynamic uop. */
+using SeqNum = std::uint64_t;
+
+/** Index of an entry inside a hardware structure (register, slot, word). */
+using EntryIndex = std::uint32_t;
+
+} // namespace merlin
+
+#endif // MERLIN_BASE_TYPES_HH

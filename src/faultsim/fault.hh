@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Transient-fault descriptors and the paper's Table-2 outcome classes.
+ */
+
+#ifndef MERLIN_FAULTSIM_FAULT_HH
+#define MERLIN_FAULTSIM_FAULT_HH
+
+#include <cstdint>
+
+#include "base/types.hh"
+#include "uarch/probe.hh"
+
+namespace merlin::faultsim
+{
+
+/** One transient fault: a single bit flip at a single cycle. */
+struct Fault
+{
+    uarch::Structure structure = uarch::Structure::RegisterFile;
+    EntryIndex entry = 0;  ///< register index / SQ slot / L1D word
+    std::uint8_t bit = 0;  ///< bit position within the 64-bit entry
+    Cycle cycle = 0;       ///< flip applied at the start of this cycle
+
+    /** Byte position inside the entry (MeRLiN's 2nd grouping step). */
+    std::uint8_t
+    byte() const
+    {
+        return bit / 8;
+    }
+
+    bool
+    operator==(const Fault &o) const
+    {
+        return structure == o.structure && entry == o.entry &&
+               bit == o.bit && cycle == o.cycle;
+    }
+};
+
+/**
+ * Fault-effect classification (Table 2).  Unknown is used only for
+ * SimPoint-window campaigns terminated at the window boundary (Table 4).
+ */
+enum class Outcome : std::uint8_t
+{
+    Masked = 0,
+    SDC,
+    DUE,
+    Timeout,
+    Crash,
+    Assert,
+    Unknown,
+    NUM_OUTCOMES
+};
+
+constexpr unsigned NUM_OUTCOMES =
+    static_cast<unsigned>(Outcome::NUM_OUTCOMES);
+
+const char *outcomeName(Outcome o);
+
+} // namespace merlin::faultsim
+
+#endif // MERLIN_FAULTSIM_FAULT_HH

@@ -1,0 +1,141 @@
+#include "faultsim/runner.hh"
+
+#include "base/logging.hh"
+
+namespace merlin::faultsim
+{
+
+using isa::TerminateReason;
+using isa::TrapKind;
+
+const char *
+outcomeName(Outcome o)
+{
+    switch (o) {
+      case Outcome::Masked:  return "Masked";
+      case Outcome::SDC:     return "SDC";
+      case Outcome::DUE:     return "DUE";
+      case Outcome::Timeout: return "Timeout";
+      case Outcome::Crash:   return "Crash";
+      case Outcome::Assert:  return "Assert";
+      case Outcome::Unknown: return "Unknown";
+      default:               return "<bad>";
+    }
+}
+
+InjectionRunner::InjectionRunner(const isa::Program &prog,
+                                 const uarch::CoreConfig &cfg)
+    : prog_(prog), cfg_(cfg)
+{
+}
+
+GoldenRun
+InjectionRunner::golden(uarch::Probe *probe) const
+{
+    uarch::Core core(prog_, cfg_, probe);
+    GoldenRun g;
+    g.arch = core.run();
+    g.stats = core.stats();
+    g.windowed = cfg_.instructionWindowEnd != 0;
+    if (g.arch.reason != TerminateReason::Halted &&
+        g.arch.reason != TerminateReason::WindowEnd) {
+        fatal("golden run did not terminate cleanly (reason ",
+              static_cast<int>(g.arch.reason), ", workload '", prog_.name,
+              "')");
+    }
+    if (g.windowed) {
+        for (unsigned r = 0; r < isa::NUM_ARCH_REGS; ++r)
+            g.archRegs[r] = core.archRegValue(r);
+        g.archMem = std::make_shared<const isa::SegmentedMemory>(
+            core.archMemoryView());
+    }
+    return g;
+}
+
+Outcome
+InjectionRunner::classify(const isa::ArchResult &faulty,
+                          const uarch::Core &core, const GoldenRun &ref)
+{
+    switch (faulty.reason) {
+      case TerminateReason::CycleLimit:
+      case TerminateReason::Deadlock:
+        return Outcome::Timeout;
+
+      case TerminateReason::Trapped: {
+        MERLIN_ASSERT(!faulty.traps.empty(), "trap without trap log");
+        const TrapKind kind = faulty.traps.back().kind;
+        if (isa::isExceptionTrap(kind)) {
+            // Golden runs are trap-free by construction, so any
+            // exception-family trap is an extra detected event -> DUE.
+            return Outcome::DUE;
+        }
+        return Outcome::Crash;
+      }
+
+      case TerminateReason::Halted: {
+        if (faulty.output == ref.arch.output &&
+            faulty.exitCode == ref.arch.exitCode) {
+            return Outcome::Masked;
+        }
+        return Outcome::SDC;
+      }
+
+      case TerminateReason::WindowEnd: {
+        // Table-4 classification: compare the architectural state at the
+        // window boundary; a surviving difference is a latent fault.
+        if (faulty.output != ref.arch.output)
+            return Outcome::SDC;
+        for (unsigned r = 0; r < isa::NUM_ARCH_REGS; ++r) {
+            if (core.archRegValue(r) != ref.archRegs[r])
+                return Outcome::Unknown;
+        }
+        if (!core.archMemoryView().contentEquals(*ref.archMem))
+            return Outcome::Unknown;
+        return Outcome::Masked;
+      }
+
+      default:
+        panic("classify: unexpected termination reason");
+    }
+}
+
+Outcome
+InjectionRunner::inject(const Fault &fault, const GoldenRun &ref) const
+{
+    uarch::CoreConfig cfg = cfg_;
+    // The paper's timeout rule: 3x the fault-free execution time.
+    cfg.maxCycles = 3 * ref.stats.cycles + 1000;
+
+    try {
+        uarch::Core core(prog_, cfg);
+        bool applied = false;
+        for (;;) {
+            if (!applied && core.cycle() == fault.cycle) {
+                switch (fault.structure) {
+                  case uarch::Structure::RegisterFile:
+                    core.flipRegisterFileBit(fault.entry, fault.bit);
+                    break;
+                  case uarch::Structure::StoreQueue:
+                    core.flipStoreQueueBit(fault.entry, fault.bit);
+                    break;
+                  case uarch::Structure::L1DCache:
+                    core.flipL1dBit(fault.entry, fault.bit);
+                    break;
+                }
+                applied = true;
+            }
+            if (!core.tick())
+                break;
+        }
+        return classify(core.result(), core, ref);
+    } catch (const SimAssertError &) {
+        // A flipped bit drove the simulator into an invariant violation.
+        return Outcome::Assert;
+    } catch (const std::exception &) {
+        // Simulator-process failure: counted in the Crash class, like
+        // GeFIN's "simulator crash" subcategory.
+        return Outcome::Crash;
+    }
+}
+
+} // namespace merlin::faultsim

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Injection harness: golden-run capture, single-fault runs, and the
+ * outcome classifier.
+ *
+ * Classification (priority order, Table 2 + DESIGN.md):
+ *   Assert  - a simulator invariant tripped (SimAssertError)
+ *   Crash   - crash-family trap committed (segfault, misalignment,
+ *             illegal instruction, fetch out of text) or the simulator
+ *             process itself failed
+ *   Timeout - run exceeded 3x the golden cycles, or commit stopped
+ *             making progress (deadlock/livelock watchdog)
+ *   DUE     - exception-family trap (div-zero, software-detected error):
+ *             the fault was detected before silent corruption
+ *   SDC     - terminated normally but output or exit code differ
+ *   Masked  - architecturally identical to the golden run
+ *
+ * For window-truncated (SimPoint-style) runs, a fault that is still
+ * latent at the window end — different architectural register or memory
+ * state — is Unknown (Table 4).
+ */
+
+#ifndef MERLIN_FAULTSIM_RUNNER_HH
+#define MERLIN_FAULTSIM_RUNNER_HH
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "faultsim/fault.hh"
+#include "isa/interp.hh"
+#include "isa/program.hh"
+#include "uarch/core.hh"
+
+namespace merlin::faultsim
+{
+
+/** Reference data captured from the fault-free run. */
+struct GoldenRun
+{
+    isa::ArchResult arch;
+    uarch::CoreStats stats;
+    bool windowed = false;
+    /** Committed architectural registers at the window end. */
+    std::array<std::uint64_t, isa::NUM_ARCH_REGS> archRegs{};
+    /** Architectural memory view at the window end. */
+    std::shared_ptr<const isa::SegmentedMemory> archMem;
+};
+
+/** Runs golden and faulty executions of one program/configuration. */
+class InjectionRunner
+{
+  public:
+    InjectionRunner(const isa::Program &prog,
+                    const uarch::CoreConfig &cfg);
+
+    /**
+     * Execute the fault-free run (optionally with a profiler probe
+     * attached) and capture the reference outcome.
+     */
+    GoldenRun golden(uarch::Probe *probe = nullptr) const;
+
+    /** Inject @p fault, run to termination, classify against @p ref. */
+    Outcome inject(const Fault &fault, const GoldenRun &ref) const;
+
+    /** Classify a completed faulty run (exposed for testing). */
+    static Outcome classify(const isa::ArchResult &faulty,
+                            const uarch::Core &core, const GoldenRun &ref);
+
+    const uarch::CoreConfig &config() const { return cfg_; }
+
+  private:
+    const isa::Program &prog_;
+    uarch::CoreConfig cfg_;
+};
+
+} // namespace merlin::faultsim
+
+#endif // MERLIN_FAULTSIM_RUNNER_HH

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Shared scalar semantics of MRL-64 operations.
+ *
+ * Both the functional interpreter and the out-of-order core call these
+ * helpers so the two models cannot diverge on arithmetic corner cases
+ * (shift-amount masking, signed division overflow, ...).
+ */
+
+#ifndef MERLIN_ISA_EXEC_HH
+#define MERLIN_ISA_EXEC_HH
+
+#include <cstdint>
+
+#include "base/logging.hh"
+#include "isa/isa.hh"
+
+namespace merlin::isa
+{
+
+/** Result of an ALU-class computation. */
+struct AluResult
+{
+    std::uint64_t value = 0;
+    bool divByZero = false;
+};
+
+/**
+ * Compute an ALU/Mul/Div operation.  @p a is rs1 (or the merge source for
+ * MOVHI), @p b is rs2 or the immediate, depending on the opcode's form.
+ */
+inline AluResult
+aluCompute(Opcode op, std::uint64_t a, std::uint64_t b)
+{
+    using U = std::uint64_t;
+    using S = std::int64_t;
+    AluResult r;
+    switch (op) {
+      case Opcode::ADD: case Opcode::ADDI: r.value = a + b; break;
+      case Opcode::SUB:                    r.value = a - b; break;
+      case Opcode::AND: case Opcode::ANDI: r.value = a & b; break;
+      case Opcode::OR:  case Opcode::ORI:  r.value = a | b; break;
+      case Opcode::XOR: case Opcode::XORI: r.value = a ^ b; break;
+      case Opcode::SHL: case Opcode::SHLI: r.value = a << (b & 63); break;
+      case Opcode::SHR: case Opcode::SHRI: r.value = a >> (b & 63); break;
+      case Opcode::SRA: case Opcode::SRAI:
+        r.value = static_cast<U>(static_cast<S>(a) >> (b & 63));
+        break;
+      case Opcode::MUL: r.value = a * b; break;
+      case Opcode::MULH: {
+        // High 64 bits of the signed 128-bit product.
+        __int128 p = static_cast<__int128>(static_cast<S>(a)) *
+                     static_cast<__int128>(static_cast<S>(b));
+        r.value = static_cast<U>(p >> 64);
+        break;
+      }
+      case Opcode::DIV:
+        if (b == 0) {
+            r.divByZero = true;
+        } else if (static_cast<S>(a) == INT64_MIN &&
+                   static_cast<S>(b) == -1) {
+            r.value = a; // overflow wraps, x86-free definition
+        } else {
+            r.value = static_cast<U>(static_cast<S>(a) / static_cast<S>(b));
+        }
+        break;
+      case Opcode::REM:
+        if (b == 0) {
+            r.divByZero = true;
+        } else if (static_cast<S>(a) == INT64_MIN &&
+                   static_cast<S>(b) == -1) {
+            r.value = 0;
+        } else {
+            r.value = static_cast<U>(static_cast<S>(a) % static_cast<S>(b));
+        }
+        break;
+      case Opcode::DIVU:
+        if (b == 0)
+            r.divByZero = true;
+        else
+            r.value = a / b;
+        break;
+      case Opcode::REMU:
+        if (b == 0)
+            r.divByZero = true;
+        else
+            r.value = a % b;
+        break;
+      case Opcode::SLT: case Opcode::SLTI:
+        r.value = static_cast<S>(a) < static_cast<S>(b) ? 1 : 0;
+        break;
+      case Opcode::SLTU: r.value = a < b ? 1 : 0; break;
+      case Opcode::MOVI: r.value = b; break;
+      case Opcode::MOVHI:
+        r.value = (b << 32) | (a & 0xffffffffULL);
+        break;
+      default:
+        panic("aluCompute: non-ALU opcode ", opcodeName(op));
+    }
+    return r;
+}
+
+/** Evaluate a conditional branch. */
+inline bool
+branchTaken(Opcode op, std::uint64_t a, std::uint64_t b)
+{
+    using S = std::int64_t;
+    switch (op) {
+      case Opcode::BEQ:  return a == b;
+      case Opcode::BNE:  return a != b;
+      case Opcode::BLT:  return static_cast<S>(a) < static_cast<S>(b);
+      case Opcode::BGE:  return static_cast<S>(a) >= static_cast<S>(b);
+      case Opcode::BLTU: return a < b;
+      case Opcode::BGEU: return a >= b;
+      default:
+        panic("branchTaken: non-branch opcode ", opcodeName(op));
+    }
+}
+
+} // namespace merlin::isa
+
+#endif // MERLIN_ISA_EXEC_HH

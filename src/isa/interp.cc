@@ -1,0 +1,248 @@
+#include "isa/interp.hh"
+
+#include "base/bits.hh"
+#include "base/logging.hh"
+#include "isa/exec.hh"
+#include "isa/uops.hh"
+
+namespace merlin::isa
+{
+
+Interpreter::Interpreter(const Program &prog)
+    : mem_(prog.buildMemory()), pc_(prog.entry)
+{
+    regs_.fill(0);
+    regs_[REG_SP] = layout::STACK_TOP;
+}
+
+void
+Interpreter::raiseTrap(TrapKind kind)
+{
+    result_.traps.push_back(TrapEvent{kind, pc_});
+    result_.reason = TerminateReason::Trapped;
+    result_.exitCode = 128 + static_cast<int>(kind);
+    done_ = true;
+}
+
+bool
+Interpreter::step()
+{
+    if (done_)
+        return false;
+
+    std::uint64_t raw = 0;
+    if (mem_.fetch(pc_, raw) != TrapKind::None) {
+        raiseTrap(TrapKind::PcOutOfText);
+        return false;
+    }
+    auto decoded = decode(raw);
+    if (!decoded) {
+        raiseTrap(TrapKind::IllegalInstruction);
+        return false;
+    }
+    const Instruction &insn = *decoded;
+    Addr next_pc = pc_ + INSN_BYTES;
+    unsigned uops = 1;
+
+    auto mem_read = [&](Addr a, unsigned sz, std::uint64_t &v) {
+        TrapKind t = mem_.read(a, sz, v);
+        if (t != TrapKind::None) {
+            raiseTrap(t);
+            return false;
+        }
+        return true;
+    };
+    auto mem_write = [&](Addr a, unsigned sz, std::uint64_t v) {
+        TrapKind t = mem_.write(a, sz, v);
+        if (t != TrapKind::None) {
+            raiseTrap(t);
+            return false;
+        }
+        return true;
+    };
+    auto alu = [&](std::uint64_t a, std::uint64_t b) -> bool {
+        AluResult r = aluCompute(insn.op, a, b);
+        if (r.divByZero) {
+            raiseTrap(TrapKind::DivZero);
+            return false;
+        }
+        regs_[insn.rd] = r.value;
+        return true;
+    };
+
+    switch (insn.op) {
+      case Opcode::NOP:
+        break;
+
+      case Opcode::ADD: case Opcode::SUB: case Opcode::AND: case Opcode::OR:
+      case Opcode::XOR: case Opcode::SHL: case Opcode::SHR: case Opcode::SRA:
+      case Opcode::MUL: case Opcode::MULH: case Opcode::DIV:
+      case Opcode::REM: case Opcode::DIVU: case Opcode::REMU:
+      case Opcode::SLT: case Opcode::SLTU:
+        if (!alu(regs_[insn.rs1], regs_[insn.rs2]))
+            return false;
+        break;
+
+      case Opcode::ADDI: case Opcode::ANDI: case Opcode::ORI:
+      case Opcode::XORI: case Opcode::SHLI: case Opcode::SHRI:
+      case Opcode::SRAI: case Opcode::SLTI:
+        if (!alu(regs_[insn.rs1], static_cast<std::int64_t>(insn.imm)))
+            return false;
+        break;
+
+      case Opcode::MOVI:
+        regs_[insn.rd] = static_cast<std::int64_t>(insn.imm);
+        break;
+      case Opcode::MOVHI:
+        regs_[insn.rd] =
+            (static_cast<std::uint64_t>(static_cast<std::uint32_t>(insn.imm))
+             << 32) |
+            (regs_[insn.rd] & 0xffffffffULL);
+        break;
+
+      case Opcode::LDB: case Opcode::LDBU: case Opcode::LDH:
+      case Opcode::LDHU: case Opcode::LDW: case Opcode::LDWU:
+      case Opcode::LDD: {
+        StaticUop u[MAX_UOPS_PER_MACRO];
+        expand(insn, pc_, u);
+        const Addr a = regs_[insn.rs1] + insn.imm;
+        std::uint64_t v = 0;
+        if (!mem_read(a, u[0].memSize, v))
+            return false;
+        regs_[insn.rd] = u[0].loadSigned
+                             ? static_cast<std::uint64_t>(
+                                   signExtend(v, u[0].memSize * 8))
+                             : v;
+        break;
+      }
+
+      case Opcode::STB: case Opcode::STH: case Opcode::STW:
+      case Opcode::STD: {
+        static const unsigned sizes[] = {1, 2, 4, 8};
+        const unsigned sz =
+            sizes[static_cast<int>(insn.op) - static_cast<int>(Opcode::STB)];
+        if (!mem_write(regs_[insn.rs1] + insn.imm, sz, regs_[insn.rs2]))
+            return false;
+        break;
+      }
+
+      case Opcode::LDADD: {
+        const Addr a = regs_[insn.rs1] + insn.imm;
+        std::uint64_t v = 0;
+        if (!mem_read(a, 8, v))
+            return false;
+        regs_[insn.rd] += v;
+        uops = 2;
+        break;
+      }
+      case Opcode::MEMADD: {
+        const Addr a = regs_[insn.rs1] + insn.imm;
+        std::uint64_t v = 0;
+        if (!mem_read(a, 8, v))
+            return false;
+        if (!mem_write(a, 8, v + regs_[insn.rs2]))
+            return false;
+        uops = 3;
+        break;
+      }
+      case Opcode::PUSH: {
+        regs_[REG_SP] -= 8;
+        if (!mem_write(regs_[REG_SP], 8, regs_[insn.rs2]))
+            return false;
+        uops = 2;
+        break;
+      }
+      case Opcode::POP: {
+        std::uint64_t v = 0;
+        if (!mem_read(regs_[REG_SP], 8, v))
+            return false;
+        regs_[insn.rd] = v;
+        regs_[REG_SP] += 8;
+        uops = 2;
+        break;
+      }
+
+      case Opcode::BEQ: case Opcode::BNE: case Opcode::BLT:
+      case Opcode::BGE: case Opcode::BLTU: case Opcode::BGEU:
+        if (branchTaken(insn.op, regs_[insn.rs1], regs_[insn.rs2]))
+            next_pc = static_cast<std::uint32_t>(insn.imm);
+        break;
+
+      case Opcode::JMP:
+        next_pc = static_cast<std::uint32_t>(insn.imm);
+        break;
+      case Opcode::JR:
+        next_pc = regs_[insn.rs1];
+        break;
+      case Opcode::CALL:
+        regs_[REG_RA] = pc_ + INSN_BYTES;
+        next_pc = static_cast<std::uint32_t>(insn.imm);
+        uops = 2;
+        break;
+      case Opcode::CALLR: {
+        const Addr target = regs_[insn.rs1];
+        regs_[REG_RA] = pc_ + INSN_BYTES;
+        next_pc = target;
+        uops = 3;
+        break;
+      }
+
+      case Opcode::OUTB:
+        result_.output.push_back(
+            static_cast<std::uint8_t>(regs_[insn.rs2] & 0xff));
+        break;
+      case Opcode::OUTD: {
+        std::uint8_t buf[8];
+        storeLE(buf, regs_[insn.rs2], 8);
+        result_.output.insert(result_.output.end(), buf, buf + 8);
+        break;
+      }
+
+      case Opcode::TRAPNZ:
+        if (regs_[insn.rs1] != 0) {
+            raiseTrap(TrapKind::DetectedError);
+            return false;
+        }
+        break;
+
+      case Opcode::HALT:
+        result_.reason = TerminateReason::Halted;
+        result_.exitCode = insn.imm;
+        result_.instret += 1;
+        result_.uopsRetired += 1;
+        done_ = true;
+        return false;
+
+      default:
+        raiseTrap(TrapKind::IllegalInstruction);
+        return false;
+    }
+
+    result_.instret += 1;
+    result_.uopsRetired += uops;
+    pc_ = next_pc;
+    return true;
+}
+
+ArchResult
+Interpreter::run(std::uint64_t max_instr)
+{
+    while (!done_) {
+        if (result_.instret >= max_instr) {
+            result_.reason = TerminateReason::CycleLimit;
+            done_ = true;
+            break;
+        }
+        step();
+    }
+    return result_;
+}
+
+ArchResult
+interpret(const Program &prog, std::uint64_t max_instr)
+{
+    Interpreter in(prog);
+    return in.run(max_instr);
+}
+
+} // namespace merlin::isa

@@ -1,0 +1,193 @@
+#include "isa/isa.hh"
+
+#include <sstream>
+
+#include "base/bits.hh"
+
+namespace merlin::isa
+{
+
+std::uint64_t
+encode(const Instruction &insn)
+{
+    std::uint64_t raw = 0;
+    raw |= static_cast<std::uint64_t>(insn.op);
+    raw |= static_cast<std::uint64_t>(insn.rd) << 8;
+    raw |= static_cast<std::uint64_t>(insn.rs1) << 16;
+    raw |= static_cast<std::uint64_t>(insn.rs2) << 24;
+    raw |= static_cast<std::uint64_t>(static_cast<std::uint32_t>(insn.imm))
+           << 32;
+    return raw;
+}
+
+std::optional<Instruction>
+decode(std::uint64_t raw)
+{
+    Instruction insn;
+    const std::uint8_t op = raw & 0xff;
+    if (op >= static_cast<std::uint8_t>(Opcode::NUM_OPCODES))
+        return std::nullopt;
+    insn.op = static_cast<Opcode>(op);
+    insn.rd = (raw >> 8) & 0xff;
+    insn.rs1 = (raw >> 16) & 0xff;
+    insn.rs2 = (raw >> 24) & 0xff;
+    insn.imm = static_cast<std::int32_t>(
+        static_cast<std::uint32_t>(raw >> 32));
+    if (insn.rd >= NUM_ARCH_REGS || insn.rs1 >= NUM_ARCH_REGS ||
+        insn.rs2 >= NUM_ARCH_REGS) {
+        return std::nullopt;
+    }
+    return insn;
+}
+
+const char *
+opcodeName(Opcode op)
+{
+    switch (op) {
+      case Opcode::NOP:    return "nop";
+      case Opcode::ADD:    return "add";
+      case Opcode::SUB:    return "sub";
+      case Opcode::AND:    return "and";
+      case Opcode::OR:     return "or";
+      case Opcode::XOR:    return "xor";
+      case Opcode::SHL:    return "shl";
+      case Opcode::SHR:    return "shr";
+      case Opcode::SRA:    return "sra";
+      case Opcode::MUL:    return "mul";
+      case Opcode::MULH:   return "mulh";
+      case Opcode::DIV:    return "div";
+      case Opcode::REM:    return "rem";
+      case Opcode::DIVU:   return "divu";
+      case Opcode::REMU:   return "remu";
+      case Opcode::SLT:    return "slt";
+      case Opcode::SLTU:   return "sltu";
+      case Opcode::ADDI:   return "addi";
+      case Opcode::ANDI:   return "andi";
+      case Opcode::ORI:    return "ori";
+      case Opcode::XORI:   return "xori";
+      case Opcode::SHLI:   return "shli";
+      case Opcode::SHRI:   return "shri";
+      case Opcode::SRAI:   return "srai";
+      case Opcode::SLTI:   return "slti";
+      case Opcode::MOVI:   return "movi";
+      case Opcode::MOVHI:  return "movhi";
+      case Opcode::LDB:    return "ld.b";
+      case Opcode::LDBU:   return "ld.bu";
+      case Opcode::LDH:    return "ld.h";
+      case Opcode::LDHU:   return "ld.hu";
+      case Opcode::LDW:    return "ld.w";
+      case Opcode::LDWU:   return "ld.wu";
+      case Opcode::LDD:    return "ld.d";
+      case Opcode::STB:    return "st.b";
+      case Opcode::STH:    return "st.h";
+      case Opcode::STW:    return "st.w";
+      case Opcode::STD:    return "st.d";
+      case Opcode::LDADD:  return "ldadd";
+      case Opcode::MEMADD: return "memadd";
+      case Opcode::PUSH:   return "push";
+      case Opcode::POP:    return "pop";
+      case Opcode::BEQ:    return "beq";
+      case Opcode::BNE:    return "bne";
+      case Opcode::BLT:    return "blt";
+      case Opcode::BGE:    return "bge";
+      case Opcode::BLTU:   return "bltu";
+      case Opcode::BGEU:   return "bgeu";
+      case Opcode::JMP:    return "jmp";
+      case Opcode::JR:     return "jr";
+      case Opcode::CALL:   return "call";
+      case Opcode::CALLR:  return "callr";
+      case Opcode::OUTB:   return "out.b";
+      case Opcode::OUTD:   return "out.d";
+      case Opcode::TRAPNZ: return "trapnz";
+      case Opcode::HALT:   return "halt";
+      default:             return "<bad>";
+    }
+}
+
+bool
+isCondBranch(Opcode op)
+{
+    return op >= Opcode::BEQ && op <= Opcode::BGEU;
+}
+
+bool
+isControlFlow(Opcode op)
+{
+    return (op >= Opcode::BEQ && op <= Opcode::CALLR);
+}
+
+bool
+isMemOp(Opcode op)
+{
+    return (op >= Opcode::LDB && op <= Opcode::POP);
+}
+
+std::string
+disassemble(const Instruction &insn)
+{
+    std::ostringstream os;
+    os << opcodeName(insn.op);
+    auto r = [](unsigned n) { return "r" + std::to_string(n); };
+    switch (insn.op) {
+      case Opcode::NOP:
+        break;
+      case Opcode::ADD: case Opcode::SUB: case Opcode::AND: case Opcode::OR:
+      case Opcode::XOR: case Opcode::SHL: case Opcode::SHR: case Opcode::SRA:
+      case Opcode::MUL: case Opcode::MULH: case Opcode::DIV:
+      case Opcode::REM: case Opcode::DIVU: case Opcode::REMU:
+      case Opcode::SLT: case Opcode::SLTU:
+        os << " " << r(insn.rd) << ", " << r(insn.rs1) << ", "
+           << r(insn.rs2);
+        break;
+      case Opcode::ADDI: case Opcode::ANDI: case Opcode::ORI:
+      case Opcode::XORI: case Opcode::SHLI: case Opcode::SHRI:
+      case Opcode::SRAI: case Opcode::SLTI:
+        os << " " << r(insn.rd) << ", " << r(insn.rs1) << ", " << insn.imm;
+        break;
+      case Opcode::MOVI: case Opcode::MOVHI:
+        os << " " << r(insn.rd) << ", " << insn.imm;
+        break;
+      case Opcode::LDB: case Opcode::LDBU: case Opcode::LDH:
+      case Opcode::LDHU: case Opcode::LDW: case Opcode::LDWU:
+      case Opcode::LDD: case Opcode::LDADD:
+        os << " " << r(insn.rd) << ", [" << r(insn.rs1) << "+" << insn.imm
+           << "]";
+        break;
+      case Opcode::STB: case Opcode::STH: case Opcode::STW:
+      case Opcode::STD: case Opcode::MEMADD:
+        os << " " << r(insn.rs2) << ", [" << r(insn.rs1) << "+" << insn.imm
+           << "]";
+        break;
+      case Opcode::PUSH:
+        os << " " << r(insn.rs2);
+        break;
+      case Opcode::POP:
+        os << " " << r(insn.rd);
+        break;
+      case Opcode::BEQ: case Opcode::BNE: case Opcode::BLT:
+      case Opcode::BGE: case Opcode::BLTU: case Opcode::BGEU:
+        os << " " << r(insn.rs1) << ", " << r(insn.rs2) << ", 0x" << std::hex
+           << insn.imm;
+        break;
+      case Opcode::JMP: case Opcode::CALL:
+        os << " 0x" << std::hex << insn.imm;
+        break;
+      case Opcode::JR: case Opcode::CALLR:
+        os << " " << r(insn.rs1);
+        break;
+      case Opcode::OUTB: case Opcode::OUTD:
+        os << " " << r(insn.rs2);
+        break;
+      case Opcode::TRAPNZ:
+        os << " " << r(insn.rs1);
+        break;
+      case Opcode::HALT:
+        os << " " << insn.imm;
+        break;
+      default:
+        break;
+    }
+    return os.str();
+}
+
+} // namespace merlin::isa

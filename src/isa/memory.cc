@@ -1,0 +1,150 @@
+#include "isa/memory.hh"
+
+#include <cstring>
+
+#include "base/bits.hh"
+#include "base/logging.hh"
+#include "isa/isa.hh"
+
+namespace merlin::isa
+{
+
+void
+SegmentedMemory::addSegment(Addr base, std::uint64_t size,
+                            std::uint8_t perms)
+{
+    for (const auto &s : segments_) {
+        const bool overlap =
+            base < s.base + s.bytes.size() && s.base < base + size;
+        if (overlap)
+            fatal("overlapping memory segments");
+    }
+    Segment seg;
+    seg.base = base;
+    seg.perms = perms;
+    seg.bytes.assign(size, 0);
+    segments_.push_back(std::move(seg));
+}
+
+const SegmentedMemory::Segment *
+SegmentedMemory::find(Addr addr, unsigned len) const
+{
+    for (const auto &s : segments_) {
+        if (addr >= s.base && addr + len <= s.base + s.bytes.size())
+            return &s;
+    }
+    return nullptr;
+}
+
+TrapKind
+SegmentedMemory::read(Addr addr, unsigned size, std::uint64_t &value) const
+{
+    if (!isAligned(addr, size))
+        return TrapKind::Misaligned;
+    const Segment *s = find(addr, size);
+    if (!s || !(s->perms & PermRead))
+        return TrapKind::Segfault;
+    value = loadLE(s->bytes.data() + (addr - s->base), size);
+    return TrapKind::None;
+}
+
+TrapKind
+SegmentedMemory::write(Addr addr, unsigned size, std::uint64_t value)
+{
+    if (!isAligned(addr, size))
+        return TrapKind::Misaligned;
+    Segment *s = const_cast<Segment *>(find(addr, size));
+    if (!s || !(s->perms & PermWrite))
+        return TrapKind::Segfault;
+    storeLE(s->bytes.data() + (addr - s->base), value, size);
+    return TrapKind::None;
+}
+
+TrapKind
+SegmentedMemory::fetch(Addr addr, std::uint64_t &raw) const
+{
+    if (!isAligned(addr, INSN_BYTES))
+        return TrapKind::PcOutOfText;
+    const Segment *s = find(addr, INSN_BYTES);
+    if (!s || !(s->perms & PermExec))
+        return TrapKind::PcOutOfText;
+    raw = loadLE(s->bytes.data() + (addr - s->base), INSN_BYTES);
+    return TrapKind::None;
+}
+
+TrapKind
+SegmentedMemory::readBlock(Addr addr, std::uint8_t *out, unsigned len) const
+{
+    const Segment *s = find(addr, len);
+    if (!s || !(s->perms & (PermRead | PermExec)))
+        return TrapKind::Segfault;
+    std::memcpy(out, s->bytes.data() + (addr - s->base), len);
+    return TrapKind::None;
+}
+
+TrapKind
+SegmentedMemory::writeBlock(Addr addr, const std::uint8_t *in, unsigned len)
+{
+    Segment *s = const_cast<Segment *>(find(addr, len));
+    if (!s)
+        return TrapKind::Segfault;
+    // Write-backs of text lines are legal: L2 holds both I and D lines.
+    std::memcpy(s->bytes.data() + (addr - s->base), in, len);
+    return TrapKind::None;
+}
+
+TrapKind
+SegmentedMemory::check(Addr addr, unsigned size, bool for_write) const
+{
+    if (!isAligned(addr, size))
+        return TrapKind::Misaligned;
+    const Segment *s = find(addr, size);
+    if (!s || !(s->perms & (for_write ? PermWrite : PermRead)))
+        return TrapKind::Segfault;
+    return TrapKind::None;
+}
+
+std::uint8_t *
+SegmentedMemory::rawAt(Addr addr, unsigned len)
+{
+    Segment *s = const_cast<Segment *>(find(addr, len));
+    return s ? s->bytes.data() + (addr - s->base) : nullptr;
+}
+
+const std::uint8_t *
+SegmentedMemory::rawAt(Addr addr, unsigned len) const
+{
+    const Segment *s = find(addr, len);
+    return s ? s->bytes.data() + (addr - s->base) : nullptr;
+}
+
+bool
+SegmentedMemory::contentEquals(const SegmentedMemory &other) const
+{
+    if (segments_.size() != other.segments_.size())
+        return false;
+    for (std::size_t i = 0; i < segments_.size(); ++i) {
+        if (segments_[i].base != other.segments_[i].base ||
+            segments_[i].bytes != other.segments_[i].bytes) {
+            return false;
+        }
+    }
+    return true;
+}
+
+const char *
+trapKindName(TrapKind k)
+{
+    switch (k) {
+      case TrapKind::None:               return "none";
+      case TrapKind::DivZero:            return "div-zero";
+      case TrapKind::DetectedError:      return "detected-error";
+      case TrapKind::Segfault:           return "segfault";
+      case TrapKind::Misaligned:         return "misaligned";
+      case TrapKind::IllegalInstruction: return "illegal-instruction";
+      case TrapKind::PcOutOfText:        return "pc-out-of-text";
+      default:                           return "<bad>";
+    }
+}
+
+} // namespace merlin::isa

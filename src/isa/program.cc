@@ -1,0 +1,50 @@
+#include "isa/program.hh"
+
+#include <cstring>
+
+#include "base/logging.hh"
+
+namespace merlin::isa
+{
+
+Addr
+Program::symbol(const std::string &sym) const
+{
+    auto it = symbols.find(sym);
+    if (it == symbols.end())
+        fatal("program '", name, "': unknown symbol '", sym, "'");
+    return it->second;
+}
+
+SegmentedMemory
+Program::buildMemory() const
+{
+    SegmentedMemory mem;
+
+    // Text segment, rounded up to a cache line.
+    std::uint64_t text_size = (text.size() + 63) & ~std::uint64_t(63);
+    if (text_size == 0)
+        fatal("program '", name, "': empty text segment");
+    mem.addSegment(layout::TEXT_BASE, text_size, PermRead | PermExec);
+    std::memcpy(mem.rawAt(layout::TEXT_BASE, text.size()), text.data(),
+                text.size());
+
+    // Data + bss segment.
+    std::uint64_t data_size = data.size() + bssSize;
+    data_size = ((data_size + 63) & ~std::uint64_t(63));
+    if (data_size == 0)
+        data_size = 64;
+    mem.addSegment(layout::DATA_BASE, data_size, PermRead | PermWrite);
+    if (!data.empty()) {
+        std::memcpy(mem.rawAt(layout::DATA_BASE, data.size()), data.data(),
+                    data.size());
+    }
+
+    mem.addSegment(layout::HEAP_BASE, layout::HEAP_SIZE,
+                   PermRead | PermWrite);
+    mem.addSegment(layout::STACK_TOP - layout::STACK_SIZE,
+                   layout::STACK_SIZE, PermRead | PermWrite);
+    return mem;
+}
+
+} // namespace merlin::isa

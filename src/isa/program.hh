@@ -1,0 +1,47 @@
+/**
+ * @file
+ * A loadable program image (output of the assembler).
+ */
+
+#ifndef MERLIN_ISA_PROGRAM_HH
+#define MERLIN_ISA_PROGRAM_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "base/types.hh"
+#include "isa/isa.hh"
+#include "isa/memory.hh"
+
+namespace merlin::isa
+{
+
+/** Text + data image with symbols, ready to load into a machine. */
+struct Program
+{
+    std::string name;
+    std::vector<std::uint8_t> text;   ///< encoded instructions
+    std::vector<std::uint8_t> data;   ///< initialized data (.data)
+    std::uint64_t bssSize = 0;        ///< zero-filled bytes after .data
+    Addr entry = layout::TEXT_BASE;
+    std::map<std::string, Addr> symbols;
+
+    /** Address of a named symbol; fatal() if missing. */
+    Addr symbol(const std::string &sym) const;
+
+    /** Number of macro instructions in the text segment. */
+    std::uint64_t
+    instructionCount() const
+    {
+        return text.size() / INSN_BYTES;
+    }
+
+    /** Build the canonical memory image (text/data/heap/stack). */
+    SegmentedMemory buildMemory() const;
+};
+
+} // namespace merlin::isa
+
+#endif // MERLIN_ISA_PROGRAM_HH

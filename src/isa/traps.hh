@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Architectural traps and run termination reasons.
+ *
+ * Traps split into two families that map onto the paper's Table-2
+ * classification:
+ *  - exception-like (DivZero, DetectedError): the fault was *detected*;
+ *    a run whose exception log differs from the golden run is a DUE.
+ *  - crash-like (Segfault, Misaligned, IllegalInstruction, PcOutOfText):
+ *    abnormal termination of the simulated process; classified Crash.
+ */
+
+#ifndef MERLIN_ISA_TRAPS_HH
+#define MERLIN_ISA_TRAPS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "base/types.hh"
+
+namespace merlin::isa
+{
+
+enum class TrapKind : std::uint8_t
+{
+    None = 0,
+    DivZero,            ///< integer division by zero (x86 #DE analogue)
+    DetectedError,      ///< TRAPNZ fired (software integrity check)
+    Segfault,           ///< access outside mapped segments / bad perms
+    Misaligned,         ///< natural-alignment violation
+    IllegalInstruction, ///< undecodable opcode or register field
+    PcOutOfText,        ///< fetch from a non-executable address
+};
+
+/** True for the DUE family (detected, exception-like). */
+inline bool
+isExceptionTrap(TrapKind k)
+{
+    return k == TrapKind::DivZero || k == TrapKind::DetectedError;
+}
+
+/** One logged trap occurrence. */
+struct TrapEvent
+{
+    TrapKind kind = TrapKind::None;
+    Rip rip = 0;
+
+    bool
+    operator==(const TrapEvent &o) const
+    {
+        return kind == o.kind && rip == o.rip;
+    }
+};
+
+/** Why a run ended. */
+enum class TerminateReason : std::uint8_t
+{
+    Halted,        ///< HALT committed
+    Trapped,       ///< fatal trap taken
+    CycleLimit,    ///< watchdog: exceeded the cycle/instruction budget
+    Deadlock,      ///< watchdog: no commit progress
+    WindowEnd,     ///< SimPoint-style window boundary reached
+};
+
+const char *trapKindName(TrapKind k);
+
+} // namespace merlin::isa
+
+#endif // MERLIN_ISA_TRAPS_HH

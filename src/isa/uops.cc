@@ -1,0 +1,234 @@
+#include "isa/uops.hh"
+
+#include "base/logging.hh"
+
+namespace merlin::isa
+{
+
+namespace
+{
+
+StaticUop
+aluUop(Opcode base, unsigned dst, unsigned src1, unsigned src2,
+       std::int64_t imm = 0)
+{
+    StaticUop u;
+    u.kind = (base == Opcode::MUL || base == Opcode::MULH) ? UopKind::Mul
+             : (base == Opcode::DIV || base == Opcode::REM ||
+                base == Opcode::DIVU || base == Opcode::REMU)
+                 ? UopKind::Div
+                 : UopKind::Alu;
+    u.base = base;
+    u.dst = dst;
+    u.src1 = src1;
+    u.src2 = src2;
+    u.imm = imm;
+    return u;
+}
+
+StaticUop
+loadUop(Opcode width, unsigned dst, unsigned base_reg, std::int64_t imm)
+{
+    StaticUop u;
+    u.kind = UopKind::Load;
+    u.base = width;
+    u.dst = dst;
+    u.src1 = base_reg;
+    u.imm = imm;
+    switch (width) {
+      case Opcode::LDB:  u.memSize = 1; u.loadSigned = true;  break;
+      case Opcode::LDBU: u.memSize = 1; u.loadSigned = false; break;
+      case Opcode::LDH:  u.memSize = 2; u.loadSigned = true;  break;
+      case Opcode::LDHU: u.memSize = 2; u.loadSigned = false; break;
+      case Opcode::LDW:  u.memSize = 4; u.loadSigned = true;  break;
+      case Opcode::LDWU: u.memSize = 4; u.loadSigned = false; break;
+      case Opcode::LDD:  u.memSize = 8; u.loadSigned = false; break;
+      default: panic("loadUop: bad width opcode");
+    }
+    return u;
+}
+
+StaticUop
+storeUop(Opcode width, unsigned data_reg, unsigned base_reg,
+         std::int64_t imm)
+{
+    StaticUop u;
+    u.kind = UopKind::Store;
+    u.base = width;
+    u.src1 = base_reg;
+    u.src2 = data_reg;
+    u.imm = imm;
+    switch (width) {
+      case Opcode::STB: u.memSize = 1; break;
+      case Opcode::STH: u.memSize = 2; break;
+      case Opcode::STW: u.memSize = 4; break;
+      case Opcode::STD: u.memSize = 8; break;
+      default: panic("storeUop: bad width opcode");
+    }
+    return u;
+}
+
+} // namespace
+
+unsigned
+expand(const Instruction &insn, Addr pc, StaticUop out[MAX_UOPS_PER_MACRO])
+{
+    const auto op = insn.op;
+    const std::int64_t ret_addr =
+        static_cast<std::int64_t>(pc + INSN_BYTES);
+
+    switch (op) {
+      case Opcode::NOP: {
+        out[0] = StaticUop{};
+        return 1;
+      }
+
+      // Plain ALU, register or immediate form: one uop.
+      case Opcode::ADD: case Opcode::SUB: case Opcode::AND: case Opcode::OR:
+      case Opcode::XOR: case Opcode::SHL: case Opcode::SHR: case Opcode::SRA:
+      case Opcode::MUL: case Opcode::MULH: case Opcode::DIV:
+      case Opcode::REM: case Opcode::DIVU: case Opcode::REMU:
+      case Opcode::SLT: case Opcode::SLTU: {
+        out[0] = aluUop(op, insn.rd, insn.rs1, insn.rs2);
+        return 1;
+      }
+      case Opcode::ADDI: case Opcode::ANDI: case Opcode::ORI:
+      case Opcode::XORI: case Opcode::SHLI: case Opcode::SHRI:
+      case Opcode::SRAI: case Opcode::SLTI: {
+        out[0] = aluUop(op, insn.rd, insn.rs1, REG_NONE, insn.imm);
+        return 1;
+      }
+      case Opcode::MOVI: {
+        out[0] = aluUop(op, insn.rd, REG_NONE, REG_NONE, insn.imm);
+        return 1;
+      }
+      case Opcode::MOVHI: {
+        // Reads its own destination (merges the low half).
+        out[0] = aluUop(op, insn.rd, insn.rd, REG_NONE, insn.imm);
+        return 1;
+      }
+
+      case Opcode::LDB: case Opcode::LDBU: case Opcode::LDH:
+      case Opcode::LDHU: case Opcode::LDW: case Opcode::LDWU:
+      case Opcode::LDD: {
+        out[0] = loadUop(op, insn.rd, insn.rs1, insn.imm);
+        return 1;
+      }
+      case Opcode::STB: case Opcode::STH: case Opcode::STW:
+      case Opcode::STD: {
+        out[0] = storeUop(op, insn.rs2, insn.rs1, insn.imm);
+        return 1;
+      }
+
+      case Opcode::LDADD: {
+        // uop0: tmp0 = mem[rs1+imm];  uop1: rd += tmp0
+        out[0] = loadUop(Opcode::LDD, REG_TMP0, insn.rs1, insn.imm);
+        out[1] = aluUop(Opcode::ADD, insn.rd, insn.rd, REG_TMP0);
+        return 2;
+      }
+      case Opcode::MEMADD: {
+        // uop0: tmp0 = mem[rs1+imm];  uop1: tmp0 += rs2;
+        // uop2: mem[rs1+imm] = tmp0
+        out[0] = loadUop(Opcode::LDD, REG_TMP0, insn.rs1, insn.imm);
+        out[1] = aluUop(Opcode::ADD, REG_TMP0, REG_TMP0, insn.rs2);
+        out[2] = storeUop(Opcode::STD, REG_TMP0, insn.rs1, insn.imm);
+        return 3;
+      }
+      case Opcode::PUSH: {
+        // uop0: sp -= 8;  uop1: mem[sp] = rs2
+        out[0] = aluUop(Opcode::ADDI, REG_SP, REG_SP, REG_NONE, -8);
+        out[1] = storeUop(Opcode::STD, insn.rs2, REG_SP, 0);
+        return 2;
+      }
+      case Opcode::POP: {
+        // uop0: rd = mem[sp];  uop1: sp += 8
+        out[0] = loadUop(Opcode::LDD, insn.rd, REG_SP, 0);
+        out[1] = aluUop(Opcode::ADDI, REG_SP, REG_SP, REG_NONE, 8);
+        return 2;
+      }
+
+      case Opcode::BEQ: case Opcode::BNE: case Opcode::BLT:
+      case Opcode::BGE: case Opcode::BLTU: case Opcode::BGEU: {
+        StaticUop u;
+        u.kind = UopKind::Branch;
+        u.base = op;
+        u.src1 = insn.rs1;
+        u.src2 = insn.rs2;
+        u.imm = insn.imm;
+        out[0] = u;
+        return 1;
+      }
+      case Opcode::JMP: {
+        StaticUop u;
+        u.kind = UopKind::Jump;
+        u.base = op;
+        u.imm = insn.imm;
+        out[0] = u;
+        return 1;
+      }
+      case Opcode::JR: {
+        StaticUop u;
+        u.kind = UopKind::Jump;
+        u.base = op;
+        u.src1 = insn.rs1;
+        u.isReturn = (insn.rs1 == REG_RA);
+        out[0] = u;
+        return 1;
+      }
+      case Opcode::CALL: {
+        // uop0: ra = pc + 8;  uop1: pc = imm
+        out[0] = aluUop(Opcode::MOVI, REG_RA, REG_NONE, REG_NONE, ret_addr);
+        StaticUop j;
+        j.kind = UopKind::Jump;
+        j.base = Opcode::JMP;
+        j.imm = insn.imm;
+        j.isCall = true;
+        out[1] = j;
+        return 2;
+      }
+      case Opcode::CALLR: {
+        // uop0: tmp0 = rs1 (so CALLR ra is well defined);
+        // uop1: ra = pc + 8;  uop2: pc = tmp0
+        out[0] = aluUop(Opcode::ADDI, REG_TMP0, insn.rs1, REG_NONE, 0);
+        out[1] = aluUop(Opcode::MOVI, REG_RA, REG_NONE, REG_NONE, ret_addr);
+        StaticUop j;
+        j.kind = UopKind::Jump;
+        j.base = Opcode::JR;
+        j.src1 = REG_TMP0;
+        j.isCall = true;
+        out[2] = j;
+        return 3;
+      }
+
+      case Opcode::OUTB: case Opcode::OUTD: {
+        StaticUop u;
+        u.kind = UopKind::Out;
+        u.base = op;
+        u.src2 = insn.rs2;
+        u.memSize = (op == Opcode::OUTB) ? 1 : 8;
+        out[0] = u;
+        return 1;
+      }
+      case Opcode::TRAPNZ: {
+        StaticUop u;
+        u.kind = UopKind::Trap;
+        u.base = op;
+        u.src1 = insn.rs1;
+        out[0] = u;
+        return 1;
+      }
+      case Opcode::HALT: {
+        StaticUop u;
+        u.kind = UopKind::Halt;
+        u.base = op;
+        u.imm = insn.imm;
+        out[0] = u;
+        return 1;
+      }
+
+      default:
+        panic("expand: unhandled opcode ", static_cast<int>(op));
+    }
+}
+
+} // namespace merlin::isa

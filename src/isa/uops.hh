@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Macro-op to micro-op expansion.
+ *
+ * Each macro instruction expands to 1..3 micro-ops.  The index of a uop
+ * within its macro-op is the uPC that, together with the macro RIP,
+ * identifies the static micro-instruction MeRLiN groups faults by.
+ */
+
+#ifndef MERLIN_ISA_UOPS_HH
+#define MERLIN_ISA_UOPS_HH
+
+#include <cstdint>
+
+#include "isa/isa.hh"
+
+namespace merlin::isa
+{
+
+/** Functional class of a micro-op (selects FU and latency). */
+enum class UopKind : std::uint8_t
+{
+    Alu,     ///< single-cycle integer op (incl. register moves)
+    Mul,     ///< pipelined multiplier
+    Div,     ///< unpipelined divider
+    Load,    ///< memory read
+    Store,   ///< memory write (address+data into the store queue)
+    Branch,  ///< conditional branch
+    Jump,    ///< unconditional direct/indirect jump
+    Out,     ///< architectural output
+    Trap,    ///< software-raised detected-error check
+    Halt,    ///< program termination
+    Nop,
+};
+
+/** Maximum uops a macro-op can expand to. */
+constexpr unsigned MAX_UOPS_PER_MACRO = 3;
+
+/**
+ * One static micro-op.  Register identifiers live in the renameable
+ * namespace (0..33, REG_NONE when absent).
+ */
+struct StaticUop
+{
+    UopKind kind = UopKind::Nop;
+    /** Semantic flavor: which ALU op / load width / branch condition. */
+    Opcode base = Opcode::NOP;
+    std::uint8_t dst = REG_NONE;
+    std::uint8_t src1 = REG_NONE;
+    std::uint8_t src2 = REG_NONE;
+    /** Immediate; holds the return address for link uops. */
+    std::int64_t imm = 0;
+    /** Access size in bytes for Load/Store/Out. */
+    std::uint8_t memSize = 0;
+    /** Sign-extend the loaded value. */
+    bool loadSigned = false;
+    /** Control-flow hints for the return-address-stack predictor. */
+    bool isCall = false;
+    bool isReturn = false;
+};
+
+/**
+ * Expand @p insn (fetched from @p pc) into micro-ops.
+ *
+ * @return number of uops written to @p out (1..MAX_UOPS_PER_MACRO).
+ */
+unsigned expand(const Instruction &insn, Addr pc,
+                StaticUop out[MAX_UOPS_PER_MACRO]);
+
+} // namespace merlin::isa
+
+#endif // MERLIN_ISA_UOPS_HH

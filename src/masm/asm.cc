@@ -1,0 +1,738 @@
+#include "masm/asm.hh"
+
+#include <cctype>
+#include <cstring>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <vector>
+
+#include "base/bits.hh"
+#include "isa/isa.hh"
+
+namespace merlin::masm
+{
+
+using isa::Instruction;
+using isa::Opcode;
+
+namespace
+{
+
+/** Operand shapes accepted by the parser. */
+enum class Form
+{
+    None,     // nop
+    R3,       // op rd, rs1, rs2
+    R2I,      // op rd, rs1, imm
+    RI,       // op rd, imm
+    MemLoad,  // op rd, [rs1+imm]
+    MemStore, // op rs2, [rs1+imm]
+    SrcReg,   // op rs2       (push, out.*)
+    DstReg,   // op rd        (pop)
+    Branch,   // op rs1, rs2, target
+    Target,   // op target    (jmp, call)
+    Rs1,      // op rs1       (jr, callr, trapnz)
+    Imm,      // op imm       (halt)
+};
+
+struct MnemonicInfo
+{
+    Opcode op;
+    Form form;
+};
+
+const std::map<std::string, MnemonicInfo> &
+mnemonicTable()
+{
+    static const std::map<std::string, MnemonicInfo> table = {
+        {"nop", {Opcode::NOP, Form::None}},
+        {"add", {Opcode::ADD, Form::R3}},
+        {"sub", {Opcode::SUB, Form::R3}},
+        {"and", {Opcode::AND, Form::R3}},
+        {"or", {Opcode::OR, Form::R3}},
+        {"xor", {Opcode::XOR, Form::R3}},
+        {"shl", {Opcode::SHL, Form::R3}},
+        {"shr", {Opcode::SHR, Form::R3}},
+        {"sra", {Opcode::SRA, Form::R3}},
+        {"mul", {Opcode::MUL, Form::R3}},
+        {"mulh", {Opcode::MULH, Form::R3}},
+        {"div", {Opcode::DIV, Form::R3}},
+        {"rem", {Opcode::REM, Form::R3}},
+        {"divu", {Opcode::DIVU, Form::R3}},
+        {"remu", {Opcode::REMU, Form::R3}},
+        {"slt", {Opcode::SLT, Form::R3}},
+        {"sltu", {Opcode::SLTU, Form::R3}},
+        {"addi", {Opcode::ADDI, Form::R2I}},
+        {"andi", {Opcode::ANDI, Form::R2I}},
+        {"ori", {Opcode::ORI, Form::R2I}},
+        {"xori", {Opcode::XORI, Form::R2I}},
+        {"shli", {Opcode::SHLI, Form::R2I}},
+        {"shri", {Opcode::SHRI, Form::R2I}},
+        {"srai", {Opcode::SRAI, Form::R2I}},
+        {"slti", {Opcode::SLTI, Form::R2I}},
+        {"movi", {Opcode::MOVI, Form::RI}},
+        {"movhi", {Opcode::MOVHI, Form::RI}},
+        {"ld.b", {Opcode::LDB, Form::MemLoad}},
+        {"ld.bu", {Opcode::LDBU, Form::MemLoad}},
+        {"ld.h", {Opcode::LDH, Form::MemLoad}},
+        {"ld.hu", {Opcode::LDHU, Form::MemLoad}},
+        {"ld.w", {Opcode::LDW, Form::MemLoad}},
+        {"ld.wu", {Opcode::LDWU, Form::MemLoad}},
+        {"ld.d", {Opcode::LDD, Form::MemLoad}},
+        {"st.b", {Opcode::STB, Form::MemStore}},
+        {"st.h", {Opcode::STH, Form::MemStore}},
+        {"st.w", {Opcode::STW, Form::MemStore}},
+        {"st.d", {Opcode::STD, Form::MemStore}},
+        {"ldadd", {Opcode::LDADD, Form::MemLoad}},
+        {"memadd", {Opcode::MEMADD, Form::MemStore}},
+        {"push", {Opcode::PUSH, Form::SrcReg}},
+        {"pop", {Opcode::POP, Form::DstReg}},
+        {"beq", {Opcode::BEQ, Form::Branch}},
+        {"bne", {Opcode::BNE, Form::Branch}},
+        {"blt", {Opcode::BLT, Form::Branch}},
+        {"bge", {Opcode::BGE, Form::Branch}},
+        {"bltu", {Opcode::BLTU, Form::Branch}},
+        {"bgeu", {Opcode::BGEU, Form::Branch}},
+        {"jmp", {Opcode::JMP, Form::Target}},
+        {"b", {Opcode::JMP, Form::Target}},
+        {"jr", {Opcode::JR, Form::Rs1}},
+        {"call", {Opcode::CALL, Form::Target}},
+        {"callr", {Opcode::CALLR, Form::Rs1}},
+        {"out.b", {Opcode::OUTB, Form::SrcReg}},
+        {"out.d", {Opcode::OUTD, Form::SrcReg}},
+        {"trapnz", {Opcode::TRAPNZ, Form::Rs1}},
+        {"halt", {Opcode::HALT, Form::Imm}},
+    };
+    return table;
+}
+
+/** A parsed source line (label / directive / instruction). */
+struct Line
+{
+    int number = 0;
+    std::string label;
+    std::string mnemonic; // instruction or directive (with leading '.')
+    std::vector<std::string> operands;
+};
+
+bool
+isIdentStart(char c)
+{
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_' ||
+           c == '.';
+}
+
+bool
+isIdentChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+           c == '.';
+}
+
+/** Split one raw source line into label/mnemonic/comma-separated ops. */
+std::optional<Line>
+tokenizeLine(const std::string &raw, int number, const std::string &file)
+{
+    // Strip comments; respect string literals.
+    std::string s;
+    bool in_str = false;
+    for (std::size_t i = 0; i < raw.size(); ++i) {
+        char c = raw[i];
+        if (c == '"' && (i == 0 || raw[i - 1] != '\\'))
+            in_str = !in_str;
+        if (!in_str && (c == ';' || c == '#'))
+            break;
+        s.push_back(c);
+    }
+
+    Line line;
+    line.number = number;
+
+    std::size_t pos = 0;
+    auto skip_ws = [&] {
+        while (pos < s.size() &&
+               std::isspace(static_cast<unsigned char>(s[pos]))) {
+            ++pos;
+        }
+    };
+
+    skip_ws();
+    if (pos >= s.size())
+        return std::nullopt;
+
+    // Optional label.
+    if (isIdentStart(s[pos]) && s[pos] != '.') {
+        std::size_t start = pos;
+        while (pos < s.size() && isIdentChar(s[pos]))
+            ++pos;
+        if (pos < s.size() && s[pos] == ':') {
+            line.label = s.substr(start, pos - start);
+            ++pos;
+            skip_ws();
+        } else {
+            pos = start;
+        }
+    }
+
+    if (pos >= s.size())
+        return line;
+
+    // Mnemonic or directive.
+    {
+        std::size_t start = pos;
+        while (pos < s.size() &&
+               !std::isspace(static_cast<unsigned char>(s[pos]))) {
+            ++pos;
+        }
+        line.mnemonic = s.substr(start, pos - start);
+    }
+    skip_ws();
+
+    // Operands: comma separated, but commas inside "..." or [...] bind.
+    std::string cur;
+    int bracket = 0;
+    in_str = false;
+    for (; pos < s.size(); ++pos) {
+        char c = s[pos];
+        if (c == '"' && s[pos - 1] != '\\')
+            in_str = !in_str;
+        if (!in_str) {
+            if (c == '[')
+                ++bracket;
+            if (c == ']')
+                --bracket;
+            if (c == ',' && bracket == 0) {
+                line.operands.push_back(cur);
+                cur.clear();
+                continue;
+            }
+        }
+        cur.push_back(c);
+    }
+    if (bracket != 0) {
+        throw AsmError(file + ":" + std::to_string(number) +
+                       ": unbalanced brackets");
+    }
+    // Trim and push the last operand.
+    auto trim = [](std::string t) {
+        std::size_t b = t.find_first_not_of(" \t");
+        std::size_t e = t.find_last_not_of(" \t");
+        if (b == std::string::npos)
+            return std::string();
+        return t.substr(b, e - b + 1);
+    };
+    cur = trim(cur);
+    if (!cur.empty())
+        line.operands.push_back(cur);
+    for (auto &op : line.operands)
+        op = trim(op);
+    return line;
+}
+
+/** Immediate expression: literal | 'c' | symbol | symbol+lit | symbol-lit */
+struct ImmExpr
+{
+    std::string symbol; // empty for pure literals
+    std::int64_t offset = 0;
+};
+
+} // namespace
+
+unsigned
+parseRegister(const std::string &tok)
+{
+    static const std::map<std::string, unsigned> aliases = {
+        {"gp", 26}, {"tp", 27}, {"fp", 28},
+        {"sp", isa::REG_SP}, {"at", 30}, {"ra", isa::REG_RA},
+    };
+    if (tok.empty())
+        return 255;
+    auto it = aliases.find(tok);
+    if (it != aliases.end())
+        return it->second;
+    char cls = tok[0];
+    if ((cls == 'r' || cls == 'a' || cls == 't' || cls == 's') &&
+        tok.size() >= 2) {
+        for (std::size_t i = 1; i < tok.size(); ++i) {
+            if (!std::isdigit(static_cast<unsigned char>(tok[i])))
+                return 255;
+        }
+        unsigned n = std::stoul(tok.substr(1));
+        switch (cls) {
+          case 'r': return n < 32 ? n : 255;
+          case 'a': return n <= 5 ? n : 255;       // a0-a5 = r0-r5
+          case 't': return n <= 9 ? 6 + n : 255;   // t0-t9 = r6-r15
+          case 's': return n <= 9 ? 16 + n : 255;  // s0-s9 = r16-r25
+        }
+    }
+    return 255;
+}
+
+namespace
+{
+
+class Assembler
+{
+  public:
+    Assembler(const std::string &source, std::string name)
+        : name_(std::move(name))
+    {
+        std::istringstream is(source);
+        std::string raw;
+        int n = 0;
+        while (std::getline(is, raw)) {
+            ++n;
+            auto line = tokenizeLine(raw, n, name_);
+            if (line)
+                lines_.push_back(std::move(*line));
+        }
+    }
+
+    isa::Program
+    run()
+    {
+        passOne();
+        passTwo();
+        prog_.name = name_;
+        return std::move(prog_);
+    }
+
+  private:
+    [[noreturn]] void
+    err(int line, const std::string &msg) const
+    {
+        throw AsmError(name_ + ":" + std::to_string(line) + ": " + msg);
+    }
+
+    std::int64_t
+    parseLiteral(const std::string &tok, int line) const
+    {
+        if (tok.size() >= 3 && tok.front() == '\'' && tok.back() == '\'') {
+            if (tok.size() == 4 && tok[1] == '\\') {
+                switch (tok[2]) {
+                  case 'n': return '\n';
+                  case 't': return '\t';
+                  case '0': return '\0';
+                  case '\\': return '\\';
+                  default: err(line, "bad escape in char literal " + tok);
+                }
+            }
+            if (tok.size() != 3)
+                err(line, "bad char literal " + tok);
+            return static_cast<unsigned char>(tok[1]);
+        }
+        try {
+            std::size_t used = 0;
+            long long v = std::stoll(tok, &used, 0);
+            if (used != tok.size())
+                err(line, "trailing junk in literal '" + tok + "'");
+            return v;
+        } catch (const std::invalid_argument &) {
+            err(line, "bad numeric literal '" + tok + "'");
+        } catch (const std::out_of_range &) {
+            // Large unsigned 64-bit constants (hashes, masks) wrap into
+            // the signed representation.
+            try {
+                std::size_t used = 0;
+                unsigned long long u = std::stoull(tok, &used, 0);
+                if (used != tok.size())
+                    err(line, "trailing junk in literal '" + tok + "'");
+                return static_cast<std::int64_t>(u);
+            } catch (...) {
+                err(line, "numeric literal out of range '" + tok + "'");
+            }
+        }
+    }
+
+    bool
+    looksLiteral(const std::string &tok) const
+    {
+        if (tok.empty())
+            return false;
+        char c = tok[0];
+        return std::isdigit(static_cast<unsigned char>(c)) || c == '-' ||
+               c == '+' || c == '\'';
+    }
+
+    ImmExpr
+    parseImmExpr(const std::string &tok, int line) const
+    {
+        ImmExpr e;
+        if (looksLiteral(tok)) {
+            e.offset = parseLiteral(tok, line);
+            return e;
+        }
+        // symbol[+|-literal]
+        std::size_t p = tok.find_first_of("+-", 1);
+        if (p == std::string::npos) {
+            e.symbol = tok;
+            return e;
+        }
+        e.symbol = tok.substr(0, p);
+        std::int64_t off = parseLiteral(tok.substr(p + 1), line);
+        e.offset = (tok[p] == '-') ? -off : off;
+        return e;
+    }
+
+    std::int64_t
+    resolve(const ImmExpr &e, int line) const
+    {
+        if (e.symbol.empty())
+            return e.offset;
+        auto it = symbols_.find(e.symbol);
+        if (it == symbols_.end())
+            err(line, "undefined symbol '" + e.symbol + "'");
+        return static_cast<std::int64_t>(it->second) + e.offset;
+    }
+
+    std::int32_t
+    toImm32(std::int64_t v, int line) const
+    {
+        if (v < INT32_MIN || v > INT32_MAX)
+            err(line, "immediate out of 32-bit range: " + std::to_string(v));
+        return static_cast<std::int32_t>(v);
+    }
+
+    unsigned
+    reg(const std::string &tok, int line) const
+    {
+        unsigned r = parseRegister(tok);
+        if (r == 255)
+            err(line, "bad register '" + tok + "'");
+        return r;
+    }
+
+    /** Parse "[reg]", "[reg+imm]", "[reg+sym]", "[reg-imm]". */
+    std::pair<unsigned, ImmExpr>
+    parseMemOperand(const std::string &tok, int line) const
+    {
+        if (tok.size() < 3 || tok.front() != '[' || tok.back() != ']')
+            err(line, "bad memory operand '" + tok + "'");
+        std::string inner = tok.substr(1, tok.size() - 2);
+        std::size_t p = inner.find_first_of("+-");
+        std::string reg_tok = (p == std::string::npos)
+                                  ? inner
+                                  : inner.substr(0, p);
+        // Trim spaces around the register token.
+        while (!reg_tok.empty() && reg_tok.back() == ' ')
+            reg_tok.pop_back();
+        unsigned base = reg(reg_tok, line);
+        ImmExpr e;
+        if (p != std::string::npos) {
+            std::string rest = inner.substr(p);
+            if (rest[0] == '+')
+                rest = rest.substr(1);
+            e = parseImmExpr(rest, line);
+        }
+        return {base, e};
+    }
+
+    /** Number of encoded instructions a line will produce (pass 1). */
+    unsigned
+    instructionWords(const Line &line) const
+    {
+        const std::string &m = line.mnemonic;
+        if (m == "li") {
+            if (line.operands.size() != 2)
+                err(line.number, "li needs 2 operands");
+            if (looksLiteral(line.operands[1])) {
+                std::int64_t v = parseLiteral(line.operands[1], line.number);
+                return (v >= INT32_MIN && v <= INT32_MAX) ? 1 : 2;
+            }
+            return 1; // symbols always fit 31 bits
+        }
+        return 1; // every other mnemonic/pseudo is a single instruction
+    }
+
+    void
+    dataDirective(const Line &line, bool size_only)
+    {
+        const std::string &d = line.mnemonic;
+        auto &bytes = prog_.data;
+        auto emit = [&](std::uint64_t v, unsigned sz) {
+            if (!size_only) {
+                std::uint8_t buf[8];
+                storeLE(buf, v, 8);
+                bytes.insert(bytes.end(), buf, buf + sz);
+            }
+            dataOff_ += sz;
+        };
+
+        if (d == ".byte" || d == ".half" || d == ".word" || d == ".quad") {
+            unsigned sz = d == ".byte" ? 1 : d == ".half" ? 2
+                          : d == ".word" ? 4 : 8;
+            for (const auto &op : line.operands) {
+                ImmExpr e = parseImmExpr(op, line.number);
+                std::int64_t v =
+                    size_only ? 0 : resolve(e, line.number);
+                emit(static_cast<std::uint64_t>(v), sz);
+            }
+        } else if (d == ".space") {
+            if (line.operands.size() != 1)
+                err(line.number, ".space needs one size operand");
+            std::int64_t n = parseLiteral(line.operands[0], line.number);
+            if (n < 0)
+                err(line.number, ".space with negative size");
+            if (!size_only)
+                bytes.insert(bytes.end(), n, 0);
+            dataOff_ += n;
+        } else if (d == ".ascii" || d == ".asciz") {
+            if (line.operands.size() != 1)
+                err(line.number, d + " needs one string operand");
+            const std::string &q = line.operands[0];
+            if (q.size() < 2 || q.front() != '"' || q.back() != '"')
+                err(line.number, "bad string literal");
+            std::string out;
+            for (std::size_t i = 1; i + 1 < q.size(); ++i) {
+                char c = q[i];
+                if (c == '\\' && i + 2 < q.size()) {
+                    ++i;
+                    switch (q[i]) {
+                      case 'n': c = '\n'; break;
+                      case 't': c = '\t'; break;
+                      case '0': c = '\0'; break;
+                      case '\\': c = '\\'; break;
+                      case '"': c = '"'; break;
+                      default: err(line.number, "bad string escape");
+                    }
+                }
+                out.push_back(c);
+            }
+            if (d == ".asciz")
+                out.push_back('\0');
+            if (!size_only)
+                bytes.insert(bytes.end(), out.begin(), out.end());
+            dataOff_ += out.size();
+        } else if (d == ".align") {
+            if (line.operands.size() != 1)
+                err(line.number, ".align needs one operand");
+            std::int64_t a = parseLiteral(line.operands[0], line.number);
+            if (a <= 0 || (a & (a - 1)) != 0)
+                err(line.number, ".align requires a power of two");
+            while (dataOff_ % a != 0) {
+                if (!size_only)
+                    bytes.push_back(0);
+                ++dataOff_;
+            }
+        } else {
+            err(line.number, "unknown directive '" + d + "'");
+        }
+    }
+
+    void
+    passOne()
+    {
+        bool in_text = true;
+        textOff_ = 0;
+        dataOff_ = 0;
+        for (const auto &line : lines_) {
+            if (!line.label.empty()) {
+                Addr addr = in_text ? isa::layout::TEXT_BASE + textOff_
+                                    : isa::layout::DATA_BASE + dataOff_;
+                if (!symbols_.emplace(line.label, addr).second)
+                    err(line.number, "duplicate label '" + line.label + "'");
+            }
+            if (line.mnemonic.empty())
+                continue;
+            if (line.mnemonic == ".text") {
+                in_text = true;
+            } else if (line.mnemonic == ".data") {
+                in_text = false;
+            } else if (line.mnemonic[0] == '.') {
+                if (in_text)
+                    err(line.number, "directives only allowed in .data");
+                dataDirective(line, /*size_only=*/true);
+            } else {
+                if (!in_text)
+                    err(line.number, "instruction outside .text");
+                textOff_ += instructionWords(line) * isa::INSN_BYTES;
+            }
+        }
+        prog_.symbols = symbols_;
+    }
+
+    void
+    emitInsn(const Instruction &insn)
+    {
+        std::uint8_t buf[8];
+        storeLE(buf, isa::encode(insn), 8);
+        prog_.text.insert(prog_.text.end(), buf, buf + 8);
+    }
+
+    void
+    assembleInstruction(const Line &line)
+    {
+        const std::string &m = line.mnemonic;
+        const auto &ops = line.operands;
+        const int ln = line.number;
+
+        // Pseudo-instructions first.
+        if (m == "li") {
+            unsigned rd = reg(ops[0], ln);
+            ImmExpr e = parseImmExpr(ops[1], ln);
+            std::int64_t v = resolve(e, ln);
+            if (v >= INT32_MIN && v <= INT32_MAX) {
+                emitInsn({Opcode::MOVI, static_cast<std::uint8_t>(rd), 0, 0,
+                          static_cast<std::int32_t>(v)});
+            } else {
+                emitInsn({Opcode::MOVI, static_cast<std::uint8_t>(rd), 0, 0,
+                          static_cast<std::int32_t>(
+                              static_cast<std::uint32_t>(v))});
+                emitInsn({Opcode::MOVHI, static_cast<std::uint8_t>(rd), 0, 0,
+                          static_cast<std::int32_t>(static_cast<std::uint32_t>(
+                              static_cast<std::uint64_t>(v) >> 32))});
+            }
+            return;
+        }
+        if (m == "la") {
+            if (ops.size() != 2)
+                err(ln, "la needs 2 operands");
+            unsigned rd = reg(ops[0], ln);
+            ImmExpr e = parseImmExpr(ops[1], ln);
+            emitInsn({Opcode::MOVI, static_cast<std::uint8_t>(rd), 0, 0,
+                      toImm32(resolve(e, ln), ln)});
+            return;
+        }
+        if (m == "mov") {
+            if (ops.size() != 2)
+                err(ln, "mov needs 2 operands");
+            unsigned rd = reg(ops[0], ln);
+            unsigned rs = reg(ops[1], ln);
+            emitInsn({Opcode::ADDI, static_cast<std::uint8_t>(rd),
+                      static_cast<std::uint8_t>(rs), 0, 0});
+            return;
+        }
+        if (m == "ret") {
+            emitInsn({Opcode::JR, 0, isa::REG_RA, 0, 0});
+            return;
+        }
+
+        auto it = mnemonicTable().find(m);
+        if (it == mnemonicTable().end())
+            err(ln, "unknown mnemonic '" + m + "'");
+        const MnemonicInfo &info = it->second;
+
+        auto need = [&](std::size_t n) {
+            if (ops.size() != n) {
+                err(ln, m + " needs " + std::to_string(n) + " operand(s), " +
+                            "got " + std::to_string(ops.size()));
+            }
+        };
+
+        Instruction insn;
+        insn.op = info.op;
+        switch (info.form) {
+          case Form::None:
+            need(0);
+            break;
+          case Form::R3:
+            need(3);
+            insn.rd = reg(ops[0], ln);
+            insn.rs1 = reg(ops[1], ln);
+            insn.rs2 = reg(ops[2], ln);
+            break;
+          case Form::R2I:
+            need(3);
+            insn.rd = reg(ops[0], ln);
+            insn.rs1 = reg(ops[1], ln);
+            insn.imm = toImm32(resolve(parseImmExpr(ops[2], ln), ln), ln);
+            break;
+          case Form::RI:
+            need(2);
+            insn.rd = reg(ops[0], ln);
+            insn.imm = toImm32(resolve(parseImmExpr(ops[1], ln), ln), ln);
+            break;
+          case Form::MemLoad: {
+            need(2);
+            insn.rd = reg(ops[0], ln);
+            auto [base, e] = parseMemOperand(ops[1], ln);
+            insn.rs1 = base;
+            insn.imm = toImm32(resolve(e, ln), ln);
+            break;
+          }
+          case Form::MemStore: {
+            need(2);
+            insn.rs2 = reg(ops[0], ln);
+            auto [base, e] = parseMemOperand(ops[1], ln);
+            insn.rs1 = base;
+            insn.imm = toImm32(resolve(e, ln), ln);
+            break;
+          }
+          case Form::SrcReg:
+            need(1);
+            insn.rs2 = reg(ops[0], ln);
+            break;
+          case Form::DstReg:
+            need(1);
+            insn.rd = reg(ops[0], ln);
+            break;
+          case Form::Branch:
+            need(3);
+            insn.rs1 = reg(ops[0], ln);
+            insn.rs2 = reg(ops[1], ln);
+            insn.imm = toImm32(resolve(parseImmExpr(ops[2], ln), ln), ln);
+            break;
+          case Form::Target:
+            need(1);
+            insn.imm = toImm32(resolve(parseImmExpr(ops[0], ln), ln), ln);
+            break;
+          case Form::Rs1:
+            need(1);
+            insn.rs1 = reg(ops[0], ln);
+            if (info.op == Opcode::CALLR && insn.rs1 == isa::REG_RA)
+                err(ln, "callr ra is unsupported (link clobbers target)");
+            break;
+          case Form::Imm:
+            need(1);
+            insn.imm = toImm32(resolve(parseImmExpr(ops[0], ln), ln), ln);
+            break;
+        }
+        emitInsn(insn);
+    }
+
+    void
+    passTwo()
+    {
+        bool in_text = true;
+        dataOff_ = 0;
+        prog_.data.clear();
+        for (const auto &line : lines_) {
+            if (line.mnemonic.empty())
+                continue;
+            if (line.mnemonic == ".text") {
+                in_text = true;
+            } else if (line.mnemonic == ".data") {
+                in_text = false;
+            } else if (line.mnemonic[0] == '.') {
+                dataDirective(line, /*size_only=*/false);
+            } else if (in_text) {
+                assembleInstruction(line);
+            }
+        }
+        if (prog_.text.empty())
+            throw AsmError(name_ + ": no instructions");
+        prog_.entry = isa::layout::TEXT_BASE;
+        auto it = symbols_.find("_start");
+        if (it != symbols_.end())
+            prog_.entry = it->second;
+    }
+
+    std::string name_;
+    std::vector<Line> lines_;
+    std::map<std::string, Addr> symbols_;
+    std::uint64_t textOff_ = 0;
+    std::uint64_t dataOff_ = 0;
+    isa::Program prog_;
+};
+
+} // namespace
+
+isa::Program
+assemble(const std::string &source, const std::string &name)
+{
+    Assembler as(source, name);
+    return as.run();
+}
+
+} // namespace merlin::masm

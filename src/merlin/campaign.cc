@@ -1,0 +1,207 @@
+#include "merlin/campaign.hh"
+
+#include <algorithm>
+#include <array>
+#include <chrono>
+#include <unordered_map>
+
+#include "base/logging.hh"
+
+namespace merlin::core
+{
+
+using faultsim::Fault;
+using faultsim::GoldenRun;
+using faultsim::InjectionRunner;
+using faultsim::Outcome;
+
+namespace
+{
+
+double
+secondsSince(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         t0)
+        .count();
+}
+
+unsigned
+entriesOf(uarch::Structure s, const uarch::CoreConfig &cfg)
+{
+    switch (s) {
+      case uarch::Structure::RegisterFile: return cfg.numPhysIntRegs;
+      case uarch::Structure::StoreQueue:   return cfg.sqEntries;
+      case uarch::Structure::L1DCache:     return cfg.l1d.totalWords();
+    }
+    panic("bad structure");
+}
+
+} // namespace
+
+ClassCounts
+CampaignResult::fullTruth() const
+{
+    MERLIN_ASSERT(survivorTruth.has_value(), "no ground truth available");
+    ClassCounts t = *survivorTruth;
+    t.add(Outcome::Masked, aceMasked);
+    return t;
+}
+
+double
+CampaignResult::merlinFit(std::uint64_t bits, double raw_fit_per_bit) const
+{
+    return fitRate(merlinEstimate.avf(), bits, raw_fit_per_bit);
+}
+
+Campaign::Campaign(const isa::Program &prog, const CampaignConfig &cfg)
+    : prog_(prog), cfg_(cfg)
+{
+}
+
+CampaignResult
+Campaign::run(bool inject_all_survivors)
+{
+    return runImpl(inject_all_survivors, /*relyzer=*/false, 0);
+}
+
+CampaignResult
+Campaign::runRelyzer(bool inject_all_survivors, unsigned path_depth)
+{
+    return runImpl(inject_all_survivors, /*relyzer=*/true, path_depth);
+}
+
+CampaignResult
+Campaign::runGroupingOnly(bool relyzer, unsigned path_depth)
+{
+    groupingOnly_ = true;
+    CampaignResult r = runImpl(false, relyzer, path_depth);
+    groupingOnly_ = false;
+    return r;
+}
+
+CampaignResult
+Campaign::runImpl(bool inject_all, bool relyzer, unsigned path_depth)
+{
+    CampaignResult res;
+    Rng rng(cfg_.seed);
+    InjectionRunner runner(prog_, cfg_.core);
+
+    // ---- Phase 1: preprocessing (profiled golden run + fault list) ----
+    auto t0 = std::chrono::steady_clock::now();
+    profile::AceProfiler profiler(cfg_.core.numPhysIntRegs,
+                                  cfg_.core.sqEntries,
+                                  cfg_.core.l1d.totalWords());
+    golden_ = runner.golden(&profiler);
+    profiler.finalize();
+    res.profileSeconds = secondsSince(t0);
+    res.goldenCycles = golden_.stats.cycles;
+    res.goldenInstret = golden_.stats.instret;
+
+    const profile::StructureProfile &prof = profiler.profile(cfg_.target);
+    res.aceAvf = prof.aceAvf(res.goldenCycles);
+
+    const unsigned entries = entriesOf(cfg_.target, cfg_.core);
+    std::vector<Fault> initial = sampleFaults(
+        cfg_.target, entries, res.goldenCycles, cfg_.sampling, rng);
+    res.initialFaults = initial.size();
+
+    // ---- Phase 2: fault list reduction ----
+    GroupingResult grouping =
+        relyzer ? relyzerGroupFaults(initial, prof, profiler, path_depth,
+                                     rng)
+                : groupFaults(initial, prof, cfg_.grouping, rng);
+    res.aceMasked = grouping.aceMasked;
+    res.survivors = grouping.survivors.size();
+    res.numGroups = grouping.groups.size();
+    res.injections = grouping.numInjections();
+    res.speedupAce =
+        res.survivors
+            ? static_cast<double>(res.initialFaults) /
+                  static_cast<double>(res.survivors)
+            : static_cast<double>(res.initialFaults);
+    res.speedupTotal =
+        res.injections
+            ? static_cast<double>(res.initialFaults) /
+                  static_cast<double>(res.injections)
+            : static_cast<double>(res.initialFaults);
+
+    // ---- Phase 3: injection campaign ----
+    // Cache per-fault outcomes: with inject_all the representative runs
+    // are reused, and duplicate sampled faults cost one run only.
+    std::unordered_map<std::uint64_t, Outcome> memo;
+    auto keyOf = [](const Fault &f) {
+        // Lossless pack: cycle (<2^44) | entry (<2^14) | bit (<2^6).
+        MERLIN_ASSERT(f.cycle < (1ULL << 44) && f.entry < (1u << 14),
+                      "fault key overflow");
+        return f.cycle | (static_cast<std::uint64_t>(f.entry) << 44) |
+               (static_cast<std::uint64_t>(f.bit) << 58);
+    };
+    auto injectOnce = [&](const Fault &f) {
+        const std::uint64_t k = keyOf(f);
+        auto it = memo.find(k);
+        if (it != memo.end())
+            return it->second;
+        const Outcome o = runner.inject(f, golden_);
+        memo.emplace(k, o);
+        return o;
+    };
+
+    t0 = std::chrono::steady_clock::now();
+    std::uint64_t runs = 0;
+
+    if (groupingOnly_)
+        return res;
+
+    for (const FaultGroup &g : grouping.groups) {
+        // Majority vote over the representatives (one, in the paper's
+        // configuration, so the vote degenerates to its outcome).
+        std::array<std::uint32_t, faultsim::NUM_OUTCOMES> votes{};
+        for (std::uint32_t rep : g.representatives) {
+            ++votes[static_cast<unsigned>(
+                injectOnce(grouping.survivors[rep].fault))];
+            ++runs;
+        }
+        const Outcome rep_outcome = static_cast<Outcome>(
+            std::max_element(votes.begin(), votes.end()) -
+            votes.begin());
+        res.merlinEstimate.add(rep_outcome, g.members.size());
+        res.merlinSurvivorEstimate.add(rep_outcome, g.members.size());
+    }
+    // ACE-pruned faults are Masked by construction.
+    res.merlinEstimate.add(Outcome::Masked, res.aceMasked);
+
+    if (inject_all) {
+        ClassCounts truth;
+        std::vector<std::vector<Outcome>> per_group;
+        per_group.reserve(grouping.groups.size());
+        res.groupModels.reserve(grouping.groups.size());
+        for (const FaultGroup &g : grouping.groups) {
+            std::vector<Outcome> outs;
+            outs.reserve(g.members.size());
+            std::uint64_t non_masked = 0;
+            for (std::uint32_t m : g.members) {
+                const Outcome o =
+                    injectOnce(grouping.survivors[m].fault);
+                ++runs;
+                truth.add(o);
+                outs.push_back(o);
+                if (o != Outcome::Masked)
+                    ++non_masked;
+            }
+            res.groupModels.push_back(GroupModel{
+                g.members.size(),
+                static_cast<double>(non_masked) / g.members.size()});
+            per_group.push_back(std::move(outs));
+        }
+        res.survivorTruth = truth;
+        res.homogeneity = computeHomogeneity(per_group);
+    }
+
+    res.injectionSeconds = secondsSince(t0);
+    res.secondsPerInjection =
+        runs ? res.injectionSeconds / static_cast<double>(runs) : 0.0;
+    return res;
+}
+
+} // namespace merlin::core

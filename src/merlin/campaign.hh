@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Campaign orchestration: the complete MeRLiN flow of Figure 2.
+ *
+ *   Preprocessing        golden run with the ACE-like profiler attached,
+ *                        then statistical fault-list creation;
+ *   Fault List Reduction ACE-like prune + two-step grouping;
+ *   Injection Campaign   inject the reduced list, classify against the
+ *                        golden run, extrapolate group outcomes.
+ *
+ * The same object can also run the baselines the paper compares against:
+ * the full post-ACE fault list (for accuracy/homogeneity figures) and
+ * Relyzer's control-equivalence heuristic (Figure 17).
+ */
+
+#ifndef MERLIN_MERLIN_CAMPAIGN_HH
+#define MERLIN_MERLIN_CAMPAIGN_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "faultsim/runner.hh"
+#include "merlin/grouping.hh"
+#include "merlin/report.hh"
+#include "merlin/theory.hh"
+#include "merlin/sampling.hh"
+#include "profile/ace.hh"
+#include "uarch/config.hh"
+
+namespace merlin::core
+{
+
+/** Everything a campaign needs besides the program. */
+struct CampaignConfig
+{
+    uarch::Structure target = uarch::Structure::RegisterFile;
+    uarch::CoreConfig core;
+    SamplingSpec sampling;
+    GroupingOptions grouping;
+    std::uint64_t seed = 1;
+};
+
+/** Outcome of one campaign. */
+struct CampaignResult
+{
+    // Golden-run facts.
+    Cycle goldenCycles = 0;
+    std::uint64_t goldenInstret = 0;
+    double aceAvf = 0.0; ///< ACE-like AVF (upper bound on injection AVF)
+
+    // Fault-list accounting.
+    std::uint64_t initialFaults = 0;
+    std::uint64_t aceMasked = 0;   ///< pruned by the ACE-like step
+    std::uint64_t survivors = 0;   ///< faults in vulnerable intervals
+    std::uint64_t numGroups = 0;
+    std::uint64_t injections = 0;  ///< representatives actually injected
+
+    // MeRLiN's estimate, extrapolated to the full initial list
+    // (ACE-pruned faults counted Masked).
+    ClassCounts merlinEstimate;
+    // Same estimate restricted to the post-ACE survivors.
+    ClassCounts merlinSurvivorEstimate;
+
+    // Ground truth over survivors (only when injectAll was requested).
+    std::optional<ClassCounts> survivorTruth;
+    std::optional<HomogeneityReport> homogeneity;
+    /** Per-group sizes and non-masking rates (Section 4.4.5 model). */
+    std::vector<GroupModel> groupModels;
+
+    // Speedups exactly as the paper reports them (fault-count ratios;
+    // one injection run costs the same with or without MeRLiN).
+    double speedupAce = 0.0;   ///< initial / survivors
+    double speedupTotal = 0.0; ///< initial / injections
+
+    // Wall-clock facts for Figure 11 / Table 3.
+    double profileSeconds = 0.0;     ///< golden + profiling run
+    double injectionSeconds = 0.0;   ///< total time injecting reps
+    double secondsPerInjection = 0.0;
+
+    /** Truth over the full initial list (survivorTruth + ACE Masked). */
+    ClassCounts fullTruth() const;
+
+    /** FIT rate from MeRLiN's estimate. */
+    double merlinFit(std::uint64_t bits,
+                     double raw_fit_per_bit = 0.01) const;
+};
+
+/** Drives one (program, structure, configuration) campaign. */
+class Campaign
+{
+  public:
+    Campaign(const isa::Program &prog, const CampaignConfig &cfg);
+
+    /**
+     * Run the full MeRLiN flow.
+     *
+     * @param inject_all_survivors also inject every post-ACE fault to
+     *        obtain ground truth (expensive; used by the accuracy and
+     *        homogeneity experiments).
+     */
+    CampaignResult run(bool inject_all_survivors = false);
+
+    /**
+     * Run with Relyzer's control-equivalence heuristic instead of
+     * MeRLiN's step 2 (Section 4.4.4 comparison).
+     */
+    CampaignResult runRelyzer(bool inject_all_survivors = false,
+                              unsigned path_depth = 5);
+
+    /**
+     * Profile + prune + group but skip all injections: sufficient for
+     * the speedup figures (8-13), which only need fault-list reduction
+     * ratios.  Class distributions in the result are empty.
+     */
+    CampaignResult runGroupingOnly(bool relyzer = false,
+                                   unsigned path_depth = 5);
+
+    /** The golden reference (valid after run()/runRelyzer()). */
+    const faultsim::GoldenRun &goldenRun() const { return golden_; }
+
+  private:
+    CampaignResult runImpl(bool inject_all, bool relyzer,
+                           unsigned path_depth);
+
+    const isa::Program &prog_;
+    CampaignConfig cfg_;
+    faultsim::GoldenRun golden_;
+    bool groupingOnly_ = false;
+};
+
+} // namespace merlin::core
+
+#endif // MERLIN_MERLIN_CAMPAIGN_HH

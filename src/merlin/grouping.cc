@@ -1,0 +1,154 @@
+#include "merlin/grouping.hh"
+
+#include <algorithm>
+#include <map>
+#include <tuple>
+
+#include "base/logging.hh"
+
+namespace merlin::core
+{
+
+namespace
+{
+
+/** Tag faults with interval info; fills `survivors` / counts pruned. */
+GroupingResult
+pruneByAce(const std::vector<faultsim::Fault> &faults,
+           const profile::StructureProfile &profile)
+{
+    GroupingResult res;
+    res.survivors.reserve(faults.size() / 4);
+    for (const auto &f : faults) {
+        const profile::VulnerableInterval *iv =
+            profile.find(f.entry, f.cycle);
+        if (!iv) {
+            ++res.aceMasked;
+            continue;
+        }
+        TaggedFault tf;
+        tf.fault = f;
+        tf.rip = iv->rip;
+        tf.upc = iv->upc;
+        tf.endSeq = iv->endSeq;
+        tf.intervalStart = iv->start;
+        res.survivors.push_back(tf);
+    }
+    return res;
+}
+
+} // namespace
+
+GroupingResult
+groupFaults(const std::vector<faultsim::Fault> &faults,
+            const profile::StructureProfile &profile,
+            const GroupingOptions &opts, Rng &rng)
+{
+    GroupingResult res = pruneByAce(faults, profile);
+
+    // Step 1 + byte part of step 2 as a composite key.
+    using Key = std::tuple<Rip, Upc, std::uint8_t>;
+    std::map<Key, std::vector<std::uint32_t>> buckets;
+    for (std::uint32_t i = 0;
+         i < static_cast<std::uint32_t>(res.survivors.size()); ++i) {
+        const TaggedFault &tf = res.survivors[i];
+        std::uint8_t sub = 255;
+        switch (opts.split) {
+          case GroupingOptions::Split::None:
+            sub = 255;
+            break;
+          case GroupingOptions::Split::Byte:
+            sub = tf.fault.bit / 8;
+            break;
+          case GroupingOptions::Split::Nibble:
+            sub = tf.fault.bit / 4;
+            break;
+          case GroupingOptions::Split::Bit:
+            sub = tf.fault.bit;
+            break;
+        }
+        buckets[Key{tf.rip, tf.upc, sub}].push_back(i);
+    }
+
+    // Step 2: split oversized subgroups round-robin across dynamic
+    // instances so each final group (and its representative) spans
+    // different dynamic occurrences of the same static instruction.
+    const unsigned cap = std::max(1u, opts.maxGroupSize);
+    for (auto &[key, members] : buckets) {
+        std::sort(members.begin(), members.end(),
+                  [&](std::uint32_t a, std::uint32_t b) {
+                      const TaggedFault &fa = res.survivors[a];
+                      const TaggedFault &fb = res.survivors[b];
+                      if (fa.intervalStart != fb.intervalStart)
+                          return fa.intervalStart < fb.intervalStart;
+                      if (fa.fault.entry != fb.fault.entry)
+                          return fa.fault.entry < fb.fault.entry;
+                      return fa.fault.cycle < fb.fault.cycle;
+                  });
+        const std::size_t n = members.size();
+        const std::size_t num_chunks = (n + cap - 1) / cap;
+
+        std::vector<FaultGroup> chunks(num_chunks);
+        for (std::size_t c = 0; c < num_chunks; ++c) {
+            chunks[c].rip = std::get<0>(key);
+            chunks[c].upc = std::get<1>(key);
+            chunks[c].byte = std::get<2>(key);
+        }
+        // Round-robin assignment over the time-sorted order.
+        for (std::size_t i = 0; i < n; ++i)
+            chunks[i % num_chunks].members.push_back(members[i]);
+
+        const unsigned reps = std::max(1u, opts.repsPerGroup);
+        for (auto &g : chunks) {
+            // Sample representatives without replacement; the chunk is
+            // time-interleaved, so a stride over it preserves dynamic
+            // diversity.
+            const std::size_t want =
+                std::min<std::size_t>(reps, g.members.size());
+            const std::size_t start = rng.nextBelow(g.members.size());
+            const std::size_t stride =
+                std::max<std::size_t>(1, g.members.size() / want);
+            for (std::size_t r = 0; r < want; ++r) {
+                g.representatives.push_back(
+                    g.members[(start + r * stride) % g.members.size()]);
+            }
+            res.groups.push_back(std::move(g));
+        }
+    }
+    return res;
+}
+
+GroupingResult
+relyzerGroupFaults(const std::vector<faultsim::Fault> &faults,
+                   const profile::StructureProfile &profile,
+                   const profile::AceProfiler &profiler,
+                   unsigned path_depth, Rng &rng)
+{
+    GroupingResult res = pruneByAce(faults, profile);
+
+    // Control equivalence: (RIP, uPC, depth-limited control path of the
+    // dynamic instance).  No byte split; one random pilot per group.
+    using Key = std::tuple<Rip, Upc, std::uint64_t>;
+    std::map<Key, std::vector<std::uint32_t>> buckets;
+    for (std::uint32_t i = 0;
+         i < static_cast<std::uint32_t>(res.survivors.size()); ++i) {
+        const TaggedFault &tf = res.survivors[i];
+        const std::uint64_t sig =
+            profiler.pathSignature(tf.endSeq, path_depth);
+        buckets[Key{tf.rip, tf.upc, sig}].push_back(i);
+    }
+
+    for (auto &[key, members] : buckets) {
+        FaultGroup g;
+        g.rip = std::get<0>(key);
+        g.upc = std::get<1>(key);
+        g.byte = 255;
+        g.members = std::move(members);
+        g.representatives.push_back(
+            g.members[rng.nextBelow(g.members.size())]);
+        res.groups.push_back(std::move(g));
+    }
+    return res;
+}
+
+} // namespace merlin::core

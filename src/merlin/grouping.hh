@@ -1,0 +1,117 @@
+/**
+ * @file
+ * MeRLiN's fault-list reduction (Section 3.2): the two-step grouping
+ * algorithm, representative selection, and the Relyzer-style
+ * control-equivalence baseline of Section 4.4.4.
+ *
+ * Step 0 (ACE-like prune): faults outside any vulnerable interval are
+ * classified Masked with no injection.
+ * Step 1: surviving faults are grouped by the (RIP, uPC) of the committed
+ * read ending their interval.
+ * Step 2: each group splits by byte position within the entry; oversized
+ * subgroups split further round-robin across dynamic instances so
+ * representatives retain time diversity.  One representative per final
+ * group is injected; the group inherits its outcome.
+ */
+
+#ifndef MERLIN_MERLIN_GROUPING_HH
+#define MERLIN_MERLIN_GROUPING_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "base/rng.hh"
+#include "faultsim/fault.hh"
+#include "profile/ace.hh"
+
+namespace merlin::core
+{
+
+/** A fault that survived the ACE-like prune, with its interval tags. */
+struct TaggedFault
+{
+    faultsim::Fault fault;
+    Rip rip = 0;       ///< static instruction ending the interval
+    Upc upc = 0;       ///< micro-op within it
+    SeqNum endSeq = 0; ///< dynamic instance of the ending read
+    Cycle intervalStart = 0; ///< identifies the dynamic interval
+};
+
+/** One final group (after both steps). */
+struct FaultGroup
+{
+    Rip rip = 0;
+    Upc upc = 0;
+    std::uint8_t byte = 0;            ///< 255 when byte-split disabled
+    std::vector<std::uint32_t> members; ///< indices into tagged list
+    /**
+     * Injected members (paper: exactly one).  With repsPerGroup > 1 the
+     * group outcome is the majority vote over these — an extension that
+     * trades injections for robustness to an unlucky pick.
+     */
+    std::vector<std::uint32_t> representatives;
+
+    std::uint32_t
+    representative() const
+    {
+        return representatives.front();
+    }
+};
+
+/** Knobs of the reduction (ablation targets). */
+struct GroupingOptions
+{
+    enum class Split : std::uint8_t
+    {
+        None,   ///< step 2 disabled (ablation)
+        Byte,   ///< the paper's choice
+        Nibble, ///< finer split the paper deems unnecessary (ablation)
+        Bit,    ///< per-bit groups: the no-aliasing extreme (ablation)
+    };
+    Split split = Split::Byte;
+    /** Subgroups larger than this split across dynamic instances. */
+    unsigned maxGroupSize = 100;
+    /** Representatives injected per group (1 = the paper's choice). */
+    unsigned repsPerGroup = 1;
+};
+
+/** Result of the full fault-list reduction. */
+struct GroupingResult
+{
+    std::vector<TaggedFault> survivors; ///< faults in vulnerable intervals
+    std::uint64_t aceMasked = 0;        ///< pruned without injection
+    std::vector<FaultGroup> groups;     ///< partition of `survivors`
+
+    std::uint64_t
+    numInjections() const
+    {
+        std::uint64_t n = 0;
+        for (const auto &g : groups)
+            n += g.representatives.size();
+        return n;
+    }
+};
+
+/**
+ * Run the ACE-like prune plus the two-step grouping over @p faults.
+ * @p rng only breaks representative-selection ties (deterministic
+ * given the seed).
+ */
+GroupingResult groupFaults(const std::vector<faultsim::Fault> &faults,
+                           const profile::StructureProfile &profile,
+                           const GroupingOptions &opts, Rng &rng);
+
+/**
+ * Relyzer's control-equivalence heuristic transplanted to this setting:
+ * group survivors by (RIP of the ending read, depth-5 control-flow path
+ * of the dynamic instance) and pick ONE random pilot per group,
+ * regardless of byte position (Section 4.4.4).
+ */
+GroupingResult relyzerGroupFaults(
+    const std::vector<faultsim::Fault> &faults,
+    const profile::StructureProfile &profile,
+    const profile::AceProfiler &profiler, unsigned path_depth, Rng &rng);
+
+} // namespace merlin::core
+
+#endif // MERLIN_MERLIN_GROUPING_HH

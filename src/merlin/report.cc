@@ -1,0 +1,118 @@
+#include "merlin/report.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+
+namespace merlin::core
+{
+
+using faultsim::Outcome;
+
+std::uint64_t
+ClassCounts::total() const
+{
+    std::uint64_t t = 0;
+    for (auto c : counts)
+        t += c;
+    return t;
+}
+
+double
+ClassCounts::fraction(Outcome o) const
+{
+    const std::uint64_t t = total();
+    return t ? static_cast<double>(of(o)) / static_cast<double>(t) : 0.0;
+}
+
+double
+ClassCounts::avf() const
+{
+    const std::uint64_t t = total();
+    if (!t)
+        return 0.0;
+    return 1.0 - static_cast<double>(of(Outcome::Masked)) /
+                     static_cast<double>(t);
+}
+
+ClassCounts
+ClassCounts::operator+(const ClassCounts &o) const
+{
+    ClassCounts r;
+    for (unsigned i = 0; i < faultsim::NUM_OUTCOMES; ++i)
+        r.counts[i] = counts[i] + o.counts[i];
+    return r;
+}
+
+std::array<double, faultsim::NUM_OUTCOMES>
+ClassCounts::inaccuracyVs(const ClassCounts &o) const
+{
+    std::array<double, faultsim::NUM_OUTCOMES> d{};
+    for (unsigned i = 0; i < faultsim::NUM_OUTCOMES; ++i) {
+        const double a = fraction(static_cast<Outcome>(i)) * 100.0;
+        const double b = o.fraction(static_cast<Outcome>(i)) * 100.0;
+        d[i] = std::abs(a - b);
+    }
+    return d;
+}
+
+double
+ClassCounts::maxInaccuracyVs(const ClassCounts &o) const
+{
+    auto d = inaccuracyVs(o);
+    return *std::max_element(d.begin(), d.end());
+}
+
+double
+fitRate(double avf, std::uint64_t bits, double raw_fit_per_bit)
+{
+    return avf * raw_fit_per_bit * static_cast<double>(bits);
+}
+
+HomogeneityReport
+computeHomogeneity(
+    const std::vector<std::vector<Outcome>> &outcomes_per_group)
+{
+    HomogeneityReport rep;
+    double fine_weighted = 0.0;
+    double coarse_weighted = 0.0;
+    std::uint64_t perfect = 0;
+
+    for (const auto &group : outcomes_per_group) {
+        if (group.empty())
+            continue;
+        ++rep.groups;
+        rep.faults += group.size();
+
+        std::array<std::uint64_t, faultsim::NUM_OUTCOMES> hist{};
+        std::uint64_t masked = 0;
+        for (Outcome o : group) {
+            ++hist[static_cast<unsigned>(o)];
+            if (o == Outcome::Masked)
+                ++masked;
+        }
+        const std::uint64_t dominant =
+            *std::max_element(hist.begin(), hist.end());
+        fine_weighted += static_cast<double>(dominant);
+
+        const std::uint64_t coarse_dom =
+            std::max(masked, group.size() - masked);
+        coarse_weighted += static_cast<double>(coarse_dom);
+        if (coarse_dom == group.size())
+            ++perfect;
+    }
+
+    if (rep.faults) {
+        rep.fine = fine_weighted / static_cast<double>(rep.faults);
+        rep.coarse = coarse_weighted / static_cast<double>(rep.faults);
+    }
+    if (rep.groups) {
+        rep.perfectFraction =
+            static_cast<double>(perfect) / static_cast<double>(rep.groups);
+        rep.avgGroupSize = static_cast<double>(rep.faults) /
+                           static_cast<double>(rep.groups);
+    }
+    return rep;
+}
+
+} // namespace merlin::core

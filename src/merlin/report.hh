@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Campaign result aggregation: outcome distributions, AVF, FIT,
+ * homogeneity (Section 4.4.1), and comparison helpers.
+ */
+
+#ifndef MERLIN_MERLIN_REPORT_HH
+#define MERLIN_MERLIN_REPORT_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "faultsim/fault.hh"
+
+namespace merlin::core
+{
+
+/** Histogram over the Table-2 outcome classes. */
+struct ClassCounts
+{
+    std::array<std::uint64_t, faultsim::NUM_OUTCOMES> counts{};
+
+    void
+    add(faultsim::Outcome o, std::uint64_t n = 1)
+    {
+        counts[static_cast<unsigned>(o)] += n;
+    }
+
+    std::uint64_t
+    of(faultsim::Outcome o) const
+    {
+        return counts[static_cast<unsigned>(o)];
+    }
+
+    std::uint64_t total() const;
+
+    /** Fraction of the given class (0 when empty). */
+    double fraction(faultsim::Outcome o) const;
+
+    /** AVF = non-masked fraction (Unknown counts as non-masked). */
+    double avf() const;
+
+    ClassCounts operator+(const ClassCounts &o) const;
+
+    /**
+     * Largest per-class |difference| in percentile units against
+     * another distribution (the paper's Figure 17 inaccuracy metric).
+     */
+    double maxInaccuracyVs(const ClassCounts &o) const;
+
+    /** Per-class inaccuracy in percentile units. */
+    std::array<double, faultsim::NUM_OUTCOMES>
+    inaccuracyVs(const ClassCounts &o) const;
+};
+
+/**
+ * FIT rate of a structure: AVF x raw FIT/bit x #bits (Section 4.4.3.3;
+ * the paper uses 0.01 FIT per bit).
+ */
+double fitRate(double avf, std::uint64_t bits,
+               double raw_fit_per_bit = 0.01);
+
+/** Homogeneity metrics over fully-injected groups (equation (1)). */
+struct HomogeneityReport
+{
+    double fine = 0.0;        ///< 6-class dominant-share average
+    double coarse = 0.0;      ///< masked vs non-masked collapse
+    double perfectFraction = 0.0; ///< groups with coarse homogeneity 1.0
+    std::uint64_t groups = 0;
+    std::uint64_t faults = 0;
+    double avgGroupSize = 0.0;
+};
+
+/**
+ * Compute homogeneity given the true outcome of every member of every
+ * group.  @p outcomes_per_group holds, for each group, the outcome of
+ * each member fault.
+ */
+HomogeneityReport
+computeHomogeneity(const std::vector<std::vector<faultsim::Outcome>>
+                       &outcomes_per_group);
+
+} // namespace merlin::core
+
+#endif // MERLIN_MERLIN_REPORT_HH

@@ -1,0 +1,61 @@
+#include "merlin/sampling.hh"
+
+#include "base/logging.hh"
+#include "base/statistics.hh"
+
+namespace merlin::core
+{
+
+std::uint64_t
+SamplingSpec::count(double population) const
+{
+    if (fixedCount)
+        return std::min<std::uint64_t>(
+            *fixedCount, static_cast<std::uint64_t>(population));
+    return stats::sampleSize(population, errorMargin, confidence);
+}
+
+SamplingSpec
+spec60k()
+{
+    return SamplingSpec{0.998, 0.0063, std::nullopt};
+}
+
+SamplingSpec
+spec600k()
+{
+    return SamplingSpec{0.998, 0.0019, std::nullopt};
+}
+
+SamplingSpec
+specFixed(std::uint64_t n)
+{
+    SamplingSpec s;
+    s.fixedCount = n;
+    return s;
+}
+
+std::vector<faultsim::Fault>
+sampleFaults(uarch::Structure structure, unsigned num_entries,
+             Cycle total_cycles, const SamplingSpec &spec, Rng &rng)
+{
+    MERLIN_ASSERT(num_entries > 0 && total_cycles > 0,
+                  "empty fault population");
+    const double population = static_cast<double>(num_entries) * 64.0 *
+                              static_cast<double>(total_cycles);
+    const std::uint64_t n = spec.count(population);
+
+    std::vector<faultsim::Fault> list;
+    list.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i) {
+        faultsim::Fault f;
+        f.structure = structure;
+        f.entry = static_cast<EntryIndex>(rng.nextBelow(num_entries));
+        f.bit = static_cast<std::uint8_t>(rng.nextBelow(64));
+        f.cycle = rng.nextBelow(total_cycles);
+        list.push_back(f);
+    }
+    return list;
+}
+
+} // namespace merlin::core

@@ -1,0 +1,32 @@
+#include "merlin/theory.hh"
+
+#include "base/logging.hh"
+
+namespace merlin::core
+{
+
+AvfMoments
+avfMoments(const std::vector<GroupModel> &groups,
+           std::uint64_t total_faults)
+{
+    MERLIN_ASSERT(total_faults > 0, "empty campaign");
+    const double F = static_cast<double>(total_faults);
+
+    AvfMoments m;
+    for (const GroupModel &g : groups) {
+        const double s = static_cast<double>(g.size);
+        const double p = g.pNonMasked;
+        MERLIN_ASSERT(p >= 0.0 && p <= 1.0, "probability domain");
+        m.meanComprehensive += s * p;
+        m.varComprehensive += s * p * (1.0 - p);
+        m.varMerlin += s * s * p * (1.0 - p);
+        m.maxGroupSize = std::max(m.maxGroupSize, g.size);
+    }
+    m.meanComprehensive /= F;
+    m.meanMerlin = m.meanComprehensive; // the paper's identity
+    m.varComprehensive /= F * F;
+    m.varMerlin /= F * F;
+    return m;
+}
+
+} // namespace merlin::core

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * The statistical model of Section 4.4.5.
+ *
+ * A campaign of F injections is a binomial experiment.  MeRLiN prunes a
+ * masked fraction m, partitions the remaining (1-m)F faults into groups
+ * of sizes s_i with per-group non-masking probabilities p_i, and reports
+ * the group outcome for every member.  The paper shows:
+ *
+ *   E(k)        = sum_i s_i p_i / F          (comprehensive campaign)
+ *   E(k_MeRLiN) = sum_i s_i p_i / F  = E(k)  (mean preserved)
+ *   Var(k)        = sum_i s_i   p_i (1-p_i) / F^2
+ *   Var(k_MeRLiN) = sum_i s_i^2 p_i (1-p_i) / F^2
+ *
+ * so MeRLiN's AVF estimator is unbiased, and its variance is inflated
+ * by at most max(s_i) — negligible when groups are small and highly
+ * homogeneous (p_i near 0 or 1).  This module computes these moments
+ * from measured campaign data so benches/tests can verify the claims
+ * empirically.
+ */
+
+#ifndef MERLIN_MERLIN_THEORY_HH
+#define MERLIN_MERLIN_THEORY_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace merlin::core
+{
+
+/** Group statistics extracted from a ground-truth campaign. */
+struct GroupModel
+{
+    std::uint64_t size = 0; ///< s_i
+    double pNonMasked = 0;  ///< p_i (fraction of members non-masked)
+};
+
+/** The four moments of Section 4.4.5. */
+struct AvfMoments
+{
+    double meanComprehensive = 0; ///< E(k)
+    double meanMerlin = 0;        ///< E(k_MeRLiN)
+    double varComprehensive = 0;  ///< Var(k)
+    double varMerlin = 0;         ///< Var(k_MeRLiN)
+    std::uint64_t maxGroupSize = 0;
+};
+
+/**
+ * Evaluate the model for a campaign of @p total_faults injections whose
+ * non-pruned part is described by @p groups (the pruned remainder has
+ * p = 0 and contributes nothing, exactly as the paper's footnote 6).
+ */
+AvfMoments avfMoments(const std::vector<GroupModel> &groups,
+                      std::uint64_t total_faults);
+
+} // namespace merlin::core
+
+#endif // MERLIN_MERLIN_THEORY_HH

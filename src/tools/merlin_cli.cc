@@ -1,0 +1,285 @@
+/**
+ * @file
+ * merlin_cli — command-line front end for the library.
+ *
+ *   merlin_cli list
+ *       List the bundled workloads.
+ *   merlin_cli run --workload qsort
+ *       Execute a workload on the out-of-order core; print timing stats
+ *       and verify the output against the reference implementation.
+ *   merlin_cli campaign --workload qsort --structure rf
+ *       [--regs N] [--sq N] [--l1d KB] [--faults N | --margin E --conf C]
+ *       [--seed N] [--window N] [--truth] [--relyzer]
+ *       Run a MeRLiN campaign and print the reliability report.
+ *   merlin_cli asm --file prog.s [--campaign rf|sq|l1d]
+ *       Assemble a user program, run it, optionally run a campaign.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "base/logging.hh"
+#include "isa/interp.hh"
+#include "masm/asm.hh"
+#include "merlin/campaign.hh"
+#include "uarch/core.hh"
+#include "workloads/workloads.hh"
+
+namespace
+{
+
+using namespace merlin;
+
+/** Minimal --key value / --flag parser. */
+struct Args
+{
+    std::map<std::string, std::string> kv;
+
+    static Args
+    parse(int argc, char **argv, int start)
+    {
+        Args a;
+        for (int i = start; i < argc; ++i) {
+            std::string k = argv[i];
+            if (k.rfind("--", 0) != 0)
+                fatal("unexpected argument '", k, "'");
+            k = k.substr(2);
+            if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
+                a.kv[k] = argv[++i];
+            } else {
+                a.kv[k] = "1"; // boolean flag
+            }
+        }
+        return a;
+    }
+
+    bool has(const std::string &k) const { return kv.count(k) != 0; }
+    std::string
+    get(const std::string &k, const std::string &def = "") const
+    {
+        auto it = kv.find(k);
+        return it == kv.end() ? def : it->second;
+    }
+    std::uint64_t
+    getU(const std::string &k, std::uint64_t def) const
+    {
+        auto it = kv.find(k);
+        return it == kv.end() ? def
+                              : std::strtoull(it->second.c_str(),
+                                              nullptr, 10);
+    }
+};
+
+uarch::Structure
+parseStructure(const std::string &s)
+{
+    if (s == "rf" || s == "RF")
+        return uarch::Structure::RegisterFile;
+    if (s == "sq" || s == "SQ")
+        return uarch::Structure::StoreQueue;
+    if (s == "l1d" || s == "L1D")
+        return uarch::Structure::L1DCache;
+    fatal("unknown structure '", s, "' (use rf | sq | l1d)");
+}
+
+int
+cmdList()
+{
+    std::printf("MiBench-like (run to completion):\n");
+    for (const auto &n : workloads::mibenchWorkloads()) {
+        auto w = workloads::buildWorkload(n);
+        std::printf("  %-14s %s\n", n.c_str(), w.description.c_str());
+    }
+    std::printf("SPEC-like (SimPoint-style windows):\n");
+    for (const auto &n : workloads::specWorkloads()) {
+        auto w = workloads::buildWorkload(n);
+        std::printf("  %-14s window=%llu  %s\n", n.c_str(),
+                    static_cast<unsigned long long>(w.suggestedWindow),
+                    w.description.c_str());
+    }
+    return 0;
+}
+
+int
+cmdRun(const Args &args)
+{
+    auto w = workloads::buildWorkload(args.get("workload", "qsort"));
+    uarch::Core core(w.program, uarch::CoreConfig{});
+    auto r = core.run();
+    const auto &st = core.stats();
+    std::printf("%s: %llu instructions, %llu cycles, IPC %.2f\n",
+                w.program.name.c_str(),
+                static_cast<unsigned long long>(r.instret),
+                static_cast<unsigned long long>(st.cycles), st.ipc());
+    std::printf("branches: %llu cond, %llu mispredicted (%.1f%%)\n",
+                static_cast<unsigned long long>(st.condBranches),
+                static_cast<unsigned long long>(st.branchMispredicts),
+                st.condBranches ? 100.0 * st.branchMispredicts /
+                                      st.condBranches
+                                : 0.0);
+    std::printf("L1D: %llu hits, %llu misses; %llu store-forwards\n",
+                static_cast<unsigned long long>(st.l1dHits),
+                static_cast<unsigned long long>(st.l1dMisses),
+                static_cast<unsigned long long>(st.storeForwards));
+    std::printf("output %s the reference implementation\n",
+                r.output == w.expectedOutput ? "matches"
+                                             : "DOES NOT match");
+    return r.output == w.expectedOutput ? 0 : 1;
+}
+
+void
+printCampaign(const core::CampaignResult &r, std::uint64_t bits)
+{
+    std::printf("golden: %llu instructions, %llu cycles; ACE-like AVF "
+                "%.2f%%\n",
+                static_cast<unsigned long long>(r.goldenInstret),
+                static_cast<unsigned long long>(r.goldenCycles),
+                100 * r.aceAvf);
+    std::printf("faults: %llu initial -> %llu survivors -> %llu "
+                "injected (%.1fX / %.1fX)\n",
+                static_cast<unsigned long long>(r.initialFaults),
+                static_cast<unsigned long long>(r.survivors),
+                static_cast<unsigned long long>(r.injections),
+                r.speedupAce, r.speedupTotal);
+    for (unsigned c = 0; c < faultsim::NUM_OUTCOMES; ++c) {
+        auto o = static_cast<faultsim::Outcome>(c);
+        if (r.merlinEstimate.of(o) == 0)
+            continue;
+        std::printf("  %-8s %7.3f%%\n", faultsim::outcomeName(o),
+                    100.0 * r.merlinEstimate.fraction(o));
+    }
+    std::printf("AVF %.3f%%  FIT %.4f (0.01 FIT/bit x %llu bits)\n",
+                100 * r.merlinEstimate.avf(), r.merlinFit(bits),
+                static_cast<unsigned long long>(bits));
+    if (r.survivorTruth) {
+        std::printf("ground truth: AVF %.3f%%; max class inaccuracy "
+                    "%.2f pp; homogeneity %.3f\n",
+                    100 * r.fullTruth().avf(),
+                    r.merlinEstimate.maxInaccuracyVs(r.fullTruth()),
+                    r.homogeneity->fine);
+    }
+    std::printf("wall clock: %.2fs profile + %.2fs injections\n",
+                r.profileSeconds, r.injectionSeconds);
+}
+
+core::CampaignConfig
+campaignConfig(const Args &args, std::uint64_t default_window)
+{
+    core::CampaignConfig cc;
+    cc.target = parseStructure(args.get("structure", "rf"));
+    cc.core = uarch::CoreConfig{}
+                  .withRegisterFile(
+                      static_cast<unsigned>(args.getU("regs", 256)))
+                  .withStoreQueue(
+                      static_cast<unsigned>(args.getU("sq", 64)))
+                  .withL1dKb(
+                      static_cast<unsigned>(args.getU("l1d", 64)));
+    cc.core.instructionWindowEnd = args.getU("window", default_window);
+    if (args.has("faults")) {
+        cc.sampling = core::specFixed(args.getU("faults", 2000));
+    } else if (args.has("margin")) {
+        cc.sampling.errorMargin =
+            std::strtod(args.get("margin").c_str(), nullptr);
+        cc.sampling.confidence =
+            std::strtod(args.get("conf", "0.998").c_str(), nullptr);
+    } else {
+        cc.sampling = core::specFixed(2000);
+    }
+    cc.seed = args.getU("seed", 1);
+    return cc;
+}
+
+int
+cmdCampaign(const Args &args)
+{
+    auto w = workloads::buildWorkload(args.get("workload", "qsort"));
+    core::CampaignConfig cc = campaignConfig(
+        args, args.has("window") ? 0 : w.suggestedWindow);
+    core::Campaign camp(w.program, cc);
+    auto r = args.has("relyzer") ? camp.runRelyzer(args.has("truth"))
+                                 : camp.run(args.has("truth"));
+    std::printf("== %s / %s ==\n", w.program.name.c_str(),
+                uarch::structureName(cc.target));
+    printCampaign(r, [&] {
+        switch (cc.target) {
+          case uarch::Structure::RegisterFile:
+            return std::uint64_t(cc.core.numPhysIntRegs) * 64;
+          case uarch::Structure::StoreQueue:
+            return std::uint64_t(cc.core.sqEntries) * 64;
+          default:
+            return std::uint64_t(cc.core.l1d.totalWords()) * 64;
+        }
+    }());
+    return 0;
+}
+
+int
+cmdAsm(const Args &args)
+{
+    const std::string path = args.get("file");
+    if (path.empty())
+        fatal("asm requires --file <program.s>");
+    std::ifstream in(path);
+    if (!in)
+        fatal("cannot open '", path, "'");
+    std::stringstream ss;
+    ss << in.rdbuf();
+    isa::Program prog = masm::assemble(ss.str(), path);
+    std::printf("assembled %llu instructions, %zu data bytes\n",
+                static_cast<unsigned long long>(
+                    prog.instructionCount()),
+                prog.data.size());
+
+    uarch::Core core(prog, uarch::CoreConfig{});
+    auto r = core.run();
+    std::printf("run: reason=%d exit=%d, %llu instructions, %llu "
+                "cycles, %zu output bytes\n",
+                static_cast<int>(r.reason), r.exitCode,
+                static_cast<unsigned long long>(r.instret),
+                static_cast<unsigned long long>(core.stats().cycles),
+                r.output.size());
+
+    if (args.has("campaign")) {
+        Args a2 = args;
+        a2.kv["structure"] = args.get("campaign");
+        core::CampaignConfig cc = campaignConfig(a2, 0);
+        core::Campaign camp(prog, cc);
+        auto res = camp.run(a2.has("truth"));
+        printCampaign(res, 64ULL * 64);
+    }
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        std::fprintf(stderr,
+                     "usage: merlin_cli <list|run|campaign|asm> "
+                     "[--flags]\n");
+        return 2;
+    }
+    const std::string cmd = argv[1];
+    try {
+        Args args = Args::parse(argc, argv, 2);
+        if (cmd == "list")
+            return cmdList();
+        if (cmd == "run")
+            return cmdRun(args);
+        if (cmd == "campaign")
+            return cmdCampaign(args);
+        if (cmd == "asm")
+            return cmdAsm(args);
+        std::fprintf(stderr, "unknown command '%s'\n", cmd.c_str());
+        return 2;
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    }
+}

@@ -1,0 +1,161 @@
+#include "uarch/branch.hh"
+
+#include <bit>
+
+#include "base/logging.hh"
+
+namespace merlin::uarch
+{
+
+namespace
+{
+
+unsigned
+log2u(unsigned v)
+{
+    MERLIN_ASSERT(v != 0 && (v & (v - 1)) == 0, "size must be power of two");
+    return static_cast<unsigned>(std::countr_zero(v));
+}
+
+} // namespace
+
+TournamentPredictor::TournamentPredictor(const CoreConfig &cfg)
+    : localBits_(log2u(cfg.localPredictorEntries)),
+      globalBits_(log2u(cfg.globalPredictorEntries)),
+      localHistory_(cfg.localPredictorEntries, 0),
+      localCounters_(cfg.localPredictorEntries, 1),
+      globalCounters_(cfg.globalPredictorEntries, 1),
+      chooser_(cfg.chooserEntries, 1)
+{
+}
+
+void
+TournamentPredictor::bump(std::uint8_t &ctr, bool up)
+{
+    if (up) {
+        if (ctr < 3)
+            ++ctr;
+    } else {
+        if (ctr > 0)
+            --ctr;
+    }
+}
+
+PredictionState
+TournamentPredictor::predict(Addr pc)
+{
+    PredictionState st;
+    st.ghistSnapshot = ghist_;
+
+    const std::uint32_t pc_idx = static_cast<std::uint32_t>(pc >> 3);
+    st.localIdx = pc_idx & ((1u << localBits_) - 1);
+    const std::uint16_t lhist =
+        localHistory_[st.localIdx] & ((1u << localBits_) - 1);
+    // Local component indexes its counters with the per-branch history.
+    const bool local_taken = localCounters_[lhist] >= 2;
+
+    st.globalIdx =
+        (pc_idx ^ ghist_) & ((1u << globalBits_) - 1);
+    const bool global_taken = globalCounters_[st.globalIdx] >= 2;
+
+    st.chooserIdx = ghist_ & (chooser_.size() - 1);
+    const bool use_global = chooser_[st.chooserIdx] >= 2;
+
+    st.taken = use_global ? global_taken : local_taken;
+
+    // Speculative history update.
+    ghist_ = ((ghist_ << 1) | (st.taken ? 1 : 0)) &
+             ((1u << globalBits_) - 1);
+    return st;
+}
+
+void
+TournamentPredictor::update(Addr pc, bool taken,
+                            const PredictionState &state)
+{
+    const std::uint16_t lhist =
+        localHistory_[state.localIdx] & ((1u << localBits_) - 1);
+    const bool local_taken = localCounters_[lhist] >= 2;
+    const bool global_taken = globalCounters_[state.globalIdx] >= 2;
+
+    // Train the chooser toward whichever component was right.
+    if (local_taken != global_taken)
+        bump(chooser_[state.chooserIdx], global_taken == taken);
+
+    bump(localCounters_[lhist], taken);
+    bump(globalCounters_[state.globalIdx], taken);
+
+    localHistory_[state.localIdx] =
+        static_cast<std::uint16_t>((lhist << 1) | (taken ? 1 : 0));
+    (void)pc;
+}
+
+void
+TournamentPredictor::repairHistory(const PredictionState &state, bool taken)
+{
+    ghist_ = ((state.ghistSnapshot << 1) | (taken ? 1 : 0)) &
+             ((1u << globalBits_) - 1);
+}
+
+Btb::Btb(unsigned entries)
+    : entries_(entries)
+{
+    MERLIN_ASSERT((entries & (entries - 1)) == 0, "BTB size power of two");
+}
+
+std::optional<Addr>
+Btb::lookup(Addr pc) const
+{
+    const Entry &e = entries_[(pc >> 3) & (entries_.size() - 1)];
+    if (e.valid && e.pc == pc)
+        return e.target;
+    return std::nullopt;
+}
+
+void
+Btb::update(Addr pc, Addr target)
+{
+    Entry &e = entries_[(pc >> 3) & (entries_.size() - 1)];
+    e.valid = true;
+    e.pc = pc;
+    e.target = target;
+}
+
+Ras::Ras(unsigned entries)
+    : stack_(entries, 0)
+{
+    MERLIN_ASSERT(entries > 0, "RAS must have entries");
+}
+
+Ras::Snapshot
+Ras::snapshot() const
+{
+    const std::uint32_t prev =
+        (top_ + stack_.size() - 1) % stack_.size();
+    return Snapshot{top_, stack_[prev]};
+}
+
+void
+Ras::restore(const Snapshot &snap)
+{
+    top_ = snap.top;
+    const std::uint32_t prev =
+        (top_ + stack_.size() - 1) % stack_.size();
+    stack_[prev] = snap.topValue;
+}
+
+void
+Ras::push(Addr ret_addr)
+{
+    stack_[top_] = ret_addr;
+    top_ = (top_ + 1) % stack_.size();
+}
+
+Addr
+Ras::pop()
+{
+    top_ = (top_ + stack_.size() - 1) % stack_.size();
+    return stack_[top_];
+}
+
+} // namespace merlin::uarch

@@ -1,0 +1,202 @@
+#include "uarch/cache.hh"
+
+#include <cstring>
+
+#include "base/bits.hh"
+#include "base/logging.hh"
+#include "uarch/probe.hh"
+
+namespace merlin::uarch
+{
+
+Cache::Cache(std::string name, const CacheConfig &cfg, Cache *lower,
+             isa::SegmentedMemory *mem)
+    : name_(std::move(name)), cfg_(cfg), lower_(lower), mem_(mem)
+{
+    MERLIN_ASSERT((lower_ == nullptr) != (mem_ == nullptr),
+                  "cache needs exactly one backing level");
+    MERLIN_ASSERT(cfg_.numSets() > 0 && (cfg_.lineSize % 8) == 0,
+                  "bad cache geometry");
+    lines_.assign(std::size_t(cfg_.numSets()) * cfg_.ways, Line{});
+    data_.assign(std::size_t(cfg_.numSets()) * cfg_.ways * cfg_.lineSize, 0);
+}
+
+std::uint8_t *
+Cache::lineData(std::uint32_t set, std::uint32_t way)
+{
+    return data_.data() + (std::size_t(set) * cfg_.ways + way) *
+                              cfg_.lineSize;
+}
+
+const std::uint8_t *
+Cache::lineData(std::uint32_t set, std::uint32_t way) const
+{
+    return data_.data() + (std::size_t(set) * cfg_.ways + way) *
+                              cfg_.lineSize;
+}
+
+std::uint32_t
+Cache::readLineFromBelow(Addr line_addr, std::uint8_t *out, Cycle now,
+                         Rip rip, Upc upc)
+{
+    if (lower_) {
+        AccessResult r = lower_->access(line_addr, false, now, rip, upc);
+        std::memcpy(out, lower_->lineData(r.set, r.way), cfg_.lineSize);
+        return r.latency;
+    }
+    isa::TrapKind t = mem_->readBlock(line_addr, out, cfg_.lineSize);
+    MERLIN_ASSERT(t == isa::TrapKind::None,
+                  "line fill from unmapped memory at 0x", std::hex,
+                  line_addr);
+    return memLatency_;
+}
+
+std::uint32_t
+Cache::writeLineBelow(Addr line_addr, const std::uint8_t *data, Cycle now,
+                      Rip rip, Upc upc)
+{
+    if (lower_) {
+        AccessResult r = lower_->access(line_addr, true, now, rip, upc);
+        std::memcpy(lower_->lineData(r.set, r.way), data, cfg_.lineSize);
+        return r.latency;
+    }
+    isa::TrapKind t = mem_->writeBlock(line_addr, data, cfg_.lineSize);
+    MERLIN_ASSERT(t == isa::TrapKind::None,
+                  "write-back to unmapped memory at 0x", std::hex,
+                  line_addr);
+    return memLatency_;
+}
+
+Cache::AccessResult
+Cache::access(Addr addr, bool is_write, Cycle now, Rip rip, Upc upc)
+{
+    const Addr laddr = lineAddr(addr);
+    const std::uint32_t set = setOf(addr);
+    const Addr tag = tagOf(addr);
+    Line *set_lines = &lines_[std::size_t(set) * cfg_.ways];
+
+    AccessResult res;
+    res.set = set;
+
+    // Hit path.
+    for (std::uint32_t w = 0; w < cfg_.ways; ++w) {
+        Line &line = set_lines[w];
+        if (line.valid && line.tag == tag) {
+            line.lruStamp = ++lruCounter_;
+            if (is_write)
+                line.dirty = true;
+            ++hits_;
+            res.way = w;
+            res.hit = true;
+            res.latency = cfg_.hitLatency;
+            return res;
+        }
+    }
+
+    // Miss: prefer an invalid way, else evict the least recently used.
+    ++misses_;
+    std::uint32_t victim = 0;
+    bool have_invalid = false;
+    for (std::uint32_t w = 0; w < cfg_.ways; ++w) {
+        if (!set_lines[w].valid) {
+            victim = w;
+            have_invalid = true;
+            break;
+        }
+    }
+    if (!have_invalid) {
+        for (std::uint32_t w = 1; w < cfg_.ways; ++w) {
+            if (set_lines[w].lruStamp < set_lines[victim].lruStamp)
+                victim = w;
+        }
+    }
+
+    Line &line = set_lines[victim];
+    std::uint32_t latency = cfg_.hitLatency;
+
+    if (line.valid && line.dirty) {
+        // Write-back: the whole victim line is read out of the array.
+        const Addr victim_addr =
+            (line.tag * cfg_.numSets() + set) * cfg_.lineSize;
+        if (sink_) {
+            for (std::uint32_t o = 0; o < cfg_.lineSize; o += 8) {
+                sink_->onCacheWordWritebackRead(wordIndex(set, victim, o),
+                                                now, rip, upc);
+            }
+        }
+        writeLineBelow(victim_addr, lineData(set, victim), now, rip, upc);
+        ++writebacks_;
+    }
+
+    // Fill from below (overwrites the whole line's storage).
+    latency += readLineFromBelow(laddr, lineData(set, victim), now, rip,
+                                 upc);
+    line.valid = true;
+    line.dirty = is_write;
+    line.tag = tag;
+    line.lruStamp = ++lruCounter_;
+    if (sink_) {
+        for (std::uint32_t o = 0; o < cfg_.lineSize; o += 8)
+            sink_->onCacheWordWrite(wordIndex(set, victim, o), now);
+    }
+
+    res.way = victim;
+    res.hit = false;
+    res.latency = latency;
+    return res;
+}
+
+std::uint64_t
+Cache::readBytes(std::uint32_t set, std::uint32_t way, std::uint32_t offset,
+                 unsigned size) const
+{
+    MERLIN_ASSERT(offset + size <= cfg_.lineSize, "read past line end");
+    return loadLE(lineData(set, way) + offset, size);
+}
+
+void
+Cache::writeBytes(std::uint32_t set, std::uint32_t way, std::uint32_t offset,
+                  unsigned size, std::uint64_t value, Cycle now)
+{
+    MERLIN_ASSERT(offset + size <= cfg_.lineSize, "write past line end");
+    storeLE(lineData(set, way) + offset, value, size);
+    if (sink_)
+        sink_->onCacheWordWrite(wordIndex(set, way, offset), now);
+}
+
+void
+Cache::flipBit(EntryIndex word, unsigned bit)
+{
+    MERLIN_ASSERT(word < cfg_.totalWords(), "cache word out of range");
+    MERLIN_ASSERT(bit < 64, "bit out of range");
+    data_[std::size_t(word) * 8 + bit / 8] ^=
+        static_cast<std::uint8_t>(1u << (bit % 8));
+}
+
+void
+Cache::applyDirtyLines(isa::SegmentedMemory &mem) const
+{
+    for (std::uint32_t set = 0; set < cfg_.numSets(); ++set) {
+        for (std::uint32_t w = 0; w < cfg_.ways; ++w) {
+            const Line &line = lines_[std::size_t(set) * cfg_.ways + w];
+            if (!line.valid || !line.dirty)
+                continue;
+            const Addr addr =
+                (line.tag * cfg_.numSets() + set) * cfg_.lineSize;
+            mem.writeBlock(addr, lineData(set, w), cfg_.lineSize);
+        }
+    }
+}
+
+const char *
+structureName(Structure s)
+{
+    switch (s) {
+      case Structure::RegisterFile: return "RF";
+      case Structure::StoreQueue:   return "SQ";
+      case Structure::L1DCache:     return "L1D";
+      default:                      return "<bad>";
+    }
+}
+
+} // namespace merlin::uarch

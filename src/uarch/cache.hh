@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Set-associative write-back cache with a real data array.
+ *
+ * Unlike pure-timing models, every level stores actual bytes so that an
+ * injected bit flip lives in the array, is forwarded to loads, travels
+ * down on write-backs and comes back on refills — the physical behaviour
+ * MeRLiN's L1D campaigns rely on.
+ *
+ * Timing model: functional-move/timing-charge.  An access moves lines
+ * synchronously and returns the accumulated latency; the core schedules
+ * the consumer's completion that many cycles later.  This keeps the
+ * machine deterministic and fast while preserving miss/hit shapes.
+ */
+
+#ifndef MERLIN_UARCH_CACHE_HH
+#define MERLIN_UARCH_CACHE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "base/types.hh"
+#include "isa/memory.hh"
+#include "uarch/config.hh"
+
+namespace merlin::uarch
+{
+
+/** Receives data-array events from the (single) profiled cache level. */
+class CacheEventSink
+{
+  public:
+    virtual ~CacheEventSink() = default;
+    /** An 8-byte word of the data array was overwritten. */
+    virtual void onCacheWordWrite(EntryIndex word, Cycle cycle) = 0;
+    /**
+     * A dirty line left the array (write-back read); attributed to the
+     * access that caused the eviction.
+     */
+    virtual void onCacheWordWritebackRead(EntryIndex word, Cycle cycle,
+                                          Rip rip, Upc upc) = 0;
+};
+
+/** One level of the hierarchy; lowest level backs onto SegmentedMemory. */
+class Cache
+{
+  public:
+    /** Exactly one of @p lower / @p mem must be non-null. */
+    Cache(std::string name, const CacheConfig &cfg, Cache *lower,
+          isa::SegmentedMemory *mem);
+
+    struct AccessResult
+    {
+        std::uint32_t latency = 0;
+        std::uint32_t set = 0;
+        std::uint32_t way = 0;
+        bool hit = false;
+    };
+
+    /**
+     * Ensure the line containing @p addr is resident; returns where it
+     * lives and the accumulated latency.  @p is_write marks the line
+     * dirty.  @p rip / @p upc tag any write-back this access triggers.
+     */
+    AccessResult access(Addr addr, bool is_write, Cycle now, Rip rip,
+                        Upc upc);
+
+    /** Read up to 8 bytes from a resident line (no alignment checks). */
+    std::uint64_t readBytes(std::uint32_t set, std::uint32_t way,
+                            std::uint32_t offset, unsigned size) const;
+
+    /** Write up to 8 bytes into a resident line. */
+    void writeBytes(std::uint32_t set, std::uint32_t way,
+                    std::uint32_t offset, unsigned size, std::uint64_t value,
+                    Cycle now);
+
+    /** Flip one bit of the data array (fault injection). */
+    void flipBit(EntryIndex word, unsigned bit);
+
+    /** Global 8-byte-word index of (set, way, byte offset). */
+    EntryIndex
+    wordIndex(std::uint32_t set, std::uint32_t way,
+              std::uint32_t offset) const
+    {
+        return (set * cfg_.ways + way) * cfg_.wordsPerLine() + offset / 8;
+    }
+
+    /** Apply every dirty line onto @p mem (architectural memory view). */
+    void applyDirtyLines(isa::SegmentedMemory &mem) const;
+
+    /** Attach the profiler sink (L1D only). */
+    void setEventSink(CacheEventSink *sink) { sink_ = sink; }
+
+    const CacheConfig &config() const { return cfg_; }
+    std::uint64_t hits() const { return hits_; }
+    std::uint64_t misses() const { return misses_; }
+    std::uint64_t writebacks() const { return writebacks_; }
+
+  private:
+    struct Line
+    {
+        bool valid = false;
+        bool dirty = false;
+        Addr tag = 0;
+        std::uint64_t lruStamp = 0;
+    };
+
+    Addr lineAddr(Addr addr) const { return addr & ~Addr(cfg_.lineSize - 1); }
+    std::uint32_t setOf(Addr addr) const
+    {
+        return (addr / cfg_.lineSize) % cfg_.numSets();
+    }
+    Addr tagOf(Addr addr) const { return addr / cfg_.lineSize / cfg_.numSets(); }
+
+    std::uint8_t *lineData(std::uint32_t set, std::uint32_t way);
+    const std::uint8_t *lineData(std::uint32_t set, std::uint32_t way) const;
+
+    /** Recursive line read from below; returns latency. */
+    std::uint32_t readLineFromBelow(Addr line_addr, std::uint8_t *out,
+                                    Cycle now, Rip rip, Upc upc);
+    /** Recursive line write-back into the level below. */
+    std::uint32_t writeLineBelow(Addr line_addr, const std::uint8_t *data,
+                                 Cycle now, Rip rip, Upc upc);
+
+    std::string name_;
+    CacheConfig cfg_;
+    Cache *lower_;
+    isa::SegmentedMemory *mem_;
+    CacheEventSink *sink_ = nullptr;
+
+    std::vector<Line> lines_;        ///< sets x ways
+    std::vector<std::uint8_t> data_; ///< sets x ways x lineSize
+    std::uint64_t lruCounter_ = 0;
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+    std::uint64_t writebacks_ = 0;
+    unsigned memLatency_ = 80;
+
+  public:
+    void setMemLatency(unsigned lat) { memLatency_ = lat; }
+};
+
+} // namespace merlin::uarch
+
+#endif // MERLIN_UARCH_CACHE_HH

@@ -1,0 +1,900 @@
+#include "uarch/core.hh"
+
+#include <algorithm>
+
+#include "base/bits.hh"
+#include "base/logging.hh"
+#include "isa/exec.hh"
+
+namespace merlin::uarch
+{
+
+using isa::Opcode;
+using isa::StaticUop;
+using isa::TrapKind;
+using isa::UopKind;
+
+Core::Core(const isa::Program &prog, const CoreConfig &cfg, Probe *probe)
+    : cfg_(cfg),
+      probe_(probe),
+      mem_(prog.buildMemory()),
+      l2_("l2", cfg.l2, nullptr, &mem_),
+      l1i_("l1i", cfg.l1i, &l2_, nullptr),
+      l1d_("l1d", cfg.l1d, &l2_, nullptr),
+      tournament_(cfg),
+      btb_(cfg.btbEntries),
+      ras_(cfg.rasEntries),
+      fetchPc_(prog.entry)
+{
+    MERLIN_ASSERT(cfg_.numPhysIntRegs > isa::NUM_RENAMEABLE_REGS,
+                  "need more physical than architectural registers");
+    l2_.setMemLatency(cfg_.memLatency);
+
+    prf_.assign(cfg_.numPhysIntRegs, 0);
+    prfReady_.assign(cfg_.numPhysIntRegs, 1);
+    for (unsigned i = 0; i < isa::NUM_RENAMEABLE_REGS; ++i) {
+        renameMap_[i] = static_cast<std::uint16_t>(i);
+        commitMap_[i] = static_cast<std::uint16_t>(i);
+    }
+    prf_[isa::REG_SP] = isa::layout::STACK_TOP;
+    // Initial architectural state is a physical write at cycle 0.
+    if (probe_) {
+        for (unsigned i = 0; i < isa::NUM_RENAMEABLE_REGS; ++i)
+            probe_->onWrite(Structure::RegisterFile, i, 0, phase::Init);
+        l1dSink_.core = this;
+        l1d_.setEventSink(&l1dSink_);
+    }
+    freeList_.reserve(cfg_.numPhysIntRegs);
+    for (unsigned p = cfg_.numPhysIntRegs;
+         p-- > isa::NUM_RENAMEABLE_REGS;) {
+        freeList_.push_back(static_cast<std::uint16_t>(p));
+    }
+
+    rob_.assign(cfg_.robEntries, RobEntry{});
+    iq_.reserve(cfg_.iqEntries);
+    sq_.assign(cfg_.sqEntries, SqEntry{});
+    sqData_.assign(cfg_.sqEntries, 0);
+    divBusyUntil_.assign(cfg_.complexCount, 0);
+}
+
+// ---------------------------------------------------------------- faults
+
+void
+Core::flipRegisterFileBit(EntryIndex reg, unsigned bit)
+{
+    MERLIN_ASSERT(reg < prf_.size() && bit < 64, "RF flip out of range");
+    prf_[reg] ^= 1ULL << bit;
+}
+
+void
+Core::flipStoreQueueBit(EntryIndex slot, unsigned bit)
+{
+    MERLIN_ASSERT(slot < sqData_.size() && bit < 64,
+                  "SQ flip out of range");
+    sqData_[slot] ^= 1ULL << bit;
+}
+
+void
+Core::flipL1dBit(EntryIndex word, unsigned bit)
+{
+    l1d_.flipBit(word, bit);
+}
+
+// ----------------------------------------------------------- arch state
+
+std::uint64_t
+Core::archRegValue(unsigned arch) const
+{
+    MERLIN_ASSERT(arch < isa::NUM_RENAMEABLE_REGS, "bad arch reg");
+    return prf_[commitMap_[arch]];
+}
+
+isa::SegmentedMemory
+Core::archMemoryView() const
+{
+    isa::SegmentedMemory view = mem_;
+    l2_.applyDirtyLines(view);
+    l1d_.applyDirtyLines(view);
+    // Committed but undrained stores are architecturally performed.
+    for (std::uint64_t s = sqHeadSeq_; s < sqNextSeq_; ++s) {
+        const SqEntry &q = sq_[s % cfg_.sqEntries];
+        if (q.valid && q.committed) {
+            view.write(q.addr, q.size,
+                       sqData_[s % cfg_.sqEntries]);
+        }
+    }
+    return view;
+}
+
+// -------------------------------------------------------------- helpers
+
+void
+Core::addPendingRead(RobEntry &e, Structure s, EntryIndex entry,
+                     Cycle cycle, std::uint8_t ph)
+{
+    if (!probe_)
+        return;
+    MERLIN_ASSERT(e.nPending < 4, "pending read overflow");
+    e.pending[e.nPending++] = PendingRead{s, entry, cycle, ph};
+}
+
+std::uint64_t
+Core::readPhysReg(RobEntry &e, std::uint16_t preg)
+{
+    addPendingRead(e, Structure::RegisterFile, preg, cycle_,
+                   phase::RegRead);
+    return prf_[preg];
+}
+
+void
+Core::L1dSink::onCacheWordWrite(EntryIndex word, Cycle cycle)
+{
+    core->probe_->onWrite(Structure::L1DCache, word, cycle,
+                          core->l1dWritePhase_);
+}
+
+void
+Core::L1dSink::onCacheWordWritebackRead(EntryIndex word, Cycle cycle,
+                                        Rip rip, Upc upc)
+{
+    core->probe_->onCommittedRead(Structure::L1DCache, word, cycle,
+                                  core->l1dWbReadPhase_, rip, upc,
+                                  core->l1dCtxSeq_);
+}
+
+void
+Core::scheduleCompletion(RobEntry &e, Cycle when)
+{
+    completions_.push(Completion{
+        when, e.seq, static_cast<std::uint32_t>(e.seq % cfg_.robEntries),
+        e.gen});
+}
+
+void
+Core::terminate(isa::TerminateReason reason, int exit_code)
+{
+    result_.reason = reason;
+    result_.exitCode = exit_code;
+    result_.instret = stats_.instret;
+    result_.uopsRetired = stats_.uopsRetired;
+    finished_ = true;
+}
+
+void
+Core::raiseTrapAtCommit(RobEntry &e)
+{
+    result_.traps.push_back(isa::TrapEvent{e.trap, e.rip});
+    terminate(isa::TerminateReason::Trapped,
+              128 + static_cast<int>(e.trap));
+}
+
+// ---------------------------------------------------------------- fetch
+
+void
+Core::stageFetch()
+{
+    if (fetchHalted_ || cycle_ < fetchResumeCycle_)
+        return;
+    if (uopQueue_.size() >= 32)
+        return;
+
+    for (unsigned fetched = 0; fetched < cfg_.fetchWidth; ++fetched) {
+        // Permission / mapping check through functional memory.
+        std::uint64_t unused = 0;
+        if (mem_.fetch(fetchPc_, unused) != TrapKind::None) {
+            FetchedUop f;
+            f.rip = fetchPc_;
+            f.fetchTrap = TrapKind::PcOutOfText;
+            f.readyAt = cycle_ + cfg_.frontendDepth;
+            uopQueue_.push_back(f);
+            fetchHalted_ = true;
+            return;
+        }
+
+        Cache::AccessResult ar =
+            l1i_.access(fetchPc_, false, cycle_, fetchPc_, 0);
+        if (!ar.hit) {
+            // Line is now resident; retry once the fill completes.
+            fetchResumeCycle_ = cycle_ + ar.latency;
+            return;
+        }
+        const std::uint64_t raw = l1i_.readBytes(
+            ar.set, ar.way,
+            static_cast<std::uint32_t>(fetchPc_ & (cfg_.l1i.lineSize - 1)),
+            8);
+
+        auto decoded = isa::decode(raw);
+        if (!decoded) {
+            FetchedUop f;
+            f.rip = fetchPc_;
+            f.fetchTrap = TrapKind::IllegalInstruction;
+            f.readyAt = cycle_ + cfg_.frontendDepth;
+            uopQueue_.push_back(f);
+            fetchHalted_ = true;
+            return;
+        }
+        const isa::Instruction insn = *decoded;
+
+        StaticUop uops[isa::MAX_UOPS_PER_MACRO];
+        const unsigned n = isa::expand(insn, fetchPc_, uops);
+        const Addr fall = fetchPc_ + isa::INSN_BYTES;
+
+        // Branch prediction for control-flow macros (control uop is
+        // always the last uop of its macro).
+        bool is_ctrl = isa::isControlFlow(insn.op);
+        bool pred_taken = false;
+        Addr pred_target = fall;
+        bool has_pred_state = false;
+        PredictionState pred_state;
+        bool ras_valid = false;
+        Ras::Snapshot ras_snap{0, 0};
+
+        if (is_ctrl) {
+            const StaticUop &ctrl = uops[n - 1];
+            if (isa::isCondBranch(insn.op)) {
+                pred_state = tournament_.predict(fetchPc_);
+                has_pred_state = true;
+                pred_taken = pred_state.taken;
+                pred_target = pred_taken
+                                  ? static_cast<std::uint32_t>(insn.imm)
+                                  : fall;
+            } else if (insn.op == Opcode::JMP ||
+                       insn.op == Opcode::CALL) {
+                pred_taken = true;
+                pred_target = static_cast<std::uint32_t>(insn.imm);
+            } else {
+                // Indirect: JR or CALLR.
+                pred_taken = true;
+                if (ctrl.isReturn) {
+                    ras_snap = ras_.snapshot();
+                    ras_valid = true;
+                    pred_target = ras_.pop();
+                } else {
+                    auto t = btb_.lookup(fetchPc_);
+                    pred_target = t ? *t : fall;
+                }
+            }
+            if (ctrl.isCall) {
+                if (!ras_valid) {
+                    ras_snap = ras_.snapshot();
+                    ras_valid = true;
+                }
+                ras_.push(fall);
+            }
+        }
+
+        for (unsigned i = 0; i < n; ++i) {
+            FetchedUop f;
+            f.su = uops[i];
+            f.rip = fetchPc_;
+            f.upc = static_cast<Upc>(i);
+            f.lastUop = (i == n - 1);
+            f.readyAt = cycle_ + cfg_.frontendDepth;
+            if (is_ctrl && i == n - 1) {
+                f.isCtrl = true;
+                f.predTaken = pred_taken;
+                f.predTarget = pred_target;
+                f.hasPredState = has_pred_state;
+                f.predState = pred_state;
+                f.rasValid = ras_valid;
+                f.rasSnap = ras_snap;
+            }
+            uopQueue_.push_back(f);
+        }
+
+        if (insn.op == Opcode::HALT) {
+            fetchHalted_ = true;
+            return;
+        }
+        fetchPc_ = is_ctrl ? pred_target : fall;
+        if (is_ctrl && pred_target != fall)
+            return; // a predicted-taken branch ends the fetch group
+    }
+}
+
+// --------------------------------------------------------------- rename
+
+void
+Core::stageRename()
+{
+    for (unsigned n = 0; n < cfg_.renameWidth && !uopQueue_.empty(); ++n) {
+        FetchedUop &f = uopQueue_.front();
+        if (f.readyAt > cycle_ || robFull())
+            return;
+
+        const bool is_store = f.su.kind == UopKind::Store;
+        const bool is_load = f.su.kind == UopKind::Load;
+        const bool needs_iq = f.fetchTrap == TrapKind::None &&
+                              f.su.kind != UopKind::Nop &&
+                              f.su.kind != UopKind::Halt;
+
+        if (needs_iq && iq_.size() >= cfg_.iqEntries)
+            return;
+        if (is_store && sqNextSeq_ - sqHeadSeq_ >= cfg_.sqEntries)
+            return;
+        if (is_load && lqOccupancy_ >= cfg_.lqEntries)
+            return;
+        if (f.su.dst != isa::REG_NONE && freeList_.empty())
+            return;
+
+        const SeqNum seq = robTailSeq_++;
+        RobEntry &e = robAt(seq);
+        const std::uint32_t gen = e.gen + 1;
+        e = RobEntry{};
+        e.gen = gen;
+        e.seq = seq;
+        e.rip = f.rip;
+        e.upc = f.upc;
+        e.lastUop = f.lastUop;
+        e.su = f.su;
+        e.trap = f.fetchTrap;
+        e.isCtrl = f.isCtrl;
+        e.predTaken = f.predTaken;
+        e.predTarget = f.predTarget;
+        e.hasPredState = f.hasPredState;
+        e.predState = f.predState;
+        e.rasValid = f.rasValid;
+        e.rasSnap = f.rasSnap;
+
+        if (f.su.src1 != isa::REG_NONE)
+            e.physSrc1 = renameMap_[f.su.src1];
+        if (f.su.src2 != isa::REG_NONE)
+            e.physSrc2 = renameMap_[f.su.src2];
+        if (f.su.dst != isa::REG_NONE) {
+            e.physDst = freeList_.back();
+            freeList_.pop_back();
+            e.prevPhys = renameMap_[f.su.dst];
+            renameMap_[f.su.dst] = e.physDst;
+            prfReady_[e.physDst] = 0;
+        }
+
+        if (is_store) {
+            e.storeSeq = sqNextSeq_;
+            e.sqSlot = static_cast<std::int32_t>(sqNextSeq_ %
+                                                 cfg_.sqEntries);
+            SqEntry &q = sq_[e.sqSlot];
+            q = SqEntry{};
+            q.valid = true;
+            q.storeSeq = sqNextSeq_;
+            q.robIdx = static_cast<std::uint32_t>(seq % cfg_.robEntries);
+            q.seqNum = seq;
+            q.rip = f.rip;
+            q.upc = f.upc;
+            ++sqNextSeq_;
+        }
+        if (is_load) {
+            e.isLoad = true;
+            e.loadOlderStoreSeq = sqNextSeq_;
+            ++lqOccupancy_;
+        }
+
+        if (needs_iq)
+            iq_.push_back(static_cast<std::uint32_t>(seq %
+                                                     cfg_.robEntries));
+        else
+            e.done = true;
+
+        uopQueue_.pop_front();
+    }
+}
+
+// ---------------------------------------------------------------- issue
+
+bool
+Core::loadBlocked(const RobEntry &e, Addr addr, unsigned size,
+                  bool &can_forward, std::uint64_t &fwd_value,
+                  std::uint32_t &fwd_slot)
+{
+    can_forward = false;
+    // Scan older stores youngest-first; the closest overlap decides.
+    for (std::uint64_t s = e.loadOlderStoreSeq; s-- > sqHeadSeq_;) {
+        const std::uint32_t slot =
+            static_cast<std::uint32_t>(s % cfg_.sqEntries);
+        const SqEntry &q = sq_[slot];
+        if (!q.valid)
+            continue; // squash hole (only transiently possible)
+        if (!q.addrReady)
+            return true; // unknown older address: conservative block
+        const bool overlap =
+            q.addr < addr + size && addr < q.addr + q.size;
+        if (!overlap)
+            continue;
+        if (!q.dataReady)
+            return true;
+        const bool contained =
+            addr >= q.addr && addr + size <= q.addr + q.size;
+        if (!contained)
+            return true; // partial overlap: wait for drain
+        const unsigned shift =
+            static_cast<unsigned>(addr - q.addr) * 8;
+        std::uint64_t v = sqData_[slot] >> shift;
+        if (size < 8)
+            v &= (1ULL << (size * 8)) - 1;
+        fwd_value = v;
+        fwd_slot = slot;
+        can_forward = true;
+        return false;
+    }
+    return false;
+}
+
+void
+Core::executeUop(RobEntry &e)
+{
+    const StaticUop &su = e.su;
+    switch (su.kind) {
+      case UopKind::Alu:
+      case UopKind::Mul:
+      case UopKind::Div: {
+        std::uint64_t a = 0;
+        std::uint64_t b;
+        if (e.physSrc1 != NO_PREG)
+            a = readPhysReg(e, e.physSrc1);
+        if (e.physSrc2 != NO_PREG) {
+            b = readPhysReg(e, e.physSrc2);
+        } else if (su.base == Opcode::MOVHI) {
+            b = static_cast<std::uint32_t>(su.imm);
+        } else {
+            b = static_cast<std::uint64_t>(su.imm);
+        }
+        isa::AluResult r = isa::aluCompute(su.base, a, b);
+        if (r.divByZero)
+            e.trap = TrapKind::DivZero;
+        e.resultValue = r.value;
+        const unsigned lat = su.kind == UopKind::Alu ? cfg_.aluLatency
+                             : su.kind == UopKind::Mul ? cfg_.mulLatency
+                                                       : cfg_.divLatency;
+        scheduleCompletion(e, cycle_ + lat);
+        break;
+      }
+
+      case UopKind::Branch: {
+        const std::uint64_t a = readPhysReg(e, e.physSrc1);
+        const std::uint64_t b = readPhysReg(e, e.physSrc2);
+        e.actualTaken = isa::branchTaken(su.base, a, b);
+        e.actualTarget = e.actualTaken
+                             ? static_cast<std::uint32_t>(su.imm)
+                             : e.rip + isa::INSN_BYTES;
+        scheduleCompletion(e, cycle_ + 1);
+        break;
+      }
+
+      case UopKind::Jump: {
+        e.actualTaken = true;
+        if (su.base == Opcode::JMP) {
+            e.actualTarget = static_cast<std::uint32_t>(su.imm);
+        } else {
+            e.actualTarget = readPhysReg(e, e.physSrc1);
+        }
+        scheduleCompletion(e, cycle_ + 1);
+        break;
+      }
+
+      case UopKind::Load: {
+        ++stats_.loadsExecuted;
+        const Addr addr = prf_[e.physSrc1] + su.imm;
+        addPendingRead(e, Structure::RegisterFile, e.physSrc1, cycle_,
+                       phase::RegRead);
+        const TrapKind t = mem_.check(addr, su.memSize, false);
+        if (t != TrapKind::None) {
+            e.trap = t;
+            scheduleCompletion(e, cycle_ + 1);
+            break;
+        }
+        bool can_forward = false;
+        std::uint64_t value = 0;
+        std::uint32_t fwd_slot = 0;
+        const bool blocked =
+            loadBlocked(e, addr, su.memSize, can_forward, value, fwd_slot);
+        MERLIN_ASSERT(!blocked, "blocked load reached execute");
+        Cycle done_at;
+        if (can_forward) {
+            ++stats_.storeForwards;
+            addPendingRead(e, Structure::StoreQueue, fwd_slot, cycle_,
+                           phase::SqForwardRead);
+            done_at = cycle_ + cfg_.forwardLatency;
+        } else {
+            l1dWbReadPhase_ = phase::L1dIssueWbRead;
+            l1dWritePhase_ = phase::L1dIssueWrite;
+            l1dCtxSeq_ = e.seq;
+            Cache::AccessResult ar =
+                l1d_.access(addr, false, cycle_, e.rip, e.upc);
+            const std::uint32_t off = static_cast<std::uint32_t>(
+                addr & (cfg_.l1d.lineSize - 1));
+            value = l1d_.readBytes(ar.set, ar.way, off, su.memSize);
+            addPendingRead(e, Structure::L1DCache,
+                           l1d_.wordIndex(ar.set, ar.way, off), cycle_,
+                           phase::L1dLoadRead);
+            done_at = cycle_ + ar.latency;
+            ar.hit ? ++stats_.l1dHits : ++stats_.l1dMisses;
+        }
+        if (su.loadSigned) {
+            value = static_cast<std::uint64_t>(
+                signExtend(value, su.memSize * 8));
+        }
+        e.resultValue = value;
+        scheduleCompletion(e, done_at);
+        break;
+      }
+
+      case UopKind::Store: {
+        const Addr addr = readPhysReg(e, e.physSrc1) + su.imm;
+        const std::uint64_t data = readPhysReg(e, e.physSrc2);
+        SqEntry &q = sq_[e.sqSlot];
+        const TrapKind t = mem_.check(addr, su.memSize, true);
+        if (t != TrapKind::None) {
+            e.trap = t;
+        } else {
+            q.addr = addr;
+            q.size = su.memSize;
+            q.addrReady = true;
+            sqData_[e.sqSlot] = data;
+            q.dataReady = true;
+            if (probe_) {
+                probe_->onWrite(Structure::StoreQueue,
+                                static_cast<EntryIndex>(e.sqSlot), cycle_,
+                                phase::SqWrite);
+            }
+        }
+        scheduleCompletion(e, cycle_ + 1);
+        break;
+      }
+
+      case UopKind::Out: {
+        e.outValue = readPhysReg(e, e.physSrc2);
+        scheduleCompletion(e, cycle_ + 1);
+        break;
+      }
+
+      case UopKind::Trap: {
+        const std::uint64_t a = readPhysReg(e, e.physSrc1);
+        if (a != 0)
+            e.trap = TrapKind::DetectedError;
+        scheduleCompletion(e, cycle_ + 1);
+        break;
+      }
+
+      default:
+        panic("executeUop: unexpected uop kind");
+    }
+}
+
+void
+Core::stageIssue()
+{
+    unsigned issued = 0;
+    unsigned alu_used = 0;
+    unsigned complex_used = 0;
+    unsigned mem_used = 0;
+
+    for (auto it = iq_.begin();
+         it != iq_.end() && issued < cfg_.issueWidth;) {
+        RobEntry &e = rob_[*it];
+        const bool ready =
+            (e.physSrc1 == NO_PREG || prfReady_[e.physSrc1]) &&
+            (e.physSrc2 == NO_PREG || prfReady_[e.physSrc2]);
+        if (!ready) {
+            ++it;
+            continue;
+        }
+
+        // Functional-unit availability.
+        unsigned div_unit = 0;
+        switch (e.su.kind) {
+          case UopKind::Alu:
+          case UopKind::Branch:
+          case UopKind::Jump:
+          case UopKind::Out:
+          case UopKind::Trap:
+            if (alu_used >= cfg_.intAluCount) {
+                ++it;
+                continue;
+            }
+            break;
+          case UopKind::Mul:
+            if (complex_used >= cfg_.complexCount) {
+                ++it;
+                continue;
+            }
+            break;
+          case UopKind::Div: {
+            bool found = false;
+            if (complex_used < cfg_.complexCount) {
+                for (unsigned u = 0; u < divBusyUntil_.size(); ++u) {
+                    if (divBusyUntil_[u] <= cycle_) {
+                        div_unit = u;
+                        found = true;
+                        break;
+                    }
+                }
+            }
+            if (!found) {
+                ++it;
+                continue;
+            }
+            break;
+          }
+          case UopKind::Load:
+          case UopKind::Store:
+            if (mem_used >= cfg_.memPorts) {
+                ++it;
+                continue;
+            }
+            break;
+          default:
+            break;
+        }
+
+        // Memory-ordering check for loads (no pending reads recorded on
+        // a blocked attempt; the final successful issue records them).
+        if (e.su.kind == UopKind::Load) {
+            const Addr addr = prf_[e.physSrc1] + e.su.imm;
+            if (mem_.check(addr, e.su.memSize, false) == TrapKind::None) {
+                bool fwd = false;
+                std::uint64_t v = 0;
+                std::uint32_t slot = 0;
+                if (loadBlocked(e, addr, e.su.memSize, fwd, v, slot)) {
+                    ++it;
+                    continue;
+                }
+            }
+        }
+
+        executeUop(e);
+        switch (e.su.kind) {
+          case UopKind::Mul:
+            ++complex_used;
+            break;
+          case UopKind::Div:
+            ++complex_used;
+            divBusyUntil_[div_unit] = cycle_ + cfg_.divLatency;
+            break;
+          case UopKind::Load:
+          case UopKind::Store:
+            ++mem_used;
+            break;
+          default:
+            ++alu_used;
+            break;
+        }
+        ++issued;
+        it = iq_.erase(it);
+    }
+}
+
+// ------------------------------------------------------------ writeback
+
+void
+Core::squashAfter(SeqNum branch_seq, Addr redirect_to)
+{
+    ++stats_.squashes;
+    for (SeqNum s = robTailSeq_; s-- > branch_seq + 1;) {
+        RobEntry &e = robAt(s);
+        ++e.gen; // invalidate in-flight completions
+        e.nPending = 0;
+        if (e.physDst != NO_PREG) {
+            renameMap_[e.su.dst] = e.prevPhys;
+            freeList_.push_back(e.physDst);
+        }
+        if (e.sqSlot >= 0) {
+            sq_[e.sqSlot].valid = false;
+            sqNextSeq_ = e.storeSeq;
+        }
+        if (e.isLoad)
+            --lqOccupancy_;
+    }
+    robTailSeq_ = branch_seq + 1;
+
+    // Drop squashed entries from the issue queue.
+    std::erase_if(iq_, [&](std::uint32_t idx) {
+        return rob_[idx].seq > branch_seq;
+    });
+
+    // Repair speculative predictor state.
+    RobEntry &b = robAt(branch_seq);
+    if (b.hasPredState)
+        tournament_.repairHistory(b.predState, b.actualTaken);
+    if (b.rasValid) {
+        ras_.restore(b.rasSnap);
+        if (b.su.isCall)
+            ras_.push(b.rip + isa::INSN_BYTES);
+        else if (b.su.isReturn)
+            ras_.pop();
+    }
+
+    fetchPc_ = redirect_to;
+    fetchResumeCycle_ = cycle_ + cfg_.redirectPenalty;
+    fetchHalted_ = false;
+    uopQueue_.clear();
+}
+
+void
+Core::stageWriteback()
+{
+    while (!completions_.empty() && completions_.top().cycle <= cycle_) {
+        const Completion c = completions_.top();
+        completions_.pop();
+        RobEntry &e = rob_[c.robIdx];
+        if (e.gen != c.gen)
+            continue; // squashed
+
+        if (e.physDst != NO_PREG) {
+            prf_[e.physDst] = e.resultValue;
+            prfReady_[e.physDst] = 1;
+            if (probe_) {
+                probe_->onWrite(Structure::RegisterFile, e.physDst,
+                                c.cycle, phase::RegWrite);
+            }
+        }
+        e.done = true;
+
+        if (e.isCtrl && e.actualTarget != e.predTarget) {
+            ++stats_.branchMispredicts;
+            squashAfter(e.seq, e.actualTarget);
+        }
+    }
+}
+
+// --------------------------------------------------------------- commit
+
+void
+Core::stageDrainStores()
+{
+    if (sqHeadSeq_ >= sqNextSeq_)
+        return;
+    const std::uint32_t slot =
+        static_cast<std::uint32_t>(sqHeadSeq_ % cfg_.sqEntries);
+    SqEntry &q = sq_[slot];
+    MERLIN_ASSERT(q.valid, "invalid store at SQ head");
+    if (!q.committed)
+        return;
+
+    l1dWbReadPhase_ = phase::L1dDrainWbRead;
+    l1dWritePhase_ = phase::L1dDrainWrite;
+    l1dCtxSeq_ = q.seqNum;
+    Cache::AccessResult ar = l1d_.access(q.addr, true, cycle_, q.rip,
+                                         q.upc);
+    const std::uint32_t off =
+        static_cast<std::uint32_t>(q.addr & (cfg_.l1d.lineSize - 1));
+    l1d_.writeBytes(ar.set, ar.way, off, q.size, sqData_[slot], cycle_);
+    if (probe_) {
+        // Draining reads the SQ data field one last time.
+        probe_->onCommittedRead(Structure::StoreQueue, slot, cycle_,
+                                phase::SqDrainRead, q.rip, q.upc,
+                                q.seqNum);
+    }
+    q.valid = false;
+    ++sqHeadSeq_;
+}
+
+void
+Core::stageCommit()
+{
+    for (unsigned n = 0; n < cfg_.commitWidth && !robEmpty(); ++n) {
+        RobEntry &e = robAt(robHeadSeq_);
+        if (!e.done)
+            return;
+
+        if (e.trap != TrapKind::None) {
+            raiseTrapAtCommit(e);
+            return;
+        }
+        if (e.su.kind == UopKind::Halt) {
+            ++stats_.instret;
+            ++stats_.uopsRetired;
+            terminate(isa::TerminateReason::Halted,
+                      static_cast<int>(e.su.imm));
+            return;
+        }
+
+        if (probe_) {
+            for (unsigned i = 0; i < e.nPending; ++i) {
+                const PendingRead &p = e.pending[i];
+                probe_->onCommittedRead(p.s, p.entry, p.cycle, p.phase,
+                                        e.rip, e.upc, e.seq);
+            }
+        }
+
+        if (e.su.kind == UopKind::Out) {
+            std::uint8_t buf[8];
+            storeLE(buf, e.outValue, 8);
+            result_.output.insert(result_.output.end(), buf,
+                                  buf + e.su.memSize);
+        }
+        if (e.su.kind == UopKind::Store)
+            sq_[e.sqSlot].committed = true;
+        if (e.isLoad)
+            --lqOccupancy_;
+
+        if (e.physDst != NO_PREG) {
+            if (e.prevPhys != NO_PREG)
+                freeList_.push_back(e.prevPhys);
+            commitMap_[e.su.dst] = e.physDst;
+        }
+
+        if (e.isCtrl) {
+            if (e.hasPredState) {
+                ++stats_.condBranches;
+                tournament_.update(e.rip, e.actualTaken, e.predState);
+                if (probe_)
+                    probe_->onCommitBranch(e.rip, e.actualTaken, e.seq);
+            } else if (e.su.base == Opcode::JR) {
+                btb_.update(e.rip, e.actualTarget);
+            }
+        }
+
+        ++stats_.uopsRetired;
+        if (e.lastUop) {
+            ++stats_.instret;
+            if (probe_)
+                probe_->onCommitInstruction(e.rip, e.seq);
+            if (cfg_.instructionWindowEnd != 0 &&
+                stats_.instret >= cfg_.instructionWindowEnd) {
+                ++robHeadSeq_;
+                lastCommitCycle_ = cycle_;
+                terminate(isa::TerminateReason::WindowEnd, 0);
+                return;
+            }
+        }
+
+        ++robHeadSeq_;
+        lastCommitCycle_ = cycle_;
+    }
+}
+
+// ----------------------------------------------------------------- tick
+
+bool
+Core::tick()
+{
+    if (finished_)
+        return false;
+    if (cycle_ >= cfg_.maxCycles) {
+        terminate(isa::TerminateReason::CycleLimit, -1);
+        return false;
+    }
+    if (cycle_ - lastCommitCycle_ > cfg_.deadlockCycles) {
+        terminate(isa::TerminateReason::Deadlock, -1);
+        return false;
+    }
+
+    stageCommit();
+    if (finished_) {
+        stats_.cycles = cycle_;
+        return false;
+    }
+    stageDrainStores();
+    stageWriteback();
+    stageIssue();
+    stageRename();
+    stageFetch();
+
+    ++cycle_;
+    stats_.cycles = cycle_;
+    return true;
+}
+
+isa::ArchResult
+Core::run()
+{
+    while (tick()) {
+    }
+    return result_;
+}
+
+std::string
+CoreConfig::summary() const
+{
+    std::string s = "OoO x" + std::to_string(issueWidth);
+    s += " RF=" + std::to_string(numPhysIntRegs);
+    s += " SQ=" + std::to_string(sqEntries);
+    s += " LQ=" + std::to_string(lqEntries);
+    s += " ROB=" + std::to_string(robEntries);
+    s += " IQ=" + std::to_string(iqEntries);
+    s += " L1D=" + std::to_string(l1d.sizeBytes / 1024) + "KB";
+    s += " L1I=" + std::to_string(l1i.sizeBytes / 1024) + "KB";
+    s += " L2=" + std::to_string(l2.sizeBytes / 1024) + "KB";
+    return s;
+}
+
+} // namespace merlin::uarch

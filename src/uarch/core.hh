@@ -1,0 +1,303 @@
+/**
+ * @file
+ * Cycle-level out-of-order core for MRL-64.
+ *
+ * The pipeline models fetch (with branch prediction), decode to uops,
+ * rename onto a physical register file with a free list, dispatch into
+ * ROB / issue queue / load-store queue, out-of-order issue with
+ * functional-unit constraints, store-to-load forwarding, in-order commit,
+ * post-commit store drain into a write-back L1D, and full squash recovery
+ * on branch mispredictions.
+ *
+ * Reliability hooks:
+ *  - a Probe observes physical writes and committed reads of the three
+ *    MeRLiN target structures (RF, SQ data field, L1D data array);
+ *  - flip*Bit() methods let the injector corrupt live storage mid-run.
+ *
+ * Stage evaluation order within a cycle is commit -> writeback -> issue ->
+ * rename/dispatch -> fetch, so dependent single-cycle ops execute on
+ * back-to-back cycles, as in the gem5 O3 model.
+ */
+
+#ifndef MERLIN_UARCH_CORE_HH
+#define MERLIN_UARCH_CORE_HH
+
+#include <cstdint>
+#include <deque>
+#include <queue>
+#include <vector>
+
+#include "isa/interp.hh"
+#include "isa/program.hh"
+#include "isa/uops.hh"
+#include "uarch/branch.hh"
+#include "uarch/cache.hh"
+#include "uarch/config.hh"
+#include "uarch/probe.hh"
+
+namespace merlin::uarch
+{
+
+/** Timing statistics of one run. */
+struct CoreStats
+{
+    std::uint64_t cycles = 0;
+    std::uint64_t instret = 0;
+    std::uint64_t uopsRetired = 0;
+    std::uint64_t branchMispredicts = 0;
+    std::uint64_t condBranches = 0;
+    std::uint64_t squashes = 0;
+    std::uint64_t loadsExecuted = 0;
+    std::uint64_t storeForwards = 0;
+    std::uint64_t l1dHits = 0;
+    std::uint64_t l1dMisses = 0;
+
+    double
+    ipc() const
+    {
+        return cycles ? static_cast<double>(instret) / cycles : 0.0;
+    }
+};
+
+/** The out-of-order core. */
+class Core
+{
+  public:
+    Core(const isa::Program &prog, const CoreConfig &cfg,
+         Probe *probe = nullptr);
+
+    /** Advance one cycle; false once the run has terminated. */
+    bool tick();
+
+    /** Run to termination and return the architectural outcome. */
+    isa::ArchResult run();
+
+    bool finished() const { return finished_; }
+    Cycle cycle() const { return cycle_; }
+    const isa::ArchResult &result() const { return result_; }
+    const CoreStats &stats() const { return stats_; }
+    const CoreConfig &config() const { return cfg_; }
+
+    // ---- fault-injection hooks (GeFIN-style bit flips) ----
+    void flipRegisterFileBit(EntryIndex reg, unsigned bit);
+    void flipStoreQueueBit(EntryIndex slot, unsigned bit);
+    void flipL1dBit(EntryIndex word, unsigned bit);
+
+    /** Entry counts of the injectable structures. */
+    unsigned numRegisterFileEntries() const { return cfg_.numPhysIntRegs; }
+    unsigned numStoreQueueEntries() const { return cfg_.sqEntries; }
+    unsigned numL1dWords() const { return cfg_.l1d.totalWords(); }
+
+    // ---- architectural state extraction (window-end comparison) ----
+    /** Committed value of architectural register @p arch. */
+    std::uint64_t archRegValue(unsigned arch) const;
+
+    /**
+     * Memory as the program would observe it: backing memory with all
+     * dirty cache lines and committed-but-undrained stores applied.
+     */
+    isa::SegmentedMemory archMemoryView() const;
+
+  private:
+    static constexpr std::uint16_t NO_PREG = 0xffff;
+
+    struct PendingRead
+    {
+        Structure s;
+        EntryIndex entry;
+        Cycle cycle;
+        std::uint8_t phase;
+    };
+
+    /** Forwards L1D data-array events to the probe with phase context. */
+    struct L1dSink : CacheEventSink
+    {
+        Core *core = nullptr;
+        void onCacheWordWrite(EntryIndex word, Cycle cycle) override;
+        void onCacheWordWritebackRead(EntryIndex word, Cycle cycle,
+                                      Rip rip, Upc upc) override;
+    };
+    friend struct L1dSink;
+
+    struct RobEntry
+    {
+        std::uint32_t gen = 0;
+        SeqNum seq = 0;
+        Rip rip = 0;
+        Upc upc = 0;
+        bool lastUop = true;
+        isa::StaticUop su;
+
+        std::uint16_t physDst = NO_PREG;
+        std::uint16_t prevPhys = NO_PREG;
+        std::uint16_t physSrc1 = NO_PREG;
+        std::uint16_t physSrc2 = NO_PREG;
+
+        bool done = false;
+        bool inIq = false;
+        isa::TrapKind trap = isa::TrapKind::None;
+        std::uint64_t resultValue = 0;
+
+        // Control flow.
+        bool isCtrl = false;
+        bool predTaken = false;
+        bool actualTaken = false;
+        Addr predTarget = 0;
+        Addr actualTarget = 0;
+        bool hasPredState = false;
+        PredictionState predState;
+        bool rasValid = false;
+        Ras::Snapshot rasSnap{0, 0};
+
+        // Memory.
+        std::uint64_t storeSeq = 0;
+        std::int32_t sqSlot = -1;
+        bool isLoad = false;
+        std::uint64_t loadOlderStoreSeq = 0; ///< youngest older store + 1
+
+        // Output buffering (OUT commits architecturally).
+        std::uint64_t outValue = 0;
+
+        std::uint8_t nPending = 0;
+        PendingRead pending[4];
+    };
+
+    struct SqEntry
+    {
+        bool valid = false;
+        bool addrReady = false;
+        bool dataReady = false;
+        bool committed = false;
+        Addr addr = 0;
+        std::uint8_t size = 0;
+        std::uint64_t storeSeq = 0;
+        std::uint32_t robIdx = 0;
+        SeqNum seqNum = 0;
+        Rip rip = 0;
+        Upc upc = 0;
+    };
+
+    struct FetchedUop
+    {
+        isa::StaticUop su;
+        Rip rip = 0;
+        Upc upc = 0;
+        bool lastUop = true;
+        Cycle readyAt = 0;
+        isa::TrapKind fetchTrap = isa::TrapKind::None;
+        // Prediction attached to the control uop of the macro.
+        bool isCtrl = false;
+        bool predTaken = false;
+        Addr predTarget = 0;
+        bool hasPredState = false;
+        PredictionState predState;
+        bool rasValid = false;
+        Ras::Snapshot rasSnap{0, 0};
+    };
+
+    struct Completion
+    {
+        Cycle cycle;
+        SeqNum seq;
+        std::uint32_t robIdx;
+        std::uint32_t gen;
+        bool
+        operator>(const Completion &o) const
+        {
+            return cycle != o.cycle ? cycle > o.cycle : seq > o.seq;
+        }
+    };
+
+    // Stages.
+    void stageCommit();
+    void stageDrainStores();
+    void stageWriteback();
+    void stageIssue();
+    void stageRename();
+    void stageFetch();
+
+    // Helpers.
+    RobEntry &robAt(SeqNum seq) { return rob_[seq % cfg_.robEntries]; }
+    const RobEntry &robAt(SeqNum seq) const
+    {
+        return rob_[seq % cfg_.robEntries];
+    }
+    bool robFull() const { return robTailSeq_ - robHeadSeq_ >= cfg_.robEntries; }
+    bool robEmpty() const { return robTailSeq_ == robHeadSeq_; }
+
+    void executeUop(RobEntry &e);
+    bool loadBlocked(const RobEntry &e, Addr addr, unsigned size,
+                     bool &can_forward, std::uint64_t &fwd_value,
+                     std::uint32_t &fwd_slot);
+    void scheduleCompletion(RobEntry &e, Cycle when);
+    void squashAfter(SeqNum branch_seq, Addr redirect_to);
+    void terminate(isa::TerminateReason reason, int exit_code);
+    void raiseTrapAtCommit(RobEntry &e);
+    void addPendingRead(RobEntry &e, Structure s, EntryIndex entry,
+                        Cycle cycle, std::uint8_t phase);
+    std::uint64_t readPhysReg(RobEntry &e, std::uint16_t preg);
+
+    CoreConfig cfg_;
+    Probe *probe_;
+
+    // Memory system.
+    isa::SegmentedMemory mem_;
+    Cache l2_;
+    Cache l1i_;
+    Cache l1d_;
+
+    // Branch prediction.
+    TournamentPredictor tournament_;
+    Btb btb_;
+    Ras ras_;
+
+    // Register machinery.
+    std::vector<std::uint64_t> prf_;
+    std::vector<std::uint8_t> prfReady_;
+    std::vector<std::uint16_t> freeList_;
+    std::uint16_t renameMap_[isa::NUM_RENAMEABLE_REGS];
+    std::uint16_t commitMap_[isa::NUM_RENAMEABLE_REGS];
+
+    // Window.
+    std::vector<RobEntry> rob_;
+    SeqNum robHeadSeq_ = 0;
+    SeqNum robTailSeq_ = 0;
+    std::vector<std::uint32_t> iq_; ///< rob indices, program order
+    std::priority_queue<Completion, std::vector<Completion>,
+                        std::greater<Completion>>
+        completions_;
+
+    // LSQ.
+    std::vector<SqEntry> sq_;
+    std::vector<std::uint64_t> sqData_; ///< persistent data-field storage
+    std::uint64_t sqNextSeq_ = 0;
+    std::uint64_t sqHeadSeq_ = 0;
+    unsigned lqOccupancy_ = 0;
+
+    // Frontend.
+    Addr fetchPc_;
+    Cycle fetchResumeCycle_ = 0;
+    bool fetchHalted_ = false; ///< stop fetching until redirect
+    std::deque<FetchedUop> uopQueue_;
+
+    // Execution resources.
+    std::vector<Cycle> divBusyUntil_;
+
+    // Probe plumbing for L1D data-array events.
+    L1dSink l1dSink_;
+    std::uint8_t l1dWbReadPhase_ = phase::L1dIssueWbRead;
+    std::uint8_t l1dWritePhase_ = phase::L1dIssueWrite;
+    SeqNum l1dCtxSeq_ = 0;
+
+    // Run state.
+    Cycle cycle_ = 0;
+    Cycle lastCommitCycle_ = 0;
+    SeqNum nextSeq_ = 0;
+    bool finished_ = false;
+    isa::ArchResult result_;
+    CoreStats stats_;
+};
+
+} // namespace merlin::uarch
+
+#endif // MERLIN_UARCH_CORE_HH

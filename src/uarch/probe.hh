@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Observer interface between the core and reliability tooling.
+ *
+ * The ACE-like profiler (profile/) attaches a Probe to the golden run.
+ * Injection runs attach nothing, so the hot path stays probe-free.
+ *
+ * Event semantics follow the paper's Figure 3:
+ *  - write events are *physical*: they fire whenever storage is
+ *    overwritten, including by wrong-path uops and cache fills;
+ *  - read events are *committed*: the core buffers each uop's reads and
+ *    delivers them only if the uop commits, discarding them on squash.
+ *    Cache write-backs are the exception — the data has already left the
+ *    array, so they are delivered immediately with the RIP/uPC of the
+ *    access that caused the eviction.
+ */
+
+#ifndef MERLIN_UARCH_PROBE_HH
+#define MERLIN_UARCH_PROBE_HH
+
+#include "base/types.hh"
+
+namespace merlin::uarch
+{
+
+/** Structures MeRLiN targets (the paper's RF, SQ data field, L1D data). */
+enum class Structure : std::uint8_t
+{
+    RegisterFile, ///< physical integer register file (64-bit entries)
+    StoreQueue,   ///< store queue data field (8-byte entries)
+    L1DCache,     ///< L1 data cache data array (8-byte word entries)
+};
+
+const char *structureName(Structure s);
+
+/**
+ * Intra-cycle ordering of storage events.  An injected flip lands at the
+ * very start of a cycle; stages then run drain -> writeback -> issue, so
+ * two events in the same cycle are physically ordered by these phase
+ * numbers.  The profiler sorts per-entry events by (cycle, phase).
+ */
+namespace phase
+{
+constexpr std::uint8_t Init = 0;        ///< initial state (cycle 0)
+constexpr std::uint8_t SqDrainRead = 1; ///< drain reads the SQ data field
+constexpr std::uint8_t L1dDrainWbRead = 2;
+constexpr std::uint8_t L1dDrainWrite = 3;
+constexpr std::uint8_t RegWrite = 4;    ///< writeback writes the PRF
+constexpr std::uint8_t RegRead = 5;     ///< issue reads operands
+constexpr std::uint8_t SqWrite = 6;     ///< store execute fills its slot
+constexpr std::uint8_t SqForwardRead = 7;
+constexpr std::uint8_t L1dIssueWbRead = 8;
+constexpr std::uint8_t L1dIssueWrite = 9; ///< fill during a load miss
+constexpr std::uint8_t L1dLoadRead = 10;
+} // namespace phase
+
+/** Core event listener; default implementations ignore everything. */
+class Probe
+{
+  public:
+    virtual ~Probe() = default;
+
+    /** Storage written: entry @p entry of @p s at @p cycle. */
+    virtual void
+    onWrite(Structure /*s*/, EntryIndex /*entry*/, Cycle /*cycle*/,
+            std::uint8_t /*phase*/)
+    {}
+
+    /**
+     * Storage read by a uop that committed.  @p read_cycle is when the
+     * bits were actually consumed (issue/drain/write-back time), not the
+     * commit time.  @p seq is the reader's commit sequence number (used
+     * by the Relyzer control-path heuristic).
+     */
+    virtual void
+    onCommittedRead(Structure /*s*/, EntryIndex /*entry*/,
+                    Cycle /*read_cycle*/, std::uint8_t /*phase*/,
+                    Rip /*rip*/, Upc /*upc*/, SeqNum /*seq*/)
+    {}
+
+    /** A macro instruction committed (Relyzer path profiling). */
+    virtual void
+    onCommitInstruction(Rip /*rip*/, SeqNum /*seq*/)
+    {}
+
+    /** A committed conditional branch resolved @p taken. */
+    virtual void
+    onCommitBranch(Rip /*rip*/, bool /*taken*/, SeqNum /*seq*/)
+    {}
+};
+
+} // namespace merlin::uarch
+
+#endif // MERLIN_UARCH_PROBE_HH

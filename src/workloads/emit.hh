@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Helpers for generating assembly sources with embedded data tables.
+ */
+
+#ifndef MERLIN_WORKLOADS_EMIT_HH
+#define MERLIN_WORKLOADS_EMIT_HH
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace merlin::workloads
+{
+
+/** Emit "label: .quad v0, v1, ..." (8 values per line). */
+inline std::string
+quadTable(const std::string &label, const std::vector<std::int64_t> &vals)
+{
+    std::ostringstream os;
+    os << label << ":";
+    for (std::size_t i = 0; i < vals.size(); ++i) {
+        os << (i % 8 == 0 ? (i ? "\n .quad " : " .quad ") : ", ")
+           << vals[i];
+    }
+    os << "\n";
+    return os.str();
+}
+
+/** Emit "label: .byte v0, v1, ..." (16 values per line). */
+inline std::string
+byteTable(const std::string &label, const std::vector<std::uint8_t> &vals)
+{
+    std::ostringstream os;
+    os << label << ":";
+    for (std::size_t i = 0; i < vals.size(); ++i) {
+        os << (i % 16 == 0 ? (i ? "\n .byte " : " .byte ") : ", ")
+           << static_cast<int>(vals[i]);
+    }
+    os << "\n";
+    return os.str();
+}
+
+/** Append 8 little-endian bytes of @p v (mirrors OUT.D). */
+inline void
+outD(std::vector<std::uint8_t> &out, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+/** Deterministic 64-bit mixer used by input generators. */
+inline std::uint64_t
+mix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+} // namespace merlin::workloads
+
+#endif // MERLIN_WORKLOADS_EMIT_HH

@@ -1,0 +1,401 @@
+/**
+ * @file
+ * caes (MiBench-like): AES-128 ECB encryption of 4 blocks, with the key
+ * schedule computed in-program and table-based SubBytes.
+ */
+
+#include <array>
+#include <sstream>
+
+#include "workloads/emit.hh"
+#include "workloads/suite.hh"
+
+namespace merlin::workloads
+{
+
+namespace
+{
+
+constexpr unsigned BLOCKS = 4;
+
+const std::uint8_t SBOX[256] = {
+    0x63, 0x7c, 0x77, 0x7b, 0xf2, 0x6b, 0x6f, 0xc5, 0x30, 0x01, 0x67,
+    0x2b, 0xfe, 0xd7, 0xab, 0x76, 0xca, 0x82, 0xc9, 0x7d, 0xfa, 0x59,
+    0x47, 0xf0, 0xad, 0xd4, 0xa2, 0xaf, 0x9c, 0xa4, 0x72, 0xc0, 0xb7,
+    0xfd, 0x93, 0x26, 0x36, 0x3f, 0xf7, 0xcc, 0x34, 0xa5, 0xe5, 0xf1,
+    0x71, 0xd8, 0x31, 0x15, 0x04, 0xc7, 0x23, 0xc3, 0x18, 0x96, 0x05,
+    0x9a, 0x07, 0x12, 0x80, 0xe2, 0xeb, 0x27, 0xb2, 0x75, 0x09, 0x83,
+    0x2c, 0x1a, 0x1b, 0x6e, 0x5a, 0xa0, 0x52, 0x3b, 0xd6, 0xb3, 0x29,
+    0xe3, 0x2f, 0x84, 0x53, 0xd1, 0x00, 0xed, 0x20, 0xfc, 0xb1, 0x5b,
+    0x6a, 0xcb, 0xbe, 0x39, 0x4a, 0x4c, 0x58, 0xcf, 0xd0, 0xef, 0xaa,
+    0xfb, 0x43, 0x4d, 0x33, 0x85, 0x45, 0xf9, 0x02, 0x7f, 0x50, 0x3c,
+    0x9f, 0xa8, 0x51, 0xa3, 0x40, 0x8f, 0x92, 0x9d, 0x38, 0xf5, 0xbc,
+    0xb6, 0xda, 0x21, 0x10, 0xff, 0xf3, 0xd2, 0xcd, 0x0c, 0x13, 0xec,
+    0x5f, 0x97, 0x44, 0x17, 0xc4, 0xa7, 0x7e, 0x3d, 0x64, 0x5d, 0x19,
+    0x73, 0x60, 0x81, 0x4f, 0xdc, 0x22, 0x2a, 0x90, 0x88, 0x46, 0xee,
+    0xb8, 0x14, 0xde, 0x5e, 0x0b, 0xdb, 0xe0, 0x32, 0x3a, 0x0a, 0x49,
+    0x06, 0x24, 0x5c, 0xc2, 0xd3, 0xac, 0x62, 0x91, 0x95, 0xe4, 0x79,
+    0xe7, 0xc8, 0x37, 0x6d, 0x8d, 0xd5, 0x4e, 0xa9, 0x6c, 0x56, 0xf4,
+    0xea, 0x65, 0x7a, 0xae, 0x08, 0xba, 0x78, 0x25, 0x2e, 0x1c, 0xa6,
+    0xb4, 0xc6, 0xe8, 0xdd, 0x74, 0x1f, 0x4b, 0xbd, 0x8b, 0x8a, 0x70,
+    0x3e, 0xb5, 0x66, 0x48, 0x03, 0xf6, 0x0e, 0x61, 0x35, 0x57, 0xb9,
+    0x86, 0xc1, 0x1d, 0x9e, 0xe1, 0xf8, 0x98, 0x11, 0x69, 0xd9, 0x8e,
+    0x94, 0x9b, 0x1e, 0x87, 0xe9, 0xce, 0x55, 0x28, 0xdf, 0x8c, 0xa1,
+    0x89, 0x0d, 0xbf, 0xe6, 0x42, 0x68, 0x41, 0x99, 0x2d, 0x0f, 0xb0,
+    0x54, 0xbb, 0x16};
+
+std::uint8_t
+xtime(std::uint8_t x)
+{
+    return static_cast<std::uint8_t>((x << 1) ^ ((x & 0x80) ? 0x1b : 0));
+}
+
+/** Reference AES-128 ECB encrypt (column-major state, as in FIPS-197). */
+std::array<std::uint8_t, 16>
+refEncrypt(const std::uint8_t key[16], const std::uint8_t in[16])
+{
+    std::uint8_t rk[176];
+    std::copy(key, key + 16, rk);
+    std::uint8_t rcon = 1;
+    for (unsigned i = 16; i < 176; i += 4) {
+        std::uint8_t t[4] = {rk[i - 4], rk[i - 3], rk[i - 2], rk[i - 1]};
+        if (i % 16 == 0) {
+            std::uint8_t tmp = t[0];
+            t[0] = static_cast<std::uint8_t>(SBOX[t[1]] ^ rcon);
+            t[1] = SBOX[t[2]];
+            t[2] = SBOX[t[3]];
+            t[3] = SBOX[tmp];
+            rcon = xtime(rcon);
+        }
+        for (int k = 0; k < 4; ++k)
+            rk[i + k] = rk[i - 16 + k] ^ t[k];
+    }
+
+    std::array<std::uint8_t, 16> s;
+    std::copy(in, in + 16, s.begin());
+    auto addRk = [&](unsigned r) {
+        for (int i = 0; i < 16; ++i)
+            s[i] ^= rk[16 * r + i];
+    };
+    auto subShift = [&] {
+        std::uint8_t t[16];
+        // state laid out column-major: s[c*4 + r]
+        for (int c = 0; c < 4; ++c)
+            for (int r = 0; r < 4; ++r)
+                t[c * 4 + r] = SBOX[s[((c + r) % 4) * 4 + r]];
+        std::copy(t, t + 16, s.begin());
+    };
+    auto mixCols = [&] {
+        for (int c = 0; c < 4; ++c) {
+            std::uint8_t a0 = s[c * 4], a1 = s[c * 4 + 1],
+                         a2 = s[c * 4 + 2], a3 = s[c * 4 + 3];
+            s[c * 4] = xtime(a0) ^ (xtime(a1) ^ a1) ^ a2 ^ a3;
+            s[c * 4 + 1] = a0 ^ xtime(a1) ^ (xtime(a2) ^ a2) ^ a3;
+            s[c * 4 + 2] = a0 ^ a1 ^ xtime(a2) ^ (xtime(a3) ^ a3);
+            s[c * 4 + 3] = (xtime(a0) ^ a0) ^ a1 ^ a2 ^ xtime(a3);
+        }
+    };
+    addRk(0);
+    for (unsigned r = 1; r <= 9; ++r) {
+        subShift();
+        mixCols();
+        addRk(r);
+    }
+    subShift();
+    addRk(10);
+    return s;
+}
+
+} // namespace
+
+WorkloadSource
+wlCaes()
+{
+    WorkloadSource w;
+    w.description = "AES-128 ECB encrypt of 4 blocks, in-program key "
+                    "schedule";
+
+    std::vector<std::uint8_t> sbox(SBOX, SBOX + 256);
+    std::vector<std::uint8_t> key(16);
+    for (unsigned i = 0; i < 16; ++i)
+        key[i] = static_cast<std::uint8_t>(mix64(i + 42));
+    std::vector<std::uint8_t> plain(BLOCKS * 16);
+    for (unsigned i = 0; i < plain.size(); ++i)
+        plain[i] = static_cast<std::uint8_t>(mix64(i * 13 + 5));
+
+    std::ostringstream os;
+    os << ".data\n"
+       << byteTable("sbox", sbox) << byteTable("key", key)
+       << byteTable("plain", plain) << "rk: .space 176\n"
+       << "st: .space 16\n"
+       << "tmpst: .space 16\n"
+       << "ct: .space " << BLOCKS * 16 << "\n"
+       << ".text\n";
+    os << R"(_start:
+  ; ================= key schedule =================
+  ; copy key -> rk[0..15]
+  la t0, key
+  la t1, rk
+  movi t2, 0
+kc:
+  add t3, t0, t2
+  ld.bu t4, [t3]
+  add t3, t1, t2
+  st.b t4, [t3]
+  addi t2, t2, 1
+  slti t3, t2, 16
+  bne t3, t8, kc
+  movi s0, 16            ; i
+  movi s1, 1             ; rcon
+ks_loop:
+  ; t[0..3] = rk[i-4 .. i-1] in t4..t7
+  la t1, rk
+  add t0, t1, s0
+  ld.bu t4, [t0-4]
+  ld.bu t5, [t0-3]
+  ld.bu t6, [t0-2]
+  ld.bu t7, [t0-1]
+  ; if i % 16 == 0: rotate+sub+rcon
+  andi t2, s0, 15
+  bne t2, t8, ks_noxf
+  la t3, sbox
+  add t2, t3, t5
+  ld.bu t9, [t2]
+  xor t9, t9, s1         ; t0' = sbox[t1] ^ rcon
+  add t2, t3, t6
+  ld.bu s4, [t2]         ; t1' = sbox[t2]
+  add t2, t3, t7
+  ld.bu s5, [t2]         ; t2' = sbox[t3]
+  add t2, t3, t4
+  ld.bu s6, [t2]         ; t3' = sbox[t0]
+  mov t4, t9
+  mov t5, s4
+  mov t6, s5
+  mov t7, s6
+  ; rcon = xtime(rcon)
+  shli s1, s1, 1
+  andi t2, s1, 256
+  beq t2, t8, ks_noxf
+  xori s1, s1, 0x11b
+ks_noxf:
+  ; rk[i+k] = rk[i-16+k] ^ t[k]
+  ld.bu t2, [t0-16]
+  xor t2, t2, t4
+  st.b t2, [t0]
+  ld.bu t2, [t0-15]
+  xor t2, t2, t5
+  st.b t2, [t0+1]
+  ld.bu t2, [t0-14]
+  xor t2, t2, t6
+  st.b t2, [t0+2]
+  ld.bu t2, [t0-13]
+  xor t2, t2, t7
+  st.b t2, [t0+3]
+  addi s0, s0, 4
+  slti t2, s0, 176
+  bne t2, t8, ks_loop
+
+  ; ================= encrypt blocks =================
+  movi s7, 0             ; block index
+blk_loop:
+  ; load plaintext block into st
+  la t0, plain
+  shli t1, s7, 4
+  add t0, t0, t1
+  la t1, st
+  movi t2, 0
+pc:
+  add t3, t0, t2
+  ld.bu t4, [t3]
+  add t3, t1, t2
+  st.b t4, [t3]
+  addi t2, t2, 1
+  slti t3, t2, 16
+  bne t3, t8, pc
+  ; round 0: add round key 0
+  movi a0, 0
+  call addrk
+  ; rounds 1..9
+  movi s2, 1
+round_loop:
+  call subshift
+  call mixcols
+  mov a0, s2
+  call addrk
+  addi s2, s2, 1
+  slti t0, s2, 10
+  bne t0, t8, round_loop
+  ; final round
+  call subshift
+  movi a0, 10
+  call addrk
+  ; store ciphertext
+  la t0, ct
+  shli t1, s7, 4
+  add t0, t0, t1
+  la t1, st
+  movi t2, 0
+cc:
+  add t3, t1, t2
+  ld.bu t4, [t3]
+  add t3, t0, t2
+  st.b t4, [t3]
+  addi t2, t2, 1
+  slti t3, t2, 16
+  bne t3, t8, cc
+  addi s7, s7, 1
+  slti t0, s7, )" << BLOCKS << R"(
+  bne t0, t8, blk_loop
+
+  ; ================= checksum =================
+  la t0, ct
+  movi t1, 0
+  li s4, 0xcbf29ce484222325
+  li s5, 0x100000001b3
+fnv:
+  add t2, t0, t1
+  ld.bu t3, [t2]
+  xor s4, s4, t3
+  mul s4, s4, s5
+  addi t1, t1, 1
+  slti t2, t1, )" << BLOCKS * 16 << R"(
+  bne t2, t8, fnv
+  out.d s4
+  halt 0
+
+; ---- addrk(a0 = round): st[i] ^= rk[16*round + i] ----
+addrk:
+  la t0, rk
+  shli t1, a0, 4
+  add t0, t0, t1
+  la t1, st
+  movi t2, 0
+ar_l:
+  add t3, t0, t2
+  ld.bu t4, [t3]
+  add t3, t1, t2
+  ld.bu t5, [t3]
+  xor t4, t4, t5
+  st.b t4, [t3]
+  addi t2, t2, 1
+  slti t3, t2, 16
+  bne t3, t8, ar_l
+  ret
+
+; ---- subshift: tmpst[c*4+r] = sbox[st[((c+r)%4)*4+r]]; st = tmpst ----
+subshift:
+  la t0, st
+  la t1, tmpst
+  la t9, sbox
+  movi t2, 0             ; c
+ss_c:
+  movi t3, 0             ; r
+ss_r:
+  add t4, t2, t3
+  andi t4, t4, 3
+  shli t4, t4, 2
+  add t4, t4, t3
+  add t4, t4, t0
+  ld.bu t5, [t4]
+  add t5, t5, t9
+  ld.bu t5, [t5]
+  shli t4, t2, 2
+  add t4, t4, t3
+  add t4, t4, t1
+  st.b t5, [t4]
+  addi t3, t3, 1
+  slti t4, t3, 4
+  bne t4, t8, ss_r
+  addi t2, t2, 1
+  slti t4, t2, 4
+  bne t4, t8, ss_c
+  ; copy back
+  movi t2, 0
+ss_cp:
+  add t3, t1, t2
+  ld.bu t4, [t3]
+  add t3, t0, t2
+  st.b t4, [t3]
+  addi t2, t2, 1
+  slti t3, t2, 16
+  bne t3, t8, ss_cp
+  ret
+
+; ---- mixcols: GF(2^8) column mix; xt(x) inlined ----
+mixcols:
+  la t0, st
+  movi t1, 0             ; column
+mc_c:
+  shli t2, t1, 2
+  add t2, t2, t0
+  ld.bu t3, [t2]         ; a0
+  ld.bu t4, [t2+1]       ; a1
+  ld.bu t5, [t2+2]       ; a2
+  ld.bu t6, [t2+3]       ; a3
+  ; xtime helpers: t7 = xt(a0), t9 = xt(a1), s4 = xt(a2), s5 = xt(a3)
+  shli t7, t3, 1
+  andi s6, t7, 256
+  beq s6, t8, mc0
+  xori t7, t7, 0x11b
+mc0:
+  shli t9, t4, 1
+  andi s6, t9, 256
+  beq s6, t8, mc1
+  xori t9, t9, 0x11b
+mc1:
+  shli s4, t5, 1
+  andi s6, s4, 256
+  beq s6, t8, mc2
+  xori s4, s4, 0x11b
+mc2:
+  shli s5, t6, 1
+  andi s6, s5, 256
+  beq s6, t8, mc3
+  xori s5, s5, 0x11b
+mc3:
+  ; b0 = xt0 ^ xt1 ^ a1 ^ a2 ^ a3
+  xor s6, t7, t9
+  xor s6, s6, t4
+  xor s6, s6, t5
+  xor s6, s6, t6
+  st.b s6, [t2]
+  ; b1 = a0 ^ xt1 ^ xt2 ^ a2 ^ a3
+  xor s6, t3, t9
+  xor s6, s6, s4
+  xor s6, s6, t5
+  xor s6, s6, t6
+  st.b s6, [t2+1]
+  ; b2 = a0 ^ a1 ^ xt2 ^ xt3 ^ a3
+  xor s6, t3, t4
+  xor s6, s6, s4
+  xor s6, s6, s5
+  xor s6, s6, t6
+  st.b s6, [t2+2]
+  ; b3 = xt0 ^ a0 ^ a1 ^ a2 ^ xt3
+  xor s6, t7, t3
+  xor s6, s6, t4
+  xor s6, s6, t5
+  xor s6, s6, s5
+  st.b s6, [t2+3]
+  addi t1, t1, 1
+  slti t2, t1, 4
+  bne t2, t8, mc_c
+  ret
+)";
+    w.source = os.str();
+
+    std::vector<std::uint8_t> ct;
+    for (unsigned b = 0; b < BLOCKS; ++b) {
+        auto c = refEncrypt(key.data(), &plain[b * 16]);
+        ct.insert(ct.end(), c.begin(), c.end());
+    }
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (std::uint8_t b : ct) {
+        h ^= b;
+        h *= 1099511628211ULL;
+    }
+    outD(w.expected, h);
+    return w;
+}
+
+} // namespace merlin::workloads

@@ -1,0 +1,247 @@
+/**
+ * @file
+ * fft (MiBench-like): 64-point iterative radix-2 FFT in Q15 fixed point
+ * with precomputed twiddle tables.
+ */
+
+#include <cmath>
+#include <sstream>
+
+#include "workloads/emit.hh"
+#include "workloads/suite.hh"
+
+namespace merlin::workloads
+{
+
+namespace
+{
+
+constexpr unsigned N = 64;
+constexpr unsigned LOG2N = 6;
+
+std::vector<std::int64_t>
+inputSignal(bool imag)
+{
+    std::vector<std::int64_t> v(N);
+    for (unsigned i = 0; i < N; ++i) {
+        // A couple of tones plus pseudo-noise, Q15 range.
+        double t = 2.0 * M_PI * static_cast<double>(i) / N;
+        double s = 0.4 * std::sin(3 * t) + 0.25 * std::cos(7 * t);
+        std::int64_t noise =
+            static_cast<std::int64_t>(mix64(i + (imag ? 999 : 1)) % 2048) -
+            1024;
+        v[i] = static_cast<std::int64_t>(s * 32767.0) + (imag ? 0 : noise);
+    }
+    return v;
+}
+
+std::vector<std::int64_t>
+twiddle(bool imag)
+{
+    std::vector<std::int64_t> v(N / 2);
+    for (unsigned i = 0; i < N / 2; ++i) {
+        double a = -2.0 * M_PI * static_cast<double>(i) / N;
+        v[i] = static_cast<std::int64_t>(
+            std::lround((imag ? std::sin(a) : std::cos(a)) * 32767.0));
+    }
+    return v;
+}
+
+unsigned
+bitrev(unsigned x, unsigned bits)
+{
+    unsigned r = 0;
+    for (unsigned i = 0; i < bits; ++i)
+        r |= ((x >> i) & 1) << (bits - 1 - i);
+    return r;
+}
+
+/** Reference FFT identical in structure to the assembly. */
+void
+refFft(std::vector<std::int64_t> &re, std::vector<std::int64_t> &im,
+       const std::vector<std::int64_t> &wr,
+       const std::vector<std::int64_t> &wi)
+{
+    for (unsigned i = 0; i < N; ++i) {
+        unsigned j = bitrev(i, LOG2N);
+        if (j > i) {
+            std::swap(re[i], re[j]);
+            std::swap(im[i], im[j]);
+        }
+    }
+    for (unsigned len = 2; len <= N; len <<= 1) {
+        const unsigned half = len / 2;
+        const unsigned step = N / len;
+        for (unsigned base = 0; base < N; base += len) {
+            for (unsigned k = 0; k < half; ++k) {
+                const unsigned tw = k * step;
+                const std::int64_t cr = wr[tw], ci = wi[tw];
+                const unsigned a = base + k, b = base + k + half;
+                const std::int64_t tr = (re[b] * cr - im[b] * ci) >> 15;
+                const std::int64_t ti = (re[b] * ci + im[b] * cr) >> 15;
+                re[b] = re[a] - tr;
+                im[b] = im[a] - ti;
+                re[a] = re[a] + tr;
+                im[a] = im[a] + ti;
+            }
+        }
+    }
+}
+
+} // namespace
+
+WorkloadSource
+wlFft()
+{
+    WorkloadSource w;
+    w.description = "64-point radix-2 FFT, Q15 fixed point";
+
+    auto re = inputSignal(false);
+    auto im = inputSignal(true);
+    auto wr = twiddle(false);
+    auto wi = twiddle(true);
+
+    std::vector<std::int64_t> brtab(N);
+    for (unsigned i = 0; i < N; ++i)
+        brtab[i] = bitrev(i, LOG2N);
+
+    std::ostringstream os;
+    os << ".data\n"
+       << quadTable("re", re) << quadTable("im", im)
+       << quadTable("wr", wr) << quadTable("wi", wi)
+       << quadTable("brtab", brtab) << ".text\n";
+    // s0 = re, s1 = im, s2 = wr, s3 = wi, t8 = 0.
+    os << R"(_start:
+  la s0, re
+  la s1, im
+  la s2, wr
+  la s3, wi
+  ; ---- bit-reversal permutation ----
+  la t0, brtab
+  movi t1, 0
+brl:
+  shli t2, t1, 3
+  add t3, t2, t0
+  ld.d t4, [t3]          ; j
+  bge t1, t4, brskip     ; only swap when j > i
+  shli t5, t4, 3
+  add t6, t2, s0
+  add t7, t5, s0
+  ld.d t9, [t6]
+  ld.d s4, [t7]
+  st.d s4, [t6]
+  st.d t9, [t7]
+  add t6, t2, s1
+  add t7, t5, s1
+  ld.d t9, [t6]
+  ld.d s4, [t7]
+  st.d s4, [t6]
+  st.d t9, [t7]
+brskip:
+  addi t1, t1, 1
+  slti t2, t1, )" << N << R"(
+  bne t2, t8, brl
+
+  ; ---- butterfly stages: s5 = len ----
+  movi s5, 2
+stage:
+  shri s6, s5, 1         ; half
+  movi s7, )" << N << R"(
+  divu s7, s7, s5        ; step = N / len
+  movi s8, 0             ; base
+base_loop:
+  movi s9, 0             ; k
+k_loop:
+  mul t0, s9, s7         ; tw index
+  shli t0, t0, 3
+  add t1, t0, s2
+  ld.d t2, [t1]          ; cr
+  add t1, t0, s3
+  ld.d t3, [t1]          ; ci
+  add t4, s8, s9         ; a
+  add t5, t4, s6         ; b
+  shli t4, t4, 3
+  shli t5, t5, 3
+  add t6, t5, s0
+  ld.d t7, [t6]          ; re[b]
+  add t6, t5, s1
+  ld.d t9, [t6]          ; im[b]
+  ; tr = (re[b]*cr - im[b]*ci) >> 15
+  mul t0, t7, t2
+  mul t1, t9, t3
+  sub t0, t0, t1
+  srai t0, t0, 15
+  ; ti = (re[b]*ci + im[b]*cr) >> 15
+  mul t1, t7, t3
+  mul t6, t9, t2
+  add t1, t1, t6
+  srai t1, t1, 15
+  ; update
+  add t6, t4, s0
+  ld.d t7, [t6]          ; re[a]
+  sub t9, t7, t0
+  add t7, t7, t0
+  st.d t7, [t6]
+  add t6, t5, s0
+  st.d t9, [t6]
+  add t6, t4, s1
+  ld.d t7, [t6]          ; im[a]
+  sub t9, t7, t1
+  add t7, t7, t1
+  st.d t7, [t6]
+  add t6, t5, s1
+  st.d t9, [t6]
+  addi s9, s9, 1
+  blt s9, s6, k_loop
+  add s8, s8, s5
+  movi t0, )" << N << R"(
+  blt s8, t0, base_loop
+  shli s5, s5, 1
+  movi t0, )" << N << R"(
+  bge t0, s5, stage
+
+  ; ---- spectrum checksum ----
+  movi t0, 0
+  movi t1, 0             ; sum
+  movi t2, 0             ; xor mix
+sum_loop:
+  shli t3, t0, 3
+  add t4, t3, s0
+  ld.d t5, [t4]
+  add t4, t3, s1
+  ld.d t6, [t4]
+  mul t7, t5, t5
+  mul t9, t6, t6
+  add t7, t7, t9
+  add t1, t1, t7         ; power sum
+  xor t2, t2, t7
+  addi t0, t0, 1
+  slti t3, t0, )" << N << R"(
+  bne t3, t8, sum_loop
+  out.d t1
+  out.d t2
+  ; a few raw bins
+  ld.d t0, [s0+24]
+  out.d t0
+  ld.d t0, [s1+56]
+  out.d t0
+  halt 0
+)";
+    w.source = os.str();
+
+    refFft(re, im, wr, wi);
+    std::uint64_t sum = 0, mixv = 0;
+    for (unsigned i = 0; i < N; ++i) {
+        std::uint64_t p = static_cast<std::uint64_t>(re[i] * re[i]) +
+                          static_cast<std::uint64_t>(im[i] * im[i]);
+        sum += p;
+        mixv ^= p;
+    }
+    outD(w.expected, sum);
+    outD(w.expected, mixv);
+    outD(w.expected, static_cast<std::uint64_t>(re[3]));
+    outD(w.expected, static_cast<std::uint64_t>(im[7]));
+    return w;
+}
+
+} // namespace merlin::workloads

@@ -1,0 +1,393 @@
+/**
+ * @file
+ * djpeg / cjpeg (MiBench-like): the 8x8 block transform cores of JPEG
+ * decompression and compression — dequantize + 2D IDCT with clamping,
+ * and 2D forward DCT + quantization — over 8 blocks, in Q13 fixed point.
+ */
+
+#include <cmath>
+#include <sstream>
+
+#include "workloads/emit.hh"
+#include "workloads/suite.hh"
+
+namespace merlin::workloads
+{
+
+namespace
+{
+
+constexpr unsigned BLOCKS = 8;
+
+/** Q13 DCT-II basis matrix c[u][x] (includes normalization). */
+std::vector<std::int64_t>
+dctMatrix()
+{
+    std::vector<std::int64_t> c(64);
+    for (unsigned u = 0; u < 8; ++u) {
+        for (unsigned x = 0; x < 8; ++x) {
+            double a = (u == 0) ? std::sqrt(1.0 / 8.0)
+                                : std::sqrt(2.0 / 8.0);
+            c[u * 8 + x] = static_cast<std::int64_t>(std::lround(
+                a * std::cos((2 * x + 1) * u * M_PI / 16.0) * 8192.0));
+        }
+    }
+    return c;
+}
+
+std::vector<std::int64_t>
+quantTable()
+{
+    std::vector<std::int64_t> q(64);
+    for (unsigned u = 0; u < 8; ++u)
+        for (unsigned v = 0; v < 8; ++v)
+            q[u * 8 + v] = 8 + 3 * (u + v);
+    return q;
+}
+
+/** JPEG-like sparse coefficient blocks (decoder input). */
+std::vector<std::int64_t>
+coeffBlocks()
+{
+    std::vector<std::int64_t> c(BLOCKS * 64, 0);
+    for (unsigned b = 0; b < BLOCKS; ++b) {
+        for (unsigned i = 0; i < 64; ++i) {
+            const std::uint64_t r = mix64(b * 977 + i);
+            // Mostly zero, low-frequency heavy, like real DCT data.
+            if (i == 0) {
+                c[b * 64] = static_cast<std::int64_t>(r % 128) - 64;
+            } else if (r % 5 == 0 && i < 24) {
+                c[b * 64 + i] = static_cast<std::int64_t>(r % 32) - 16;
+            }
+        }
+    }
+    return c;
+}
+
+/** Pixel blocks (encoder input), centered at 0 (pixel - 128). */
+std::vector<std::int64_t>
+pixelBlocks()
+{
+    std::vector<std::int64_t> p(BLOCKS * 64);
+    for (unsigned b = 0; b < BLOCKS; ++b)
+        for (unsigned i = 0; i < 64; ++i)
+            p[b * 64 + i] =
+                static_cast<std::int64_t>(mix64(b * 131 + i * 7) % 256) -
+                128;
+    return p;
+}
+
+/** Shared assembly: out[8x8] = (A^T x B x A-ish) fixed-point products. */
+const char *MATMUL_ASM = R"(
+; mat8(a0=dst, a1=lhs, a2=rhs): dst[i][j] = sum_k lhs[k][i]*rhs[k][j] >> 13
+; (lhs indexed transposed: lhs[k*8+i])
+mat8:
+  movi t0, 0              ; i
+m_i:
+  movi t1, 0              ; j
+m_j:
+  movi t2, 0              ; k
+  movi t3, 0              ; acc
+m_k:
+  shli t4, t2, 3
+  add t4, t4, t0          ; k*8 + i
+  shli t4, t4, 3
+  add t4, t4, a1
+  ld.d t5, [t4]
+  shli t4, t2, 3
+  add t4, t4, t1          ; k*8 + j
+  shli t4, t4, 3
+  add t4, t4, a2
+  ld.d t6, [t4]
+  mul t5, t5, t6
+  add t3, t3, t5
+  addi t2, t2, 1
+  slti t4, t2, 8
+  bne t4, t8, m_k
+  srai t3, t3, 13
+  shli t4, t0, 3
+  add t4, t4, t1
+  shli t4, t4, 3
+  add t4, t4, a0
+  st.d t3, [t4]
+  addi t1, t1, 1
+  slti t4, t1, 8
+  bne t4, t8, m_j
+  addi t0, t0, 1
+  slti t4, t0, 8
+  bne t4, t8, m_i
+  ret
+)";
+
+} // namespace
+
+WorkloadSource
+wlDjpeg()
+{
+    WorkloadSource w;
+    w.description = "dequantize + 2D IDCT + clamp over 8 coeff blocks";
+
+    auto cmat = dctMatrix();
+    auto quant = quantTable();
+    auto coeffs = coeffBlocks();
+
+    std::ostringstream os;
+    os << ".data\n"
+       << quadTable("cmat", cmat) << quadTable("quant", quant)
+       << quadTable("coef", coeffs) << "deq: .space 512\n"
+       << "tmp: .space 512\n"
+       << "pix: .space 512\n"
+       << ".text\n";
+    // s0 = block counter, s1 = current coeff base.
+    os << R"(_start:
+  movi s0, 0
+  la s1, coef
+blk:
+  ; ---- dequantize into deq ----
+  movi t0, 0
+deq_l:
+  shli t1, t0, 3
+  add t2, t1, s1
+  ld.d t3, [t2]
+  la t2, quant
+  add t2, t2, t1
+  ld.d t4, [t2]
+  mul t3, t3, t4
+  la t2, deq
+  add t2, t2, t1
+  st.d t3, [t2]
+  addi t0, t0, 1
+  slti t1, t0, 64
+  bne t1, t8, deq_l
+  ; ---- tmp = C^T x deq ; pix = tmp x C (via transposed-lhs mat8) ----
+  la a0, tmp
+  la a1, cmat
+  la a2, deq
+  call mat8
+  ; second stage: pix[x][y] = sum_v tmp[x][v] * c[v][y] >> 13
+  ; mat8 computes dst[i][j] = sum_k lhs[k*8+i] * rhs[k*8+j], so pass
+  ; lhs = tmp transposed-in-effect by building tmpT first.
+  movi t0, 0
+tr_l:
+  movi t1, 0
+tr_j:
+  shli t2, t0, 3
+  add t2, t2, t1
+  shli t2, t2, 3
+  la t3, tmp
+  add t3, t3, t2
+  ld.d t4, [t3]
+  shli t2, t1, 3
+  add t2, t2, t0
+  shli t2, t2, 3
+  la t3, pix
+  add t3, t3, t2
+  st.d t4, [t3]        ; pix used as scratch transpose
+  addi t1, t1, 1
+  slti t2, t1, 8
+  bne t2, t8, tr_j
+  addi t0, t0, 1
+  slti t2, t0, 8
+  bne t2, t8, tr_l
+  la a0, tmp
+  la a1, pix
+  la a2, cmat
+  call mat8
+  ; ---- clamp to 0..255 after +128, accumulate checksum ----
+  movi t0, 0
+cl_l:
+  shli t1, t0, 3
+  la t2, tmp
+  add t2, t2, t1
+  ld.d t3, [t2]
+  addi t3, t3, 128
+  bge t3, t8, cl_pos
+  movi t3, 0
+cl_pos:
+  slti t4, t3, 256
+  bne t4, t8, cl_ok
+  movi t3, 255
+cl_ok:
+  mul t4, t3, t0
+  add s4, s4, t4        ; weighted sum
+  xor s5, s5, t3
+  addi s5, s5, 3
+  addi t0, t0, 1
+  slti t1, t0, 64
+  bne t1, t8, cl_l
+  addi s1, s1, 512
+  addi s0, s0, 1
+  slti t0, s0, )" << BLOCKS << R"(
+  bne t0, t8, blk
+  out.d s4
+  out.d s5
+  halt 0
+)" << MATMUL_ASM;
+    w.source = os.str();
+
+    // Reference.
+    std::uint64_t wsum = 0, xmix = 0;
+    for (unsigned b = 0; b < BLOCKS; ++b) {
+        std::int64_t deq[64], tmp[64], tmpt[64], pix[64];
+        for (unsigned i = 0; i < 64; ++i)
+            deq[i] = coeffs[b * 64 + i] * quant[i];
+        for (unsigned i = 0; i < 8; ++i) {
+            for (unsigned j = 0; j < 8; ++j) {
+                std::int64_t acc = 0;
+                for (unsigned k = 0; k < 8; ++k)
+                    acc += cmat[k * 8 + i] * deq[k * 8 + j];
+                tmp[i * 8 + j] = acc >> 13;
+            }
+        }
+        for (unsigned i = 0; i < 8; ++i)
+            for (unsigned j = 0; j < 8; ++j)
+                tmpt[j * 8 + i] = tmp[i * 8 + j];
+        for (unsigned i = 0; i < 8; ++i) {
+            for (unsigned j = 0; j < 8; ++j) {
+                std::int64_t acc = 0;
+                for (unsigned k = 0; k < 8; ++k)
+                    acc += tmpt[k * 8 + i] * cmat[k * 8 + j];
+                pix[i * 8 + j] = acc >> 13;
+            }
+        }
+        for (unsigned i = 0; i < 64; ++i) {
+            std::int64_t v = pix[i] + 128;
+            if (v < 0)
+                v = 0;
+            if (v > 255)
+                v = 255;
+            wsum += static_cast<std::uint64_t>(v) * i;
+            xmix ^= static_cast<std::uint64_t>(v);
+            xmix += 3;
+        }
+    }
+    outD(w.expected, wsum);
+    outD(w.expected, xmix);
+    return w;
+}
+
+WorkloadSource
+wlCjpeg()
+{
+    WorkloadSource w;
+    w.description = "2D forward DCT + quantization over 8 pixel blocks";
+
+    auto cmat = dctMatrix();
+    auto quant = quantTable();
+    auto pixels = pixelBlocks();
+
+    // Transposed basis so the same mat8 kernel computes the FDCT:
+    // F = C x P x C^T;  stage 1: tmp[u][y] = sum_x C[u][x] P[x][y]
+    //   = mat8(lhs = C^T, rhs = P).
+    std::vector<std::int64_t> cmatT(64);
+    for (unsigned u = 0; u < 8; ++u)
+        for (unsigned x = 0; x < 8; ++x)
+            cmatT[x * 8 + u] = cmat[u * 8 + x];
+
+    std::ostringstream os;
+    os << ".data\n"
+       << quadTable("cmat", cmat) << quadTable("cmatt", cmatT)
+       << quadTable("quant", quant) << quadTable("pixin", pixels)
+       << "tmp: .space 512\n"
+       << "tmpt: .space 512\n"
+       << ".text\n";
+    os << R"(_start:
+  movi s0, 0
+  la s1, pixin
+blk:
+  ; tmp[u][y] = sum_x cmatt[x*8+u] * pix[x*8+y]  (= C x P)
+  la a0, tmp
+  la a1, cmatt
+  la a2, pixin
+  mov a2, s1
+  call mat8
+  ; transpose tmp into tmpt
+  movi t0, 0
+tr_l:
+  movi t1, 0
+tr_j:
+  shli t2, t0, 3
+  add t2, t2, t1
+  shli t2, t2, 3
+  la t3, tmp
+  add t3, t3, t2
+  ld.d t4, [t3]
+  shli t2, t1, 3
+  add t2, t2, t0
+  shli t2, t2, 3
+  la t3, tmpt
+  add t3, t3, t2
+  st.d t4, [t3]
+  addi t1, t1, 1
+  slti t2, t1, 8
+  bne t2, t8, tr_j
+  addi t0, t0, 1
+  slti t2, t0, 8
+  bne t2, t8, tr_l
+  ; F[u][v] = sum_y tmpt[y*8+u] * cmatt[y*8+v]  (= tmp x C^T)
+  la a0, tmp
+  la a1, tmpt
+  la a2, cmatt
+  call mat8
+  ; quantize with the DIV unit + accumulate
+  movi t0, 0
+q_l:
+  shli t1, t0, 3
+  la t2, tmp
+  add t2, t2, t1
+  ld.d t3, [t2]
+  la t2, quant
+  add t2, t2, t1
+  ld.d t4, [t2]
+  div t3, t3, t4
+  mul t4, t3, t0
+  add s4, s4, t4
+  xor s5, s5, t3
+  addi t0, t0, 1
+  slti t1, t0, 64
+  bne t1, t8, q_l
+  addi s1, s1, 512
+  addi s0, s0, 1
+  slti t0, s0, )" << BLOCKS << R"(
+  bne t0, t8, blk
+  out.d s4
+  out.d s5
+  halt 0
+)" << MATMUL_ASM;
+    w.source = os.str();
+
+    std::uint64_t wsum = 0, xmix = 0;
+    for (unsigned b = 0; b < BLOCKS; ++b) {
+        std::int64_t tmp[64], tmpt[64], f[64];
+        const std::int64_t *p = &pixels[b * 64];
+        for (unsigned i = 0; i < 8; ++i) {
+            for (unsigned j = 0; j < 8; ++j) {
+                std::int64_t acc = 0;
+                for (unsigned k = 0; k < 8; ++k)
+                    acc += cmatT[k * 8 + i] * p[k * 8 + j];
+                tmp[i * 8 + j] = acc >> 13;
+            }
+        }
+        for (unsigned i = 0; i < 8; ++i)
+            for (unsigned j = 0; j < 8; ++j)
+                tmpt[j * 8 + i] = tmp[i * 8 + j];
+        for (unsigned i = 0; i < 8; ++i) {
+            for (unsigned j = 0; j < 8; ++j) {
+                std::int64_t acc = 0;
+                for (unsigned k = 0; k < 8; ++k)
+                    acc += tmpt[k * 8 + i] * cmatT[k * 8 + j];
+                f[i * 8 + j] = acc >> 13;
+            }
+        }
+        for (unsigned i = 0; i < 64; ++i) {
+            std::int64_t q = f[i] / quant[i];
+            wsum += static_cast<std::uint64_t>(q * static_cast<std::int64_t>(i));
+            xmix ^= static_cast<std::uint64_t>(q);
+        }
+    }
+    outD(w.expected, wsum);
+    outD(w.expected, xmix);
+    return w;
+}
+
+} // namespace merlin::workloads

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * qsort (MiBench-like): recursive quicksort of 256 pseudo-random 64-bit
+ * keys, followed by a verification / checksum pass.
+ */
+
+#include <algorithm>
+#include <sstream>
+
+#include "workloads/emit.hh"
+#include "workloads/suite.hh"
+
+namespace merlin::workloads
+{
+
+namespace
+{
+constexpr unsigned N = 256;
+
+std::vector<std::int64_t>
+inputKeys()
+{
+    std::vector<std::int64_t> v(N);
+    for (unsigned i = 0; i < N; ++i) {
+        // Mixed-sign keys exercise the signed comparisons.
+        v[i] = static_cast<std::int64_t>(mix64(i + 7)) >> 16;
+    }
+    return v;
+}
+
+} // namespace
+
+WorkloadSource
+wlQsort()
+{
+    WorkloadSource w;
+    w.description = "recursive quicksort of 256 keys + verify pass";
+
+    auto keys = inputKeys();
+
+    std::ostringstream os;
+    os << ".data\n" << quadTable("arr", keys) << ".text\n";
+    os << R"(_start:
+  la a0, arr
+  la a1, arr
+  addi a1, a1, )" << (N - 1) * 8 << R"(
+  call qsort
+  ; verify + checksum: s0 = weighted sum, s1 = order violations
+  la t0, arr
+  movi t1, 0
+  movi t2, )" << N << R"(
+  movi s0, 0
+  movi s1, 0
+  ld.d s2, [t0]
+chk:
+  shli t3, t1, 3
+  add t3, t3, t0
+  ld.d t4, [t3]
+  addi t5, t1, 1
+  mul t6, t4, t5
+  add s0, s0, t6
+  bge t4, s2, inorder
+  addi s1, s1, 1
+inorder:
+  mov s2, t4
+  addi t1, t1, 1
+  blt t1, t2, chk
+  out.d s0
+  out.d s1
+  trapnz s1            ; sortedness is a software integrity check
+  halt 0
+
+; qsort(a0 = lo ptr, a1 = hi ptr inclusive), Lomuto partition
+qsort:
+  blt a0, a1, qs_go
+  ret
+qs_go:
+  push ra
+  push s0
+  push s1
+  push s2
+  mov s0, a0
+  mov s1, a1
+  ld.d t0, [s1]        ; pivot = *hi
+  mov t1, s0           ; store slot
+  mov t2, s0           ; scan ptr
+qs_loop:
+  bgeu t2, s1, qs_after
+  ld.d t3, [t2]
+  bge t3, t0, qs_next  ; only move smaller-than-pivot keys left
+  ld.d t4, [t1]
+  st.d t3, [t1]
+  st.d t4, [t2]
+  addi t1, t1, 8
+qs_next:
+  addi t2, t2, 8
+  jmp qs_loop
+qs_after:
+  ld.d t3, [t1]
+  ld.d t4, [s1]
+  st.d t4, [t1]
+  st.d t3, [s1]
+  mov s2, t1           ; pivot slot
+  mov a0, s0
+  addi a1, s2, -8
+  call qsort
+  addi a0, s2, 8
+  mov a1, s1
+  call qsort
+  pop s2
+  pop s1
+  pop s0
+  pop ra
+  ret
+)";
+    w.source = os.str();
+
+    // Reference: sort and replay the checksum pass.
+    std::sort(keys.begin(), keys.end());
+    std::uint64_t sum = 0;
+    for (unsigned i = 0; i < N; ++i) {
+        sum += static_cast<std::uint64_t>(keys[i]) * (i + 1);
+    }
+    outD(w.expected, sum);
+    outD(w.expected, 0); // violations
+    return w;
+}
+
+} // namespace merlin::workloads

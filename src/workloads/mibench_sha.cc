@@ -1,0 +1,272 @@
+/**
+ * @file
+ * sha (MiBench-like): SHA-1 over a 512-byte message (9 padded blocks).
+ *
+ * Words are consumed little-endian (non-standard but structurally
+ * identical to SHA-1: same expansion, rotations and round structure);
+ * the C++ reference mirrors the exact same definition.
+ */
+
+#include <sstream>
+
+#include "workloads/emit.hh"
+#include "workloads/suite.hh"
+
+namespace merlin::workloads
+{
+
+namespace
+{
+
+constexpr unsigned MSG_BYTES = 512;
+
+std::vector<std::uint8_t>
+paddedMessage()
+{
+    std::vector<std::uint8_t> m(MSG_BYTES);
+    for (unsigned i = 0; i < MSG_BYTES; ++i)
+        m[i] = static_cast<std::uint8_t>(mix64(i * 31 + 5));
+    // SHA-1 padding: 0x80, zeros, 64-bit length (little-endian here).
+    m.push_back(0x80);
+    while (m.size() % 64 != 56)
+        m.push_back(0);
+    std::uint64_t bits = MSG_BYTES * 8ULL;
+    for (int i = 0; i < 8; ++i)
+        m.push_back(static_cast<std::uint8_t>(bits >> (8 * i)));
+    return m;
+}
+
+std::uint32_t
+rotl32(std::uint32_t x, unsigned n)
+{
+    return (x << n) | (x >> (32 - n));
+}
+
+/** Reference SHA-1 (LE word order) returning h0..h4. */
+std::vector<std::uint32_t>
+refSha(const std::vector<std::uint8_t> &msg)
+{
+    std::uint32_t h[5] = {0x67452301u, 0xEFCDAB89u, 0x98BADCFEu,
+                          0x10325476u, 0xC3D2E1F0u};
+    for (std::size_t blk = 0; blk < msg.size(); blk += 64) {
+        std::uint32_t w[80];
+        for (int i = 0; i < 16; ++i) {
+            w[i] = static_cast<std::uint32_t>(msg[blk + 4 * i]) |
+                   (static_cast<std::uint32_t>(msg[blk + 4 * i + 1]) << 8) |
+                   (static_cast<std::uint32_t>(msg[blk + 4 * i + 2]) << 16) |
+                   (static_cast<std::uint32_t>(msg[blk + 4 * i + 3]) << 24);
+        }
+        for (int i = 16; i < 80; ++i)
+            w[i] = rotl32(w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16], 1);
+        std::uint32_t a = h[0], b = h[1], c = h[2], d = h[3], e = h[4];
+        for (int i = 0; i < 80; ++i) {
+            std::uint32_t f, k;
+            if (i < 20) {
+                f = (b & c) | (~b & d);
+                k = 0x5A827999u;
+            } else if (i < 40) {
+                f = b ^ c ^ d;
+                k = 0x6ED9EBA1u;
+            } else if (i < 60) {
+                f = (b & c) | (b & d) | (c & d);
+                k = 0x8F1BBCDCu;
+            } else {
+                f = b ^ c ^ d;
+                k = 0xCA62C1D6u;
+            }
+            std::uint32_t tmp = rotl32(a, 5) + f + e + k + w[i];
+            e = d;
+            d = c;
+            c = rotl32(b, 30);
+            b = a;
+            a = tmp;
+        }
+        h[0] += a;
+        h[1] += b;
+        h[2] += c;
+        h[3] += d;
+        h[4] += e;
+    }
+    return {h[0], h[1], h[2], h[3], h[4]};
+}
+
+} // namespace
+
+WorkloadSource
+wlSha()
+{
+    WorkloadSource w;
+    w.description = "SHA-1 (LE word order) over a 512-byte message";
+
+    auto msg = paddedMessage();
+    const unsigned blocks = static_cast<unsigned>(msg.size() / 64);
+
+    std::ostringstream os;
+    os << ".data\n"
+       << byteTable("msg", msg) << ".align 8\n"
+       << "wbuf: .space 320\n" // 80 x 32-bit words
+       << ".text\n";
+    // Register plan:
+    //   s0..s4 = a b c d e     s5 = block ptr   s6 = blocks left
+    //   s7 = wbuf   s8 = 0xffffffff mask   s9 = h-state base ptr
+    os << R"(_start:
+  la s5, msg
+  movi s6, )" << blocks << R"(
+  la s7, wbuf
+  movi s8, -1
+  shri s8, s8, 32
+  ; initial hash state pushed on the stack: [sp]=h0..[sp+32]=h4
+  addi sp, sp, -40
+  li t0, 0x67452301
+  st.d t0, [sp]
+  li t0, 0xEFCDAB89
+  st.d t0, [sp+8]
+  li t0, 0x98BADCFE
+  st.d t0, [sp+16]
+  li t0, 0x10325476
+  st.d t0, [sp+24]
+  li t0, 0xC3D2E1F0
+  st.d t0, [sp+32]
+
+block_loop:
+  ; ---- load 16 message words (LE) into wbuf ----
+  movi t0, 0
+ld16:
+  shli t1, t0, 2
+  add t2, t1, s5
+  ld.wu t3, [t2]
+  add t2, t1, s7
+  st.w t3, [t2]
+  addi t0, t0, 1
+  slti t1, t0, 16
+  bne t1, t8, ld16        ; t8 == 0 always (never written)
+  ; ---- expand w[16..79] ----
+  movi t0, 16
+expand:
+  shli t1, t0, 2
+  add t2, t1, s7
+  ld.wu t3, [t2-12]       ; w[i-3]
+  ld.wu t4, [t2-32]       ; w[i-8]
+  xor t3, t3, t4
+  ld.wu t4, [t2-56]       ; w[i-14]
+  xor t3, t3, t4
+  ld.wu t4, [t2-64]       ; w[i-16]
+  xor t3, t3, t4
+  shli t4, t3, 1
+  shri t3, t3, 31
+  or t3, t3, t4
+  and t3, t3, s8
+  st.w t3, [t2]
+  addi t0, t0, 1
+  slti t1, t0, 80
+  bne t1, t8, expand
+  ; ---- rounds ----
+  ld.d s0, [sp]
+  ld.d s1, [sp+8]
+  ld.d s2, [sp+16]
+  ld.d s3, [sp+24]
+  ld.d s4, [sp+32]
+  movi t0, 0              ; round index
+rounds:
+  slti t1, t0, 20
+  beq t1, t8, ph2
+  and t2, s1, s2          ; f = (b&c) | (~b & d)
+  xor t3, s1, s8          ; ~b (32-bit)
+  and t3, t3, s3
+  or t2, t2, t3
+  li t3, 0x5A827999
+  jmp round_body
+ph2:
+  slti t1, t0, 40
+  beq t1, t8, ph3
+  xor t2, s1, s2
+  xor t2, t2, s3
+  li t3, 0x6ED9EBA1
+  jmp round_body
+ph3:
+  slti t1, t0, 60
+  beq t1, t8, ph4
+  and t2, s1, s2          ; maj
+  and t4, s1, s3
+  or t2, t2, t4
+  and t4, s2, s3
+  or t2, t2, t4
+  li t3, 0x8F1BBCDC
+  jmp round_body
+ph4:
+  xor t2, s1, s2
+  xor t2, t2, s3
+  li t3, 0xCA62C1D6
+round_body:
+  ; tmp = rotl(a,5) + f + e + k + w[i]
+  shli t4, s0, 5
+  shri t5, s0, 27
+  or t4, t4, t5
+  and t4, t4, s8
+  add t4, t4, t2
+  add t4, t4, s4
+  add t4, t4, t3
+  shli t5, t0, 2
+  add t5, t5, s7
+  ld.wu t6, [t5]
+  add t4, t4, t6
+  and t4, t4, s8
+  ; e=d d=c c=rotl(b,30) b=a a=tmp
+  mov s4, s3
+  mov s3, s2
+  shli t5, s1, 30
+  shri t6, s1, 2
+  or t5, t5, t6
+  and s2, t5, s8
+  mov s1, s0
+  mov s0, t4
+  addi t0, t0, 1
+  slti t1, t0, 80
+  bne t1, t8, rounds
+  ; ---- add into h state ----
+  ld.d t0, [sp]
+  add t0, t0, s0
+  and t0, t0, s8
+  st.d t0, [sp]
+  ld.d t0, [sp+8]
+  add t0, t0, s1
+  and t0, t0, s8
+  st.d t0, [sp+8]
+  ld.d t0, [sp+16]
+  add t0, t0, s2
+  and t0, t0, s8
+  st.d t0, [sp+16]
+  ld.d t0, [sp+24]
+  add t0, t0, s3
+  and t0, t0, s8
+  st.d t0, [sp+24]
+  ld.d t0, [sp+32]
+  add t0, t0, s4
+  and t0, t0, s8
+  st.d t0, [sp+32]
+  ; next block
+  addi s5, s5, 64
+  addi s6, s6, -1
+  bne s6, t8, block_loop
+
+  ld.d t0, [sp]
+  out.d t0
+  ld.d t0, [sp+8]
+  out.d t0
+  ld.d t0, [sp+16]
+  out.d t0
+  ld.d t0, [sp+24]
+  out.d t0
+  ld.d t0, [sp+32]
+  out.d t0
+  addi sp, sp, 40
+  halt 0
+)";
+    w.source = os.str();
+
+    for (std::uint32_t hv : refSha(msg))
+        outD(w.expected, hv);
+    return w;
+}
+
+} // namespace merlin::workloads

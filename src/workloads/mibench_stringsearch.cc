@@ -1,0 +1,186 @@
+/**
+ * @file
+ * stringsearch (MiBench-like): Boyer-Moore-Horspool search of 8 patterns
+ * over a 2KB text; half the patterns occur by construction.
+ */
+
+#include <sstream>
+
+#include "workloads/emit.hh"
+#include "workloads/suite.hh"
+
+namespace merlin::workloads
+{
+
+namespace
+{
+
+constexpr unsigned TEXT_LEN = 2048;
+constexpr unsigned NUM_PATTERNS = 8;
+constexpr unsigned PAT_LEN = 6;
+
+std::vector<std::uint8_t>
+makeText()
+{
+    std::vector<std::uint8_t> t(TEXT_LEN);
+    for (unsigned i = 0; i < TEXT_LEN; ++i)
+        t[i] = 'a' + static_cast<std::uint8_t>(mix64(i * 3 + 11) % 16);
+    return t;
+}
+
+std::vector<std::uint8_t>
+makePatterns(const std::vector<std::uint8_t> &text)
+{
+    std::vector<std::uint8_t> p;
+    for (unsigned k = 0; k < NUM_PATTERNS; ++k) {
+        if (k % 2 == 0) {
+            // Present: copy a substring of the text.
+            unsigned off =
+                static_cast<unsigned>(mix64(k) % (TEXT_LEN - PAT_LEN));
+            for (unsigned i = 0; i < PAT_LEN; ++i)
+                p.push_back(text[off + i]);
+        } else {
+            // Absent: uses a letter outside the text alphabet.
+            for (unsigned i = 0; i < PAT_LEN; ++i)
+                p.push_back('a' + static_cast<std::uint8_t>(
+                                       mix64(k * 97 + i) % 16));
+            p.back() = 'z';
+        }
+    }
+    return p;
+}
+
+/** Reference Horspool search; returns first index or -1. */
+std::int64_t
+refSearch(const std::vector<std::uint8_t> &text,
+          const std::uint8_t *pat)
+{
+    unsigned skip[256];
+    for (unsigned c = 0; c < 256; ++c)
+        skip[c] = PAT_LEN;
+    for (unsigned i = 0; i + 1 < PAT_LEN; ++i)
+        skip[pat[i]] = PAT_LEN - 1 - i;
+    std::size_t pos = 0;
+    while (pos + PAT_LEN <= text.size()) {
+        std::int64_t j = PAT_LEN - 1;
+        while (j >= 0 && text[pos + j] == pat[j])
+            --j;
+        if (j < 0)
+            return static_cast<std::int64_t>(pos);
+        pos += skip[text[pos + PAT_LEN - 1]];
+    }
+    return -1;
+}
+
+} // namespace
+
+WorkloadSource
+wlStringsearch()
+{
+    WorkloadSource w;
+    w.description = "Horspool search, 8 patterns over 2KB text";
+
+    auto text = makeText();
+    auto pats = makePatterns(text);
+
+    std::ostringstream os;
+    os << ".data\n"
+       << byteTable("text", text) << byteTable("pats", pats)
+       << "skip: .space 256\n"
+       << ".text\n";
+    // s0 = text, s1 = current pattern ptr, s2 = pattern counter,
+    // s3 = found count, s4 = position accumulator, t8 = 0.
+    os << R"(_start:
+  la s0, text
+  la s1, pats
+  movi s2, 0
+  movi s3, 0
+  movi s4, 0
+
+pat_loop:
+  ; ---- build the skip table ----
+  la t0, skip
+  movi t1, 0
+  movi t2, )" << PAT_LEN << R"(
+fill_skip:
+  add t3, t0, t1
+  st.b t2, [t3]
+  addi t1, t1, 1
+  slti t3, t1, 256
+  bne t3, t8, fill_skip
+  movi t1, 0
+skip_pat:
+  slti t3, t1, )" << (PAT_LEN - 1) << R"(
+  beq t3, t8, search
+  add t3, s1, t1
+  ld.bu t4, [t3]
+  la t0, skip
+  add t4, t4, t0
+  movi t5, )" << (PAT_LEN - 1) << R"(
+  sub t5, t5, t1
+  st.b t5, [t4]
+  addi t1, t1, 1
+  jmp skip_pat
+
+search:
+  movi t0, 0               ; pos
+  movi t9, -1              ; result
+srch_loop:
+  movi t1, )" << (TEXT_LEN - PAT_LEN) << R"(
+  blt t1, t0, done_pat     ; pos > len - plen: not found
+  ; compare backwards
+  movi t2, )" << (PAT_LEN - 1) << R"(
+cmp_loop:
+  blt t2, t8, found
+  add t3, s0, t0
+  add t3, t3, t2
+  ld.bu t4, [t3]
+  add t5, s1, t2
+  ld.bu t6, [t5]
+  bne t4, t6, advance
+  addi t2, t2, -1
+  jmp cmp_loop
+found:
+  mov t9, t0
+  jmp done_pat
+advance:
+  add t3, s0, t0
+  ld.bu t4, [t3+)" << (PAT_LEN - 1) << R"(]
+  la t5, skip
+  add t5, t5, t4
+  ld.bu t6, [t5]
+  add t0, t0, t6
+  jmp srch_loop
+
+done_pat:
+  out.d t9
+  blt t9, t8, miss
+  addi s3, s3, 1
+  add s4, s4, t9
+miss:
+  addi s1, s1, )" << PAT_LEN << R"(
+  addi s2, s2, 1
+  slti t0, s2, )" << NUM_PATTERNS << R"(
+  bne t0, t8, pat_loop
+
+  out.d s3
+  out.d s4
+  halt 0
+)";
+    w.source = os.str();
+
+    std::uint64_t found = 0, possum = 0;
+    for (unsigned k = 0; k < NUM_PATTERNS; ++k) {
+        std::int64_t pos = refSearch(text, &pats[k * PAT_LEN]);
+        outD(w.expected, static_cast<std::uint64_t>(pos));
+        if (pos >= 0) {
+            ++found;
+            possum += static_cast<std::uint64_t>(pos);
+        }
+    }
+    outD(w.expected, found);
+    outD(w.expected, possum);
+    return w;
+}
+
+} // namespace merlin::workloads

@@ -1,0 +1,359 @@
+/**
+ * @file
+ * susan_s / susan_e / susan_c (MiBench-like): smoothing, edge detection
+ * and corner detection over a 32x32 synthetic grayscale image, mirroring
+ * the structure of the SUSAN image-processing kernels.
+ */
+
+#include <cstdlib>
+#include <sstream>
+
+#include "workloads/emit.hh"
+#include "workloads/suite.hh"
+
+namespace merlin::workloads
+{
+
+namespace
+{
+
+constexpr unsigned W = 32;
+constexpr unsigned H = 32;
+
+std::vector<std::uint8_t>
+makeImage()
+{
+    std::vector<std::uint8_t> img(W * H);
+    for (unsigned y = 0; y < H; ++y) {
+        for (unsigned x = 0; x < W; ++x) {
+            // Blocks + gradient + noise: gives edges and corners.
+            unsigned v = ((x / 8 + y / 8) % 2) ? 200 : 40;
+            v += x * 2;
+            v += static_cast<unsigned>(mix64(y * W + x) % 16);
+            img[y * W + x] = static_cast<std::uint8_t>(v & 0xff);
+        }
+    }
+    return img;
+}
+
+/** FNV-1a over bytes; both sides use it as the image checksum. */
+std::uint64_t
+fnv(const std::vector<std::uint8_t> &bytes)
+{
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (std::uint8_t b : bytes) {
+        h ^= b;
+        h *= 1099511628211ULL;
+    }
+    return h;
+}
+
+/** Shared assembly epilogue: FNV over `out` image + emit. */
+std::string
+fnvEpilogue(unsigned bytes)
+{
+    std::ostringstream os;
+    os << R"(
+checksum:
+  la t0, outimg
+  movi t1, 0
+  li s0, 0xcbf29ce484222325
+  li s1, 0x100000001b3
+chk_loop:
+  add t2, t0, t1
+  ld.bu t3, [t2]
+  xor s0, s0, t3
+  mul s0, s0, s1
+  addi t1, t1, 1
+  slti t2, t1, )" << bytes << R"(
+  bne t2, t8, chk_loop
+  out.d s0
+  halt 0
+)";
+    return os.str();
+}
+
+} // namespace
+
+WorkloadSource
+wlSusanS()
+{
+    WorkloadSource w;
+    w.description = "3x3 weighted smoothing over a 32x32 image";
+
+    auto img = makeImage();
+    std::ostringstream os;
+    os << ".data\n"
+       << byteTable("img", img) << "outimg: .space " << W * H << "\n"
+       << ".text\n";
+    // Kernel 1 2 1 / 2 4 2 / 1 2 1, divide by 16.  Borders copied.
+    os << R"(_start:
+  la s2, img
+  la s3, outimg
+  movi s4, 1             ; y
+row:
+  movi s5, 1             ; x
+col:
+  movi t0, )" << W << R"(
+  mul t1, s4, t0
+  add t1, t1, s5         ; idx = y*W + x
+  add t2, t1, s2
+  ; weighted sum of the 3x3 neighbourhood
+  ld.bu t3, [t2-)" << (W + 1) << R"(]
+  ld.bu t4, [t2-)" << W << R"(]
+  shli t4, t4, 1
+  add t3, t3, t4
+  ld.bu t4, [t2-)" << (W - 1) << R"(]
+  add t3, t3, t4
+  ld.bu t4, [t2-1]
+  shli t4, t4, 1
+  add t3, t3, t4
+  ld.bu t4, [t2]
+  shli t4, t4, 2
+  add t3, t3, t4
+  ld.bu t4, [t2+1]
+  shli t4, t4, 1
+  add t3, t3, t4
+  ld.bu t4, [t2+)" << (W - 1) << R"(]
+  add t3, t3, t4
+  ld.bu t4, [t2+)" << W << R"(]
+  shli t4, t4, 1
+  add t3, t3, t4
+  ld.bu t4, [t2+)" << (W + 1) << R"(]
+  add t3, t3, t4
+  shri t3, t3, 4
+  add t4, t1, s3
+  st.b t3, [t4]
+  addi s5, s5, 1
+  slti t0, s5, )" << (W - 1) << R"(
+  bne t0, t8, col
+  addi s4, s4, 1
+  slti t0, s4, )" << (H - 1) << R"(
+  bne t0, t8, row
+)" << fnvEpilogue(W * H);
+    w.source = os.str();
+
+    std::vector<std::uint8_t> out(W * H, 0);
+    for (unsigned y = 1; y + 1 < H; ++y) {
+        for (unsigned x = 1; x + 1 < W; ++x) {
+            unsigned i = y * W + x;
+            unsigned s = img[i - W - 1] + 2 * img[i - W] + img[i - W + 1] +
+                         2 * img[i - 1] + 4 * img[i] + 2 * img[i + 1] +
+                         img[i + W - 1] + 2 * img[i + W] + img[i + W + 1];
+            out[i] = static_cast<std::uint8_t>(s >> 4);
+        }
+    }
+    outD(w.expected, fnv(out));
+    return w;
+}
+
+WorkloadSource
+wlSusanE()
+{
+    WorkloadSource w;
+    w.description = "Sobel edge map + threshold over a 32x32 image";
+
+    auto img = makeImage();
+    std::ostringstream os;
+    os << ".data\n"
+       << byteTable("img", img) << "outimg: .space " << W * H << "\n"
+       << ".text\n";
+    // |gx| + |gy| with Sobel masks; mark edge when magnitude > 96.
+    os << R"(_start:
+  la s2, img
+  la s3, outimg
+  movi s6, 0             ; edge count
+  movi s4, 1
+row:
+  movi s5, 1
+col:
+  movi t0, )" << W << R"(
+  mul t1, s4, t0
+  add t1, t1, s5
+  add t2, t1, s2
+  ; gx = (tr + 2r + br) - (tl + 2l + bl)
+  ld.bu t3, [t2-)" << (W - 1) << R"(]
+  ld.bu t4, [t2+1]
+  shli t4, t4, 1
+  add t3, t3, t4
+  ld.bu t4, [t2+)" << (W + 1) << R"(]
+  add t3, t3, t4
+  ld.bu t4, [t2-)" << (W + 1) << R"(]
+  sub t3, t3, t4
+  ld.bu t4, [t2-1]
+  shli t4, t4, 1
+  sub t3, t3, t4
+  ld.bu t4, [t2+)" << (W - 1) << R"(]
+  sub t3, t3, t4
+  ; gy = (bl + 2b + br) - (tl + 2t + tr)
+  ld.bu t5, [t2+)" << (W - 1) << R"(]
+  ld.bu t4, [t2+)" << W << R"(]
+  shli t4, t4, 1
+  add t5, t5, t4
+  ld.bu t4, [t2+)" << (W + 1) << R"(]
+  add t5, t5, t4
+  ld.bu t4, [t2-)" << (W + 1) << R"(]
+  sub t5, t5, t4
+  ld.bu t4, [t2-)" << W << R"(]
+  shli t4, t4, 1
+  sub t5, t5, t4
+  ld.bu t4, [t2-)" << (W - 1) << R"(]
+  sub t5, t5, t4
+  ; |gx| + |gy|
+  bge t3, t8, gxpos
+  sub t3, t8, t3
+gxpos:
+  bge t5, t8, gypos
+  sub t5, t8, t5
+gypos:
+  add t3, t3, t5
+  ; clamp to 255 and threshold
+  slti t4, t3, 256
+  bne t4, t8, noclamp
+  movi t3, 255
+noclamp:
+  slti t4, t3, 97
+  bne t4, t8, noedge
+  addi s6, s6, 1
+noedge:
+  add t4, t1, s3
+  st.b t3, [t4]
+  addi s5, s5, 1
+  slti t0, s5, )" << (W - 1) << R"(
+  bne t0, t8, col
+  addi s4, s4, 1
+  slti t0, s4, )" << (H - 1) << R"(
+  bne t0, t8, row
+  out.d s6
+)" << fnvEpilogue(W * H);
+    w.source = os.str();
+
+    std::vector<std::uint8_t> out(W * H, 0);
+    std::uint64_t edges = 0;
+    for (unsigned y = 1; y + 1 < H; ++y) {
+        for (unsigned x = 1; x + 1 < W; ++x) {
+            unsigned i = y * W + x;
+            int gx = img[i - W + 1] + 2 * img[i + 1] + img[i + W + 1] -
+                     img[i - W - 1] - 2 * img[i - 1] - img[i + W - 1];
+            int gy = img[i + W - 1] + 2 * img[i + W] + img[i + W + 1] -
+                     img[i - W - 1] - 2 * img[i - W] - img[i - W + 1];
+            int m = std::abs(gx) + std::abs(gy);
+            if (m > 255)
+                m = 255;
+            if (m > 96)
+                ++edges;
+            out[i] = static_cast<std::uint8_t>(m);
+        }
+    }
+    outD(w.expected, edges);
+    outD(w.expected, fnv(out));
+    return w;
+}
+
+WorkloadSource
+wlSusanC()
+{
+    WorkloadSource w;
+    w.description = "USAN-style corner detection over a 32x32 image";
+
+    auto img = makeImage();
+    std::ostringstream os;
+    os << ".data\n"
+       << byteTable("img", img) << "outimg: .space " << W * H << "\n"
+       << ".text\n";
+    // USAN: count 3x3 neighbours within +/-20 of the center; a pixel is
+    // a corner candidate when fewer than 3 neighbours are similar.
+    os << R"(_start:
+  la s2, img
+  la s3, outimg
+  movi s6, 0             ; corner count
+  movi s7, 0             ; position accumulator
+  movi s4, 1
+row:
+  movi s5, 1
+col:
+  movi t0, )" << W << R"(
+  mul t1, s4, t0
+  add t1, t1, s5
+  add t2, t1, s2
+  ld.bu t9, [t2]         ; center
+  movi t3, 0             ; similar count
+  movi s8, -)" << (W + 1) << R"(
+nb_loop:
+  add t4, t2, s8
+  ld.bu t5, [t4]
+  sub t5, t5, t9
+  bge t5, t8, posd
+  sub t5, t8, t5
+posd:
+  slti t6, t5, 21
+  beq t6, t8, dissim
+  addi t3, t3, 1
+dissim:
+  ; advance neighbour offset over the 3x3 ring (skip center)
+  movi t6, -)" << (W - 1) << R"(
+  beq s8, t6, jump_row1
+  movi t6, -1
+  beq s8, t6, skip_center
+  movi t6, 1
+  beq s8, t6, jump_row2
+  movi t6, )" << (W + 1) << R"(
+  beq s8, t6, nb_done
+  addi s8, s8, 1
+  jmp nb_loop
+jump_row1:
+  movi s8, -1
+  jmp nb_loop
+skip_center:
+  movi s8, 1
+  jmp nb_loop
+jump_row2:
+  movi s8, )" << (W - 1) << R"(
+  jmp nb_loop
+nb_done:
+  add t4, t1, s3
+  st.b t3, [t4]
+  slti t5, t3, 3
+  beq t5, t8, nocorner
+  addi s6, s6, 1
+  add s7, s7, t1
+nocorner:
+  addi s5, s5, 1
+  slti t0, s5, )" << (W - 1) << R"(
+  bne t0, t8, col
+  addi s4, s4, 1
+  slti t0, s4, )" << (H - 1) << R"(
+  bne t0, t8, row
+  out.d s6
+  out.d s7
+)" << fnvEpilogue(W * H);
+    w.source = os.str();
+
+    std::vector<std::uint8_t> out(W * H, 0);
+    std::uint64_t corners = 0, possum = 0;
+    const int offs[8] = {-(int)W - 1, -(int)W, -(int)W + 1, -1,
+                         1,           (int)W - 1, (int)W, (int)W + 1};
+    for (unsigned y = 1; y + 1 < H; ++y) {
+        for (unsigned x = 1; x + 1 < W; ++x) {
+            unsigned i = y * W + x;
+            int c = img[i];
+            unsigned similar = 0;
+            for (int o : offs) {
+                int d = img[i + o] - c;
+                if (std::abs(d) < 21)
+                    ++similar;
+            }
+            out[i] = static_cast<std::uint8_t>(similar);
+            if (similar < 3) {
+                ++corners;
+                possum += i;
+            }
+        }
+    }
+    outD(w.expected, corners);
+    outD(w.expected, possum);
+    outD(w.expected, fnv(out));
+    return w;
+}
+
+} // namespace merlin::workloads

@@ -1,0 +1,226 @@
+#include "workloads/random_program.hh"
+
+#include <sstream>
+
+#include "base/rng.hh"
+
+namespace merlin::workloads
+{
+
+namespace
+{
+
+/**
+ * Working registers the generator mutates freely: s0..s7 (r16..r23).
+ * t0/t1 are scratch, s8 holds the data-buffer base, s9 the byte mask.
+ */
+const char *const kWork[] = {"s0", "s1", "s2", "s3",
+                             "s4", "s5", "s6", "s7"};
+constexpr unsigned kNumWork = 8;
+
+class Generator
+{
+  public:
+    Generator(std::uint64_t seed, const RandomProgramOptions &opts)
+        : rng_(seed), opts_(opts)
+    {}
+
+    std::string
+    run()
+    {
+        os_ << ".data\n";
+        os_ << "buf: .space 512\n";
+        // Pre-seeded table the program reads.
+        os_ << "tab:";
+        for (int i = 0; i < 16; ++i) {
+            os_ << (i == 0 ? " .quad " : ", ")
+                << (rng_.next() & 0xffffff);
+        }
+        os_ << "\n.text\n";
+        os_ << "_start:\n";
+
+        // Register setup.
+        for (unsigned i = 0; i < kNumWork; ++i) {
+            os_ << "  movi " << kWork[i] << ", "
+                << static_cast<std::int32_t>(rng_.next() & 0x7fffffff)
+                << "\n";
+        }
+        os_ << "  la s8, buf\n";
+        os_ << "  movi s9, 448\n"; // mask for in-bounds offsets
+
+        for (unsigned l = 0; l < opts_.loops; ++l)
+            emitLoop(l);
+
+        // Checksum epilogue.
+        for (unsigned i = 0; i < kNumWork; ++i)
+            os_ << "  out.d " << kWork[i] << "\n";
+        os_ << "  halt 0\n";
+
+        if (opts_.useCalls)
+            emitLeafFunctions();
+        return os_.str();
+    }
+
+  private:
+    const char *
+    work()
+    {
+        return kWork[rng_.nextBelow(kNumWork)];
+    }
+
+    void
+    emitRandomOp(unsigned loop, unsigned idx)
+    {
+        // Weighted pick over op categories.
+        unsigned cat = rng_.nextBelow(100);
+        const char *a = work();
+        const char *b = work();
+        const char *c = work();
+
+        if (cat < 40) {
+            // Plain ALU.
+            static const char *const ops[] = {"add", "sub",  "and", "or",
+                                              "xor", "mul",  "slt", "sltu",
+                                              "shl", "shr",  "sra"};
+            const char *op = ops[rng_.nextBelow(11)];
+            if (op[0] == 's' && (op[1] == 'h' || op[1] == 'r')) {
+                // Bound shift amounts to keep them interesting.
+                os_ << "  andi t0, " << b << ", 31\n";
+                os_ << "  " << op << " " << a << ", " << c << ", t0\n";
+            } else {
+                os_ << "  " << op << " " << a << ", " << b << ", " << c
+                    << "\n";
+            }
+        } else if (cat < 50) {
+            // Immediate ALU.
+            static const char *const ops[] = {"addi", "andi", "ori",
+                                              "xori"};
+            os_ << "  " << ops[rng_.nextBelow(4)] << " " << a << ", " << b
+                << ", "
+                << static_cast<std::int32_t>(rng_.next() & 0xffff) << "\n";
+        } else if (cat < 58 && opts_.useDivision) {
+            // Division with a non-zero divisor.
+            os_ << "  ori t0, " << b << ", 1\n";
+            os_ << "  " << (rng_.nextBelow(2) ? "divu" : "remu") << " " << a
+                << ", " << c << ", t0\n";
+        } else if (cat < 78 && opts_.useMemory) {
+            emitMemoryOp(a, b);
+        } else if (cat < 90 && opts_.useBranches) {
+            emitDiamond(a, b, loop, idx);
+        } else if (opts_.useCalls) {
+            emitCall();
+        } else {
+            os_ << "  addi " << a << ", " << b << ", 1\n";
+        }
+    }
+
+    void
+    emitMemoryOp(const char *a, const char *b)
+    {
+        // In-bounds aligned address: t1 = base + (b & mask & ~7).
+        os_ << "  and t1, " << b << ", s9\n";
+        os_ << "  andi t1, t1, -8\n";
+        os_ << "  add t1, t1, s8\n";
+        switch (rng_.nextBelow(8)) {
+          case 0:
+            os_ << "  st.d " << a << ", [t1]\n";
+            break;
+          case 1:
+            os_ << "  ld.d " << a << ", [t1]\n";
+            break;
+          case 2:
+            os_ << "  st.w " << a << ", [t1+4]\n";
+            break;
+          case 3:
+            os_ << "  ld.w " << a << ", [t1+4]\n";
+            break;
+          case 4:
+            os_ << "  ldadd " << a << ", [t1]\n";
+            break;
+          case 5:
+            os_ << "  memadd " << a << ", [t1]\n";
+            break;
+          case 6:
+            os_ << "  st.b " << a << ", [t1+3]\n";
+            os_ << "  ld.bu " << a << ", [t1+3]\n";
+            break;
+          case 7:
+            os_ << "  push " << a << "\n";
+            os_ << "  pop " << a << "\n";
+            break;
+        }
+    }
+
+    void
+    emitDiamond(const char *a, const char *b, unsigned loop, unsigned idx)
+    {
+        const std::string lbl =
+            "d" + std::to_string(loop) + "_" + std::to_string(idx) + "_" +
+            std::to_string(labelId_++);
+        // Data-dependent branch on a low bit (hard to predict).
+        os_ << "  andi t0, " << b << ", "
+            << (1 << rng_.nextBelow(3)) << "\n";
+        os_ << "  movi t1, 0\n";
+        os_ << "  beq t0, t1, " << lbl << "_else\n";
+        os_ << "  addi " << a << ", " << a << ", 3\n";
+        os_ << "  xor " << a << ", " << a << ", " << b << "\n";
+        os_ << "  jmp " << lbl << "_end\n";
+        os_ << lbl << "_else:\n";
+        os_ << "  sub " << a << ", " << a << ", " << b << "\n";
+        os_ << lbl << "_end:\n";
+    }
+
+    void
+    emitCall()
+    {
+        if (rng_.nextBelow(3) == 0) {
+            os_ << "  la t0, leaf" << rng_.nextBelow(2) << "\n";
+            os_ << "  callr t0\n";
+        } else {
+            os_ << "  call leaf" << rng_.nextBelow(2) << "\n";
+        }
+    }
+
+    void
+    emitLoop(unsigned l)
+    {
+        os_ << "  movi t9, " << opts_.loopIterations << "\n";
+        os_ << "  movi t8, 0\n";
+        os_ << "L" << l << ":\n";
+        for (unsigned i = 0; i < opts_.bodyOps; ++i)
+            emitRandomOp(l, i);
+        os_ << "  addi t9, t9, -1\n";
+        os_ << "  bne t9, t8, L" << l << "\n";
+    }
+
+    void
+    emitLeafFunctions()
+    {
+        os_ << "leaf0:\n"
+            << "  add a0, s0, s1\n"
+            << "  xor s2, s2, a0\n"
+            << "  ret\n";
+        os_ << "leaf1:\n"
+            << "  push s3\n"
+            << "  addi s3, s3, 17\n"
+            << "  mul s4, s4, s3\n"
+            << "  pop s3\n"
+            << "  ret\n";
+    }
+
+    Rng rng_;
+    RandomProgramOptions opts_;
+    std::ostringstream os_;
+    unsigned labelId_ = 0;
+};
+
+} // namespace
+
+std::string
+generateRandomProgram(std::uint64_t seed, const RandomProgramOptions &opts)
+{
+    Generator g(seed, opts);
+    return g.run();
+}
+
+} // namespace merlin::workloads

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Random MRL-64 program generator for differential testing.
+ *
+ * Generates structurally-terminating programs (counted loops, bounded
+ * if/else diamonds, leaf calls, composite memory ops) whose architectural
+ * outcome is well defined, so the out-of-order core can be checked
+ * instruction-for-instruction against the functional interpreter.
+ */
+
+#ifndef MERLIN_WORKLOADS_RANDOM_PROGRAM_HH
+#define MERLIN_WORKLOADS_RANDOM_PROGRAM_HH
+
+#include <cstdint>
+#include <string>
+
+namespace merlin::workloads
+{
+
+/** Knobs for the generator. */
+struct RandomProgramOptions
+{
+    unsigned loops = 3;           ///< number of top-level counted loops
+    unsigned loopIterations = 20; ///< iterations per loop
+    unsigned bodyOps = 12;        ///< random operations per loop body
+    bool useMemory = true;        ///< loads/stores/composites
+    bool useBranches = true;      ///< data-dependent diamonds
+    bool useCalls = true;         ///< leaf calls incl. indirect
+    bool useDivision = true;      ///< div/rem (divisor forced non-zero)
+};
+
+/** Produce assembly source for a random, halting program. */
+std::string generateRandomProgram(std::uint64_t seed,
+                                  const RandomProgramOptions &opts = {});
+
+} // namespace merlin::workloads
+
+#endif // MERLIN_WORKLOADS_RANDOM_PROGRAM_HH

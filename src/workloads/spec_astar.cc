@@ -1,0 +1,275 @@
+/**
+ * @file
+ * astar (SPEC-like): A* pathfinding on a 24x24 obstacle grid with a
+ * Manhattan heuristic — open-set scanning, neighbour relaxation and
+ * data-dependent control flow of pathfinding engines.
+ */
+
+#include <cstdlib>
+#include <sstream>
+
+#include "workloads/emit.hh"
+#include "workloads/suite.hh"
+
+namespace merlin::workloads
+{
+
+namespace
+{
+
+constexpr unsigned G = 24;
+constexpr unsigned CELLS = G * G;
+constexpr std::int64_t INF = 1'000'000;
+
+std::vector<std::uint8_t>
+makeGrid()
+{
+    std::vector<std::uint8_t> g(CELLS, 0);
+    for (unsigned i = 0; i < CELLS; ++i)
+        g[i] = (mix64(i * 53 + 9) % 100) < 28; // ~28% obstacles
+    // Keep start and goal free, plus a thin guaranteed corridor.
+    g[0] = 0;
+    g[CELLS - 1] = 0;
+    for (unsigned i = 0; i < G; ++i) {
+        g[(G / 2) * G + i] = 0; // middle row
+        g[i * G + (G / 2)] = 0; // middle column
+    }
+    return g;
+}
+
+} // namespace
+
+WorkloadSource
+wlAstar()
+{
+    WorkloadSource w;
+    w.description = "A* on a 24x24 grid, Manhattan heuristic";
+    w.window = 25'000;
+
+    auto grid = makeGrid();
+
+    std::ostringstream os;
+    os << ".data\n"
+       << byteTable("grid", grid) << ".align 8\n"
+       << "gs: .space " << CELLS * 8 << "\n"   // g-scores
+       << "fs: .space " << CELLS * 8 << "\n"   // f-scores
+       << "open: .space " << CELLS << "\n"
+       << "closed: .space " << CELLS << "\n"
+       << ".text\n";
+    // s0 = grid, s1 = gs, s2 = fs, s3 = open, s4 = closed,
+    // s5 = expansions, s6 = current cell, t8 = 0.
+    os << R"(_start:
+  la s0, grid
+  la s1, gs
+  la s2, fs
+  la s3, open
+  la s4, closed
+  movi s5, 0
+  ; init scores to INF
+  movi t0, 0
+  li t1, )" << INF << R"(
+init:
+  shli t2, t0, 3
+  add t3, t2, s1
+  st.d t1, [t3]
+  add t3, t2, s2
+  st.d t1, [t3]
+  addi t0, t0, 1
+  slti t2, t0, )" << CELLS << R"(
+  bne t2, t8, init
+  ; start: g=0, f=h(start), open
+  st.d t8, [s1]
+  movi t0, )" << 2 * (G - 1) << R"(
+  st.d t0, [s2]
+  movi t0, 1
+  st.b t0, [s3]
+
+search_loop:
+  ; ---- find open cell with smallest f (linear scan) ----
+  movi s6, -1
+  li s7, )" << INF + 1 << R"(
+  movi t0, 0
+scan:
+  add t1, s3, t0
+  ld.bu t2, [t1]
+  beq t2, t8, scan_next
+  shli t1, t0, 3
+  add t1, t1, s2
+  ld.d t3, [t1]
+  bge t3, s7, scan_next
+  mov s7, t3
+  mov s6, t0
+scan_next:
+  addi t0, t0, 1
+  slti t1, t0, )" << CELLS << R"(
+  bne t1, t8, scan
+  ; no open node: unreachable
+  blt s6, t8, no_path
+  ; goal?
+  movi t0, )" << (CELLS - 1) << R"(
+  beq s6, t0, found
+  ; close current
+  add t0, s3, s6
+  st.b t8, [t0]
+  add t0, s4, s6
+  movi t1, 1
+  st.b t1, [t0]
+  addi s5, s5, 1
+  ; ---- relax 4 neighbours ----
+  ; up
+  movi t0, )" << G << R"(
+  blt s6, t0, n_up
+  sub a0, s6, t0
+  call relax
+n_up:
+  ; down
+  movi t0, )" << (CELLS - G) << R"(
+  bge s6, t0, n_down
+  addi a0, s6, )" << G << R"(
+  call relax
+n_down:
+  ; left
+  movi t0, )" << G << R"(
+  rem t1, s6, t0
+  beq t1, t8, n_left
+  addi a0, s6, -1
+  call relax
+n_left:
+  ; right
+  movi t0, )" << G << R"(
+  rem t1, s6, t0
+  movi t2, )" << (G - 1) << R"(
+  beq t1, t2, n_right
+  addi a0, s6, 1
+  call relax
+n_right:
+  jmp search_loop
+
+found:
+  shli t0, s6, 3
+  add t0, t0, s1
+  ld.d t1, [t0]
+  out.d t1               ; path cost
+  out.d s5               ; expansions
+  ; g-score checksum
+  movi t0, 0
+  movi t2, 0
+gsum:
+  shli t3, t0, 3
+  add t3, t3, s1
+  ld.d t4, [t3]
+  li t5, )" << INF << R"(
+  beq t4, t5, gskip
+  add t2, t2, t4
+gskip:
+  addi t0, t0, 1
+  slti t3, t0, )" << CELLS << R"(
+  bne t3, t8, gsum
+  out.d t2
+  halt 0
+no_path:
+  movi t0, -1
+  out.d t0
+  out.d s5
+  out.d t8
+  halt 0
+
+; relax(a0 = neighbour): skip obstacles/closed; improve g via current
+relax:
+  add t3, s0, a0
+  ld.bu t4, [t3]
+  bne t4, t8, r_ret      ; obstacle
+  add t3, s4, a0
+  ld.bu t4, [t3]
+  bne t4, t8, r_ret      ; closed
+  ; tentative g = g[current] + 1
+  shli t3, s6, 3
+  add t3, t3, s1
+  ld.d t4, [t3]
+  addi t4, t4, 1
+  shli t3, a0, 3
+  add t3, t3, s1
+  ld.d t5, [t3]
+  bge t4, t5, r_ret      ; not an improvement
+  st.d t4, [t3]
+  ; f = g + manhattan(goal)
+  movi t5, )" << G << R"(
+  divu t6, a0, t5
+  remu t7, a0, t5
+  movi t3, )" << (G - 1) << R"(
+  sub t6, t3, t6
+  sub t7, t3, t7
+  add t6, t6, t7
+  add t6, t6, t4
+  shli t3, a0, 3
+  add t3, t3, s2
+  st.d t6, [t3]
+  add t3, s3, a0
+  movi t4, 1
+  st.b t4, [t3]          ; (re)open
+r_ret:
+  ret
+)";
+    w.source = os.str();
+
+    // ---- reference ----
+    std::vector<std::int64_t> gsc(CELLS, INF), fsc(CELLS, INF);
+    std::vector<std::uint8_t> open(CELLS, 0), closed(CELLS, 0);
+    gsc[0] = 0;
+    fsc[0] = 2 * (G - 1);
+    open[0] = 1;
+    std::uint64_t expansions = 0;
+    std::int64_t path_cost = -1;
+    for (;;) {
+        std::int64_t cur = -1, bestf = INF + 1;
+        for (unsigned i = 0; i < CELLS; ++i) {
+            if (open[i] && fsc[i] < bestf) {
+                bestf = fsc[i];
+                cur = i;
+            }
+        }
+        if (cur < 0)
+            break;
+        if (cur == CELLS - 1) {
+            path_cost = gsc[cur];
+            break;
+        }
+        open[cur] = 0;
+        closed[cur] = 1;
+        ++expansions;
+        auto relax = [&](unsigned n) {
+            if (grid[n] || closed[n])
+                return;
+            std::int64_t t = gsc[cur] + 1;
+            if (t >= gsc[n])
+                return;
+            gsc[n] = t;
+            std::int64_t h = (G - 1 - n / G) + (G - 1 - n % G);
+            fsc[n] = t + h;
+            open[n] = 1;
+        };
+        unsigned c = static_cast<unsigned>(cur);
+        if (c >= G)
+            relax(c - G);
+        if (c < CELLS - G)
+            relax(c + G);
+        if (c % G != 0)
+            relax(c - 1);
+        if (c % G != G - 1)
+            relax(c + 1);
+    }
+    outD(w.expected, static_cast<std::uint64_t>(path_cost));
+    outD(w.expected, expansions);
+    std::uint64_t gsum = 0;
+    if (path_cost >= 0) {
+        for (unsigned i = 0; i < CELLS; ++i)
+            if (gsc[i] != INF)
+                gsum += static_cast<std::uint64_t>(gsc[i]);
+    } else {
+        gsum = 0;
+    }
+    outD(w.expected, gsum);
+    return w;
+}
+
+} // namespace merlin::workloads

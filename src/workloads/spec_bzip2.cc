@@ -1,0 +1,170 @@
+/**
+ * @file
+ * bzip2 (SPEC-like): run-length encoding followed by a move-to-front
+ * transform over a 4KB runs-heavy buffer — the byte-shuffling core of
+ * block-sorting compressors.
+ */
+
+#include <sstream>
+
+#include "workloads/emit.hh"
+#include "workloads/suite.hh"
+
+namespace merlin::workloads
+{
+
+namespace
+{
+
+constexpr unsigned IN_LEN = 4096;
+
+std::vector<std::uint8_t>
+makeInput()
+{
+    std::vector<std::uint8_t> v;
+    v.reserve(IN_LEN);
+    std::uint64_t s = 99;
+    while (v.size() < IN_LEN) {
+        s = mix64(s);
+        const std::uint8_t byte = static_cast<std::uint8_t>(s % 32);
+        unsigned run = 1 + static_cast<unsigned>((s >> 8) % 7);
+        while (run-- && v.size() < IN_LEN)
+            v.push_back(byte);
+    }
+    return v;
+}
+
+} // namespace
+
+WorkloadSource
+wlBzip2()
+{
+    WorkloadSource w;
+    w.description = "RLE + move-to-front transform over 4KB";
+    w.window = 25'000;
+
+    auto input = makeInput();
+
+    std::ostringstream os;
+    os << ".data\n"
+       << byteTable("inp", input) << "rle: .space " << 2 * IN_LEN + 16
+       << "\nmtf: .space 256\n"
+       << ".text\n";
+    // Phase 1: RLE -> (byte, runlen<=255) pairs in `rle`, s6 = pair count
+    // Phase 2: MTF over the RLE literals, checksum the ranks.
+    os << R"(_start:
+  la s0, inp
+  la s1, rle
+  movi s2, 0             ; read pos
+  movi s6, 0             ; pairs
+rle_loop:
+  add t0, s0, s2
+  ld.bu t1, [t0]         ; current byte
+  movi t2, 1             ; run length
+run_scan:
+  add t3, s2, t2
+  slti t4, t3, )" << IN_LEN << R"(
+  beq t4, t8, run_end
+  add t4, s0, t3
+  ld.bu t5, [t4]
+  bne t5, t1, run_end
+  slti t4, t2, 255
+  beq t4, t8, run_end
+  addi t2, t2, 1
+  jmp run_scan
+run_end:
+  shli t3, s6, 1
+  add t3, t3, s1
+  st.b t1, [t3]
+  st.b t2, [t3+1]
+  addi s6, s6, 1
+  add s2, s2, t2
+  slti t3, s2, )" << IN_LEN << R"(
+  bne t3, t8, rle_loop
+
+  ; ---- init MTF table: mtf[i] = i ----
+  la s3, mtf
+  movi t0, 0
+mtf_init:
+  add t1, s3, t0
+  st.b t0, [t1]
+  addi t0, t0, 1
+  slti t1, t0, 256
+  bne t1, t8, mtf_init
+
+  ; ---- MTF pass over RLE literals ----
+  movi s4, 0             ; pair index
+  movi s5, 0             ; rank checksum
+  movi s7, 0             ; runlen checksum
+mtf_loop:
+  shli t0, s4, 1
+  add t0, t0, s1
+  ld.bu t1, [t0]         ; literal
+  ld.bu t2, [t0+1]       ; run length
+  mul t3, t2, s4
+  add s7, s7, t3
+  ; find rank of literal in mtf table
+  movi t3, 0
+rank_scan:
+  add t4, s3, t3
+  ld.bu t5, [t4]
+  beq t5, t1, rank_found
+  addi t3, t3, 1
+  jmp rank_scan
+rank_found:
+  ; checksum: rank * (index+1)
+  addi t4, s4, 1
+  mul t5, t3, t4
+  add s5, s5, t5
+  ; move to front: shift mtf[0..rank-1] up by one
+  mov t4, t3
+shift_loop:
+  beq t4, t8, shift_done
+  add t5, s3, t4
+  ld.bu t6, [t5-1]
+  st.b t6, [t5]
+  addi t4, t4, -1
+  jmp shift_loop
+shift_done:
+  st.b t1, [s3]
+  addi s4, s4, 1
+  blt s4, s6, mtf_loop
+
+  out.d s6
+  out.d s5
+  out.d s7
+  halt 0
+)";
+    w.source = os.str();
+
+    // Reference.
+    std::vector<std::pair<std::uint8_t, unsigned>> rle;
+    for (unsigned pos = 0; pos < IN_LEN;) {
+        std::uint8_t b = input[pos];
+        unsigned run = 1;
+        while (pos + run < IN_LEN && input[pos + run] == b && run < 255)
+            ++run;
+        rle.emplace_back(b, run);
+        pos += run;
+    }
+    std::uint8_t mtf[256];
+    for (unsigned i = 0; i < 256; ++i)
+        mtf[i] = static_cast<std::uint8_t>(i);
+    std::uint64_t ranksum = 0, runsum = 0;
+    for (unsigned i = 0; i < rle.size(); ++i) {
+        runsum += static_cast<std::uint64_t>(rle[i].second) * i;
+        unsigned rank = 0;
+        while (mtf[rank] != rle[i].first)
+            ++rank;
+        ranksum += static_cast<std::uint64_t>(rank) * (i + 1);
+        for (unsigned k = rank; k > 0; --k)
+            mtf[k] = mtf[k - 1];
+        mtf[0] = rle[i].first;
+    }
+    outD(w.expected, rle.size());
+    outD(w.expected, ranksum);
+    outD(w.expected, runsum);
+    return w;
+}
+
+} // namespace merlin::workloads

@@ -1,0 +1,229 @@
+/**
+ * @file
+ * gobmk (SPEC-like): Go board analysis — flood-fill group discovery and
+ * liberty counting over 19x19 boards, the data-dependent traversal at the
+ * heart of Go engines.
+ */
+
+#include <sstream>
+
+#include "workloads/emit.hh"
+#include "workloads/suite.hh"
+
+namespace merlin::workloads
+{
+
+namespace
+{
+
+constexpr unsigned B = 19;
+constexpr unsigned CELLS = B * B;
+constexpr unsigned BOARDS = 3;
+
+std::vector<std::uint8_t>
+makeBoards()
+{
+    std::vector<std::uint8_t> v(BOARDS * CELLS);
+    for (unsigned b = 0; b < BOARDS; ++b) {
+        for (unsigned i = 0; i < CELLS; ++i) {
+            // 0 empty, 1 black, 2 white; ~60% stones.
+            std::uint64_t r = mix64(b * 7919 + i);
+            v[b * CELLS + i] =
+                static_cast<std::uint8_t>(r % 5 < 2 ? 0 : 1 + (r % 2));
+        }
+    }
+    return v;
+}
+
+} // namespace
+
+WorkloadSource
+wlGobmk()
+{
+    WorkloadSource w;
+    w.description = "Go group flood-fill + liberty counting, 3 boards";
+    w.window = 25'000;
+
+    auto boards = makeBoards();
+
+    std::ostringstream os;
+    os << ".data\n"
+       << byteTable("boards", boards) << "seen: .space " << CELLS << "\n"
+       << ".align 8\n"
+       << "stack: .space " << CELLS * 8 << "\n"
+       << "libseen: .space " << CELLS << "\n"
+       << ".text\n";
+    // s0 = board base, s1 = seen, s2 = stack base, s3 = groups,
+    // s4 = liberty checksum, s5 = board index, s9 = libseen.
+    os << R"(_start:
+  la s1, seen
+  la s2, stack
+  la s9, libseen
+  movi s3, 0
+  movi s4, 0
+  movi s5, 0
+board_loop:
+  la s0, boards
+  movi t0, )" << CELLS << R"(
+  mul t1, s5, t0
+  add s0, s0, t1
+  ; clear seen
+  movi t0, 0
+clr:
+  add t1, s1, t0
+  st.b t8, [t1]
+  addi t0, t0, 1
+  slti t1, t0, )" << CELLS << R"(
+  bne t1, t8, clr
+  ; scan all cells
+  movi s6, 0             ; cell index
+cell_loop:
+  add t0, s1, s6
+  ld.bu t1, [t0]
+  bne t1, t8, next_cell  ; already visited
+  add t0, s0, s6
+  ld.bu s7, [t0]         ; color
+  beq s7, t8, next_cell  ; empty
+  ; ---- new group: flood fill from s6 ----
+  addi s3, s3, 1
+  ; clear libseen
+  movi t0, 0
+clr2:
+  add t1, s9, t0
+  st.b t8, [t1]
+  addi t0, t0, 1
+  slti t1, t0, )" << CELLS << R"(
+  bne t1, t8, clr2
+  movi s8, 0             ; group liberties
+  ; push s6
+  st.d s6, [s2]
+  movi t9, 8             ; stack top offset
+  add t0, s1, s6
+  movi t1, 1
+  st.b t1, [t0]
+fill_loop:
+  beq t9, t8, group_done
+  addi t9, t9, -8
+  add t0, s2, t9
+  ld.d t7, [t0]          ; current cell
+  ; visit 4 neighbours: up, down, left, right
+  ; --- up ---
+  movi t0, )" << B << R"(
+  blt t7, t0, no_up
+  sub t1, t7, t0
+  call visit
+no_up:
+  ; --- down ---
+  movi t0, )" << (CELLS - B) << R"(
+  bge t7, t0, no_down
+  addi t1, t7, )" << B << R"(
+  call visit
+no_down:
+  ; --- left ---
+  movi t0, )" << B << R"(
+  rem t2, t7, t0
+  beq t2, t8, no_left
+  addi t1, t7, -1
+  call visit
+no_left:
+  ; --- right ---
+  movi t0, )" << B << R"(
+  rem t2, t7, t0
+  movi t3, )" << (B - 1) << R"(
+  beq t2, t3, no_right
+  addi t1, t7, 1
+  call visit
+no_right:
+  jmp fill_loop
+group_done:
+  ; checksum: liberties * group number
+  mul t0, s8, s3
+  add s4, s4, t0
+next_cell:
+  addi s6, s6, 1
+  slti t0, s6, )" << CELLS << R"(
+  bne t0, t8, cell_loop
+  addi s5, s5, 1
+  slti t0, s5, )" << BOARDS << R"(
+  bne t0, t8, board_loop
+  out.d s3
+  out.d s4
+  halt 0
+
+; visit(t1 = neighbour cell): same color -> push if unseen;
+; empty -> count liberty once per group (libseen)
+visit:
+  add t2, s0, t1
+  ld.bu t3, [t2]
+  beq t3, t8, v_liberty
+  bne t3, s7, v_ret      ; other color: wall
+  add t2, s1, t1
+  ld.bu t3, [t2]
+  bne t3, t8, v_ret      ; already seen
+  movi t3, 1
+  st.b t3, [t2]
+  add t2, s2, t9
+  st.d t1, [t2]
+  addi t9, t9, 8
+v_ret:
+  ret
+v_liberty:
+  add t2, s9, t1
+  ld.bu t3, [t2]
+  bne t3, t8, v_ret
+  movi t3, 1
+  st.b t3, [t2]
+  addi s8, s8, 1
+  ret
+)";
+    w.source = os.str();
+
+    // Reference.
+    std::uint64_t groups = 0, libsum = 0;
+    std::vector<std::uint8_t> seen(CELLS);
+    std::vector<std::uint8_t> libseen(CELLS);
+    std::vector<std::uint64_t> stack(CELLS);
+    for (unsigned b = 0; b < BOARDS; ++b) {
+        const std::uint8_t *bd = &boards[b * CELLS];
+        std::fill(seen.begin(), seen.end(), 0);
+        for (unsigned c = 0; c < CELLS; ++c) {
+            if (seen[c] || bd[c] == 0)
+                continue;
+            ++groups;
+            std::fill(libseen.begin(), libseen.end(), 0);
+            std::uint64_t libs = 0;
+            unsigned top = 0;
+            stack[top++] = c;
+            seen[c] = 1;
+            const std::uint8_t color = bd[c];
+            while (top) {
+                unsigned cur = static_cast<unsigned>(stack[--top]);
+                auto visit = [&](unsigned n) {
+                    if (bd[n] == 0) {
+                        if (!libseen[n]) {
+                            libseen[n] = 1;
+                            ++libs;
+                        }
+                    } else if (bd[n] == color && !seen[n]) {
+                        seen[n] = 1;
+                        stack[top++] = n;
+                    }
+                };
+                if (cur >= B)
+                    visit(cur - B);
+                if (cur < CELLS - B)
+                    visit(cur + B);
+                if (cur % B != 0)
+                    visit(cur - 1);
+                if (cur % B != B - 1)
+                    visit(cur + 1);
+            }
+            libsum += libs * groups;
+        }
+    }
+    outD(w.expected, groups);
+    outD(w.expected, libsum);
+    return w;
+}
+
+} // namespace merlin::workloads

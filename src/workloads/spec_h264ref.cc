@@ -1,0 +1,173 @@
+/**
+ * @file
+ * h264ref (SPEC-like): full-search motion estimation — SAD (sum of
+ * absolute differences) of an 8x8 block against a +/-8 search window in
+ * a reference frame, the inner loop of video encoders.
+ */
+
+#include <cmath>
+#include <cstdlib>
+#include <sstream>
+
+#include "workloads/emit.hh"
+#include "workloads/suite.hh"
+
+namespace merlin::workloads
+{
+
+namespace
+{
+
+constexpr unsigned FRAME = 48;   // reference frame is FRAME x FRAME
+constexpr unsigned BS = 8;       // block size
+constexpr int RANGE = 8;         // search +/- RANGE
+constexpr unsigned CUR_X = 20, CUR_Y = 20;
+
+std::vector<std::uint8_t>
+makeFrame(std::uint64_t salt)
+{
+    std::vector<std::uint8_t> f(FRAME * FRAME);
+    for (unsigned y = 0; y < FRAME; ++y)
+        for (unsigned x = 0; x < FRAME; ++x)
+            f[y * FRAME + x] = static_cast<std::uint8_t>(
+                128 + 64 * std::sin(0.3 * x) * std::cos(0.23 * y) +
+                static_cast<int>(mix64(salt + y * FRAME + x) % 17) - 8);
+    return f;
+}
+
+} // namespace
+
+WorkloadSource
+wlH264ref()
+{
+    WorkloadSource w;
+    w.description = "8x8 full-search motion estimation, +/-8 window";
+    w.window = 25'000;
+
+    auto ref = makeFrame(1);
+    // Current block: the reference shifted by a known motion + noise.
+    std::vector<std::uint8_t> cur(BS * BS);
+    for (unsigned y = 0; y < BS; ++y) {
+        for (unsigned x = 0; x < BS; ++x) {
+            cur[y * BS + x] = static_cast<std::uint8_t>(
+                ref[(CUR_Y + 3 + y) * FRAME + (CUR_X - 2 + x)] +
+                static_cast<int>(mix64(y * BS + x) % 5) - 2);
+        }
+    }
+
+    std::ostringstream os;
+    os << ".data\n"
+       << byteTable("ref", ref) << byteTable("cur", cur) << ".align 8\n"
+       << "sadlog: .space " << (2 * RANGE + 1) * (2 * RANGE + 1) * 8
+       << "\n.text\n";
+    // s0 = ref, s1 = cur, s2 = best SAD, s3 = best dx, s4 = best dy,
+    // s5 = dy, s6 = dx, s7 = SAD accumulator.
+    os << R"(_start:
+  la s0, ref
+  la s1, cur
+  li s2, 99999999
+  movi s3, 0
+  movi s4, 0
+  movi s5, -)" << RANGE << R"(
+dy_loop:
+  movi s6, -)" << RANGE << R"(
+dx_loop:
+  movi s7, 0             ; SAD
+  movi t9, 0             ; y
+sad_y:
+  movi t7, 0             ; x
+sad_x:
+  ; ref pixel at (CUR_Y+dy+y)*FRAME + CUR_X+dx+x
+  movi t0, )" << CUR_Y << R"(
+  add t0, t0, s5
+  add t0, t0, t9
+  movi t1, )" << FRAME << R"(
+  mul t0, t0, t1
+  movi t1, )" << CUR_X << R"(
+  add t0, t0, t1
+  add t0, t0, s6
+  add t0, t0, t7
+  add t0, t0, s0
+  ld.bu t2, [t0]
+  ; cur pixel
+  shli t0, t9, 3
+  add t0, t0, t7
+  add t0, t0, s1
+  ld.bu t3, [t0]
+  sub t4, t2, t3
+  bge t4, t8, posd
+  sub t4, t8, t4
+posd:
+  add s7, s7, t4
+  ; early exit when SAD already exceeds the best
+  blt s7, s2, no_abort
+  jmp cand_done
+no_abort:
+  addi t7, t7, 1
+  slti t0, t7, )" << BS << R"(
+  bne t0, t8, sad_x
+  addi t9, t9, 1
+  slti t0, t9, )" << BS << R"(
+  bne t0, t8, sad_y
+  ; new best?
+  bge s7, s2, cand_done
+  mov s2, s7
+  mov s3, s6
+  mov s4, s5
+cand_done:
+  ; record the candidate SAD in the motion-field log (encoders keep
+  ; these for rate-distortion decisions); gives the search store traffic
+  movi t0, )" << (2 * RANGE + 1) << R"(
+  addi t1, s5, )" << RANGE << R"(
+  mul t0, t1, t0
+  addi t1, s6, )" << RANGE << R"(
+  add t0, t0, t1
+  shli t0, t0, 3
+  la t1, sadlog
+  add t0, t0, t1
+  st.d s7, [t0]
+  addi s6, s6, 1
+  movi t0, )" << (RANGE + 1) << R"(
+  blt s6, t0, dx_loop
+  addi s5, s5, 1
+  movi t0, )" << (RANGE + 1) << R"(
+  blt s5, t0, dy_loop
+  out.d s2
+  out.d s3
+  out.d s4
+  halt 0
+)";
+    w.source = os.str();
+
+    // Reference with the same early-abort structure.
+    std::int64_t best = 99999999, bdx = 0, bdy = 0;
+    for (int dy = -RANGE; dy <= RANGE; ++dy) {
+        for (int dx = -RANGE; dx <= RANGE; ++dx) {
+            std::int64_t sad = 0;
+            bool aborted = false;
+            for (unsigned y = 0; y < BS && !aborted; ++y) {
+                for (unsigned x = 0; x < BS; ++x) {
+                    int rp = ref[(CUR_Y + dy + y) * FRAME +
+                                 (CUR_X + dx + x)];
+                    int cp = cur[y * BS + x];
+                    sad += std::abs(rp - cp);
+                    if (sad >= best) {
+                        aborted = true;
+                        break;
+                    }
+                }
+            }
+            if (!aborted && sad < best) {
+                best = sad;
+                bdx = dx;
+                bdy = dy;
+            }
+        }
+    }
+    outD(w.expected, static_cast<std::uint64_t>(best));
+    outD(w.expected, static_cast<std::uint64_t>(bdx));
+    outD(w.expected, static_cast<std::uint64_t>(bdy));
+    return w;
+}
+
+} // namespace merlin::workloads

@@ -1,0 +1,326 @@
+/**
+ * @file
+ * hmmer (SPEC-like): Viterbi dynamic programming over a profile-HMM-like
+ * model — the max-plus recurrence (match / insert / delete states) that
+ * dominates hmmsearch.
+ */
+
+#include <algorithm>
+#include <sstream>
+
+#include "workloads/emit.hh"
+#include "workloads/suite.hh"
+
+namespace merlin::workloads
+{
+
+namespace
+{
+
+constexpr unsigned M = 24;       // model length
+constexpr unsigned L = 96;       // sequence length
+constexpr unsigned ALPHA = 4;    // alphabet
+constexpr std::int64_t NEG = -1'000'000'000;
+
+struct Model
+{
+    std::vector<std::int64_t> match;  // M x ALPHA emission scores
+    std::vector<std::int64_t> insert; // M x ALPHA
+    std::vector<std::int64_t> tmm, tim, tdm, tmi, tii, tmd, tdd; // M each
+    std::vector<std::int64_t> seq;    // L symbols
+};
+
+Model
+makeModel()
+{
+    Model m;
+    auto score = [](std::uint64_t r, std::int64_t lo, std::int64_t hi) {
+        return lo + static_cast<std::int64_t>(r % (hi - lo));
+    };
+    for (unsigned k = 0; k < M; ++k) {
+        for (unsigned a = 0; a < ALPHA; ++a) {
+            m.match.push_back(score(mix64(k * 31 + a), -10, 12));
+            m.insert.push_back(score(mix64(k * 77 + a + 1), -12, 4));
+        }
+        m.tmm.push_back(score(mix64(k + 1000), -3, 3));
+        m.tim.push_back(score(mix64(k + 2000), -8, 0));
+        m.tdm.push_back(score(mix64(k + 3000), -8, 0));
+        m.tmi.push_back(score(mix64(k + 4000), -10, -2));
+        m.tii.push_back(score(mix64(k + 5000), -10, -2));
+        m.tmd.push_back(score(mix64(k + 6000), -10, -2));
+        m.tdd.push_back(score(mix64(k + 7000), -10, -2));
+    }
+    for (unsigned i = 0; i < L; ++i)
+        m.seq.push_back(static_cast<std::int64_t>(mix64(i * 13) % ALPHA));
+    return m;
+}
+
+} // namespace
+
+WorkloadSource
+wlHmmer()
+{
+    WorkloadSource w;
+    w.description = "Viterbi max-plus DP, 24-state profile x 96 symbols";
+    w.window = 25'000;
+
+    Model m = makeModel();
+
+    std::ostringstream os;
+    os << ".data\n"
+       << quadTable("ematch", m.match) << quadTable("eins", m.insert)
+       << quadTable("tmm", m.tmm) << quadTable("tim", m.tim)
+       << quadTable("tdm", m.tdm) << quadTable("tmi", m.tmi)
+       << quadTable("tii", m.tii) << quadTable("tmd", m.tmd)
+       << quadTable("tdd", m.tdd) << quadTable("seq", m.seq)
+       << "vm: .space " << (M + 1) * 8 << "\n"
+       << "vi: .space " << (M + 1) * 8 << "\n"
+       << "vd: .space " << (M + 1) * 8 << "\n"
+       << "nm: .space " << (M + 1) * 8 << "\n"
+       << "ni: .space " << (M + 1) * 8 << "\n"
+       << "nd: .space " << (M + 1) * 8 << "\n"
+       << ".text\n";
+    // Row-by-row DP; s0 = i (sequence pos).
+    os << R"(_start:
+  ; init row 0: vm[0] = 0, everything else NEG
+  li t0, )" << NEG << R"(
+  movi t1, 0
+init:
+  shli t2, t1, 3
+  la t3, vm
+  add t3, t3, t2
+  st.d t0, [t3]
+  la t3, vi
+  add t3, t3, t2
+  st.d t0, [t3]
+  la t3, vd
+  add t3, t3, t2
+  st.d t0, [t3]
+  addi t1, t1, 1
+  slti t2, t1, )" << (M + 1) << R"(
+  bne t2, t8, init
+  la t3, vm
+  st.d t8, [t3]          ; vm[0] = 0
+
+  movi s0, 0             ; i
+seq_loop:
+  ; symbol
+  la t0, seq
+  shli t1, s0, 3
+  add t0, t0, t1
+  ld.d s1, [t0]          ; sym
+  ; new row init to NEG
+  li t0, )" << NEG << R"(
+  movi t1, 0
+ninit:
+  shli t2, t1, 3
+  la t3, nm
+  add t3, t3, t2
+  st.d t0, [t3]
+  la t3, ni
+  add t3, t3, t2
+  st.d t0, [t3]
+  la t3, nd
+  add t3, t3, t2
+  st.d t0, [t3]
+  addi t1, t1, 1
+  slti t2, t1, )" << (M + 1) << R"(
+  bne t2, t8, ninit
+
+  movi s2, 1             ; k
+k_loop:
+  addi s3, s2, -1        ; k-1
+  shli t0, s3, 3         ; (k-1)*8
+  ; ---- match: nm[k] = ematch[k-1][sym] + max(vm[k-1]+tmm, vi[k-1]+tim,
+  ;                                            vd[k-1]+tdm)
+  la t1, vm
+  add t1, t1, t0
+  ld.d t2, [t1]
+  la t1, tmm
+  add t1, t1, t0
+  ld.d t3, [t1]
+  add t2, t2, t3         ; vm[k-1] + tmm[k-1]
+  la t1, vi
+  add t1, t1, t0
+  ld.d t3, [t1]
+  la t1, tim
+  add t1, t1, t0
+  ld.d t4, [t1]
+  add t3, t3, t4
+  bge t2, t3, max1
+  mov t2, t3
+max1:
+  la t1, vd
+  add t1, t1, t0
+  ld.d t3, [t1]
+  la t1, tdm
+  add t1, t1, t0
+  ld.d t4, [t1]
+  add t3, t3, t4
+  bge t2, t3, max2
+  mov t2, t3
+max2:
+  ; + emission
+  movi t3, )" << ALPHA << R"(
+  mul t4, s3, t3
+  add t4, t4, s1
+  shli t4, t4, 3
+  la t1, ematch
+  add t1, t1, t4
+  ld.d t3, [t1]
+  add t2, t2, t3
+  shli t4, s2, 3
+  la t1, nm
+  add t1, t1, t4
+  st.d t2, [t1]
+  ; ---- insert: ni[k] = eins[k-1][sym] + max(vm[k]+tmi, vi[k]+tii)
+  shli t0, s2, 3
+  la t1, vm
+  add t1, t1, t0
+  ld.d t2, [t1]
+  la t1, tmi
+  add t1, t1, t0
+  ld.d t3, [t1-8]        ; tmi[k-1]
+  add t2, t2, t3
+  la t1, vi
+  add t1, t1, t0
+  ld.d t3, [t1]
+  la t1, tii
+  add t1, t1, t0
+  ld.d t4, [t1-8]
+  add t3, t3, t4
+  bge t2, t3, imax
+  mov t2, t3
+imax:
+  movi t3, )" << ALPHA << R"(
+  mul t4, s3, t3
+  add t4, t4, s1
+  shli t4, t4, 3
+  la t1, eins
+  add t1, t1, t4
+  ld.d t3, [t1]
+  add t2, t2, t3
+  shli t4, s2, 3
+  la t1, ni
+  add t1, t1, t4
+  st.d t2, [t1]
+  ; ---- delete: nd[k] = max(nm[k-1]+tmd, nd[k-1]+tdd)  (same row!)
+  addi t0, s3, 0
+  shli t0, t0, 3
+  la t1, nm
+  add t1, t1, t0
+  ld.d t2, [t1]
+  la t1, tmd
+  add t1, t1, t0
+  ld.d t3, [t1]
+  add t2, t2, t3
+  la t1, nd
+  add t1, t1, t0
+  ld.d t3, [t1]
+  la t1, tdd
+  add t1, t1, t0
+  ld.d t4, [t1]
+  add t3, t3, t4
+  bge t2, t3, dmax
+  mov t2, t3
+dmax:
+  shli t0, s2, 3
+  la t1, nd
+  add t1, t1, t0
+  st.d t2, [t1]
+  addi s2, s2, 1
+  slti t0, s2, )" << (M + 1) << R"(
+  bne t0, t8, k_loop
+
+  ; copy new row -> old row
+  movi t1, 0
+copy:
+  shli t2, t1, 3
+  la t3, nm
+  add t3, t3, t2
+  ld.d t4, [t3]
+  la t3, vm
+  add t3, t3, t2
+  st.d t4, [t3]
+  la t3, ni
+  add t3, t3, t2
+  ld.d t4, [t3]
+  la t3, vi
+  add t3, t3, t2
+  st.d t4, [t3]
+  la t3, nd
+  add t3, t3, t2
+  ld.d t4, [t3]
+  la t3, vd
+  add t3, t3, t2
+  st.d t4, [t3]
+  addi t1, t1, 1
+  slti t2, t1, )" << (M + 1) << R"(
+  bne t2, t8, copy
+  ; restore vm[0] to NEG after first row (start state consumed)
+  li t0, )" << NEG << R"(
+  la t1, vm
+  st.d t0, [t1]
+
+  addi s0, s0, 1
+  slti t0, s0, )" << L << R"(
+  bne t0, t8, seq_loop
+
+  ; best final score over match/delete states + row checksum
+  li s4, )" << NEG << R"(
+  movi t0, 1
+  movi s5, 0
+best:
+  shli t1, t0, 3
+  la t2, vm
+  add t2, t2, t1
+  ld.d t3, [t2]
+  add s5, s5, t3
+  bge s4, t3, nb
+  mov s4, t3
+nb:
+  addi t0, t0, 1
+  slti t1, t0, )" << (M + 1) << R"(
+  bne t1, t8, best
+  out.d s4
+  out.d s5
+  halt 0
+)";
+    w.source = os.str();
+
+    // Reference DP with identical structure.
+    std::vector<std::int64_t> vm(M + 1, NEG), vi(M + 1, NEG),
+        vd(M + 1, NEG);
+    vm[0] = 0;
+    for (unsigned i = 0; i < L; ++i) {
+        const std::int64_t sym = m.seq[i];
+        std::vector<std::int64_t> nm(M + 1, NEG), ni(M + 1, NEG),
+            nd(M + 1, NEG);
+        for (unsigned k = 1; k <= M; ++k) {
+            std::int64_t best = vm[k - 1] + m.tmm[k - 1];
+            best = std::max(best, vi[k - 1] + m.tim[k - 1]);
+            best = std::max(best, vd[k - 1] + m.tdm[k - 1]);
+            nm[k] = best + m.match[(k - 1) * ALPHA + sym];
+            std::int64_t ib = vm[k] + m.tmi[k - 1];
+            ib = std::max(ib, vi[k] + m.tii[k - 1]);
+            ni[k] = ib + m.insert[(k - 1) * ALPHA + sym];
+            nd[k] = std::max(nm[k - 1] + m.tmd[k - 1],
+                             nd[k - 1] + m.tdd[k - 1]);
+        }
+        vm = nm;
+        vi = ni;
+        vd = nd;
+        vm[0] = NEG;
+    }
+    std::int64_t best = NEG;
+    std::int64_t sum = 0;
+    for (unsigned k = 1; k <= M; ++k) {
+        sum += vm[k];
+        best = std::max(best, vm[k]);
+    }
+    outD(w.expected, static_cast<std::uint64_t>(best));
+    outD(w.expected, static_cast<std::uint64_t>(sum));
+    return w;
+}
+
+} // namespace merlin::workloads

@@ -1,0 +1,195 @@
+/**
+ * @file
+ * libquantum (SPEC-like): gate operations over a 256-amplitude quantum
+ * register in integer arithmetic — NOT / CNOT permutations and
+ * Hadamard-style butterflies, the regular-strided update pattern of
+ * quantum simulation.
+ */
+
+#include <sstream>
+#include <vector>
+
+#include "workloads/emit.hh"
+#include "workloads/suite.hh"
+
+namespace merlin::workloads
+{
+
+namespace
+{
+
+constexpr unsigned QUBITS = 8;
+constexpr unsigned STATES = 1u << QUBITS;
+constexpr unsigned GATES = 48;
+
+/** Gate program: (kind, target, control) triples. */
+std::vector<std::int64_t>
+gateProgram()
+{
+    std::vector<std::int64_t> g;
+    for (unsigned i = 0; i < GATES; ++i) {
+        const std::uint64_t r = mix64(i * 131 + 17);
+        const std::int64_t kind = static_cast<std::int64_t>(r % 3);
+        const std::int64_t target =
+            static_cast<std::int64_t>((r >> 8) % QUBITS);
+        std::int64_t control =
+            static_cast<std::int64_t>((r >> 16) % QUBITS);
+        if (control == target)
+            control = (control + 1) % QUBITS;
+        g.push_back(kind);
+        g.push_back(target);
+        g.push_back(control);
+    }
+    return g;
+}
+
+std::vector<std::int64_t>
+initialState()
+{
+    std::vector<std::int64_t> amp(STATES);
+    for (unsigned i = 0; i < STATES; ++i)
+        amp[i] = static_cast<std::int64_t>(mix64(i + 321) % 4096) - 2048;
+    return amp;
+}
+
+} // namespace
+
+WorkloadSource
+wlLibquantum()
+{
+    WorkloadSource w;
+    w.description = "48 gates (X/CNOT/H-butterfly) on 256 amplitudes";
+    w.window = 25'000;
+
+    auto gates = gateProgram();
+    auto amp0 = initialState();
+
+    std::ostringstream os;
+    os << ".data\n"
+       << quadTable("gates", gates) << quadTable("amp", amp0)
+       << ".text\n";
+    // s0 = amp, s1 = gate index.
+    os << R"(_start:
+  la s0, amp
+  movi s1, 0
+gate_loop:
+  movi t0, 24
+  mul t0, s1, t0
+  la t1, gates
+  add t1, t1, t0
+  ld.d s2, [t1]          ; kind
+  ld.d s3, [t1+8]        ; target
+  ld.d s4, [t1+16]       ; control
+  movi s5, 1
+  shl s5, s5, s3         ; target mask
+  movi s6, 1
+  shl s6, s6, s4         ; control mask
+  movi s7, 0             ; state index
+state_loop:
+  ; only visit states with target bit 0 (pair base)
+  and t0, s7, s5
+  bne t0, t8, next_state
+  or t1, s7, s5          ; partner
+  beq s2, t8, g_not
+  movi t0, 1
+  beq s2, t0, g_cnot
+  ; ---- Hadamard-style butterfly: (a, b) <- (a+b, a-b) ----
+  shli t2, s7, 3
+  add t2, t2, s0
+  shli t3, t1, 3
+  add t3, t3, s0
+  ld.d t4, [t2]
+  ld.d t5, [t3]
+  add t6, t4, t5
+  sub t7, t4, t5
+  srai t6, t6, 1
+  srai t7, t7, 1
+  st.d t6, [t2]
+  st.d t7, [t3]
+  jmp next_state
+g_not:
+  ; ---- X gate: swap the pair ----
+  shli t2, s7, 3
+  add t2, t2, s0
+  shli t3, t1, 3
+  add t3, t3, s0
+  ld.d t4, [t2]
+  ld.d t5, [t3]
+  st.d t5, [t2]
+  st.d t4, [t3]
+  jmp next_state
+g_cnot:
+  ; ---- CNOT: swap only when the control bit is set ----
+  and t0, s7, s6
+  beq t0, t8, next_state
+  shli t2, s7, 3
+  add t2, t2, s0
+  shli t3, t1, 3
+  add t3, t3, s0
+  ld.d t4, [t2]
+  ld.d t5, [t3]
+  st.d t5, [t2]
+  st.d t4, [t3]
+next_state:
+  addi s7, s7, 1
+  slti t0, s7, )" << STATES << R"(
+  bne t0, t8, state_loop
+  addi s1, s1, 1
+  slti t0, s1, )" << GATES << R"(
+  bne t0, t8, gate_loop
+
+  ; checksum
+  movi t0, 0
+  movi t1, 0
+  movi t2, 0
+sum:
+  shli t3, t0, 3
+  add t3, t3, s0
+  ld.d t4, [t3]
+  add t1, t1, t4
+  mul t5, t4, t0
+  xor t2, t2, t5
+  addi t0, t0, 1
+  slti t3, t0, )" << STATES << R"(
+  bne t3, t8, sum
+  out.d t1
+  out.d t2
+  halt 0
+)";
+    w.source = os.str();
+
+    // Reference.
+    auto amp = amp0;
+    for (unsigned g = 0; g < GATES; ++g) {
+        const std::int64_t kind = gates[3 * g];
+        const unsigned target = static_cast<unsigned>(gates[3 * g + 1]);
+        const unsigned control = static_cast<unsigned>(gates[3 * g + 2]);
+        const unsigned tmask = 1u << target;
+        const unsigned cmask = 1u << control;
+        for (unsigned s = 0; s < STATES; ++s) {
+            if (s & tmask)
+                continue;
+            const unsigned partner = s | tmask;
+            if (kind == 0) {
+                std::swap(amp[s], amp[partner]);
+            } else if (kind == 1) {
+                if (s & cmask)
+                    std::swap(amp[s], amp[partner]);
+            } else {
+                const std::int64_t a = amp[s], b = amp[partner];
+                amp[s] = (a + b) >> 1;
+                amp[partner] = (a - b) >> 1;
+            }
+        }
+    }
+    std::uint64_t sum = 0, mixv = 0;
+    for (unsigned i = 0; i < STATES; ++i) {
+        sum += static_cast<std::uint64_t>(amp[i]);
+        mixv ^= static_cast<std::uint64_t>(amp[i]) * i;
+    }
+    outD(w.expected, sum);
+    outD(w.expected, mixv);
+    return w;
+}
+
+} // namespace merlin::workloads

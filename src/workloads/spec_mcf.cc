@@ -1,0 +1,169 @@
+/**
+ * @file
+ * mcf (SPEC-like): Bellman-Ford single-source shortest paths over a
+ * sparse random digraph — the relaxation core of min-cost-flow solvers,
+ * dominated by pointer-chasing loads and data-dependent branches.
+ */
+
+#include <sstream>
+
+#include "workloads/emit.hh"
+#include "workloads/suite.hh"
+
+namespace merlin::workloads
+{
+
+namespace
+{
+
+constexpr unsigned NODES = 96;
+constexpr unsigned EDGES = 384;
+constexpr std::int64_t INF = 1'000'000'000;
+
+struct Graph
+{
+    std::vector<std::int64_t> from, to, cost;
+};
+
+Graph
+makeGraph()
+{
+    Graph g;
+    for (unsigned e = 0; e < EDGES; ++e) {
+        std::uint64_t r = mix64(e * 37 + 3);
+        std::int64_t u, v;
+        if (e < NODES - 1) {
+            // A spine guarantees reachability.
+            u = e;
+            v = e + 1;
+        } else {
+            u = static_cast<std::int64_t>(r % NODES);
+            v = static_cast<std::int64_t>((r >> 16) % NODES);
+        }
+        g.from.push_back(u);
+        g.to.push_back(v);
+        g.cost.push_back(1 + static_cast<std::int64_t>((r >> 32) % 100));
+    }
+    return g;
+}
+
+} // namespace
+
+WorkloadSource
+wlMcf()
+{
+    WorkloadSource w;
+    w.description = "Bellman-Ford over 96 nodes / 384 edges";
+    w.window = 25'000;
+
+    Graph g = makeGraph();
+
+    std::ostringstream os;
+    os << ".data\n"
+       << quadTable("efrom", g.from) << quadTable("eto", g.to)
+       << quadTable("ecost", g.cost) << "dist: .space " << NODES * 8
+       << "\n.text\n";
+    // s0..s2 = edge arrays, s3 = dist, s4 = pass, s5 = changed flag
+    os << R"(_start:
+  la s0, efrom
+  la s1, eto
+  la s2, ecost
+  la s3, dist
+  ; init distances: dist[0] = 0, others INF
+  movi t0, 1
+  li t1, )" << INF << R"(
+init:
+  shli t2, t0, 3
+  add t2, t2, s3
+  st.d t1, [t2]
+  addi t0, t0, 1
+  slti t2, t0, )" << NODES << R"(
+  bne t2, t8, init
+  st.d t8, [s3]          ; dist[0] = 0
+
+  movi s4, 0             ; pass
+pass_loop:
+  movi s5, 0             ; changed
+  movi s6, 0             ; edge index
+edge_loop:
+  shli t0, s6, 3
+  add t1, t0, s0
+  ld.d t2, [t1]          ; u
+  add t1, t0, s1
+  ld.d t3, [t1]          ; v
+  add t1, t0, s2
+  ld.d t4, [t1]          ; cost
+  shli t2, t2, 3
+  add t2, t2, s3
+  ld.d t5, [t2]          ; dist[u]
+  li t6, )" << INF << R"(
+  bge t5, t6, no_relax   ; unreachable source
+  add t5, t5, t4
+  shli t3, t3, 3
+  add t3, t3, s3
+  ld.d t6, [t3]          ; dist[v]
+  bge t5, t6, no_relax
+  st.d t5, [t3]
+  movi s5, 1
+no_relax:
+  addi s6, s6, 1
+  slti t0, s6, )" << EDGES << R"(
+  bne t0, t8, edge_loop
+  addi s4, s4, 1
+  beq s5, t8, converged
+  slti t0, s4, )" << NODES << R"(
+  bne t0, t8, pass_loop
+
+converged:
+  ; checksum distances
+  movi t0, 0
+  movi t1, 0
+  movi t2, 0
+sum:
+  shli t3, t0, 3
+  add t3, t3, s3
+  ld.d t4, [t3]
+  add t1, t1, t4
+  mul t5, t4, t0
+  xor t2, t2, t5
+  addi t0, t0, 1
+  slti t3, t0, )" << NODES << R"(
+  bne t3, t8, sum
+  out.d t1
+  out.d t2
+  out.d s4
+  halt 0
+)";
+    w.source = os.str();
+
+    // Reference.
+    std::vector<std::int64_t> dist(NODES, INF);
+    dist[0] = 0;
+    std::uint64_t passes = 0;
+    for (unsigned p = 0; p < NODES; ++p) {
+        bool changed = false;
+        for (unsigned e = 0; e < EDGES; ++e) {
+            if (dist[g.from[e]] >= INF)
+                continue;
+            std::int64_t nd = dist[g.from[e]] + g.cost[e];
+            if (nd < dist[g.to[e]]) {
+                dist[g.to[e]] = nd;
+                changed = true;
+            }
+        }
+        ++passes;
+        if (!changed)
+            break;
+    }
+    std::uint64_t sum = 0, mixv = 0;
+    for (unsigned i = 0; i < NODES; ++i) {
+        sum += static_cast<std::uint64_t>(dist[i]);
+        mixv ^= static_cast<std::uint64_t>(dist[i]) * i;
+    }
+    outD(w.expected, sum);
+    outD(w.expected, mixv);
+    outD(w.expected, passes);
+    return w;
+}
+
+} // namespace merlin::workloads

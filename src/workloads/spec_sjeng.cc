@@ -1,0 +1,212 @@
+/**
+ * @file
+ * sjeng (SPEC-like): depth-limited negamax search with alpha-beta pruning
+ * over a deterministic 2-player stone-taking game — the deep recursive
+ * call tree with irregular cutoff branches typical of game engines.
+ *
+ * Game: three heaps; a move takes 1..3 stones from one heap.  Leaf
+ * evaluation mixes heap contents so cutoffs depend on data.
+ */
+
+#include <algorithm>
+#include <cstdint>
+#include <sstream>
+
+#include "workloads/emit.hh"
+#include "workloads/suite.hh"
+
+namespace merlin::workloads
+{
+
+namespace
+{
+
+constexpr int DEPTH = 7;
+constexpr std::int64_t H0 = 5, H1 = 6, H2 = 4;
+
+std::uint64_t g_nodes;
+
+std::int64_t
+evalLeaf(std::int64_t h0, std::int64_t h1, std::int64_t h2)
+{
+    // Data-dependent leaf score (mirrored bit-for-bit in assembly).
+    std::int64_t v = h0 * 3 + h1 * 5 + h2 * 7;
+    v ^= (h0 + h1 + h2) << 2;
+    return v & 63;
+}
+
+std::int64_t
+negamax(std::int64_t h0, std::int64_t h1, std::int64_t h2, int depth,
+        std::int64_t alpha, std::int64_t beta)
+{
+    ++g_nodes;
+    if (depth == 0 || (h0 == 0 && h1 == 0 && h2 == 0))
+        return evalLeaf(h0, h1, h2);
+    std::int64_t best = -1000;
+    for (int heap = 0; heap < 3; ++heap) {
+        const std::int64_t have = heap == 0 ? h0 : heap == 1 ? h1 : h2;
+        for (std::int64_t take = 1; take <= 3 && take <= have; ++take) {
+            std::int64_t a = h0, b = h1, c = h2;
+            (heap == 0 ? a : heap == 1 ? b : c) -= take;
+            const std::int64_t s =
+                -negamax(a, b, c, depth - 1, -beta, -alpha);
+            best = std::max(best, s);
+            alpha = std::max(alpha, s);
+            if (alpha >= beta)
+                return best; // cutoff
+        }
+    }
+    return best;
+}
+
+} // namespace
+
+WorkloadSource
+wlSjeng()
+{
+    WorkloadSource w;
+    w.description = "negamax + alpha-beta over a 3-heap game, depth 7";
+    w.window = 25'000;
+
+    std::ostringstream os;
+    os << ".text\n";
+    // negamax(a0=h0, a1=h1, a2=h2, a3=depth, a4=alpha, a5=beta) -> a0
+    // s9 = global node counter.
+    os << R"(_start:
+  movi s9, 0
+  movi a0, )" << H0 << R"(
+  movi a1, )" << H1 << R"(
+  movi a2, )" << H2 << R"(
+  movi a3, )" << DEPTH << R"(
+  movi a4, -1000
+  movi a5, 1000
+  call negamax
+  out.d a0
+  out.d s9
+  halt 0
+
+evalleaf:
+  ; t0 = (h0*3 + h1*5 + h2*7) ^ ((h0+h1+h2) << 2), masked to 6 bits
+  movi t1, 3
+  mul t0, a0, t1
+  movi t1, 5
+  mul t2, a1, t1
+  add t0, t0, t2
+  movi t1, 7
+  mul t2, a2, t1
+  add t0, t0, t2
+  add t1, a0, a1
+  add t1, t1, a2
+  shli t1, t1, 2
+  xor t0, t0, t1
+  andi t0, t0, 63
+  ret
+
+negamax:
+  addi s9, s9, 1
+  ; leaf tests
+  beq a3, t8, leaf
+  or t0, a0, a1
+  or t0, t0, a2
+  beq t0, t8, leaf
+  ; save state on the stack
+  push ra
+  push s0
+  push s1
+  push s2
+  push s3
+  push s4
+  push s5
+  push s6
+  push s7
+  mov s0, a0             ; h0
+  mov s1, a1             ; h1
+  mov s2, a2             ; h2
+  mov s3, a3             ; depth
+  mov s4, a4             ; alpha
+  mov s5, a5             ; beta
+  movi s6, -1000         ; best
+  movi s7, 0             ; heap index
+heap_loop:
+  movi t9, 1             ; take
+take_loop:
+  ; have = heaps[s7]
+  beq s7, t8, have0
+  movi t0, 1
+  beq s7, t0, have1
+  mov t1, s2
+  jmp have_done
+have0:
+  mov t1, s0
+  jmp have_done
+have1:
+  mov t1, s1
+have_done:
+  blt t1, t9, next_heap  ; take > have
+  ; child position
+  mov a0, s0
+  mov a1, s1
+  mov a2, s2
+  beq s7, t8, sub0
+  movi t0, 1
+  beq s7, t0, sub1
+  sub a2, a2, t9
+  jmp sub_done
+sub0:
+  sub a0, a0, t9
+  jmp sub_done
+sub1:
+  sub a1, a1, t9
+sub_done:
+  addi a3, s3, -1
+  sub a4, t8, s5         ; -beta
+  sub a5, t8, s4         ; -alpha
+  push t9
+  call negamax
+  pop t9
+  sub t0, t8, a0         ; s = -result
+  bge s6, t0, no_best
+  mov s6, t0
+no_best:
+  bge s4, t0, no_alpha
+  mov s4, t0
+no_alpha:
+  blt s4, s5, no_cut
+  jmp nm_done            ; alpha >= beta: cutoff
+no_cut:
+  addi t9, t9, 1
+  movi t0, 4
+  blt t9, t0, take_loop
+next_heap:
+  addi s7, s7, 1
+  movi t0, 3
+  blt s7, t0, heap_loop
+nm_done:
+  mov a0, s6
+  pop s7
+  pop s6
+  pop s5
+  pop s4
+  pop s3
+  pop s2
+  pop s1
+  pop s0
+  pop ra
+  ret
+leaf:
+  push ra
+  call evalleaf
+  mov a0, t0
+  pop ra
+  ret
+)";
+    w.source = os.str();
+
+    g_nodes = 0;
+    std::int64_t best = negamax(H0, H1, H2, DEPTH, -1000, 1000);
+    outD(w.expected, static_cast<std::uint64_t>(best));
+    outD(w.expected, g_nodes);
+    return w;
+}
+
+} // namespace merlin::workloads

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Internal declarations of the per-workload builders.  Each builder
+ * returns the assembly source (with generated data tables embedded), the
+ * expected full-run output computed by a mirrored C++ reference
+ * implementation, and the suggested SimPoint-style window for the
+ * SPEC-like kernels.
+ */
+
+#ifndef MERLIN_WORKLOADS_SUITE_HH
+#define MERLIN_WORKLOADS_SUITE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace merlin::workloads
+{
+
+struct WorkloadSource
+{
+    std::string source;
+    std::vector<std::uint8_t> expected;
+    std::uint64_t window = 0; ///< 0 = run to completion
+    const char *description = "";
+};
+
+// MiBench-like (run to completion).
+WorkloadSource wlQsort();
+WorkloadSource wlSha();
+WorkloadSource wlStringsearch();
+WorkloadSource wlFft();
+WorkloadSource wlSusanS();
+WorkloadSource wlSusanE();
+WorkloadSource wlSusanC();
+WorkloadSource wlDjpeg();
+WorkloadSource wlCjpeg();
+WorkloadSource wlCaes();
+
+// SPEC-CPU2006-like (windowed).
+WorkloadSource wlBzip2();
+WorkloadSource wlGcc();
+WorkloadSource wlMcf();
+WorkloadSource wlGobmk();
+WorkloadSource wlHmmer();
+WorkloadSource wlSjeng();
+WorkloadSource wlLibquantum();
+WorkloadSource wlH264ref();
+WorkloadSource wlOmnetpp();
+WorkloadSource wlAstar();
+
+} // namespace merlin::workloads
+
+#endif // MERLIN_WORKLOADS_SUITE_HH

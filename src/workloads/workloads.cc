@@ -1,0 +1,93 @@
+#include "workloads/workloads.hh"
+
+#include <map>
+
+#include "base/logging.hh"
+#include "masm/asm.hh"
+#include "workloads/suite.hh"
+
+namespace merlin::workloads
+{
+
+namespace
+{
+
+using Builder = WorkloadSource (*)();
+
+const std::map<std::string, Builder> &
+registry()
+{
+    static const std::map<std::string, Builder> table = {
+        // MiBench-like.
+        {"qsort", &wlQsort},
+        {"sha", &wlSha},
+        {"stringsearch", &wlStringsearch},
+        {"fft", &wlFft},
+        {"susan_s", &wlSusanS},
+        {"susan_e", &wlSusanE},
+        {"susan_c", &wlSusanC},
+        {"djpeg", &wlDjpeg},
+        {"cjpeg", &wlCjpeg},
+        {"caes", &wlCaes},
+        // SPEC-like.
+        {"bzip2", &wlBzip2},
+        {"gcc", &wlGcc},
+        {"mcf", &wlMcf},
+        {"gobmk", &wlGobmk},
+        {"hmmer", &wlHmmer},
+        {"sjeng", &wlSjeng},
+        {"libquantum", &wlLibquantum},
+        {"h264ref", &wlH264ref},
+        {"omnetpp", &wlOmnetpp},
+        {"astar", &wlAstar},
+    };
+    return table;
+}
+
+} // namespace
+
+const std::vector<std::string> &
+mibenchWorkloads()
+{
+    static const std::vector<std::string> names = {
+        "susan_c", "susan_s", "susan_e", "stringsearch", "djpeg",
+        "sha",     "fft",     "qsort",   "cjpeg",        "caes",
+    };
+    return names;
+}
+
+const std::vector<std::string> &
+specWorkloads()
+{
+    static const std::vector<std::string> names = {
+        "bzip2", "gcc",        "mcf",     "gobmk",   "hmmer",
+        "sjeng", "libquantum", "h264ref", "omnetpp", "astar",
+    };
+    return names;
+}
+
+std::vector<std::string>
+allWorkloadNames()
+{
+    std::vector<std::string> all = mibenchWorkloads();
+    const auto &spec = specWorkloads();
+    all.insert(all.end(), spec.begin(), spec.end());
+    return all;
+}
+
+BuiltWorkload
+buildWorkload(const std::string &name)
+{
+    auto it = registry().find(name);
+    if (it == registry().end())
+        fatal("unknown workload '", name, "'");
+    WorkloadSource src = it->second();
+    BuiltWorkload w;
+    w.program = masm::assemble(src.source, name);
+    w.expectedOutput = std::move(src.expected);
+    w.suggestedWindow = src.window;
+    w.description = src.description;
+    return w;
+}
+
+} // namespace merlin::workloads

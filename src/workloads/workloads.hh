@@ -1,0 +1,50 @@
+/**
+ * @file
+ * The benchmark suite of the reproduction.
+ *
+ * Ten MiBench-like kernels (run to completion, as in the paper's
+ * accuracy experiments) and ten SPEC-CPU2006-like kernels (evaluated on
+ * a SimPoint-style instruction window, as in the paper's Section 4.4.2.3
+ * and Table 4).  Each workload mirrors the computational core of its
+ * namesake, is written in MRL-64 assembly with tables generated at build
+ * time, and is validated against a C++ reference implementation.
+ */
+
+#ifndef MERLIN_WORKLOADS_WORKLOADS_HH
+#define MERLIN_WORKLOADS_WORKLOADS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/program.hh"
+
+namespace merlin::workloads
+{
+
+/** A ready-to-run workload. */
+struct BuiltWorkload
+{
+    isa::Program program;
+    /** Full-run output stream per the C++ reference implementation. */
+    std::vector<std::uint8_t> expectedOutput;
+    /** SimPoint-style window (committed instructions); 0 = run to end. */
+    std::uint64_t suggestedWindow = 0;
+    std::string description;
+};
+
+/** The 10 MiBench-like workloads (Figures 6-11, 13-17). */
+const std::vector<std::string> &mibenchWorkloads();
+
+/** The 10 SPEC-CPU2006-like workloads (Figure 12, Table 4). */
+const std::vector<std::string> &specWorkloads();
+
+/** All 20 names. */
+std::vector<std::string> allWorkloadNames();
+
+/** Assemble a workload and compute its reference output. */
+BuiltWorkload buildWorkload(const std::string &name);
+
+} // namespace merlin::workloads
+
+#endif // MERLIN_WORKLOADS_WORKLOADS_HH

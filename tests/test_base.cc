@@ -1,0 +1,196 @@
+/**
+ * @file
+ * Unit tests for base utilities: logging, RNG, statistics, bit helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "base/bits.hh"
+#include "base/logging.hh"
+#include "base/rng.hh"
+#include "base/statistics.hh"
+
+namespace merlin
+{
+namespace
+{
+
+TEST(Logging, PanicThrowsSimAssertError)
+{
+    EXPECT_THROW(panic("boom ", 42), SimAssertError);
+}
+
+TEST(Logging, FatalThrowsFatalError)
+{
+    EXPECT_THROW(fatal("user error"), FatalError);
+}
+
+TEST(Logging, AssertMacroPassesAndFails)
+{
+    EXPECT_NO_THROW(MERLIN_ASSERT(1 + 1 == 2, "fine"));
+    EXPECT_THROW(MERLIN_ASSERT(false, "must fire"), SimAssertError);
+}
+
+TEST(Logging, AssertMessageContainsContext)
+{
+    try {
+        MERLIN_ASSERT(false, "ctx ", 7);
+        FAIL() << "should have thrown";
+    } catch (const SimAssertError &e) {
+        EXPECT_NE(std::string(e.what()).find("ctx 7"), std::string::npos);
+    }
+}
+
+TEST(Rng, Deterministic)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += (a.next() == b.next());
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, NextBelowInRange)
+{
+    Rng r(7);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(r.nextBelow(17), 17u);
+}
+
+TEST(Rng, NextBelowCoversAllResidues)
+{
+    Rng r(99);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 2000; ++i)
+        seen.insert(r.nextBelow(7));
+    EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, NextInRangeInclusive)
+{
+    Rng r(5);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 500; ++i) {
+        auto v = r.nextInRange(10, 12);
+        EXPECT_GE(v, 10u);
+        EXPECT_LE(v, 12u);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 3u);
+}
+
+TEST(Rng, DoubleInUnitInterval)
+{
+    Rng r(11);
+    for (int i = 0; i < 1000; ++i) {
+        double d = r.nextDouble();
+        EXPECT_GE(d, 0.0);
+        EXPECT_LT(d, 1.0);
+    }
+}
+
+TEST(Rng, ForkIndependent)
+{
+    Rng parent(42);
+    Rng child = parent.fork();
+    EXPECT_NE(parent.next(), child.next());
+}
+
+TEST(Rng, ShufflePreservesElements)
+{
+    Rng r(3);
+    std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+    auto sorted = v;
+    r.shuffle(v);
+    std::sort(v.begin(), v.end());
+    EXPECT_EQ(v, sorted);
+}
+
+TEST(Stats, ZValuesMatchTables)
+{
+    // Classic two-sided z-scores.
+    EXPECT_NEAR(stats::zForConfidence(0.95), 1.9600, 1e-3);
+    EXPECT_NEAR(stats::zForConfidence(0.99), 2.5758, 1e-3);
+    EXPECT_NEAR(stats::zForConfidence(0.998), 3.0902, 1e-3);
+}
+
+TEST(Stats, PaperSampleSizes)
+{
+    // The paper's 2,000-fault campaign: e=2.88%, c=99%, large population.
+    const double huge = 1e13;
+    auto n2000 = stats::sampleSize(huge, 0.0288, 0.99);
+    EXPECT_NEAR(static_cast<double>(n2000), 2000.0, 20.0);
+
+    // The 60,000-fault baseline: e=0.63%, c=99.8%.
+    auto n60k = stats::sampleSize(huge, 0.0063, 0.998);
+    EXPECT_NEAR(static_cast<double>(n60k), 60000.0, 400.0);
+}
+
+TEST(Stats, SampleSizeSmallPopulationIsBounded)
+{
+    // With a small finite population the sample cannot exceed it.
+    auto n = stats::sampleSize(1000.0, 0.01, 0.99);
+    EXPECT_LE(n, 1000u);
+    EXPECT_GT(n, 900u); // tight margins need nearly the whole population
+}
+
+TEST(Stats, ErrorMarginInvertsSampleSize)
+{
+    const double population = 1e12;
+    const double conf = 0.998;
+    auto n = stats::sampleSize(population, 0.0063, conf);
+    double e = stats::errorMargin(population, static_cast<double>(n), conf);
+    EXPECT_NEAR(e, 0.0063, 1e-4);
+}
+
+TEST(Stats, MeanAndVariance)
+{
+    std::vector<double> v{1, 2, 3, 4};
+    EXPECT_DOUBLE_EQ(stats::mean(v), 2.5);
+    EXPECT_DOUBLE_EQ(stats::variance(v), 1.25);
+    EXPECT_DOUBLE_EQ(stats::mean({}), 0.0);
+    EXPECT_DOUBLE_EQ(stats::variance({}), 0.0);
+}
+
+TEST(Bits, SignExtend)
+{
+    EXPECT_EQ(signExtend(0xff, 8), -1);
+    EXPECT_EQ(signExtend(0x7f, 8), 127);
+    EXPECT_EQ(signExtend(0x8000, 16), -32768);
+    EXPECT_EQ(signExtend(0x1234, 16), 0x1234);
+}
+
+TEST(Bits, BitsOf)
+{
+    EXPECT_EQ(bitsOf(0xabcd, 4, 8), 0xbcu);
+    EXPECT_EQ(bitsOf(~0ULL, 0, 64), ~0ULL);
+}
+
+TEST(Bits, LoadStoreLERoundTrip)
+{
+    std::uint8_t buf[8] = {};
+    storeLE(buf, 0x1122334455667788ULL, 8);
+    EXPECT_EQ(loadLE(buf, 8), 0x1122334455667788ULL);
+    EXPECT_EQ(loadLE(buf, 4), 0x55667788ULL);
+    EXPECT_EQ(buf[0], 0x88);
+}
+
+TEST(Bits, Alignment)
+{
+    EXPECT_TRUE(isAligned(0x1000, 8));
+    EXPECT_FALSE(isAligned(0x1001, 2));
+    EXPECT_TRUE(isAligned(0x1001, 1));
+}
+
+} // namespace
+} // namespace merlin

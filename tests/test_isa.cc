@@ -1,0 +1,281 @@
+/**
+ * @file
+ * Unit tests for the MRL-64 ISA: encode/decode round trips, uop
+ * expansion shapes, and shared execution semantics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/exec.hh"
+#include "isa/isa.hh"
+#include "isa/uops.hh"
+
+namespace merlin::isa
+{
+namespace
+{
+
+TEST(Encoding, RoundTripAllOpcodes)
+{
+    for (unsigned op = 0;
+         op < static_cast<unsigned>(Opcode::NUM_OPCODES); ++op) {
+        Instruction in;
+        in.op = static_cast<Opcode>(op);
+        in.rd = 3;
+        in.rs1 = 17;
+        in.rs2 = 31;
+        in.imm = -12345;
+        auto out = decode(encode(in));
+        ASSERT_TRUE(out.has_value()) << "opcode " << op;
+        EXPECT_EQ(out->op, in.op);
+        EXPECT_EQ(out->rd, in.rd);
+        EXPECT_EQ(out->rs1, in.rs1);
+        EXPECT_EQ(out->rs2, in.rs2);
+        EXPECT_EQ(out->imm, in.imm);
+    }
+}
+
+TEST(Encoding, RejectsBadOpcode)
+{
+    std::uint64_t raw = 0xff; // opcode 255
+    EXPECT_FALSE(decode(raw).has_value());
+}
+
+TEST(Encoding, RejectsBadRegisterField)
+{
+    Instruction in;
+    in.op = Opcode::ADD;
+    std::uint64_t raw = encode(in);
+    raw |= std::uint64_t(200) << 8; // rd = 200
+    EXPECT_FALSE(decode(raw).has_value());
+}
+
+TEST(Encoding, ImmSignPreserved)
+{
+    Instruction in;
+    in.op = Opcode::MOVI;
+    in.imm = -1;
+    auto out = decode(encode(in));
+    ASSERT_TRUE(out);
+    EXPECT_EQ(out->imm, -1);
+}
+
+TEST(Uops, SimpleOpsAreSingleUop)
+{
+    StaticUop u[MAX_UOPS_PER_MACRO];
+    for (Opcode op : {Opcode::ADD, Opcode::MOVI, Opcode::LDW, Opcode::STD,
+                      Opcode::BEQ, Opcode::JMP, Opcode::HALT}) {
+        Instruction in;
+        in.op = op;
+        EXPECT_EQ(expand(in, 0x1000, u), 1u) << opcodeName(op);
+    }
+}
+
+TEST(Uops, LdaddExpandsToLoadThenAdd)
+{
+    Instruction in;
+    in.op = Opcode::LDADD;
+    in.rd = 4;
+    in.rs1 = 5;
+    in.imm = 16;
+    StaticUop u[MAX_UOPS_PER_MACRO];
+    ASSERT_EQ(expand(in, 0x1000, u), 2u);
+    EXPECT_EQ(u[0].kind, UopKind::Load);
+    EXPECT_EQ(u[0].dst, REG_TMP0);
+    EXPECT_EQ(u[0].src1, 5);
+    EXPECT_EQ(u[0].imm, 16);
+    EXPECT_EQ(u[1].kind, UopKind::Alu);
+    EXPECT_EQ(u[1].dst, 4);
+    EXPECT_EQ(u[1].src1, 4);
+    EXPECT_EQ(u[1].src2, REG_TMP0);
+}
+
+TEST(Uops, MemaddIsReadModifyWrite)
+{
+    Instruction in;
+    in.op = Opcode::MEMADD;
+    in.rs1 = 2;
+    in.rs2 = 3;
+    in.imm = 8;
+    StaticUop u[MAX_UOPS_PER_MACRO];
+    ASSERT_EQ(expand(in, 0x1000, u), 3u);
+    EXPECT_EQ(u[0].kind, UopKind::Load);
+    EXPECT_EQ(u[1].kind, UopKind::Alu);
+    EXPECT_EQ(u[2].kind, UopKind::Store);
+    EXPECT_EQ(u[2].src2, REG_TMP0);
+    EXPECT_EQ(u[2].src1, 2);
+}
+
+TEST(Uops, PushDecrementsThenStores)
+{
+    Instruction in;
+    in.op = Opcode::PUSH;
+    in.rs2 = 7;
+    StaticUop u[MAX_UOPS_PER_MACRO];
+    ASSERT_EQ(expand(in, 0x1000, u), 2u);
+    EXPECT_EQ(u[0].kind, UopKind::Alu);
+    EXPECT_EQ(u[0].dst, REG_SP);
+    EXPECT_EQ(u[0].imm, -8);
+    EXPECT_EQ(u[1].kind, UopKind::Store);
+    EXPECT_EQ(u[1].src1, REG_SP);
+    EXPECT_EQ(u[1].src2, 7);
+}
+
+TEST(Uops, CallLinksThenJumps)
+{
+    Instruction in;
+    in.op = Opcode::CALL;
+    in.imm = 0x2000;
+    StaticUop u[MAX_UOPS_PER_MACRO];
+    ASSERT_EQ(expand(in, 0x1008, u), 2u);
+    EXPECT_EQ(u[0].dst, REG_RA);
+    EXPECT_EQ(u[0].imm, 0x1010);
+    EXPECT_TRUE(u[1].isCall);
+    EXPECT_EQ(u[1].kind, UopKind::Jump);
+}
+
+TEST(Uops, CallrReadsTargetBeforeLink)
+{
+    Instruction in;
+    in.op = Opcode::CALLR;
+    in.rs1 = 9;
+    StaticUop u[MAX_UOPS_PER_MACRO];
+    ASSERT_EQ(expand(in, 0x1000, u), 3u);
+    // uop0 snapshots the target so CALLR via ra-adjacent registers works.
+    EXPECT_EQ(u[0].dst, REG_TMP0);
+    EXPECT_EQ(u[0].src1, 9);
+    EXPECT_EQ(u[1].dst, REG_RA);
+    EXPECT_EQ(u[2].src1, REG_TMP0);
+    EXPECT_TRUE(u[2].isCall);
+}
+
+TEST(Uops, JrRaIsReturn)
+{
+    Instruction in;
+    in.op = Opcode::JR;
+    in.rs1 = REG_RA;
+    StaticUop u[MAX_UOPS_PER_MACRO];
+    ASSERT_EQ(expand(in, 0x1000, u), 1u);
+    EXPECT_TRUE(u[0].isReturn);
+
+    in.rs1 = 5;
+    expand(in, 0x1000, u);
+    EXPECT_FALSE(u[0].isReturn);
+}
+
+TEST(Exec, BasicAlu)
+{
+    EXPECT_EQ(aluCompute(Opcode::ADD, 2, 3).value, 5u);
+    EXPECT_EQ(aluCompute(Opcode::SUB, 2, 3).value,
+              static_cast<std::uint64_t>(-1));
+    EXPECT_EQ(aluCompute(Opcode::AND, 0xf0, 0x3c).value, 0x30u);
+    EXPECT_EQ(aluCompute(Opcode::OR, 0xf0, 0x0f).value, 0xffu);
+    EXPECT_EQ(aluCompute(Opcode::XOR, 0xff, 0x0f).value, 0xf0u);
+}
+
+TEST(Exec, ShiftsMaskAmount)
+{
+    EXPECT_EQ(aluCompute(Opcode::SHL, 1, 64).value, 1u);
+    EXPECT_EQ(aluCompute(Opcode::SHL, 1, 65).value, 2u);
+    EXPECT_EQ(aluCompute(Opcode::SHR, 0x8000000000000000ULL, 63).value, 1u);
+}
+
+TEST(Exec, ArithmeticShiftKeepsSign)
+{
+    EXPECT_EQ(static_cast<std::int64_t>(
+                  aluCompute(Opcode::SRA, static_cast<std::uint64_t>(-16), 2)
+                      .value),
+              -4);
+}
+
+TEST(Exec, MulHigh)
+{
+    // (2^40) * (2^40) = 2^80: high half is 2^16.
+    EXPECT_EQ(aluCompute(Opcode::MULH, 1ULL << 40, 1ULL << 40).value,
+              1ULL << 16);
+}
+
+TEST(Exec, DivisionSemantics)
+{
+    EXPECT_EQ(static_cast<std::int64_t>(
+                  aluCompute(Opcode::DIV, static_cast<std::uint64_t>(-7), 2)
+                      .value),
+              -3);
+    EXPECT_EQ(static_cast<std::int64_t>(
+                  aluCompute(Opcode::REM, static_cast<std::uint64_t>(-7), 2)
+                      .value),
+              -1);
+    EXPECT_EQ(aluCompute(Opcode::DIVU, 7, 2).value, 3u);
+    EXPECT_EQ(aluCompute(Opcode::REMU, 7, 2).value, 1u);
+}
+
+TEST(Exec, DivByZeroFlagged)
+{
+    EXPECT_TRUE(aluCompute(Opcode::DIV, 1, 0).divByZero);
+    EXPECT_TRUE(aluCompute(Opcode::REM, 1, 0).divByZero);
+    EXPECT_TRUE(aluCompute(Opcode::DIVU, 1, 0).divByZero);
+    EXPECT_TRUE(aluCompute(Opcode::REMU, 1, 0).divByZero);
+    EXPECT_FALSE(aluCompute(Opcode::DIV, 1, 1).divByZero);
+}
+
+TEST(Exec, DivOverflowWraps)
+{
+    auto r = aluCompute(Opcode::DIV,
+                        static_cast<std::uint64_t>(INT64_MIN),
+                        static_cast<std::uint64_t>(-1));
+    EXPECT_FALSE(r.divByZero);
+    EXPECT_EQ(r.value, static_cast<std::uint64_t>(INT64_MIN));
+}
+
+TEST(Exec, Movhi)
+{
+    auto r = aluCompute(Opcode::MOVHI, 0x00000000deadbeefULL, 0x12345678);
+    EXPECT_EQ(r.value, 0x12345678deadbeefULL);
+}
+
+TEST(Exec, SetLessThan)
+{
+    EXPECT_EQ(aluCompute(Opcode::SLT, static_cast<std::uint64_t>(-1), 0)
+                  .value, 1u);
+    EXPECT_EQ(aluCompute(Opcode::SLTU, static_cast<std::uint64_t>(-1), 0)
+                  .value, 0u);
+}
+
+TEST(Exec, BranchConditions)
+{
+    EXPECT_TRUE(branchTaken(Opcode::BEQ, 5, 5));
+    EXPECT_FALSE(branchTaken(Opcode::BEQ, 5, 6));
+    EXPECT_TRUE(branchTaken(Opcode::BNE, 5, 6));
+    EXPECT_TRUE(branchTaken(Opcode::BLT, static_cast<std::uint64_t>(-1), 0));
+    EXPECT_FALSE(
+        branchTaken(Opcode::BLTU, static_cast<std::uint64_t>(-1), 0));
+    EXPECT_TRUE(branchTaken(Opcode::BGE, 0, 0));
+    EXPECT_TRUE(
+        branchTaken(Opcode::BGEU, static_cast<std::uint64_t>(-1), 1));
+}
+
+TEST(Disasm, ProducesMnemonic)
+{
+    Instruction in;
+    in.op = Opcode::ADD;
+    in.rd = 1;
+    in.rs1 = 2;
+    in.rs2 = 3;
+    EXPECT_EQ(disassemble(in), "add r1, r2, r3");
+}
+
+TEST(Predicates, Classification)
+{
+    EXPECT_TRUE(isCondBranch(Opcode::BEQ));
+    EXPECT_TRUE(isCondBranch(Opcode::BGEU));
+    EXPECT_FALSE(isCondBranch(Opcode::JMP));
+    EXPECT_TRUE(isControlFlow(Opcode::JMP));
+    EXPECT_TRUE(isControlFlow(Opcode::CALLR));
+    EXPECT_FALSE(isControlFlow(Opcode::ADD));
+    EXPECT_TRUE(isMemOp(Opcode::LDW));
+    EXPECT_TRUE(isMemOp(Opcode::PUSH));
+    EXPECT_FALSE(isMemOp(Opcode::ADD));
+}
+
+} // namespace
+} // namespace merlin::isa

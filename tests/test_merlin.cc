@@ -1,0 +1,402 @@
+/**
+ * @file
+ * MeRLiN-core tests: sampling statistics, the two-step grouping
+ * invariants, the Relyzer baseline, report math, and end-to-end
+ * campaigns including the headline accuracy property (MeRLiN's estimate
+ * vs ground truth over the same fault list).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "merlin/campaign.hh"
+#include "workloads/workloads.hh"
+
+namespace merlin::core
+{
+namespace
+{
+
+using faultsim::Outcome;
+using uarch::Structure;
+
+TEST(Sampling, PaperBaselineCounts)
+{
+    const double pop = 1e13;
+    EXPECT_NEAR(static_cast<double>(spec60k().count(pop)), 60000, 400);
+    EXPECT_NEAR(static_cast<double>(spec600k().count(pop)), 600000,
+                70000);
+    EXPECT_EQ(specFixed(1234).count(pop), 1234u);
+}
+
+TEST(Sampling, FixedCountClampedToPopulation)
+{
+    EXPECT_EQ(specFixed(1000).count(100.0), 100u);
+}
+
+TEST(Sampling, FaultsAreInBounds)
+{
+    Rng rng(3);
+    auto list = sampleFaults(Structure::StoreQueue, 16, 5000,
+                             specFixed(2000), rng);
+    ASSERT_EQ(list.size(), 2000u);
+    for (const auto &f : list) {
+        EXPECT_LT(f.entry, 16u);
+        EXPECT_LT(f.bit, 64);
+        EXPECT_LT(f.cycle, 5000u);
+        EXPECT_EQ(f.structure, Structure::StoreQueue);
+    }
+}
+
+TEST(Sampling, SeededReproducibility)
+{
+    Rng a(9), b(9);
+    auto la = sampleFaults(Structure::RegisterFile, 64, 1000,
+                           specFixed(100), a);
+    auto lb = sampleFaults(Structure::RegisterFile, 64, 1000,
+                           specFixed(100), b);
+    EXPECT_TRUE(la == lb);
+}
+
+TEST(Report, ClassCountsMath)
+{
+    ClassCounts c;
+    c.add(Outcome::Masked, 70);
+    c.add(Outcome::SDC, 20);
+    c.add(Outcome::Crash, 10);
+    EXPECT_EQ(c.total(), 100u);
+    EXPECT_DOUBLE_EQ(c.fraction(Outcome::SDC), 0.2);
+    EXPECT_DOUBLE_EQ(c.avf(), 0.3);
+
+    ClassCounts d;
+    d.add(Outcome::Masked, 75);
+    d.add(Outcome::SDC, 15);
+    d.add(Outcome::Crash, 10);
+    EXPECT_NEAR(c.maxInaccuracyVs(d), 5.0, 1e-9);
+    EXPECT_EQ((c + d).total(), 200u);
+}
+
+TEST(Report, FitRateFormula)
+{
+    // AVF 2.56%, 256 regs x 64 bits, 0.01 FIT/bit => 4.19 FIT (paper's
+    // Figure 16 ballpark for the 256-register RF).
+    double fit = fitRate(0.0256, 256 * 64);
+    EXPECT_NEAR(fit, 4.19, 0.01);
+}
+
+TEST(Report, HomogeneityPerfectAndMixed)
+{
+    std::vector<std::vector<Outcome>> groups = {
+        {Outcome::Masked, Outcome::Masked, Outcome::Masked},
+        {Outcome::SDC, Outcome::SDC},
+        {Outcome::SDC, Outcome::Masked, Outcome::SDC, Outcome::SDC},
+    };
+    auto h = computeHomogeneity(groups);
+    EXPECT_EQ(h.groups, 3u);
+    EXPECT_EQ(h.faults, 9u);
+    // fine: (3 + 2 + 3) / 9
+    EXPECT_NEAR(h.fine, 8.0 / 9.0, 1e-12);
+    EXPECT_NEAR(h.coarse, 8.0 / 9.0, 1e-12);
+    EXPECT_NEAR(h.perfectFraction, 2.0 / 3.0, 1e-12);
+}
+
+class GroupingFixture : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        w_ = workloads::buildWorkload("fft");
+        cfg_.numPhysIntRegs = 128;
+        runner_ = std::make_unique<faultsim::InjectionRunner>(w_.program,
+                                                              cfg_);
+        profiler_ = std::make_unique<profile::AceProfiler>(
+            cfg_.numPhysIntRegs, cfg_.sqEntries, cfg_.l1d.totalWords());
+        golden_ = runner_->golden(profiler_.get());
+        profiler_->finalize();
+        Rng rng(11);
+        faults_ = sampleFaults(Structure::RegisterFile,
+                               cfg_.numPhysIntRegs, golden_.stats.cycles,
+                               specFixed(4000), rng);
+    }
+
+    workloads::BuiltWorkload w_;
+    uarch::CoreConfig cfg_;
+    std::unique_ptr<faultsim::InjectionRunner> runner_;
+    std::unique_ptr<profile::AceProfiler> profiler_;
+    faultsim::GoldenRun golden_;
+    std::vector<faultsim::Fault> faults_;
+};
+
+TEST_F(GroupingFixture, GroupsPartitionSurvivors)
+{
+    Rng rng(1);
+    GroupingOptions opts;
+    auto res = groupFaults(
+        faults_, profiler_->profile(Structure::RegisterFile), opts, rng);
+
+    EXPECT_EQ(res.aceMasked + res.survivors.size(), faults_.size());
+
+    std::vector<bool> seen(res.survivors.size(), false);
+    for (const auto &g : res.groups) {
+        EXPECT_FALSE(g.members.empty());
+        for (auto m : g.members) {
+            ASSERT_LT(m, seen.size());
+            EXPECT_FALSE(seen[m]) << "fault in two groups";
+            seen[m] = true;
+        }
+    }
+    for (bool s : seen)
+        EXPECT_TRUE(s) << "fault in no group";
+}
+
+TEST_F(GroupingFixture, GroupMembersShareKey)
+{
+    Rng rng(1);
+    auto res = groupFaults(faults_,
+                           profiler_->profile(Structure::RegisterFile),
+                           GroupingOptions{}, rng);
+    for (const auto &g : res.groups) {
+        for (auto m : g.members) {
+            const TaggedFault &tf = res.survivors[m];
+            EXPECT_EQ(tf.rip, g.rip);
+            EXPECT_EQ(tf.upc, g.upc);
+            EXPECT_EQ(tf.fault.byte(), g.byte);
+        }
+        ASSERT_FALSE(g.representatives.empty());
+        for (auto rep : g.representatives) {
+            EXPECT_NE(std::find(g.members.begin(), g.members.end(), rep),
+                      g.members.end())
+                << "representative outside its group";
+        }
+    }
+}
+
+TEST_F(GroupingFixture, MaxGroupSizeRespected)
+{
+    Rng rng(1);
+    GroupingOptions opts;
+    opts.maxGroupSize = 10;
+    auto res = groupFaults(
+        faults_, profiler_->profile(Structure::RegisterFile), opts, rng);
+    for (const auto &g : res.groups)
+        EXPECT_LE(g.members.size(), 10u);
+}
+
+TEST_F(GroupingFixture, SmallerCapMeansMoreGroups)
+{
+    Rng r1(1), r2(1);
+    GroupingOptions big;
+    big.maxGroupSize = 1000;
+    GroupingOptions small;
+    small.maxGroupSize = 5;
+    auto rb = groupFaults(
+        faults_, profiler_->profile(Structure::RegisterFile), big, r1);
+    auto rs = groupFaults(
+        faults_, profiler_->profile(Structure::RegisterFile), small, r2);
+    EXPECT_GT(rs.groups.size(), rb.groups.size());
+}
+
+TEST_F(GroupingFixture, ByteSplitRefinesGroups)
+{
+    Rng r1(1), r2(1), r3(1);
+    GroupingOptions none;
+    none.split = GroupingOptions::Split::None;
+    GroupingOptions byte;
+    byte.split = GroupingOptions::Split::Byte;
+    GroupingOptions nib;
+    nib.split = GroupingOptions::Split::Nibble;
+    auto rn = groupFaults(
+        faults_, profiler_->profile(Structure::RegisterFile), none, r1);
+    auto rb = groupFaults(
+        faults_, profiler_->profile(Structure::RegisterFile), byte, r2);
+    auto rni = groupFaults(
+        faults_, profiler_->profile(Structure::RegisterFile), nib, r3);
+    EXPECT_LE(rn.groups.size(), rb.groups.size());
+    EXPECT_LE(rb.groups.size(), rni.groups.size());
+}
+
+TEST_F(GroupingFixture, MultiRepresentativeSelection)
+{
+    Rng rng(1);
+    GroupingOptions opts;
+    opts.repsPerGroup = 3;
+    auto res = groupFaults(
+        faults_, profiler_->profile(Structure::RegisterFile), opts, rng);
+    for (const auto &g : res.groups) {
+        // min(3, group size) distinct representatives, all members.
+        EXPECT_EQ(g.representatives.size(),
+                  std::min<std::size_t>(3, g.members.size()));
+        for (auto rep : g.representatives) {
+            EXPECT_NE(std::find(g.members.begin(), g.members.end(), rep),
+                      g.members.end());
+        }
+    }
+    EXPECT_GT(res.numInjections(), res.groups.size());
+}
+
+TEST(Campaign, MajorityVoteAtLeastAsAccurate)
+{
+    // With 3 representatives per group the estimate must stay close to
+    // truth (voting can only help against unlucky single picks).
+    auto w = workloads::buildWorkload("fft");
+    CampaignConfig cfg;
+    cfg.target = Structure::RegisterFile;
+    cfg.core = cfg.core.withRegisterFile(128);
+    cfg.sampling = specFixed(1000);
+    cfg.grouping.repsPerGroup = 3;
+    Campaign camp(w.program, cfg);
+    auto r = camp.run(true);
+    EXPECT_LT(
+        r.merlinSurvivorEstimate.maxInaccuracyVs(*r.survivorTruth),
+        10.0);
+    EXPECT_GT(r.injections, r.numGroups);
+}
+
+TEST_F(GroupingFixture, RelyzerGroupsAreAPartitionToo)
+{
+    Rng rng(1);
+    auto res = relyzerGroupFaults(
+        faults_, profiler_->profile(Structure::RegisterFile), *profiler_,
+        5, rng);
+    EXPECT_EQ(res.aceMasked + res.survivors.size(), faults_.size());
+    std::size_t member_total = 0;
+    for (const auto &g : res.groups)
+        member_total += g.members.size();
+    EXPECT_EQ(member_total, res.survivors.size());
+}
+
+TEST_F(GroupingFixture, GroupingIsDeterministic)
+{
+    Rng r1(77), r2(77);
+    auto a = groupFaults(faults_,
+                         profiler_->profile(Structure::RegisterFile),
+                         GroupingOptions{}, r1);
+    auto b = groupFaults(faults_,
+                         profiler_->profile(Structure::RegisterFile),
+                         GroupingOptions{}, r2);
+    ASSERT_EQ(a.groups.size(), b.groups.size());
+    for (std::size_t i = 0; i < a.groups.size(); ++i) {
+        EXPECT_EQ(a.groups[i].representatives,
+                  b.groups[i].representatives);
+        EXPECT_EQ(a.groups[i].members, b.groups[i].members);
+    }
+}
+
+// ---- end-to-end campaigns ----
+
+TEST(Campaign, EndToEndEstimateMatchesTruth)
+{
+    // The paper's core claim, in miniature: MeRLiN's extrapolated class
+    // distribution over the post-ACE list must track the full-injection
+    // distribution within a few percentile units.
+    auto w = workloads::buildWorkload("qsort");
+    CampaignConfig cfg;
+    cfg.target = Structure::RegisterFile;
+    cfg.core.numPhysIntRegs = 128;
+    cfg.sampling = specFixed(1500);
+    cfg.seed = 2024;
+
+    Campaign camp(w.program, cfg);
+    auto res = camp.run(/*inject_all_survivors=*/true);
+
+    EXPECT_EQ(res.initialFaults, 1500u);
+    EXPECT_EQ(res.aceMasked + res.survivors, 1500u);
+    EXPECT_GT(res.speedupAce, 1.0);
+    EXPECT_GT(res.speedupTotal, res.speedupAce);
+
+    ASSERT_TRUE(res.survivorTruth.has_value());
+    ASSERT_TRUE(res.homogeneity.has_value());
+    EXPECT_GT(res.homogeneity->fine, 0.75);
+
+    const double err =
+        res.merlinSurvivorEstimate.maxInaccuracyVs(*res.survivorTruth);
+    EXPECT_LT(err, 12.0) << "estimate drifted from ground truth";
+
+    // Full-list comparison (ACE-pruned faults are masked on both sides).
+    const double full_err =
+        res.merlinEstimate.maxInaccuracyVs(res.fullTruth());
+    EXPECT_LT(full_err, 5.0);
+}
+
+TEST(Campaign, AceAvfUpperBoundsInjectionAvf)
+{
+    auto w = workloads::buildWorkload("sha");
+    CampaignConfig cfg;
+    cfg.target = Structure::RegisterFile;
+    cfg.sampling = specFixed(600);
+    Campaign camp(w.program, cfg);
+    auto res = camp.run(false);
+    EXPECT_GE(res.aceAvf + 0.02, res.merlinEstimate.avf());
+}
+
+TEST(Campaign, RelyzerVariantRuns)
+{
+    auto w = workloads::buildWorkload("stringsearch");
+    CampaignConfig cfg;
+    cfg.target = Structure::RegisterFile;
+    cfg.sampling = specFixed(500);
+    Campaign camp(w.program, cfg);
+    auto res = camp.runRelyzer(false, 5);
+    EXPECT_GT(res.injections, 0u);
+    EXPECT_EQ(res.merlinEstimate.total(), 500u);
+}
+
+TEST(Campaign, WindowedCampaignUsesUnknown)
+{
+    auto w = workloads::buildWorkload("gcc");
+    CampaignConfig cfg;
+    cfg.target = Structure::RegisterFile;
+    cfg.core.numPhysIntRegs = 128;
+    cfg.core.instructionWindowEnd = w.suggestedWindow;
+    cfg.sampling = specFixed(400);
+    Campaign camp(w.program, cfg);
+    auto res = camp.run(false);
+    EXPECT_EQ(res.merlinEstimate.total(), 400u);
+    // Windowed classification may produce Unknowns but never Timeouts
+    // from the window end itself.
+    EXPECT_GE(res.merlinEstimate.of(faultsim::Outcome::Unknown), 0u);
+}
+
+TEST(Campaign, StoreQueueCampaignEndToEnd)
+{
+    auto w = workloads::buildWorkload("caes");
+    CampaignConfig cfg;
+    cfg.target = Structure::StoreQueue;
+    cfg.core = cfg.core.withStoreQueue(16);
+    cfg.sampling = specFixed(800);
+    Campaign camp(w.program, cfg);
+    auto res = camp.run(false);
+    EXPECT_EQ(res.merlinEstimate.total(), 800u);
+    EXPECT_GT(res.speedupTotal, 10.0); // SQ prunes hard (paper Fig. 9)
+}
+
+TEST(Campaign, L1dCampaignEndToEnd)
+{
+    auto w = workloads::buildWorkload("fft");
+    CampaignConfig cfg;
+    cfg.target = Structure::L1DCache;
+    cfg.core = cfg.core.withL1dKb(16);
+    cfg.sampling = specFixed(400);
+    Campaign camp(w.program, cfg);
+    auto res = camp.run(false);
+    EXPECT_EQ(res.merlinEstimate.total(), 400u);
+    EXPECT_GT(res.speedupAce, 1.0);
+}
+
+TEST(Campaign, SeededCampaignsReproduce)
+{
+    auto w = workloads::buildWorkload("susan_c");
+    CampaignConfig cfg;
+    cfg.target = Structure::RegisterFile;
+    cfg.sampling = specFixed(300);
+    cfg.seed = 5;
+    auto r1 = Campaign(w.program, cfg).run(false);
+    auto r2 = Campaign(w.program, cfg).run(false);
+    EXPECT_EQ(r1.merlinEstimate.counts, r2.merlinEstimate.counts);
+    EXPECT_EQ(r1.injections, r2.injections);
+}
+
+} // namespace
+} // namespace merlin::core

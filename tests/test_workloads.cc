@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Workload validation: every benchmark's assembly implementation must
+ * reproduce its C++ reference output in the functional interpreter, and
+ * (for a representative subset, to bound test time) on the out-of-order
+ * core as well.
+ */
+
+#include <gtest/gtest.h>
+
+#include "base/logging.hh"
+#include "base/rng.hh"
+
+#include "isa/interp.hh"
+#include "uarch/core.hh"
+#include "workloads/workloads.hh"
+
+namespace merlin::workloads
+{
+namespace
+{
+
+class WorkloadInterp : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(WorkloadInterp, MatchesReference)
+{
+    auto w = buildWorkload(GetParam());
+    auto r = isa::interpret(w.program, 50'000'000);
+    EXPECT_EQ(r.reason, isa::TerminateReason::Halted);
+    EXPECT_EQ(r.exitCode, 0);
+    EXPECT_EQ(r.output, w.expectedOutput);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloads, WorkloadInterp,
+    ::testing::ValuesIn(allWorkloadNames()),
+    [](const ::testing::TestParamInfo<std::string> &info) {
+        return info.param;
+    });
+
+class WorkloadOnCore : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(WorkloadOnCore, MatchesReferenceOnOoOCore)
+{
+    auto w = buildWorkload(GetParam());
+    uarch::Core core(w.program, uarch::CoreConfig{});
+    auto r = core.run();
+    EXPECT_EQ(r.reason, isa::TerminateReason::Halted);
+    EXPECT_EQ(r.output, w.expectedOutput);
+    // Timing sanity: the OoO core should exploit some ILP.
+    EXPECT_GT(core.stats().ipc(), 0.3);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloads, WorkloadOnCore,
+    ::testing::ValuesIn(allWorkloadNames()),
+    [](const ::testing::TestParamInfo<std::string> &info) {
+        return info.param;
+    });
+
+TEST(Workloads, SuitesAreComplete)
+{
+    EXPECT_EQ(mibenchWorkloads().size(), 10u);
+    EXPECT_EQ(specWorkloads().size(), 10u);
+    EXPECT_EQ(allWorkloadNames().size(), 20u);
+}
+
+TEST(Workloads, SpecWorkloadsHaveWindows)
+{
+    for (const auto &name : specWorkloads()) {
+        auto w = buildWorkload(name);
+        EXPECT_GT(w.suggestedWindow, 0u) << name;
+        // The window must be shorter than the full run (it truncates).
+        auto r = isa::interpret(w.program, 50'000'000);
+        EXPECT_GT(r.instret, w.suggestedWindow) << name;
+    }
+}
+
+TEST(Workloads, MibenchWorkloadsRunToCompletion)
+{
+    for (const auto &name : mibenchWorkloads()) {
+        auto w = buildWorkload(name);
+        EXPECT_EQ(w.suggestedWindow, 0u) << name;
+    }
+}
+
+TEST(Workloads, UnknownNameIsFatal)
+{
+    EXPECT_THROW(buildWorkload("nonesuch"), merlin::FatalError);
+}
+
+TEST(Workloads, WindowedRunStopsAtWindow)
+{
+    auto w = buildWorkload("bzip2");
+    uarch::CoreConfig cfg;
+    cfg.instructionWindowEnd = w.suggestedWindow;
+    uarch::Core core(w.program, cfg);
+    auto r = core.run();
+    EXPECT_EQ(r.reason, isa::TerminateReason::WindowEnd);
+    EXPECT_EQ(r.instret, w.suggestedWindow);
+}
+
+} // namespace
+} // namespace merlin::workloads
