@@ -2,11 +2,16 @@
  * @file
  * google-benchmark microbenchmarks of the substrates: out-of-order core
  * throughput, functional interpreter throughput, cache access path,
- * ACE-like profiling overhead, fault-list grouping throughput.
+ * ACE-like profiling overhead, fault-list grouping throughput, and the
+ * checkpointed multi-threaded injection engine (per-injection time and
+ * speedup against the seed serial from-cycle-0 path).
  */
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+
+#include "faultsim/runner.hh"
 #include "isa/interp.hh"
 #include "merlin/grouping.hh"
 #include "merlin/sampling.hh"
@@ -121,6 +126,127 @@ BM_GroupingThroughput(benchmark::State &state)
     state.SetItemsProcessed(static_cast<std::int64_t>(total));
 }
 BENCHMARK(BM_GroupingThroughput)->Arg(60000)->Arg(600000)
+    ->Unit(benchmark::kMillisecond);
+
+// ------------------------------------------------ injection engine
+
+/** Random RF faults over the golden run, identical for every bench. */
+std::vector<faultsim::Fault>
+engineFaults(const faultsim::GoldenRun &g, const uarch::CoreConfig &cfg,
+             std::size_t n)
+{
+    Rng rng(11);
+    std::vector<faultsim::Fault> faults;
+    faults.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        faultsim::Fault f;
+        f.structure = uarch::Structure::RegisterFile;
+        f.entry = static_cast<EntryIndex>(
+            rng.nextBelow(cfg.numPhysIntRegs));
+        f.bit = static_cast<std::uint8_t>(rng.nextBelow(64));
+        f.cycle = rng.nextBelow(g.stats.cycles);
+        faults.push_back(f);
+    }
+    return faults;
+}
+
+/**
+ * Seed serial path: no checkpoints, every injection re-simulates from
+ * cycle 0, one at a time.
+ */
+void
+BM_InjectSeedSerial(benchmark::State &state)
+{
+    const auto &w = qsortWorkload();
+    uarch::CoreConfig cfg;
+    faultsim::InjectionRunner runner(w.program, cfg,
+                                     /*checkpoint_interval=*/0);
+    const auto g = runner.golden();
+    const auto faults = engineFaults(g, cfg, 32);
+    std::uint64_t n = 0;
+    for (auto _ : state) {
+        for (const auto &f : faults)
+            benchmark::DoNotOptimize(runner.inject(f, g));
+        n += faults.size();
+    }
+    state.counters["inject/s"] = benchmark::Counter(
+        static_cast<double>(n), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_InjectSeedSerial)->Unit(benchmark::kMillisecond);
+
+/** Checkpointed path, still single-threaded (jobs = 1). */
+void
+BM_InjectCheckpointed(benchmark::State &state)
+{
+    const auto &w = qsortWorkload();
+    uarch::CoreConfig cfg;
+    faultsim::InjectionRunner runner(w.program, cfg);
+    const auto g = runner.golden();
+    const auto faults = engineFaults(g, cfg, 32);
+    std::uint64_t n = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(runner.injectBatch(faults, g, 1));
+        n += faults.size();
+    }
+    state.counters["inject/s"] = benchmark::Counter(
+        static_cast<double>(n), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_InjectCheckpointed)->Unit(benchmark::kMillisecond);
+
+/**
+ * Full engine (checkpoints + thread pool) against the seed serial path
+ * on the same fault list.  Arg = jobs.  The "speedup" counter is the
+ * acceptance-criterion number: seed serial wall clock / engine wall
+ * clock per batch.
+ */
+void
+BM_InjectEngineSpeedup(benchmark::State &state)
+{
+    const auto &w = qsortWorkload();
+    uarch::CoreConfig cfg;
+    const unsigned jobs = static_cast<unsigned>(state.range(0));
+    faultsim::InjectionRunner seed_runner(w.program, cfg,
+                                          /*checkpoint_interval=*/0);
+    faultsim::InjectionRunner runner(w.program, cfg);
+    const auto g = runner.golden();
+    const auto faults = engineFaults(g, cfg, 64);
+
+    // Seed-path reference, measured once outside the timing loop.
+    // Golden capture is excluded on both sides: only injection time is
+    // compared.
+    const auto g_seed = seed_runner.golden();
+    const auto t0 = std::chrono::steady_clock::now();
+    for (const auto &f : faults)
+        benchmark::DoNotOptimize(seed_runner.inject(f, g_seed));
+    const double seed_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      t0)
+            .count();
+
+    std::uint64_t n = 0;
+    double engine_seconds = 0;
+    for (auto _ : state) {
+        const auto t1 = std::chrono::steady_clock::now();
+        benchmark::DoNotOptimize(runner.injectBatch(faults, g, jobs));
+        engine_seconds += std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() - t1)
+                              .count();
+        n += faults.size();
+    }
+    state.counters["inject/s"] = benchmark::Counter(
+        static_cast<double>(n), benchmark::Counter::kIsRate);
+    state.counters["ms/inject"] =
+        1e3 * engine_seconds / static_cast<double>(n);
+    state.counters["speedup"] =
+        engine_seconds > 0
+            ? seed_seconds * (static_cast<double>(n) / faults.size()) /
+                  engine_seconds
+            : 0.0;
+}
+BENCHMARK(BM_InjectEngineSpeedup)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(8)
     ->Unit(benchmark::kMillisecond);
 
 void

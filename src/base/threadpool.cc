@@ -1,0 +1,111 @@
+#include "base/threadpool.hh"
+
+#include <atomic>
+#include <memory>
+
+namespace merlin::base
+{
+
+unsigned
+ThreadPool::hardwareThreads()
+{
+    const unsigned n = std::thread::hardware_concurrency();
+    return n ? n : 1;
+}
+
+ThreadPool::ThreadPool(unsigned threads)
+{
+    if (threads == 0)
+        threads = hardwareThreads();
+    workers_.reserve(threads);
+    for (unsigned t = 0; t < threads; ++t)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        stop_ = true;
+    }
+    workCv_.notify_all();
+    for (std::thread &w : workers_)
+        w.join();
+}
+
+void
+ThreadPool::submit(std::function<void()> fn)
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        queue_.push_back(std::move(fn));
+    }
+    workCv_.notify_one();
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mu_);
+            workCv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+            if (queue_.empty())
+                return; // stop_ set and nothing left to do
+            task = std::move(queue_.front());
+            queue_.pop_front();
+            ++inFlight_;
+        }
+        try {
+            task();
+        } catch (...) {
+            std::lock_guard<std::mutex> lock(mu_);
+            if (!firstError_)
+                firstError_ = std::current_exception();
+        }
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            --inFlight_;
+        }
+        idleCv_.notify_all();
+    }
+}
+
+void
+ThreadPool::wait()
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    idleCv_.wait(lock, [this] { return queue_.empty() && inFlight_ == 0; });
+    if (firstError_) {
+        std::exception_ptr e = firstError_;
+        firstError_ = nullptr;
+        std::rethrow_exception(e);
+    }
+}
+
+void
+ThreadPool::parallelFor(std::uint64_t n,
+                        const std::function<void(std::uint64_t)> &fn)
+{
+    if (n == 0)
+        return;
+    if (workers_.empty() || n == 1) {
+        for (std::uint64_t i = 0; i < n; ++i)
+            fn(i);
+        return;
+    }
+    auto next = std::make_shared<std::atomic<std::uint64_t>>(0);
+    const std::uint64_t tasks =
+        std::min<std::uint64_t>(workers_.size(), n);
+    for (std::uint64_t t = 0; t < tasks; ++t) {
+        submit([next, n, &fn] {
+            for (std::uint64_t i;
+                 (i = next->fetch_add(1, std::memory_order_relaxed)) < n;)
+                fn(i);
+        });
+    }
+    wait();
+}
+
+} // namespace merlin::base

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Small fixed-size worker pool for fan-out/join parallelism.
+ *
+ * The campaign engine uses it to spread independent injection runs
+ * across cores.  Scheduling is dynamic (a shared work index), so the
+ * assignment of items to threads is nondeterministic — callers that
+ * need deterministic results must write each item's output to a slot
+ * derived from the item itself, never from arrival order.
+ *
+ * The first exception thrown by a task is captured and rethrown from
+ * wait() on the submitting thread; later exceptions are dropped.
+ */
+
+#ifndef MERLIN_BASE_THREADPOOL_HH
+#define MERLIN_BASE_THREADPOOL_HH
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace merlin::base
+{
+
+class ThreadPool
+{
+  public:
+    /** @p threads worker threads; 0 picks the hardware concurrency. */
+    explicit ThreadPool(unsigned threads = 0);
+
+    /** Joins all workers; pending tasks are completed first. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    unsigned size() const { return static_cast<unsigned>(workers_.size()); }
+
+    /** Enqueue one task. */
+    void submit(std::function<void()> fn);
+
+    /** Block until every submitted task has finished; rethrows. */
+    void wait();
+
+    /**
+     * Run fn(0) .. fn(n-1) across the pool with dynamic scheduling and
+     * block until all are done.  With an empty pool (threads == 1 would
+     * still spawn a worker; an explicit 0-item call is a no-op) the
+     * items run inline on the caller.
+     */
+    void parallelFor(std::uint64_t n,
+                     const std::function<void(std::uint64_t)> &fn);
+
+    /** std::thread::hardware_concurrency with a floor of 1. */
+    static unsigned hardwareThreads();
+
+  private:
+    void workerLoop();
+
+    std::vector<std::thread> workers_;
+    std::deque<std::function<void()>> queue_;
+    mutable std::mutex mu_;
+    std::condition_variable workCv_;  ///< workers wait for tasks
+    std::condition_variable idleCv_;  ///< wait() waits for drain
+    std::size_t inFlight_ = 0;
+    std::exception_ptr firstError_;
+    bool stop_ = false;
+};
+
+} // namespace merlin::base
+
+#endif // MERLIN_BASE_THREADPOOL_HH

@@ -6,8 +6,10 @@
 #ifndef MERLIN_FAULTSIM_FAULT_HH
 #define MERLIN_FAULTSIM_FAULT_HH
 
+#include <cstddef>
 #include <cstdint>
 
+#include "base/logging.hh"
 #include "base/types.hh"
 #include "uarch/probe.hh"
 
@@ -34,6 +36,36 @@ struct Fault
     {
         return structure == o.structure && entry == o.entry &&
                bit == o.bit && cycle == o.cycle;
+    }
+};
+
+/**
+ * Lossless 64-bit packing of a fault within one campaign (the target
+ * structure is fixed per campaign, so it is not part of the key):
+ * cycle in bits [0,40), entry in [40,58), bit position in [58,64).
+ * 18 entry bits cover L1D data arrays up to 2 MB (2^18 8-byte words).
+ */
+inline std::uint64_t
+faultKey(const Fault &f)
+{
+    MERLIN_ASSERT(f.cycle < (1ULL << 40) && f.entry < (1u << 18) &&
+                      f.bit < 64,
+                  "fault key overflow");
+    return f.cycle | (static_cast<std::uint64_t>(f.entry) << 40) |
+           (static_cast<std::uint64_t>(f.bit) << 58);
+}
+
+/**
+ * Identity hash for already-packed fault keys: the low bits are the
+ * fault cycle, which is as good a bucket index as any mixed hash, and
+ * skipping the mix keeps the memo lookup off the campaign profile.
+ */
+struct FaultKeyHash
+{
+    std::size_t
+    operator()(std::uint64_t k) const noexcept
+    {
+        return static_cast<std::size_t>(k);
     }
 };
 

@@ -1,6 +1,11 @@
 #include "faultsim/runner.hh"
 
+#include <algorithm>
+#include <atomic>
+#include <numeric>
+
 #include "base/logging.hh"
+#include "base/threadpool.hh"
 
 namespace merlin::faultsim
 {
@@ -23,9 +28,58 @@ outcomeName(Outcome o)
     }
 }
 
+// ---------------------------------------------------------- OutcomeMemo
+
+OutcomeMemo::OutcomeMemo(std::size_t expected_faults)
+{
+    if (expected_faults == 0)
+        return;
+    const std::size_t per_shard = expected_faults / kShards + 1;
+    for (Shard &s : shards_)
+        s.map.reserve(per_shard);
+}
+
+bool
+OutcomeMemo::lookup(std::uint64_t key, Outcome &out) const
+{
+    const Shard &s = shards_[shardOf(key)];
+    std::lock_guard<std::mutex> lock(s.mu);
+    auto it = s.map.find(key);
+    if (it == s.map.end())
+        return false;
+    out = it->second;
+    return true;
+}
+
+void
+OutcomeMemo::insert(std::uint64_t key, Outcome o)
+{
+    Shard &s = shards_[shardOf(key)];
+    std::lock_guard<std::mutex> lock(s.mu);
+    s.map.emplace(key, o);
+}
+
+std::size_t
+OutcomeMemo::size() const
+{
+    std::size_t n = 0;
+    for (const Shard &s : shards_) {
+        std::lock_guard<std::mutex> lock(s.mu);
+        n += s.map.size();
+    }
+    return n;
+}
+
+// ------------------------------------------------------ InjectionRunner
+
 InjectionRunner::InjectionRunner(const isa::Program &prog,
-                                 const uarch::CoreConfig &cfg)
-    : prog_(prog), cfg_(cfg)
+                                 const uarch::CoreConfig &cfg,
+                                 Cycle checkpoint_interval,
+                                 unsigned max_checkpoints)
+    : prog_(prog),
+      cfg_(cfg),
+      checkpointInterval_(checkpoint_interval),
+      maxCheckpoints_(max_checkpoints ? max_checkpoints : 1)
 {
 }
 
@@ -34,7 +88,38 @@ InjectionRunner::golden(uarch::Probe *probe) const
 {
     uarch::Core core(prog_, cfg_, probe);
     GoldenRun g;
-    g.arch = core.run();
+
+    if (checkpointInterval_ == 0) {
+        g.arch = core.run();
+    } else {
+        // Snapshots are taken between ticks, exactly where inject()
+        // applies flips, so a resumed run replays the original
+        // cycle-for-cycle.  The probe does not influence timing or
+        // architectural state, so checkpoints from a profiled golden
+        // run are valid resume points for probe-free injections.
+        Cycle interval = checkpointInterval_;
+        for (;;) {
+            if (core.cycle() != 0 && core.cycle() % interval == 0) {
+                if (g.checkpoints.size() >= maxCheckpoints_) {
+                    // Keep every other checkpoint (those at even
+                    // multiples of the doubled interval) and coarsen.
+                    std::vector<uarch::Core::Snapshot> kept;
+                    kept.reserve(maxCheckpoints_ / 2 + 1);
+                    for (std::size_t i = 1; i < g.checkpoints.size();
+                         i += 2)
+                        kept.push_back(std::move(g.checkpoints[i]));
+                    g.checkpoints = std::move(kept);
+                    interval *= 2;
+                }
+                if (core.cycle() % interval == 0)
+                    g.checkpoints.push_back(core.snapshot());
+            }
+            if (!core.tick())
+                break;
+        }
+        g.arch = core.result();
+    }
+
     g.stats = core.stats();
     g.windowed = cfg_.instructionWindowEnd != 0;
     if (g.arch.reason != TerminateReason::Halted &&
@@ -107,7 +192,20 @@ InjectionRunner::inject(const Fault &fault, const GoldenRun &ref) const
     cfg.maxCycles = 3 * ref.stats.cycles + 1000;
 
     try {
-        uarch::Core core(prog_, cfg);
+        // Resume from the latest checkpoint at or before the flip cycle
+        // (checkpoints are sorted ascending by construction).
+        const uarch::Core::Snapshot *resume = nullptr;
+        auto it = std::upper_bound(
+            ref.checkpoints.begin(), ref.checkpoints.end(), fault.cycle,
+            [](Cycle c, const uarch::Core::Snapshot &s) {
+                return c < s.cycle();
+            });
+        if (it != ref.checkpoints.begin())
+            resume = &*std::prev(it);
+
+        uarch::Core core =
+            resume ? uarch::Core(prog_, cfg, *resume)
+                   : uarch::Core(prog_, cfg);
         bool applied = false;
         for (;;) {
             if (!applied && core.cycle() == fault.cycle) {
@@ -136,6 +234,73 @@ InjectionRunner::inject(const Fault &fault, const GoldenRun &ref) const
         // GeFIN's "simulator crash" subcategory.
         return Outcome::Crash;
     }
+}
+
+std::vector<Outcome>
+InjectionRunner::injectBatch(const std::vector<Fault> &faults,
+                             const GoldenRun &ref, unsigned jobs,
+                             OutcomeMemo *memo) const
+{
+    std::vector<Outcome> out(faults.size(), Outcome::Masked);
+    if (faults.empty())
+        return out;
+
+    // Resolve memo hits and collapse duplicates: the first occurrence
+    // of each key runs, later ones alias its slot afterwards.
+    std::unordered_map<std::uint64_t, std::uint32_t, FaultKeyHash> first;
+    first.reserve(faults.size());
+    std::vector<std::uint64_t> keys(faults.size());
+    std::vector<std::uint32_t> work;       // indices that actually run
+    std::vector<std::uint32_t> aliases;    // indices filled from `first`
+    work.reserve(faults.size());
+    for (std::uint32_t i = 0; i < faults.size(); ++i) {
+        keys[i] = faultKey(faults[i]);
+        Outcome cached;
+        if (memo && memo->lookup(keys[i], cached)) {
+            out[i] = cached;
+            continue;
+        }
+        auto [it, fresh] = first.emplace(keys[i], i);
+        if (fresh)
+            work.push_back(i);
+        else
+            aliases.push_back(i);
+    }
+
+    // Cycle-sorted execution order: neighbouring runs resume from the
+    // same checkpoint, so their pre-fault replay shares length.  The
+    // tie-break keeps the order fully deterministic.
+    std::sort(work.begin(), work.end(),
+              [&](std::uint32_t a, std::uint32_t b) {
+                  return faults[a].cycle != faults[b].cycle
+                             ? faults[a].cycle < faults[b].cycle
+                             : a < b;
+              });
+
+    const auto runOne = [&](std::uint64_t w) {
+        const std::uint32_t i = work[w];
+        out[i] = inject(faults[i], ref);
+    };
+
+    if (jobs == 0)
+        jobs = base::ThreadPool::hardwareThreads();
+    if (jobs <= 1 || work.size() <= 1) {
+        for (std::uint64_t w = 0; w < work.size(); ++w)
+            runOne(w);
+    } else {
+        base::ThreadPool pool(
+            static_cast<unsigned>(std::min<std::size_t>(jobs,
+                                                        work.size())));
+        pool.parallelFor(work.size(), runOne);
+    }
+
+    if (memo) {
+        for (std::uint32_t i : work)
+            memo->insert(keys[i], out[i]);
+    }
+    for (std::uint32_t i : aliases)
+        out[i] = out[first.find(keys[i])->second];
+    return out;
 }
 
 } // namespace merlin::faultsim

@@ -1,7 +1,8 @@
 /**
  * @file
- * Injection harness: golden-run capture, single-fault runs, and the
- * outcome classifier.
+ * Injection harness: golden-run capture (with periodic state
+ * checkpoints), single-fault runs, the deterministic multi-threaded
+ * batch API, and the outcome classifier.
  *
  * Classification (priority order, Table 2 + DESIGN.md):
  *   Assert  - a simulator invariant tripped (SimAssertError)
@@ -18,6 +19,13 @@
  * For window-truncated (SimPoint-style) runs, a fault that is still
  * latent at the window end — different architectural register or memory
  * state — is Unknown (Table 4).
+ *
+ * Acceleration: the golden run records full core snapshots every
+ * `checkpoint_interval` cycles (the list is thinned and the interval
+ * doubled whenever it would exceed `max_checkpoints`, so memory stays
+ * bounded on long workloads).  Each injection then resumes from the
+ * latest checkpoint at or before the flip cycle instead of re-simulating
+ * from cycle 0 — on average that skips half the pre-fault execution.
  */
 
 #ifndef MERLIN_FAULTSIM_RUNNER_HH
@@ -26,6 +34,8 @@
 #include <array>
 #include <cstdint>
 #include <memory>
+#include <mutex>
+#include <unordered_map>
 #include <vector>
 
 #include "faultsim/fault.hh"
@@ -46,33 +56,97 @@ struct GoldenRun
     std::array<std::uint64_t, isa::NUM_ARCH_REGS> archRegs{};
     /** Architectural memory view at the window end. */
     std::shared_ptr<const isa::SegmentedMemory> archMem;
+    /** Periodic core checkpoints, ascending by cycle (possibly empty). */
+    std::vector<uarch::Core::Snapshot> checkpoints;
+};
+
+/**
+ * Concurrency-safe per-fault outcome cache keyed by faultKey().
+ * Sharded by the low key bits (the fault cycle) so a cycle-sorted batch
+ * spreads its insertions across shards; each shard's table is reserved
+ * up front to avoid rehash churn in the injection hot loop.
+ */
+class OutcomeMemo
+{
+  public:
+    explicit OutcomeMemo(std::size_t expected_faults = 0);
+
+    /** @return true and set @p out if @p key is present. */
+    bool lookup(std::uint64_t key, Outcome &out) const;
+
+    void insert(std::uint64_t key, Outcome o);
+
+    std::size_t size() const;
+
+  private:
+    static constexpr unsigned kShards = 16;
+
+    static unsigned
+    shardOf(std::uint64_t key)
+    {
+        return static_cast<unsigned>(key & (kShards - 1));
+    }
+
+    struct Shard
+    {
+        mutable std::mutex mu;
+        std::unordered_map<std::uint64_t, Outcome, FaultKeyHash> map;
+    };
+    std::array<Shard, kShards> shards_;
 };
 
 /** Runs golden and faulty executions of one program/configuration. */
 class InjectionRunner
 {
   public:
-    InjectionRunner(const isa::Program &prog,
-                    const uarch::CoreConfig &cfg);
+    /** Default checkpoint cadence (cycles); 0 disables checkpointing. */
+    static constexpr Cycle kDefaultCheckpointInterval = 512;
+    /** Checkpoint-count bound; the interval doubles past it. */
+    static constexpr unsigned kDefaultMaxCheckpoints = 32;
+
+    InjectionRunner(
+        const isa::Program &prog, const uarch::CoreConfig &cfg,
+        Cycle checkpoint_interval = kDefaultCheckpointInterval,
+        unsigned max_checkpoints = kDefaultMaxCheckpoints);
 
     /**
      * Execute the fault-free run (optionally with a profiler probe
-     * attached) and capture the reference outcome.
+     * attached) and capture the reference outcome plus periodic state
+     * checkpoints for fast injection resume.
      */
     GoldenRun golden(uarch::Probe *probe = nullptr) const;
 
-    /** Inject @p fault, run to termination, classify against @p ref. */
+    /**
+     * Inject @p fault, run to termination, classify against @p ref.
+     * Resumes from the latest checkpoint at or before the flip cycle
+     * when @p ref carries checkpoints.
+     */
     Outcome inject(const Fault &fault, const GoldenRun &ref) const;
+
+    /**
+     * Inject every fault of @p faults and return their outcomes in the
+     * same order.  Duplicate faults (and faults already in @p memo) run
+     * once; fresh work is sorted by flip cycle for checkpoint locality
+     * and fanned out over @p jobs worker threads (0 = hardware
+     * concurrency, 1 = inline).  Results are bit-identical for any
+     * thread count: each outcome is a pure function of its fault.
+     */
+    std::vector<Outcome> injectBatch(const std::vector<Fault> &faults,
+                                     const GoldenRun &ref, unsigned jobs,
+                                     OutcomeMemo *memo = nullptr) const;
 
     /** Classify a completed faulty run (exposed for testing). */
     static Outcome classify(const isa::ArchResult &faulty,
                             const uarch::Core &core, const GoldenRun &ref);
 
     const uarch::CoreConfig &config() const { return cfg_; }
+    Cycle checkpointInterval() const { return checkpointInterval_; }
 
   private:
     const isa::Program &prog_;
     uarch::CoreConfig cfg_;
+    Cycle checkpointInterval_;
+    unsigned maxCheckpoints_;
 };
 
 } // namespace merlin::faultsim

@@ -3,9 +3,9 @@
 #include <algorithm>
 #include <array>
 #include <chrono>
-#include <unordered_map>
 
 #include "base/logging.hh"
+#include "base/threadpool.hh"
 
 namespace merlin::core
 {
@@ -14,6 +14,7 @@ using faultsim::Fault;
 using faultsim::GoldenRun;
 using faultsim::InjectionRunner;
 using faultsim::Outcome;
+using faultsim::OutcomeMemo;
 
 namespace
 {
@@ -85,7 +86,10 @@ Campaign::runImpl(bool inject_all, bool relyzer, unsigned path_depth)
 {
     CampaignResult res;
     Rng rng(cfg_.seed);
-    InjectionRunner runner(prog_, cfg_.core);
+    InjectionRunner runner(prog_, cfg_.core, cfg_.checkpointInterval,
+                           cfg_.maxCheckpoints);
+    const unsigned jobs =
+        cfg_.jobs ? cfg_.jobs : base::ThreadPool::hardwareThreads();
 
     // ---- Phase 1: preprocessing (profiled golden run + fault list) ----
     auto t0 = std::chrono::steady_clock::now();
@@ -127,41 +131,35 @@ Campaign::runImpl(bool inject_all, bool relyzer, unsigned path_depth)
             : static_cast<double>(res.initialFaults);
 
     // ---- Phase 3: injection campaign ----
-    // Cache per-fault outcomes: with inject_all the representative runs
-    // are reused, and duplicate sampled faults cost one run only.
-    std::unordered_map<std::uint64_t, Outcome> memo;
-    auto keyOf = [](const Fault &f) {
-        // Lossless pack: cycle (<2^44) | entry (<2^14) | bit (<2^6).
-        MERLIN_ASSERT(f.cycle < (1ULL << 44) && f.entry < (1u << 14),
-                      "fault key overflow");
-        return f.cycle | (static_cast<std::uint64_t>(f.entry) << 44) |
-               (static_cast<std::uint64_t>(f.bit) << 58);
-    };
-    auto injectOnce = [&](const Fault &f) {
-        const std::uint64_t k = keyOf(f);
-        auto it = memo.find(k);
-        if (it != memo.end())
-            return it->second;
-        const Outcome o = runner.inject(f, golden_);
-        memo.emplace(k, o);
-        return o;
-    };
-
+    // The memo caches per-fault outcomes across the two batches: with
+    // inject_all the representative runs are reused, and duplicate
+    // sampled faults cost one run only.  It is pre-reserved to the
+    // survivor count (the upper bound on distinct injections).
     t0 = std::chrono::steady_clock::now();
     std::uint64_t runs = 0;
 
     if (groupingOnly_)
         return res;
 
+    OutcomeMemo memo(grouping.survivors.size());
+
+    // Representative injections, fanned out as one deterministic batch.
+    std::vector<Fault> rep_faults;
+    rep_faults.reserve(res.injections);
+    for (const FaultGroup &g : grouping.groups)
+        for (std::uint32_t rep : g.representatives)
+            rep_faults.push_back(grouping.survivors[rep].fault);
+    const std::vector<Outcome> rep_outcomes =
+        runner.injectBatch(rep_faults, golden_, jobs, &memo);
+    runs += rep_faults.size();
+
+    std::size_t rep_at = 0;
     for (const FaultGroup &g : grouping.groups) {
         // Majority vote over the representatives (one, in the paper's
         // configuration, so the vote degenerates to its outcome).
         std::array<std::uint32_t, faultsim::NUM_OUTCOMES> votes{};
-        for (std::uint32_t rep : g.representatives) {
-            ++votes[static_cast<unsigned>(
-                injectOnce(grouping.survivors[rep].fault))];
-            ++runs;
-        }
+        for (std::size_t r = 0; r < g.representatives.size(); ++r)
+            ++votes[static_cast<unsigned>(rep_outcomes[rep_at++])];
         const Outcome rep_outcome = static_cast<Outcome>(
             std::max_element(votes.begin(), votes.end()) -
             votes.begin());
@@ -172,18 +170,28 @@ Campaign::runImpl(bool inject_all, bool relyzer, unsigned path_depth)
     res.merlinEstimate.add(Outcome::Masked, res.aceMasked);
 
     if (inject_all) {
+        // Ground-truth sweep over every survivor; representative runs
+        // come back from the memo without re-simulation.
+        std::vector<Fault> member_faults;
+        member_faults.reserve(grouping.survivors.size());
+        for (const FaultGroup &g : grouping.groups)
+            for (std::uint32_t m : g.members)
+                member_faults.push_back(grouping.survivors[m].fault);
+        const std::vector<Outcome> member_outcomes =
+            runner.injectBatch(member_faults, golden_, jobs, &memo);
+        runs += member_faults.size();
+
         ClassCounts truth;
         std::vector<std::vector<Outcome>> per_group;
         per_group.reserve(grouping.groups.size());
         res.groupModels.reserve(grouping.groups.size());
+        std::size_t at = 0;
         for (const FaultGroup &g : grouping.groups) {
             std::vector<Outcome> outs;
             outs.reserve(g.members.size());
             std::uint64_t non_masked = 0;
-            for (std::uint32_t m : g.members) {
-                const Outcome o =
-                    injectOnce(grouping.survivors[m].fault);
-                ++runs;
+            for (std::size_t m = 0; m < g.members.size(); ++m) {
+                const Outcome o = member_outcomes[at++];
                 truth.add(o);
                 outs.push_back(o);
                 if (o != Outcome::Masked)

@@ -40,6 +40,18 @@ struct CampaignConfig
     SamplingSpec sampling;
     GroupingOptions grouping;
     std::uint64_t seed = 1;
+
+    /**
+     * Worker threads for the injection campaign (0 = hardware
+     * concurrency).  Results are bit-identical for any value.
+     */
+    unsigned jobs = 1;
+    /** Golden-run checkpoint cadence in cycles (0 = disabled). */
+    Cycle checkpointInterval =
+        faultsim::InjectionRunner::kDefaultCheckpointInterval;
+    /** Bound on retained checkpoints (the cadence doubles past it). */
+    unsigned maxCheckpoints =
+        faultsim::InjectionRunner::kDefaultMaxCheckpoints;
 };
 
 /** Outcome of one campaign. */

@@ -10,7 +10,12 @@
  *   merlin_cli campaign --workload qsort --structure rf
  *       [--regs N] [--sq N] [--l1d KB] [--faults N | --margin E --conf C]
  *       [--seed N] [--window N] [--truth] [--relyzer]
+ *       [--jobs N] [--checkpoint-interval CYCLES]
  *       Run a MeRLiN campaign and print the reliability report.
+ *       --jobs N spreads the injections over N worker threads (0 = all
+ *       hardware threads); results are bit-identical for any N.
+ *       --checkpoint-interval sets the golden-run snapshot cadence the
+ *       injections resume from (0 disables checkpointing).
  *   merlin_cli asm --file prog.s [--campaign rf|sq|l1d]
  *       Assemble a user program, run it, optionally run a campaign.
  */
@@ -162,8 +167,10 @@ printCampaign(const core::CampaignResult &r, std::uint64_t bits)
                     r.merlinEstimate.maxInaccuracyVs(r.fullTruth()),
                     r.homogeneity->fine);
     }
-    std::printf("wall clock: %.2fs profile + %.2fs injections\n",
-                r.profileSeconds, r.injectionSeconds);
+    std::printf("wall clock: %.2fs profile + %.2fs injections "
+                "(%.3f ms/injection)\n",
+                r.profileSeconds, r.injectionSeconds,
+                1e3 * r.secondsPerInjection);
 }
 
 core::CampaignConfig
@@ -190,6 +197,10 @@ campaignConfig(const Args &args, std::uint64_t default_window)
         cc.sampling = core::specFixed(2000);
     }
     cc.seed = args.getU("seed", 1);
+    cc.jobs = static_cast<unsigned>(args.getU("jobs", 1));
+    cc.checkpointInterval = args.getU(
+        "checkpoint-interval",
+        faultsim::InjectionRunner::kDefaultCheckpointInterval);
     return cc;
 }
 

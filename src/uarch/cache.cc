@@ -21,6 +21,16 @@ Cache::Cache(std::string name, const CacheConfig &cfg, Cache *lower,
     data_.assign(std::size_t(cfg_.numSets()) * cfg_.ways * cfg_.lineSize, 0);
 }
 
+void
+Cache::repoint(Cache *lower, isa::SegmentedMemory *mem)
+{
+    MERLIN_ASSERT((lower == nullptr) != (mem == nullptr),
+                  "cache needs exactly one backing level");
+    lower_ = lower;
+    mem_ = mem;
+    sink_ = nullptr;
+}
+
 std::uint8_t *
 Cache::lineData(std::uint32_t set, std::uint32_t way)
 {

@@ -91,6 +91,13 @@ class Cache
     /** Attach the profiler sink (L1D only). */
     void setEventSink(CacheEventSink *sink) { sink_ = sink; }
 
+    /**
+     * Re-target the hierarchy pointers after a memberwise copy (core
+     * snapshot/restore).  Exactly one of @p lower / @p mem must be
+     * non-null; any event sink is dropped.
+     */
+    void repoint(Cache *lower, isa::SegmentedMemory *mem);
+
     const CacheConfig &config() const { return cfg_; }
     std::uint64_t hits() const { return hits_; }
     std::uint64_t misses() const { return misses_; }

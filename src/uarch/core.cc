@@ -57,6 +57,61 @@ Core::Core(const isa::Program &prog, const CoreConfig &cfg, Probe *probe)
     divBusyUntil_.assign(cfg_.complexCount, 0);
 }
 
+// ---------------------------------------------------- snapshot / restore
+
+void
+Core::fixupAfterCopy()
+{
+    // Restored cores never profile: the probe belongs to the golden run.
+    probe_ = nullptr;
+    l2_.repoint(nullptr, &mem_);
+    l1i_.repoint(&l2_, nullptr);
+    l1d_.repoint(&l2_, nullptr);
+    l1dSink_.core = this;
+}
+
+Core::Snapshot
+Core::snapshot() const
+{
+    auto copy = std::shared_ptr<Core>(new Core(*this));
+    copy->fixupAfterCopy();
+    Snapshot s;
+    s.state_ = std::move(copy);
+    s.cycle_ = cycle_;
+    return s;
+}
+
+const Core &
+Core::requireState(const Snapshot &snap)
+{
+    MERLIN_ASSERT(snap.valid(), "restore from an empty snapshot");
+    return *snap.state_;
+}
+
+Core::Core(const isa::Program &prog, const CoreConfig &cfg,
+           const Snapshot &snap)
+    : Core(requireState(snap))
+{
+    // The program's text/data are embedded in the snapshot's memory;
+    // @p prog documents provenance but cannot be cross-checked cheaply.
+    (void)prog;
+    fixupAfterCopy();
+    MERLIN_ASSERT(cfg.numPhysIntRegs == cfg_.numPhysIntRegs &&
+                      cfg.sqEntries == cfg_.sqEntries &&
+                      cfg.lqEntries == cfg_.lqEntries &&
+                      cfg.robEntries == cfg_.robEntries &&
+                      cfg.iqEntries == cfg_.iqEntries &&
+                      cfg.l1d.sizeBytes == cfg_.l1d.sizeBytes &&
+                      cfg.l1i.sizeBytes == cfg_.l1i.sizeBytes &&
+                      cfg.l2.sizeBytes == cfg_.l2.sizeBytes,
+                  "snapshot restore with mismatched structural config");
+    // Run-limit knobs are the only configuration allowed to change
+    // between capture and restore (the injector tightens maxCycles).
+    cfg_.maxCycles = cfg.maxCycles;
+    cfg_.deadlockCycles = cfg.deadlockCycles;
+    cfg_.instructionWindowEnd = cfg.instructionWindowEnd;
+}
+
 // ---------------------------------------------------------------- faults
 
 void

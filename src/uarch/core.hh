@@ -24,6 +24,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <queue>
 #include <vector>
 
@@ -63,8 +64,28 @@ struct CoreStats
 class Core
 {
   public:
+    /**
+     * Opaque, immutable checkpoint of the complete core state
+     * (architectural + microarchitectural + memory hierarchy).
+     * Cheap to copy (shared ownership); safe to restore from multiple
+     * threads concurrently.
+     */
+    class Snapshot;
+
     Core(const isa::Program &prog, const CoreConfig &cfg,
          Probe *probe = nullptr);
+
+    /**
+     * Resume from @p snap instead of cycle 0.  Only the watchdog /
+     * window knobs of @p cfg may differ from the snapshotted
+     * configuration; structural parameters must match.  The restored
+     * core never carries a probe.
+     */
+    Core(const isa::Program &prog, const CoreConfig &cfg,
+         const Snapshot &snap);
+
+    /** Capture the full state of this core between ticks. */
+    Snapshot snapshot() const;
 
     /** Advance one cycle; false once the run has terminated. */
     bool tick();
@@ -99,6 +120,15 @@ class Core
     isa::SegmentedMemory archMemoryView() const;
 
   private:
+    /** Memberwise copy; callers must run fixupAfterCopy() on the copy. */
+    Core(const Core &) = default;
+
+    /** Reject restoring from a default-constructed (empty) snapshot. */
+    static const Core &requireState(const Snapshot &snap);
+
+    /** Re-target internal pointers after a memberwise copy. */
+    void fixupAfterCopy();
+
     static constexpr std::uint16_t NO_PREG = 0xffff;
 
     struct PendingRead
@@ -296,6 +326,21 @@ class Core
     bool finished_ = false;
     isa::ArchResult result_;
     CoreStats stats_;
+};
+
+class Core::Snapshot
+{
+  public:
+    Snapshot() = default;
+
+    /** Cycle at which the state was captured. */
+    Cycle cycle() const { return cycle_; }
+    bool valid() const { return state_ != nullptr; }
+
+  private:
+    friend class Core;
+    std::shared_ptr<const Core> state_;
+    Cycle cycle_ = 0;
 };
 
 } // namespace merlin::uarch

@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include "base/logging.hh"
 #include "isa/interp.hh"
 #include "masm/asm.hh"
 #include "uarch/core.hh"
@@ -468,6 +469,116 @@ TEST(CoreDiff, DeterministicAcrossRuns)
     EXPECT_TRUE(r1.sameArchOutcome(r2));
     EXPECT_EQ(c1.stats().cycles, c2.stats().cycles);
     EXPECT_EQ(c1.stats().branchMispredicts, c2.stats().branchMispredicts);
+}
+
+// ------------------------------------------------- snapshot / restore
+
+void
+expectSameFinalState(const Core &a, const Core &b)
+{
+    EXPECT_EQ(static_cast<int>(a.result().reason),
+              static_cast<int>(b.result().reason));
+    EXPECT_EQ(a.result().exitCode, b.result().exitCode);
+    EXPECT_EQ(a.result().output, b.result().output);
+    EXPECT_EQ(a.result().instret, b.result().instret);
+    EXPECT_EQ(a.stats().cycles, b.stats().cycles);
+    EXPECT_EQ(a.stats().instret, b.stats().instret);
+    EXPECT_EQ(a.stats().uopsRetired, b.stats().uopsRetired);
+    EXPECT_EQ(a.stats().branchMispredicts, b.stats().branchMispredicts);
+    EXPECT_EQ(a.stats().condBranches, b.stats().condBranches);
+    EXPECT_EQ(a.stats().squashes, b.stats().squashes);
+    EXPECT_EQ(a.stats().loadsExecuted, b.stats().loadsExecuted);
+    EXPECT_EQ(a.stats().storeForwards, b.stats().storeForwards);
+    EXPECT_EQ(a.stats().l1dHits, b.stats().l1dHits);
+    EXPECT_EQ(a.stats().l1dMisses, b.stats().l1dMisses);
+    for (unsigned r = 0; r < isa::NUM_RENAMEABLE_REGS; ++r)
+        EXPECT_EQ(a.archRegValue(r), b.archRegValue(r));
+    EXPECT_TRUE(a.archMemoryView().contentEquals(b.archMemoryView()));
+}
+
+TEST(CoreSnapshot, RestoredRunMatchesUninterrupted)
+{
+    auto src = workloads::generateRandomProgram(42);
+    auto p = masm::assemble(src, "rand");
+    CoreConfig cfg;
+
+    Core reference(p, cfg);
+    reference.run();
+    ASSERT_GT(reference.stats().cycles, 100u);
+
+    // Snapshot mid-run at several points; each restored core must end in
+    // exactly the reference's final state.
+    for (double frac : {0.1, 0.5, 0.9}) {
+        const Cycle at = static_cast<Cycle>(
+            static_cast<double>(reference.stats().cycles) * frac);
+        Core running(p, cfg);
+        while (running.cycle() < at && running.tick()) {
+        }
+        ASSERT_FALSE(running.finished());
+        Core::Snapshot snap = running.snapshot();
+        EXPECT_EQ(snap.cycle(), running.cycle());
+        ASSERT_TRUE(snap.valid());
+
+        Core restored(p, cfg, snap);
+        EXPECT_EQ(restored.cycle(), at);
+        restored.run();
+        expectSameFinalState(restored, reference);
+
+        // The donor core is unaffected by the snapshot and also
+        // finishes identically.
+        running.run();
+        expectSameFinalState(running, reference);
+    }
+}
+
+TEST(CoreSnapshot, RestoreIsRepeatable)
+{
+    auto src = workloads::generateRandomProgram(91);
+    auto p = masm::assemble(src, "rand");
+    CoreConfig cfg;
+    Core running(p, cfg);
+    while (running.cycle() < 200 && running.tick()) {
+    }
+    ASSERT_FALSE(running.finished());
+    Core::Snapshot snap = running.snapshot();
+
+    // One immutable snapshot feeds many restored cores.
+    Core a(p, cfg, snap);
+    Core b(p, cfg, snap);
+    a.run();
+    b.run();
+    expectSameFinalState(a, b);
+}
+
+TEST(CoreSnapshot, RestoringAnEmptySnapshotTrips)
+{
+    auto p = prog("movi a0, 1\nhalt 0\n");
+    Core::Snapshot empty;
+    EXPECT_FALSE(empty.valid());
+    EXPECT_THROW((Core(p, CoreConfig{}, empty)), SimAssertError);
+}
+
+TEST(CoreSnapshot, RestoreAllowsTighterWatchdog)
+{
+    auto p = prog("  movi s0, 0\n"
+                  "  movi s1, 300\n"
+                  "spin:\n"
+                  "  addi s0, s0, 1\n"
+                  "  blt s0, s1, spin\n"
+                  "  out.d s0\n"
+                  "  halt 0\n");
+    CoreConfig cfg;
+    Core running(p, cfg);
+    while (running.cycle() < 50 && running.tick()) {
+    }
+    Core::Snapshot snap = running.snapshot();
+
+    // The injector's 3x-golden cycle budget must bite in restored runs.
+    CoreConfig tight = cfg;
+    tight.maxCycles = 60;
+    Core restored(p, tight, snap);
+    auto r = restored.run();
+    EXPECT_EQ(r.reason, isa::TerminateReason::CycleLimit);
 }
 
 } // namespace

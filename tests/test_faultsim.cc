@@ -6,6 +6,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <vector>
+
 #include "base/logging.hh"
 #include "base/rng.hh"
 
@@ -239,6 +242,186 @@ TEST(Runner, WindowedGoldenSnapshotsState)
     EXPECT_TRUE(g.windowed);
     EXPECT_EQ(g.arch.reason, isa::TerminateReason::WindowEnd);
     ASSERT_NE(g.archMem, nullptr);
+}
+
+TEST(FaultKey, WidePackingRoundTripsAndIsDistinct)
+{
+    // Regression for the old 44/14/6 packing that capped entries at
+    // 16K words (a 128 KB L1D): 18 entry bits must survive.
+    Fault a;
+    a.cycle = (1ULL << 40) - 1;
+    a.entry = (1u << 18) - 1; // 256K words = a 2 MB data array
+    a.bit = 63;
+    Fault b = a;
+    b.entry = (1u << 14); // first entry the old packing overflowed on
+    EXPECT_NE(faultKey(a), faultKey(b));
+
+    // Key distinctness over a dense sample of the coordinate space.
+    std::vector<std::uint64_t> keys;
+    for (Cycle c : {0ULL, 1ULL, (1ULL << 39)}) {
+        for (EntryIndex e : {0u, 16384u, 100000u, (1u << 18) - 1}) {
+            for (unsigned bit : {0u, 63u}) {
+                Fault f;
+                f.cycle = c;
+                f.entry = e;
+                f.bit = static_cast<std::uint8_t>(bit);
+                keys.push_back(faultKey(f));
+            }
+        }
+    }
+    std::sort(keys.begin(), keys.end());
+    EXPECT_EQ(std::adjacent_find(keys.begin(), keys.end()), keys.end());
+}
+
+/** End-to-end: inject into L1D entries past the old 16K-word cap. */
+TEST(FaultKey, LargeL1dEntriesInjectThroughTheBatchPath)
+{
+    auto w = workloads::buildWorkload("qsort");
+    uarch::CoreConfig cfg = uarch::CoreConfig{}.withL1dKb(256);
+    InjectionRunner runner(w.program, cfg);
+    auto g = runner.golden();
+    std::vector<Fault> faults;
+    for (EntryIndex e : {16384u, 20000u, cfg.l1d.totalWords() - 1}) {
+        Fault f;
+        f.structure = Structure::L1DCache;
+        f.entry = e;
+        f.bit = 9;
+        f.cycle = g.stats.cycles / 2;
+        faults.push_back(f);
+    }
+    OutcomeMemo memo(faults.size());
+    const auto outs = runner.injectBatch(faults, g, 2, &memo);
+    ASSERT_EQ(outs.size(), faults.size());
+    EXPECT_EQ(memo.size(), faults.size());
+    for (Outcome o : outs)
+        EXPECT_LT(static_cast<unsigned>(o), NUM_OUTCOMES);
+}
+
+TEST(FaultKey, OverflowTripsTheAssert)
+{
+    Fault f;
+    f.entry = 1u << 18;
+    EXPECT_THROW(faultKey(f), SimAssertError);
+}
+
+TEST(OutcomeMemo, LookupInsertRoundTrip)
+{
+    OutcomeMemo memo(1000);
+    Outcome o = Outcome::Masked;
+    EXPECT_FALSE(memo.lookup(42, o));
+    memo.insert(42, Outcome::SDC);
+    ASSERT_TRUE(memo.lookup(42, o));
+    EXPECT_EQ(o, Outcome::SDC);
+    EXPECT_EQ(memo.size(), 1u);
+    // First insertion wins (outcomes are deterministic anyway).
+    memo.insert(42, Outcome::DUE);
+    ASSERT_TRUE(memo.lookup(42, o));
+    EXPECT_EQ(o, Outcome::SDC);
+}
+
+/** Checkpointed resume must classify exactly like a from-scratch run. */
+TEST(Runner, CheckpointResumeMatchesFromScratch)
+{
+    auto w = workloads::buildWorkload("qsort");
+    uarch::CoreConfig cfg;
+    // Fine-grained checkpoints vs none at all.
+    InjectionRunner ck(w.program, cfg, /*checkpoint_interval=*/128);
+    InjectionRunner scratch(w.program, cfg, /*checkpoint_interval=*/0);
+    auto g_ck = ck.golden();
+    auto g_scratch = scratch.golden();
+    ASSERT_FALSE(g_ck.checkpoints.empty());
+    EXPECT_TRUE(g_scratch.checkpoints.empty());
+    EXPECT_EQ(g_ck.stats.cycles, g_scratch.stats.cycles);
+
+    Rng rng(21);
+    for (unsigned i = 0; i < 40; ++i) {
+        Fault f;
+        f.structure = Structure::RegisterFile;
+        f.entry = static_cast<EntryIndex>(
+            rng.nextBelow(cfg.numPhysIntRegs));
+        f.bit = static_cast<std::uint8_t>(rng.nextBelow(64));
+        f.cycle = rng.nextBelow(g_ck.stats.cycles);
+        EXPECT_EQ(ck.inject(f, g_ck), scratch.inject(f, g_scratch))
+            << "entry " << f.entry << " bit " << unsigned(f.bit)
+            << " cycle " << f.cycle;
+    }
+}
+
+TEST(Runner, CheckpointListIsAscendingAndBounded)
+{
+    auto w = workloads::buildWorkload("qsort");
+    uarch::CoreConfig cfg;
+    const unsigned max_ckpts = 8;
+    InjectionRunner runner(w.program, cfg, 64, max_ckpts);
+    auto g = runner.golden();
+    ASSERT_FALSE(g.checkpoints.empty());
+    EXPECT_LE(g.checkpoints.size(), max_ckpts);
+    for (std::size_t i = 1; i < g.checkpoints.size(); ++i)
+        EXPECT_LT(g.checkpoints[i - 1].cycle(),
+                  g.checkpoints[i].cycle());
+    EXPECT_LT(g.checkpoints.back().cycle(), g.stats.cycles);
+}
+
+/** jobs=1 and jobs=8 must produce bit-identical outcome vectors. */
+TEST(Runner, InjectBatchIsDeterministicAcrossThreadCounts)
+{
+    auto w = workloads::buildWorkload("qsort");
+    uarch::CoreConfig cfg;
+    InjectionRunner runner(w.program, cfg);
+    auto g = runner.golden();
+
+    Rng rng(31);
+    std::vector<Fault> faults;
+    for (unsigned i = 0; i < 60; ++i) {
+        Fault f;
+        f.structure = Structure::RegisterFile;
+        f.entry = static_cast<EntryIndex>(
+            rng.nextBelow(cfg.numPhysIntRegs));
+        f.bit = static_cast<std::uint8_t>(rng.nextBelow(64));
+        f.cycle = rng.nextBelow(g.stats.cycles);
+        faults.push_back(f);
+    }
+    // Duplicates exercise the in-batch dedup path.
+    faults.push_back(faults[3]);
+    faults.push_back(faults[17]);
+
+    const auto serial = runner.injectBatch(faults, g, 1);
+    const auto parallel = runner.injectBatch(faults, g, 8);
+    ASSERT_EQ(serial.size(), faults.size());
+    EXPECT_EQ(serial, parallel);
+
+    // And both agree with one-at-a-time injection.
+    for (std::size_t i = 0; i < faults.size(); ++i)
+        EXPECT_EQ(serial[i], runner.inject(faults[i], g)) << "fault " << i;
+}
+
+TEST(Runner, InjectBatchReusesTheMemo)
+{
+    auto w = workloads::buildWorkload("qsort");
+    uarch::CoreConfig cfg;
+    InjectionRunner runner(w.program, cfg);
+    auto g = runner.golden();
+
+    Rng rng(33);
+    std::vector<Fault> faults;
+    for (unsigned i = 0; i < 10; ++i) {
+        Fault f;
+        f.structure = Structure::RegisterFile;
+        f.entry = static_cast<EntryIndex>(
+            rng.nextBelow(cfg.numPhysIntRegs));
+        f.bit = static_cast<std::uint8_t>(rng.nextBelow(64));
+        // Distinct cycles guarantee distinct keys for the size checks.
+        f.cycle = 10 + i * (g.stats.cycles / 16);
+        faults.push_back(f);
+    }
+    OutcomeMemo memo(faults.size());
+    const auto first = runner.injectBatch(faults, g, 2, &memo);
+    EXPECT_EQ(memo.size(), faults.size());
+    // Second batch over the same faults is answered from the memo and
+    // must agree exactly.
+    const auto second = runner.injectBatch(faults, g, 2, &memo);
+    EXPECT_EQ(first, second);
+    EXPECT_EQ(memo.size(), faults.size());
 }
 
 TEST(Runner, WindowedRunsUseUnknownCategory)

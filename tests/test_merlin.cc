@@ -398,5 +398,66 @@ TEST(Campaign, SeededCampaignsReproduce)
     EXPECT_EQ(r1.injections, r2.injections);
 }
 
+/**
+ * The acceptance property of the parallel engine: class counts are
+ * bit-identical for any thread count, with and without ground truth.
+ */
+TEST(Campaign, ParallelCampaignMatchesSerial)
+{
+    auto w = workloads::buildWorkload("qsort");
+    CampaignConfig cfg;
+    cfg.target = Structure::RegisterFile;
+    cfg.sampling = specFixed(250);
+    cfg.seed = 7;
+
+    cfg.jobs = 1;
+    auto serial = Campaign(w.program, cfg).run(true);
+    cfg.jobs = 8;
+    auto parallel = Campaign(w.program, cfg).run(true);
+
+    EXPECT_EQ(serial.merlinEstimate.counts,
+              parallel.merlinEstimate.counts);
+    EXPECT_EQ(serial.merlinSurvivorEstimate.counts,
+              parallel.merlinSurvivorEstimate.counts);
+    ASSERT_TRUE(serial.survivorTruth && parallel.survivorTruth);
+    EXPECT_EQ(serial.survivorTruth->counts, parallel.survivorTruth->counts);
+    EXPECT_EQ(serial.injections, parallel.injections);
+    EXPECT_EQ(serial.homogeneity->fine, parallel.homogeneity->fine);
+}
+
+/** Checkpointing must not change campaign results either. */
+TEST(Campaign, CheckpointedCampaignMatchesUncheckpointed)
+{
+    auto w = workloads::buildWorkload("stringsearch");
+    CampaignConfig cfg;
+    cfg.target = Structure::RegisterFile;
+    cfg.sampling = specFixed(200);
+    cfg.seed = 11;
+
+    cfg.checkpointInterval = 0;
+    auto plain = Campaign(w.program, cfg).run(false);
+    cfg.checkpointInterval = 100;
+    auto ck = Campaign(w.program, cfg).run(false);
+
+    EXPECT_EQ(plain.merlinEstimate.counts, ck.merlinEstimate.counts);
+    EXPECT_EQ(plain.injections, ck.injections);
+}
+
+/**
+ * Regression for the old fault-key packing that capped L1D entries at
+ * 16K words: a 256 KB L1D (32K words) campaign must run end to end.
+ */
+TEST(Campaign, LargeL1dCampaignSurvivesKeyPacking)
+{
+    auto w = workloads::buildWorkload("fft");
+    CampaignConfig cfg;
+    cfg.target = Structure::L1DCache;
+    cfg.core = cfg.core.withL1dKb(256);
+    ASSERT_GT(cfg.core.l1d.totalWords(), 1u << 14);
+    cfg.sampling = specFixed(150);
+    auto res = Campaign(w.program, cfg).run(false);
+    EXPECT_EQ(res.merlinEstimate.total(), 150u);
+}
+
 } // namespace
 } // namespace merlin::core

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * ThreadPool tests: completion, dynamic parallelFor coverage,
+ * exception propagation, reuse across waves.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "base/threadpool.hh"
+
+namespace merlin::base
+{
+namespace
+{
+
+TEST(ThreadPool, HardwareThreadsIsPositive)
+{
+    EXPECT_GE(ThreadPool::hardwareThreads(), 1u);
+}
+
+TEST(ThreadPool, RunsEverySubmittedTask)
+{
+    ThreadPool pool(4);
+    EXPECT_EQ(pool.size(), 4u);
+    std::atomic<int> hits{0};
+    for (int i = 0; i < 100; ++i)
+        pool.submit([&hits] { ++hits; });
+    pool.wait();
+    EXPECT_EQ(hits.load(), 100);
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndexOnce)
+{
+    ThreadPool pool(8);
+    std::vector<std::atomic<int>> seen(1000);
+    pool.parallelFor(1000, [&seen](std::uint64_t i) { ++seen[i]; });
+    for (const auto &s : seen)
+        EXPECT_EQ(s.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForWithMoreWorkersThanItems)
+{
+    ThreadPool pool(16);
+    std::atomic<std::uint64_t> sum{0};
+    pool.parallelFor(3, [&sum](std::uint64_t i) { sum += i + 1; });
+    EXPECT_EQ(sum.load(), 6u);
+}
+
+TEST(ThreadPool, ZeroItemsIsANoOp)
+{
+    ThreadPool pool(2);
+    pool.parallelFor(0, [](std::uint64_t) { FAIL(); });
+}
+
+TEST(ThreadPool, WaitRethrowsFirstTaskException)
+{
+    ThreadPool pool(2);
+    pool.submit([] { throw std::runtime_error("boom"); });
+    EXPECT_THROW(pool.wait(), std::runtime_error);
+    // The pool stays usable after an exception.
+    std::atomic<int> hits{0};
+    pool.submit([&hits] { ++hits; });
+    pool.wait();
+    EXPECT_EQ(hits.load(), 1);
+}
+
+TEST(ThreadPool, ReusableAcrossWaves)
+{
+    ThreadPool pool(3);
+    std::uint64_t total = 0;
+    for (int wave = 0; wave < 5; ++wave) {
+        std::atomic<std::uint64_t> sum{0};
+        pool.parallelFor(50, [&sum](std::uint64_t i) { sum += i; });
+        total += sum.load();
+    }
+    EXPECT_EQ(total, 5u * (49u * 50u / 2));
+}
+
+TEST(ThreadPool, DestructorDrainsPendingTasks)
+{
+    std::atomic<int> hits{0};
+    {
+        ThreadPool pool(1);
+        for (int i = 0; i < 20; ++i)
+            pool.submit([&hits] { ++hits; });
+    }
+    EXPECT_EQ(hits.load(), 20);
+}
+
+} // namespace
+} // namespace merlin::base
