@@ -63,6 +63,7 @@ main(int argc, char **argv)
             cc.sampling = opts.sampling(default_faults);
             cc.grouping = v.o;
             cc.seed = opts.seed;
+            cc.jobs = opts.jobs;
             core::Campaign camp(w.program, cc);
             auto r = camp.run(/*inject_all=*/true);
             groups += r.numGroups;

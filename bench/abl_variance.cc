@@ -35,6 +35,7 @@ main(int argc, char **argv)
     cc.core = uarch::CoreConfig{}.withRegisterFile(128);
     cc.sampling = opts.sampling(default_faults);
     cc.seed = opts.seed;
+    cc.jobs = opts.jobs;
 
     // ---- analytic: moments from the measured group structure ----
     core::Campaign camp(w.program, cc);

@@ -10,6 +10,9 @@
  *   --paper           paper-scale fault lists (60,000 / 600,000)
  *   --workloads a,b   comma-separated subset (default per bench)
  *   --seed N          campaign seed
+ *   --jobs N          shared suite-pool workers (0 = all hardware
+ *                     threads); campaigns overlap and workers steal
+ *                     injections across campaigns, results unchanged
  */
 
 #ifndef MERLIN_BENCH_COMMON_HH
@@ -30,6 +33,7 @@ struct Options
 {
     std::uint64_t faults = 0; ///< 0 = per-bench default
     std::uint64_t seed = 1;
+    unsigned jobs = 1; ///< suite-pool workers (0 = hardware threads)
     bool paper = false;
     std::vector<std::string> workloads;
 
@@ -54,18 +58,26 @@ struct Options
             } else if (const char *v2 = val("--seed")) {
                 o.seed = std::strtoull(v2, nullptr, 10);
             } else if (const char *v3 = val("--workloads")) {
+                // Split on commas, dropping empty entries so stray
+                // separators ("a,,b", trailing comma) cannot inject a
+                // nameless workload that fails the build step.
                 std::string s = v3;
                 std::size_t pos = 0;
                 while (pos != std::string::npos) {
                     std::size_t c = s.find(',', pos);
-                    o.workloads.push_back(
+                    std::string item =
                         s.substr(pos, c == std::string::npos ? c
-                                                             : c - pos));
+                                                             : c - pos);
+                    if (!item.empty())
+                        o.workloads.push_back(std::move(item));
                     pos = c == std::string::npos ? c : c + 1;
                 }
+            } else if (const char *v4 = val("--jobs")) {
+                o.jobs =
+                    static_cast<unsigned>(std::strtoul(v4, nullptr, 10));
             } else if (a == "--help" || a == "-h") {
                 std::printf("flags: --faults=N --paper "
-                            "--workloads=a,b --seed=N\n");
+                            "--workloads=a,b --seed=N --jobs=N\n");
                 std::exit(0);
             }
         }

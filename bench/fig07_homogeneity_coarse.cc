@@ -52,6 +52,7 @@ main(int argc, char **argv)
             cc.core = configFor(ref.s, ref.variant);
             cc.sampling = opts.sampling(default_faults);
             cc.seed = opts.seed;
+            cc.jobs = opts.jobs;
             core::Campaign camp(w.program, cc);
             auto r = camp.run(true);
             coarse += r.homogeneity->coarse;

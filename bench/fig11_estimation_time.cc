@@ -6,10 +6,12 @@
  *
  * Per-run cost is measured by timing real injection runs; campaign
  * counts come from grouping-only passes at the requested fault-list
- * scale (paper scale by default — counting needs no injections).
+ * scale (paper scale by default — counting needs no injections).  The
+ * 90 counting campaigns run as one shared-pool suite (--jobs=N).
  */
 
 #include "bench/common.hh"
+#include "sched/suite.hh"
 
 using namespace merlin;
 using namespace merlin::bench;
@@ -37,6 +39,7 @@ main(int argc, char **argv)
         core::CampaignConfig cc;
         cc.target = uarch::Structure::RegisterFile;
         cc.sampling = core::specFixed(300);
+        cc.jobs = opts.jobs;
         core::Campaign camp(w.program, cc);
         auto r = camp.run(false);
         sec_per_run = r.secondsPerInjection;
@@ -45,22 +48,46 @@ main(int argc, char **argv)
                 "(gem5 full-system runs cost ~minutes)\n",
                 sec_per_run * 1e3);
 
+    // Counting campaigns for all (structure, size, workload) configs,
+    // one shared-pool suite in iteration order.
+    std::vector<sched::CampaignSpec> specs;
+    for (int si = 0; si < 3; ++si) {
+        for (unsigned v : sizeVariants(structs[si])) {
+            for (const auto &name : names) {
+                sched::CampaignSpec s;
+                s.workload = name;
+                s.structure = structs[si];
+                s.window = 0;
+                switch (structs[si]) {
+                  case uarch::Structure::RegisterFile: s.regs = v; break;
+                  case uarch::Structure::StoreQueue:
+                    s.sqEntries = v;
+                    break;
+                  case uarch::Structure::L1DCache: s.l1dKb = v; break;
+                }
+                s.sampling = opts.sampling(default_faults);
+                s.seed = opts.seed;
+                s.mode = sched::CampaignSpec::Mode::GroupingOnly;
+                specs.push_back(std::move(s));
+            }
+        }
+    }
+    sched::SuiteOptions sopts;
+    sopts.jobs = opts.jobs;
+    sched::SuiteResult suite =
+        sched::SuiteScheduler(specs, sopts).run();
+
     double total_base_s = 0, total_merlin_s = 0;
+    std::size_t at = 0;
     std::printf("\n%-14s %16s %16s %22s\n", "structure",
                 "baseline months", "MeRLiN months",
                 "paper (base->MeRLiN)");
     for (int si = 0; si < 3; ++si) {
         double base_runs = 0, merlin_runs = 0;
         for (unsigned v : sizeVariants(structs[si])) {
-            for (const auto &name : names) {
-                auto w = workloads::buildWorkload(name);
-                core::CampaignConfig cc;
-                cc.target = structs[si];
-                cc.core = configFor(structs[si], v);
-                cc.sampling = opts.sampling(default_faults);
-                cc.seed = opts.seed;
-                core::Campaign camp(w.program, cc);
-                auto r = camp.runGroupingOnly();
+            (void)v;
+            for (std::size_t wi = 0; wi < names.size(); ++wi) {
+                const core::CampaignResult &r = suite.results[at++];
                 base_runs += static_cast<double>(r.initialFaults);
                 merlin_runs += static_cast<double>(r.injections);
             }

@@ -37,6 +37,7 @@ main(int argc, char **argv)
             cc.core = configFor(s, v);
             cc.sampling = opts.sampling(default_faults);
             cc.seed = opts.seed;
+            cc.jobs = opts.jobs;
             core::Campaign camp(w.program, cc);
             auto r = camp.run(/*inject_all_survivors=*/true);
             truth = truth + *r.survivorTruth;

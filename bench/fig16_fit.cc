@@ -53,6 +53,7 @@ main(int argc, char **argv)
             cc.core = configFor(row.s, row.variant);
             cc.sampling = opts.sampling(default_faults);
             cc.seed = opts.seed;
+            cc.jobs = opts.jobs;
             core::Campaign camp(w.program, cc);
             auto r = camp.run(/*inject_all_survivors=*/true);
             base_avf += r.fullTruth().avf();

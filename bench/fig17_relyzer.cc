@@ -44,6 +44,7 @@ main(int argc, char **argv)
             cc.core = base;
             cc.sampling = opts.sampling(default_faults);
             cc.seed = opts.seed;
+            cc.jobs = opts.jobs;
             {
                 core::Campaign camp(w.program, cc);
                 auto r = camp.run(/*inject_all=*/true);

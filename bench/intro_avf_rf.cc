@@ -37,6 +37,7 @@ main(int argc, char **argv)
                                 variants[vi]);
             cc.sampling = opts.sampling(default_faults);
             cc.seed = opts.seed;
+            cc.jobs = opts.jobs;
             core::Campaign camp(w.program, cc);
             auto r = camp.run(false);
             avf += r.merlinEstimate.avf();

@@ -13,9 +13,11 @@
 
 #include "faultsim/runner.hh"
 #include "isa/interp.hh"
+#include "merlin/campaign.hh"
 #include "merlin/grouping.hh"
 #include "merlin/sampling.hh"
 #include "profile/ace.hh"
+#include "sched/suite.hh"
 #include "uarch/core.hh"
 #include "workloads/workloads.hh"
 
@@ -247,6 +249,73 @@ BENCHMARK(BM_InjectEngineSpeedup)
     ->Arg(1)
     ->Arg(2)
     ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+// ------------------------------------------------ suite scheduler
+
+/** Four full RF campaigns — the suite-scheduler acceptance workload. */
+std::vector<sched::CampaignSpec>
+suiteSpecs()
+{
+    const char *wls[] = {"qsort", "fft", "sha", "stringsearch"};
+    std::vector<sched::CampaignSpec> specs;
+    for (const char *name : wls) {
+        sched::CampaignSpec s;
+        s.workload = name;
+        s.structure = uarch::Structure::RegisterFile;
+        s.regs = 128;
+        s.window = 0;
+        s.sampling = core::specFixed(300);
+        s.seed = 3;
+        specs.push_back(std::move(s));
+    }
+    return specs;
+}
+
+/**
+ * The pre-suite baseline: campaigns strictly one after another, each
+ * single-threaded — what every bench driver did before the scheduler.
+ */
+void
+BM_SuiteSerial(benchmark::State &state)
+{
+    const auto specs = suiteSpecs();
+    std::uint64_t n = 0;
+    for (auto _ : state) {
+        for (const auto &spec : specs) {
+            auto w = workloads::buildWorkload(spec.workload);
+            core::Campaign camp(w.program, spec.campaignConfig(w));
+            benchmark::DoNotOptimize(camp.run(false));
+        }
+        n += specs.size();
+    }
+    state.counters["campaigns/s"] = benchmark::Counter(
+        static_cast<double>(n), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SuiteSerial)->Unit(benchmark::kMillisecond);
+
+/**
+ * The same four campaigns on the shared-pool scheduler; Arg = jobs.
+ * The acceptance criterion is >= 2x over BM_SuiteSerial at Arg(4):
+ * profile phases overlap and finished campaigns' workers steal
+ * injections from the ones still running.
+ */
+void
+BM_SuiteScheduler(benchmark::State &state)
+{
+    const auto specs = suiteSpecs();
+    sched::SuiteOptions opts;
+    opts.jobs = static_cast<unsigned>(state.range(0));
+    std::uint64_t n = 0;
+    for (auto _ : state) {
+        sched::SuiteResult r = sched::SuiteScheduler(specs, opts).run();
+        benchmark::DoNotOptimize(r.results.data());
+        n += specs.size();
+    }
+    state.counters["campaigns/s"] = benchmark::Counter(
+        static_cast<double>(n), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SuiteScheduler)->Arg(1)->Arg(4)
     ->Unit(benchmark::kMillisecond);
 
 void

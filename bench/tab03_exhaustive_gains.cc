@@ -11,6 +11,7 @@
 #include <chrono>
 
 #include "bench/common.hh"
+#include "sched/suite.hh"
 #include "uarch/core.hh"
 
 using namespace merlin;
@@ -37,26 +38,35 @@ main(int argc, char **argv)
 
     // Representative structures, as in the paper's example: L1D 32KB,
     // SQ 16, RF 64 over one workload's full run.
-    uarch::CoreConfig cfg =
-        uarch::CoreConfig{}.withRegisterFile(64).withStoreQueue(16)
-            .withL1dKb(32);
     const double cycles = static_cast<double>(core.stats().cycles);
     const double bits = 64.0 * 64 + 16.0 * 64 +
                         32.0 * 1024 * 8; // RF + SQ + L1D data bits
     const double exhaustive = bits * cycles;
 
-    // MeRLiN reduction rate measured at 60K scale.
-    double keep_rate_sum = 0;
+    // MeRLiN reduction rate measured at 60K scale: the three
+    // per-structure counting campaigns as one shared-pool suite.
+    std::vector<sched::CampaignSpec> specs;
     for (auto s : {uarch::Structure::RegisterFile,
                    uarch::Structure::StoreQueue,
                    uarch::Structure::L1DCache}) {
-        core::CampaignConfig cc;
-        cc.target = s;
-        cc.core = cfg;
-        cc.sampling = core::specFixed(60'000);
-        cc.seed = opts.seed;
-        core::Campaign camp(w.program, cc);
-        auto r = camp.runGroupingOnly();
+        sched::CampaignSpec spec;
+        spec.workload = "qsort";
+        spec.structure = s;
+        spec.regs = 64;
+        spec.sqEntries = 16;
+        spec.l1dKb = 32;
+        spec.window = 0;
+        spec.sampling = core::specFixed(60'000);
+        spec.seed = opts.seed;
+        spec.mode = sched::CampaignSpec::Mode::GroupingOnly;
+        specs.push_back(std::move(spec));
+    }
+    sched::SuiteOptions sopts;
+    sopts.jobs = opts.jobs;
+    sched::SuiteResult suite =
+        sched::SuiteScheduler(specs, sopts).run();
+    double keep_rate_sum = 0;
+    for (const core::CampaignResult &r : suite.results) {
         keep_rate_sum += static_cast<double>(r.injections) /
                          static_cast<double>(r.initialFaults);
     }

@@ -41,6 +41,7 @@ main(int argc, char **argv)
         cc.core = specConfig(w.suggestedWindow);
         cc.sampling = opts.sampling(default_faults);
         cc.seed = opts.seed;
+        cc.jobs = opts.jobs;
         core::Campaign camp(w.program, cc);
         auto r = camp.run(/*inject_all_survivors=*/true);
         auto truth = r.fullTruth();

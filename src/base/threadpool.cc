@@ -34,11 +34,11 @@ ThreadPool::~ThreadPool()
 }
 
 void
-ThreadPool::submit(std::function<void()> fn)
+ThreadPool::submit(std::function<void()> fn, const void *tag)
 {
     {
         std::lock_guard<std::mutex> lock(mu_);
-        queue_.push_back(std::move(fn));
+        queue_.push_back(QueuedTask{std::move(fn), tag});
     }
     workCv_.notify_one();
 }
@@ -47,7 +47,7 @@ void
 ThreadPool::workerLoop()
 {
     for (;;) {
-        std::function<void()> task;
+        QueuedTask task;
         {
             std::unique_lock<std::mutex> lock(mu_);
             workCv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
@@ -58,7 +58,7 @@ ThreadPool::workerLoop()
             ++inFlight_;
         }
         try {
-            task();
+            task.fn();
         } catch (...) {
             std::lock_guard<std::mutex> lock(mu_);
             if (!firstError_)
@@ -70,6 +70,38 @@ ThreadPool::workerLoop()
         }
         idleCv_.notify_all();
     }
+}
+
+bool
+ThreadPool::runOne(const void *tag)
+{
+    QueuedTask task;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        auto it = queue_.begin();
+        if (tag) {
+            while (it != queue_.end() && it->tag != tag)
+                ++it;
+        }
+        if (it == queue_.end())
+            return false;
+        task = std::move(*it);
+        queue_.erase(it);
+        ++inFlight_;
+    }
+    try {
+        task.fn();
+    } catch (...) {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (!firstError_)
+            firstError_ = std::current_exception();
+    }
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        --inFlight_;
+    }
+    idleCv_.notify_all();
+    return true;
 }
 
 void
@@ -106,6 +138,75 @@ ThreadPool::parallelFor(std::uint64_t n,
         });
     }
     wait();
+}
+
+// ------------------------------------------------------------ TaskGroup
+
+void
+TaskGroup::submit(std::function<void()> fn)
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++pending_;
+    }
+    pool_.submit(
+        [this, fn = std::move(fn)] {
+            // The group's tasks report to the group, not to the pool's
+            // firstError_: a suite campaign's failure belongs to that
+            // campaign's wait(), not to whoever calls pool.wait() last.
+            std::exception_ptr err;
+            try {
+                fn();
+            } catch (...) {
+                err = std::current_exception();
+            }
+            {
+                std::lock_guard<std::mutex> lock(mu_);
+                if (err && !firstError_)
+                    firstError_ = err;
+                --pending_;
+            }
+            doneCv_.notify_all();
+        },
+        /*tag=*/this);
+}
+
+void
+TaskGroup::wait()
+{
+    for (;;) {
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            if (pending_ == 0)
+                break;
+        }
+        if (!pool_.runOne(/*tag=*/this)) {
+            // None of OUR tasks are queued (they run on workers, or
+            // foreign tasks head the queue — those are the workers'
+            // business, never nested here).  Any completion notifies,
+            // so re-checking under the lock before sleeping closes
+            // the lost-wakeup window.
+            std::unique_lock<std::mutex> lock(mu_);
+            if (pending_ != 0)
+                doneCv_.wait(lock);
+        }
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    if (firstError_) {
+        std::exception_ptr e = firstError_;
+        firstError_ = nullptr;
+        std::rethrow_exception(e);
+    }
+}
+
+void
+TaskGroup::waitNoThrow() noexcept
+{
+    try {
+        wait();
+    } catch (...) {
+        // Destructor context: the error was already lost to the caller.
+    }
 }
 
 } // namespace merlin::base

@@ -1,15 +1,26 @@
 /**
  * @file
- * Small fixed-size worker pool for fan-out/join parallelism.
+ * Small fixed-size worker pool for fan-out/join parallelism, plus a
+ * TaskGroup for tracking completion of a subset of tasks on a shared
+ * pool.
  *
- * The campaign engine uses it to spread independent injection runs
- * across cores.  Scheduling is dynamic (a shared work index), so the
- * assignment of items to threads is nondeterministic — callers that
- * need deterministic results must write each item's output to a slot
- * derived from the item itself, never from arrival order.
+ * The campaign engine uses the pool to spread independent injection
+ * runs across cores.  Scheduling is dynamic (a shared work queue), so
+ * the assignment of items to threads is nondeterministic — callers
+ * that need deterministic results must write each item's output to a
+ * slot derived from the item itself, never from arrival order.
+ *
+ * The suite scheduler multiplexes many campaigns onto ONE pool: each
+ * campaign submits its injections through its own TaskGroup, so
+ * workers that finish one campaign's tasks steal the next queued task
+ * regardless of which campaign it belongs to.  TaskGroup::wait() also
+ * help-runs the group's own queued tasks on the waiting thread, so a
+ * pool task may itself fan out a batch and wait on it without
+ * deadlocking — even on a single-worker pool.
  *
  * The first exception thrown by a task is captured and rethrown from
- * wait() on the submitting thread; later exceptions are dropped.
+ * wait() on the submitting thread (per group for TaskGroup); later
+ * exceptions are dropped.
  */
 
 #ifndef MERLIN_BASE_THREADPOOL_HH
@@ -40,11 +51,21 @@ class ThreadPool
 
     unsigned size() const { return static_cast<unsigned>(workers_.size()); }
 
-    /** Enqueue one task. */
-    void submit(std::function<void()> fn);
+    /** Enqueue one task, optionally tagged with its TaskGroup. */
+    void submit(std::function<void()> fn, const void *tag = nullptr);
 
     /** Block until every submitted task has finished; rethrows. */
     void wait();
+
+    /**
+     * Pop one queued task and run it on the calling thread; with a
+     * non-null @p tag, only a task carrying that tag (i.e. one
+     * TaskGroup's own work).  @return false when no eligible task was
+     * queued (one may still be running on a worker).  Lets blocked
+     * waiters contribute work instead of idling — the basis of
+     * TaskGroup's deadlock-free nested wait().
+     */
+    bool runOne(const void *tag = nullptr);
 
     /**
      * Run fn(0) .. fn(n-1) across the pool with dynamic scheduling and
@@ -59,16 +80,68 @@ class ThreadPool
     static unsigned hardwareThreads();
 
   private:
+    struct QueuedTask
+    {
+        std::function<void()> fn;
+        const void *tag = nullptr; ///< owning TaskGroup, if any
+    };
+
     void workerLoop();
 
     std::vector<std::thread> workers_;
-    std::deque<std::function<void()>> queue_;
+    std::deque<QueuedTask> queue_;
     mutable std::mutex mu_;
     std::condition_variable workCv_;  ///< workers wait for tasks
     std::condition_variable idleCv_;  ///< wait() waits for drain
     std::size_t inFlight_ = 0;
     std::exception_ptr firstError_;
     bool stop_ = false;
+};
+
+/**
+ * Completion tracking for a subset of tasks on a shared ThreadPool.
+ *
+ * Many groups can multiplex one pool; each group's wait() returns as
+ * soon as ITS tasks are done, independent of the others.  wait()
+ * help-runs queued pool tasks (from any group) while waiting, so a
+ * task running on the pool may submit a nested batch through a group
+ * and wait on it — this is what lets a campaign fan its injections
+ * into the shared suite pool from inside a pool task.
+ *
+ * A group must outlive its submitted tasks; wait() before destruction.
+ */
+class TaskGroup
+{
+  public:
+    explicit TaskGroup(ThreadPool &pool) : pool_(pool) {}
+
+    ~TaskGroup() { waitNoThrow(); }
+
+    TaskGroup(const TaskGroup &) = delete;
+    TaskGroup &operator=(const TaskGroup &) = delete;
+
+    /** Enqueue one task counted toward this group. */
+    void submit(std::function<void()> fn);
+
+    /**
+     * Block until every task of this group has finished, help-running
+     * THIS group's queued tasks meanwhile (foreign tasks are left to
+     * the pool workers, so a waiting campaign never nests another
+     * campaign on its stack).  Rethrows the group's first task
+     * exception.
+     */
+    void wait();
+
+    ThreadPool &pool() { return pool_; }
+
+  private:
+    void waitNoThrow() noexcept;
+
+    ThreadPool &pool_;
+    std::mutex mu_;
+    std::condition_variable doneCv_;
+    std::size_t pending_ = 0;
+    std::exception_ptr firstError_;
 };
 
 } // namespace merlin::base

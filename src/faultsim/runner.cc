@@ -236,71 +236,108 @@ InjectionRunner::inject(const Fault &fault, const GoldenRun &ref) const
     }
 }
 
-std::vector<Outcome>
-InjectionRunner::injectBatch(const std::vector<Fault> &faults,
-                             const GoldenRun &ref, unsigned jobs,
-                             OutcomeMemo *memo) const
+BatchPlan
+InjectionRunner::planBatch(const std::vector<Fault> &faults,
+                           const OutcomeMemo *memo) const
 {
-    std::vector<Outcome> out(faults.size(), Outcome::Masked);
+    BatchPlan plan;
+    plan.outcomes.assign(faults.size(), Outcome::Masked);
+    plan.keys.resize(faults.size());
     if (faults.empty())
-        return out;
+        return plan;
 
     // Resolve memo hits and collapse duplicates: the first occurrence
     // of each key runs, later ones alias its slot afterwards.
     std::unordered_map<std::uint64_t, std::uint32_t, FaultKeyHash> first;
     first.reserve(faults.size());
-    std::vector<std::uint64_t> keys(faults.size());
-    std::vector<std::uint32_t> work;       // indices that actually run
-    std::vector<std::uint32_t> aliases;    // indices filled from `first`
-    work.reserve(faults.size());
+    plan.work.reserve(faults.size());
     for (std::uint32_t i = 0; i < faults.size(); ++i) {
-        keys[i] = faultKey(faults[i]);
+        plan.keys[i] = faultKey(faults[i]);
         Outcome cached;
-        if (memo && memo->lookup(keys[i], cached)) {
-            out[i] = cached;
+        if (memo && memo->lookup(plan.keys[i], cached)) {
+            plan.outcomes[i] = cached;
             continue;
         }
-        auto [it, fresh] = first.emplace(keys[i], i);
+        auto [it, fresh] = first.emplace(plan.keys[i], i);
         if (fresh)
-            work.push_back(i);
+            plan.work.push_back(i);
         else
-            aliases.push_back(i);
+            plan.aliases.emplace_back(i, it->second);
     }
 
     // Cycle-sorted execution order: neighbouring runs resume from the
     // same checkpoint, so their pre-fault replay shares length.  The
     // tie-break keeps the order fully deterministic.
-    std::sort(work.begin(), work.end(),
+    std::sort(plan.work.begin(), plan.work.end(),
               [&](std::uint32_t a, std::uint32_t b) {
                   return faults[a].cycle != faults[b].cycle
                              ? faults[a].cycle < faults[b].cycle
                              : a < b;
               });
+    return plan;
+}
+
+void
+InjectionRunner::finishBatch(BatchPlan &plan, OutcomeMemo *memo) const
+{
+    if (memo) {
+        for (std::uint32_t i : plan.work)
+            memo->insert(plan.keys[i], plan.outcomes[i]);
+    }
+    for (auto [dst, src] : plan.aliases)
+        plan.outcomes[dst] = plan.outcomes[src];
+}
+
+std::vector<Outcome>
+InjectionRunner::injectBatch(const std::vector<Fault> &faults,
+                             const GoldenRun &ref, unsigned jobs,
+                             OutcomeMemo *memo) const
+{
+    BatchPlan plan = planBatch(faults, memo);
 
     const auto runOne = [&](std::uint64_t w) {
-        const std::uint32_t i = work[w];
-        out[i] = inject(faults[i], ref);
+        const std::uint32_t i = plan.work[w];
+        plan.outcomes[i] = inject(faults[i], ref);
     };
 
     if (jobs == 0)
         jobs = base::ThreadPool::hardwareThreads();
-    if (jobs <= 1 || work.size() <= 1) {
-        for (std::uint64_t w = 0; w < work.size(); ++w)
+    if (jobs <= 1 || plan.work.size() <= 1) {
+        for (std::uint64_t w = 0; w < plan.work.size(); ++w)
             runOne(w);
     } else {
-        base::ThreadPool pool(
-            static_cast<unsigned>(std::min<std::size_t>(jobs,
-                                                        work.size())));
-        pool.parallelFor(work.size(), runOne);
+        base::ThreadPool pool(static_cast<unsigned>(
+            std::min<std::size_t>(jobs, plan.work.size())));
+        pool.parallelFor(plan.work.size(), runOne);
     }
 
-    if (memo) {
-        for (std::uint32_t i : work)
-            memo->insert(keys[i], out[i]);
+    finishBatch(plan, memo);
+    return std::move(plan.outcomes);
+}
+
+std::vector<Outcome>
+InjectionRunner::injectBatch(const std::vector<Fault> &faults,
+                             const GoldenRun &ref, base::TaskGroup &group,
+                             OutcomeMemo *memo) const
+{
+    BatchPlan plan = planBatch(faults, memo);
+
+    // One pool task per injection: the shared pool's queue interleaves
+    // these with every other in-flight batch, which is exactly the
+    // cross-campaign work stealing the suite scheduler relies on.  Each
+    // task writes a slot derived from its fault, so any schedule yields
+    // the same outcome vector.
+    for (std::uint32_t w = 0;
+         w < static_cast<std::uint32_t>(plan.work.size()); ++w) {
+        group.submit([this, &plan, &faults, &ref, w] {
+            const std::uint32_t i = plan.work[w];
+            plan.outcomes[i] = inject(faults[i], ref);
+        });
     }
-    for (std::uint32_t i : aliases)
-        out[i] = out[first.find(keys[i])->second];
-    return out;
+    group.wait();
+
+    finishBatch(plan, memo);
+    return std::move(plan.outcomes);
 }
 
 } // namespace merlin::faultsim

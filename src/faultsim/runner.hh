@@ -43,6 +43,11 @@
 #include "isa/program.hh"
 #include "uarch/core.hh"
 
+namespace merlin::base
+{
+class TaskGroup;
+}
+
 namespace merlin::faultsim
 {
 
@@ -95,6 +100,28 @@ class OutcomeMemo
     std::array<Shard, kShards> shards_;
 };
 
+/**
+ * Deterministic execution plan for one batch of faults: memo hits
+ * resolved, duplicates collapsed onto their first occurrence, fresh
+ * work cycle-sorted for checkpoint locality.  Produced by
+ * InjectionRunner::planBatch(); the work items may then be executed by
+ * any thread in any order (each outcome is a pure function of its
+ * fault), and finishBatch() publishes memo entries and fills the
+ * duplicate slots.  This is the hook the suite scheduler uses to feed
+ * many campaigns' injections into one shared pool.
+ */
+struct BatchPlan
+{
+    /** One slot per input fault, in input order. */
+    std::vector<Outcome> outcomes;
+    /** faultKey() of every input fault. */
+    std::vector<std::uint64_t> keys;
+    /** Indices that must actually run, sorted by flip cycle. */
+    std::vector<std::uint32_t> work;
+    /** Duplicate slots: first = destination, second = source index. */
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> aliases;
+};
+
 /** Runs golden and faulty executions of one program/configuration. */
 class InjectionRunner
 {
@@ -134,6 +161,32 @@ class InjectionRunner
     std::vector<Outcome> injectBatch(const std::vector<Fault> &faults,
                                      const GoldenRun &ref, unsigned jobs,
                                      OutcomeMemo *memo = nullptr) const;
+
+    /**
+     * injectBatch on an EXTERNAL shared pool: every fresh injection is
+     * submitted to @p group at per-injection granularity, so workers of
+     * the shared pool interleave (steal) work from concurrent batches.
+     * Blocks until the batch is done, help-running queued pool tasks
+     * meanwhile (safe to call from inside a pool task).  @p group must
+     * be used by one batch at a time.  Results are identical to the
+     * jobs-overload for any pool size or schedule.
+     */
+    std::vector<Outcome> injectBatch(const std::vector<Fault> &faults,
+                                     const GoldenRun &ref,
+                                     base::TaskGroup &group,
+                                     OutcomeMemo *memo = nullptr) const;
+
+    /**
+     * Build the deterministic plan for @p faults: resolve @p memo hits,
+     * collapse duplicates, cycle-sort the remaining work.  Callers then
+     * run plan.work items in any order/thread
+     * (`plan.outcomes[i] = inject(faults[i], ref)`) and finishBatch().
+     */
+    BatchPlan planBatch(const std::vector<Fault> &faults,
+                        const OutcomeMemo *memo = nullptr) const;
+
+    /** Publish a completed plan: memo inserts + duplicate-slot fills. */
+    void finishBatch(BatchPlan &plan, OutcomeMemo *memo = nullptr) const;
 
     /** Classify a completed faulty run (exposed for testing). */
     static Outcome classify(const isa::ArchResult &faulty,

@@ -1,0 +1,636 @@
+#include "io/json.hh"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "base/logging.hh"
+
+namespace merlin::io
+{
+
+Json::Json(std::int64_t i)
+{
+    // Canonicalize non-negative integers to Uint so that 5 and 5u
+    // compare and dump identically no matter how they were produced.
+    if (i >= 0) {
+        type_ = Type::Uint;
+        uint_ = static_cast<std::uint64_t>(i);
+    } else {
+        type_ = Type::Int;
+        int_ = i;
+    }
+}
+
+bool
+Json::asBool() const
+{
+    if (type_ != Type::Bool)
+        fatal("json: not a bool");
+    return bool_;
+}
+
+double
+Json::asDouble() const
+{
+    switch (type_) {
+      case Type::Int:    return static_cast<double>(int_);
+      case Type::Uint:   return static_cast<double>(uint_);
+      case Type::Double: return dbl_;
+      default:           fatal("json: not a number");
+    }
+}
+
+std::int64_t
+Json::asI64() const
+{
+    switch (type_) {
+      case Type::Int:  return int_;
+      case Type::Uint:
+        if (uint_ > static_cast<std::uint64_t>(INT64_MAX))
+            fatal("json: integer out of int64 range");
+        return static_cast<std::int64_t>(uint_);
+      default: fatal("json: not an integer");
+    }
+}
+
+std::uint64_t
+Json::asU64() const
+{
+    switch (type_) {
+      case Type::Uint: return uint_;
+      case Type::Int:  fatal("json: negative value for u64");
+      case Type::Double:
+        // "2e3" and "128.0" parse as doubles; accept them when they
+        // hold an exact non-negative integer.
+        if (dbl_ >= 0 && dbl_ < 18446744073709551616.0 &&
+            dbl_ == std::floor(dbl_))
+            return static_cast<std::uint64_t>(dbl_);
+        fatal("json: not an integer");
+      default: fatal("json: not an integer");
+    }
+}
+
+const std::string &
+Json::asString() const
+{
+    if (type_ != Type::String)
+        fatal("json: not a string");
+    return str_;
+}
+
+std::size_t
+Json::size() const
+{
+    if (type_ == Type::Array)
+        return arr_.size();
+    if (type_ == Type::Object)
+        return obj_.size();
+    return 0;
+}
+
+const Json &
+Json::operator[](std::size_t i) const
+{
+    if (type_ != Type::Array || i >= arr_.size())
+        fatal("json: bad array access");
+    return arr_[i];
+}
+
+void
+Json::push(Json v)
+{
+    if (type_ == Type::Null)
+        type_ = Type::Array;
+    if (type_ != Type::Array)
+        fatal("json: push on non-array");
+    arr_.push_back(std::move(v));
+}
+
+const Json::Array &
+Json::items() const
+{
+    if (type_ != Type::Array)
+        fatal("json: not an array");
+    return arr_;
+}
+
+const Json *
+Json::find(const std::string &key) const
+{
+    if (type_ != Type::Object)
+        return nullptr;
+    for (const Member &m : obj_) {
+        if (m.first == key)
+            return &m.second;
+    }
+    return nullptr;
+}
+
+const Json &
+Json::at(const std::string &key) const
+{
+    const Json *v = find(key);
+    if (!v)
+        fatal("json: missing key '", key, "'");
+    return *v;
+}
+
+void
+Json::set(const std::string &key, Json v)
+{
+    if (type_ == Type::Null)
+        type_ = Type::Object;
+    if (type_ != Type::Object)
+        fatal("json: set on non-object");
+    for (Member &m : obj_) {
+        if (m.first == key) {
+            m.second = std::move(v);
+            return;
+        }
+    }
+    obj_.emplace_back(key, std::move(v));
+}
+
+bool
+Json::erase(const std::string &key)
+{
+    if (type_ != Type::Object)
+        return false;
+    for (auto it = obj_.begin(); it != obj_.end(); ++it) {
+        if (it->first == key) {
+            obj_.erase(it);
+            return true;
+        }
+    }
+    return false;
+}
+
+const Json::Object &
+Json::members() const
+{
+    if (type_ != Type::Object)
+        fatal("json: not an object");
+    return obj_;
+}
+
+std::uint64_t
+Json::u64Or(const std::string &key, std::uint64_t def) const
+{
+    const Json *v = find(key);
+    if (!v)
+        return def;
+    if (v->type_ == Type::Uint)
+        return v->uint_;
+    // Same integral-double tolerance as asU64 ("128.0", "2e3"), so a
+    // manifest author's notation cannot silently change a campaign's
+    // configuration.
+    if (v->type_ == Type::Double && v->dbl_ >= 0 &&
+        v->dbl_ < 18446744073709551616.0 &&
+        v->dbl_ == std::floor(v->dbl_))
+        return v->asU64();
+    return def;
+}
+
+double
+Json::numOr(const std::string &key, double def) const
+{
+    const Json *v = find(key);
+    return v && v->isNumber() ? v->asDouble() : def;
+}
+
+std::string
+Json::strOr(const std::string &key, const std::string &def) const
+{
+    const Json *v = find(key);
+    return v && v->isString() ? v->asString() : def;
+}
+
+bool
+Json::boolOr(const std::string &key, bool def) const
+{
+    const Json *v = find(key);
+    return v && v->isBool() ? v->asBool() : def;
+}
+
+bool
+Json::operator==(const Json &o) const
+{
+    if (type_ != o.type_) {
+        // Cross-type numeric equality only for identical values.
+        if (isNumber() && o.isNumber())
+            return asDouble() == o.asDouble();
+        return false;
+    }
+    switch (type_) {
+      case Type::Null:   return true;
+      case Type::Bool:   return bool_ == o.bool_;
+      case Type::Int:    return int_ == o.int_;
+      case Type::Uint:   return uint_ == o.uint_;
+      case Type::Double: return dbl_ == o.dbl_;
+      case Type::String: return str_ == o.str_;
+      case Type::Array:  return arr_ == o.arr_;
+      case Type::Object: return obj_ == o.obj_;
+    }
+    return false;
+}
+
+// ------------------------------------------------------------- writer
+
+namespace
+{
+
+void
+appendEscaped(std::string &out, const std::string &s)
+{
+    out += '"';
+    for (unsigned char c : s) {
+        switch (c) {
+          case '"':  out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\b': out += "\\b"; break;
+          case '\f': out += "\\f"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                out += buf;
+            } else {
+                out += static_cast<char>(c);
+            }
+        }
+    }
+    out += '"';
+}
+
+void
+appendDouble(std::string &out, double d)
+{
+    if (!std::isfinite(d)) {
+        // JSON has no NaN/Inf; null is the least-lossy encoding.
+        out += "null";
+        return;
+    }
+    char buf[32];
+    auto [end, ec] = std::to_chars(buf, buf + sizeof buf, d);
+    if (ec != std::errc{})
+        fatal("json: double conversion failed");
+    out.append(buf, end);
+}
+
+} // namespace
+
+void
+Json::dumpTo(std::string &out, int indent, int depth) const
+{
+    const bool pretty = indent >= 0;
+    const auto newline = [&](int d) {
+        if (pretty) {
+            out += '\n';
+            out.append(static_cast<std::size_t>(indent) *
+                           static_cast<std::size_t>(d),
+                       ' ');
+        }
+    };
+
+    switch (type_) {
+      case Type::Null:
+        out += "null";
+        break;
+      case Type::Bool:
+        out += bool_ ? "true" : "false";
+        break;
+      case Type::Int:
+        out += std::to_string(int_);
+        break;
+      case Type::Uint:
+        out += std::to_string(uint_);
+        break;
+      case Type::Double:
+        appendDouble(out, dbl_);
+        break;
+      case Type::String:
+        appendEscaped(out, str_);
+        break;
+      case Type::Array:
+        out += '[';
+        for (std::size_t i = 0; i < arr_.size(); ++i) {
+            if (i)
+                out += ',';
+            newline(depth + 1);
+            arr_[i].dumpTo(out, indent, depth + 1);
+        }
+        if (!arr_.empty())
+            newline(depth);
+        out += ']';
+        break;
+      case Type::Object:
+        out += '{';
+        for (std::size_t i = 0; i < obj_.size(); ++i) {
+            if (i)
+                out += ',';
+            newline(depth + 1);
+            appendEscaped(out, obj_[i].first);
+            out += pretty ? ": " : ":";
+            obj_[i].second.dumpTo(out, indent, depth + 1);
+        }
+        if (!obj_.empty())
+            newline(depth);
+        out += '}';
+        break;
+    }
+}
+
+std::string
+Json::dump(int indent) const
+{
+    std::string out;
+    dumpTo(out, indent, 0);
+    return out;
+}
+
+// ------------------------------------------------------------- parser
+
+namespace
+{
+
+class Parser
+{
+  public:
+    explicit Parser(const std::string &text) : text_(text) {}
+
+    Json
+    run()
+    {
+        Json v = value();
+        skipWs();
+        if (at_ != text_.size())
+            err("trailing content");
+        return v;
+    }
+
+  private:
+    [[noreturn]] void
+    err(const char *what)
+    {
+        fatal("json parse error at offset ", at_, ": ", what);
+    }
+
+    void
+    skipWs()
+    {
+        while (at_ < text_.size() &&
+               (text_[at_] == ' ' || text_[at_] == '\t' ||
+                text_[at_] == '\n' || text_[at_] == '\r'))
+            ++at_;
+    }
+
+    char
+    peek()
+    {
+        if (at_ >= text_.size())
+            err("unexpected end of input");
+        return text_[at_];
+    }
+
+    void
+    expect(char c)
+    {
+        if (at_ >= text_.size() || text_[at_] != c)
+            err("unexpected character");
+        ++at_;
+    }
+
+    bool
+    consumeWord(const char *w)
+    {
+        std::size_t n = std::char_traits<char>::length(w);
+        if (text_.compare(at_, n, w) == 0) {
+            at_ += n;
+            return true;
+        }
+        return false;
+    }
+
+    Json
+    value()
+    {
+        skipWs();
+        switch (peek()) {
+          case '{': return object();
+          case '[': return array();
+          case '"': return Json(string());
+          case 't':
+            if (!consumeWord("true"))
+                err("bad literal");
+            return Json(true);
+          case 'f':
+            if (!consumeWord("false"))
+                err("bad literal");
+            return Json(false);
+          case 'n':
+            if (!consumeWord("null"))
+                err("bad literal");
+            return Json();
+          default: return number();
+        }
+    }
+
+    Json
+    object()
+    {
+        expect('{');
+        Json obj = Json::object();
+        skipWs();
+        if (peek() == '}') {
+            ++at_;
+            return obj;
+        }
+        for (;;) {
+            skipWs();
+            std::string key = string();
+            skipWs();
+            expect(':');
+            obj.set(key, value());
+            skipWs();
+            if (peek() == ',') {
+                ++at_;
+                continue;
+            }
+            expect('}');
+            return obj;
+        }
+    }
+
+    Json
+    array()
+    {
+        expect('[');
+        Json arr = Json::array();
+        skipWs();
+        if (peek() == ']') {
+            ++at_;
+            return arr;
+        }
+        for (;;) {
+            arr.push(value());
+            skipWs();
+            if (peek() == ',') {
+                ++at_;
+                continue;
+            }
+            expect(']');
+            return arr;
+        }
+    }
+
+    void
+    appendUtf8(std::string &out, unsigned cp)
+    {
+        if (cp < 0x80) {
+            out += static_cast<char>(cp);
+        } else if (cp < 0x800) {
+            out += static_cast<char>(0xC0 | (cp >> 6));
+            out += static_cast<char>(0x80 | (cp & 0x3F));
+        } else if (cp < 0x10000) {
+            out += static_cast<char>(0xE0 | (cp >> 12));
+            out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (cp & 0x3F));
+        } else {
+            out += static_cast<char>(0xF0 | (cp >> 18));
+            out += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+            out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (cp & 0x3F));
+        }
+    }
+
+    unsigned
+    hex4()
+    {
+        unsigned v = 0;
+        for (int i = 0; i < 4; ++i) {
+            char c = peek();
+            ++at_;
+            v <<= 4;
+            if (c >= '0' && c <= '9')
+                v |= static_cast<unsigned>(c - '0');
+            else if (c >= 'a' && c <= 'f')
+                v |= static_cast<unsigned>(c - 'a' + 10);
+            else if (c >= 'A' && c <= 'F')
+                v |= static_cast<unsigned>(c - 'A' + 10);
+            else
+                err("bad \\u escape");
+        }
+        return v;
+    }
+
+    std::string
+    string()
+    {
+        expect('"');
+        std::string out;
+        for (;;) {
+            if (at_ >= text_.size())
+                err("unterminated string");
+            char c = text_[at_++];
+            if (c == '"')
+                return out;
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (at_ >= text_.size())
+                err("unterminated escape");
+            char e = text_[at_++];
+            switch (e) {
+              case '"':  out += '"'; break;
+              case '\\': out += '\\'; break;
+              case '/':  out += '/'; break;
+              case 'b':  out += '\b'; break;
+              case 'f':  out += '\f'; break;
+              case 'n':  out += '\n'; break;
+              case 'r':  out += '\r'; break;
+              case 't':  out += '\t'; break;
+              case 'u': {
+                unsigned cp = hex4();
+                if (cp >= 0xD800 && cp < 0xDC00) {
+                    // Surrogate pair.
+                    if (at_ + 1 >= text_.size() || text_[at_] != '\\' ||
+                        text_[at_ + 1] != 'u')
+                        err("lone surrogate");
+                    at_ += 2;
+                    unsigned lo = hex4();
+                    if (lo < 0xDC00 || lo > 0xDFFF)
+                        err("bad low surrogate");
+                    cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+                }
+                appendUtf8(out, cp);
+                break;
+              }
+              default: err("bad escape");
+            }
+        }
+    }
+
+    Json
+    number()
+    {
+        const std::size_t start = at_;
+        bool floating = false;
+        if (at_ < text_.size() && text_[at_] == '-')
+            ++at_;
+        while (at_ < text_.size()) {
+            char c = text_[at_];
+            if (c >= '0' && c <= '9') {
+                ++at_;
+            } else if (c == '.' || c == 'e' || c == 'E' || c == '+' ||
+                       c == '-') {
+                floating = true;
+                ++at_;
+            } else {
+                break;
+            }
+        }
+        if (at_ == start)
+            err("expected a value");
+        const std::string tok = text_.substr(start, at_ - start);
+        if (!floating) {
+            if (tok[0] == '-') {
+                std::int64_t v = 0;
+                auto [p, ec] = std::from_chars(
+                    tok.data(), tok.data() + tok.size(), v);
+                if (ec == std::errc{} && p == tok.data() + tok.size())
+                    return Json(v);
+            } else {
+                std::uint64_t v = 0;
+                auto [p, ec] = std::from_chars(
+                    tok.data(), tok.data() + tok.size(), v);
+                if (ec == std::errc{} && p == tok.data() + tok.size())
+                    return Json(v);
+            }
+            // Out-of-range integer: fall through to double.
+        }
+        char *end = nullptr;
+        double d = std::strtod(tok.c_str(), &end);
+        if (end != tok.c_str() + tok.size())
+            err("malformed number");
+        return Json(d);
+    }
+
+    const std::string &text_;
+    std::size_t at_ = 0;
+};
+
+} // namespace
+
+Json
+Json::parse(const std::string &text)
+{
+    return Parser(text).run();
+}
+
+} // namespace merlin::io

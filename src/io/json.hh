@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Dependency-free JSON value, writer and reader.
+ *
+ * Backs the persistent result store and the suite manifests, so the
+ * design goals are (in order): deterministic output, exact integer
+ * round-trips, zero third-party code.
+ *
+ *  - Objects preserve insertion order (a vector of members, not a
+ *    map), so a fixed construction order yields byte-stable dumps —
+ *    the property the suite's determinism guarantee rests on.
+ *  - Integers are kept as int64/uint64, never squeezed through a
+ *    double, so 64-bit counters (cycles, fault counts) round-trip
+ *    exactly.  Doubles are written with the shortest representation
+ *    that parses back to the same value (std::to_chars).
+ *  - parse() throws FatalError with an offset on malformed input.
+ */
+
+#ifndef MERLIN_IO_JSON_HH
+#define MERLIN_IO_JSON_HH
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace merlin::io
+{
+
+class Json
+{
+  public:
+    enum class Type : std::uint8_t
+    {
+        Null,
+        Bool,
+        Int,    ///< negative integers
+        Uint,   ///< non-negative integers
+        Double,
+        String,
+        Array,
+        Object,
+    };
+
+    using Array = std::vector<Json>;
+    using Member = std::pair<std::string, Json>;
+    using Object = std::vector<Member>; ///< insertion-ordered
+
+    // ---- constructors ----
+    Json() = default; ///< null
+    Json(std::nullptr_t) {}
+    Json(bool b) : type_(Type::Bool), bool_(b) {}
+    Json(double d) : type_(Type::Double), dbl_(d) {}
+    Json(std::int64_t i);
+    Json(std::uint64_t u) : type_(Type::Uint), uint_(u) {}
+    Json(int i) : Json(static_cast<std::int64_t>(i)) {}
+    Json(unsigned u) : Json(static_cast<std::uint64_t>(u)) {}
+    Json(const char *s) : type_(Type::String), str_(s) {}
+    Json(std::string s) : type_(Type::String), str_(std::move(s)) {}
+
+    static Json
+    array()
+    {
+        Json j;
+        j.type_ = Type::Array;
+        return j;
+    }
+    static Json
+    object()
+    {
+        Json j;
+        j.type_ = Type::Object;
+        return j;
+    }
+
+    // ---- inspection ----
+    Type type() const { return type_; }
+    bool isNull() const { return type_ == Type::Null; }
+    bool isBool() const { return type_ == Type::Bool; }
+    bool
+    isNumber() const
+    {
+        return type_ == Type::Int || type_ == Type::Uint ||
+               type_ == Type::Double;
+    }
+    bool isString() const { return type_ == Type::String; }
+    bool isArray() const { return type_ == Type::Array; }
+    bool isObject() const { return type_ == Type::Object; }
+
+    /** Value accessors; fatal() on type mismatch. */
+    bool asBool() const;
+    double asDouble() const; ///< any numeric type
+    std::int64_t asI64() const;
+    std::uint64_t asU64() const; ///< fatal on negative values
+    const std::string &asString() const;
+
+    // ---- array ----
+    /** Element/member count of an array/object (0 otherwise). */
+    std::size_t size() const;
+    const Json &operator[](std::size_t i) const;
+    void push(Json v);
+    const Array &items() const;
+
+    // ---- object ----
+    /** @return the member value or nullptr when absent/not an object. */
+    const Json *find(const std::string &key) const;
+    /** Member value; fatal() when absent. */
+    const Json &at(const std::string &key) const;
+    /** Append a member, replacing an existing key in place. */
+    void set(const std::string &key, Json v);
+    /** Remove a member; no-op when absent.  @return true if removed. */
+    bool erase(const std::string &key);
+    const Object &members() const;
+
+    // Typed lookups with defaults, for tolerant readers.
+    std::uint64_t u64Or(const std::string &key, std::uint64_t def) const;
+    double numOr(const std::string &key, double def) const;
+    std::string strOr(const std::string &key,
+                      const std::string &def) const;
+    bool boolOr(const std::string &key, bool def) const;
+
+    // ---- serialization ----
+    /** Compact when @p indent < 0, pretty-printed otherwise. */
+    std::string dump(int indent = -1) const;
+
+    /** Parse @p text; throws FatalError on malformed input. */
+    static Json parse(const std::string &text);
+
+    bool operator==(const Json &o) const;
+
+  private:
+    void dumpTo(std::string &out, int indent, int depth) const;
+
+    Type type_ = Type::Null;
+    bool bool_ = false;
+    std::int64_t int_ = 0;
+    std::uint64_t uint_ = 0;
+    double dbl_ = 0.0;
+    std::string str_;
+    Array arr_;
+    Object obj_;
+};
+
+} // namespace merlin::io
+
+#endif // MERLIN_IO_JSON_HH

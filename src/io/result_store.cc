@@ -1,0 +1,217 @@
+#include "io/result_store.hh"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "base/logging.hh"
+
+namespace merlin::io
+{
+
+using core::CampaignResult;
+using core::ClassCounts;
+using core::GroupModel;
+using core::HomogeneityReport;
+
+namespace
+{
+
+constexpr const char *kFormatTag = "merlin-results-v1";
+
+Json
+classCountsToJson(const ClassCounts &c)
+{
+    Json arr = Json::array();
+    for (std::uint64_t n : c.counts)
+        arr.push(n);
+    return arr;
+}
+
+ClassCounts
+classCountsFromJson(const Json &j)
+{
+    ClassCounts c;
+    if (j.size() != c.counts.size())
+        fatal("result store: class-count arity mismatch");
+    for (std::size_t i = 0; i < c.counts.size(); ++i)
+        c.counts[i] = j[i].asU64();
+    return c;
+}
+
+} // namespace
+
+Json
+resultToJson(const CampaignResult &r)
+{
+    Json j = Json::object();
+    j.set("golden_cycles", r.goldenCycles);
+    j.set("golden_instret", r.goldenInstret);
+    j.set("ace_avf", r.aceAvf);
+    j.set("initial_faults", r.initialFaults);
+    j.set("ace_masked", r.aceMasked);
+    j.set("survivors", r.survivors);
+    j.set("num_groups", r.numGroups);
+    j.set("injections", r.injections);
+    j.set("merlin_estimate", classCountsToJson(r.merlinEstimate));
+    j.set("merlin_survivor_estimate",
+          classCountsToJson(r.merlinSurvivorEstimate));
+    if (r.survivorTruth)
+        j.set("survivor_truth", classCountsToJson(*r.survivorTruth));
+    if (r.homogeneity) {
+        Json h = Json::object();
+        h.set("fine", r.homogeneity->fine);
+        h.set("coarse", r.homogeneity->coarse);
+        h.set("perfect_fraction", r.homogeneity->perfectFraction);
+        h.set("groups", r.homogeneity->groups);
+        h.set("faults", r.homogeneity->faults);
+        h.set("avg_group_size", r.homogeneity->avgGroupSize);
+        j.set("homogeneity", h);
+    }
+    if (!r.groupModels.empty()) {
+        Json models = Json::array();
+        for (const GroupModel &g : r.groupModels) {
+            Json m = Json::array();
+            m.push(g.size);
+            m.push(g.pNonMasked);
+            models.push(m);
+        }
+        j.set("group_models", models);
+    }
+    j.set("speedup_ace", r.speedupAce);
+    j.set("speedup_total", r.speedupTotal);
+    j.set("profile_seconds", r.profileSeconds);
+    j.set("injection_seconds", r.injectionSeconds);
+    j.set("seconds_per_injection", r.secondsPerInjection);
+    return j;
+}
+
+CampaignResult
+resultFromJson(const Json &j)
+{
+    CampaignResult r;
+    r.goldenCycles = j.at("golden_cycles").asU64();
+    r.goldenInstret = j.at("golden_instret").asU64();
+    r.aceAvf = j.at("ace_avf").asDouble();
+    r.initialFaults = j.at("initial_faults").asU64();
+    r.aceMasked = j.at("ace_masked").asU64();
+    r.survivors = j.at("survivors").asU64();
+    r.numGroups = j.at("num_groups").asU64();
+    r.injections = j.at("injections").asU64();
+    r.merlinEstimate = classCountsFromJson(j.at("merlin_estimate"));
+    r.merlinSurvivorEstimate =
+        classCountsFromJson(j.at("merlin_survivor_estimate"));
+    if (const Json *t = j.find("survivor_truth"))
+        r.survivorTruth = classCountsFromJson(*t);
+    if (const Json *h = j.find("homogeneity")) {
+        HomogeneityReport rep;
+        rep.fine = h->at("fine").asDouble();
+        rep.coarse = h->at("coarse").asDouble();
+        rep.perfectFraction = h->at("perfect_fraction").asDouble();
+        rep.groups = h->at("groups").asU64();
+        rep.faults = h->at("faults").asU64();
+        rep.avgGroupSize = h->at("avg_group_size").asDouble();
+        r.homogeneity = rep;
+    }
+    if (const Json *models = j.find("group_models")) {
+        r.groupModels.reserve(models->size());
+        for (const Json &m : models->items()) {
+            if (m.size() != 2)
+                fatal("result store: malformed group model");
+            r.groupModels.push_back(
+                GroupModel{m[0].asU64(), m[1].asDouble()});
+        }
+    }
+    r.speedupAce = j.at("speedup_ace").asDouble();
+    r.speedupTotal = j.at("speedup_total").asDouble();
+    r.profileSeconds = j.numOr("profile_seconds", 0.0);
+    r.injectionSeconds = j.numOr("injection_seconds", 0.0);
+    r.secondsPerInjection = j.numOr("seconds_per_injection", 0.0);
+    return r;
+}
+
+// ---------------------------------------------------------- ResultStore
+
+ResultStore::ResultStore(std::string path) : path_(std::move(path)) {}
+
+bool
+ResultStore::load()
+{
+    if (path_.empty())
+        return false;
+    std::ifstream in(path_);
+    if (!in)
+        return false;
+    std::stringstream ss;
+    ss << in.rdbuf();
+
+    Json doc = Json::parse(ss.str());
+    if (doc.strOr("format", "") != kFormatTag)
+        fatal("result store '", path_, "': unknown format");
+    entries_.clear();
+    for (const auto &[key, entry] : doc.at("campaigns").members()) {
+        // Validate eagerly: a malformed entry should fail the load,
+        // not the lookup that happens to hit it mid-suite.
+        resultFromJson(entry.at("result"));
+        entries_[key] = Entry{entry.at("spec"), entry.at("result")};
+    }
+    return true;
+}
+
+Json
+ResultStore::toJson() const
+{
+    Json campaigns = Json::object();
+    for (const auto &[key, entry] : entries_) {
+        Json e = Json::object();
+        e.set("spec", entry.spec);
+        e.set("result", entry.result);
+        campaigns.set(key, e);
+    }
+    Json doc = Json::object();
+    doc.set("format", kFormatTag);
+    doc.set("campaigns", campaigns);
+    return doc;
+}
+
+void
+ResultStore::save() const
+{
+    if (path_.empty())
+        return;
+    const std::string tmp = path_ + ".tmp";
+    {
+        std::ofstream out(tmp, std::ios::trunc);
+        if (!out)
+            fatal("result store: cannot write '", tmp, "'");
+        out << toJson().dump(2) << '\n';
+    }
+    if (std::rename(tmp.c_str(), path_.c_str()) != 0)
+        fatal("result store: cannot rename '", tmp, "' to '", path_,
+              "'");
+}
+
+bool
+ResultStore::lookup(const std::string &key, CampaignResult &out) const
+{
+    auto it = entries_.find(key);
+    if (it == entries_.end())
+        return false;
+    out = resultFromJson(it->second.result);
+    return true;
+}
+
+bool
+ResultStore::contains(const std::string &key) const
+{
+    return entries_.count(key) != 0;
+}
+
+void
+ResultStore::put(const std::string &key, Json spec,
+                 const CampaignResult &result)
+{
+    entries_[key] = Entry{std::move(spec), resultToJson(result)};
+}
+
+} // namespace merlin::io

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Persistent campaign-result store.
+ *
+ * Serializes every CampaignResult of a suite run to one JSON file,
+ * keyed by a content hash of the producing CampaignSpec.  Suite runs
+ * get three things from it:
+ *
+ *   --out results.json   the suite's deliverable (all class counts,
+ *                        group models, homogeneity and timing, one
+ *                        entry per campaign);
+ *   cache hits           a spec whose key is already in the store is
+ *                        not re-run — its stored result is returned;
+ *   --resume             the store is saved after every campaign
+ *                        completes, so an interrupted suite restarts
+ *                        from the finished prefix, not from scratch.
+ *
+ * Entries are kept sorted by key and doubles are written in their
+ * shortest round-trip form, so a store's serialization is a pure
+ * function of its contents — byte-identical for any job count or
+ * campaign completion order.
+ *
+ * Not internally synchronized: concurrent writers must serialize
+ * access (the suite scheduler holds one mutex across put()+save()).
+ */
+
+#ifndef MERLIN_IO_RESULT_STORE_HH
+#define MERLIN_IO_RESULT_STORE_HH
+
+#include <map>
+#include <string>
+
+#include "io/json.hh"
+#include "merlin/campaign.hh"
+
+namespace merlin::io
+{
+
+/** CampaignResult -> JSON (every field, including the optionals). */
+Json resultToJson(const core::CampaignResult &r);
+
+/** JSON -> CampaignResult; throws FatalError on malformed input. */
+core::CampaignResult resultFromJson(const Json &j);
+
+class ResultStore
+{
+  public:
+    /** @p path may be empty for a memory-only store (no load/save IO). */
+    explicit ResultStore(std::string path = "");
+
+    const std::string &path() const { return path_; }
+    std::size_t size() const { return entries_.size(); }
+
+    /**
+     * Read the store file.  @return false when the file is absent (a
+     * fresh store); throws FatalError when present but malformed —
+     * silently dropping a corrupt store would re-run every campaign.
+     */
+    bool load();
+
+    /**
+     * Atomically write the store (temp file + rename), entries sorted
+     * by key.  No-op for a memory-only store.
+     */
+    void save() const;
+
+    /** @return true and fill @p out when @p key is stored. */
+    bool lookup(const std::string &key, core::CampaignResult &out) const;
+
+    bool contains(const std::string &key) const;
+
+    /** Insert or replace the entry for @p key. */
+    void put(const std::string &key, Json spec,
+             const core::CampaignResult &result);
+
+    /** The full store as a JSON document (what save() writes). */
+    Json toJson() const;
+
+  private:
+    struct Entry
+    {
+        Json spec;
+        Json result;
+    };
+
+    std::string path_;
+    std::map<std::string, Entry> entries_; ///< sorted => stable dumps
+};
+
+} // namespace merlin::io
+
+#endif // MERLIN_IO_RESULT_STORE_HH

@@ -14,7 +14,6 @@ using faultsim::Fault;
 using faultsim::GoldenRun;
 using faultsim::InjectionRunner;
 using faultsim::Outcome;
-using faultsim::OutcomeMemo;
 
 namespace
 {
@@ -81,22 +80,22 @@ Campaign::runGroupingOnly(bool relyzer, unsigned path_depth)
     return r;
 }
 
-CampaignResult
-Campaign::runImpl(bool inject_all, bool relyzer, unsigned path_depth)
+PreparedCampaign
+Campaign::prepare(bool inject_all, bool relyzer, unsigned path_depth,
+                  bool grouping_only)
 {
-    CampaignResult res;
+    PreparedCampaign prep;
+    CampaignResult &res = prep.result;
     Rng rng(cfg_.seed);
-    InjectionRunner runner(prog_, cfg_.core, cfg_.checkpointInterval,
-                           cfg_.maxCheckpoints);
-    const unsigned jobs =
-        cfg_.jobs ? cfg_.jobs : base::ThreadPool::hardwareThreads();
+    runner_ = std::make_unique<InjectionRunner>(
+        prog_, cfg_.core, cfg_.checkpointInterval, cfg_.maxCheckpoints);
 
     // ---- Phase 1: preprocessing (profiled golden run + fault list) ----
     auto t0 = std::chrono::steady_clock::now();
     profile::AceProfiler profiler(cfg_.core.numPhysIntRegs,
                                   cfg_.core.sqEntries,
                                   cfg_.core.l1d.totalWords());
-    golden_ = runner.golden(&profiler);
+    golden_ = runner_->golden(&profiler);
     profiler.finalize();
     res.profileSeconds = secondsSince(t0);
     res.goldenCycles = golden_.stats.cycles;
@@ -111,10 +110,11 @@ Campaign::runImpl(bool inject_all, bool relyzer, unsigned path_depth)
     res.initialFaults = initial.size();
 
     // ---- Phase 2: fault list reduction ----
-    GroupingResult grouping =
+    prep.grouping =
         relyzer ? relyzerGroupFaults(initial, prof, profiler, path_depth,
                                      rng)
                 : groupFaults(initial, prof, cfg_.grouping, rng);
+    const GroupingResult &grouping = prep.grouping;
     res.aceMasked = grouping.aceMasked;
     res.survivors = grouping.survivors.size();
     res.numGroups = grouping.groups.size();
@@ -130,28 +130,39 @@ Campaign::runImpl(bool inject_all, bool relyzer, unsigned path_depth)
                   static_cast<double>(res.injections)
             : static_cast<double>(res.initialFaults);
 
-    // ---- Phase 3: injection campaign ----
-    // The memo caches per-fault outcomes across the two batches: with
-    // inject_all the representative runs are reused, and duplicate
-    // sampled faults cost one run only.  It is pre-reserved to the
-    // survivor count (the upper bound on distinct injections).
-    t0 = std::chrono::steady_clock::now();
-    std::uint64_t runs = 0;
+    prep.injectAll = inject_all;
+    prep.groupingOnly = grouping_only;
+    if (grouping_only)
+        return prep;
 
-    if (groupingOnly_)
-        return res;
-
-    OutcomeMemo memo(grouping.survivors.size());
-
-    // Representative injections, fanned out as one deterministic batch.
-    std::vector<Fault> rep_faults;
-    rep_faults.reserve(res.injections);
+    // Phase-3 work list: representatives first, then (for ground truth)
+    // every survivor.  Representatives reappear among the members; batch
+    // dedup runs each distinct fault once and aliases the repeats.
+    prep.faults.reserve(res.injections +
+                        (inject_all ? grouping.survivors.size() : 0));
     for (const FaultGroup &g : grouping.groups)
         for (std::uint32_t rep : g.representatives)
-            rep_faults.push_back(grouping.survivors[rep].fault);
-    const std::vector<Outcome> rep_outcomes =
-        runner.injectBatch(rep_faults, golden_, jobs, &memo);
-    runs += rep_faults.size();
+            prep.faults.push_back(grouping.survivors[rep].fault);
+    prep.numRepFaults = prep.faults.size();
+    if (inject_all) {
+        for (const FaultGroup &g : grouping.groups)
+            for (std::uint32_t m : g.members)
+                prep.faults.push_back(grouping.survivors[m].fault);
+    }
+    return prep;
+}
+
+CampaignResult
+Campaign::finish(PreparedCampaign prep,
+                 const std::vector<Outcome> &outcomes,
+                 double injection_seconds) const
+{
+    CampaignResult res = std::move(prep.result);
+    if (prep.groupingOnly)
+        return res;
+    MERLIN_ASSERT(outcomes.size() == prep.faults.size(),
+                  "outcome count does not match the prepared faults");
+    const GroupingResult &grouping = prep.grouping;
 
     std::size_t rep_at = 0;
     for (const FaultGroup &g : grouping.groups) {
@@ -159,7 +170,7 @@ Campaign::runImpl(bool inject_all, bool relyzer, unsigned path_depth)
         // configuration, so the vote degenerates to its outcome).
         std::array<std::uint32_t, faultsim::NUM_OUTCOMES> votes{};
         for (std::size_t r = 0; r < g.representatives.size(); ++r)
-            ++votes[static_cast<unsigned>(rep_outcomes[rep_at++])];
+            ++votes[static_cast<unsigned>(outcomes[rep_at++])];
         const Outcome rep_outcome = static_cast<Outcome>(
             std::max_element(votes.begin(), votes.end()) -
             votes.begin());
@@ -169,29 +180,20 @@ Campaign::runImpl(bool inject_all, bool relyzer, unsigned path_depth)
     // ACE-pruned faults are Masked by construction.
     res.merlinEstimate.add(Outcome::Masked, res.aceMasked);
 
-    if (inject_all) {
-        // Ground-truth sweep over every survivor; representative runs
-        // come back from the memo without re-simulation.
-        std::vector<Fault> member_faults;
-        member_faults.reserve(grouping.survivors.size());
-        for (const FaultGroup &g : grouping.groups)
-            for (std::uint32_t m : g.members)
-                member_faults.push_back(grouping.survivors[m].fault);
-        const std::vector<Outcome> member_outcomes =
-            runner.injectBatch(member_faults, golden_, jobs, &memo);
-        runs += member_faults.size();
-
+    if (prep.injectAll) {
+        // Ground truth from the member sweep (outcomes after the
+        // representative prefix).
         ClassCounts truth;
         std::vector<std::vector<Outcome>> per_group;
         per_group.reserve(grouping.groups.size());
         res.groupModels.reserve(grouping.groups.size());
-        std::size_t at = 0;
+        std::size_t at = prep.numRepFaults;
         for (const FaultGroup &g : grouping.groups) {
             std::vector<Outcome> outs;
             outs.reserve(g.members.size());
             std::uint64_t non_masked = 0;
             for (std::size_t m = 0; m < g.members.size(); ++m) {
-                const Outcome o = member_outcomes[at++];
+                const Outcome o = outcomes[at++];
                 truth.add(o);
                 outs.push_back(o);
                 if (o != Outcome::Masked)
@@ -206,10 +208,33 @@ Campaign::runImpl(bool inject_all, bool relyzer, unsigned path_depth)
         res.homogeneity = computeHomogeneity(per_group);
     }
 
-    res.injectionSeconds = secondsSince(t0);
+    res.injectionSeconds = injection_seconds;
     res.secondsPerInjection =
-        runs ? res.injectionSeconds / static_cast<double>(runs) : 0.0;
+        prep.faults.empty()
+            ? 0.0
+            : injection_seconds / static_cast<double>(prep.faults.size());
     return res;
+}
+
+CampaignResult
+Campaign::runImpl(bool inject_all, bool relyzer, unsigned path_depth)
+{
+    PreparedCampaign prep =
+        prepare(inject_all, relyzer, path_depth, groupingOnly_);
+    if (prep.groupingOnly)
+        return std::move(prep.result);
+
+    // ---- Phase 3: injection campaign ----
+    // One combined batch (representatives + ground-truth members);
+    // planBatch's duplicate collapse makes representative runs reused
+    // by the sweep and duplicate sampled faults cost one run only, so
+    // no cross-batch memo is needed.
+    const unsigned jobs =
+        cfg_.jobs ? cfg_.jobs : base::ThreadPool::hardwareThreads();
+    auto t0 = std::chrono::steady_clock::now();
+    const std::vector<Outcome> outcomes =
+        runner_->injectBatch(prep.faults, golden_, jobs);
+    return finish(std::move(prep), outcomes, secondsSince(t0));
 }
 
 } // namespace merlin::core

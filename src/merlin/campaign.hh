@@ -17,6 +17,7 @@
 #define MERLIN_MERLIN_CAMPAIGN_HH
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -99,6 +100,30 @@ struct CampaignResult
                      double raw_fit_per_bit = 0.01) const;
 };
 
+/**
+ * A campaign paused between its phases: profiling/grouping done
+ * (phases 1-2), injections (phase 3) not yet run.  Produced by
+ * Campaign::prepare(); hand `faults` to any injection driver — the
+ * in-process injectBatch, or the suite scheduler's shared pool — then
+ * fold the outcomes back with Campaign::finish().
+ */
+struct PreparedCampaign
+{
+    /** Phase 1-2 fields filled; phase 3 fields still empty. */
+    CampaignResult result;
+    GroupingResult grouping;
+    /**
+     * All faults phase 3 must inject: the group representatives first
+     * (numRepFaults of them), then — when ground truth was requested —
+     * every survivor.  Duplicates are expected; batch dedup collapses
+     * them.  Empty for grouping-only campaigns.
+     */
+    std::vector<faultsim::Fault> faults;
+    std::size_t numRepFaults = 0;
+    bool injectAll = false;
+    bool groupingOnly = false;
+};
+
 /** Drives one (program, structure, configuration) campaign. */
 class Campaign
 {
@@ -129,8 +154,38 @@ class Campaign
     CampaignResult runGroupingOnly(bool relyzer = false,
                                    unsigned path_depth = 5);
 
-    /** The golden reference (valid after run()/runRelyzer()). */
+    /**
+     * Phases 1-2 only: profiled golden run, fault sampling, ACE prune +
+     * grouping.  Afterwards goldenRun()/runner() are valid and the
+     * returned faults can be injected by an external driver; fold the
+     * outcomes back with finish().  run()/runRelyzer()/runGroupingOnly()
+     * are thin wrappers over this split.
+     */
+    PreparedCampaign prepare(bool inject_all = false, bool relyzer = false,
+                             unsigned path_depth = 5,
+                             bool grouping_only = false);
+
+    /**
+     * Phase 3 epilogue: @p outcomes must hold the outcome of
+     * prep.faults[i] at index i (any injection driver; outcomes are a
+     * pure function of the fault, so any schedule gives the same
+     * result).  @p injection_seconds is the caller-measured wall clock
+     * of the injection phase.
+     */
+    CampaignResult finish(PreparedCampaign prep,
+                          const std::vector<faultsim::Outcome> &outcomes,
+                          double injection_seconds = 0.0) const;
+
+    /** The golden reference (valid after prepare()/run()/...). */
     const faultsim::GoldenRun &goldenRun() const { return golden_; }
+
+    /** The injection harness (valid after prepare()/run()/...). */
+    const faultsim::InjectionRunner &
+    runner() const
+    {
+        MERLIN_ASSERT(runner_ != nullptr, "campaign not prepared");
+        return *runner_;
+    }
 
   private:
     CampaignResult runImpl(bool inject_all, bool relyzer,
@@ -139,6 +194,7 @@ class Campaign
     const isa::Program &prog_;
     CampaignConfig cfg_;
     faultsim::GoldenRun golden_;
+    std::unique_ptr<faultsim::InjectionRunner> runner_;
     bool groupingOnly_ = false;
 };
 

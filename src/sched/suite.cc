@@ -1,0 +1,424 @@
+#include "sched/suite.hh"
+
+#include <atomic>
+#include <chrono>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "base/logging.hh"
+#include "base/threadpool.hh"
+#include "io/result_store.hh"
+
+namespace merlin::sched
+{
+
+using io::Json;
+
+namespace
+{
+
+double
+secondsSince(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         t0)
+        .count();
+}
+
+const char *
+structureTag(uarch::Structure s)
+{
+    switch (s) {
+      case uarch::Structure::RegisterFile: return "rf";
+      case uarch::Structure::StoreQueue:   return "sq";
+      case uarch::Structure::L1DCache:     return "l1d";
+    }
+    panic("bad structure");
+}
+
+uarch::Structure
+structureFromTag(const std::string &s)
+{
+    if (s == "rf")
+        return uarch::Structure::RegisterFile;
+    if (s == "sq")
+        return uarch::Structure::StoreQueue;
+    if (s == "l1d")
+        return uarch::Structure::L1DCache;
+    fatal("suite: unknown structure '", s, "' (use rf | sq | l1d)");
+}
+
+const char *
+splitTag(core::GroupingOptions::Split s)
+{
+    switch (s) {
+      case core::GroupingOptions::Split::None:   return "none";
+      case core::GroupingOptions::Split::Byte:   return "byte";
+      case core::GroupingOptions::Split::Nibble: return "nibble";
+      case core::GroupingOptions::Split::Bit:    return "bit";
+    }
+    panic("bad split");
+}
+
+core::GroupingOptions::Split
+splitFromTag(const std::string &s)
+{
+    if (s == "none")
+        return core::GroupingOptions::Split::None;
+    if (s == "byte")
+        return core::GroupingOptions::Split::Byte;
+    if (s == "nibble")
+        return core::GroupingOptions::Split::Nibble;
+    if (s == "bit")
+        return core::GroupingOptions::Split::Bit;
+    fatal("suite: unknown split '", s,
+          "' (use none | byte | nibble | bit)");
+}
+
+const char *
+modeTag(CampaignSpec::Mode m)
+{
+    switch (m) {
+      case CampaignSpec::Mode::Estimate:     return "estimate";
+      case CampaignSpec::Mode::Truth:        return "truth";
+      case CampaignSpec::Mode::GroupingOnly: return "grouping_only";
+    }
+    panic("bad mode");
+}
+
+CampaignSpec::Mode
+modeFromTag(const std::string &s)
+{
+    if (s == "estimate")
+        return CampaignSpec::Mode::Estimate;
+    if (s == "truth")
+        return CampaignSpec::Mode::Truth;
+    if (s == "grouping_only")
+        return CampaignSpec::Mode::GroupingOnly;
+    fatal("suite: unknown mode '", s,
+          "' (use estimate | truth | grouping_only)");
+}
+
+/** Members a spec/manifest entry may carry; anything else is a typo. */
+const char *const kSpecMembers[] = {
+    "workload",      "structure",      "regs",
+    "sq_entries",    "l1d_kb",         "window",
+    "faults",        "confidence",     "error_margin",
+    "split",         "max_group_size", "reps_per_group",
+    "seed",          "checkpoint_interval", "max_checkpoints",
+    "mode",          "relyzer",        "path_depth",
+};
+
+void
+checkSpecMembers(const Json &j, const char *what)
+{
+    for (const auto &[name, value] : j.members()) {
+        (void)value;
+        bool known = false;
+        for (const char *m : kSpecMembers)
+            known = known || name == m;
+        if (!known)
+            fatal("suite ", what, ": unknown member '", name, "'");
+    }
+}
+
+} // namespace
+
+// --------------------------------------------------------- CampaignSpec
+
+core::CampaignConfig
+CampaignSpec::campaignConfig(const workloads::BuiltWorkload &w) const
+{
+    core::CampaignConfig cc;
+    cc.target = structure;
+    cc.core = uarch::CoreConfig{}
+                  .withRegisterFile(regs)
+                  .withStoreQueue(sqEntries)
+                  .withL1dKb(l1dKb);
+    cc.core.instructionWindowEnd = window ? *window : w.suggestedWindow;
+    cc.sampling = sampling;
+    cc.grouping = grouping;
+    cc.seed = seed;
+    // Intra-campaign parallelism comes from the shared suite pool, not
+    // from a per-campaign pool.
+    cc.jobs = 1;
+    cc.checkpointInterval = checkpointInterval;
+    cc.maxCheckpoints = maxCheckpoints;
+    return cc;
+}
+
+Json
+CampaignSpec::toJson() const
+{
+    // Fixed member order and a member for every field: this dump is
+    // the content-hash input, so it must be a pure function of the
+    // spec VALUE, never of how the spec was built.
+    Json j = Json::object();
+    j.set("workload", workload);
+    j.set("structure", structureTag(structure));
+    j.set("regs", regs);
+    j.set("sq_entries", sqEntries);
+    j.set("l1d_kb", l1dKb);
+    j.set("window", window ? Json(*window) : Json());
+    if (sampling.fixedCount) {
+        j.set("faults", *sampling.fixedCount);
+    } else {
+        j.set("confidence", sampling.confidence);
+        j.set("error_margin", sampling.errorMargin);
+    }
+    j.set("split", splitTag(grouping.split));
+    j.set("max_group_size", grouping.maxGroupSize);
+    j.set("reps_per_group", grouping.repsPerGroup);
+    j.set("seed", seed);
+    j.set("checkpoint_interval", checkpointInterval);
+    j.set("max_checkpoints", maxCheckpoints);
+    j.set("mode", modeTag(mode));
+    j.set("relyzer", relyzer);
+    j.set("path_depth", pathDepth);
+    return j;
+}
+
+CampaignSpec
+CampaignSpec::fromJson(const Json &j)
+{
+    checkSpecMembers(j, "spec");
+    CampaignSpec s;
+    s.workload = j.strOr("workload", "");
+    if (s.workload.empty())
+        fatal("suite spec: missing 'workload'");
+    s.structure = structureFromTag(j.strOr("structure", "rf"));
+    s.regs = static_cast<unsigned>(j.u64Or("regs", s.regs));
+    s.sqEntries =
+        static_cast<unsigned>(j.u64Or("sq_entries", s.sqEntries));
+    s.l1dKb = static_cast<unsigned>(j.u64Or("l1d_kb", s.l1dKb));
+    if (const Json *w = j.find("window")) {
+        if (!w->isNull())
+            s.window = w->asU64();
+    }
+    if (const Json *f = j.find("faults")) {
+        s.sampling = core::specFixed(f->asU64());
+    } else {
+        s.sampling.confidence =
+            j.numOr("confidence", s.sampling.confidence);
+        s.sampling.errorMargin =
+            j.numOr("error_margin", s.sampling.errorMargin);
+    }
+    s.grouping.split = splitFromTag(j.strOr("split", "byte"));
+    s.grouping.maxGroupSize = static_cast<unsigned>(
+        j.u64Or("max_group_size", s.grouping.maxGroupSize));
+    s.grouping.repsPerGroup = static_cast<unsigned>(
+        j.u64Or("reps_per_group", s.grouping.repsPerGroup));
+    s.seed = j.u64Or("seed", s.seed);
+    s.checkpointInterval =
+        j.u64Or("checkpoint_interval", s.checkpointInterval);
+    s.maxCheckpoints = static_cast<unsigned>(
+        j.u64Or("max_checkpoints", s.maxCheckpoints));
+    s.mode = modeFromTag(j.strOr("mode", "estimate"));
+    s.relyzer = j.boolOr("relyzer", false);
+    s.pathDepth =
+        static_cast<unsigned>(j.u64Or("path_depth", s.pathDepth));
+    return s;
+}
+
+std::string
+CampaignSpec::key() const
+{
+    // FNV-1a 64 over the canonical JSON dump.
+    const std::string canon = toJson().dump();
+    std::uint64_t h = 1469598103934665603ULL;
+    for (unsigned char c : canon) {
+        h ^= c;
+        h *= 1099511628211ULL;
+    }
+    char buf[17];
+    std::snprintf(buf, sizeof buf, "%016llx",
+                  static_cast<unsigned long long>(h));
+    return buf;
+}
+
+bool
+CampaignSpec::operator==(const CampaignSpec &o) const
+{
+    return toJson() == o.toJson();
+}
+
+std::vector<CampaignSpec>
+parseManifest(const Json &manifest)
+{
+    if (!manifest.isObject())
+        fatal("suite manifest: expected a top-level object");
+    Json defaults = Json::object();
+    if (const Json *d = manifest.find("defaults")) {
+        checkSpecMembers(*d, "manifest defaults");
+        defaults = *d;
+    }
+    const Json *camps = manifest.find("campaigns");
+    if (!camps || !camps->isArray() || camps->size() == 0)
+        fatal("suite manifest: 'campaigns' must be a non-empty array");
+
+    std::vector<CampaignSpec> specs;
+    specs.reserve(camps->size());
+    for (const Json &entry : camps->items()) {
+        if (!entry.isObject())
+            fatal("suite manifest: campaign entries must be objects");
+        Json merged = defaults;
+        for (const auto &[name, value] : entry.members())
+            merged.set(name, value);
+        // The two sampling styles compete ('faults' wins in fromJson):
+        // an entry that explicitly chooses one style must shed the
+        // other style inherited from the defaults, or a defaults-level
+        // 'faults' would silently override a per-campaign margin.
+        if (entry.find("faults")) {
+            merged.erase("confidence");
+            merged.erase("error_margin");
+        } else if (entry.find("confidence") ||
+                   entry.find("error_margin")) {
+            merged.erase("faults");
+        }
+        specs.push_back(CampaignSpec::fromJson(merged));
+    }
+    return specs;
+}
+
+// ------------------------------------------------------- SuiteScheduler
+
+SuiteScheduler::SuiteScheduler(std::vector<CampaignSpec> specs,
+                               SuiteOptions opts)
+    : specs_(std::move(specs)), opts_(std::move(opts))
+{
+}
+
+SuiteResult
+SuiteScheduler::run()
+{
+    const auto t0 = std::chrono::steady_clock::now();
+    SuiteResult out;
+    out.results.resize(specs_.size());
+    out.cached.assign(specs_.size(), false);
+
+    io::ResultStore store(opts_.storePath);
+    if (opts_.reuseCached)
+        store.load();
+
+    // Campaigns of one workload share the built program.  One slot per
+    // distinct name, created up front so lookups never mutate the map;
+    // call_once builds each workload exactly once while leaving
+    // DIFFERENT workloads free to build concurrently (a single cache
+    // mutex held across buildWorkload() would serialize the whole
+    // profile phase).
+    struct WorkloadSlot
+    {
+        std::once_flag once;
+        std::shared_ptr<const workloads::BuiltWorkload> wl;
+    };
+    std::map<std::string, WorkloadSlot> wlCache;
+    for (const CampaignSpec &spec : specs_)
+        wlCache[spec.workload];
+    const auto workloadFor = [&](const std::string &name) {
+        WorkloadSlot &slot = wlCache.at(name);
+        std::call_once(slot.once, [&] {
+            slot.wl = std::make_shared<const workloads::BuiltWorkload>(
+                workloads::buildWorkload(name));
+        });
+        return slot.wl;
+    };
+
+    // Resolve every cache hit BEFORE any campaign starts: workers
+    // mutate the store (put + save under storeMu below), so lookups
+    // must not race with them.
+    std::vector<std::size_t> pending;
+    pending.reserve(specs_.size());
+    for (std::size_t i = 0; i < specs_.size(); ++i) {
+        if (opts_.reuseCached &&
+            store.lookup(specs_[i].key(), out.results[i])) {
+            out.cached[i] = true;
+        } else {
+            pending.push_back(i);
+        }
+    }
+
+    base::ThreadPool pool(opts_.jobs ? opts_.jobs
+                                     : base::ThreadPool::hardwareThreads());
+    std::mutex storeMu;
+    std::mutex errMu;
+    std::exception_ptr firstError;
+    std::atomic<std::uint64_t> ran{0};
+
+    const auto runCampaign = [&](std::size_t i) {
+        const CampaignSpec &spec = specs_[i];
+        const auto wl = workloadFor(spec.workload);
+        core::Campaign camp(wl->program, spec.campaignConfig(*wl));
+        core::PreparedCampaign prep =
+            camp.prepare(spec.mode == CampaignSpec::Mode::Truth,
+                         spec.relyzer, spec.pathDepth,
+                         spec.mode == CampaignSpec::Mode::GroupingOnly);
+
+        std::vector<faultsim::Outcome> outcomes;
+        double inject_seconds = 0.0;
+        if (!prep.faults.empty()) {
+            // Fan this campaign's injections into the SHARED pool: the
+            // queue interleaves them with every other in-flight
+            // campaign, so any worker whose own campaign chain has run
+            // dry picks them up.  (The batch dedups internally; no
+            // cross-batch memo exists to share any more.)
+            base::TaskGroup group(pool);
+            const auto t1 = std::chrono::steady_clock::now();
+            outcomes = camp.runner().injectBatch(prep.faults,
+                                                 camp.goldenRun(), group);
+            inject_seconds = secondsSince(t1);
+        }
+        core::CampaignResult res =
+            camp.finish(std::move(prep), outcomes, inject_seconds);
+        if (!opts_.recordTiming) {
+            res.profileSeconds = 0.0;
+            res.injectionSeconds = 0.0;
+            res.secondsPerInjection = 0.0;
+        }
+        {
+            // Persist after EVERY campaign: an interrupted suite
+            // resumes from the completed prefix.
+            std::lock_guard<std::mutex> lock(storeMu);
+            store.put(spec.key(), spec.toJson(), res);
+            store.save();
+        }
+        out.results[i] = std::move(res);
+        ran.fetch_add(1, std::memory_order_relaxed);
+    };
+
+    // One looping driver per worker, pulling campaigns off a shared
+    // cursor: at most `jobs` campaigns are in flight (golden runs and
+    // checkpoints resident) at a time, however long the suite is.
+    // Drivers that exhaust the cursor finish their pool task, freeing
+    // that worker to execute queued injection tasks of the campaigns
+    // still running — the cross-campaign work stealing.  A campaign
+    // failure is recorded and the chain moves on, so one bad spec
+    // cannot starve the rest of the suite.
+    std::atomic<std::size_t> cursor{0};
+    const std::size_t drivers =
+        std::min<std::size_t>(pool.size(), pending.size());
+    for (std::size_t d = 0; d < drivers; ++d) {
+        pool.submit([&] {
+            for (std::size_t n;
+                 (n = cursor.fetch_add(1, std::memory_order_relaxed)) <
+                 pending.size();) {
+                try {
+                    runCampaign(pending[n]);
+                } catch (...) {
+                    std::lock_guard<std::mutex> lock(errMu);
+                    if (!firstError)
+                        firstError = std::current_exception();
+                }
+            }
+        });
+    }
+    pool.wait();
+    if (firstError)
+        std::rethrow_exception(firstError);
+
+    out.campaignsRun = ran.load();
+    out.wallSeconds = secondsSince(t0);
+    return out;
+}
+
+} // namespace merlin::sched

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Campaign-suite scheduling: run many (workload x structure x config)
+ * campaigns — a whole paper figure's worth — on one shared thread pool.
+ *
+ * Execution model.  One looping driver task per pool worker pulls
+ * campaigns off a shared cursor (so at most `jobs` campaigns are
+ * resident at a time), runs each campaign's golden/profile and
+ * grouping phases (profiles of different campaigns overlap), then
+ * fans its injections into the SAME pool at per-injection granularity
+ * through a base::TaskGroup.  The pool's queue therefore interleaves
+ * injections of every in-flight campaign, and a driver whose chain
+ * runs dry frees its worker to execute the queued injections of the
+ * campaigns still running — cross-campaign work stealing without any
+ * dedicated balancer.  Outcomes are a pure function of their fault,
+ * so the suite's results are bit-identical for any --jobs value and
+ * any schedule.
+ *
+ * Persistence.  With a store path set, every finished campaign is
+ * written (atomically) to a ResultStore keyed by the spec's content
+ * hash; reuseCached turns matching stored entries into cache hits that
+ * skip the campaign entirely, which is also how an interrupted suite
+ * resumes.
+ */
+
+#ifndef MERLIN_SCHED_SUITE_HH
+#define MERLIN_SCHED_SUITE_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "io/json.hh"
+#include "merlin/campaign.hh"
+#include "workloads/workloads.hh"
+
+namespace merlin::sched
+{
+
+/**
+ * Everything that defines one campaign of a suite — a value type, so
+ * it can be hashed, serialized into manifests/results, and compared.
+ * The job count is deliberately NOT part of a spec: it never changes
+ * the result, so it must not change the cache key.
+ */
+struct CampaignSpec
+{
+    enum class Mode : std::uint8_t
+    {
+        Estimate,     ///< MeRLiN estimate only (representatives)
+        Truth,        ///< + ground-truth sweep of every survivor
+        GroupingOnly, ///< fault-list reduction only, no injections
+    };
+
+    std::string workload; ///< bundled workload name (workloads::)
+    uarch::Structure structure = uarch::Structure::RegisterFile;
+
+    // Core geometry of the target structures (the rest of the core
+    // keeps CoreConfig defaults, as everywhere in the evaluation).
+    unsigned regs = 256;
+    unsigned sqEntries = 64;
+    unsigned l1dKb = 64;
+    /** Instruction window; nullopt = the workload's suggested window. */
+    std::optional<std::uint64_t> window;
+
+    core::SamplingSpec sampling;
+    core::GroupingOptions grouping;
+    std::uint64_t seed = 1;
+    Cycle checkpointInterval =
+        faultsim::InjectionRunner::kDefaultCheckpointInterval;
+    unsigned maxCheckpoints =
+        faultsim::InjectionRunner::kDefaultMaxCheckpoints;
+
+    Mode mode = Mode::Estimate;
+    bool relyzer = false;   ///< Relyzer grouping baseline (Fig. 17)
+    unsigned pathDepth = 5; ///< Relyzer control-path depth
+
+    /** Campaign configuration for @p w (resolves the window). */
+    core::CampaignConfig
+    campaignConfig(const workloads::BuiltWorkload &w) const;
+
+    /** Canonical JSON (fixed member order — the hash input). */
+    io::Json toJson() const;
+
+    /** Inverse of toJson(); unknown members are fatal(). */
+    static CampaignSpec fromJson(const io::Json &j);
+
+    /**
+     * Content hash of the spec (16 hex digits, FNV-1a over the
+     * canonical JSON): the ResultStore key.
+     */
+    std::string key() const;
+
+    bool operator==(const CampaignSpec &o) const;
+};
+
+/**
+ * Parse a suite manifest: `{"defaults": {...}, "campaigns": [{...}]}`
+ * where every campaign entry overrides the (optional) defaults object
+ * member-by-member.  Member names match CampaignSpec::toJson().
+ */
+std::vector<CampaignSpec> parseManifest(const io::Json &manifest);
+
+struct SuiteOptions
+{
+    /** Shared-pool worker threads (0 = hardware concurrency). */
+    unsigned jobs = 1;
+    /** Result-store path; empty = keep results in memory only. */
+    std::string storePath;
+    /**
+     * Reuse stored results for matching spec keys instead of
+     * re-running (--resume / cache hits).  Off = re-run everything and
+     * overwrite.
+     */
+    bool reuseCached = false;
+    /**
+     * Record wall-clock fields in the results.  Off zeroes them so
+     * the serialized store is byte-identical across runs — the suite
+     * determinism guarantee in testable form.
+     */
+    bool recordTiming = true;
+};
+
+struct SuiteResult
+{
+    /** One result per spec, in spec order. */
+    std::vector<core::CampaignResult> results;
+    /** Which specs were served from the store without running. */
+    std::vector<bool> cached;
+    std::uint64_t campaignsRun = 0;
+    double wallSeconds = 0.0;
+};
+
+/** Runs a list of CampaignSpecs as one shared-pool suite. */
+class SuiteScheduler
+{
+  public:
+    explicit SuiteScheduler(std::vector<CampaignSpec> specs,
+                            SuiteOptions opts = {});
+
+    /**
+     * Execute the suite.  Campaign failures (e.g. an unknown workload
+     * name) propagate as exceptions after the remaining campaigns
+     * finish.
+     */
+    SuiteResult run();
+
+    const std::vector<CampaignSpec> &specs() const { return specs_; }
+
+  private:
+    std::vector<CampaignSpec> specs_;
+    SuiteOptions opts_;
+};
+
+} // namespace merlin::sched
+
+#endif // MERLIN_SCHED_SUITE_HH

@@ -10,16 +10,28 @@
  *   merlin_cli campaign --workload qsort --structure rf
  *       [--regs N] [--sq N] [--l1d KB] [--faults N | --margin E --conf C]
  *       [--seed N] [--window N] [--truth] [--relyzer]
- *       [--jobs N] [--checkpoint-interval CYCLES]
+ *       [--jobs N] [--checkpoint-interval CYCLES] [--max-checkpoints N]
  *       Run a MeRLiN campaign and print the reliability report.
  *       --jobs N spreads the injections over N worker threads (0 = all
  *       hardware threads); results are bit-identical for any N.
  *       --checkpoint-interval sets the golden-run snapshot cadence the
- *       injections resume from (0 disables checkpointing).
+ *       injections resume from (0 disables checkpointing);
+ *       --max-checkpoints bounds how many are retained.
+ *   merlin_cli suite manifest.json
+ *       [--jobs N] [--out results.json] [--resume] [--no-timing]
+ *       Run a whole suite of campaigns (one JSON manifest entry each)
+ *       on one shared worker pool: profiles overlap and workers steal
+ *       injections across campaigns, with bit-identical results for
+ *       any --jobs.  --out persists every CampaignResult keyed by a
+ *       content hash of its spec; with --resume, specs already in the
+ *       file are served from it (cache hits / crash recovery).
+ *       --no-timing zeroes wall-clock fields so the results file is
+ *       byte-identical across runs.
  *   merlin_cli asm --file prog.s [--campaign rf|sq|l1d]
  *       Assemble a user program, run it, optionally run a campaign.
  */
 
+#include <cerrno>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -28,9 +40,11 @@
 #include <string>
 
 #include "base/logging.hh"
+#include "io/result_store.hh"
 #include "isa/interp.hh"
 #include "masm/asm.hh"
 #include "merlin/campaign.hh"
+#include "sched/suite.hh"
 #include "uarch/core.hh"
 #include "workloads/workloads.hh"
 
@@ -69,13 +83,35 @@ struct Args
         auto it = kv.find(k);
         return it == kv.end() ? def : it->second;
     }
+    /** Unsigned value of --k; fatal() on garbage instead of reading 0. */
     std::uint64_t
     getU(const std::string &k, std::uint64_t def) const
     {
         auto it = kv.find(k);
-        return it == kv.end() ? def
-                              : std::strtoull(it->second.c_str(),
-                                              nullptr, 10);
+        if (it == kv.end())
+            return def;
+        char *end = nullptr;
+        errno = 0;
+        const std::uint64_t v =
+            std::strtoull(it->second.c_str(), &end, 10);
+        if (errno != 0 || end == it->second.c_str() || *end != '\0')
+            fatal("--", k, ": '", it->second,
+                  "' is not an unsigned integer");
+        return v;
+    }
+    /** Floating-point value of --k; fatal() on garbage. */
+    double
+    getD(const std::string &k, double def) const
+    {
+        auto it = kv.find(k);
+        if (it == kv.end())
+            return def;
+        char *end = nullptr;
+        errno = 0;
+        const double v = std::strtod(it->second.c_str(), &end);
+        if (errno != 0 || end == it->second.c_str() || *end != '\0')
+            fatal("--", k, ": '", it->second, "' is not a number");
+        return v;
     }
 };
 
@@ -189,10 +225,8 @@ campaignConfig(const Args &args, std::uint64_t default_window)
     if (args.has("faults")) {
         cc.sampling = core::specFixed(args.getU("faults", 2000));
     } else if (args.has("margin")) {
-        cc.sampling.errorMargin =
-            std::strtod(args.get("margin").c_str(), nullptr);
-        cc.sampling.confidence =
-            std::strtod(args.get("conf", "0.998").c_str(), nullptr);
+        cc.sampling.errorMargin = args.getD("margin", 0.0063);
+        cc.sampling.confidence = args.getD("conf", 0.998);
     } else {
         cc.sampling = core::specFixed(2000);
     }
@@ -201,6 +235,9 @@ campaignConfig(const Args &args, std::uint64_t default_window)
     cc.checkpointInterval = args.getU(
         "checkpoint-interval",
         faultsim::InjectionRunner::kDefaultCheckpointInterval);
+    cc.maxCheckpoints = static_cast<unsigned>(args.getU(
+        "max-checkpoints",
+        faultsim::InjectionRunner::kDefaultMaxCheckpoints));
     return cc;
 }
 
@@ -225,6 +262,61 @@ cmdCampaign(const Args &args)
             return std::uint64_t(cc.core.l1d.totalWords()) * 64;
         }
     }());
+    return 0;
+}
+
+int
+cmdSuite(const std::string &manifest_path, const Args &args)
+{
+    std::ifstream in(manifest_path);
+    if (!in)
+        fatal("cannot open manifest '", manifest_path, "'");
+    std::stringstream ss;
+    ss << in.rdbuf();
+    std::vector<sched::CampaignSpec> specs =
+        sched::parseManifest(io::Json::parse(ss.str()));
+
+    sched::SuiteOptions opts;
+    opts.jobs = static_cast<unsigned>(args.getU("jobs", 1));
+    opts.storePath = args.get("out");
+    opts.reuseCached = args.has("resume");
+    opts.recordTiming = !args.has("no-timing");
+    if (opts.reuseCached && opts.storePath.empty())
+        fatal("--resume requires --out <results.json>");
+
+    sched::SuiteScheduler scheduler(specs, opts);
+    sched::SuiteResult suite = scheduler.run();
+
+    std::printf("%-14s %-4s %-13s %10s %10s %10s %8s %s\n", "workload",
+                "tgt", "mode", "initial", "survivors", "injected",
+                "AVF%", "");
+    std::uint64_t cached = 0;
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        const auto &r = suite.results[i];
+        cached += suite.cached[i] ? 1 : 0;
+        std::printf(
+            "%-14s %-4s %-13s %10llu %10llu %10llu %7.3f%% %s\n",
+            specs[i].workload.c_str(),
+            uarch::structureName(specs[i].structure),
+            specs[i].mode == sched::CampaignSpec::Mode::GroupingOnly
+                ? "grouping-only"
+                : (specs[i].mode == sched::CampaignSpec::Mode::Truth
+                       ? "truth"
+                       : "estimate"),
+            static_cast<unsigned long long>(r.initialFaults),
+            static_cast<unsigned long long>(r.survivors),
+            static_cast<unsigned long long>(r.injections),
+            100 * r.merlinEstimate.avf(),
+            suite.cached[i] ? "[cached]" : "");
+    }
+    std::printf("\n%llu campaigns (%llu run, %llu cached) in %.2fs "
+                "with --jobs %u\n",
+                static_cast<unsigned long long>(specs.size()),
+                static_cast<unsigned long long>(suite.campaignsRun),
+                static_cast<unsigned long long>(cached),
+                suite.wallSeconds, opts.jobs);
+    if (!opts.storePath.empty())
+        std::printf("results written to %s\n", opts.storePath.c_str());
     return 0;
 }
 
@@ -272,12 +364,22 @@ main(int argc, char **argv)
 {
     if (argc < 2) {
         std::fprintf(stderr,
-                     "usage: merlin_cli <list|run|campaign|asm> "
+                     "usage: merlin_cli <list|run|campaign|suite|asm> "
                      "[--flags]\n");
         return 2;
     }
     const std::string cmd = argv[1];
     try {
+        if (cmd == "suite") {
+            if (argc < 3 || std::strncmp(argv[2], "--", 2) == 0) {
+                std::fprintf(stderr,
+                             "usage: merlin_cli suite manifest.json "
+                             "[--jobs N] [--out results.json] "
+                             "[--resume] [--no-timing]\n");
+                return 2;
+            }
+            return cmdSuite(argv[2], Args::parse(argc, argv, 3));
+        }
         Args args = Args::parse(argc, argv, 2);
         if (cmd == "list")
             return cmdList();

@@ -1,0 +1,340 @@
+/**
+ * @file
+ * io tests: JSON value semantics, writer/parser round trips, exact
+ * integer preservation, CampaignResult serialization (with and
+ * without the optional ground-truth fields), and ResultStore
+ * load/save/lookup with deterministic on-disk bytes.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+#include "base/logging.hh"
+#include "io/json.hh"
+#include "io/result_store.hh"
+
+namespace merlin::io
+{
+namespace
+{
+
+using core::CampaignResult;
+using core::HomogeneityReport;
+using faultsim::Outcome;
+
+// ------------------------------------------------------------- Json
+
+TEST(Json, ScalarsRoundTrip)
+{
+    EXPECT_EQ(Json::parse("null").dump(), "null");
+    EXPECT_EQ(Json::parse("true").dump(), "true");
+    EXPECT_EQ(Json::parse("false").dump(), "false");
+    EXPECT_EQ(Json::parse("42").dump(), "42");
+    EXPECT_EQ(Json::parse("-7").dump(), "-7");
+    EXPECT_EQ(Json::parse("\"hi\"").dump(), "\"hi\"");
+}
+
+TEST(Json, SixtyFourBitIntegersAreExact)
+{
+    // 2^64 - 1 and INT64_MIN survive a round trip unchanged — they
+    // would not through a double.
+    const std::string big = "18446744073709551615";
+    EXPECT_EQ(Json::parse(big).asU64(), 18446744073709551615ULL);
+    EXPECT_EQ(Json::parse(big).dump(), big);
+    const std::string neg = "-9223372036854775808";
+    EXPECT_EQ(Json::parse(neg).asI64(), INT64_MIN);
+    EXPECT_EQ(Json::parse(neg).dump(), neg);
+}
+
+TEST(Json, DoublesUseShortestRoundTrip)
+{
+    Json j(0.1);
+    EXPECT_EQ(j.dump(), "0.1");
+    EXPECT_DOUBLE_EQ(Json::parse(j.dump()).asDouble(), 0.1);
+    // A value with no short decimal form still round-trips exactly.
+    const double ugly = 2.0 / 3.0;
+    EXPECT_DOUBLE_EQ(Json::parse(Json(ugly).dump()).asDouble(), ugly);
+}
+
+TEST(Json, NonFiniteDoublesSerializeAsNull)
+{
+    EXPECT_EQ(Json(std::numeric_limits<double>::infinity()).dump(),
+              "null");
+}
+
+TEST(Json, StringEscapes)
+{
+    Json j(std::string("a\"b\\c\nd\te\x01"));
+    const std::string dumped = j.dump();
+    EXPECT_EQ(dumped, "\"a\\\"b\\\\c\\nd\\te\\u0001\"");
+    EXPECT_EQ(Json::parse(dumped).asString(), j.asString());
+}
+
+TEST(Json, UnicodeEscapesDecodeToUtf8)
+{
+    EXPECT_EQ(Json::parse("\"\\u00e9\"").asString(), "\xc3\xa9");
+    // Surrogate pair: U+1F600.
+    EXPECT_EQ(Json::parse("\"\\ud83d\\ude00\"").asString(),
+              "\xf0\x9f\x98\x80");
+}
+
+TEST(Json, ObjectsPreserveInsertionOrder)
+{
+    Json j = Json::object();
+    j.set("zebra", 1);
+    j.set("alpha", 2);
+    EXPECT_EQ(j.dump(), "{\"zebra\":1,\"alpha\":2}");
+    // set() on an existing key replaces in place, keeping the order.
+    j.set("zebra", 3);
+    EXPECT_EQ(j.dump(), "{\"zebra\":3,\"alpha\":2}");
+}
+
+TEST(Json, NestedStructuresRoundTrip)
+{
+    const std::string text =
+        "{\"a\":[1,2.5,\"x\",null,true],\"b\":{\"c\":[]},\"d\":{}}";
+    Json j = Json::parse(text);
+    EXPECT_EQ(j.dump(), text);
+    EXPECT_EQ(j.at("a").size(), 5u);
+    EXPECT_EQ(j.at("a")[0].asU64(), 1u);
+    EXPECT_TRUE(j.at("b").at("c").isArray());
+    // dump(parse(dump)) is a fixed point — the determinism property.
+    EXPECT_EQ(Json::parse(j.dump(2)).dump(2), j.dump(2));
+}
+
+TEST(Json, TolerantLookupsUseDefaults)
+{
+    Json j = Json::parse("{\"n\":3,\"s\":\"x\"}");
+    EXPECT_EQ(j.u64Or("n", 9), 3u);
+    EXPECT_EQ(j.u64Or("missing", 9), 9u);
+    EXPECT_EQ(j.strOr("s", "d"), "x");
+    EXPECT_EQ(j.strOr("n", "d"), "d"); // wrong type -> default
+    EXPECT_FALSE(j.find("missing"));
+}
+
+TEST(Json, MalformedInputThrows)
+{
+    EXPECT_THROW(Json::parse(""), FatalError);
+    EXPECT_THROW(Json::parse("{"), FatalError);
+    EXPECT_THROW(Json::parse("[1,]"), FatalError);
+    EXPECT_THROW(Json::parse("tru"), FatalError);
+    EXPECT_THROW(Json::parse("\"unterminated"), FatalError);
+    EXPECT_THROW(Json::parse("1 2"), FatalError);
+    EXPECT_THROW(Json::parse("{\"a\":1,}"), FatalError);
+}
+
+TEST(Json, TypeMismatchesThrow)
+{
+    Json j = Json::parse("{\"a\":1}");
+    EXPECT_THROW(j.at("b"), FatalError);
+    EXPECT_THROW(j.at("a").asString(), FatalError);
+    EXPECT_THROW(Json::parse("-1").asU64(), FatalError);
+}
+
+// ------------------------------------------- CampaignResult <-> JSON
+
+CampaignResult
+sampleResult(bool with_truth)
+{
+    CampaignResult r;
+    r.goldenCycles = 123456;
+    r.goldenInstret = 65432;
+    r.aceAvf = 0.0625;
+    r.initialFaults = 60000;
+    r.aceMasked = 55000;
+    r.survivors = 5000;
+    r.numGroups = 300;
+    r.injections = 310;
+    r.merlinEstimate.add(Outcome::Masked, 58000);
+    r.merlinEstimate.add(Outcome::SDC, 1200);
+    r.merlinEstimate.add(Outcome::DUE, 500);
+    r.merlinEstimate.add(Outcome::Crash, 300);
+    r.merlinSurvivorEstimate.add(Outcome::Masked, 3000);
+    r.merlinSurvivorEstimate.add(Outcome::SDC, 2000);
+    r.speedupAce = 12.0;
+    r.speedupTotal = 193.5;
+    r.profileSeconds = 1.25;
+    r.injectionSeconds = 9.75;
+    r.secondsPerInjection = 0.03145;
+    if (with_truth) {
+        core::ClassCounts truth;
+        truth.add(Outcome::Masked, 2900);
+        truth.add(Outcome::SDC, 2050);
+        truth.add(Outcome::Timeout, 30);
+        truth.add(Outcome::Unknown, 20);
+        r.survivorTruth = truth;
+        HomogeneityReport h;
+        h.fine = 0.93;
+        h.coarse = 0.97;
+        h.perfectFraction = 0.82;
+        h.groups = 300;
+        h.faults = 5000;
+        h.avgGroupSize = 16.67;
+        r.homogeneity = h;
+        r.groupModels = {{100, 0.25}, {50, 0.0}, {1, 1.0}};
+    }
+    return r;
+}
+
+void
+expectSameResult(const CampaignResult &a, const CampaignResult &b)
+{
+    EXPECT_EQ(a.goldenCycles, b.goldenCycles);
+    EXPECT_EQ(a.goldenInstret, b.goldenInstret);
+    EXPECT_DOUBLE_EQ(a.aceAvf, b.aceAvf);
+    EXPECT_EQ(a.initialFaults, b.initialFaults);
+    EXPECT_EQ(a.aceMasked, b.aceMasked);
+    EXPECT_EQ(a.survivors, b.survivors);
+    EXPECT_EQ(a.numGroups, b.numGroups);
+    EXPECT_EQ(a.injections, b.injections);
+    EXPECT_EQ(a.merlinEstimate.counts, b.merlinEstimate.counts);
+    EXPECT_EQ(a.merlinSurvivorEstimate.counts,
+              b.merlinSurvivorEstimate.counts);
+    ASSERT_EQ(a.survivorTruth.has_value(), b.survivorTruth.has_value());
+    if (a.survivorTruth)
+        EXPECT_EQ(a.survivorTruth->counts, b.survivorTruth->counts);
+    ASSERT_EQ(a.homogeneity.has_value(), b.homogeneity.has_value());
+    if (a.homogeneity) {
+        EXPECT_DOUBLE_EQ(a.homogeneity->fine, b.homogeneity->fine);
+        EXPECT_DOUBLE_EQ(a.homogeneity->coarse, b.homogeneity->coarse);
+        EXPECT_DOUBLE_EQ(a.homogeneity->perfectFraction,
+                         b.homogeneity->perfectFraction);
+        EXPECT_EQ(a.homogeneity->groups, b.homogeneity->groups);
+        EXPECT_EQ(a.homogeneity->faults, b.homogeneity->faults);
+        EXPECT_DOUBLE_EQ(a.homogeneity->avgGroupSize,
+                         b.homogeneity->avgGroupSize);
+    }
+    ASSERT_EQ(a.groupModels.size(), b.groupModels.size());
+    for (std::size_t i = 0; i < a.groupModels.size(); ++i) {
+        EXPECT_EQ(a.groupModels[i].size, b.groupModels[i].size);
+        EXPECT_DOUBLE_EQ(a.groupModels[i].pNonMasked,
+                         b.groupModels[i].pNonMasked);
+    }
+    EXPECT_DOUBLE_EQ(a.speedupAce, b.speedupAce);
+    EXPECT_DOUBLE_EQ(a.speedupTotal, b.speedupTotal);
+    EXPECT_DOUBLE_EQ(a.profileSeconds, b.profileSeconds);
+    EXPECT_DOUBLE_EQ(a.injectionSeconds, b.injectionSeconds);
+    EXPECT_DOUBLE_EQ(a.secondsPerInjection, b.secondsPerInjection);
+}
+
+TEST(ResultJson, RoundTripWithoutOptionals)
+{
+    const CampaignResult r = sampleResult(false);
+    const Json j = resultToJson(r);
+    EXPECT_FALSE(j.find("survivor_truth"));
+    EXPECT_FALSE(j.find("homogeneity"));
+    EXPECT_FALSE(j.find("group_models"));
+    expectSameResult(r, resultFromJson(Json::parse(j.dump(2))));
+}
+
+TEST(ResultJson, RoundTripWithTruthAndHomogeneity)
+{
+    const CampaignResult r = sampleResult(true);
+    expectSameResult(
+        r, resultFromJson(Json::parse(resultToJson(r).dump())));
+}
+
+TEST(ResultJson, MalformedResultThrows)
+{
+    Json j = resultToJson(sampleResult(false));
+    Json truncated = Json::object();
+    truncated.set("golden_cycles", 1);
+    EXPECT_THROW(resultFromJson(truncated), FatalError);
+}
+
+// ----------------------------------------------------- ResultStore
+
+class StoreFixture : public ::testing::Test
+{
+  protected:
+    std::string
+    path(const char *name) const
+    {
+        return testing::TempDir() + "merlin_" + name + ".json";
+    }
+
+    void
+    TearDown() override
+    {
+        for (const std::string &p : created_)
+            std::remove(p.c_str());
+    }
+
+    std::string
+    track(const std::string &p)
+    {
+        created_.push_back(p);
+        return p;
+    }
+
+    std::vector<std::string> created_;
+};
+
+TEST_F(StoreFixture, SaveLoadLookupRoundTrip)
+{
+    const std::string p = track(path("roundtrip"));
+    {
+        ResultStore store(p);
+        store.put("k1", Json::object(), sampleResult(true));
+        store.put("k2", Json::object(), sampleResult(false));
+        store.save();
+    }
+    ResultStore loaded(p);
+    ASSERT_TRUE(loaded.load());
+    EXPECT_EQ(loaded.size(), 2u);
+    EXPECT_TRUE(loaded.contains("k1"));
+    EXPECT_FALSE(loaded.contains("k3"));
+    CampaignResult out;
+    ASSERT_TRUE(loaded.lookup("k1", out));
+    expectSameResult(sampleResult(true), out);
+    EXPECT_FALSE(loaded.lookup("k3", out));
+}
+
+TEST_F(StoreFixture, MissingFileLoadsAsFresh)
+{
+    ResultStore store(path("nonexistent"));
+    EXPECT_FALSE(store.load());
+    EXPECT_EQ(store.size(), 0u);
+}
+
+TEST_F(StoreFixture, MalformedFileIsFatalNotSilent)
+{
+    const std::string p = track(path("corrupt"));
+    std::ofstream(p) << "{\"format\":\"merlin-results-v1\","
+                        "\"campaigns\":{\"k\":{}}}";
+    ResultStore store(p);
+    EXPECT_THROW(store.load(), FatalError);
+    std::ofstream(p) << "not json at all";
+    EXPECT_THROW(store.load(), FatalError);
+}
+
+TEST_F(StoreFixture, SerializationIsIndependentOfInsertionOrder)
+{
+    const std::string pa = track(path("order_a"));
+    const std::string pb = track(path("order_b"));
+    ResultStore a(pa), b(pb);
+    a.put("x", Json::object(), sampleResult(false));
+    a.put("m", Json::object(), sampleResult(true));
+    a.put("a", Json::object(), sampleResult(false));
+    b.put("a", Json::object(), sampleResult(false));
+    b.put("x", Json::object(), sampleResult(false));
+    b.put("m", Json::object(), sampleResult(true));
+    EXPECT_EQ(a.toJson().dump(2), b.toJson().dump(2));
+}
+
+TEST_F(StoreFixture, MemoryOnlyStoreSkipsIo)
+{
+    ResultStore store; // no path
+    store.put("k", Json::object(), sampleResult(false));
+    store.save(); // must not touch the filesystem or throw
+    EXPECT_FALSE(store.load());
+    CampaignResult out;
+    EXPECT_TRUE(store.lookup("k", out));
+}
+
+} // namespace
+} // namespace merlin::io
