@@ -130,6 +130,70 @@ BM_GroupingThroughput(benchmark::State &state)
 BENCHMARK(BM_GroupingThroughput)->Arg(60000)->Arg(600000)
     ->Unit(benchmark::kMillisecond);
 
+// ------------------------------------------- snapshot substrate (COW)
+
+/**
+ * Snapshot capture cost, deep (the seed engine's full duplication of
+ * memory + cache arrays, emulated by detaching every COW chunk) vs
+ * COW (pointer-table copy).  Arg: 0 = deep, 1 = cow.  The bytes/s
+ * counter is SnapshotStats::bytesCopied throughput.
+ */
+void
+BM_SnapshotCapture(benchmark::State &state)
+{
+    const auto &w = qsortWorkload();
+    uarch::CoreConfig cfg;
+    const bool deep = state.range(0) == 0;
+    uarch::Core core(w.program, cfg);
+    while (core.cycle() < 2000 && core.tick()) {
+    }
+    std::uint64_t copied = 0;
+    std::uint64_t n = 0;
+    for (auto _ : state) {
+        uarch::SnapshotStats st;
+        auto snap = core.snapshot(&st, deep);
+        benchmark::DoNotOptimize(snap);
+        copied += st.bytesCopied;
+        ++n;
+    }
+    state.counters["MB_copied/snap"] = static_cast<double>(copied) /
+                                       static_cast<double>(n) / 1e6;
+}
+BENCHMARK(BM_SnapshotCapture)
+    ->Arg(0)
+    ->Arg(1)
+    ->ArgNames({"cow"})
+    ->Unit(benchmark::kMicrosecond);
+
+/** Restore cost from one snapshot, deep vs COW (Arg as above). */
+void
+BM_SnapshotRestore(benchmark::State &state)
+{
+    const auto &w = qsortWorkload();
+    uarch::CoreConfig cfg;
+    const bool deep = state.range(0) == 0;
+    uarch::Core core(w.program, cfg);
+    while (core.cycle() < 2000 && core.tick()) {
+    }
+    const auto snap = core.snapshot();
+    std::uint64_t copied = 0;
+    std::uint64_t n = 0;
+    for (auto _ : state) {
+        uarch::SnapshotStats st;
+        uarch::Core restored(w.program, cfg, snap, &st, deep);
+        benchmark::DoNotOptimize(restored.cycle());
+        copied += st.bytesCopied;
+        ++n;
+    }
+    state.counters["MB_copied/restore"] = static_cast<double>(copied) /
+                                          static_cast<double>(n) / 1e6;
+}
+BENCHMARK(BM_SnapshotRestore)
+    ->Arg(0)
+    ->Arg(1)
+    ->ArgNames({"cow"})
+    ->Unit(benchmark::kMicrosecond);
+
 // ------------------------------------------------ injection engine
 
 /** Random RF faults over the golden run, identical for every bench. */
@@ -249,6 +313,41 @@ BENCHMARK(BM_InjectEngineSpeedup)
     ->Arg(1)
     ->Arg(2)
     ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+/**
+ * Golden-reconvergence early exit, off vs on (Arg), on one RF
+ * campaign's worth of random faults.  Runs that provably rejoin the
+ * golden state stop at the next checkpoint instead of simulating to
+ * program end; the ee% counter reports how many did.
+ */
+void
+BM_EarlyExit(benchmark::State &state)
+{
+    const auto &w = qsortWorkload();
+    uarch::CoreConfig cfg;
+    faultsim::RunnerOptions opts;
+    opts.earlyExit = state.range(0) != 0;
+    faultsim::InjectionRunner runner(w.program, cfg, opts);
+    const auto g = runner.golden();
+    const auto faults = engineFaults(g, cfg, 64);
+    std::uint64_t n = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(runner.injectBatch(faults, g, 1));
+        n += faults.size();
+    }
+    const auto st = runner.injectionStats();
+    state.counters["inject/s"] = benchmark::Counter(
+        static_cast<double>(n), benchmark::Counter::kIsRate);
+    state.counters["ee%"] =
+        st.runs ? 100.0 * static_cast<double>(st.earlyExits) /
+                      static_cast<double>(st.runs)
+                : 0.0;
+}
+BENCHMARK(BM_EarlyExit)
+    ->Arg(0)
+    ->Arg(1)
+    ->ArgNames({"on"})
     ->Unit(benchmark::kMillisecond);
 
 // ------------------------------------------------ suite scheduler

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Chunked copy-on-write byte storage.
+ *
+ * A CowBytes is a flat byte array split into fixed-size chunks, each
+ * held by a shared_ptr.  Copying the array copies only the chunk
+ * pointer table (O(#chunks)); the first write into a shared chunk
+ * detaches a private copy of that chunk only.  This is the substrate
+ * under both the simulated machine's SegmentedMemory and the cache
+ * data arrays: core snapshots become pointer copies, restored cores
+ * pay only for the chunks they actually dirty, and state comparison
+ * short-circuits on chunk identity.
+ *
+ * Thread-safety: a CowBytes value is confined to one thread, but two
+ * values sharing chunks may live on different threads (a snapshot and
+ * the cores restored from it).  Shared chunk bytes are never mutated —
+ * writers detach first — and a racy use_count() can only over-count,
+ * which costs an unnecessary copy, never an aliased write.
+ */
+
+#ifndef MERLIN_BASE_COW_HH
+#define MERLIN_BASE_COW_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace merlin::base
+{
+
+class CowBytes
+{
+  public:
+    /** Default chunk granularity (bytes); a power of two. */
+    static constexpr std::uint32_t kDefaultChunkBytes = 4096;
+
+    CowBytes() = default;
+
+    /**
+     * Zero-filled array of @p size bytes in chunks of @p chunk_bytes
+     * (a power of two >= 8; the last chunk is padded to full size).
+     */
+    CowBytes(std::size_t size, std::uint32_t chunk_bytes);
+
+    std::size_t size() const { return size_; }
+    std::uint32_t chunkBytes() const { return chunkBytes_; }
+    std::size_t numChunks() const { return chunks_.size(); }
+
+    /**
+     * Read-only pointer to [off, off+len); the range must not cross a
+     * chunk boundary.
+     */
+    const std::uint8_t *readPtr(std::size_t off, std::size_t len) const;
+
+    /**
+     * Writable pointer to [off, off+len) within one chunk; detaches
+     * the chunk if it is shared.
+     */
+    std::uint8_t *writePtr(std::size_t off, std::size_t len);
+
+    /** Copy out [off, off+len), chunk-spanning allowed. */
+    void read(std::size_t off, void *out, std::size_t len) const;
+
+    /** Copy in [off, off+len), chunk-spanning allowed; detaches. */
+    void write(std::size_t off, const void *in, std::size_t len);
+
+    /**
+     * Byte equality with @p o (same logical size required).  Chunks
+     * shared between the two arrays compare by pointer identity and
+     * are never touched; only detached chunks are compared bytewise.
+     * Arrays with different chunk granularities fall back to a
+     * run-wise byte compare.
+     */
+    bool contentEquals(const CowBytes &o) const;
+
+    /** Chunks physically shared with @p o (same granularity only). */
+    std::size_t sharedChunksWith(const CowBytes &o) const;
+
+    /** Chunks this array does not share with any other CowBytes. */
+    std::size_t exclusiveChunks() const;
+
+    /** Give every chunk a private copy (emulates a deep copy). */
+    void detachAll();
+
+    /**
+     * Bytes copied by detaches since this value was constructed or
+     * copied (a copy inherits the donor's count; take deltas).
+     */
+    std::uint64_t bytesDetached() const { return bytesDetached_; }
+
+  private:
+    using Chunk = std::vector<std::uint8_t>;
+
+    std::uint8_t *chunkForWrite(std::size_t idx);
+
+    std::vector<std::shared_ptr<Chunk>> chunks_;
+    std::size_t size_ = 0;
+    std::uint32_t chunkBytes_ = 0;
+    std::uint32_t chunkShift_ = 0;
+    std::uint64_t bytesDetached_ = 0;
+};
+
+} // namespace merlin::base
+
+#endif // MERLIN_BASE_COW_HH

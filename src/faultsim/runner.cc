@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <limits>
 #include <numeric>
 
 #include "base/logging.hh"
@@ -74,13 +75,45 @@ OutcomeMemo::size() const
 
 InjectionRunner::InjectionRunner(const isa::Program &prog,
                                  const uarch::CoreConfig &cfg,
+                                 const RunnerOptions &opts)
+    : prog_(prog), cfg_(cfg), opts_(opts)
+{
+    if (opts_.maxCheckpoints == 0)
+        opts_.maxCheckpoints = 1;
+}
+
+InjectionRunner::InjectionRunner(const isa::Program &prog,
+                                 const uarch::CoreConfig &cfg,
                                  Cycle checkpoint_interval,
                                  unsigned max_checkpoints)
-    : prog_(prog),
-      cfg_(cfg),
-      checkpointInterval_(checkpoint_interval),
-      maxCheckpoints_(max_checkpoints ? max_checkpoints : 1)
+    : InjectionRunner(prog, cfg, [&] {
+          RunnerOptions o;
+          o.checkpointInterval = checkpoint_interval;
+          o.maxCheckpoints = max_checkpoints;
+          return o;
+      }())
 {
+}
+
+Cycle
+InjectionRunner::timeoutBudget(Cycle golden_cycles, unsigned factor)
+{
+    if (factor == 0)
+        factor = 1;
+    constexpr Cycle kSlack = 1000;
+    constexpr Cycle kMax = std::numeric_limits<Cycle>::max();
+    if (golden_cycles > (kMax - kSlack) / factor)
+        return kMax;
+    return factor * golden_cycles + kSlack;
+}
+
+InjectionStats
+InjectionRunner::injectionStats() const
+{
+    InjectionStats s;
+    s.runs = runs_.load(std::memory_order_relaxed);
+    s.earlyExits = earlyExits_.load(std::memory_order_relaxed);
+    return s;
 }
 
 GoldenRun
@@ -89,7 +122,7 @@ InjectionRunner::golden(uarch::Probe *probe) const
     uarch::Core core(prog_, cfg_, probe);
     GoldenRun g;
 
-    if (checkpointInterval_ == 0) {
+    if (opts_.checkpointInterval == 0) {
         g.arch = core.run();
     } else {
         // Snapshots are taken between ticks, exactly where inject()
@@ -97,14 +130,14 @@ InjectionRunner::golden(uarch::Probe *probe) const
         // cycle-for-cycle.  The probe does not influence timing or
         // architectural state, so checkpoints from a profiled golden
         // run are valid resume points for probe-free injections.
-        Cycle interval = checkpointInterval_;
+        Cycle interval = opts_.checkpointInterval;
         for (;;) {
             if (core.cycle() != 0 && core.cycle() % interval == 0) {
-                if (g.checkpoints.size() >= maxCheckpoints_) {
+                if (g.checkpoints.size() >= opts_.maxCheckpoints) {
                     // Keep every other checkpoint (those at even
                     // multiples of the doubled interval) and coarsen.
                     std::vector<uarch::Core::Snapshot> kept;
-                    kept.reserve(maxCheckpoints_ / 2 + 1);
+                    kept.reserve(opts_.maxCheckpoints / 2 + 1);
                     for (std::size_t i = 1; i < g.checkpoints.size();
                          i += 2)
                         kept.push_back(std::move(g.checkpoints[i]));
@@ -188,20 +221,23 @@ Outcome
 InjectionRunner::inject(const Fault &fault, const GoldenRun &ref) const
 {
     uarch::CoreConfig cfg = cfg_;
-    // The paper's timeout rule: 3x the fault-free execution time.
-    cfg.maxCycles = 3 * ref.stats.cycles + 1000;
+    // The paper's timeout rule: timeoutFactor x the fault-free
+    // execution time (saturating, never wrapping).
+    cfg.maxCycles = timeoutBudget(ref.stats.cycles, opts_.timeoutFactor);
+    runs_.fetch_add(1, std::memory_order_relaxed);
 
     try {
-        // Resume from the latest checkpoint at or before the flip cycle
-        // (checkpoints are sorted ascending by construction).
-        const uarch::Core::Snapshot *resume = nullptr;
-        auto it = std::upper_bound(
+        // Checkpoints are sorted ascending by construction; `after`
+        // is the first one past the flip, `prev(after)` the resume
+        // point.
+        auto after = std::upper_bound(
             ref.checkpoints.begin(), ref.checkpoints.end(), fault.cycle,
             [](Cycle c, const uarch::Core::Snapshot &s) {
                 return c < s.cycle();
             });
-        if (it != ref.checkpoints.begin())
-            resume = &*std::prev(it);
+        const uarch::Core::Snapshot *resume =
+            after != ref.checkpoints.begin() ? &*std::prev(after)
+                                             : nullptr;
 
         uarch::Core core =
             resume ? uarch::Core(prog_, cfg, *resume)
@@ -221,6 +257,22 @@ InjectionRunner::inject(const Fault &fault, const GoldenRun &ref) const
                     break;
                 }
                 applied = true;
+            }
+            // Golden-reconvergence early exit: at each checkpoint
+            // cycle past the flip, a full state match proves the
+            // faulty run's future is the golden run's future, whose
+            // classification against itself is Masked by definition.
+            // The compare is cheap when it fails (divergent registers
+            // hit first) and chunk-identity-fast when memory is still
+            // shared with the snapshot.
+            if (applied && opts_.earlyExit &&
+                after != ref.checkpoints.end() &&
+                core.cycle() == after->cycle()) {
+                if (core.stateEquals(*after)) {
+                    earlyExits_.fetch_add(1, std::memory_order_relaxed);
+                    return Outcome::Masked;
+                }
+                ++after;
             }
             if (!core.tick())
                 break;

@@ -26,12 +26,24 @@
  * bounded on long workloads).  Each injection then resumes from the
  * latest checkpoint at or before the flip cycle instead of re-simulating
  * from cycle 0 — on average that skips half the pre-fault execution.
+ * Snapshots are copy-on-write (O(dirty state) to capture), so the
+ * default checkpoint grid is much denser than the seed engine's.
+ *
+ * Early exit: after the flip, whenever the injected core reaches a
+ * golden checkpoint cycle its state is compared against that snapshot
+ * (chunk-pointer identity first, bytes only for detached chunks).  A
+ * full match proves the faulty run has reconverged with the golden
+ * run: identical state at cycle c implies an identical future, so the
+ * run is terminated immediately with the golden outcome (Masked) —
+ * classifications are unchanged by construction, only the post-mask
+ * tail simulation is skipped.
  */
 
 #ifndef MERLIN_FAULTSIM_RUNNER_HH
 #define MERLIN_FAULTSIM_RUNNER_HH
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -122,14 +134,48 @@ struct BatchPlan
     std::vector<std::pair<std::uint32_t, std::uint32_t>> aliases;
 };
 
+/** Policy knobs of the injection harness. */
+struct RunnerOptions
+{
+    /** Default checkpoint cadence (cycles); 0 disables checkpointing. */
+    static constexpr Cycle kDefaultCheckpointInterval = 512;
+    /**
+     * Checkpoint-count bound; the interval doubles past it.  COW
+     * snapshots cost O(dirty state), so the same memory budget now
+     * affords a 4x denser grid than the seed engine's 32.
+     */
+    static constexpr unsigned kDefaultMaxCheckpoints = 128;
+    /** The paper's timeout rule: this many times the golden cycles. */
+    static constexpr unsigned kDefaultTimeoutFactor = 3;
+
+    Cycle checkpointInterval = kDefaultCheckpointInterval;
+    unsigned maxCheckpoints = kDefaultMaxCheckpoints;
+    /** Terminate runs that provably reconverged with the golden run. */
+    bool earlyExit = true;
+    /** Timeout budget multiplier (0 is treated as 1). */
+    unsigned timeoutFactor = kDefaultTimeoutFactor;
+};
+
+/** Early-exit accounting of one runner (atomic; any thread count). */
+struct InjectionStats
+{
+    std::uint64_t runs = 0;       ///< faulty runs actually simulated
+    std::uint64_t earlyExits = 0; ///< ended at a reconverged checkpoint
+};
+
 /** Runs golden and faulty executions of one program/configuration. */
 class InjectionRunner
 {
   public:
-    /** Default checkpoint cadence (cycles); 0 disables checkpointing. */
-    static constexpr Cycle kDefaultCheckpointInterval = 512;
-    /** Checkpoint-count bound; the interval doubles past it. */
-    static constexpr unsigned kDefaultMaxCheckpoints = 32;
+    // Back-compat aliases (pre-RunnerOptions call sites).
+    static constexpr Cycle kDefaultCheckpointInterval =
+        RunnerOptions::kDefaultCheckpointInterval;
+    static constexpr unsigned kDefaultMaxCheckpoints =
+        RunnerOptions::kDefaultMaxCheckpoints;
+
+    InjectionRunner(const isa::Program &prog,
+                    const uarch::CoreConfig &cfg,
+                    const RunnerOptions &opts);
 
     InjectionRunner(
         const isa::Program &prog, const uarch::CoreConfig &cfg,
@@ -192,14 +238,26 @@ class InjectionRunner
     static Outcome classify(const isa::ArchResult &faulty,
                             const uarch::Core &core, const GoldenRun &ref);
 
+    /**
+     * Saturating timeout budget: factor * golden_cycles + 1000 slack,
+     * clamped at the Cycle maximum instead of wrapping (exposed for
+     * testing; a factor of 0 counts as 1).
+     */
+    static Cycle timeoutBudget(Cycle golden_cycles, unsigned factor);
+
     const uarch::CoreConfig &config() const { return cfg_; }
-    Cycle checkpointInterval() const { return checkpointInterval_; }
+    const RunnerOptions &options() const { return opts_; }
+    Cycle checkpointInterval() const { return opts_.checkpointInterval; }
+
+    /** Cumulative run / early-exit counts since construction. */
+    InjectionStats injectionStats() const;
 
   private:
     const isa::Program &prog_;
     uarch::CoreConfig cfg_;
-    Cycle checkpointInterval_;
-    unsigned maxCheckpoints_;
+    RunnerOptions opts_;
+    mutable std::atomic<std::uint64_t> runs_{0};
+    mutable std::atomic<std::uint64_t> earlyExits_{0};
 };
 
 } // namespace merlin::faultsim

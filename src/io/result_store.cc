@@ -80,6 +80,8 @@ resultToJson(const CampaignResult &r)
     }
     j.set("speedup_ace", r.speedupAce);
     j.set("speedup_total", r.speedupTotal);
+    j.set("injection_runs", r.injectionRuns);
+    j.set("early_exits", r.earlyExits);
     j.set("profile_seconds", r.profileSeconds);
     j.set("injection_seconds", r.injectionSeconds);
     j.set("seconds_per_injection", r.secondsPerInjection);
@@ -124,6 +126,9 @@ resultFromJson(const Json &j)
     }
     r.speedupAce = j.at("speedup_ace").asDouble();
     r.speedupTotal = j.at("speedup_total").asDouble();
+    // Tolerant reads: absent in pre-early-exit stores.
+    r.injectionRuns = j.u64Or("injection_runs", 0);
+    r.earlyExits = j.u64Or("early_exits", 0);
     r.profileSeconds = j.numOr("profile_seconds", 0.0);
     r.injectionSeconds = j.numOr("injection_seconds", 0.0);
     r.secondsPerInjection = j.numOr("seconds_per_injection", 0.0);

@@ -39,6 +39,9 @@ struct ArchResult
         return reason == o.reason && exitCode == o.exitCode &&
                output == o.output && traps == o.traps;
     }
+
+    /** Exact equality, all fields (reconvergence check). */
+    bool operator==(const ArchResult &) const = default;
 };
 
 /** Functional interpreter state + driver. */

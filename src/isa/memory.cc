@@ -9,20 +9,31 @@
 namespace merlin::isa
 {
 
+SegmentedMemory::SegmentedMemory(std::uint32_t chunk_bytes)
+    : chunkBytes_(chunk_bytes)
+{
+    MERLIN_ASSERT(isValidChunkBytes(chunk_bytes),
+                  "memory chunk size must be a power of two >= 64");
+}
+
 void
 SegmentedMemory::addSegment(Addr base, std::uint64_t size,
                             std::uint8_t perms)
 {
+    // Chunked storage indexes by (addr - base); a 64-byte-aligned base
+    // keeps aligned scalars and cache lines inside single chunks.
+    if (base % 64 != 0)
+        fatal("segment base must be 64-byte aligned");
     for (const auto &s : segments_) {
-        const bool overlap =
-            base < s.base + s.bytes.size() && s.base < base + size;
+        const bool overlap = base < s.base + s.size && s.base < base + size;
         if (overlap)
             fatal("overlapping memory segments");
     }
     Segment seg;
     seg.base = base;
+    seg.size = size;
     seg.perms = perms;
-    seg.bytes.assign(size, 0);
+    seg.bytes = base::CowBytes(size, chunkBytes_);
     segments_.push_back(std::move(seg));
 }
 
@@ -30,10 +41,17 @@ const SegmentedMemory::Segment *
 SegmentedMemory::find(Addr addr, unsigned len) const
 {
     for (const auto &s : segments_) {
-        if (addr >= s.base && addr + len <= s.base + s.bytes.size())
+        if (addr >= s.base && addr + len <= s.base + s.size)
             return &s;
     }
     return nullptr;
+}
+
+SegmentedMemory::Segment *
+SegmentedMemory::find(Addr addr, unsigned len)
+{
+    return const_cast<Segment *>(
+        static_cast<const SegmentedMemory *>(this)->find(addr, len));
 }
 
 TrapKind
@@ -44,7 +62,8 @@ SegmentedMemory::read(Addr addr, unsigned size, std::uint64_t &value) const
     const Segment *s = find(addr, size);
     if (!s || !(s->perms & PermRead))
         return TrapKind::Segfault;
-    value = loadLE(s->bytes.data() + (addr - s->base), size);
+    // An aligned scalar never crosses a chunk (chunks are >= 64 bytes).
+    value = loadLE(s->bytes.readPtr(addr - s->base, size), size);
     return TrapKind::None;
 }
 
@@ -53,10 +72,10 @@ SegmentedMemory::write(Addr addr, unsigned size, std::uint64_t value)
 {
     if (!isAligned(addr, size))
         return TrapKind::Misaligned;
-    Segment *s = const_cast<Segment *>(find(addr, size));
+    Segment *s = find(addr, size);
     if (!s || !(s->perms & PermWrite))
         return TrapKind::Segfault;
-    storeLE(s->bytes.data() + (addr - s->base), value, size);
+    storeLE(s->bytes.writePtr(addr - s->base, size), value, size);
     return TrapKind::None;
 }
 
@@ -68,7 +87,7 @@ SegmentedMemory::fetch(Addr addr, std::uint64_t &raw) const
     const Segment *s = find(addr, INSN_BYTES);
     if (!s || !(s->perms & PermExec))
         return TrapKind::PcOutOfText;
-    raw = loadLE(s->bytes.data() + (addr - s->base), INSN_BYTES);
+    raw = loadLE(s->bytes.readPtr(addr - s->base, INSN_BYTES), INSN_BYTES);
     return TrapKind::None;
 }
 
@@ -78,18 +97,18 @@ SegmentedMemory::readBlock(Addr addr, std::uint8_t *out, unsigned len) const
     const Segment *s = find(addr, len);
     if (!s || !(s->perms & (PermRead | PermExec)))
         return TrapKind::Segfault;
-    std::memcpy(out, s->bytes.data() + (addr - s->base), len);
+    s->bytes.read(addr - s->base, out, len);
     return TrapKind::None;
 }
 
 TrapKind
 SegmentedMemory::writeBlock(Addr addr, const std::uint8_t *in, unsigned len)
 {
-    Segment *s = const_cast<Segment *>(find(addr, len));
+    Segment *s = find(addr, len);
     if (!s)
         return TrapKind::Segfault;
     // Write-backs of text lines are legal: L2 holds both I and D lines.
-    std::memcpy(s->bytes.data() + (addr - s->base), in, len);
+    s->bytes.write(addr - s->base, in, len);
     return TrapKind::None;
 }
 
@@ -104,20 +123,6 @@ SegmentedMemory::check(Addr addr, unsigned size, bool for_write) const
     return TrapKind::None;
 }
 
-std::uint8_t *
-SegmentedMemory::rawAt(Addr addr, unsigned len)
-{
-    Segment *s = const_cast<Segment *>(find(addr, len));
-    return s ? s->bytes.data() + (addr - s->base) : nullptr;
-}
-
-const std::uint8_t *
-SegmentedMemory::rawAt(Addr addr, unsigned len) const
-{
-    const Segment *s = find(addr, len);
-    return s ? s->bytes.data() + (addr - s->base) : nullptr;
-}
-
 bool
 SegmentedMemory::contentEquals(const SegmentedMemory &other) const
 {
@@ -125,11 +130,47 @@ SegmentedMemory::contentEquals(const SegmentedMemory &other) const
         return false;
     for (std::size_t i = 0; i < segments_.size(); ++i) {
         if (segments_[i].base != other.segments_[i].base ||
-            segments_[i].bytes != other.segments_[i].bytes) {
+            !segments_[i].bytes.contentEquals(other.segments_[i].bytes)) {
             return false;
         }
     }
     return true;
+}
+
+std::uint64_t
+SegmentedMemory::contentBytes() const
+{
+    std::uint64_t n = 0;
+    for (const auto &s : segments_)
+        n += s.size;
+    return n;
+}
+
+std::size_t
+SegmentedMemory::sharedChunksWith(const SegmentedMemory &other) const
+{
+    if (segments_.size() != other.segments_.size())
+        return 0;
+    std::size_t n = 0;
+    for (std::size_t i = 0; i < segments_.size(); ++i)
+        n += segments_[i].bytes.sharedChunksWith(other.segments_[i].bytes);
+    return n;
+}
+
+std::uint64_t
+SegmentedMemory::bytesDetached() const
+{
+    std::uint64_t n = 0;
+    for (const auto &s : segments_)
+        n += s.bytes.bytesDetached();
+    return n;
+}
+
+void
+SegmentedMemory::detachAll()
+{
+    for (auto &s : segments_)
+        s.bytes.detachAll();
 }
 
 const char *

@@ -5,6 +5,13 @@
  * A small set of permission-checked segments over a flat address space.
  * Both the functional interpreter and the cache hierarchy (as its
  * lowest level) use this class; block accessors move whole cache lines.
+ *
+ * Segment contents live in fixed-size copy-on-write chunks
+ * (base::CowBytes): copying a SegmentedMemory copies O(#chunks) shared
+ * pointers, writes detach only the chunk they touch, and
+ * contentEquals() short-circuits on chunks the two images still share.
+ * This is what makes full-core snapshots cheap enough to checkpoint
+ * densely and state comparison cheap enough to run every checkpoint.
  */
 
 #ifndef MERLIN_ISA_MEMORY_HH
@@ -13,11 +20,21 @@
 #include <cstdint>
 #include <vector>
 
+#include "base/cow.hh"
 #include "base/types.hh"
 #include "isa/traps.hh"
 
 namespace merlin::isa
 {
+
+/** Valid COW chunk granularity: a power of two of at least 64 bytes
+ *  (so aligned scalars and cache lines never span chunks).  Exposed
+ *  so front ends can reject bad values at parse time. */
+constexpr bool
+isValidChunkBytes(std::uint64_t v)
+{
+    return v >= 64 && v <= (1u << 30) && (v & (v - 1)) == 0;
+}
 
 /** Segment permission bits. */
 enum Perm : std::uint8_t
@@ -27,10 +44,21 @@ enum Perm : std::uint8_t
     PermExec = 4,
 };
 
-/** Flat, segmented, permission-checked memory. */
+/** Flat, segmented, permission-checked, copy-on-write memory. */
 class SegmentedMemory
 {
   public:
+    /** Default COW chunk granularity (bytes). */
+    static constexpr std::uint32_t kDefaultChunkBytes =
+        base::CowBytes::kDefaultChunkBytes;
+
+    /**
+     * @p chunk_bytes is the COW granularity: a power of two >= 64
+     * (so a cache line never spans chunks on the scalar fast path).
+     */
+    explicit SegmentedMemory(
+        std::uint32_t chunk_bytes = kDefaultChunkBytes);
+
     /** Map [base, base+size) with @p perms; contents zero-initialized. */
     void addSegment(Addr base, std::uint64_t size, std::uint8_t perms);
 
@@ -58,24 +86,38 @@ class SegmentedMemory
     /** Permission check only (no data movement). */
     TrapKind check(Addr addr, unsigned size, bool for_write) const;
 
-    /** Raw pointer into the segment holding @p addr, or nullptr. */
-    std::uint8_t *rawAt(Addr addr, unsigned len);
-    const std::uint8_t *rawAt(Addr addr, unsigned len) const;
-
     /** Byte-for-byte content equality (same segment layout assumed). */
     bool contentEquals(const SegmentedMemory &other) const;
+
+    /** COW chunk granularity of this image. */
+    std::uint32_t chunkBytes() const { return chunkBytes_; }
+
+    /** Total mapped bytes across all segments. */
+    std::uint64_t contentBytes() const;
+
+    /** Chunks physically shared with @p other (same layout assumed). */
+    std::size_t sharedChunksWith(const SegmentedMemory &other) const;
+
+    /** Cumulative bytes copied by COW detaches (see CowBytes). */
+    std::uint64_t bytesDetached() const;
+
+    /** Privatize every chunk (emulates the old deep-copy snapshot). */
+    void detachAll();
 
   private:
     struct Segment
     {
         Addr base;
+        std::uint64_t size;
         std::uint8_t perms;
-        std::vector<std::uint8_t> bytes;
+        base::CowBytes bytes;
     };
 
     const Segment *find(Addr addr, unsigned len) const;
+    Segment *find(Addr addr, unsigned len);
 
     std::vector<Segment> segments_;
+    std::uint32_t chunkBytes_;
 };
 
 /** Canonical memory layout of a loaded program. */

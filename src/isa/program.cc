@@ -1,6 +1,6 @@
 #include "isa/program.hh"
 
-#include <cstring>
+#include <limits>
 
 #include "base/logging.hh"
 
@@ -17,17 +17,28 @@ Program::symbol(const std::string &sym) const
 }
 
 SegmentedMemory
-Program::buildMemory() const
+Program::buildMemory(std::uint32_t chunk_bytes) const
 {
-    SegmentedMemory mem;
+    SegmentedMemory mem(chunk_bytes);
+    const auto load = [&](Addr base, const std::vector<std::uint8_t> &img,
+                          const char *what) {
+        if (img.empty())
+            return;
+        if (img.size() > std::numeric_limits<unsigned>::max() ||
+            mem.writeBlock(base, img.data(),
+                           static_cast<unsigned>(img.size())) !=
+                TrapKind::None) {
+            fatal("program '", name, "': ", what, " image (",
+                  img.size(), " bytes) does not fit its mapped segment");
+        }
+    };
 
     // Text segment, rounded up to a cache line.
     std::uint64_t text_size = (text.size() + 63) & ~std::uint64_t(63);
     if (text_size == 0)
         fatal("program '", name, "': empty text segment");
     mem.addSegment(layout::TEXT_BASE, text_size, PermRead | PermExec);
-    std::memcpy(mem.rawAt(layout::TEXT_BASE, text.size()), text.data(),
-                text.size());
+    load(layout::TEXT_BASE, text, "text");
 
     // Data + bss segment.
     std::uint64_t data_size = data.size() + bssSize;
@@ -35,10 +46,7 @@ Program::buildMemory() const
     if (data_size == 0)
         data_size = 64;
     mem.addSegment(layout::DATA_BASE, data_size, PermRead | PermWrite);
-    if (!data.empty()) {
-        std::memcpy(mem.rawAt(layout::DATA_BASE, data.size()), data.data(),
-                    data.size());
-    }
+    load(layout::DATA_BASE, data, "data");
 
     mem.addSegment(layout::HEAP_BASE, layout::HEAP_SIZE,
                    PermRead | PermWrite);

@@ -38,8 +38,13 @@ struct Program
         return text.size() / INSN_BYTES;
     }
 
-    /** Build the canonical memory image (text/data/heap/stack). */
-    SegmentedMemory buildMemory() const;
+    /**
+     * Build the canonical memory image (text/data/heap/stack).
+     * @p chunk_bytes sets the image's copy-on-write granularity.
+     */
+    SegmentedMemory buildMemory(
+        std::uint32_t chunk_bytes =
+            SegmentedMemory::kDefaultChunkBytes) const;
 };
 
 } // namespace merlin::isa

@@ -57,6 +57,8 @@ struct StaticUop
     /** Control-flow hints for the return-address-stack predictor. */
     bool isCall = false;
     bool isReturn = false;
+
+    bool operator==(const StaticUop &) const = default;
 };
 
 /**

@@ -87,8 +87,12 @@ Campaign::prepare(bool inject_all, bool relyzer, unsigned path_depth,
     PreparedCampaign prep;
     CampaignResult &res = prep.result;
     Rng rng(cfg_.seed);
-    runner_ = std::make_unique<InjectionRunner>(
-        prog_, cfg_.core, cfg_.checkpointInterval, cfg_.maxCheckpoints);
+    faultsim::RunnerOptions ropts;
+    ropts.checkpointInterval = cfg_.checkpointInterval;
+    ropts.maxCheckpoints = cfg_.maxCheckpoints;
+    ropts.earlyExit = cfg_.earlyExit;
+    ropts.timeoutFactor = cfg_.timeoutFactor;
+    runner_ = std::make_unique<InjectionRunner>(prog_, cfg_.core, ropts);
 
     // ---- Phase 1: preprocessing (profiled golden run + fault list) ----
     auto t0 = std::chrono::steady_clock::now();
@@ -207,6 +211,13 @@ Campaign::finish(PreparedCampaign prep,
         res.survivorTruth = truth;
         res.homogeneity = computeHomogeneity(per_group);
     }
+
+    // Early-exit accounting from this campaign's runner (counts are a
+    // pure function of the fault list, so they are as deterministic as
+    // the outcomes themselves).
+    const faultsim::InjectionStats is = runner_->injectionStats();
+    res.injectionRuns = is.runs;
+    res.earlyExits = is.earlyExits;
 
     res.injectionSeconds = injection_seconds;
     res.secondsPerInjection =

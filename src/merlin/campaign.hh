@@ -53,6 +53,15 @@ struct CampaignConfig
     /** Bound on retained checkpoints (the cadence doubles past it). */
     unsigned maxCheckpoints =
         faultsim::InjectionRunner::kDefaultMaxCheckpoints;
+    /**
+     * End faulty runs at the first golden checkpoint whose state they
+     * provably reconverged with (classification-preserving; off only
+     * for A/B validation).
+     */
+    bool earlyExit = true;
+    /** Timeout budget multiplier (the paper's rule is 3x golden). */
+    unsigned timeoutFactor =
+        faultsim::RunnerOptions::kDefaultTimeoutFactor;
 };
 
 /** Outcome of one campaign. */
@@ -87,10 +96,24 @@ struct CampaignResult
     double speedupAce = 0.0;   ///< initial / survivors
     double speedupTotal = 0.0; ///< initial / injections
 
+    // Early-exit accounting (faulty runs that provably reconverged
+    // with the golden state and were cut short).
+    std::uint64_t injectionRuns = 0; ///< distinct faulty runs simulated
+    std::uint64_t earlyExits = 0;    ///< of which ended at a checkpoint
+
     // Wall-clock facts for Figure 11 / Table 3.
     double profileSeconds = 0.0;     ///< golden + profiling run
     double injectionSeconds = 0.0;   ///< total time injecting reps
     double secondsPerInjection = 0.0;
+
+    /** Fraction of simulated runs cut short by early exit. */
+    double
+    earlyExitRate() const
+    {
+        return injectionRuns ? static_cast<double>(earlyExits) /
+                                   static_cast<double>(injectionRuns)
+                             : 0.0;
+    }
 
     /** Truth over the full initial list (survivorTruth + ACE Masked). */
     ClassCounts fullTruth() const;

@@ -107,6 +107,7 @@ const char *const kSpecMembers[] = {
     "faults",        "confidence",     "error_margin",
     "split",         "max_group_size", "reps_per_group",
     "seed",          "checkpoint_interval", "max_checkpoints",
+    "early_exit",    "timeout_factor", "mem_chunk_bytes",
     "mode",          "relyzer",        "path_depth",
 };
 
@@ -145,6 +146,9 @@ CampaignSpec::campaignConfig(const workloads::BuiltWorkload &w) const
     cc.jobs = 1;
     cc.checkpointInterval = checkpointInterval;
     cc.maxCheckpoints = maxCheckpoints;
+    cc.earlyExit = earlyExit;
+    cc.timeoutFactor = timeoutFactor;
+    cc.core.memChunkBytes = memChunkBytes;
     return cc;
 }
 
@@ -173,6 +177,9 @@ CampaignSpec::toJson() const
     j.set("seed", seed);
     j.set("checkpoint_interval", checkpointInterval);
     j.set("max_checkpoints", maxCheckpoints);
+    j.set("early_exit", earlyExit);
+    j.set("timeout_factor", timeoutFactor);
+    j.set("mem_chunk_bytes", memChunkBytes);
     j.set("mode", modeTag(mode));
     j.set("relyzer", relyzer);
     j.set("path_depth", pathDepth);
@@ -214,6 +221,15 @@ CampaignSpec::fromJson(const Json &j)
         j.u64Or("checkpoint_interval", s.checkpointInterval);
     s.maxCheckpoints = static_cast<unsigned>(
         j.u64Or("max_checkpoints", s.maxCheckpoints));
+    s.earlyExit = j.boolOr("early_exit", s.earlyExit);
+    s.timeoutFactor = static_cast<unsigned>(
+        j.u64Or("timeout_factor", s.timeoutFactor));
+    const std::uint64_t chunk =
+        j.u64Or("mem_chunk_bytes", s.memChunkBytes);
+    if (!isa::isValidChunkBytes(chunk))
+        fatal("suite spec: mem_chunk_bytes ", chunk,
+              " is not a power of two >= 64");
+    s.memChunkBytes = static_cast<std::uint32_t>(chunk);
     s.mode = modeFromTag(j.strOr("mode", "estimate"));
     s.relyzer = j.boolOr("relyzer", false);
     s.pathDepth =

@@ -71,6 +71,18 @@ struct CampaignSpec
         faultsim::InjectionRunner::kDefaultCheckpointInterval;
     unsigned maxCheckpoints =
         faultsim::InjectionRunner::kDefaultMaxCheckpoints;
+    /**
+     * Engine knobs, part of the spec value and therefore of the
+     * content hash: a result must record exactly how it was produced.
+     * earlyExit and memChunkBytes never change campaign outcomes
+     * (early exit is classification-preserving, the chunk size only
+     * shapes COW detach cost); timeoutFactor DOES move the Timeout
+     * classification boundary — the paper's rule is the default 3.
+     */
+    bool earlyExit = true;
+    unsigned timeoutFactor =
+        faultsim::RunnerOptions::kDefaultTimeoutFactor;
+    std::uint32_t memChunkBytes = isa::SegmentedMemory::kDefaultChunkBytes;
 
     Mode mode = Mode::Estimate;
     bool relyzer = false;   ///< Relyzer grouping baseline (Fig. 17)

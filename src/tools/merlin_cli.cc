@@ -11,12 +11,21 @@
  *       [--regs N] [--sq N] [--l1d KB] [--faults N | --margin E --conf C]
  *       [--seed N] [--window N] [--truth] [--relyzer]
  *       [--jobs N] [--checkpoint-interval CYCLES] [--max-checkpoints N]
+ *       [--early-exit=on|off] [--mem-chunk-bytes N] [--timeout-factor N]
  *       Run a MeRLiN campaign and print the reliability report.
  *       --jobs N spreads the injections over N worker threads (0 = all
  *       hardware threads); results are bit-identical for any N.
  *       --checkpoint-interval sets the golden-run snapshot cadence the
  *       injections resume from (0 disables checkpointing);
  *       --max-checkpoints bounds how many are retained.
+ *       --early-exit ends faulty runs at the first golden checkpoint
+ *       they provably reconverged with (classification-preserving; on
+ *       by default).  --mem-chunk-bytes sets the copy-on-write chunk
+ *       granularity of memory/cache state (power of two >= 64).
+ *       Neither changes campaign outcomes.  --timeout-factor scales
+ *       the paper's 3x-golden timeout rule — it moves the Timeout
+ *       classification boundary, so keep the default when comparing
+ *       against paper numbers.
  *   merlin_cli suite manifest.json
  *       [--jobs N] [--out results.json] [--resume] [--no-timing]
  *       Run a whole suite of campaigns (one JSON manifest entry each)
@@ -67,6 +76,11 @@ struct Args
             if (k.rfind("--", 0) != 0)
                 fatal("unexpected argument '", k, "'");
             k = k.substr(2);
+            // --key=value style.
+            if (const auto eq = k.find('='); eq != std::string::npos) {
+                a.kv[k.substr(0, eq)] = k.substr(eq + 1);
+                continue;
+            }
             if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
                 a.kv[k] = argv[++i];
             } else {
@@ -98,6 +112,19 @@ struct Args
             fatal("--", k, ": '", it->second,
                   "' is not an unsigned integer");
         return v;
+    }
+    /** on/off value of --k; fatal() on anything else. */
+    bool
+    getOnOff(const std::string &k, bool def) const
+    {
+        auto it = kv.find(k);
+        if (it == kv.end())
+            return def;
+        if (it->second == "on" || it->second == "1")
+            return true;
+        if (it->second == "off" || it->second == "0")
+            return false;
+        fatal("--", k, ": '", it->second, "' is not on|off");
     }
     /** Floating-point value of --k; fatal() on garbage. */
     double
@@ -203,6 +230,13 @@ printCampaign(const core::CampaignResult &r, std::uint64_t bits)
                     r.merlinEstimate.maxInaccuracyVs(r.fullTruth()),
                     r.homogeneity->fine);
     }
+    if (r.injectionRuns) {
+        std::printf("early exit: %llu of %llu runs reconverged with the "
+                    "golden state (%.1f%%)\n",
+                    static_cast<unsigned long long>(r.earlyExits),
+                    static_cast<unsigned long long>(r.injectionRuns),
+                    100.0 * r.earlyExitRate());
+    }
     std::printf("wall clock: %.2fs profile + %.2fs injections "
                 "(%.3f ms/injection)\n",
                 r.profileSeconds, r.injectionSeconds,
@@ -238,6 +272,15 @@ campaignConfig(const Args &args, std::uint64_t default_window)
     cc.maxCheckpoints = static_cast<unsigned>(args.getU(
         "max-checkpoints",
         faultsim::InjectionRunner::kDefaultMaxCheckpoints));
+    cc.earlyExit = args.getOnOff("early-exit", true);
+    cc.timeoutFactor = static_cast<unsigned>(args.getU(
+        "timeout-factor", faultsim::RunnerOptions::kDefaultTimeoutFactor));
+    const std::uint64_t chunk = args.getU(
+        "mem-chunk-bytes", isa::SegmentedMemory::kDefaultChunkBytes);
+    if (!isa::isValidChunkBytes(chunk))
+        fatal("--mem-chunk-bytes: ", chunk,
+              " is not a power of two >= 64");
+    cc.core.memChunkBytes = static_cast<std::uint32_t>(chunk);
     return cc;
 }
 
@@ -287,15 +330,15 @@ cmdSuite(const std::string &manifest_path, const Args &args)
     sched::SuiteScheduler scheduler(specs, opts);
     sched::SuiteResult suite = scheduler.run();
 
-    std::printf("%-14s %-4s %-13s %10s %10s %10s %8s %s\n", "workload",
-                "tgt", "mode", "initial", "survivors", "injected",
-                "AVF%", "");
+    std::printf("%-14s %-4s %-13s %10s %10s %10s %8s %6s %s\n",
+                "workload", "tgt", "mode", "initial", "survivors",
+                "injected", "AVF%", "ee%", "");
     std::uint64_t cached = 0;
     for (std::size_t i = 0; i < specs.size(); ++i) {
         const auto &r = suite.results[i];
         cached += suite.cached[i] ? 1 : 0;
         std::printf(
-            "%-14s %-4s %-13s %10llu %10llu %10llu %7.3f%% %s\n",
+            "%-14s %-4s %-13s %10llu %10llu %10llu %7.3f%% %5.1f%% %s\n",
             specs[i].workload.c_str(),
             uarch::structureName(specs[i].structure),
             specs[i].mode == sched::CampaignSpec::Mode::GroupingOnly
@@ -306,7 +349,7 @@ cmdSuite(const std::string &manifest_path, const Args &args)
             static_cast<unsigned long long>(r.initialFaults),
             static_cast<unsigned long long>(r.survivors),
             static_cast<unsigned long long>(r.injections),
-            100 * r.merlinEstimate.avf(),
+            100 * r.merlinEstimate.avf(), 100 * r.earlyExitRate(),
             suite.cached[i] ? "[cached]" : "");
     }
     std::printf("\n%llu campaigns (%llu run, %llu cached) in %.2fs "

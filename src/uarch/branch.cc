@@ -97,6 +97,22 @@ TournamentPredictor::repairHistory(const PredictionState &state, bool taken)
              ((1u << globalBits_) - 1);
 }
 
+bool
+TournamentPredictor::stateEquals(const TournamentPredictor &o) const
+{
+    return ghist_ == o.ghist_ && localHistory_ == o.localHistory_ &&
+           localCounters_ == o.localCounters_ &&
+           globalCounters_ == o.globalCounters_ && chooser_ == o.chooser_;
+}
+
+std::uint64_t
+TournamentPredictor::stateBytes() const
+{
+    return localHistory_.size() * sizeof(std::uint16_t) +
+           localCounters_.size() + globalCounters_.size() +
+           chooser_.size() + sizeof(ghist_);
+}
+
 Btb::Btb(unsigned entries)
     : entries_(entries)
 {
@@ -119,6 +135,18 @@ Btb::update(Addr pc, Addr target)
     e.valid = true;
     e.pc = pc;
     e.target = target;
+}
+
+bool
+Btb::stateEquals(const Btb &o) const
+{
+    return entries_ == o.entries_;
+}
+
+std::uint64_t
+Btb::stateBytes() const
+{
+    return entries_.size() * sizeof(Entry);
 }
 
 Ras::Ras(unsigned entries)
@@ -156,6 +184,18 @@ Ras::pop()
 {
     top_ = (top_ + stack_.size() - 1) % stack_.size();
     return stack_[top_];
+}
+
+bool
+Ras::stateEquals(const Ras &o) const
+{
+    return top_ == o.top_ && stack_ == o.stack_;
+}
+
+std::uint64_t
+Ras::stateBytes() const
+{
+    return stack_.size() * sizeof(Addr) + sizeof(top_);
 }
 
 } // namespace merlin::uarch

@@ -29,6 +29,8 @@ struct PredictionState
     std::uint16_t localIdx = 0;
     std::uint16_t globalIdx = 0;
     std::uint16_t chooserIdx = 0;
+
+    bool operator==(const PredictionState &) const = default;
 };
 
 /** Tournament direction predictor. */
@@ -47,6 +49,12 @@ class TournamentPredictor
     void repairHistory(const PredictionState &state, bool taken);
 
     std::uint32_t globalHistory() const { return ghist_; }
+
+    /** Full table + history equality (reconvergence check). */
+    bool stateEquals(const TournamentPredictor &o) const;
+
+    /** Bytes a memberwise copy duplicates (snapshot accounting). */
+    std::uint64_t stateBytes() const;
 
   private:
     static void bump(std::uint8_t &ctr, bool up);
@@ -69,12 +77,17 @@ class Btb
     std::optional<Addr> lookup(Addr pc) const;
     void update(Addr pc, Addr target);
 
+    bool stateEquals(const Btb &o) const;
+    std::uint64_t stateBytes() const;
+
   private:
     struct Entry
     {
         bool valid = false;
         Addr pc = 0;
         Addr target = 0;
+
+        bool operator==(const Entry &) const = default;
     };
     std::vector<Entry> entries_;
 };
@@ -89,12 +102,17 @@ class Ras
     {
         std::uint32_t top;
         Addr topValue;
+
+        bool operator==(const Snapshot &) const = default;
     };
 
     Snapshot snapshot() const;
     void restore(const Snapshot &snap);
     void push(Addr ret_addr);
     Addr pop();
+
+    bool stateEquals(const Ras &o) const;
+    std::uint64_t stateBytes() const;
 
   private:
     std::vector<Addr> stack_;

@@ -1,5 +1,6 @@
 #include "uarch/cache.hh"
 
+#include <algorithm>
 #include <cstring>
 
 #include "base/bits.hh"
@@ -10,7 +11,7 @@ namespace merlin::uarch
 {
 
 Cache::Cache(std::string name, const CacheConfig &cfg, Cache *lower,
-             isa::SegmentedMemory *mem)
+             isa::SegmentedMemory *mem, std::uint32_t chunk_bytes)
     : name_(std::move(name)), cfg_(cfg), lower_(lower), mem_(mem)
 {
     MERLIN_ASSERT((lower_ == nullptr) != (mem_ == nullptr),
@@ -18,7 +19,13 @@ Cache::Cache(std::string name, const CacheConfig &cfg, Cache *lower,
     MERLIN_ASSERT(cfg_.numSets() > 0 && (cfg_.lineSize % 8) == 0,
                   "bad cache geometry");
     lines_.assign(std::size_t(cfg_.numSets()) * cfg_.ways, Line{});
-    data_.assign(std::size_t(cfg_.numSets()) * cfg_.ways * cfg_.lineSize, 0);
+    // A chunk must hold whole lines so that line views never span
+    // chunks; both values are powers of two, so max() suffices.
+    const std::uint32_t chunk = std::max(
+        chunk_bytes ? chunk_bytes : base::CowBytes::kDefaultChunkBytes,
+        cfg_.lineSize);
+    data_ = base::CowBytes(
+        std::size_t(cfg_.numSets()) * cfg_.ways * cfg_.lineSize, chunk);
 }
 
 void
@@ -31,18 +38,16 @@ Cache::repoint(Cache *lower, isa::SegmentedMemory *mem)
     sink_ = nullptr;
 }
 
-std::uint8_t *
-Cache::lineData(std::uint32_t set, std::uint32_t way)
-{
-    return data_.data() + (std::size_t(set) * cfg_.ways + way) *
-                              cfg_.lineSize;
-}
-
 const std::uint8_t *
 Cache::lineData(std::uint32_t set, std::uint32_t way) const
 {
-    return data_.data() + (std::size_t(set) * cfg_.ways + way) *
-                              cfg_.lineSize;
+    return data_.readPtr(lineOffset(set, way), cfg_.lineSize);
+}
+
+std::uint8_t *
+Cache::lineDataMut(std::uint32_t set, std::uint32_t way)
+{
+    return data_.writePtr(lineOffset(set, way), cfg_.lineSize);
 }
 
 std::uint32_t
@@ -67,7 +72,8 @@ Cache::writeLineBelow(Addr line_addr, const std::uint8_t *data, Cycle now,
 {
     if (lower_) {
         AccessResult r = lower_->access(line_addr, true, now, rip, upc);
-        std::memcpy(lower_->lineData(r.set, r.way), data, cfg_.lineSize);
+        std::memcpy(lower_->lineDataMut(r.set, r.way), data,
+                    cfg_.lineSize);
         return r.latency;
     }
     isa::TrapKind t = mem_->writeBlock(line_addr, data, cfg_.lineSize);
@@ -139,8 +145,8 @@ Cache::access(Addr addr, bool is_write, Cycle now, Rip rip, Upc upc)
     }
 
     // Fill from below (overwrites the whole line's storage).
-    latency += readLineFromBelow(laddr, lineData(set, victim), now, rip,
-                                 upc);
+    latency += readLineFromBelow(laddr, lineDataMut(set, victim), now,
+                                 rip, upc);
     line.valid = true;
     line.dirty = is_write;
     line.tag = tag;
@@ -169,7 +175,7 @@ Cache::writeBytes(std::uint32_t set, std::uint32_t way, std::uint32_t offset,
                   unsigned size, std::uint64_t value, Cycle now)
 {
     MERLIN_ASSERT(offset + size <= cfg_.lineSize, "write past line end");
-    storeLE(lineData(set, way) + offset, value, size);
+    storeLE(lineDataMut(set, way) + offset, value, size);
     if (sink_)
         sink_->onCacheWordWrite(wordIndex(set, way, offset), now);
 }
@@ -179,7 +185,7 @@ Cache::flipBit(EntryIndex word, unsigned bit)
 {
     MERLIN_ASSERT(word < cfg_.totalWords(), "cache word out of range");
     MERLIN_ASSERT(bit < 64, "bit out of range");
-    data_[std::size_t(word) * 8 + bit / 8] ^=
+    *data_.writePtr(std::size_t(word) * 8 + bit / 8, 1) ^=
         static_cast<std::uint8_t>(1u << (bit % 8));
 }
 
@@ -196,6 +202,24 @@ Cache::applyDirtyLines(isa::SegmentedMemory &mem) const
             mem.writeBlock(addr, lineData(set, w), cfg_.lineSize);
         }
     }
+}
+
+bool
+Cache::stateEquals(const Cache &o) const
+{
+    // Counters first (cheap, and divergent timing shows up here), the
+    // COW data array last (pointer identity makes it nearly free when
+    // the two cores still share it).
+    return lruCounter_ == o.lruCounter_ && hits_ == o.hits_ &&
+           misses_ == o.misses_ && writebacks_ == o.writebacks_ &&
+           lines_ == o.lines_ && data_.contentEquals(o.data_);
+}
+
+std::uint64_t
+Cache::metaBytes() const
+{
+    return lines_.size() * sizeof(Line) +
+           data_.numChunks() * sizeof(void *);
 }
 
 const char *

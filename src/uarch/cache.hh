@@ -11,6 +11,12 @@
  * synchronously and returns the accumulated latency; the core schedules
  * the consumer's completion that many cycles later.  This keeps the
  * machine deterministic and fast while preserving miss/hit shapes.
+ *
+ * The data array is copy-on-write (base::CowBytes): a memberwise cache
+ * copy (core snapshot) shares the array chunk-wise and a restored core
+ * detaches only the lines it actually writes.  Tag/LRU metadata stays
+ * a plain vector — it mutates on almost every access, so COW would
+ * thrash there.
  */
 
 #ifndef MERLIN_UARCH_CACHE_HH
@@ -19,6 +25,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "base/cow.hh"
 #include "base/types.hh"
 #include "isa/memory.hh"
 #include "uarch/config.hh"
@@ -45,9 +52,13 @@ class CacheEventSink
 class Cache
 {
   public:
-    /** Exactly one of @p lower / @p mem must be non-null. */
+    /**
+     * Exactly one of @p lower / @p mem must be non-null.
+     * @p chunk_bytes is the data-array COW granularity (0 = default);
+     * it is rounded up to at least one line.
+     */
     Cache(std::string name, const CacheConfig &cfg, Cache *lower,
-          isa::SegmentedMemory *mem);
+          isa::SegmentedMemory *mem, std::uint32_t chunk_bytes = 0);
 
     struct AccessResult
     {
@@ -98,6 +109,28 @@ class Cache
      */
     void repoint(Cache *lower, isa::SegmentedMemory *mem);
 
+    /**
+     * Full state equality with @p o (same geometry assumed): tags,
+     * LRU, dirty bits, access counters, and the data array — shared
+     * data chunks compare by pointer identity.
+     */
+    bool stateEquals(const Cache &o) const;
+
+    /** Data-array bytes (COW-shared by a memberwise copy). */
+    std::uint64_t dataBytes() const { return data_.size(); }
+
+    /** Metadata bytes deep-copied by a memberwise copy. */
+    std::uint64_t metaBytes() const;
+
+    /** Data chunks physically shared with @p o. */
+    std::size_t sharedDataChunksWith(const Cache &o) const
+    {
+        return data_.sharedChunksWith(o.data_);
+    }
+
+    /** Privatize the whole data array (emulates the old deep copy). */
+    void detachData() { data_.detachAll(); }
+
     const CacheConfig &config() const { return cfg_; }
     std::uint64_t hits() const { return hits_; }
     std::uint64_t misses() const { return misses_; }
@@ -110,6 +143,13 @@ class Cache
         bool dirty = false;
         Addr tag = 0;
         std::uint64_t lruStamp = 0;
+
+        bool
+        operator==(const Line &o) const
+        {
+            return valid == o.valid && dirty == o.dirty && tag == o.tag &&
+                   lruStamp == o.lruStamp;
+        }
     };
 
     Addr lineAddr(Addr addr) const { return addr & ~Addr(cfg_.lineSize - 1); }
@@ -119,8 +159,16 @@ class Cache
     }
     Addr tagOf(Addr addr) const { return addr / cfg_.lineSize / cfg_.numSets(); }
 
-    std::uint8_t *lineData(std::uint32_t set, std::uint32_t way);
+    std::size_t
+    lineOffset(std::uint32_t set, std::uint32_t way) const
+    {
+        return (std::size_t(set) * cfg_.ways + way) * cfg_.lineSize;
+    }
+
+    /** Read-only view of a whole resident line. */
     const std::uint8_t *lineData(std::uint32_t set, std::uint32_t way) const;
+    /** Writable view of a whole resident line (detaches its chunk). */
+    std::uint8_t *lineDataMut(std::uint32_t set, std::uint32_t way);
 
     /** Recursive line read from below; returns latency. */
     std::uint32_t readLineFromBelow(Addr line_addr, std::uint8_t *out,
@@ -135,8 +183,8 @@ class Cache
     isa::SegmentedMemory *mem_;
     CacheEventSink *sink_ = nullptr;
 
-    std::vector<Line> lines_;        ///< sets x ways
-    std::vector<std::uint8_t> data_; ///< sets x ways x lineSize
+    std::vector<Line> lines_;  ///< sets x ways
+    base::CowBytes data_;      ///< sets x ways x lineSize, COW-chunked
     std::uint64_t lruCounter_ = 0;
     std::uint64_t hits_ = 0;
     std::uint64_t misses_ = 0;

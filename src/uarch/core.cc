@@ -1,6 +1,9 @@
 #include "uarch/core.hh"
 
 #include <algorithm>
+#include <iterator>
+#include <tuple>
+#include <vector>
 
 #include "base/bits.hh"
 #include "base/logging.hh"
@@ -17,10 +20,10 @@ using isa::UopKind;
 Core::Core(const isa::Program &prog, const CoreConfig &cfg, Probe *probe)
     : cfg_(cfg),
       probe_(probe),
-      mem_(prog.buildMemory()),
-      l2_("l2", cfg.l2, nullptr, &mem_),
-      l1i_("l1i", cfg.l1i, &l2_, nullptr),
-      l1d_("l1d", cfg.l1d, &l2_, nullptr),
+      mem_(prog.buildMemory(cfg.memChunkBytes)),
+      l2_("l2", cfg.l2, nullptr, &mem_, cfg.memChunkBytes),
+      l1i_("l1i", cfg.l1i, &l2_, nullptr, cfg.memChunkBytes),
+      l1d_("l1d", cfg.l1d, &l2_, nullptr, cfg.memChunkBytes),
       tournament_(cfg),
       btb_(cfg.btbEntries),
       ras_(cfg.rasEntries),
@@ -70,11 +73,55 @@ Core::fixupAfterCopy()
     l1dSink_.core = this;
 }
 
+std::uint64_t
+Core::deepStateBytes() const
+{
+    // Everything a memberwise copy duplicates byte-for-byte: the
+    // register machinery, the window, the LSQ, the frontend, predictor
+    // tables, cache tag/LRU metadata, and the COW chunk-pointer tables
+    // themselves.
+    std::uint64_t n = 0;
+    n += prf_.size() * sizeof(std::uint64_t);
+    n += prfReady_.size();
+    n += freeList_.size() * sizeof(std::uint16_t);
+    n += sizeof(renameMap_) + sizeof(commitMap_);
+    n += rob_.size() * sizeof(RobEntry);
+    n += iq_.size() * sizeof(std::uint32_t);
+    n += completions_.size() * sizeof(Completion);
+    n += sq_.size() * sizeof(SqEntry);
+    n += sqData_.size() * sizeof(std::uint64_t);
+    n += uopQueue_.size() * sizeof(FetchedUop);
+    n += divBusyUntil_.size() * sizeof(Cycle);
+    n += tournament_.stateBytes() + btb_.stateBytes() + ras_.stateBytes();
+    n += l2_.metaBytes() + l1i_.metaBytes() + l1d_.metaBytes();
+    n += (mem_.contentBytes() / mem_.chunkBytes() + 4) * sizeof(void *);
+    n += result_.output.size() +
+         result_.traps.size() * sizeof(isa::TrapEvent);
+    return n;
+}
+
+std::uint64_t
+Core::cowStateBytes() const
+{
+    return mem_.contentBytes() + l2_.dataBytes() + l1i_.dataBytes() +
+           l1d_.dataBytes();
+}
+
 Core::Snapshot
-Core::snapshot() const
+Core::snapshot(SnapshotStats *stats, bool deep) const
 {
     auto copy = std::shared_ptr<Core>(new Core(*this));
     copy->fixupAfterCopy();
+    if (deep) {
+        copy->mem_.detachAll();
+        copy->l2_.detachData();
+        copy->l1i_.detachData();
+        copy->l1d_.detachData();
+    }
+    if (stats) {
+        stats->bytesCopied = deepStateBytes() + (deep ? cowStateBytes() : 0);
+        stats->bytesShared = deep ? 0 : cowStateBytes();
+    }
     Snapshot s;
     s.state_ = std::move(copy);
     s.cycle_ = cycle_;
@@ -89,7 +136,7 @@ Core::requireState(const Snapshot &snap)
 }
 
 Core::Core(const isa::Program &prog, const CoreConfig &cfg,
-           const Snapshot &snap)
+           const Snapshot &snap, SnapshotStats *stats, bool deep)
     : Core(requireState(snap))
 {
     // The program's text/data are embedded in the snapshot's memory;
@@ -103,13 +150,99 @@ Core::Core(const isa::Program &prog, const CoreConfig &cfg,
                       cfg.iqEntries == cfg_.iqEntries &&
                       cfg.l1d.sizeBytes == cfg_.l1d.sizeBytes &&
                       cfg.l1i.sizeBytes == cfg_.l1i.sizeBytes &&
-                      cfg.l2.sizeBytes == cfg_.l2.sizeBytes,
+                      cfg.l2.sizeBytes == cfg_.l2.sizeBytes &&
+                      cfg.memChunkBytes == cfg_.memChunkBytes,
                   "snapshot restore with mismatched structural config");
     // Run-limit knobs are the only configuration allowed to change
     // between capture and restore (the injector tightens maxCycles).
     cfg_.maxCycles = cfg.maxCycles;
     cfg_.deadlockCycles = cfg.deadlockCycles;
     cfg_.instructionWindowEnd = cfg.instructionWindowEnd;
+    if (deep) {
+        mem_.detachAll();
+        l2_.detachData();
+        l1i_.detachData();
+        l1d_.detachData();
+    }
+    if (stats) {
+        stats->bytesCopied = deepStateBytes() + (deep ? cowStateBytes() : 0);
+        stats->bytesShared = deep ? 0 : cowStateBytes();
+    }
+}
+
+// ------------------------------------------------------ state equality
+
+bool
+Core::stateEquals(const Snapshot &snap) const
+{
+    return stateEquals(requireState(snap));
+}
+
+bool
+Core::stateEquals(const Core &o) const
+{
+    // Cheapest and most-divergence-prone state first, so runs that
+    // have not reconverged bail out early; the big COW arrays compare
+    // last and mostly by chunk identity.
+    if (cycle_ != o.cycle_ || lastCommitCycle_ != o.lastCommitCycle_ ||
+        nextSeq_ != o.nextSeq_ || finished_ != o.finished_ ||
+        robHeadSeq_ != o.robHeadSeq_ || robTailSeq_ != o.robTailSeq_ ||
+        sqNextSeq_ != o.sqNextSeq_ || sqHeadSeq_ != o.sqHeadSeq_ ||
+        lqOccupancy_ != o.lqOccupancy_ || fetchPc_ != o.fetchPc_ ||
+        fetchResumeCycle_ != o.fetchResumeCycle_ ||
+        fetchHalted_ != o.fetchHalted_ ||
+        l1dWbReadPhase_ != o.l1dWbReadPhase_ ||
+        l1dWritePhase_ != o.l1dWritePhase_ ||
+        l1dCtxSeq_ != o.l1dCtxSeq_) {
+        return false;
+    }
+    if (!(stats_ == o.stats_) || !(result_ == o.result_))
+        return false;
+    if (prf_ != o.prf_ || prfReady_ != o.prfReady_ ||
+        freeList_ != o.freeList_ ||
+        !std::equal(std::begin(renameMap_), std::end(renameMap_),
+                    std::begin(o.renameMap_)) ||
+        !std::equal(std::begin(commitMap_), std::end(commitMap_),
+                    std::begin(o.commitMap_))) {
+        return false;
+    }
+    if (sqData_ != o.sqData_ || sq_ != o.sq_)
+        return false;
+    if (rob_ != o.rob_ || iq_ != o.iq_ || uopQueue_ != o.uopQueue_ ||
+        divBusyUntil_ != o.divBusyUntil_) {
+        return false;
+    }
+    // In-flight completions: the heap's internal layout depends on
+    // insertion history, so compare the two queues as multisets.
+    if (completions_.size() != o.completions_.size())
+        return false;
+    {
+        const auto drain = [](auto q) {
+            std::vector<Completion> v;
+            v.reserve(q.size());
+            while (!q.empty()) {
+                v.push_back(q.top());
+                q.pop();
+            }
+            // top() ordering ties on (cycle, seq); break them fully.
+            std::sort(v.begin(), v.end(),
+                      [](const Completion &a, const Completion &b) {
+                          return std::tie(a.cycle, a.seq, a.robIdx,
+                                          a.gen) <
+                                 std::tie(b.cycle, b.seq, b.robIdx,
+                                          b.gen);
+                      });
+            return v;
+        };
+        if (drain(completions_) != drain(o.completions_))
+            return false;
+    }
+    if (!tournament_.stateEquals(o.tournament_) ||
+        !btb_.stateEquals(o.btb_) || !ras_.stateEquals(o.ras_)) {
+        return false;
+    }
+    return l1d_.stateEquals(o.l1d_) && l1i_.stateEquals(o.l1i_) &&
+           l2_.stateEquals(o.l2_) && mem_.contentEquals(o.mem_);
 }
 
 // ---------------------------------------------------------------- faults

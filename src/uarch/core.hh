@@ -58,6 +58,22 @@ struct CoreStats
     {
         return cycles ? static_cast<double>(instret) / cycles : 0.0;
     }
+
+    bool operator==(const CoreStats &) const = default;
+};
+
+/**
+ * Byte accounting of one snapshot capture or restore: how much state
+ * was deep-copied versus referenced through shared COW chunks.  The
+ * seed engine deep-copied total(); the COW substrate copies only
+ * bytesCopied.
+ */
+struct SnapshotStats
+{
+    std::uint64_t bytesCopied = 0; ///< duplicated into private storage
+    std::uint64_t bytesShared = 0; ///< referenced via shared COW chunks
+
+    std::uint64_t total() const { return bytesCopied + bytesShared; }
 };
 
 /** The out-of-order core. */
@@ -67,6 +83,8 @@ class Core
     /**
      * Opaque, immutable checkpoint of the complete core state
      * (architectural + microarchitectural + memory hierarchy).
+     * Capture shares the memory image and cache data arrays
+     * copy-on-write, so both capture and copy are O(dirty state).
      * Cheap to copy (shared ownership); safe to restore from multiple
      * threads concurrently.
      */
@@ -79,13 +97,30 @@ class Core
      * Resume from @p snap instead of cycle 0.  Only the watchdog /
      * window knobs of @p cfg may differ from the snapshotted
      * configuration; structural parameters must match.  The restored
-     * core never carries a probe.
+     * core never carries a probe.  @p stats, when given, receives the
+     * restore's byte accounting; @p deep forces a full detach of all
+     * COW state (the seed engine's deep-copy behaviour, kept for
+     * benchmarking the substrate).
      */
     Core(const isa::Program &prog, const CoreConfig &cfg,
-         const Snapshot &snap);
+         const Snapshot &snap, SnapshotStats *stats = nullptr,
+         bool deep = false);
 
-    /** Capture the full state of this core between ticks. */
-    Snapshot snapshot() const;
+    /**
+     * Capture the full state of this core between ticks.  @p stats /
+     * @p deep as on the restoring constructor.
+     */
+    Snapshot snapshot(SnapshotStats *stats = nullptr,
+                      bool deep = false) const;
+
+    /**
+     * Deep state equality with the core stored in @p snap: memory and
+     * cache data compare chunk-pointer-first, everything else
+     * field-wise.  Probe-only bookkeeping (pending profiler reads) is
+     * excluded — it never influences a probe-free run.  True means the
+     * two cores are on identical future trajectories.
+     */
+    bool stateEquals(const Snapshot &snap) const;
 
     /** Advance one cycle; false once the run has terminated. */
     bool tick();
@@ -129,6 +164,15 @@ class Core
     /** Re-target internal pointers after a memberwise copy. */
     void fixupAfterCopy();
 
+    /** Field-wise equality against @p o (see stateEquals(Snapshot)). */
+    bool stateEquals(const Core &o) const;
+
+    /** Bytes a memberwise copy duplicates (non-COW members). */
+    std::uint64_t deepStateBytes() const;
+
+    /** Bytes a memberwise copy shares through COW chunks. */
+    std::uint64_t cowStateBytes() const;
+
     static constexpr std::uint16_t NO_PREG = 0xffff;
 
     struct PendingRead
@@ -137,6 +181,8 @@ class Core
         EntryIndex entry;
         Cycle cycle;
         std::uint8_t phase;
+
+        bool operator==(const PendingRead &) const = default;
     };
 
     /** Forwards L1D data-array events to the probe with phase context. */
@@ -190,6 +236,35 @@ class Core
 
         std::uint8_t nPending = 0;
         PendingRead pending[4];
+
+        /**
+         * Equality for the reconvergence check.  nPending / pending
+         * are deliberately excluded: they exist only to feed a probe
+         * at commit, injected cores never carry a probe, and the
+         * profiled golden core records them while the probe-free
+         * restored cores cannot — comparing them would make golden
+         * checkpoints permanently unequal to any injected run.
+         */
+        bool
+        operator==(const RobEntry &o) const
+        {
+            return gen == o.gen && seq == o.seq && rip == o.rip &&
+                   upc == o.upc && lastUop == o.lastUop && su == o.su &&
+                   physDst == o.physDst && prevPhys == o.prevPhys &&
+                   physSrc1 == o.physSrc1 && physSrc2 == o.physSrc2 &&
+                   done == o.done && inIq == o.inIq && trap == o.trap &&
+                   resultValue == o.resultValue && isCtrl == o.isCtrl &&
+                   predTaken == o.predTaken &&
+                   actualTaken == o.actualTaken &&
+                   predTarget == o.predTarget &&
+                   actualTarget == o.actualTarget &&
+                   hasPredState == o.hasPredState &&
+                   predState == o.predState && rasValid == o.rasValid &&
+                   rasSnap == o.rasSnap && storeSeq == o.storeSeq &&
+                   sqSlot == o.sqSlot && isLoad == o.isLoad &&
+                   loadOlderStoreSeq == o.loadOlderStoreSeq &&
+                   outValue == o.outValue;
+        }
     };
 
     struct SqEntry
@@ -205,6 +280,8 @@ class Core
         SeqNum seqNum = 0;
         Rip rip = 0;
         Upc upc = 0;
+
+        bool operator==(const SqEntry &) const = default;
     };
 
     struct FetchedUop
@@ -223,6 +300,8 @@ class Core
         PredictionState predState;
         bool rasValid = false;
         Ras::Snapshot rasSnap{0, 0};
+
+        bool operator==(const FetchedUop &) const = default;
     };
 
     struct Completion
@@ -236,6 +315,8 @@ class Core
         {
             return cycle != o.cycle ? cycle > o.cycle : seq > o.seq;
         }
+
+        bool operator==(const Completion &) const = default;
     };
 
     // Stages.

@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <limits>
 #include <vector>
 
 #include "base/logging.hh"
@@ -360,6 +361,98 @@ TEST(Runner, CheckpointListIsAscendingAndBounded)
         EXPECT_LT(g.checkpoints[i - 1].cycle(),
                   g.checkpoints[i].cycle());
     EXPECT_LT(g.checkpoints.back().cycle(), g.stats.cycles);
+}
+
+TEST(Runner, TimeoutBudgetIsSaturatingAndFactorScaled)
+{
+    constexpr Cycle kMax = std::numeric_limits<Cycle>::max();
+    EXPECT_EQ(InjectionRunner::timeoutBudget(100, 3), 1300u);
+    EXPECT_EQ(InjectionRunner::timeoutBudget(100, 5), 1500u);
+    // Factor 0 is treated as 1, never a zero budget.
+    EXPECT_EQ(InjectionRunner::timeoutBudget(100, 0), 1100u);
+    // The seed expression 3*c+1000 wrapped here; it must clamp.
+    EXPECT_EQ(InjectionRunner::timeoutBudget(kMax / 2, 3), kMax);
+    EXPECT_EQ(InjectionRunner::timeoutBudget(kMax, 1), kMax);
+    EXPECT_EQ(InjectionRunner::timeoutBudget((kMax - 1000) / 3, 3),
+              kMax - 1000 - (kMax - 1000) % 3 + 1000);
+}
+
+/**
+ * The early-exit acceptance property: outcomes are bit-identical with
+ * the golden-reconvergence exit on vs off (it only skips simulation
+ * past a proven state match), and the exit actually fires.
+ */
+TEST(Runner, EarlyExitPreservesEveryOutcome)
+{
+    auto w = workloads::buildWorkload("qsort");
+    uarch::CoreConfig cfg;
+    RunnerOptions on;
+    on.checkpointInterval = 128;
+    RunnerOptions off = on;
+    off.earlyExit = false;
+
+    InjectionRunner fast(w.program, cfg, on);
+    InjectionRunner slow(w.program, cfg, off);
+    auto g_fast = fast.golden();
+    auto g_slow = slow.golden();
+    ASSERT_EQ(g_fast.stats.cycles, g_slow.stats.cycles);
+
+    Rng rng(17);
+    std::vector<Fault> faults;
+    for (unsigned i = 0; i < 60; ++i) {
+        Fault f;
+        f.structure = Structure::RegisterFile;
+        f.entry = static_cast<EntryIndex>(
+            rng.nextBelow(cfg.numPhysIntRegs));
+        f.bit = static_cast<std::uint8_t>(rng.nextBelow(64));
+        f.cycle = rng.nextBelow(g_fast.stats.cycles);
+        faults.push_back(f);
+    }
+    const auto with = fast.injectBatch(faults, g_fast, 1);
+    const auto without = slow.injectBatch(faults, g_slow, 1);
+    EXPECT_EQ(with, without);
+
+    // Random RF flips mostly land in dead registers: the exit must
+    // have fired, and only on the runner that has it enabled.
+    EXPECT_GT(fast.injectionStats().earlyExits, 0u);
+    EXPECT_GT(fast.injectionStats().runs, 0u);
+    EXPECT_LE(fast.injectionStats().earlyExits,
+              fast.injectionStats().runs);
+    EXPECT_EQ(slow.injectionStats().earlyExits, 0u);
+}
+
+/** Early exit across all three target structures stays classification-
+ *  preserving (SQ and L1D flips detach COW chunks mid-run). */
+TEST(Runner, EarlyExitMatchesAcrossStructures)
+{
+    auto w = workloads::buildWorkload("fft");
+    uarch::CoreConfig cfg = uarch::CoreConfig{}.withStoreQueue(16);
+    RunnerOptions on;
+    RunnerOptions off;
+    off.earlyExit = false;
+    InjectionRunner fast(w.program, cfg, on);
+    InjectionRunner slow(w.program, cfg, off);
+    auto g = fast.golden();
+    auto g_off = slow.golden();
+
+    Rng rng(23);
+    for (Structure s : {Structure::RegisterFile, Structure::StoreQueue,
+                        Structure::L1DCache}) {
+        const unsigned entries =
+            s == Structure::RegisterFile ? cfg.numPhysIntRegs
+            : s == Structure::StoreQueue ? cfg.sqEntries
+                                         : cfg.l1d.totalWords();
+        for (unsigned i = 0; i < 12; ++i) {
+            Fault f;
+            f.structure = s;
+            f.entry = static_cast<EntryIndex>(rng.nextBelow(entries));
+            f.bit = static_cast<std::uint8_t>(rng.nextBelow(64));
+            f.cycle = rng.nextBelow(g.stats.cycles);
+            EXPECT_EQ(fast.inject(f, g), slow.inject(f, g_off))
+                << uarch::structureName(s) << " entry " << f.entry
+                << " bit " << unsigned(f.bit) << " cycle " << f.cycle;
+        }
+    }
 }
 
 /** jobs=1 and jobs=8 must produce bit-identical outcome vectors. */

@@ -178,6 +178,18 @@ TEST(Manifest, RejectsTyposAndMissingFields)
     EXPECT_THROW(
         parseManifest(Json::parse("{\"campaigns\":[{\"seed\":1}]}")),
         FatalError);
+    // Bad COW chunk granularity must fail at parse time, not as an
+    // assertion deep inside core construction mid-suite.
+    EXPECT_THROW(
+        parseManifest(Json::parse(
+            "{\"campaigns\":[{\"workload\":\"qsort\","
+            "\"mem_chunk_bytes\":100}]}")),
+        FatalError);
+    EXPECT_THROW(
+        parseManifest(Json::parse(
+            "{\"campaigns\":[{\"workload\":\"qsort\","
+            "\"mem_chunk_bytes\":32}]}")),
+        FatalError);
 }
 
 // ---------------------------------------------------- SuiteScheduler
@@ -326,6 +338,99 @@ TEST_F(SuiteFixture, ByteIdenticalAcrossJobsAndSpecOrder)
     EXPECT_FALSE(j1.empty());
     EXPECT_EQ(j1, storeBytes(created_[1])) << "jobs 1 vs 4 differ";
     EXPECT_EQ(j1, storeBytes(created_[2])) << "spec order leaked in";
+}
+
+/**
+ * Engine-knob invariance at suite level: early-exit on/off and any
+ * COW chunk granularity must leave every campaign OUTCOME bit-
+ * identical, for jobs 1 and 4.  (Whole-store comparison is the wrong
+ * tool here: the knobs are part of the spec, so keys and the recorded
+ * early-exit counters legitimately differ — the claim is about the
+ * fault classifications.)
+ */
+TEST_F(SuiteFixture, OutcomesInvariantToEarlyExitAndChunkSize)
+{
+    std::vector<CampaignSpec> base;
+    CampaignSpec s;
+    s.workload = "qsort";
+    s.structure = uarch::Structure::RegisterFile;
+    s.regs = 128;
+    s.window = 0;
+    s.sampling = core::specFixed(200);
+    s.seed = 5;
+    s.mode = CampaignSpec::Mode::Truth;
+    base.push_back(s);
+
+    s = CampaignSpec{};
+    s.workload = "fft";
+    s.structure = uarch::Structure::StoreQueue;
+    s.sqEntries = 16;
+    s.window = 0;
+    s.sampling = core::specFixed(200);
+    s.seed = 5;
+    base.push_back(s);
+
+    const auto variant = [&](bool early_exit,
+                             std::uint32_t chunk_bytes) {
+        auto specs = base;
+        for (auto &sp : specs) {
+            sp.earlyExit = early_exit;
+            sp.memChunkBytes = chunk_bytes;
+        }
+        return specs;
+    };
+    const auto runSuite = [&](std::vector<CampaignSpec> specs,
+                              unsigned jobs) {
+        SuiteOptions opts;
+        opts.jobs = jobs;
+        opts.recordTiming = false;
+        return SuiteScheduler(std::move(specs), opts).run();
+    };
+
+    const SuiteResult ref = runSuite(variant(true, 4096), 4);
+    const SuiteResult no_exit = runSuite(variant(false, 4096), 1);
+    const SuiteResult fine = runSuite(variant(true, 256), 4);
+    const SuiteResult coarse = runSuite(variant(true, 64 * 1024), 1);
+
+    const auto expectSameOutcomes = [&](const SuiteResult &got,
+                                        const char *what) {
+        for (std::size_t i = 0; i < base.size(); ++i) {
+            const auto &a = ref.results[i];
+            const auto &b = got.results[i];
+            EXPECT_EQ(a.merlinEstimate.counts, b.merlinEstimate.counts)
+                << what << " campaign " << i;
+            EXPECT_EQ(a.merlinSurvivorEstimate.counts,
+                      b.merlinSurvivorEstimate.counts)
+                << what << " campaign " << i;
+            EXPECT_EQ(a.initialFaults, b.initialFaults);
+            EXPECT_EQ(a.aceMasked, b.aceMasked);
+            EXPECT_EQ(a.survivors, b.survivors);
+            EXPECT_EQ(a.numGroups, b.numGroups);
+            EXPECT_EQ(a.injections, b.injections);
+            EXPECT_EQ(a.injectionRuns, b.injectionRuns);
+            ASSERT_EQ(a.survivorTruth.has_value(),
+                      b.survivorTruth.has_value());
+            if (a.survivorTruth) {
+                EXPECT_EQ(a.survivorTruth->counts,
+                          b.survivorTruth->counts)
+                    << what << " campaign " << i;
+            }
+        }
+    };
+    expectSameOutcomes(no_exit, "early-exit off");
+    expectSameOutcomes(fine, "256B chunks");
+    expectSameOutcomes(coarse, "64KB chunks");
+
+    // With the exit disabled the counter must be hard zero; enabled,
+    // the knob must be recorded as having done something somewhere.
+    std::uint64_t exits = 0;
+    for (std::size_t i = 0; i < base.size(); ++i) {
+        EXPECT_EQ(no_exit.results[i].earlyExits, 0u);
+        EXPECT_EQ(ref.results[i].earlyExits, fine.results[i].earlyExits)
+            << "early-exit count depends on chunk size";
+        exits += ref.results[i].earlyExits;
+    }
+    EXPECT_GT(exits, 0u);
 }
 
 TEST_F(SuiteFixture, ResumeServesCachedResultsWithoutRerunning)
