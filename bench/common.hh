@@ -23,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "base/strings.hh"
 #include "merlin/campaign.hh"
 #include "workloads/workloads.hh"
 
@@ -58,20 +59,7 @@ struct Options
             } else if (const char *v2 = val("--seed")) {
                 o.seed = std::strtoull(v2, nullptr, 10);
             } else if (const char *v3 = val("--workloads")) {
-                // Split on commas, dropping empty entries so stray
-                // separators ("a,,b", trailing comma) cannot inject a
-                // nameless workload that fails the build step.
-                std::string s = v3;
-                std::size_t pos = 0;
-                while (pos != std::string::npos) {
-                    std::size_t c = s.find(',', pos);
-                    std::string item =
-                        s.substr(pos, c == std::string::npos ? c
-                                                             : c - pos);
-                    if (!item.empty())
-                        o.workloads.push_back(std::move(item));
-                    pos = c == std::string::npos ? c : c + 1;
-                }
+                o.workloads = base::splitCommaList(v3);
             } else if (const char *v4 = val("--jobs")) {
                 o.jobs =
                     static_cast<unsigned>(std::strtoul(v4, nullptr, 10));

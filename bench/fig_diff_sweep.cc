@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Differential sweep driver: the design-space-exploration workflow on
+ * top of the fig08-style MiBench workloads.  Runs the same estimate
+ * suite under two L1D sizes (configuration A = 64 KB, B = 16 KB by
+ * default), stores both sides, joins them with sched::SuiteDiff on
+ * the `l1d_kb` axis and emits the per-workload A/B delta table —
+ * ΔAVF with its sampling confidence interval, Δclass counts,
+ * Δinjection runs and Δearly-exit rate.
+ *
+ * Flags (bench/common.hh) plus:
+ *   --l1d-a=KB --l1d-b=KB   the two swept sizes (default 64 / 16)
+ *
+ * Both suites run on the shared scheduler pool, so --jobs=N speeds
+ * the sweep without changing a byte of the diff.
+ */
+
+#include <cstring>
+
+#include "bench/common.hh"
+#include "io/result_store.hh"
+#include "sched/diff.hh"
+#include "sched/suite.hh"
+
+namespace
+{
+
+using namespace merlin;
+
+/** Run one side of the sweep into an in-memory store. */
+io::ResultStore
+runSide(const std::vector<std::string> &names, unsigned l1d_kb,
+        const bench::Options &opts, std::uint64_t default_faults)
+{
+    std::vector<sched::CampaignSpec> specs;
+    specs.reserve(names.size());
+    for (const std::string &name : names) {
+        sched::CampaignSpec s;
+        s.workload = name;
+        s.structure = uarch::Structure::L1DCache;
+        s.l1dKb = l1d_kb;
+        s.window = 0; ///< MiBench figures run to completion
+        s.sampling = opts.sampling(default_faults);
+        s.seed = opts.seed;
+        s.mode = sched::CampaignSpec::Mode::Estimate;
+        specs.push_back(std::move(s));
+    }
+
+    sched::SuiteOptions sopts;
+    sopts.jobs = opts.jobs;
+    sopts.recordTiming = false;
+    sched::SuiteResult suite =
+        sched::SuiteScheduler(specs, sopts).run();
+
+    io::ResultStore store;
+    for (std::size_t i = 0; i < specs.size(); ++i)
+        store.put(specs[i].key(), specs[i].toJson(), suite.results[i]);
+    return store;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace merlin;
+
+    bench::Options opts = bench::Options::parse(argc, argv);
+    unsigned l1d_a = 64, l1d_b = 16;
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        if (std::strncmp(arg, "--l1d-a=", 8) == 0)
+            l1d_a = static_cast<unsigned>(
+                std::strtoul(arg + 8, nullptr, 10));
+        else if (std::strncmp(arg, "--l1d-b=", 8) == 0)
+            l1d_b = static_cast<unsigned>(
+                std::strtoul(arg + 8, nullptr, 10));
+    }
+
+    const std::uint64_t default_faults = 2'000;
+    bench::header("Differential sweep (suite --diff)",
+                  "L1D size A vs B over the MiBench workloads", opts,
+                  default_faults);
+    std::printf("configuration A: %u KB L1D, configuration B: %u KB; "
+                "estimate campaigns, --jobs=%u\n\n",
+                l1d_a, l1d_b, opts.jobs);
+
+    const auto names =
+        opts.workloadsOr(workloads::mibenchWorkloads());
+    const io::ResultStore a =
+        runSide(names, l1d_a, opts, default_faults);
+    const io::ResultStore b =
+        runSide(names, l1d_b, opts, default_faults);
+
+    sched::DiffOptions dopts;
+    dopts.axis = {"l1d_kb"};
+    const sched::SuiteDiffResult diff =
+        sched::SuiteDiff(a, b, dopts).run();
+    std::fputs(diff.table().c_str(), stdout);
+
+    std::printf("\nShape check: a smaller L1D holds fewer live lines, "
+                "so per-bit vulnerability (AVF) typically RISES as the "
+                "same working set churns through less capacity; every "
+                "|dAVF| should sit within a few CI widths.\n");
+    return 0;
+}

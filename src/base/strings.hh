@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Small string helpers shared by the CLI and the bench drivers.
+ */
+
+#ifndef MERLIN_BASE_STRINGS_HH
+#define MERLIN_BASE_STRINGS_HH
+
+#include <string>
+#include <vector>
+
+namespace merlin::base
+{
+
+/**
+ * Split a comma-separated list, dropping empty items so stray
+ * separators ("a,,b", trailing comma) cannot inject a nameless
+ * entry.
+ */
+inline std::vector<std::string>
+splitCommaList(const std::string &s)
+{
+    std::vector<std::string> out;
+    std::size_t pos = 0;
+    while (pos != std::string::npos) {
+        std::size_t c = s.find(',', pos);
+        std::string item =
+            s.substr(pos, c == std::string::npos ? c : c - pos);
+        if (!item.empty())
+            out.push_back(std::move(item));
+        pos = c == std::string::npos ? c : c + 1;
+    }
+    return out;
+}
+
+} // namespace merlin::base
+
+#endif // MERLIN_BASE_STRINGS_HH

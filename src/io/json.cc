@@ -353,6 +353,22 @@ Json::dump(int indent) const
     return out;
 }
 
+std::string
+contentKey(const Json &j)
+{
+    // FNV-1a 64 over the canonical (compact) dump.
+    const std::string canon = j.dump();
+    std::uint64_t h = 1469598103934665603ULL;
+    for (unsigned char c : canon) {
+        h ^= c;
+        h *= 1099511628211ULL;
+    }
+    char buf[17];
+    std::snprintf(buf, sizeof buf, "%016llx",
+                  static_cast<unsigned long long>(h));
+    return buf;
+}
+
 // ------------------------------------------------------------- parser
 
 namespace
@@ -423,6 +439,11 @@ class Parser
         switch (peek()) {
           case '{': return object();
           case '[': return array();
+          case 'N':
+          case 'I':
+            // Catch the common non-JSON spellings head-on: strtod
+            // would otherwise accept "Infinity"/"NaN" on some libcs.
+            err("NaN/Infinity are not valid JSON");
           case '"': return Json(string());
           case 't':
             if (!consumeWord("true"))
@@ -443,11 +464,16 @@ class Parser
     Json
     object()
     {
+        // Recursion guard: "[[[[..." / "{{{{..." must report an error,
+        // not exhaust the stack.
+        if (++depth_ > Json::kMaxParseDepth)
+            err("nesting too deep");
         expect('{');
         Json obj = Json::object();
         skipWs();
         if (peek() == '}') {
             ++at_;
+            --depth_;
             return obj;
         }
         for (;;) {
@@ -455,6 +481,12 @@ class Parser
             std::string key = string();
             skipWs();
             expect(':');
+            // Reject duplicates instead of silently keeping the last
+            // one: two spellings of the same member in a manifest or
+            // store are always a mistake, and "last wins" would make
+            // the parsed value depend on member order.
+            if (obj.find(key))
+                err("duplicate object key");
             obj.set(key, value());
             skipWs();
             if (peek() == ',') {
@@ -462,6 +494,7 @@ class Parser
                 continue;
             }
             expect('}');
+            --depth_;
             return obj;
         }
     }
@@ -469,11 +502,14 @@ class Parser
     Json
     array()
     {
+        if (++depth_ > Json::kMaxParseDepth)
+            err("nesting too deep");
         expect('[');
         Json arr = Json::array();
         skipWs();
         if (peek() == ']') {
             ++at_;
+            --depth_;
             return arr;
         }
         for (;;) {
@@ -484,6 +520,7 @@ class Parser
                 continue;
             }
             expect(']');
+            --depth_;
             return arr;
         }
     }
@@ -576,6 +613,47 @@ class Parser
         }
     }
 
+    /**
+     * Strict JSON number grammar: -?(0|[1-9][0-9]*)(\.[0-9]+)?
+     * ([eE][+-]?[0-9]+)?  — strtod alone is far laxer (it accepts
+     * "+1", "2.", ".5", even "Infinity" on some libcs).
+     */
+    static bool
+    validNumberToken(const std::string &t)
+    {
+        std::size_t i = 0;
+        const auto digit = [&](std::size_t k) {
+            return k < t.size() && t[k] >= '0' && t[k] <= '9';
+        };
+        if (i < t.size() && t[i] == '-')
+            ++i;
+        if (!digit(i))
+            return false;
+        if (t[i] == '0') {
+            ++i; // no leading zeros
+        } else {
+            while (digit(i))
+                ++i;
+        }
+        if (i < t.size() && t[i] == '.') {
+            ++i;
+            if (!digit(i))
+                return false;
+            while (digit(i))
+                ++i;
+        }
+        if (i < t.size() && (t[i] == 'e' || t[i] == 'E')) {
+            ++i;
+            if (i < t.size() && (t[i] == '+' || t[i] == '-'))
+                ++i;
+            if (!digit(i))
+                return false;
+            while (digit(i))
+                ++i;
+        }
+        return i == t.size();
+    }
+
     Json
     number()
     {
@@ -598,6 +676,8 @@ class Parser
         if (at_ == start)
             err("expected a value");
         const std::string tok = text_.substr(start, at_ - start);
+        if (!validNumberToken(tok))
+            err("malformed number");
         if (!floating) {
             if (tok[0] == '-') {
                 std::int64_t v = 0;
@@ -618,11 +698,17 @@ class Parser
         double d = std::strtod(tok.c_str(), &end);
         if (end != tok.c_str() + tok.size())
             err("malformed number");
+        // "1e999" overflows strtod to +-Inf: letting it through would
+        // materialize a non-finite double that dump() can only write
+        // back as null — reject at the boundary instead.
+        if (!std::isfinite(d))
+            err("number out of range");
         return Json(d);
     }
 
     const std::string &text_;
     std::size_t at_ = 0;
+    int depth_ = 0;
 };
 
 } // namespace

@@ -126,6 +126,9 @@ class Json
     /** Parse @p text; throws FatalError on malformed input. */
     static Json parse(const std::string &text);
 
+    /** Nesting depth parse() accepts before rejecting the document. */
+    static constexpr int kMaxParseDepth = 256;
+
     bool operator==(const Json &o) const;
 
   private:
@@ -140,6 +143,13 @@ class Json
     Array arr_;
     Object obj_;
 };
+
+/**
+ * Content hash of a value (16 hex digits, FNV-1a 64 over the compact
+ * dump).  Because dumps are a pure function of the value, so is the
+ * key — this is what the result store and the suite differ join on.
+ */
+std::string contentKey(const Json &j);
 
 } // namespace merlin::io
 

@@ -219,4 +219,35 @@ ResultStore::put(const std::string &key, Json spec,
     entries_[key] = Entry{std::move(spec), resultToJson(result)};
 }
 
+ResultStore::MergeStats
+ResultStore::merge(const ResultStore &other, bool force_theirs)
+{
+    MergeStats stats;
+    for (const auto &[key, theirs] : other.entries_) {
+        auto it = entries_.find(key);
+        if (it == entries_.end()) {
+            entries_[key] = theirs;
+            ++stats.added;
+            continue;
+        }
+        // Bit-identity on the serialized payload, not value equality:
+        // the store's contract is byte-stable dumps, so anything short
+        // of identical bytes is a real divergence.
+        const Entry &ours = it->second;
+        if (ours.spec.dump() == theirs.spec.dump() &&
+            ours.result.dump() == theirs.result.dump()) {
+            ++stats.identical;
+            continue;
+        }
+        if (!force_theirs)
+            fatal("result store merge: key '", key,
+                  "' has conflicting payloads (same spec hash, "
+                  "different spec/result bytes); re-run one side or "
+                  "merge with --force-theirs");
+        it->second = theirs;
+        ++stats.replaced;
+    }
+    return stats;
+}
+
 } // namespace merlin::io

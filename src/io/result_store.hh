@@ -45,6 +45,21 @@ core::CampaignResult resultFromJson(const Json &j);
 class ResultStore
 {
   public:
+    /** One stored campaign: the producing spec and its result. */
+    struct Entry
+    {
+        Json spec;
+        Json result;
+    };
+
+    /** What a merge() did, for reporting. */
+    struct MergeStats
+    {
+        std::size_t added = 0;     ///< keys new to this store
+        std::size_t identical = 0; ///< keys present with identical payload
+        std::size_t replaced = 0;  ///< conflicts resolved force-theirs
+    };
+
     /** @p path may be empty for a memory-only store (no load/save IO). */
     explicit ResultStore(std::string path = "");
 
@@ -73,16 +88,29 @@ class ResultStore
     void put(const std::string &key, Json spec,
              const core::CampaignResult &result);
 
+    /**
+     * Fold @p other into this store.  Content-hash keys make the
+     * operation order-independent: a key present in both sides must
+     * carry a bit-identical payload (spec and result dumps), because
+     * the same spec always produces the same result — a mismatch
+     * means one store is corrupt or was produced by a different
+     * engine, and is fatal unless @p force_theirs resolves it by
+     * taking @p other's entry.  Merging the per-campaign shards of a
+     * suite therefore reproduces the single-store run byte-for-byte,
+     * in any shard order.
+     */
+    MergeStats merge(const ResultStore &other, bool force_theirs = false);
+
+    /** All entries, sorted by key (what toJson()/merge() iterate). */
+    const std::map<std::string, Entry> &entries() const
+    {
+        return entries_;
+    }
+
     /** The full store as a JSON document (what save() writes). */
     Json toJson() const;
 
   private:
-    struct Entry
-    {
-        Json spec;
-        Json result;
-    };
-
     std::string path_;
     std::map<std::string, Entry> entries_; ///< sorted => stable dumps
 };

@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <filesystem>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -116,15 +117,22 @@ checkSpecMembers(const Json &j, const char *what)
 {
     for (const auto &[name, value] : j.members()) {
         (void)value;
-        bool known = false;
-        for (const char *m : kSpecMembers)
-            known = known || name == m;
-        if (!known)
+        if (!isSpecMember(name))
             fatal("suite ", what, ": unknown member '", name, "'");
     }
 }
 
 } // namespace
+
+bool
+isSpecMember(const std::string &name)
+{
+    for (const char *m : kSpecMembers) {
+        if (name == m)
+            return true;
+    }
+    return false;
+}
 
 // --------------------------------------------------------- CampaignSpec
 
@@ -240,17 +248,7 @@ CampaignSpec::fromJson(const Json &j)
 std::string
 CampaignSpec::key() const
 {
-    // FNV-1a 64 over the canonical JSON dump.
-    const std::string canon = toJson().dump();
-    std::uint64_t h = 1469598103934665603ULL;
-    for (unsigned char c : canon) {
-        h ^= c;
-        h *= 1099511628211ULL;
-    }
-    char buf[17];
-    std::snprintf(buf, sizeof buf, "%016llx",
-                  static_cast<unsigned long long>(h));
-    return buf;
+    return io::contentKey(toJson());
 }
 
 bool
@@ -316,6 +314,13 @@ SuiteScheduler::run()
     io::ResultStore store(opts_.storePath);
     if (opts_.reuseCached)
         store.load();
+    if (!opts_.shardDir.empty()) {
+        std::error_code ec;
+        std::filesystem::create_directories(opts_.shardDir, ec);
+        if (ec)
+            fatal("suite: cannot create shard directory '",
+                  opts_.shardDir, "': ", ec.message());
+    }
 
     // Campaigns of one workload share the built program.  One slot per
     // distinct name, created up front so lookups never mutate the map;
@@ -340,15 +345,33 @@ SuiteScheduler::run()
         return slot.wl;
     };
 
+    // One single-entry store per campaign, named by the spec key, so
+    // `store merge` folds shards in any order into exactly the
+    // single-store bytes.
+    const auto spillShard = [&](const CampaignSpec &spec,
+                                const core::CampaignResult &res) {
+        io::ResultStore shard(
+            (std::filesystem::path(opts_.shardDir) /
+             (spec.key() + ".json"))
+                .string());
+        shard.put(spec.key(), spec.toJson(), res);
+        shard.save();
+    };
+
     // Resolve every cache hit BEFORE any campaign starts: workers
     // mutate the store (put + save under storeMu below), so lookups
-    // must not race with them.
+    // must not race with them.  Cache hits spill their shard too —
+    // the shard directory's contract is one shard per suite
+    // campaign, however the result was obtained, so merging it
+    // always reassembles the full store.
     std::vector<std::size_t> pending;
     pending.reserve(specs_.size());
     for (std::size_t i = 0; i < specs_.size(); ++i) {
         if (opts_.reuseCached &&
             store.lookup(specs_[i].key(), out.results[i])) {
             out.cached[i] = true;
+            if (!opts_.shardDir.empty())
+                spillShard(specs_[i], out.results[i]);
         } else {
             pending.push_back(i);
         }
@@ -393,10 +416,14 @@ SuiteScheduler::run()
         }
         {
             // Persist after EVERY campaign: an interrupted suite
-            // resumes from the completed prefix.
+            // resumes from the completed prefix.  Shard spill shares
+            // the lock — a manifest may repeat a spec, and two
+            // writers racing on the same shard path must serialize.
             std::lock_guard<std::mutex> lock(storeMu);
             store.put(spec.key(), spec.toJson(), res);
             store.save();
+            if (!opts_.shardDir.empty())
+                spillShard(spec, res);
         }
         out.results[i] = std::move(res);
         ran.fetch_add(1, std::memory_order_relaxed);

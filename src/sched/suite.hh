@@ -114,12 +114,24 @@ struct CampaignSpec
  */
 std::vector<CampaignSpec> parseManifest(const io::Json &manifest);
 
+/** Is @p name a CampaignSpec JSON member (a valid sweep axis knob)? */
+bool isSpecMember(const std::string &name);
+
 struct SuiteOptions
 {
     /** Shared-pool worker threads (0 = hardware concurrency). */
     unsigned jobs = 1;
     /** Result-store path; empty = keep results in memory only. */
     std::string storePath;
+    /**
+     * Shard-spill directory (--out-dir); empty = off.  Every suite
+     * campaign — run or served from the cache — is additionally
+     * written as a single-entry store file `<dir>/<spec key>.json`,
+     * so machines of a distributed sweep can each spill their share
+     * and `merlin_cli store merge` folds the shards back into one
+     * store byte-identical to a single-store run.
+     */
+    std::string shardDir;
     /**
      * Reuse stored results for matching spec keys instead of
      * re-running (--resume / cache hits).  Off = re-run everything and

@@ -27,32 +27,54 @@
  *       classification boundary, so keep the default when comparing
  *       against paper numbers.
  *   merlin_cli suite manifest.json
- *       [--jobs N] [--out results.json] [--resume] [--no-timing]
+ *       [--jobs N] [--out results.json] [--out-dir DIR] [--resume]
+ *       [--no-timing]
  *       Run a whole suite of campaigns (one JSON manifest entry each)
  *       on one shared worker pool: profiles overlap and workers steal
  *       injections across campaigns, with bit-identical results for
  *       any --jobs.  --out persists every CampaignResult keyed by a
  *       content hash of its spec; with --resume, specs already in the
  *       file are served from it (cache hits / crash recovery).
- *       --no-timing zeroes wall-clock fields so the results file is
- *       byte-identical across runs.
+ *       --out-dir additionally spills every campaign as a single-entry
+ *       shard file DIR/<key>.json for `store merge`.  --no-timing
+ *       zeroes wall-clock fields so the results file is byte-identical
+ *       across runs.
+ *   merlin_cli suite --diff A.json B.json
+ *       [--axis knob,...] [--confidence C] [--out diff.json]
+ *       Differential sweep: join two result stores on the spec content
+ *       hash modulo the swept --axis knobs (manifest member names,
+ *       e.g. l1d_kb) and report per-campaign and aggregate B-A deltas
+ *       (AVF, class counts, injection runs, early-exit rate), each
+ *       with a sampling confidence interval.  Output is deterministic:
+ *       sorted rows, byte-stable JSON with --out.
+ *   merlin_cli store merge --out merged.json [--force-theirs]
+ *       input... (store files and/or shard directories)
+ *       Fold result stores/shards into one store.  A key on both sides
+ *       must carry bit-identical payloads; --force-theirs resolves
+ *       conflicts by taking the later input.  Merging a suite's
+ *       --out-dir shards reproduces its --out store byte-for-byte.
  *   merlin_cli asm --file prog.s [--campaign rf|sq|l1d]
  *       Assemble a user program, run it, optionally run a campaign.
  */
 
+#include <algorithm>
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <map>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "base/logging.hh"
+#include "base/strings.hh"
 #include "io/result_store.hh"
 #include "isa/interp.hh"
 #include "masm/asm.hh"
 #include "merlin/campaign.hh"
+#include "sched/diff.hh"
 #include "sched/suite.hh"
 #include "uarch/core.hh"
 #include "workloads/workloads.hh"
@@ -322,6 +344,7 @@ cmdSuite(const std::string &manifest_path, const Args &args)
     sched::SuiteOptions opts;
     opts.jobs = static_cast<unsigned>(args.getU("jobs", 1));
     opts.storePath = args.get("out");
+    opts.shardDir = args.get("out-dir");
     opts.reuseCached = args.has("resume");
     opts.recordTiming = !args.has("no-timing");
     if (opts.reuseCached && opts.storePath.empty())
@@ -360,6 +383,138 @@ cmdSuite(const std::string &manifest_path, const Args &args)
                 suite.wallSeconds, opts.jobs);
     if (!opts.storePath.empty())
         std::printf("results written to %s\n", opts.storePath.c_str());
+    if (!opts.shardDir.empty())
+        std::printf("shards spilled to %s/\n", opts.shardDir.c_str());
+    return 0;
+}
+
+io::ResultStore
+loadStore(const std::string &path)
+{
+    io::ResultStore store(path);
+    if (!store.load())
+        fatal("cannot open result store '", path, "'");
+    return store;
+}
+
+/** Reject flags outside @p known — a typo'd flag must not silently
+ *  fall back to a default (e.g. --axes degenerating to an exact
+ *  join with zero pairs). */
+void
+requireKnownFlags(const Args &args,
+                  std::initializer_list<const char *> known,
+                  const char *what)
+{
+    for (const auto &[flag, value] : args.kv) {
+        (void)value;
+        bool ok = false;
+        for (const char *k : known)
+            ok = ok || flag == k;
+        if (!ok)
+            fatal(what, ": unknown flag '--", flag, "'");
+    }
+}
+
+int
+cmdSuiteDiff(const std::string &path_a, const std::string &path_b,
+             const Args &args)
+{
+    requireKnownFlags(args, {"axis", "confidence", "out"},
+                      "suite --diff");
+    const io::ResultStore a = loadStore(path_a);
+    const io::ResultStore b = loadStore(path_b);
+
+    sched::DiffOptions dopts;
+    dopts.axis = base::splitCommaList(args.get("axis"));
+    dopts.confidence = args.getD("confidence", dopts.confidence);
+
+    sched::SuiteDiffResult diff =
+        sched::SuiteDiff(a, b, dopts).run();
+    std::fputs(diff.table().c_str(), stdout);
+
+    const std::string out = args.get("out");
+    if (!out.empty()) {
+        const std::string tmp = out + ".tmp";
+        {
+            std::ofstream os(tmp, std::ios::trunc);
+            if (!os)
+                fatal("cannot write '", tmp, "'");
+            os << diff.toJson().dump(2) << '\n';
+        }
+        if (std::rename(tmp.c_str(), out.c_str()) != 0)
+            fatal("cannot rename '", tmp, "' to '", out, "'");
+        std::printf("diff written to %s\n", out.c_str());
+    }
+    return 0;
+}
+
+int
+cmdStoreMerge(int argc, char **argv, int start)
+{
+    std::string out;
+    bool force_theirs = false;
+    std::vector<std::string> inputs;
+    for (int i = start; i < argc; ++i) {
+        const std::string a = argv[i];
+        if (a == "--force-theirs") {
+            force_theirs = true;
+        } else if (a == "--out") {
+            if (++i >= argc)
+                fatal("--out requires a path");
+            out = argv[i];
+        } else if (a.rfind("--out=", 0) == 0) {
+            out = a.substr(6);
+        } else if (a.rfind("--", 0) == 0) {
+            fatal("store merge: unknown flag '", a, "'");
+        } else {
+            inputs.push_back(a);
+        }
+    }
+    if (out.empty())
+        fatal("store merge requires --out <merged.json>");
+    if (inputs.empty())
+        fatal("store merge requires at least one input store or "
+              "shard directory");
+
+    // Expand directories into their *.json members, sorted so the
+    // fold order is reproducible (merge is order-independent anyway
+    // unless --force-theirs resolves conflicts).
+    std::vector<std::string> files;
+    for (const std::string &in : inputs) {
+        if (std::filesystem::is_directory(in)) {
+            std::vector<std::string> shard_files;
+            for (const auto &e :
+                 std::filesystem::directory_iterator(in)) {
+                if (e.is_regular_file() &&
+                    e.path().extension() == ".json")
+                    shard_files.push_back(e.path().string());
+            }
+            if (shard_files.empty())
+                fatal("store merge: directory '", in,
+                      "' holds no .json shards");
+            std::sort(shard_files.begin(), shard_files.end());
+            files.insert(files.end(), shard_files.begin(),
+                         shard_files.end());
+        } else {
+            files.push_back(in);
+        }
+    }
+
+    io::ResultStore merged(out);
+    io::ResultStore::MergeStats total;
+    for (const std::string &f : files) {
+        const io::ResultStore part = loadStore(f);
+        const auto stats = merged.merge(part, force_theirs);
+        total.added += stats.added;
+        total.identical += stats.identical;
+        total.replaced += stats.replaced;
+    }
+    merged.save();
+    std::printf("merged %zu input%s -> %s: %zu campaigns "
+                "(%zu added, %zu identical, %zu replaced)\n",
+                files.size(), files.size() == 1 ? "" : "s",
+                out.c_str(), merged.size(), total.added,
+                total.identical, total.replaced);
     return 0;
 }
 
@@ -407,21 +562,46 @@ main(int argc, char **argv)
 {
     if (argc < 2) {
         std::fprintf(stderr,
-                     "usage: merlin_cli <list|run|campaign|suite|asm> "
-                     "[--flags]\n");
+                     "usage: merlin_cli "
+                     "<list|run|campaign|suite|store|asm> [--flags]\n");
         return 2;
     }
     const std::string cmd = argv[1];
     try {
         if (cmd == "suite") {
+            if (argc >= 3 && std::strcmp(argv[2], "--diff") == 0) {
+                if (argc < 5 ||
+                    std::strncmp(argv[3], "--", 2) == 0 ||
+                    std::strncmp(argv[4], "--", 2) == 0) {
+                    std::fprintf(stderr,
+                                 "usage: merlin_cli suite --diff "
+                                 "A.json B.json [--axis knob,...] "
+                                 "[--confidence C] "
+                                 "[--out diff.json]\n");
+                    return 2;
+                }
+                return cmdSuiteDiff(argv[3], argv[4],
+                                    Args::parse(argc, argv, 5));
+            }
             if (argc < 3 || std::strncmp(argv[2], "--", 2) == 0) {
                 std::fprintf(stderr,
                              "usage: merlin_cli suite manifest.json "
                              "[--jobs N] [--out results.json] "
-                             "[--resume] [--no-timing]\n");
+                             "[--out-dir DIR] [--resume] "
+                             "[--no-timing]\n");
                 return 2;
             }
             return cmdSuite(argv[2], Args::parse(argc, argv, 3));
+        }
+        if (cmd == "store") {
+            if (argc < 3 || std::strcmp(argv[2], "merge") != 0) {
+                std::fprintf(stderr,
+                             "usage: merlin_cli store merge --out "
+                             "merged.json [--force-theirs] "
+                             "input...\n");
+                return 2;
+            }
+            return cmdStoreMerge(argc, argv, 3);
         }
         Args args = Args::parse(argc, argv, 2);
         if (cmd == "list")

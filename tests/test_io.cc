@@ -135,6 +135,87 @@ TEST(Json, TypeMismatchesThrow)
     EXPECT_THROW(Json::parse("-1").asU64(), FatalError);
 }
 
+// Fuzz-ish negative coverage: every input below once either crashed,
+// silently lost data, or silently accepted non-JSON.  All must throw
+// (never crash, never mangle).
+
+TEST(JsonFuzz, TruncatedInputsThrowAtEveryPrefix)
+{
+    const std::string doc =
+        "{\"a\":[1,-2.5e3,\"x\\u00e9\",null,true],\"b\":{\"c\":false}}";
+    // Parse of the full document succeeds...
+    EXPECT_EQ(Json::parse(doc).at("a").size(), 5u);
+    // ...and every strict prefix fails cleanly.
+    for (std::size_t n = 0; n < doc.size(); ++n) {
+        EXPECT_THROW(Json::parse(doc.substr(0, n)), FatalError)
+            << "prefix length " << n;
+    }
+}
+
+TEST(JsonFuzz, DuplicateObjectKeysAreRejected)
+{
+    // "Last one wins" would make the parsed value depend on member
+    // order — reject instead.
+    EXPECT_THROW(Json::parse("{\"a\":1,\"a\":2}"), FatalError);
+    EXPECT_THROW(Json::parse("{\"x\":{\"k\":1,\"k\":1}}"), FatalError);
+    // Same key at different nesting levels is fine.
+    EXPECT_EQ(Json::parse("{\"a\":{\"a\":1}}").at("a").at("a").asU64(),
+              1u);
+}
+
+TEST(JsonFuzz, SixtyFourBitBoundaries)
+{
+    // The exact edges round-trip as integers...
+    EXPECT_EQ(Json::parse("18446744073709551615").asU64(), UINT64_MAX);
+    EXPECT_EQ(Json::parse("-9223372036854775808").asI64(), INT64_MIN);
+    // ...one past the edge overflows into a double (lossy but legal
+    // JSON), and must say so when asked for an exact integer.
+    const Json past_u64 = Json::parse("18446744073709551616");
+    EXPECT_TRUE(past_u64.isNumber());
+    EXPECT_DOUBLE_EQ(past_u64.asDouble(), 18446744073709551616.0);
+    EXPECT_THROW(past_u64.asU64(), FatalError);
+    const Json past_i64 = Json::parse("-9223372036854775809");
+    EXPECT_THROW(past_i64.asI64(), FatalError);
+    EXPECT_DOUBLE_EQ(past_i64.asDouble(), -9223372036854775809.0);
+}
+
+TEST(JsonFuzz, NanAndInfinityAreRejected)
+{
+    for (const char *bad :
+         {"NaN", "nan", "Infinity", "-Infinity", "inf", "-inf",
+          "[1,NaN]", "{\"x\":Infinity}"})
+        EXPECT_THROW(Json::parse(bad), FatalError) << bad;
+    // Overflowing literals would materialize +-Inf through strtod;
+    // they must be rejected at the boundary, not dumped back as null.
+    EXPECT_THROW(Json::parse("1e999"), FatalError);
+    EXPECT_THROW(Json::parse("-1e999"), FatalError);
+    EXPECT_THROW(Json::parse("[1e400]"), FatalError);
+}
+
+TEST(JsonFuzz, MalformedNumbersThrow)
+{
+    for (const char *bad : {"-", "+1", "1.2.3", "1e", "1e+", "--1",
+                            "0x10", "1f", ".5", "2."})
+        EXPECT_THROW(Json::parse(bad), FatalError) << bad;
+}
+
+TEST(JsonFuzz, PathologicalNestingIsAnErrorNotAStackOverflow)
+{
+    // Past the depth cap: must throw, not crash.
+    const std::string deep_arrays(10'000, '[');
+    EXPECT_THROW(Json::parse(deep_arrays), FatalError);
+    std::string deep_objects;
+    for (int i = 0; i < 10'000; ++i)
+        deep_objects += "{\"a\":";
+    EXPECT_THROW(Json::parse(deep_objects), FatalError);
+    // At half the cap: parses fine (closed properly).
+    const int ok_depth = Json::kMaxParseDepth / 2;
+    std::string ok(static_cast<std::size_t>(ok_depth), '[');
+    ok += "1";
+    ok.append(static_cast<std::size_t>(ok_depth), ']');
+    EXPECT_EQ(Json::parse(ok).size(), 1u);
+}
+
 // ------------------------------------------- CampaignResult <-> JSON
 
 CampaignResult
