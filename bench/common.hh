@@ -23,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "base/parse.hh"
 #include "base/strings.hh"
 #include "merlin/campaign.hh"
 #include "workloads/workloads.hh"
@@ -41,6 +42,20 @@ struct Options
     static Options
     parse(int argc, char **argv)
     {
+        // Bench mains have no try/catch around their flag handling;
+        // turn a bad flag value into a clean usage exit, not a
+        // std::terminate.
+        try {
+            return parseUnchecked(argc, argv);
+        } catch (const FatalError &e) {
+            std::fprintf(stderr, "error: %s\n", e.what());
+            std::exit(2);
+        }
+    }
+
+    static Options
+    parseUnchecked(int argc, char **argv)
+    {
         Options o;
         for (int i = 1; i < argc; ++i) {
             std::string a = argv[i];
@@ -55,14 +70,16 @@ struct Options
             if (a == "--paper") {
                 o.paper = true;
             } else if (const char *v = val("--faults")) {
-                o.faults = std::strtoull(v, nullptr, 10);
+                // Strict shared parser (base::parseU64): raw strtoull
+                // silently accepted "-1" (wrapping to 2^64-1),
+                // overflow and trailing junk.
+                o.faults = base::parseU64(v, "--faults");
             } else if (const char *v2 = val("--seed")) {
-                o.seed = std::strtoull(v2, nullptr, 10);
+                o.seed = base::parseU64(v2, "--seed");
             } else if (const char *v3 = val("--workloads")) {
                 o.workloads = base::splitCommaList(v3);
             } else if (const char *v4 = val("--jobs")) {
-                o.jobs =
-                    static_cast<unsigned>(std::strtoul(v4, nullptr, 10));
+                o.jobs = base::parseU32(v4, "--jobs");
             } else if (a == "--help" || a == "-h") {
                 std::printf("flags: --faults=N --paper "
                             "--workloads=a,b --seed=N --jobs=N\n");

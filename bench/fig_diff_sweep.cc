@@ -10,16 +10,24 @@
  *
  * Flags (bench/common.hh) plus:
  *   --l1d-a=KB --l1d-b=KB   the two swept sizes (default 64 / 16)
+ *   --select=i/n            run only worker i's share of the sweep
+ *                           (round-robin over the workload list on
+ *                           BOTH sides, so each worker's diff covers
+ *                           matching A/B pairs) — the same partition
+ *                           `merlin_cli suite --select` uses, for
+ *                           distributing A/B sweeps across machines
  *
  * Both suites run on the shared scheduler pool, so --jobs=N speeds
  * the sweep without changing a byte of the diff.
  */
 
 #include <cstring>
+#include <optional>
 
 #include "bench/common.hh"
 #include "io/result_store.hh"
 #include "sched/diff.hh"
+#include "sched/selector.hh"
 #include "sched/suite.hh"
 
 namespace
@@ -30,7 +38,8 @@ using namespace merlin;
 /** Run one side of the sweep into an in-memory store. */
 io::ResultStore
 runSide(const std::vector<std::string> &names, unsigned l1d_kb,
-        const bench::Options &opts, std::uint64_t default_faults)
+        const bench::Options &opts, std::uint64_t default_faults,
+        const std::optional<sched::SpecSelector> &select)
 {
     std::vector<sched::CampaignSpec> specs;
     specs.reserve(names.size());
@@ -49,12 +58,16 @@ runSide(const std::vector<std::string> &names, unsigned l1d_kb,
     sched::SuiteOptions sopts;
     sopts.jobs = opts.jobs;
     sopts.recordTiming = false;
+    sopts.select = select;
     sched::SuiteResult suite =
         sched::SuiteScheduler(specs, sopts).run();
 
     io::ResultStore store;
-    for (std::size_t i = 0; i < specs.size(); ++i)
-        store.put(specs[i].key(), specs[i].toJson(), suite.results[i]);
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        if (suite.selected[i])
+            store.put(specs[i].key(), specs[i].toJson(),
+                      suite.results[i]);
+    }
     return store;
 }
 
@@ -67,14 +80,21 @@ main(int argc, char **argv)
 
     bench::Options opts = bench::Options::parse(argc, argv);
     unsigned l1d_a = 64, l1d_b = 16;
-    for (int i = 1; i < argc; ++i) {
-        const char *arg = argv[i];
-        if (std::strncmp(arg, "--l1d-a=", 8) == 0)
-            l1d_a = static_cast<unsigned>(
-                std::strtoul(arg + 8, nullptr, 10));
-        else if (std::strncmp(arg, "--l1d-b=", 8) == 0)
-            l1d_b = static_cast<unsigned>(
-                std::strtoul(arg + 8, nullptr, 10));
+    std::optional<sched::SpecSelector> select;
+    try {
+        for (int i = 1; i < argc; ++i) {
+            const char *arg = argv[i];
+            if (std::strncmp(arg, "--l1d-a=", 8) == 0)
+                l1d_a = base::parseU32(arg + 8, "--l1d-a");
+            else if (std::strncmp(arg, "--l1d-b=", 8) == 0)
+                l1d_b = base::parseU32(arg + 8, "--l1d-b");
+            else if (std::strncmp(arg, "--select=", 9) == 0)
+                select = sched::SpecSelector::parse(
+                    arg + 9, sched::SpecSelector::Mode::RoundRobin);
+        }
+    } catch (const merlin::FatalError &e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 2;
     }
 
     const std::uint64_t default_faults = 2'000;
@@ -82,15 +102,20 @@ main(int argc, char **argv)
                   "L1D size A vs B over the MiBench workloads", opts,
                   default_faults);
     std::printf("configuration A: %u KB L1D, configuration B: %u KB; "
-                "estimate campaigns, --jobs=%u\n\n",
+                "estimate campaigns, --jobs=%u\n",
                 l1d_a, l1d_b, opts.jobs);
+    if (select)
+        std::printf("selection %s: this worker diffs only its share "
+                    "of the workloads\n",
+                    select->describe().c_str());
+    std::printf("\n");
 
     const auto names =
         opts.workloadsOr(workloads::mibenchWorkloads());
     const io::ResultStore a =
-        runSide(names, l1d_a, opts, default_faults);
+        runSide(names, l1d_a, opts, default_faults, select);
     const io::ResultStore b =
-        runSide(names, l1d_b, opts, default_faults);
+        runSide(names, l1d_b, opts, default_faults, select);
 
     sched::DiffOptions dopts;
     dopts.axis = {"l1d_kb"};

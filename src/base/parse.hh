@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Strict numeric parsing shared by the CLI and the bench drivers.
+ *
+ * std::strtoull and friends are traps for command-line input: they
+ * skip leading whitespace, accept a sign on UNSIGNED conversions
+ * (wrapping "-1" to 2^64-1), ignore trailing junk unless the caller
+ * checks the end pointer, and only report overflow through errno.
+ * Every flag value goes through these helpers instead, so garbage,
+ * overflow and trailing junk are diagnosed identically everywhere.
+ */
+
+#ifndef MERLIN_BASE_PARSE_HH
+#define MERLIN_BASE_PARSE_HH
+
+#include <cctype>
+#include <cerrno>
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <optional>
+#include <string>
+
+#include "base/logging.hh"
+
+namespace merlin::base
+{
+
+/**
+ * Parse the WHOLE of @p s as an unsigned 64-bit integer in @p base.
+ * @return nullopt on empty input, leading whitespace or sign, digits
+ * outside the base, trailing junk, or overflow.
+ */
+inline std::optional<std::uint64_t>
+tryParseU64(const std::string &s, int base = 10)
+{
+    if (s.empty() || std::isspace(static_cast<unsigned char>(s[0])) ||
+        s[0] == '-' || s[0] == '+')
+        return std::nullopt;
+    errno = 0;
+    char *end = nullptr;
+    const std::uint64_t v = std::strtoull(s.c_str(), &end, base);
+    if (errno == ERANGE || end != s.c_str() + s.size())
+        return std::nullopt;
+    return v;
+}
+
+/** tryParseU64 or fatal(); @p what names the flag/field for the user. */
+inline std::uint64_t
+parseU64(const std::string &s, const std::string &what)
+{
+    const auto v = tryParseU64(s);
+    if (!v)
+        fatal(what, ": '", s,
+              "' is not an unsigned 64-bit integer (garbage, sign, "
+              "trailing junk, or overflow)");
+    return *v;
+}
+
+/**
+ * parseU64 restricted to the 32-bit range, for flag values that land
+ * in `unsigned` fields (thread counts, structure geometry).  Without
+ * the range check a strictly-parsed 2^32 would truncate to 0 — for
+ * --jobs that silently means "all hardware threads".
+ */
+inline unsigned
+parseU32(const std::string &s, const std::string &what)
+{
+    const std::uint64_t v = parseU64(s, what);
+    if (v > 0xffffffffULL)
+        fatal(what, ": ", v, " does not fit in 32 bits");
+    return static_cast<unsigned>(v);
+}
+
+/**
+ * Parse the WHOLE of @p s as a finite double.  A leading minus is
+ * allowed; leading whitespace, trailing junk, over/underflow to
+ * +-inf, and the textual "inf"/"nan" forms are not.
+ */
+inline std::optional<double>
+tryParseDouble(const std::string &s)
+{
+    if (s.empty() || std::isspace(static_cast<unsigned char>(s[0])) ||
+        s[0] == '+')
+        return std::nullopt;
+    errno = 0;
+    char *end = nullptr;
+    const double v = std::strtod(s.c_str(), &end);
+    if (errno == ERANGE || end != s.c_str() + s.size() ||
+        !std::isfinite(v))
+        return std::nullopt;
+    return v;
+}
+
+/** tryParseDouble or fatal(); @p what names the flag/field. */
+inline double
+parseDouble(const std::string &s, const std::string &what)
+{
+    const auto v = tryParseDouble(s);
+    if (!v)
+        fatal(what, ": '", s, "' is not a finite number");
+    return *v;
+}
+
+} // namespace merlin::base
+
+#endif // MERLIN_BASE_PARSE_HH

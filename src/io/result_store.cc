@@ -1,8 +1,16 @@
 #include "io/result_store.hh"
 
+#include <algorithm>
 #include <cstdio>
+#include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <unistd.h>
+#endif
 
 #include "base/logging.hh"
 
@@ -37,6 +45,37 @@ classCountsFromJson(const Json &j)
     for (std::size_t i = 0; i < c.counts.size(); ++i)
         c.counts[i] = j[i].asU64();
     return c;
+}
+
+/**
+ * fsync @p path (a file before rename, its directory after): the
+ * atomic-rename save is only crash-safe once both the new bytes and
+ * the directory entry pointing at them are on stable storage.
+ * Directory sync is best-effort — some filesystems refuse O_RDONLY
+ * directory fds — but a file sync failure is a real write error.
+ */
+void
+syncToDisk(const std::string &path, bool directory)
+{
+#if defined(__unix__) || defined(__APPLE__)
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) {
+        if (directory)
+            return;
+        fatal("result store: cannot reopen '", path,
+              "' to sync: ", std::strerror(errno));
+    }
+    if (::fsync(fd) != 0 && !directory) {
+        const int err = errno;
+        ::close(fd);
+        fatal("result store: fsync '", path,
+              "' failed: ", std::strerror(err));
+    }
+    ::close(fd);
+#else
+    (void)path;
+    (void)directory;
+#endif
 }
 
 } // namespace
@@ -149,11 +188,32 @@ ResultStore::load()
         return false;
     std::stringstream ss;
     ss << in.rdbuf();
+    const std::string text = ss.str();
 
-    Json doc = Json::parse(ss.str());
+    // Diagnose the two corruption shapes a crashed save can leave
+    // by name, instead of letting the JSON parser's offset-zero
+    // error stand in for them: an empty file (rename published a
+    // never-written temp) and a truncated/garbled document.
+    if (text.find_first_not_of(" \t\r\n") == std::string::npos)
+        fatal("result store '", path_,
+              "' is empty — likely truncated by an interrupted save; "
+              "delete it (or restore it from shards with `merlin_cli "
+              "store merge`) before resuming");
+    Json doc;
+    try {
+        doc = Json::parse(text);
+    } catch (const FatalError &e) {
+        fatal("result store '", path_,
+              "' is not a valid store (", e.what(),
+              "); delete it (or restore it from shards with "
+              "`merlin_cli store merge`) before resuming");
+    }
     if (doc.strOr("format", "") != kFormatTag)
         fatal("result store '", path_, "': unknown format");
     entries_.clear();
+    selection_.reset();
+    if (const Json *sel = doc.find("selection"))
+        selection_ = *sel;
     for (const auto &[key, entry] : doc.at("campaigns").members()) {
         // Validate eagerly: a malformed entry should fail the load,
         // not the lookup that happens to hit it mid-suite.
@@ -175,6 +235,8 @@ ResultStore::toJson() const
     }
     Json doc = Json::object();
     doc.set("format", kFormatTag);
+    if (selection_)
+        doc.set("selection", *selection_);
     doc.set("campaigns", campaigns);
     return doc;
 }
@@ -190,10 +252,24 @@ ResultStore::save() const
         if (!out)
             fatal("result store: cannot write '", tmp, "'");
         out << toJson().dump(2) << '\n';
+        // Flush and close under an explicit state check: a full disk
+        // must surface here, not as a truncated store discovered by
+        // the next --resume.
+        out.flush();
+        out.close();
+        if (!out.good())
+            fatal("result store: write to '", tmp,
+                  "' failed (disk full?)");
     }
+    // Durability order: temp bytes reach the disk before the rename
+    // publishes them, the directory entry after — a crash leaves
+    // either the complete old store or the complete new one.
+    syncToDisk(tmp, false);
     if (std::rename(tmp.c_str(), path_.c_str()) != 0)
         fatal("result store: cannot rename '", tmp, "' to '", path_,
               "'");
+    const auto dir = std::filesystem::path(path_).parent_path();
+    syncToDisk(dir.empty() ? "." : dir.string(), true);
 }
 
 bool
@@ -217,6 +293,12 @@ ResultStore::put(const std::string &key, Json spec,
                  const CampaignResult &result)
 {
     entries_[key] = Entry{std::move(spec), resultToJson(result)};
+}
+
+bool
+ResultStore::erase(const std::string &key)
+{
+    return entries_.erase(key) != 0;
 }
 
 ResultStore::MergeStats
@@ -248,6 +330,56 @@ ResultStore::merge(const ResultStore &other, bool force_theirs)
         ++stats.replaced;
     }
     return stats;
+}
+
+std::vector<std::string>
+gatherStoreFiles(const std::vector<std::string> &inputs)
+{
+    std::vector<std::string> files;
+    for (const std::string &in : inputs) {
+        if (std::filesystem::is_directory(in)) {
+            std::vector<std::string> shard_files;
+            for (const auto &e :
+                 std::filesystem::directory_iterator(in)) {
+                if (e.is_regular_file() &&
+                    e.path().extension() == ".json")
+                    shard_files.push_back(e.path().string());
+            }
+            if (shard_files.empty())
+                fatal("store gather: directory '", in,
+                      "' holds no .json shards");
+            // Sorted so the fold order is reproducible (merge is
+            // order-independent anyway unless --force-theirs resolves
+            // conflicts).
+            std::sort(shard_files.begin(), shard_files.end());
+            files.insert(files.end(), shard_files.begin(),
+                         shard_files.end());
+        } else if (std::filesystem::is_regular_file(in)) {
+            files.push_back(in);
+        } else {
+            fatal("store gather: '", in,
+                  "' is neither a store file nor a shard directory — "
+                  "did a worker fail to deliver its output?");
+        }
+    }
+    return files;
+}
+
+ResultStore::MergeStats
+mergeStoreFiles(ResultStore &into, const std::vector<std::string> &files,
+                bool force_theirs)
+{
+    ResultStore::MergeStats total;
+    for (const std::string &f : files) {
+        ResultStore part(f);
+        if (!part.load())
+            fatal("store gather: cannot open result store '", f, "'");
+        const auto stats = into.merge(part, force_theirs);
+        total.added += stats.added;
+        total.identical += stats.identical;
+        total.replaced += stats.replaced;
+    }
+    return total;
 }
 
 } // namespace merlin::io

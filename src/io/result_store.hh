@@ -28,7 +28,9 @@
 #define MERLIN_IO_RESULT_STORE_HH
 
 #include <map>
+#include <optional>
 #include <string>
+#include <vector>
 
 #include "io/json.hh"
 #include "merlin/campaign.hh"
@@ -88,6 +90,22 @@ class ResultStore
     void put(const std::string &key, Json spec,
              const core::CampaignResult &result);
 
+    /** Remove the entry for @p key.  @return true if it existed. */
+    bool erase(const std::string &key);
+
+    /**
+     * Which suite selection produced this store, for distributed
+     * workers (`suite --select i/n --out worker.json`).  Recorded in
+     * the store file so a `--resume` against the wrong worker's store
+     * is refused instead of silently mixing shares.  Absent (the
+     * default) for single-host stores and merged stores — merge()
+     * never propagates it, which is what keeps a merged store
+     * byte-identical to the single-host run.
+     */
+    const std::optional<Json> &selection() const { return selection_; }
+    void setSelection(Json sel) { selection_ = std::move(sel); }
+    void clearSelection() { selection_.reset(); }
+
     /**
      * Fold @p other into this store.  Content-hash keys make the
      * operation order-independent: a key present in both sides must
@@ -113,7 +131,28 @@ class ResultStore
   private:
     std::string path_;
     std::map<std::string, Entry> entries_; ///< sorted => stable dumps
+    std::optional<Json> selection_;        ///< worker share, if any
 };
+
+/**
+ * Expand a mixed list of store files and shard directories into the
+ * store files to merge: directories contribute their *.json members,
+ * sorted.  fatal() on a missing input or a directory with no shards —
+ * a gather that silently skips a worker's output would "succeed" with
+ * an incomplete store.
+ */
+std::vector<std::string>
+gatherStoreFiles(const std::vector<std::string> &inputs);
+
+/**
+ * Load every file of @p files and fold it into @p into (see
+ * ResultStore::merge for the conflict rules).  The gather half of
+ * distributed dispatch: inputs from any number of workers, in any
+ * order, reassemble the single-host store.
+ */
+ResultStore::MergeStats
+mergeStoreFiles(ResultStore &into, const std::vector<std::string> &files,
+                bool force_theirs = false);
 
 } // namespace merlin::io
 

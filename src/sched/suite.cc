@@ -6,6 +6,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <set>
 
 #include "base/logging.hh"
 #include "base/threadpool.hh"
@@ -310,10 +311,54 @@ SuiteScheduler::run()
     SuiteResult out;
     out.results.resize(specs_.size());
     out.cached.assign(specs_.size(), false);
+    out.selected.assign(specs_.size(), true);
+    if (opts_.select) {
+        for (std::size_t i = 0; i < specs_.size(); ++i)
+            out.selected[i] = opts_.select->selects(i, specs_[i].key());
+    }
 
     io::ResultStore store(opts_.storePath);
-    if (opts_.reuseCached)
-        store.load();
+    if (opts_.reuseCached && store.load() && store.selection() &&
+        opts_.select) {
+        // Refuse overlapping resume stores: a store that records a
+        // different selection belongs to another worker, and resuming
+        // from it would mix two shares into one file (and clobber the
+        // other worker's entries on save).
+        const SpecSelector recorded =
+            SpecSelector::fromJson(*store.selection());
+        if (!(recorded == *opts_.select))
+            fatal("suite --resume: store '", opts_.storePath,
+                  "' was produced under selection ",
+                  recorded.describe(), ", not ",
+                  opts_.select->describe(),
+                  " — give every worker its own --out store");
+    }
+    if (opts_.select) {
+        store.setSelection(opts_.select->toJson());
+        // Entries outside this worker's share — unselected manifest
+        // specs, or specs of some other suite entirely (a single-host
+        // store copied in to seed the resume) — are foreign: drop
+        // them so they are neither re-spilled as shards nor
+        // re-serialized into this worker's store, which would
+        // duplicate them across the merge inputs.
+        std::set<std::string> mine;
+        for (std::size_t i = 0; i < specs_.size(); ++i) {
+            if (out.selected[i])
+                mine.insert(specs_[i].key());
+        }
+        std::vector<std::string> foreign;
+        for (const auto &[key, entry] : store.entries()) {
+            (void)entry;
+            if (!mine.count(key))
+                foreign.push_back(key);
+        }
+        for (const std::string &key : foreign)
+            store.erase(key);
+    } else {
+        // A full run owns the whole suite; a worker store being
+        // promoted back to a single-host store sheds its selection.
+        store.clearSelection();
+    }
     if (!opts_.shardDir.empty()) {
         std::error_code ec;
         std::filesystem::create_directories(opts_.shardDir, ec);
@@ -367,6 +412,8 @@ SuiteScheduler::run()
     std::vector<std::size_t> pending;
     pending.reserve(specs_.size());
     for (std::size_t i = 0; i < specs_.size(); ++i) {
+        if (!out.selected[i])
+            continue; // another worker's spec: not run, not spilled
         if (opts_.reuseCached &&
             store.lookup(specs_[i].key(), out.results[i])) {
             out.cached[i] = true;
@@ -376,6 +423,11 @@ SuiteScheduler::run()
             pending.push_back(i);
         }
     }
+    // Canonicalize a worker store up front: selection recorded and
+    // foreign entries gone even when every campaign is served from
+    // the cache and no per-campaign save would otherwise happen.
+    if (opts_.select && !opts_.storePath.empty())
+        store.save();
 
     base::ThreadPool pool(opts_.jobs ? opts_.jobs
                                      : base::ThreadPool::hardwareThreads());

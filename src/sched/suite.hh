@@ -33,6 +33,7 @@
 
 #include "io/json.hh"
 #include "merlin/campaign.hh"
+#include "sched/selector.hh"
 #include "workloads/workloads.hh"
 
 namespace merlin::sched
@@ -144,6 +145,20 @@ struct SuiteOptions
      * determinism guarantee in testable form.
      */
     bool recordTiming = true;
+    /**
+     * This worker's share of the suite (--select i/n /
+     * --select-hash i/n); nullopt = run everything.  Applied before
+     * dispatch: unselected specs are not run, not served from the
+     * cache, and not spilled as shards; their SuiteResult slots stay
+     * default-constructed with selected[i] == false.  The selection
+     * is recorded in the store file, and resuming from a store that
+     * records a DIFFERENT selection is fatal — two workers sharing
+     * one store would clobber each other's share.  Entries of a
+     * selection-free store (e.g. a copied single-host store) that
+     * fall outside the selection are foreign: dropped on load so
+     * they are neither re-spilled nor re-serialized.
+     */
+    std::optional<SpecSelector> select;
 };
 
 struct SuiteResult
@@ -152,6 +167,11 @@ struct SuiteResult
     std::vector<core::CampaignResult> results;
     /** Which specs were served from the store without running. */
     std::vector<bool> cached;
+    /**
+     * Which specs this worker's selection kept (all of them without
+     * --select).  results[i] is meaningful only when selected[i].
+     */
+    std::vector<bool> selected;
     std::uint64_t campaignsRun = 0;
     double wallSeconds = 0.0;
 };

@@ -28,7 +28,7 @@
  *       against paper numbers.
  *   merlin_cli suite manifest.json
  *       [--jobs N] [--out results.json] [--out-dir DIR] [--resume]
- *       [--no-timing]
+ *       [--no-timing] [--select i/n | --select-hash i/n]
  *       Run a whole suite of campaigns (one JSON manifest entry each)
  *       on one shared worker pool: profiles overlap and workers steal
  *       injections across campaigns, with bit-identical results for
@@ -39,6 +39,21 @@
  *       shard file DIR/<key>.json for `store merge`.  --no-timing
  *       zeroes wall-clock fields so the results file is byte-identical
  *       across runs.
+ *       --select i/n runs only worker i's share of the suite
+ *       (round-robin over the manifest order); --select-hash i/n
+ *       partitions on the spec content hash instead, so the share is
+ *       invariant to manifest reordering.  Selections 0/n..n-1/n are
+ *       disjoint and complete: run each share on its own machine with
+ *       its own --out/--out-dir and `store merge` the gathered shards
+ *       back into a store byte-identical to the single-host run (see
+ *       tools/dispatch.sh).  The selection is recorded in the worker's
+ *       store; resuming from another worker's store is fatal.
+ *   merlin_cli suite manifest.json --plan n [--hash] [--plan-dir DIR]
+ *       Instead of running, emit n per-worker manifests
+ *       DIR/worker-<i>-of-<n>.json (defaults resolved, one fully
+ *       explicit spec per campaign) partitioned round-robin (or by
+ *       content hash with --hash) — for schedulers that ship a
+ *       manifest per machine rather than passing --select.
  *   merlin_cli suite --diff A.json B.json
  *       [--axis knob,...] [--confidence C] [--out diff.json]
  *       Differential sweep: join two result stores on the spec content
@@ -69,6 +84,7 @@
 #include <vector>
 
 #include "base/logging.hh"
+#include "base/parse.hh"
 #include "base/strings.hh"
 #include "io/result_store.hh"
 #include "isa/interp.hh"
@@ -126,14 +142,20 @@ struct Args
         auto it = kv.find(k);
         if (it == kv.end())
             return def;
-        char *end = nullptr;
-        errno = 0;
-        const std::uint64_t v =
-            std::strtoull(it->second.c_str(), &end, 10);
-        if (errno != 0 || end == it->second.c_str() || *end != '\0')
-            fatal("--", k, ": '", it->second,
-                  "' is not an unsigned integer");
-        return v;
+        // One strict parser for every numeric flag (base::parseU64):
+        // signs, whitespace, trailing junk and overflow are all fatal,
+        // where raw strtoull would wrap "-1" to 2^64-1 silently.
+        return base::parseU64(it->second, "--" + k);
+    }
+    /** Like getU but range-checked for `unsigned` destinations, so a
+     *  2^32 cannot truncate to 0 (for --jobs: "all threads"). */
+    unsigned
+    getU32(const std::string &k, unsigned def) const
+    {
+        auto it = kv.find(k);
+        if (it == kv.end())
+            return def;
+        return base::parseU32(it->second, "--" + k);
     }
     /** on/off value of --k; fatal() on anything else. */
     bool
@@ -155,12 +177,7 @@ struct Args
         auto it = kv.find(k);
         if (it == kv.end())
             return def;
-        char *end = nullptr;
-        errno = 0;
-        const double v = std::strtod(it->second.c_str(), &end);
-        if (errno != 0 || end == it->second.c_str() || *end != '\0')
-            fatal("--", k, ": '", it->second, "' is not a number");
-        return v;
+        return base::parseDouble(it->second, "--" + k);
     }
 };
 
@@ -271,12 +288,9 @@ campaignConfig(const Args &args, std::uint64_t default_window)
     core::CampaignConfig cc;
     cc.target = parseStructure(args.get("structure", "rf"));
     cc.core = uarch::CoreConfig{}
-                  .withRegisterFile(
-                      static_cast<unsigned>(args.getU("regs", 256)))
-                  .withStoreQueue(
-                      static_cast<unsigned>(args.getU("sq", 64)))
-                  .withL1dKb(
-                      static_cast<unsigned>(args.getU("l1d", 64)));
+                  .withRegisterFile(args.getU32("regs", 256))
+                  .withStoreQueue(args.getU32("sq", 64))
+                  .withL1dKb(args.getU32("l1d", 64));
     cc.core.instructionWindowEnd = args.getU("window", default_window);
     if (args.has("faults")) {
         cc.sampling = core::specFixed(args.getU("faults", 2000));
@@ -287,16 +301,16 @@ campaignConfig(const Args &args, std::uint64_t default_window)
         cc.sampling = core::specFixed(2000);
     }
     cc.seed = args.getU("seed", 1);
-    cc.jobs = static_cast<unsigned>(args.getU("jobs", 1));
+    cc.jobs = args.getU32("jobs", 1);
     cc.checkpointInterval = args.getU(
         "checkpoint-interval",
         faultsim::InjectionRunner::kDefaultCheckpointInterval);
-    cc.maxCheckpoints = static_cast<unsigned>(args.getU(
+    cc.maxCheckpoints = args.getU32(
         "max-checkpoints",
-        faultsim::InjectionRunner::kDefaultMaxCheckpoints));
+        faultsim::InjectionRunner::kDefaultMaxCheckpoints);
     cc.earlyExit = args.getOnOff("early-exit", true);
-    cc.timeoutFactor = static_cast<unsigned>(args.getU(
-        "timeout-factor", faultsim::RunnerOptions::kDefaultTimeoutFactor));
+    cc.timeoutFactor = args.getU32(
+        "timeout-factor", faultsim::RunnerOptions::kDefaultTimeoutFactor);
     const std::uint64_t chunk = args.getU(
         "mem-chunk-bytes", isa::SegmentedMemory::kDefaultChunkBytes);
     if (!isa::isValidChunkBytes(chunk))
@@ -330,6 +344,100 @@ cmdCampaign(const Args &args)
     return 0;
 }
 
+/** Reject flags outside @p known — a typo'd flag must not silently
+ *  fall back to a default (e.g. --axes degenerating to an exact
+ *  join with zero pairs). */
+void
+requireKnownFlags(const Args &args,
+                  std::initializer_list<const char *> known,
+                  const char *what)
+{
+    for (const auto &[flag, value] : args.kv) {
+        (void)value;
+        bool ok = false;
+        for (const char *k : known)
+            ok = ok || flag == k;
+        if (!ok)
+            fatal(what, ": unknown flag '--", flag, "'");
+    }
+}
+
+/** Write @p text to @p path atomically (temp file + rename). */
+void
+writeTextFile(const std::string &path, const std::string &text)
+{
+    const std::string tmp = path + ".tmp";
+    {
+        std::ofstream os(tmp, std::ios::trunc);
+        if (!os)
+            fatal("cannot write '", tmp, "'");
+        os << text;
+        os.flush();
+        os.close();
+        if (!os.good())
+            fatal("write to '", tmp, "' failed (disk full?)");
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0)
+        fatal("cannot rename '", tmp, "' to '", path, "'");
+}
+
+/**
+ * suite --plan n: emit one manifest per worker instead of running.
+ * Each output holds that worker's selection, fully resolved (defaults
+ * folded in, every member explicit), so running it — with or without
+ * a further --select — spills shards that merge back into exactly the
+ * single-host store.
+ */
+int
+cmdSuitePlan(const std::vector<sched::CampaignSpec> &specs,
+             const Args &args)
+{
+    const std::uint64_t n = args.getU("plan", 0);
+    if (n == 0)
+        fatal("--plan: worker count must be >= 1");
+    if (n > specs.size())
+        fatal("--plan: ", n, " workers for ", specs.size(),
+              " campaign", specs.size() == 1 ? "" : "s",
+              " — at least one per-worker manifest would be empty");
+    const auto mode = args.has("hash")
+                          ? sched::SpecSelector::Mode::Hash
+                          : sched::SpecSelector::Mode::RoundRobin;
+    const std::string dir = args.get("plan-dir", "plan");
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    if (ec)
+        fatal("--plan: cannot create directory '", dir,
+              "': ", ec.message());
+
+    for (std::uint64_t i = 0; i < n; ++i) {
+        sched::SpecSelector sel;
+        sel.mode = mode;
+        sel.index = i;
+        sel.count = n;
+        io::Json camps = io::Json::array();
+        for (std::size_t j = 0; j < specs.size(); ++j) {
+            if (sel.selects(j, specs[j].key()))
+                camps.push(specs[j].toJson());
+        }
+        if (camps.size() == 0)
+            fatal("--plan: worker ", i, " of ", n, " selects no "
+                  "campaigns under hash partitioning — use fewer "
+                  "workers or round-robin");
+        io::Json manifest = io::Json::object();
+        manifest.set("campaigns", camps);
+        const std::string path =
+            (std::filesystem::path(dir) /
+             ("worker-" + std::to_string(i) + "-of-" +
+              std::to_string(n) + ".json"))
+                .string();
+        writeTextFile(path, manifest.dump(2) + "\n");
+        std::printf("%s: %zu campaign%s (%s)\n", path.c_str(),
+                    camps.size(), camps.size() == 1 ? "" : "s",
+                    sel.describe().c_str());
+    }
+    return 0;
+}
+
 int
 cmdSuite(const std::string &manifest_path, const Args &args)
 {
@@ -341,14 +449,33 @@ cmdSuite(const std::string &manifest_path, const Args &args)
     std::vector<sched::CampaignSpec> specs =
         sched::parseManifest(io::Json::parse(ss.str()));
 
+    if (args.has("plan")) {
+        requireKnownFlags(args, {"plan", "plan-dir", "hash"},
+                          "suite --plan");
+        return cmdSuitePlan(specs, args);
+    }
+    requireKnownFlags(args,
+                      {"jobs", "out", "out-dir", "resume", "no-timing",
+                       "select", "select-hash"},
+                      "suite");
+
     sched::SuiteOptions opts;
-    opts.jobs = static_cast<unsigned>(args.getU("jobs", 1));
+    opts.jobs = args.getU32("jobs", 1);
     opts.storePath = args.get("out");
     opts.shardDir = args.get("out-dir");
     opts.reuseCached = args.has("resume");
     opts.recordTiming = !args.has("no-timing");
     if (opts.reuseCached && opts.storePath.empty())
         fatal("--resume requires --out <results.json>");
+    if (args.has("select") && args.has("select-hash"))
+        fatal("suite: --select and --select-hash are mutually "
+              "exclusive");
+    if (args.has("select"))
+        opts.select = sched::SpecSelector::parse(
+            args.get("select"), sched::SpecSelector::Mode::RoundRobin);
+    else if (args.has("select-hash"))
+        opts.select = sched::SpecSelector::parse(
+            args.get("select-hash"), sched::SpecSelector::Mode::Hash);
 
     sched::SuiteScheduler scheduler(specs, opts);
     sched::SuiteResult suite = scheduler.run();
@@ -357,8 +484,12 @@ cmdSuite(const std::string &manifest_path, const Args &args)
                 "workload", "tgt", "mode", "initial", "survivors",
                 "injected", "AVF%", "ee%", "");
     std::uint64_t cached = 0;
+    std::uint64_t selected = 0;
     for (std::size_t i = 0; i < specs.size(); ++i) {
+        if (!suite.selected[i])
+            continue; // another worker's share
         const auto &r = suite.results[i];
+        ++selected;
         cached += suite.cached[i] ? 1 : 0;
         std::printf(
             "%-14s %-4s %-13s %10llu %10llu %10llu %7.3f%% %5.1f%% %s\n",
@@ -377,10 +508,18 @@ cmdSuite(const std::string &manifest_path, const Args &args)
     }
     std::printf("\n%llu campaigns (%llu run, %llu cached) in %.2fs "
                 "with --jobs %u\n",
-                static_cast<unsigned long long>(specs.size()),
+                static_cast<unsigned long long>(selected),
                 static_cast<unsigned long long>(suite.campaignsRun),
                 static_cast<unsigned long long>(cached),
                 suite.wallSeconds, opts.jobs);
+    if (opts.select) {
+        // The suite report records the selection: which share of the
+        // manifest this worker ran, and what it left for the others.
+        std::printf("selection %s: %llu of %zu manifest campaigns\n",
+                    opts.select->describe().c_str(),
+                    static_cast<unsigned long long>(selected),
+                    specs.size());
+    }
     if (!opts.storePath.empty())
         std::printf("results written to %s\n", opts.storePath.c_str());
     if (!opts.shardDir.empty())
@@ -395,24 +534,6 @@ loadStore(const std::string &path)
     if (!store.load())
         fatal("cannot open result store '", path, "'");
     return store;
-}
-
-/** Reject flags outside @p known — a typo'd flag must not silently
- *  fall back to a default (e.g. --axes degenerating to an exact
- *  join with zero pairs). */
-void
-requireKnownFlags(const Args &args,
-                  std::initializer_list<const char *> known,
-                  const char *what)
-{
-    for (const auto &[flag, value] : args.kv) {
-        (void)value;
-        bool ok = false;
-        for (const char *k : known)
-            ok = ok || flag == k;
-        if (!ok)
-            fatal(what, ": unknown flag '--", flag, "'");
-    }
 }
 
 int
@@ -434,15 +555,7 @@ cmdSuiteDiff(const std::string &path_a, const std::string &path_b,
 
     const std::string out = args.get("out");
     if (!out.empty()) {
-        const std::string tmp = out + ".tmp";
-        {
-            std::ofstream os(tmp, std::ios::trunc);
-            if (!os)
-                fatal("cannot write '", tmp, "'");
-            os << diff.toJson().dump(2) << '\n';
-        }
-        if (std::rename(tmp.c_str(), out.c_str()) != 0)
-            fatal("cannot rename '", tmp, "' to '", out, "'");
+        writeTextFile(out, diff.toJson().dump(2) + "\n");
         std::printf("diff written to %s\n", out.c_str());
     }
     return 0;
@@ -476,39 +589,15 @@ cmdStoreMerge(int argc, char **argv, int start)
         fatal("store merge requires at least one input store or "
               "shard directory");
 
-    // Expand directories into their *.json members, sorted so the
-    // fold order is reproducible (merge is order-independent anyway
-    // unless --force-theirs resolves conflicts).
-    std::vector<std::string> files;
-    for (const std::string &in : inputs) {
-        if (std::filesystem::is_directory(in)) {
-            std::vector<std::string> shard_files;
-            for (const auto &e :
-                 std::filesystem::directory_iterator(in)) {
-                if (e.is_regular_file() &&
-                    e.path().extension() == ".json")
-                    shard_files.push_back(e.path().string());
-            }
-            if (shard_files.empty())
-                fatal("store merge: directory '", in,
-                      "' holds no .json shards");
-            std::sort(shard_files.begin(), shard_files.end());
-            files.insert(files.end(), shard_files.begin(),
-                         shard_files.end());
-        } else {
-            files.push_back(in);
-        }
-    }
-
+    // The gather half of distributed dispatch, shared with the tests:
+    // expand shard directories (sorted members), then fold every
+    // store into one.  Worker stores carry a recorded selection;
+    // merge() drops it, so the merged store is byte-identical to the
+    // single-host run whatever the gather order.
+    const std::vector<std::string> files = io::gatherStoreFiles(inputs);
     io::ResultStore merged(out);
-    io::ResultStore::MergeStats total;
-    for (const std::string &f : files) {
-        const io::ResultStore part = loadStore(f);
-        const auto stats = merged.merge(part, force_theirs);
-        total.added += stats.added;
-        total.identical += stats.identical;
-        total.replaced += stats.replaced;
-    }
+    const io::ResultStore::MergeStats total =
+        io::mergeStoreFiles(merged, files, force_theirs);
     merged.save();
     std::printf("merged %zu input%s -> %s: %zu campaigns "
                 "(%zu added, %zu identical, %zu replaced)\n",
@@ -588,7 +677,9 @@ main(int argc, char **argv)
                              "usage: merlin_cli suite manifest.json "
                              "[--jobs N] [--out results.json] "
                              "[--out-dir DIR] [--resume] "
-                             "[--no-timing]\n");
+                             "[--no-timing] "
+                             "[--select i/n | --select-hash i/n] | "
+                             "--plan n [--hash] [--plan-dir DIR]\n");
                 return 2;
             }
             return cmdSuite(argv[2], Args::parse(argc, argv, 3));

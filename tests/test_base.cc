@@ -10,6 +10,7 @@
 
 #include "base/bits.hh"
 #include "base/logging.hh"
+#include "base/parse.hh"
 #include "base/rng.hh"
 #include "base/statistics.hh"
 
@@ -17,6 +18,57 @@ namespace merlin
 {
 namespace
 {
+
+// ------------------------------------------------------- base::parse
+
+TEST(Parse, AcceptsStrictUnsignedIntegers)
+{
+    EXPECT_EQ(base::tryParseU64("0"), 0u);
+    EXPECT_EQ(base::tryParseU64("42"), 42u);
+    EXPECT_EQ(base::tryParseU64("18446744073709551615"), UINT64_MAX);
+    EXPECT_EQ(base::tryParseU64("ff", 16), 255u);
+    EXPECT_EQ(base::parseU64("7", "--x"), 7u);
+}
+
+TEST(Parse, RejectsWhatStrtoullSilentlyAccepts)
+{
+    // strtoull wraps "-1" to 2^64-1, skips leading whitespace,
+    // accepts "+", saturates on overflow, and stops at trailing junk
+    // — all of these must be errors for flag values.
+    EXPECT_FALSE(base::tryParseU64("-1"));
+    EXPECT_FALSE(base::tryParseU64("+1"));
+    EXPECT_FALSE(base::tryParseU64(" 1"));
+    EXPECT_FALSE(base::tryParseU64("1 "));
+    EXPECT_FALSE(base::tryParseU64("1x"));
+    EXPECT_FALSE(base::tryParseU64(""));
+    EXPECT_FALSE(base::tryParseU64("18446744073709551616")); // 2^64
+    EXPECT_FALSE(base::tryParseU64("99999999999999999999999"));
+    EXPECT_FALSE(base::tryParseU64("0x10")); // base 10: junk
+    EXPECT_THROW(base::parseU64("-1", "--x"), FatalError);
+    EXPECT_THROW(base::parseU64("2kb", "--x"), FatalError);
+}
+
+TEST(Parse, U32RangeCheckCatchesTruncation)
+{
+    EXPECT_EQ(base::parseU32("4294967295", "--jobs"), 4294967295u);
+    // 2^32 would truncate to 0 — for --jobs, "all hardware threads".
+    EXPECT_THROW(base::parseU32("4294967296", "--jobs"), FatalError);
+    EXPECT_THROW(base::parseU32("-1", "--jobs"), FatalError);
+}
+
+TEST(Parse, DoublesAreFiniteAndFullyConsumed)
+{
+    EXPECT_DOUBLE_EQ(*base::tryParseDouble("0.5"), 0.5);
+    EXPECT_DOUBLE_EQ(*base::tryParseDouble("-2.5e3"), -2500.0);
+    EXPECT_FALSE(base::tryParseDouble(""));
+    EXPECT_FALSE(base::tryParseDouble(" 1.0"));
+    EXPECT_FALSE(base::tryParseDouble("+1.0"));
+    EXPECT_FALSE(base::tryParseDouble("1.0x"));
+    EXPECT_FALSE(base::tryParseDouble("nan"));
+    EXPECT_FALSE(base::tryParseDouble("inf"));
+    EXPECT_FALSE(base::tryParseDouble("1e999"));
+    EXPECT_THROW(base::parseDouble("abc", "--m"), FatalError);
+}
 
 TEST(Logging, PanicThrowsSimAssertError)
 {

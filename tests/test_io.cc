@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <limits>
 #include <sstream>
@@ -341,8 +342,11 @@ class StoreFixture : public ::testing::Test
     void
     TearDown() override
     {
-        for (const std::string &p : created_)
-            std::remove(p.c_str());
+        // remove_all: some tests track shard directories, not files.
+        for (const std::string &p : created_) {
+            std::error_code ec;
+            std::filesystem::remove_all(p, ec);
+        }
     }
 
     std::string
@@ -391,6 +395,132 @@ TEST_F(StoreFixture, MalformedFileIsFatalNotSilent)
     EXPECT_THROW(store.load(), FatalError);
     std::ofstream(p) << "not json at all";
     EXPECT_THROW(store.load(), FatalError);
+}
+
+TEST_F(StoreFixture, TruncatedStoresAreDiagnosedByName)
+{
+    // The two shapes an interrupted save can leave.  Both must fail
+    // with a message that names the store file and the likely cause,
+    // not a bare JSON parse error at offset 0.
+    const std::string p = track(path("truncated"));
+    std::ofstream(p) << ""; // zero-length
+    ResultStore store(p);
+    try {
+        store.load();
+        FAIL() << "empty store loaded";
+    } catch (const FatalError &e) {
+        EXPECT_NE(std::string(e.what()).find(p), std::string::npos);
+        EXPECT_NE(std::string(e.what()).find("empty"),
+                  std::string::npos);
+    }
+    std::ofstream(p) << "   \n\t"; // whitespace-only counts as empty
+    EXPECT_THROW(store.load(), FatalError);
+    // A valid prefix cut mid-write: unparseable, with the path named.
+    std::ofstream(p) << "{\"format\":\"merlin-results-v1\",\"campa";
+    try {
+        store.load();
+        FAIL() << "truncated store loaded";
+    } catch (const FatalError &e) {
+        EXPECT_NE(std::string(e.what()).find(p), std::string::npos);
+    }
+}
+
+TEST_F(StoreFixture, SaveFailureIsFatalNotSilent)
+{
+    // A store whose temp file cannot be created must throw, not
+    // quietly skip persistence.
+    ResultStore store(testing::TempDir() +
+                      "no_such_dir_merlin/store.json");
+    store.put("k", Json::object(), sampleResult(false));
+    EXPECT_THROW(store.save(), FatalError);
+}
+
+TEST_F(StoreFixture, SelectionRoundTripsAndMergeDropsIt)
+{
+    // A worker store records which suite share produced it; a merged
+    // store must NOT inherit that (it represents the whole suite
+    // again), or merged bytes would differ from a single-host run.
+    const std::string p = track(path("selection"));
+    Json sel = Json::object();
+    sel.set("mode", "round-robin");
+    sel.set("index", 1);
+    sel.set("count", 3);
+    {
+        ResultStore store(p);
+        store.put("k1", Json::object(), sampleResult(false));
+        store.setSelection(sel);
+        store.save();
+    }
+    ResultStore loaded(p);
+    ASSERT_TRUE(loaded.load());
+    ASSERT_TRUE(loaded.selection().has_value());
+    EXPECT_EQ(loaded.selection()->dump(), sel.dump());
+
+    ResultStore merged;
+    merged.merge(loaded);
+    EXPECT_FALSE(merged.selection().has_value());
+    EXPECT_EQ(merged.size(), 1u);
+
+    // A plain store without a selection parses back as selection-free.
+    loaded.clearSelection();
+    loaded.save();
+    ResultStore replain(p);
+    ASSERT_TRUE(replain.load());
+    EXPECT_FALSE(replain.selection().has_value());
+}
+
+TEST_F(StoreFixture, EraseRemovesEntries)
+{
+    ResultStore store;
+    store.put("a", Json::object(), sampleResult(false));
+    store.put("b", Json::object(), sampleResult(false));
+    EXPECT_TRUE(store.erase("a"));
+    EXPECT_FALSE(store.erase("a"));
+    EXPECT_EQ(store.size(), 1u);
+    EXPECT_TRUE(store.contains("b"));
+}
+
+TEST_F(StoreFixture, GatherExpandsDirectoriesAndRejectsGaps)
+{
+    // Two shard files in a directory plus one loose store file.
+    const std::string dir = track(testing::TempDir() + "merlin_shards");
+    std::filesystem::create_directories(dir);
+    const auto shard = [&](const char *name, const char *key) {
+        ResultStore s(dir + "/" + name);
+        s.put(key, Json::object(), sampleResult(false));
+        s.save();
+        track(dir + "/" + name);
+    };
+    shard("bb.json", "k2");
+    shard("aa.json", "k1");
+    std::ofstream(dir + "/notes.txt") << "ignored";
+    track(dir + "/notes.txt");
+    const std::string loose = track(path("loose"));
+    {
+        ResultStore s(loose);
+        s.put("k3", Json::object(), sampleResult(true));
+        s.save();
+    }
+
+    const auto files = gatherStoreFiles({dir, loose});
+    ASSERT_EQ(files.size(), 3u);
+    // Directory members come sorted; non-.json files are skipped.
+    EXPECT_EQ(files[0], dir + "/aa.json");
+    EXPECT_EQ(files[1], dir + "/bb.json");
+    EXPECT_EQ(files[2], loose);
+
+    ResultStore merged;
+    const auto stats = mergeStoreFiles(merged, files);
+    EXPECT_EQ(stats.added, 3u);
+    EXPECT_EQ(merged.size(), 3u);
+
+    // A missing input or a shard-less directory is a gather error —
+    // a silently skipped worker would yield an incomplete store.
+    EXPECT_THROW(gatherStoreFiles({path("no_such_input")}), FatalError);
+    const std::string empty_dir =
+        track(testing::TempDir() + "merlin_empty_shards");
+    std::filesystem::create_directories(empty_dir);
+    EXPECT_THROW(gatherStoreFiles({empty_dir}), FatalError);
 }
 
 TEST_F(StoreFixture, SerializationIsIndependentOfInsertionOrder)

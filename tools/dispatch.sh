@@ -1,0 +1,147 @@
+#!/usr/bin/env bash
+# Scatter/gather driver for distributed MeRLiN suites.
+#
+# Partitions one suite manifest across n workers with the CLI's
+# deterministic `--select i/n` filter, runs every worker (local
+# processes by default, or one per SSH host with --hosts), gathers the
+# per-campaign shard directories, and folds them with `merlin_cli
+# store merge` into a single store that is byte-identical to a
+# single-host run of the same manifest — in any gather order.
+#
+# Usage:
+#   tools/dispatch.sh --manifest suite.json --workers 3 \
+#       [--cli ./build/merlin_cli] [--work-dir dispatch-work] \
+#       [--jobs N] [--out merged.json] [--hash] [--resume] \
+#       [--hosts "user@h1 user@h2 ..."] [--reference ref.json]
+#
+#   --manifest   suite manifest every worker runs its share of
+#   --workers    number of shares (--select 0/n .. n-1/n)
+#   --cli        merlin_cli binary (local path; with --hosts it must
+#                exist at this same path on every host)
+#   --work-dir   scratch directory for worker stores/shards/logs
+#   --jobs       per-worker thread count (default 1)
+#   --out        merged store path (default <work-dir>/merged.json)
+#   --hash       partition by spec content hash (--select-hash) so
+#                shares survive manifest reordering
+#   --resume     pass --resume to workers (their per-worker stores in
+#                <work-dir> serve completed campaigns from cache)
+#   --hosts      run workers over ssh, round-robin across the listed
+#                hosts, instead of as local processes; shards are
+#                gathered back with scp
+#   --reference  after merging, byte-compare the merged store against
+#                this single-host store and fail on any difference
+set -euo pipefail
+
+manifest="" workers="" cli="./build/merlin_cli" work_dir="dispatch-work"
+jobs=1 out="" hash=0 resume=0 hosts="" reference=""
+
+die() { echo "dispatch.sh: $*" >&2; exit 1; }
+
+while [ $# -gt 0 ]; do
+    case "$1" in
+        --manifest)  manifest="${2:?}"; shift 2 ;;
+        --workers)   workers="${2:?}"; shift 2 ;;
+        --cli)       cli="${2:?}"; shift 2 ;;
+        --work-dir)  work_dir="${2:?}"; shift 2 ;;
+        --jobs)      jobs="${2:?}"; shift 2 ;;
+        --out)       out="${2:?}"; shift 2 ;;
+        --hash)      hash=1; shift ;;
+        --resume)    resume=1; shift ;;
+        --hosts)     hosts="${2:?}"; shift 2 ;;
+        --reference) reference="${2:?}"; shift 2 ;;
+        -h|--help)   awk 'NR==1{next} /^#/{sub(/^# ?/,""); print; next} {exit}' "$0"; exit 0 ;;
+        *) die "unknown argument '$1' (see --help)" ;;
+    esac
+done
+
+[ -n "$manifest" ] || die "--manifest is required"
+[ -f "$manifest" ] || die "manifest '$manifest' not found"
+[ -n "$workers" ] || die "--workers is required"
+case "$workers" in (*[!0-9]*|'') die "--workers '$workers' is not a positive integer" ;; esac
+[ "$workers" -ge 1 ] || die "--workers must be >= 1"
+[ -x "$cli" ] || die "merlin_cli '$cli' is not executable"
+
+select_flag="--select"
+[ "$hash" = 1 ] && select_flag="--select-hash"
+
+mkdir -p "$work_dir"
+
+# ------------------------------------------------------------ scatter
+# One suite invocation per worker share.  Each worker gets a private
+# store (resume state) and a private shard directory (the merge
+# inputs), so nothing below shares a file.
+read -r -a host_list <<< "$hosts"
+pids=() ids=()
+for i in $(seq 0 $((workers - 1))); do
+    shard_dir="$work_dir/shards-$i"
+    store="$work_dir/worker-$i.json"
+    log="$work_dir/worker-$i.log"
+    resume_args=()
+    [ "$resume" = 1 ] && resume_args=(--resume)
+    if [ ${#host_list[@]} -eq 0 ]; then
+        "$cli" suite "$manifest" "$select_flag" "$i/$workers" \
+            --jobs "$jobs" --out "$store" --out-dir "$shard_dir" \
+            --no-timing "${resume_args[@]}" > "$log" 2>&1 &
+    else
+        # Round-robin shares across the given hosts.  The remote side
+        # needs the same merlin_cli path; the manifest is shipped to a
+        # per-worker scratch directory and the shards scp'd back.
+        host="${host_list[$((i % ${#host_list[@]}))]}"
+        remote_dir=".merlin-dispatch/$(basename "$work_dir")/worker-$i"
+        {
+            ssh "$host" "mkdir -p '$remote_dir'" &&
+            scp -q "$manifest" "$host:$remote_dir/manifest.json" &&
+            ssh "$host" "'$cli' suite '$remote_dir/manifest.json' \
+                $select_flag $i/$workers --jobs $jobs \
+                --out '$remote_dir/worker.json' \
+                --out-dir '$remote_dir/shards' --no-timing \
+                ${resume_args[*]:-}" &&
+            mkdir -p "$shard_dir" &&
+            # A hash share can be legitimately empty: only scp shards
+            # that exist, or the glob's failure would mark the worker
+            # dead after a perfectly good run.
+            { ! ssh "$host" \
+                  "ls '$remote_dir'/shards/*.json > /dev/null 2>&1" ||
+              scp -q "$host:$remote_dir/shards/*.json" "$shard_dir/"; } &&
+            scp -q "$host:$remote_dir/worker.json" "$store"
+        } > "$log" 2>&1 &
+    fi
+    pids+=($!) ids+=("$i")
+done
+
+fail=0
+for k in "${!pids[@]}"; do
+    if ! wait "${pids[$k]}"; then
+        echo "dispatch.sh: worker ${ids[$k]}/$workers failed:" >&2
+        sed 's/^/    /' "$work_dir/worker-${ids[$k]}.log" >&2 || true
+        fail=1
+    fi
+done
+[ "$fail" = 0 ] || exit 1
+
+# ------------------------------------------------------------- gather
+# Fold every worker's shard directory into one store.  Merge is
+# order-independent (identical keys must carry identical payloads),
+# so any gather order reproduces the same bytes.  Every worker above
+# exited 0, so a shard-less directory here is a legitimately empty
+# share (possible under --hash), not a lost worker — skip it rather
+# than tripping `store merge`'s missing-shards check.
+[ -n "$out" ] || out="$work_dir/merged.json"
+shard_dirs=()
+for i in $(seq 0 $((workers - 1))); do
+    dir="$work_dir/shards-$i"
+    if compgen -G "$dir/*.json" > /dev/null; then
+        shard_dirs+=("$dir")
+    else
+        echo "dispatch.sh: worker $i had an empty share" >&2
+    fi
+done
+[ ${#shard_dirs[@]} -gt 0 ] || die "no worker produced any shards"
+"$cli" store merge --out "$out" "${shard_dirs[@]}"
+
+if [ -n "$reference" ]; then
+    cmp "$reference" "$out" ||
+        die "merged store '$out' differs from reference '$reference'"
+    echo "dispatch.sh: merged store byte-matches $reference"
+fi
+echo "dispatch.sh: $workers workers -> $out"
