@@ -65,10 +65,13 @@ ThreadPool::workerLoop()
                 firstError_ = std::current_exception();
         }
         {
+            // Notify UNDER the lock: a waiter that saw the drain after
+            // an unlocked decrement could destroy the pool before an
+            // unlocked notify touched the condition variable.
             std::lock_guard<std::mutex> lock(mu_);
             --inFlight_;
+            idleCv_.notify_all();
         }
-        idleCv_.notify_all();
     }
 }
 
@@ -97,10 +100,12 @@ ThreadPool::runOne(const void *tag)
             firstError_ = std::current_exception();
     }
     {
+        // Under the lock, as in workerLoop: runOne may be called by a
+        // thread that does not own the pool's lifetime.
         std::lock_guard<std::mutex> lock(mu_);
         --inFlight_;
+        idleCv_.notify_all();
     }
-    idleCv_.notify_all();
     return true;
 }
 
@@ -149,26 +154,39 @@ TaskGroup::submit(std::function<void()> fn)
         std::lock_guard<std::mutex> lock(mu_);
         ++pending_;
     }
-    pool_.submit(
-        [this, fn = std::move(fn)] {
-            // The group's tasks report to the group, not to the pool's
-            // firstError_: a suite campaign's failure belongs to that
-            // campaign's wait(), not to whoever calls pool.wait() last.
-            std::exception_ptr err;
-            try {
-                fn();
-            } catch (...) {
-                err = std::current_exception();
-            }
-            {
-                std::lock_guard<std::mutex> lock(mu_);
-                if (err && !firstError_)
-                    firstError_ = err;
-                --pending_;
-            }
-            doneCv_.notify_all();
-        },
-        /*tag=*/this);
+    try {
+        pool_.submit(
+            [this, fn = std::move(fn)] {
+                // The group's tasks report to the group, not to the
+                // pool's firstError_: a suite campaign's failure
+                // belongs to that campaign's wait(), not to whoever
+                // calls pool.wait() last.
+                std::exception_ptr err;
+                try {
+                    fn();
+                } catch (...) {
+                    err = std::current_exception();
+                }
+                {
+                    // Notify UNDER the lock: once pending_ hits zero a
+                    // waiter may destroy this group, and an unlocked
+                    // notify would then touch a dead doneCv_.
+                    std::lock_guard<std::mutex> lock(mu_);
+                    if (err && !firstError_)
+                        firstError_ = err;
+                    --pending_;
+                    doneCv_.notify_all();
+                }
+            },
+            /*tag=*/this);
+    } catch (...) {
+        // The task never reached the queue (queue allocation failure):
+        // roll the count back, or wait() would block on a task that
+        // does not exist.
+        std::lock_guard<std::mutex> lock(mu_);
+        --pending_;
+        throw;
+    }
 }
 
 void

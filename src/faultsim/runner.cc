@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <limits>
 #include <numeric>
 
@@ -13,6 +14,23 @@ namespace merlin::faultsim
 
 using isa::TerminateReason;
 using isa::TrapKind;
+
+namespace
+{
+
+/**
+ * Raised by the in-run wall-clock watchdog.  Deliberately NOT derived
+ * from std::exception: the quarantine guard must distinguish it from
+ * ordinary simulator failures, and nothing else may swallow it.
+ */
+struct WallClockExceeded
+{
+};
+
+/** How many simulated cycles between wall-clock watchdog checks. */
+constexpr std::uint32_t kWallCheckMask = 255;
+
+} // namespace
 
 const char *
 outcomeName(Outcome o)
@@ -113,7 +131,47 @@ InjectionRunner::injectionStats() const
     InjectionStats s;
     s.runs = runs_.load(std::memory_order_relaxed);
     s.earlyExits = earlyExits_.load(std::memory_order_relaxed);
+    {
+        std::lock_guard<std::mutex> lock(quarantineMu_);
+        s.quarantined = quarantine_.size();
+    }
     return s;
+}
+
+std::vector<QuarantineRecord>
+InjectionRunner::quarantineRecords() const
+{
+    std::vector<QuarantineRecord> q;
+    {
+        std::lock_guard<std::mutex> lock(quarantineMu_);
+        q = quarantine_;
+    }
+    std::sort(q.begin(), q.end(),
+              [](const QuarantineRecord &a, const QuarantineRecord &b) {
+                  return a.faultKey != b.faultKey
+                             ? a.faultKey < b.faultKey
+                             : a.reason < b.reason;
+              });
+    return q;
+}
+
+void
+InjectionRunner::recordQuarantine(const Fault &fault, std::string reason,
+                                  InjectDetail *detail) const
+{
+    if (opts_.quarantine == QuarantinePolicy::Fail) {
+        fatal("injection quarantined (policy fail): fault key ",
+              faultKey(fault), ", ", reason,
+              " — rerun with --quarantine=continue to record the fault "
+              "and keep the campaign going");
+    }
+    if (detail) {
+        detail->quarantined = true;
+        detail->reason = reason;
+    }
+    std::lock_guard<std::mutex> lock(quarantineMu_);
+    quarantine_.push_back(QuarantineRecord{faultKey(fault),
+                                           std::move(reason)});
 }
 
 GoldenRun
@@ -218,13 +276,20 @@ InjectionRunner::classify(const isa::ArchResult &faulty,
 }
 
 Outcome
-InjectionRunner::inject(const Fault &fault, const GoldenRun &ref) const
+InjectionRunner::inject(const Fault &fault, const GoldenRun &ref,
+                        InjectDetail *detail) const
 {
     uarch::CoreConfig cfg = cfg_;
     // The paper's timeout rule: timeoutFactor x the fault-free
     // execution time (saturating, never wrapping).
     cfg.maxCycles = timeoutBudget(ref.stats.cycles, opts_.timeoutFactor);
     runs_.fetch_add(1, std::memory_order_relaxed);
+
+    const bool watchdog = opts_.wallClockLimit > 0.0;
+    const auto wall_start = watchdog
+                                ? std::chrono::steady_clock::now()
+                                : std::chrono::steady_clock::time_point{};
+    std::uint32_t wall_tick = 0;
 
     try {
         // Checkpoints are sorted ascending by construction; `after`
@@ -258,6 +323,19 @@ InjectionRunner::inject(const Fault &fault, const GoldenRun &ref) const
                 }
                 applied = true;
             }
+            // Test hook: model a fault that corrupts the simulator
+            // itself (throw) or wedges it (burn wall clock).
+            if (applied && opts_.injectHook)
+                opts_.injectHook(fault, core.cycle());
+            // Real-wall-clock watchdog, checked every few hundred
+            // cycles: a livelocking simulator that keeps ticking is
+            // quarantined instead of stalling the whole campaign.
+            if (watchdog && (++wall_tick & kWallCheckMask) == 0 &&
+                std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - wall_start)
+                        .count() > opts_.wallClockLimit) {
+                throw WallClockExceeded{};
+            }
             // Golden-reconvergence early exit: at each checkpoint
             // cycle past the flip, a full state match proves the
             // faulty run's future is the golden run's future, whose
@@ -270,6 +348,8 @@ InjectionRunner::inject(const Fault &fault, const GoldenRun &ref) const
                 core.cycle() == after->cycle()) {
                 if (core.stateEquals(*after)) {
                     earlyExits_.fetch_add(1, std::memory_order_relaxed);
+                    if (detail)
+                        detail->earlyExit = true;
                     return Outcome::Masked;
                 }
                 ++after;
@@ -281,9 +361,26 @@ InjectionRunner::inject(const Fault &fault, const GoldenRun &ref) const
     } catch (const SimAssertError &) {
         // A flipped bit drove the simulator into an invariant violation.
         return Outcome::Assert;
-    } catch (const std::exception &) {
+    } catch (const WallClockExceeded &) {
+        recordQuarantine(fault,
+                         "wall-clock watchdog: run exceeded the real-time "
+                         "limit while still ticking",
+                         detail);
+        return Outcome::Crash;
+    } catch (const std::exception &e) {
         // Simulator-process failure: counted in the Crash class, like
-        // GeFIN's "simulator crash" subcategory.
+        // GeFIN's "simulator crash" subcategory — and quarantined, so
+        // the campaign records exactly which fault corrupted the
+        // simulator (e.what() is deterministic for a deterministic
+        // simulator, keeping the record byte-stable).
+        recordQuarantine(fault,
+                         std::string("simulator exception: ") + e.what(),
+                         detail);
+        return Outcome::Crash;
+    } catch (...) {
+        // A non-standard exception would previously have escaped the
+        // pool worker and terminated the whole process.
+        recordQuarantine(fault, "non-standard exception", detail);
         return Outcome::Crash;
     }
 }
@@ -370,7 +467,8 @@ InjectionRunner::injectBatch(const std::vector<Fault> &faults,
 std::vector<Outcome>
 InjectionRunner::injectBatch(const std::vector<Fault> &faults,
                              const GoldenRun &ref, base::TaskGroup &group,
-                             OutcomeMemo *memo) const
+                             OutcomeMemo *memo,
+                             const OutcomeCallback *on_outcome) const
 {
     BatchPlan plan = planBatch(faults, memo);
 
@@ -378,12 +476,16 @@ InjectionRunner::injectBatch(const std::vector<Fault> &faults,
     // these with every other in-flight batch, which is exactly the
     // cross-campaign work stealing the suite scheduler relies on.  Each
     // task writes a slot derived from its fault, so any schedule yields
-    // the same outcome vector.
+    // the same outcome vector.  The callback fires per completed fresh
+    // injection (any thread, any order) — the journal hook.
     for (std::uint32_t w = 0;
          w < static_cast<std::uint32_t>(plan.work.size()); ++w) {
-        group.submit([this, &plan, &faults, &ref, w] {
+        group.submit([this, &plan, &faults, &ref, on_outcome, w] {
             const std::uint32_t i = plan.work[w];
-            plan.outcomes[i] = inject(faults[i], ref);
+            InjectDetail detail;
+            plan.outcomes[i] = inject(faults[i], ref, &detail);
+            if (on_outcome && *on_outcome)
+                (*on_outcome)(plan.keys[i], plan.outcomes[i], detail);
         });
     }
     group.wait();

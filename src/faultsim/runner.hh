@@ -45,8 +45,10 @@
 #include <array>
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -134,6 +136,42 @@ struct BatchPlan
     std::vector<std::pair<std::uint32_t, std::uint32_t>> aliases;
 };
 
+/**
+ * One quarantined injection: a fault whose run did not merely
+ * misbehave architecturally (that is what the Table-2 classes are
+ * for) but corrupted or wedged the simulator itself — an escaped
+ * exception or a tripped real-wall-clock watchdog.  The record is
+ * deterministic (packed fault key + a reproducible reason string), so
+ * a campaign that hits one still produces byte-stable results and the
+ * offending fault can be replayed in isolation.
+ */
+struct QuarantineRecord
+{
+    std::uint64_t faultKey = 0; ///< faultKey() packing of the fault
+    std::string reason;         ///< deterministic, human-readable cause
+
+    bool
+    operator==(const QuarantineRecord &o) const
+    {
+        return faultKey == o.faultKey && reason == o.reason;
+    }
+};
+
+/** Per-injection facts beyond the Outcome (for journals/quarantine). */
+struct InjectDetail
+{
+    bool earlyExit = false;   ///< ended at a reconverged checkpoint
+    bool quarantined = false; ///< guarded failure, outcome forced Crash
+    std::string reason;       ///< quarantine reason when quarantined
+};
+
+/** What to do when an injection trips the quarantine guard. */
+enum class QuarantinePolicy : std::uint8_t
+{
+    Continue, ///< record the fault, count it Crash, keep campaigning
+    Fail,     ///< abort the campaign (FatalError) on first quarantine
+};
+
 /** Policy knobs of the injection harness. */
 struct RunnerOptions
 {
@@ -154,6 +192,28 @@ struct RunnerOptions
     bool earlyExit = true;
     /** Timeout budget multiplier (0 is treated as 1). */
     unsigned timeoutFactor = kDefaultTimeoutFactor;
+    /**
+     * Real-wall-clock watchdog per faulty run, in seconds (0 = off).
+     * Distinct from the SIMULATED timeoutFactor budget: this one
+     * catches a fault that wedges the simulator itself (a livelock
+     * that keeps ticking without the cycle budget ever firing).  The
+     * check runs every few hundred simulated cycles, so it cannot
+     * interrupt a hang inside one tick — it is an operational guard,
+     * not a preemption mechanism.  A watchdog trip quarantines the
+     * injection; because it depends on host speed, leave it off when
+     * byte-reproducibility across machines matters more than liveness.
+     */
+    double wallClockLimit = 0.0;
+    /** Quarantine-guard policy (see QuarantinePolicy). */
+    QuarantinePolicy quarantine = QuarantinePolicy::Continue;
+    /**
+     * TEST-ONLY hook, invoked once per simulated cycle after the flip
+     * has been applied.  Lets tests model a pathological fault that
+     * corrupts the simulator: throw to exercise the quarantine guard,
+     * or burn wall clock to exercise the watchdog.  Never set in
+     * production paths; not part of any content hash.
+     */
+    std::function<void(const Fault &, Cycle)> injectHook;
 };
 
 /** Early-exit accounting of one runner (atomic; any thread count). */
@@ -161,6 +221,7 @@ struct InjectionStats
 {
     std::uint64_t runs = 0;       ///< faulty runs actually simulated
     std::uint64_t earlyExits = 0; ///< ended at a reconverged checkpoint
+    std::uint64_t quarantined = 0; ///< of which tripped the guard
 };
 
 /** Runs golden and faulty executions of one program/configuration. */
@@ -193,8 +254,26 @@ class InjectionRunner
      * Inject @p fault, run to termination, classify against @p ref.
      * Resumes from the latest checkpoint at or before the flip cycle
      * when @p ref carries checkpoints.
+     *
+     * The run is executed under the quarantine guard: a simulator
+     * exception or a wall-clock-watchdog trip is recorded as a
+     * QuarantineRecord (policy Continue; the outcome is Crash) or
+     * aborts with FatalError (policy Fail) — a pathological fault can
+     * never take the campaign down with it.  @p detail, when given,
+     * receives the per-run facts (early exit, quarantine reason).
      */
-    Outcome inject(const Fault &fault, const GoldenRun &ref) const;
+    Outcome inject(const Fault &fault, const GoldenRun &ref,
+                   InjectDetail *detail = nullptr) const;
+
+    /**
+     * Per-outcome completion callback for injectBatch: invoked from
+     * the executing thread as each FRESH injection finishes (memo
+     * hits and duplicate aliases are not reported).  Used by the
+     * suite scheduler to journal outcomes as they complete; must be
+     * internally synchronized.
+     */
+    using OutcomeCallback = std::function<void(
+        std::uint64_t key, Outcome o, const InjectDetail &detail)>;
 
     /**
      * Inject every fault of @p faults and return their outcomes in the
@@ -217,10 +296,10 @@ class InjectionRunner
      * be used by one batch at a time.  Results are identical to the
      * jobs-overload for any pool size or schedule.
      */
-    std::vector<Outcome> injectBatch(const std::vector<Fault> &faults,
-                                     const GoldenRun &ref,
-                                     base::TaskGroup &group,
-                                     OutcomeMemo *memo = nullptr) const;
+    std::vector<Outcome> injectBatch(
+        const std::vector<Fault> &faults, const GoldenRun &ref,
+        base::TaskGroup &group, OutcomeMemo *memo = nullptr,
+        const OutcomeCallback *on_outcome = nullptr) const;
 
     /**
      * Build the deterministic plan for @p faults: resolve @p memo hits,
@@ -252,12 +331,24 @@ class InjectionRunner
     /** Cumulative run / early-exit counts since construction. */
     InjectionStats injectionStats() const;
 
+    /**
+     * Every injection quarantined by this runner so far, sorted by
+     * (fault key, reason) — a deterministic list for CampaignResult
+     * and the store schema.
+     */
+    std::vector<QuarantineRecord> quarantineRecords() const;
+
   private:
+    void recordQuarantine(const Fault &fault, std::string reason,
+                          InjectDetail *detail) const;
+
     const isa::Program &prog_;
     uarch::CoreConfig cfg_;
     RunnerOptions opts_;
     mutable std::atomic<std::uint64_t> runs_{0};
     mutable std::atomic<std::uint64_t> earlyExits_{0};
+    mutable std::mutex quarantineMu_;
+    mutable std::vector<QuarantineRecord> quarantine_;
 };
 
 } // namespace merlin::faultsim

@@ -121,6 +121,21 @@ resultToJson(const CampaignResult &r)
     j.set("speedup_total", r.speedupTotal);
     j.set("injection_runs", r.injectionRuns);
     j.set("early_exits", r.earlyExits);
+    if (!r.quarantine.empty()) {
+        // Only when non-empty, so stores of clean campaigns keep their
+        // pre-quarantine bytes.  Entries are (packed fault key, reason)
+        // in the result's deterministic sort order; the producing spec
+        // (with its seed) sits beside this result in the store entry,
+        // so each record pins down one reproducible injection.
+        Json q = Json::array();
+        for (const faultsim::QuarantineRecord &rec : r.quarantine) {
+            Json e = Json::object();
+            e.set("fault_key", rec.faultKey);
+            e.set("reason", rec.reason);
+            q.push(e);
+        }
+        j.set("quarantine", q);
+    }
     j.set("profile_seconds", r.profileSeconds);
     j.set("injection_seconds", r.injectionSeconds);
     j.set("seconds_per_injection", r.secondsPerInjection);
@@ -168,6 +183,23 @@ resultFromJson(const Json &j)
     // Tolerant reads: absent in pre-early-exit stores.
     r.injectionRuns = j.u64Or("injection_runs", 0);
     r.earlyExits = j.u64Or("early_exits", 0);
+    if (const Json *q = j.find("quarantine")) {
+        // Degrade gracefully on records a newer writer may have
+        // extended: take the two fields this reader understands, warn
+        // (by name) about entries it cannot, and keep the rest of the
+        // result usable either way.
+        r.quarantine.reserve(q->size());
+        for (const Json &e : q->items()) {
+            if (!e.isObject() || !e.find("fault_key") ||
+                !e.find("reason")) {
+                warn("result store: skipping unrecognized quarantine "
+                     "record (newer schema?); outcomes are unaffected");
+                continue;
+            }
+            r.quarantine.push_back(faultsim::QuarantineRecord{
+                e.at("fault_key").asU64(), e.at("reason").asString()});
+        }
+    }
     r.profileSeconds = j.numOr("profile_seconds", 0.0);
     r.injectionSeconds = j.numOr("injection_seconds", 0.0);
     r.secondsPerInjection = j.numOr("seconds_per_injection", 0.0);

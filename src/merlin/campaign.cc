@@ -92,6 +92,11 @@ Campaign::prepare(bool inject_all, bool relyzer, unsigned path_depth,
     ropts.maxCheckpoints = cfg_.maxCheckpoints;
     ropts.earlyExit = cfg_.earlyExit;
     ropts.timeoutFactor = cfg_.timeoutFactor;
+    ropts.wallClockLimit = cfg_.injectWallLimit;
+    ropts.quarantine = cfg_.quarantineFail
+                           ? faultsim::QuarantinePolicy::Fail
+                           : faultsim::QuarantinePolicy::Continue;
+    ropts.injectHook = cfg_.injectHook;
     runner_ = std::make_unique<InjectionRunner>(prog_, cfg_.core, ropts);
 
     // ---- Phase 1: preprocessing (profiled golden run + fault list) ----
@@ -212,12 +217,13 @@ Campaign::finish(PreparedCampaign prep,
         res.homogeneity = computeHomogeneity(per_group);
     }
 
-    // Early-exit accounting from this campaign's runner (counts are a
-    // pure function of the fault list, so they are as deterministic as
-    // the outcomes themselves).
+    // Early-exit and quarantine accounting from this campaign's runner
+    // (counts are a pure function of the fault list, so they are as
+    // deterministic as the outcomes themselves).
     const faultsim::InjectionStats is = runner_->injectionStats();
     res.injectionRuns = is.runs;
     res.earlyExits = is.earlyExits;
+    res.quarantine = runner_->quarantineRecords();
 
     res.injectionSeconds = injection_seconds;
     res.secondsPerInjection =

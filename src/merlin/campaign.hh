@@ -17,6 +17,7 @@
 #define MERLIN_MERLIN_CAMPAIGN_HH
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <string>
@@ -62,6 +63,16 @@ struct CampaignConfig
     /** Timeout budget multiplier (the paper's rule is 3x golden). */
     unsigned timeoutFactor =
         faultsim::RunnerOptions::kDefaultTimeoutFactor;
+    /**
+     * Real-wall-clock watchdog per faulty run in seconds (0 = off);
+     * see RunnerOptions::wallClockLimit.  A trip quarantines the
+     * injection instead of hanging the campaign.
+     */
+    double injectWallLimit = 0.0;
+    /** Abort the campaign on the first quarantined injection. */
+    bool quarantineFail = false;
+    /** TEST-ONLY per-cycle hook; see RunnerOptions::injectHook. */
+    std::function<void(const faultsim::Fault &, Cycle)> injectHook;
 };
 
 /** Outcome of one campaign. */
@@ -100,6 +111,14 @@ struct CampaignResult
     // with the golden state and were cut short).
     std::uint64_t injectionRuns = 0; ///< distinct faulty runs simulated
     std::uint64_t earlyExits = 0;    ///< of which ended at a checkpoint
+
+    /**
+     * Injections the quarantine guard caught (escaped simulator
+     * exceptions, wall-clock-watchdog trips), sorted by (fault key,
+     * reason).  Each counted Crash in the class distributions; the
+     * campaign completed despite them.  Empty in the common case.
+     */
+    std::vector<faultsim::QuarantineRecord> quarantine;
 
     // Wall-clock facts for Figure 11 / Table 3.
     double profileSeconds = 0.0;     ///< golden + profiling run

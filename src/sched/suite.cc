@@ -1,5 +1,6 @@
 #include "sched/suite.hh"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <filesystem>
@@ -10,6 +11,7 @@
 
 #include "base/logging.hh"
 #include "base/threadpool.hh"
+#include "io/journal.hh"
 #include "io/result_store.hh"
 
 namespace merlin::sched
@@ -367,6 +369,31 @@ SuiteScheduler::run()
                   opts_.shardDir, "': ", ec.message());
     }
 
+    // Crash-safe journals live next to the shard spill when there is
+    // one, else in a sibling directory of the store; a memory-only
+    // suite (neither path set) has nothing durable to resume into, so
+    // journaling is off.  Shards keep the .json suffix to themselves —
+    // gatherStoreFiles must never pick a journal up as a shard.
+    const std::string journalDir =
+        !opts_.shardDir.empty()
+            ? opts_.shardDir
+            : (opts_.storePath.empty() ? std::string()
+                                       : opts_.storePath + ".journal");
+    if (!journalDir.empty()) {
+        std::error_code ec;
+        std::filesystem::create_directories(journalDir, ec);
+        if (ec)
+            fatal("suite: cannot create journal directory '", journalDir,
+                  "': ", ec.message());
+    }
+    const auto journalPathFor = [&](const CampaignSpec &spec) {
+        return journalDir.empty()
+                   ? std::string()
+                   : (std::filesystem::path(journalDir) /
+                      (spec.key() + ".journal"))
+                         .string();
+    };
+
     // Campaigns of one workload share the built program.  One slot per
     // distinct name, created up front so lookups never mutate the map;
     // call_once builds each workload exactly once while leaving
@@ -419,6 +446,13 @@ SuiteScheduler::run()
             out.cached[i] = true;
             if (!opts_.shardDir.empty())
                 spillShard(specs_[i], out.results[i]);
+            // A journal outliving a stored result means the previous
+            // run died between the store save and the journal cleanup;
+            // the store won, so the journal is stale.
+            if (!journalDir.empty()) {
+                std::error_code ec;
+                std::filesystem::remove(journalPathFor(specs_[i]), ec);
+            }
         } else {
             pending.push_back(i);
         }
@@ -439,7 +473,13 @@ SuiteScheduler::run()
     const auto runCampaign = [&](std::size_t i) {
         const CampaignSpec &spec = specs_[i];
         const auto wl = workloadFor(spec.workload);
-        core::Campaign camp(wl->program, spec.campaignConfig(*wl));
+        core::CampaignConfig cc = spec.campaignConfig(*wl);
+        // Fault-tolerance knobs ride on the options, not the spec:
+        // they decide how failures are handled, never what a healthy
+        // campaign computes.
+        cc.injectWallLimit = opts_.injectWallLimit;
+        cc.quarantineFail = opts_.quarantineFail;
+        core::Campaign camp(wl->program, cc);
         core::PreparedCampaign prep =
             camp.prepare(spec.mode == CampaignSpec::Mode::Truth,
                          spec.relyzer, spec.pathDepth,
@@ -447,7 +487,27 @@ SuiteScheduler::run()
 
         std::vector<faultsim::Outcome> outcomes;
         double inject_seconds = 0.0;
+        io::OutcomeJournal journal(journalPathFor(spec), spec.key());
+        io::OutcomeJournal::Restored restored;
         if (!prep.faults.empty()) {
+            // Crash safety under the per-campaign store save: replay
+            // the journal of a killed predecessor into the batch memo
+            // (so finished injections are not re-simulated), then
+            // journal every fresh outcome as it lands.  Without
+            // --resume the journal is started over along with the
+            // campaign.
+            faultsim::OutcomeMemo memo(prep.faults.size());
+            if (opts_.reuseCached)
+                restored = journal.restore(
+                    [&](std::uint64_t key, faultsim::Outcome o) {
+                        memo.insert(key, o);
+                    });
+            journal.open();
+            const faultsim::InjectionRunner::OutcomeCallback record =
+                [&](std::uint64_t key, faultsim::Outcome o,
+                    const faultsim::InjectDetail &detail) {
+                    journal.append(key, o, detail);
+                };
             // Fan this campaign's injections into the SHARED pool: the
             // queue interleaves them with every other in-flight
             // campaign, so any worker whose own campaign chain has run
@@ -455,12 +515,32 @@ SuiteScheduler::run()
             // cross-batch memo exists to share any more.)
             base::TaskGroup group(pool);
             const auto t1 = std::chrono::steady_clock::now();
-            outcomes = camp.runner().injectBatch(prep.faults,
-                                                 camp.goldenRun(), group);
+            outcomes =
+                camp.runner().injectBatch(prep.faults, camp.goldenRun(),
+                                          group, &memo, &record);
             inject_seconds = secondsSince(t1);
+            journal.close();
         }
         core::CampaignResult res =
             camp.finish(std::move(prep), outcomes, inject_seconds);
+        // Fold the replayed share back in: the runner's counters only
+        // saw what THIS process simulated, but the result must equal
+        // an uninterrupted run's — same totals, same sorted quarantine
+        // list — for the store bytes to stay identical.
+        res.injectionRuns += restored.runs;
+        res.earlyExits += restored.earlyExits;
+        if (!restored.quarantine.empty()) {
+            res.quarantine.insert(res.quarantine.end(),
+                                  restored.quarantine.begin(),
+                                  restored.quarantine.end());
+            std::sort(res.quarantine.begin(), res.quarantine.end(),
+                      [](const faultsim::QuarantineRecord &a,
+                         const faultsim::QuarantineRecord &b) {
+                          return a.faultKey != b.faultKey
+                                     ? a.faultKey < b.faultKey
+                                     : a.reason < b.reason;
+                      });
+        }
         if (!opts_.recordTiming) {
             res.profileSeconds = 0.0;
             res.injectionSeconds = 0.0;
@@ -477,6 +557,9 @@ SuiteScheduler::run()
             if (!opts_.shardDir.empty())
                 spillShard(spec, res);
         }
+        // The store save is durable; the journal has nothing left to
+        // protect (and must not shadow the next run of this spec).
+        journal.remove();
         out.results[i] = std::move(res);
         ran.fetch_add(1, std::memory_order_relaxed);
     };

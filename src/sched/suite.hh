@@ -146,6 +146,15 @@ struct SuiteOptions
      */
     bool recordTiming = true;
     /**
+     * Per-injection real-wall-clock watchdog in seconds (0 = off),
+     * and what to do when the quarantine guard fires.  Operational
+     * knobs, deliberately NOT spec members: a quarantined injection
+     * is counted Crash either way, so they never change the bytes a
+     * clean campaign stores — only whether a sick one survives.
+     */
+    double injectWallLimit = 0.0;
+    bool quarantineFail = false;
+    /**
      * This worker's share of the suite (--select i/n /
      * --select-hash i/n); nullopt = run everything.  Applied before
      * dispatch: unselected specs are not run, not served from the

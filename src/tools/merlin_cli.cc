@@ -26,15 +26,26 @@
  *       the paper's 3x-golden timeout rule — it moves the Timeout
  *       classification boundary, so keep the default when comparing
  *       against paper numbers.
+ *       --inject-wall-limit SECONDS arms a real-wall-clock watchdog
+ *       per faulty run (distinct from the simulated-cycle timeout);
+ *       an injection that trips it — or that throws out of the
+ *       simulator — is quarantined: recorded by fault key + reason,
+ *       counted Crash, and the campaign keeps going.
+ *       --quarantine=fail aborts on the first quarantined injection
+ *       instead (default: continue).
  *   merlin_cli suite manifest.json
  *       [--jobs N] [--out results.json] [--out-dir DIR] [--resume]
  *       [--no-timing] [--select i/n | --select-hash i/n]
+ *       [--quarantine=fail|continue] [--inject-wall-limit SECONDS]
  *       Run a whole suite of campaigns (one JSON manifest entry each)
  *       on one shared worker pool: profiles overlap and workers steal
  *       injections across campaigns, with bit-identical results for
  *       any --jobs.  --out persists every CampaignResult keyed by a
  *       content hash of its spec; with --resume, specs already in the
- *       file are served from it (cache hits / crash recovery).
+ *       file are served from it (cache hits / crash recovery), and a
+ *       campaign that was KILLED midway resumes from its outcome
+ *       journal (an append-only fsync'd file beside the shard spill)
+ *       with results byte-identical to an uninterrupted run.
  *       --out-dir additionally spills every campaign as a single-entry
  *       shard file DIR/<key>.json for `store merge`.  --no-timing
  *       zeroes wall-clock fields so the results file is byte-identical
@@ -276,10 +287,33 @@ printCampaign(const core::CampaignResult &r, std::uint64_t bits)
                     static_cast<unsigned long long>(r.injectionRuns),
                     100.0 * r.earlyExitRate());
     }
+    if (!r.quarantine.empty()) {
+        std::printf("quarantined: %zu injection%s failed the simulator "
+                    "and %s counted Crash:\n",
+                    r.quarantine.size(),
+                    r.quarantine.size() == 1 ? "" : "s",
+                    r.quarantine.size() == 1 ? "was" : "were");
+        for (const auto &q : r.quarantine)
+            std::printf("  fault 0x%016llx: %s\n",
+                        static_cast<unsigned long long>(q.faultKey),
+                        q.reason.c_str());
+    }
     std::printf("wall clock: %.2fs profile + %.2fs injections "
                 "(%.3f ms/injection)\n",
                 r.profileSeconds, r.injectionSeconds,
                 1e3 * r.secondsPerInjection);
+}
+
+/** --quarantine=fail|continue (the fault-tolerance policy switch). */
+bool
+parseQuarantineFail(const Args &args)
+{
+    const std::string q = args.get("quarantine", "continue");
+    if (q == "continue")
+        return false;
+    if (q == "fail")
+        return true;
+    fatal("--quarantine: '", q, "' is not fail|continue");
 }
 
 core::CampaignConfig
@@ -317,6 +351,8 @@ campaignConfig(const Args &args, std::uint64_t default_window)
         fatal("--mem-chunk-bytes: ", chunk,
               " is not a power of two >= 64");
     cc.core.memChunkBytes = static_cast<std::uint32_t>(chunk);
+    cc.injectWallLimit = args.getD("inject-wall-limit", 0.0);
+    cc.quarantineFail = parseQuarantineFail(args);
     return cc;
 }
 
@@ -456,7 +492,8 @@ cmdSuite(const std::string &manifest_path, const Args &args)
     }
     requireKnownFlags(args,
                       {"jobs", "out", "out-dir", "resume", "no-timing",
-                       "select", "select-hash"},
+                       "select", "select-hash", "quarantine",
+                       "inject-wall-limit"},
                       "suite");
 
     sched::SuiteOptions opts;
@@ -465,6 +502,8 @@ cmdSuite(const std::string &manifest_path, const Args &args)
     opts.shardDir = args.get("out-dir");
     opts.reuseCached = args.has("resume");
     opts.recordTiming = !args.has("no-timing");
+    opts.injectWallLimit = args.getD("inject-wall-limit", 0.0);
+    opts.quarantineFail = parseQuarantineFail(args);
     if (opts.reuseCached && opts.storePath.empty())
         fatal("--resume requires --out <results.json>");
     if (args.has("select") && args.has("select-hash"))
@@ -678,7 +717,9 @@ main(int argc, char **argv)
                              "[--jobs N] [--out results.json] "
                              "[--out-dir DIR] [--resume] "
                              "[--no-timing] "
-                             "[--select i/n | --select-hash i/n] | "
+                             "[--select i/n | --select-hash i/n] "
+                             "[--quarantine=fail|continue] "
+                             "[--inject-wall-limit SECONDS] | "
                              "--plan n [--hash] [--plan-dir DIR]\n");
                 return 2;
             }

@@ -7,7 +7,9 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <chrono>
 #include <limits>
+#include <stdexcept>
 #include <vector>
 
 #include "base/logging.hh"
@@ -541,6 +543,165 @@ TEST(Runner, WindowedRunsUseUnknownCategory)
     }
     EXPECT_GT(masked, 0u);
     EXPECT_GT(unknown, 0u); // latent faults exist at the window end
+}
+
+// ------------------------------------------------ quarantine guard
+
+namespace
+{
+
+/** A runner over the live-loop program with @p opts' guard knobs. */
+isa::Program
+loopProgram()
+{
+    return masm::assemble("  movi s0, 0\n"
+                          "  movi s1, 1\n"
+                          "  movi s2, 201\n"
+                          "loop:\n"
+                          "  add s0, s0, s1\n"
+                          "  addi s1, s1, 1\n"
+                          "  blt s1, s2, loop\n"
+                          "  out.d s0\n"
+                          "  halt 0\n",
+                          "t");
+}
+
+Fault
+midRunFault(const GoldenRun &g, EntryIndex entry = 40)
+{
+    Fault f;
+    f.structure = Structure::RegisterFile;
+    f.entry = entry;
+    f.bit = 7;
+    f.cycle = g.stats.cycles / 2;
+    return f;
+}
+
+} // namespace
+
+TEST(Quarantine, EscapedSimulatorExceptionIsRecordedAsCrash)
+{
+    auto prog = loopProgram();
+    RunnerOptions opts;
+    // Model a fault that corrupts the simulator: the run throws a few
+    // cycles after the flip lands.
+    opts.injectHook = [](const Fault &f, Cycle c) {
+        if (c >= f.cycle + 3)
+            throw std::runtime_error("boom");
+    };
+    InjectionRunner runner(prog, uarch::CoreConfig{}, opts);
+    auto g = runner.golden();
+
+    InjectDetail detail;
+    const Fault f = midRunFault(g);
+    EXPECT_EQ(runner.inject(f, g, &detail), Outcome::Crash);
+    EXPECT_TRUE(detail.quarantined);
+    EXPECT_NE(detail.reason.find("simulator exception: boom"),
+              std::string::npos);
+
+    const auto q = runner.quarantineRecords();
+    ASSERT_EQ(q.size(), 1u);
+    EXPECT_EQ(q[0].faultKey, faultKey(f));
+    EXPECT_EQ(q[0].reason, detail.reason);
+    EXPECT_EQ(runner.injectionStats().quarantined, 1u);
+}
+
+TEST(Quarantine, NonStandardExceptionIsGuardedToo)
+{
+    auto prog = loopProgram();
+    RunnerOptions opts;
+    opts.injectHook = [](const Fault &f, Cycle c) {
+        if (c >= f.cycle + 3)
+            throw 42; // immune to catch (std::exception&)
+    };
+    InjectionRunner runner(prog, uarch::CoreConfig{}, opts);
+    auto g = runner.golden();
+
+    InjectDetail detail;
+    EXPECT_EQ(runner.inject(midRunFault(g), g, &detail), Outcome::Crash);
+    EXPECT_TRUE(detail.quarantined);
+    EXPECT_EQ(detail.reason, "non-standard exception");
+}
+
+TEST(Quarantine, BatchCompletesAroundAPathologicalFault)
+{
+    auto prog = loopProgram();
+    RunnerOptions opts;
+    const EntryIndex sick_entry = 40;
+    opts.injectHook = [sick_entry](const Fault &f, Cycle) {
+        if (f.structure == Structure::RegisterFile &&
+            f.entry == sick_entry)
+            throw std::runtime_error("only this fault is sick");
+    };
+    InjectionRunner runner(prog, uarch::CoreConfig{}, opts);
+    auto g = runner.golden();
+
+    // A clean reference runner classifies the healthy faults.
+    InjectionRunner clean(prog, uarch::CoreConfig{});
+    auto gc = clean.golden();
+
+    std::vector<Fault> faults;
+    for (EntryIndex e = 36; e < 44; ++e)
+        faults.push_back(midRunFault(g, e));
+    const auto outcomes = runner.injectBatch(faults, g, 2);
+    ASSERT_EQ(outcomes.size(), faults.size());
+    for (std::size_t i = 0; i < faults.size(); ++i) {
+        if (faults[i].entry == sick_entry)
+            EXPECT_EQ(outcomes[i], Outcome::Crash);
+        else
+            EXPECT_EQ(outcomes[i], clean.inject(faults[i], gc));
+    }
+    ASSERT_EQ(runner.quarantineRecords().size(), 1u);
+    EXPECT_EQ(runner.quarantineRecords()[0].faultKey,
+              faultKey(midRunFault(g, sick_entry)));
+}
+
+TEST(Quarantine, PolicyFailAbortsTheCampaign)
+{
+    auto prog = loopProgram();
+    RunnerOptions opts;
+    opts.quarantine = QuarantinePolicy::Fail;
+    opts.injectHook = [](const Fault &, Cycle) {
+        throw std::runtime_error("boom");
+    };
+    InjectionRunner runner(prog, uarch::CoreConfig{}, opts);
+    auto g = runner.golden();
+    EXPECT_THROW(runner.inject(midRunFault(g), g), FatalError);
+}
+
+TEST(Quarantine, WallClockWatchdogTripsOnAWedgedRun)
+{
+    auto prog = loopProgram();
+    RunnerOptions opts;
+    opts.wallClockLimit = 0.02;
+    // A livelock model: every post-flip cycle burns ~1ms of real time
+    // while the simulated cycle budget stays far from its bound, so
+    // only the watchdog can end the run.  The check cadence is every
+    // 256 ticks; 0.02s is exceeded long before then.
+    opts.injectHook = [](const Fault &, Cycle) {
+        const auto until =
+            std::chrono::steady_clock::now() +
+            std::chrono::milliseconds(1);
+        while (std::chrono::steady_clock::now() < until) {
+        }
+    };
+    uarch::CoreConfig cfg;
+    InjectionRunner runner(prog, cfg, opts);
+    auto g = runner.golden();
+
+    // A dead-register flip early in the run: the simulation itself
+    // would run (and mask) to completion, so plenty of post-flip
+    // cycles pass a watchdog checkpoint.
+    Fault f;
+    f.structure = Structure::RegisterFile;
+    f.entry = cfg.numPhysIntRegs - 1;
+    f.bit = 5;
+    f.cycle = 1;
+    InjectDetail detail;
+    EXPECT_EQ(runner.inject(f, g, &detail), Outcome::Crash);
+    EXPECT_TRUE(detail.quarantined);
+    EXPECT_NE(detail.reason.find("wall-clock watchdog"),
+              std::string::npos);
 }
 
 } // namespace

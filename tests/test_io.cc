@@ -12,9 +12,11 @@
 #include <filesystem>
 #include <fstream>
 #include <limits>
+#include <map>
 #include <sstream>
 
 #include "base/logging.hh"
+#include "io/journal.hh"
 #include "io/json.hh"
 #include "io/result_store.hh"
 
@@ -545,6 +547,227 @@ TEST_F(StoreFixture, MemoryOnlyStoreSkipsIo)
     EXPECT_FALSE(store.load());
     CampaignResult out;
     EXPECT_TRUE(store.lookup("k", out));
+}
+
+// ------------------------------------------ quarantine serialization
+
+TEST(ResultJson, QuarantineRoundTripsAndIsOmittedWhenEmpty)
+{
+    CampaignResult r = sampleResult(false);
+    // A clean campaign serializes without the member at all, so the
+    // quarantine feature cannot move a byte of pre-existing stores.
+    EXPECT_FALSE(resultToJson(r).find("quarantine"));
+
+    r.quarantine.push_back({0x1234, "simulator exception: boom"});
+    r.quarantine.push_back({0xffff'ffff'ffff'ffffull, "wall clock"});
+    const Json j = resultToJson(r);
+    ASSERT_TRUE(j.find("quarantine"));
+    const CampaignResult back = resultFromJson(Json::parse(j.dump(2)));
+    ASSERT_EQ(back.quarantine.size(), 2u);
+    EXPECT_TRUE(back.quarantine[0] == r.quarantine[0]);
+    EXPECT_TRUE(back.quarantine[1] == r.quarantine[1]);
+}
+
+TEST(ResultJson, UnrecognizedQuarantineRecordsAreSkippedNotFatal)
+{
+    CampaignResult r = sampleResult(false);
+    r.quarantine.push_back({7, "known shape"});
+    std::string text = resultToJson(r).dump();
+    // Splice a record of a shape this build does not know — what a
+    // store written by a NEWER engine might contain — ahead of the
+    // good one.  The reader must keep every outcome and the readable
+    // record, and only drop the foreign one (with a warning).
+    const std::size_t at = text.find('[', text.find("\"quarantine\""));
+    ASSERT_NE(at, std::string::npos);
+    text.insert(at + 1, "{\"schema_v2_token\": 9},");
+    const CampaignResult back = resultFromJson(Json::parse(text));
+    ASSERT_EQ(back.quarantine.size(), 1u);
+    EXPECT_TRUE(back.quarantine[0] == r.quarantine[0]);
+    expectSameResult(r, back);
+}
+
+// ------------------------------------------------- OutcomeJournal
+
+class JournalFixture : public StoreFixture
+{
+  protected:
+    std::string
+    journalPath(const char *name)
+    {
+        return track(testing::TempDir() + "merlin_journal_" + name);
+    }
+
+    /** restore() into a key->outcome map plus the counters. */
+    OutcomeJournal::Restored
+    restoreAll(OutcomeJournal &j,
+               std::map<std::uint64_t, faultsim::Outcome> &seen)
+    {
+        return j.restore([&](std::uint64_t key, faultsim::Outcome o) {
+            seen[key] = o;
+        });
+    }
+};
+
+TEST_F(JournalFixture, AppendRestoreRoundTrip)
+{
+    const std::string p = journalPath("roundtrip");
+    faultsim::InjectDetail plain;
+    faultsim::InjectDetail early;
+    early.earlyExit = true;
+    faultsim::InjectDetail sick;
+    sick.quarantined = true;
+    sick.reason = "simulator exception: boom";
+    {
+        OutcomeJournal j(p, "spec-a");
+        std::map<std::uint64_t, faultsim::Outcome> none;
+        const auto r = restoreAll(j, none); // missing file: fresh start
+        EXPECT_EQ(r.runs, 0u);
+        EXPECT_TRUE(none.empty());
+        j.open();
+        j.append(1, faultsim::Outcome::Masked, plain);
+        j.append(2, faultsim::Outcome::SDC, early);
+        j.append(3, faultsim::Outcome::Crash, sick);
+        j.close();
+    }
+    OutcomeJournal j(p, "spec-a");
+    std::map<std::uint64_t, faultsim::Outcome> seen;
+    const auto r = restoreAll(j, seen);
+    EXPECT_EQ(r.runs, 3u);
+    EXPECT_EQ(r.earlyExits, 1u);
+    ASSERT_EQ(r.quarantine.size(), 1u);
+    EXPECT_EQ(r.quarantine[0].faultKey, 3u);
+    EXPECT_EQ(r.quarantine[0].reason, sick.reason);
+    ASSERT_EQ(seen.size(), 3u);
+    EXPECT_EQ(seen[1], faultsim::Outcome::Masked);
+    EXPECT_EQ(seen[2], faultsim::Outcome::SDC);
+    EXPECT_EQ(seen[3], faultsim::Outcome::Crash);
+}
+
+TEST_F(JournalFixture, TornFinalLineIsTruncatedAndAppendsResume)
+{
+    const std::string p = journalPath("torn");
+    {
+        OutcomeJournal j(p, "spec-a");
+        j.open();
+        j.append(1, faultsim::Outcome::Masked, {});
+        j.append(2, faultsim::Outcome::DUE, {});
+        j.close();
+    }
+    const auto whole = std::filesystem::file_size(p);
+    {
+        // The mid-append crash artifact: a final line with no newline.
+        std::ofstream app(p, std::ios::app | std::ios::binary);
+        app << "[3, 1";
+    }
+    {
+        OutcomeJournal j(p, "spec-a");
+        std::map<std::uint64_t, faultsim::Outcome> seen;
+        const auto r = restoreAll(j, seen);
+        EXPECT_EQ(r.runs, 2u); // the torn entry re-runs
+        EXPECT_EQ(seen.count(3), 0u);
+        // The torn bytes are gone, so a resumed run appends after a
+        // well-formed prefix...
+        EXPECT_EQ(std::filesystem::file_size(p), whole);
+        j.open();
+        j.append(3, faultsim::Outcome::SDC, {});
+        j.close();
+    }
+    // ...and the next restore sees all three.
+    OutcomeJournal j(p, "spec-a");
+    std::map<std::uint64_t, faultsim::Outcome> seen;
+    EXPECT_EQ(restoreAll(j, seen).runs, 3u);
+    EXPECT_EQ(seen[3], faultsim::Outcome::SDC);
+}
+
+TEST_F(JournalFixture, TornHeaderStartsTheCampaignOver)
+{
+    const std::string p = journalPath("torn-header");
+    {
+        std::ofstream out(p, std::ios::binary);
+        out << "{\"format\":\"merlin-jour"; // crashed mid-header
+    }
+    OutcomeJournal j(p, "spec-a");
+    std::map<std::uint64_t, faultsim::Outcome> seen;
+    EXPECT_EQ(restoreAll(j, seen).runs, 0u);
+    EXPECT_TRUE(seen.empty());
+    // open() rewrites a good header; the journal is usable again.
+    j.open();
+    j.append(9, faultsim::Outcome::Timeout, {});
+    j.close();
+    OutcomeJournal again(p, "spec-a");
+    EXPECT_EQ(restoreAll(again, seen).runs, 1u);
+    EXPECT_EQ(seen[9], faultsim::Outcome::Timeout);
+}
+
+TEST_F(JournalFixture, CompleteGarbageLineIsFatal)
+{
+    const std::string p = journalPath("corrupt");
+    {
+        OutcomeJournal j(p, "spec-a");
+        j.open();
+        j.close();
+    }
+    {
+        std::ofstream app(p, std::ios::app | std::ios::binary);
+        app << "not json\n"; // complete line => not a crash artifact
+    }
+    OutcomeJournal j(p, "spec-a");
+    EXPECT_THROW(j.restore([](std::uint64_t, faultsim::Outcome) {}),
+                 FatalError);
+}
+
+TEST_F(JournalFixture, SpecMismatchIsFatal)
+{
+    const std::string p = journalPath("mismatch");
+    {
+        OutcomeJournal j(p, "spec-a");
+        j.open();
+        j.append(1, faultsim::Outcome::Masked, {});
+        j.close();
+    }
+    OutcomeJournal j(p, "spec-b");
+    EXPECT_THROW(j.restore([](std::uint64_t, faultsim::Outcome) {}),
+                 FatalError);
+}
+
+TEST_F(JournalFixture, OutcomeBeyondThisBuildIsFatal)
+{
+    const std::string p = journalPath("newer");
+    {
+        OutcomeJournal j(p, "spec-a");
+        j.open();
+        j.close();
+    }
+    {
+        std::ofstream app(p, std::ios::app | std::ios::binary);
+        app << "[1, 250, 0]\n"; // outcome class a newer build added
+    }
+    OutcomeJournal j(p, "spec-a");
+    EXPECT_THROW(j.restore([](std::uint64_t, faultsim::Outcome) {}),
+                 FatalError);
+}
+
+TEST_F(JournalFixture, EmptyPathDisablesEveryOperation)
+{
+    OutcomeJournal j("", "spec-a");
+    std::map<std::uint64_t, faultsim::Outcome> seen;
+    EXPECT_EQ(restoreAll(j, seen).runs, 0u);
+    j.open();
+    j.append(1, faultsim::Outcome::Masked, {});
+    j.close();
+    j.remove();
+    EXPECT_TRUE(seen.empty());
+}
+
+TEST_F(JournalFixture, RemoveDeletesTheFile)
+{
+    const std::string p = journalPath("remove");
+    OutcomeJournal j(p, "spec-a");
+    j.open();
+    j.append(1, faultsim::Outcome::Masked, {});
+    j.remove();
+    EXPECT_FALSE(std::filesystem::exists(p));
+    j.remove(); // idempotent
 }
 
 } // namespace

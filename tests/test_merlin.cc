@@ -9,7 +9,9 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <stdexcept>
 
+#include "base/logging.hh"
 #include "merlin/campaign.hh"
 #include "workloads/workloads.hh"
 
@@ -457,6 +459,51 @@ TEST(Campaign, LargeL1dCampaignSurvivesKeyPacking)
     cfg.sampling = specFixed(150);
     auto res = Campaign(w.program, cfg).run(false);
     EXPECT_EQ(res.merlinEstimate.total(), 150u);
+}
+
+TEST(Campaign, QuarantinedInjectionsAreRecordedAndCountedCrash)
+{
+    auto w = workloads::buildWorkload("qsort");
+    CampaignConfig cfg;
+    cfg.target = Structure::RegisterFile;
+    cfg.core.numPhysIntRegs = 128;
+    cfg.sampling = specFixed(600);
+    cfg.seed = 11;
+    // A pathological-fault model: any injection into a low bit blows
+    // up the simulator.  The campaign must absorb every blow-up —
+    // recorded, counted Crash — and still finish the rest.
+    cfg.injectHook = [](const faultsim::Fault &f, Cycle) {
+        if (f.bit < 8)
+            throw std::runtime_error("sick bit");
+    };
+    auto res = Campaign(w.program, cfg).run(false);
+
+    ASSERT_FALSE(res.quarantine.empty());
+    for (std::size_t i = 0; i < res.quarantine.size(); ++i) {
+        EXPECT_NE(res.quarantine[i].reason.find(
+                      "simulator exception: sick bit"),
+                  std::string::npos);
+        if (i > 0) { // sorted for byte-stable serialization
+            EXPECT_LT(res.quarantine[i - 1].faultKey,
+                      res.quarantine[i].faultKey);
+        }
+    }
+    EXPECT_GT(res.merlinEstimate.of(Outcome::Crash), 0u);
+    EXPECT_EQ(res.merlinEstimate.total(), 600u);
+}
+
+TEST(Campaign, QuarantinePolicyFailAbortsTheCampaign)
+{
+    auto w = workloads::buildWorkload("qsort");
+    CampaignConfig cfg;
+    cfg.target = Structure::RegisterFile;
+    cfg.core.numPhysIntRegs = 128;
+    cfg.sampling = specFixed(300);
+    cfg.quarantineFail = true;
+    cfg.injectHook = [](const faultsim::Fault &, Cycle) {
+        throw std::runtime_error("boom");
+    };
+    EXPECT_THROW(Campaign(w.program, cfg).run(false), FatalError);
 }
 
 } // namespace

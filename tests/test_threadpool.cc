@@ -187,5 +187,26 @@ TEST(TaskGroup, ExceptionStaysWithinItsGroup)
     pool.wait(); // group errors never leak into the pool either
 }
 
+TEST(TaskGroup, NonStandardExceptionsReachTheWaiter)
+{
+    // The catch-all path: a worker throwing something outside the
+    // std::exception hierarchy must surface at wait(), not terminate
+    // the process (the quarantine guard depends on this for its
+    // catch (...) clause).
+    ThreadPool pool(2);
+    TaskGroup group(pool);
+    group.submit([] { throw 42; });
+    EXPECT_THROW(group.wait(), int);
+    // The group (and pool) stay usable afterwards.
+    std::atomic<int> hits{0};
+    group.submit([&hits] { ++hits; });
+    group.wait();
+    EXPECT_EQ(hits.load(), 1);
+
+    pool.submit([] { throw 'x'; });
+    EXPECT_THROW(pool.wait(), char);
+    pool.wait(); // the error was consumed by the first wait
+}
+
 } // namespace
 } // namespace merlin::base

@@ -8,48 +8,71 @@
 # store merge` into a single store that is byte-identical to a
 # single-host run of the same manifest — in any gather order.
 #
+# Fault tolerance: every --hosts entry is preflighted with a
+# short-timeout ssh no-op (unreachable hosts are dropped from the
+# rotation); each worker writes a heartbeat/progress file while it
+# runs; and failed shares are retried up to --retries times with
+# exponential backoff, re-dispatched onto the surviving hosts and
+# resumed from the dead worker's store and outcome journals — so a
+# killed worker costs only its uncommitted injections, and the merged
+# store still byte-matches the single-host run.
+#
 # Usage:
 #   tools/dispatch.sh --manifest suite.json --workers 3 \
 #       [--cli ./build/merlin_cli] [--work-dir dispatch-work] \
 #       [--jobs N] [--out merged.json] [--hash] [--resume] \
+#       [--retries N] [--retry-backoff S] [--stall-timeout S] \
 #       [--hosts "user@h1 user@h2 ..."] [--reference ref.json]
 #
-#   --manifest   suite manifest every worker runs its share of
-#   --workers    number of shares (--select 0/n .. n-1/n)
-#   --cli        merlin_cli binary (local path; with --hosts it must
-#                exist at this same path on every host)
-#   --work-dir   scratch directory for worker stores/shards/logs
-#   --jobs       per-worker thread count (default 1)
-#   --out        merged store path (default <work-dir>/merged.json)
-#   --hash       partition by spec content hash (--select-hash) so
-#                shares survive manifest reordering
-#   --resume     pass --resume to workers (their per-worker stores in
-#                <work-dir> serve completed campaigns from cache)
-#   --hosts      run workers over ssh, round-robin across the listed
-#                hosts, instead of as local processes; shards are
-#                gathered back with scp
-#   --reference  after merging, byte-compare the merged store against
-#                this single-host store and fail on any difference
+#   --manifest      suite manifest every worker runs its share of
+#   --workers       number of shares (--select 0/n .. n-1/n)
+#   --cli           merlin_cli binary (local path; with --hosts it must
+#                   exist at this same path on every host)
+#   --work-dir      scratch directory for worker stores/shards/logs
+#   --jobs          per-worker thread count (default 1)
+#   --out           merged store path (default <work-dir>/merged.json)
+#   --hash          partition by spec content hash (--select-hash) so
+#                   shares survive manifest reordering
+#   --resume        pass --resume to workers on the FIRST attempt too
+#                   (retries always resume from the per-worker store
+#                   and journals in <work-dir>)
+#   --retries       re-dispatch a failed share up to N times (default 0)
+#   --retry-backoff base seconds between retry rounds, doubling each
+#                   round (default 5)
+#   --stall-timeout kill a local worker whose share shows no shard
+#                   progress for S seconds, turning a hang into a
+#                   retryable failure (default 0 = off; local mode
+#                   only — remote progress is not visible until scp)
+#   --hosts         run workers over ssh, round-robin across the listed
+#                   hosts, instead of as local processes; shards are
+#                   gathered back with scp
+#   --reference     after merging, byte-compare the merged store
+#                   against this single-host store and fail on any
+#                   difference
 set -euo pipefail
 
 manifest="" workers="" cli="./build/merlin_cli" work_dir="dispatch-work"
 jobs=1 out="" hash=0 resume=0 hosts="" reference=""
+retries=0 retry_backoff=5 stall_timeout=0
 
 die() { echo "dispatch.sh: $*" >&2; exit 1; }
 
 while [ $# -gt 0 ]; do
     case "$1" in
-        --manifest)  manifest="${2:?}"; shift 2 ;;
-        --workers)   workers="${2:?}"; shift 2 ;;
-        --cli)       cli="${2:?}"; shift 2 ;;
-        --work-dir)  work_dir="${2:?}"; shift 2 ;;
-        --jobs)      jobs="${2:?}"; shift 2 ;;
-        --out)       out="${2:?}"; shift 2 ;;
-        --hash)      hash=1; shift ;;
-        --resume)    resume=1; shift ;;
-        --hosts)     hosts="${2:?}"; shift 2 ;;
-        --reference) reference="${2:?}"; shift 2 ;;
-        -h|--help)   awk 'NR==1{next} /^#/{sub(/^# ?/,""); print; next} {exit}' "$0"; exit 0 ;;
+        --manifest)      manifest="${2:?}"; shift 2 ;;
+        --workers)       workers="${2:?}"; shift 2 ;;
+        --cli)           cli="${2:?}"; shift 2 ;;
+        --work-dir)      work_dir="${2:?}"; shift 2 ;;
+        --jobs)          jobs="${2:?}"; shift 2 ;;
+        --out)           out="${2:?}"; shift 2 ;;
+        --hash)          hash=1; shift ;;
+        --resume)        resume=1; shift ;;
+        --retries)       retries="${2:?}"; shift 2 ;;
+        --retry-backoff) retry_backoff="${2:?}"; shift 2 ;;
+        --stall-timeout) stall_timeout="${2:?}"; shift 2 ;;
+        --hosts)         hosts="${2:?}"; shift 2 ;;
+        --reference)     reference="${2:?}"; shift 2 ;;
+        -h|--help)       awk 'NR==1{next} /^#/{sub(/^# ?/,""); print; next} {exit}' "$0"; exit 0 ;;
         *) die "unknown argument '$1' (see --help)" ;;
     esac
 done
@@ -60,34 +83,64 @@ done
 case "$workers" in (*[!0-9]*|'') die "--workers '$workers' is not a positive integer" ;; esac
 [ "$workers" -ge 1 ] || die "--workers must be >= 1"
 [ -x "$cli" ] || die "merlin_cli '$cli' is not executable"
+case "$retries" in (*[!0-9]*|'') die "--retries '$retries' is not a non-negative integer" ;; esac
+case "$retry_backoff" in (*[!0-9]*|'') die "--retry-backoff '$retry_backoff' is not a non-negative integer" ;; esac
+case "$stall_timeout" in (*[!0-9]*|'') die "--stall-timeout '$stall_timeout' is not a non-negative integer" ;; esac
 
 select_flag="--select"
 [ "$hash" = 1 ] && select_flag="--select-hash"
 
 mkdir -p "$work_dir"
 
+# ---------------------------------------------------------- preflight
+# A dead host must fail here, in seconds, not as a scatter timeout
+# minutes in.  Unreachable hosts are dropped from the rotation (their
+# would-be shares land on the survivors); losing every host is fatal.
+read -r -a host_list <<< "$hosts"
+if [ ${#host_list[@]} -gt 0 ]; then
+    alive=()
+    for h in "${host_list[@]}"; do
+        if ssh -o BatchMode=yes -o ConnectTimeout=5 "$h" true \
+               >> "$work_dir/preflight.log" 2>&1; then
+            alive+=("$h")
+        else
+            echo "dispatch.sh: host '$h' failed the ssh preflight — dropping it from the rotation" >&2
+        fi
+    done
+    [ ${#alive[@]} -gt 0 ] || die "no --hosts entry passed the ssh preflight (see $work_dir/preflight.log)"
+    host_list=("${alive[@]}")
+fi
+
 # ------------------------------------------------------------ scatter
 # One suite invocation per worker share.  Each worker gets a private
-# store (resume state) and a private shard directory (the merge
-# inputs), so nothing below shares a file.
-read -r -a host_list <<< "$hosts"
-pids=() ids=()
-for i in $(seq 0 $((workers - 1))); do
-    shard_dir="$work_dir/shards-$i"
-    store="$work_dir/worker-$i.json"
-    log="$work_dir/worker-$i.log"
-    resume_args=()
-    [ "$resume" = 1 ] && resume_args=(--resume)
+# store (resume state), a private shard directory (the merge inputs),
+# and a private heartbeat file, so nothing below shares a file.
+#
+# launch_worker SHARE ATTEMPT starts the share in the background and
+# leaves its pid in $launched_pid (NOT echoed: a command substitution
+# would fork a subshell, and the parent cannot `wait` on a subshell's
+# children).  Retry attempts rotate the host assignment, so a share
+# whose host died lands on a survivor, and always pass --resume: the
+# per-worker store serves completed campaigns and the outcome journals
+# resume the half-done one.
+launch_worker() {
+    local i="$1" attempt="$2"
+    local shard_dir="$work_dir/shards-$i"
+    local store="$work_dir/worker-$i.json"
+    local log="$work_dir/worker-$i.log"
+    local resume_args=()
+    { [ "$resume" = 1 ] || [ "$attempt" -gt 0 ]; } && resume_args=(--resume)
     if [ ${#host_list[@]} -eq 0 ]; then
         "$cli" suite "$manifest" "$select_flag" "$i/$workers" \
             --jobs "$jobs" --out "$store" --out-dir "$shard_dir" \
-            --no-timing "${resume_args[@]}" > "$log" 2>&1 &
+            --no-timing "${resume_args[@]}" >> "$log" 2>&1 &
     else
-        # Round-robin shares across the given hosts.  The remote side
-        # needs the same merlin_cli path; the manifest is shipped to a
-        # per-worker scratch directory and the shards scp'd back.
-        host="${host_list[$((i % ${#host_list[@]}))]}"
-        remote_dir=".merlin-dispatch/$(basename "$work_dir")/worker-$i"
+        # Round-robin shares across the surviving hosts, rotated by
+        # the attempt number.  The remote side needs the same
+        # merlin_cli path; the manifest is shipped to a per-worker
+        # scratch directory and the shards scp'd back.
+        local host="${host_list[$(((i + attempt) % ${#host_list[@]}))]}"
+        local remote_dir=".merlin-dispatch/$(basename "$work_dir")/worker-$i"
         {
             ssh "$host" "mkdir -p '$remote_dir'" &&
             scp -q "$manifest" "$host:$remote_dir/manifest.json" &&
@@ -104,22 +157,108 @@ for i in $(seq 0 $((workers - 1))); do
                   "ls '$remote_dir'/shards/*.json > /dev/null 2>&1" ||
               scp -q "$host:$remote_dir/shards/*.json" "$shard_dir/"; } &&
             scp -q "$host:$remote_dir/worker.json" "$store"
-        } > "$log" 2>&1 &
+        } >> "$log" 2>&1 &
     fi
-    pids+=($!) ids+=("$i")
-done
+    launched_pid=$!
+}
 
-fail=0
-for k in "${!pids[@]}"; do
-    if ! wait "${pids[$k]}"; then
-        echo "dispatch.sh: worker ${ids[$k]}/$workers failed:" >&2
-        sed 's/^/    /' "$work_dir/worker-${ids[$k]}.log" >&2 || true
-        fail=1
+# monitor_worker SHARE PID heartbeats "epoch shard-count" into
+# worker-SHARE.heartbeat every 2 s while the share runs — a hung
+# worker is one whose heartbeat file goes stale or whose shard count
+# stops growing.  With --stall-timeout, a stalled local worker is
+# killed so the retry loop can re-dispatch its share.
+monitor_worker() {
+    local i="$1" pid="$2"
+    local hb="$work_dir/worker-$i.heartbeat"
+    local last_count=-1 last_change
+    last_change=$(date +%s)
+    while kill -0 "$pid" 2>/dev/null; do
+        local now count
+        now=$(date +%s)
+        count=$(find "$work_dir/shards-$i" -name '*.json' 2>/dev/null | wc -l)
+        echo "$now $count" > "$hb"
+        if [ "$count" -ne "$last_count" ]; then
+            last_count=$count
+            last_change=$now
+        elif [ "$stall_timeout" -gt 0 ] && [ ${#host_list[@]} -eq 0 ] &&
+             [ $((now - last_change)) -ge "$stall_timeout" ]; then
+            echo "dispatch.sh: worker $i stalled for ${stall_timeout}s — killing it for re-dispatch" >&2
+            kill -9 "$pid" 2>/dev/null || true
+            break
+        fi
+        sleep 2
+    done
+}
+
+# Run the shares in $1.. to completion; failed share ids land in
+# `failed` (global).  Monitors die with their workers.
+run_round() {
+    local attempt="$1"; shift
+    local pids=() ids=()
+    local i
+    for i in "$@"; do
+        launch_worker "$i" "$attempt"
+        monitor_worker "$i" "$launched_pid" &
+        pids+=("$launched_pid") ids+=("$i")
+    done
+    failed=()
+    local k
+    for k in "${!pids[@]}"; do
+        if ! wait "${pids[$k]}"; then
+            echo "dispatch.sh: worker ${ids[$k]}/$workers failed (attempt $((attempt + 1))):" >&2
+            tail -5 "$work_dir/worker-${ids[$k]}.log" 2>/dev/null | sed 's/^/    /' >&2 || true
+            failed+=("${ids[$k]}")
+        fi
+    done
+    wait # reap the monitors
+}
+
+shares=($(seq 0 $((workers - 1))))
+failed=()
+recovered=()
+backoff=$retry_backoff
+attempt=0
+while :; do
+    run_round "$attempt" "${shares[@]}"
+    if [ "$attempt" -gt 0 ] && [ ${#shares[@]} -gt 0 ]; then
+        for i in "${shares[@]}"; do
+            case " ${failed[*]:-} " in
+                *" $i "*) ;;
+                *) recovered+=("$i") ;;
+            esac
+        done
     fi
+    [ ${#failed[@]} -gt 0 ] || break
+    if [ "$attempt" -ge "$retries" ]; then
+        die "shares ${failed[*]} still failing after $attempt retr$( [ "$attempt" = 1 ] && echo y || echo ies )"
+    fi
+    attempt=$((attempt + 1))
+    echo "dispatch.sh: retrying share(s) ${failed[*]} in ${backoff}s (retry $attempt of $retries)" >&2
+    sleep "$backoff"
+    backoff=$((backoff * 2))
+    shares=("${failed[@]}")
 done
-[ "$fail" = 0 ] || exit 1
+if [ ${#recovered[@]} -gt 0 ]; then
+    echo "dispatch.sh: recovered share(s) ${recovered[*]} by re-dispatch"
+fi
 
 # ------------------------------------------------------------- gather
+# Every share exited 0, so together they ran the complete, disjoint
+# selection 0/n..n-1/n.  Double-check that from the workers' own
+# reports — each prints "selection i/n: X of Y manifest campaigns" —
+# before trusting the merge: the sum of the X's must be exactly Y.
+total="" sum=0
+for i in $(seq 0 $((workers - 1))); do
+    line=$(grep 'manifest campaigns$' "$work_dir/worker-$i.log" | tail -1 || true)
+    [ -n "$line" ] || die "worker $i reported no selection (see $work_dir/worker-$i.log)"
+    sel=$(echo "$line" | awk '{print $(NF-4)}')
+    tot=$(echo "$line" | awk '{print $(NF-2)}')
+    [ -z "$total" ] || [ "$total" = "$tot" ] || die "workers disagree on the manifest size ($total vs $tot)"
+    total=$tot
+    sum=$((sum + sel))
+done
+[ "$sum" = "$total" ] || die "selection incomplete: workers covered $sum of $total manifest campaigns"
+
 # Fold every worker's shard directory into one store.  Merge is
 # order-independent (identical keys must carry identical payloads),
 # so any gather order reproduces the same bytes.  Every worker above
