@@ -13,23 +13,77 @@
  *   --jobs N          shared suite-pool workers (0 = all hardware
  *                     threads); campaigns overlap and workers steal
  *                     injections across campaigns, results unchanged
+ *   --json FILE       write a metrics snapshot (engine counters +
+ *                     bench measurements recorded via record()) to
+ *                     FILE when the binary exits
  */
 
 #ifndef MERLIN_BENCH_COMMON_HH
 #define MERLIN_BENCH_COMMON_HH
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <string>
 #include <vector>
 
 #include "base/parse.hh"
 #include "base/strings.hh"
 #include "merlin/campaign.hh"
+#include "obs/metrics.hh"
 #include "workloads/workloads.hh"
 
 namespace merlin::bench
 {
+
+/**
+ * Record one bench measurement (a speedup, a wall time) as a gauge so
+ * it lands in the --json metrics snapshot next to the engine's own
+ * counters.  Reporting stays on stdout; this is the machine-readable
+ * copy.
+ */
+inline void
+record(const std::string &name, double value)
+{
+    obs::Registry::global().gauge(name).set(value);
+}
+
+namespace detail
+{
+
+/**
+ * Arrange for a metrics snapshot to be written when the process exits
+ * (normally — a fatal() bypasses it).  An atexit hook rather than a
+ * call at the end of each bench main: every main keeps its early
+ * returns and the snapshot still captures whatever ran.
+ */
+inline void
+dumpMetricsAtExit(const std::string &path)
+{
+    static std::string dump_path;
+    if (!dump_path.empty())
+        return; // one hook is enough; first path wins
+    // Touch the registry BEFORE registering the hook: function-local
+    // statics are destroyed in reverse construction order, so this
+    // guarantees the registry outlives the handler below.
+    obs::Registry::global();
+    dump_path = path;
+    std::atexit(+[] {
+        std::ofstream out(dump_path,
+                          std::ios::binary | std::ios::trunc);
+        if (!out) {
+            std::fprintf(stderr,
+                         "bench: cannot write metrics to '%s'\n",
+                         dump_path.c_str());
+            return;
+        }
+        out << obs::Registry::global().snapshot().toJson().dump(2)
+            << '\n';
+    });
+}
+
+} // namespace detail
 
 struct Options
 {
@@ -37,6 +91,7 @@ struct Options
     std::uint64_t seed = 1;
     unsigned jobs = 1; ///< suite-pool workers (0 = hardware threads)
     bool paper = false;
+    std::string jsonPath; ///< --json=FILE metrics snapshot on exit
     std::vector<std::string> workloads;
 
     static Options
@@ -46,7 +101,10 @@ struct Options
         // turn a bad flag value into a clean usage exit, not a
         // std::terminate.
         try {
-            return parseUnchecked(argc, argv);
+            Options o = parseUnchecked(argc, argv);
+            if (!o.jsonPath.empty())
+                detail::dumpMetricsAtExit(o.jsonPath);
+            return o;
         } catch (const FatalError &e) {
             std::fprintf(stderr, "error: %s\n", e.what());
             std::exit(2);
@@ -80,9 +138,12 @@ struct Options
                 o.workloads = base::splitCommaList(v3);
             } else if (const char *v4 = val("--jobs")) {
                 o.jobs = base::parseU32(v4, "--jobs");
+            } else if (const char *v5 = val("--json")) {
+                o.jsonPath = v5;
             } else if (a == "--help" || a == "-h") {
                 std::printf("flags: --faults=N --paper "
-                            "--workloads=a,b --seed=N --jobs=N\n");
+                            "--workloads=a,b --seed=N --jobs=N "
+                            "--json=FILE\n");
                 std::exit(0);
             }
         }

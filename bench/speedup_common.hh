@@ -94,7 +94,13 @@ runSpeedupFigure(uarch::Structure target, int argc, char **argv,
                     "average", "", "", "",
                     sum_ace / names.size(), sum_total / names.size(),
                     paper.finalSpeedup[vi]);
+        const std::string label = sizeLabel(target, v);
+        record("bench." + label + ".speedup_ace_avg",
+               sum_ace / names.size());
+        record("bench." + label + ".speedup_final_avg",
+               sum_total / names.size());
     }
+    record("bench.suite_wall_seconds", suite.wallSeconds);
     std::printf("\nsuite wall clock: %.2fs over %zu campaigns "
                 "(--jobs=%u)\n",
                 suite.wallSeconds, specs.size(), opts.jobs);

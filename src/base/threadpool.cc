@@ -3,6 +3,8 @@
 #include <atomic>
 #include <memory>
 
+#include "obs/clock.hh"
+
 namespace merlin::base
 {
 
@@ -14,6 +16,11 @@ ThreadPool::hardwareThreads()
 }
 
 ThreadPool::ThreadPool(unsigned threads)
+    : tasksSubmitted_(obs::Registry::global().counter(
+          "pool.tasks_submitted")),
+      tasksRun_(obs::Registry::global().counter("pool.tasks_run")),
+      busyMicros_(obs::Registry::global().counter("pool.busy_us")),
+      queueDepth_(obs::Registry::global().histogram("pool.queue_depth"))
 {
     if (threads == 0)
         threads = hardwareThreads();
@@ -36,11 +43,30 @@ ThreadPool::~ThreadPool()
 void
 ThreadPool::submit(std::function<void()> fn, const void *tag)
 {
+    std::size_t depth;
     {
         std::lock_guard<std::mutex> lock(mu_);
         queue_.push_back(QueuedTask{std::move(fn), tag});
+        depth = queue_.size();
     }
+    tasksSubmitted_.add();
+    queueDepth_.observe(depth);
     workCv_.notify_one();
+}
+
+void
+ThreadPool::runTask(QueuedTask &task)
+{
+    const obs::TimePoint t0 = obs::now();
+    try {
+        task.fn();
+    } catch (...) {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (!firstError_)
+            firstError_ = std::current_exception();
+    }
+    busyMicros_.add(obs::microsSince(t0));
+    tasksRun_.add();
 }
 
 void
@@ -57,13 +83,7 @@ ThreadPool::workerLoop()
             queue_.pop_front();
             ++inFlight_;
         }
-        try {
-            task.fn();
-        } catch (...) {
-            std::lock_guard<std::mutex> lock(mu_);
-            if (!firstError_)
-                firstError_ = std::current_exception();
-        }
+        runTask(task);
         {
             // Notify UNDER the lock: a waiter that saw the drain after
             // an unlocked decrement could destroy the pool before an
@@ -92,13 +112,7 @@ ThreadPool::runOne(const void *tag)
         queue_.erase(it);
         ++inFlight_;
     }
-    try {
-        task.fn();
-    } catch (...) {
-        std::lock_guard<std::mutex> lock(mu_);
-        if (!firstError_)
-            firstError_ = std::current_exception();
-    }
+    runTask(task);
     {
         // Under the lock, as in workerLoop: runOne may be called by a
         // thread that does not own the pool's lifetime.

@@ -34,6 +34,8 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.hh"
+
 namespace merlin::base
 {
 
@@ -87,6 +89,16 @@ class ThreadPool
     };
 
     void workerLoop();
+    void runTask(QueuedTask &task);
+
+    // Pool telemetry (global obs registry instruments, shared by every
+    // pool in the process): tasks submitted/run, queue depth at each
+    // submit, and accumulated task-execution microseconds — the
+    // utilization numerator against workers x wall time.
+    obs::Counter &tasksSubmitted_;
+    obs::Counter &tasksRun_;
+    obs::Counter &busyMicros_;
+    obs::Histogram &queueDepth_;
 
     std::vector<std::thread> workers_;
     std::deque<QueuedTask> queue_;

@@ -8,6 +8,9 @@
 
 #include "base/logging.hh"
 #include "base/threadpool.hh"
+#include "obs/clock.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 
 namespace merlin::faultsim
 {
@@ -29,6 +32,53 @@ struct WallClockExceeded
 
 /** How many simulated cycles between wall-clock watchdog checks. */
 constexpr std::uint32_t kWallCheckMask = 255;
+
+/**
+ * Registry instruments for the injection hot path, resolved once per
+ * process instead of per injection (the registry lookup takes a
+ * mutex; the instruments themselves are lock-free shards).
+ */
+struct InjectMetrics
+{
+    obs::Counter &runs = obs::Registry::global().counter("inject.runs");
+    obs::Counter &earlyExits =
+        obs::Registry::global().counter("inject.early_exits");
+    obs::Counter &quarantined =
+        obs::Registry::global().counter("inject.quarantined");
+    obs::Counter &memoHits =
+        obs::Registry::global().counter("inject.memo_hits");
+    obs::Counter &dedupAliases =
+        obs::Registry::global().counter("inject.dedup_aliases");
+    obs::Histogram &wallUs =
+        obs::Registry::global().histogram("inject.wall_us");
+    obs::Histogram &captureUs =
+        obs::Registry::global().histogram("snapshot.capture_us");
+    obs::Counter &captureCopied =
+        obs::Registry::global().counter("snapshot.capture_bytes_copied");
+    obs::Counter &captureShared =
+        obs::Registry::global().counter("snapshot.capture_bytes_shared");
+    obs::Histogram &restoreUs =
+        obs::Registry::global().histogram("snapshot.restore_us");
+    obs::Counter &restoreCopied =
+        obs::Registry::global().counter("snapshot.restore_bytes_copied");
+    obs::Counter &restoreShared =
+        obs::Registry::global().counter("snapshot.restore_bytes_shared");
+};
+
+InjectMetrics &
+injectMetrics()
+{
+    static InjectMetrics m;
+    return m;
+}
+
+/** Observes the elapsed microseconds on every exit path of a scope. */
+struct ScopeTimer
+{
+    obs::Histogram &h;
+    obs::TimePoint t0 = obs::now();
+    ~ScopeTimer() { h.observe(obs::microsSince(t0)); }
+};
 
 } // namespace
 
@@ -169,6 +219,7 @@ InjectionRunner::recordQuarantine(const Fault &fault, std::string reason,
         detail->quarantined = true;
         detail->reason = reason;
     }
+    injectMetrics().quarantined.add();
     std::lock_guard<std::mutex> lock(quarantineMu_);
     quarantine_.push_back(QuarantineRecord{faultKey(fault),
                                            std::move(reason)});
@@ -177,6 +228,8 @@ InjectionRunner::recordQuarantine(const Fault &fault, std::string reason,
 GoldenRun
 InjectionRunner::golden(uarch::Probe *probe) const
 {
+    obs::Span span("campaign", "golden " + prog_.name);
+    InjectMetrics &m = injectMetrics();
     uarch::Core core(prog_, cfg_, probe);
     GoldenRun g;
 
@@ -202,8 +255,14 @@ InjectionRunner::golden(uarch::Probe *probe) const
                     g.checkpoints = std::move(kept);
                     interval *= 2;
                 }
-                if (core.cycle() % interval == 0)
-                    g.checkpoints.push_back(core.snapshot());
+                if (core.cycle() % interval == 0) {
+                    uarch::SnapshotStats st;
+                    const obs::TimePoint t0 = obs::now();
+                    g.checkpoints.push_back(core.snapshot(&st));
+                    m.captureUs.observe(obs::microsSince(t0));
+                    m.captureCopied.add(st.bytesCopied);
+                    m.captureShared.add(st.bytesShared);
+                }
             }
             if (!core.tick())
                 break;
@@ -285,10 +344,13 @@ InjectionRunner::inject(const Fault &fault, const GoldenRun &ref,
     cfg.maxCycles = timeoutBudget(ref.stats.cycles, opts_.timeoutFactor);
     runs_.fetch_add(1, std::memory_order_relaxed);
 
+    InjectMetrics &m = injectMetrics();
+    m.runs.add();
+    obs::Span span("inject", "injection");
+    const ScopeTimer timed{m.wallUs};
+
     const bool watchdog = opts_.wallClockLimit > 0.0;
-    const auto wall_start = watchdog
-                                ? std::chrono::steady_clock::now()
-                                : std::chrono::steady_clock::time_point{};
+    const obs::TimePoint wall_start = timed.t0;
     std::uint32_t wall_tick = 0;
 
     try {
@@ -304,9 +366,17 @@ InjectionRunner::inject(const Fault &fault, const GoldenRun &ref,
             after != ref.checkpoints.begin() ? &*std::prev(after)
                                              : nullptr;
 
+        uarch::SnapshotStats rstats;
+        const obs::TimePoint restore_t0 = obs::now();
         uarch::Core core =
-            resume ? uarch::Core(prog_, cfg, *resume)
+            resume ? uarch::Core(prog_, cfg, *resume, &rstats)
                    : uarch::Core(prog_, cfg);
+        if (resume) {
+            m.restoreUs.observe(obs::microsBetween(restore_t0,
+                                                   obs::now()));
+            m.restoreCopied.add(rstats.bytesCopied);
+            m.restoreShared.add(rstats.bytesShared);
+        }
         bool applied = false;
         for (;;) {
             if (!applied && core.cycle() == fault.cycle) {
@@ -331,9 +401,7 @@ InjectionRunner::inject(const Fault &fault, const GoldenRun &ref,
             // cycles: a livelocking simulator that keeps ticking is
             // quarantined instead of stalling the whole campaign.
             if (watchdog && (++wall_tick & kWallCheckMask) == 0 &&
-                std::chrono::duration<double>(
-                    std::chrono::steady_clock::now() - wall_start)
-                        .count() > opts_.wallClockLimit) {
+                obs::secondsSince(wall_start) > opts_.wallClockLimit) {
                 throw WallClockExceeded{};
             }
             // Golden-reconvergence early exit: at each checkpoint
@@ -348,6 +416,7 @@ InjectionRunner::inject(const Fault &fault, const GoldenRun &ref,
                 core.cycle() == after->cycle()) {
                 if (core.stateEquals(*after)) {
                     earlyExits_.fetch_add(1, std::memory_order_relaxed);
+                    m.earlyExits.add();
                     if (detail)
                         detail->earlyExit = true;
                     return Outcome::Masked;
@@ -400,11 +469,13 @@ InjectionRunner::planBatch(const std::vector<Fault> &faults,
     std::unordered_map<std::uint64_t, std::uint32_t, FaultKeyHash> first;
     first.reserve(faults.size());
     plan.work.reserve(faults.size());
+    std::uint64_t memo_hits = 0;
     for (std::uint32_t i = 0; i < faults.size(); ++i) {
         plan.keys[i] = faultKey(faults[i]);
         Outcome cached;
         if (memo && memo->lookup(plan.keys[i], cached)) {
             plan.outcomes[i] = cached;
+            ++memo_hits;
             continue;
         }
         auto [it, fresh] = first.emplace(plan.keys[i], i);
@@ -413,6 +484,10 @@ InjectionRunner::planBatch(const std::vector<Fault> &faults,
         else
             plan.aliases.emplace_back(i, it->second);
     }
+    if (memo_hits)
+        injectMetrics().memoHits.add(memo_hits);
+    if (!plan.aliases.empty())
+        injectMetrics().dedupAliases.add(plan.aliases.size());
 
     // Cycle-sorted execution order: neighbouring runs resume from the
     // same checkpoint, so their pre-fault replay shares length.  The

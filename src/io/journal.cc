@@ -12,6 +12,7 @@
 
 #include "base/logging.hh"
 #include "io/json.hh"
+#include "obs/metrics.hh"
 
 namespace merlin::io
 {
@@ -20,6 +21,24 @@ namespace
 {
 
 constexpr const char *kJournalTag = "merlin-journal-v1";
+
+/** Journal instruments, resolved once (the lookup takes a mutex). */
+struct JournalMetrics
+{
+    obs::Counter &appends =
+        obs::Registry::global().counter("journal.appends");
+    obs::Counter &fsyncs =
+        obs::Registry::global().counter("journal.fsyncs");
+    obs::Counter &restored =
+        obs::Registry::global().counter("journal.restored");
+};
+
+JournalMetrics &
+journalMetrics()
+{
+    static JournalMetrics m;
+    return m;
+}
 
 void
 syncFile(std::FILE *f, const std::string &path)
@@ -142,6 +161,7 @@ OutcomeJournal::restore(
                   path_, "': ", ec.message());
     }
     restored_ = true;
+    journalMetrics().restored.add(r.runs);
     return r;
 }
 
@@ -199,6 +219,7 @@ OutcomeJournal::append(std::uint64_t key, faultsim::Outcome outcome,
     if (std::fwrite(line.data(), 1, line.size(), file_) != line.size())
         fatal("outcome journal: write to '", path_,
               "' failed (disk full?)");
+    journalMetrics().appends.add();
     if (++sinceFlush_ >= kFlushInterval)
         flushLocked();
 }
@@ -210,6 +231,7 @@ OutcomeJournal::flushLocked()
         fatal("outcome journal: flush of '", path_,
               "' failed: ", std::strerror(errno));
     syncFile(file_, path_);
+    journalMetrics().fsyncs.add();
     sinceFlush_ = 0;
 }
 

@@ -13,6 +13,9 @@
 #endif
 
 #include "base/logging.hh"
+#include "obs/clock.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 
 namespace merlin::io
 {
@@ -215,6 +218,7 @@ ResultStore::load()
 {
     if (path_.empty())
         return false;
+    obs::Span span("io", "store.load");
     std::ifstream in(path_);
     if (!in)
         return false;
@@ -278,12 +282,17 @@ ResultStore::save() const
 {
     if (path_.empty())
         return;
+    obs::Span span("io", "store.save");
+    const obs::TimePoint t0 = obs::now();
+    // Serialize to a string first: the telemetry wants the byte count,
+    // and streaming via a string changes nothing about the bytes.
+    const std::string text = toJson().dump(2) + "\n";
     const std::string tmp = path_ + ".tmp";
     {
         std::ofstream out(tmp, std::ios::trunc);
         if (!out)
             fatal("result store: cannot write '", tmp, "'");
-        out << toJson().dump(2) << '\n';
+        out << text;
         // Flush and close under an explicit state check: a full disk
         // must surface here, not as a truncated store discovered by
         // the next --resume.
@@ -302,6 +311,11 @@ ResultStore::save() const
               "'");
     const auto dir = std::filesystem::path(path_).parent_path();
     syncToDisk(dir.empty() ? "." : dir.string(), true);
+
+    obs::Registry &reg = obs::Registry::global();
+    reg.counter("store.saves").add();
+    reg.counter("store.save_bytes").add(text.size());
+    reg.histogram("store.save_us").observe(obs::microsSince(t0));
 }
 
 bool

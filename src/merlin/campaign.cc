@@ -2,10 +2,11 @@
 
 #include <algorithm>
 #include <array>
-#include <chrono>
 
 #include "base/logging.hh"
 #include "base/threadpool.hh"
+#include "obs/clock.hh"
+#include "obs/trace.hh"
 
 namespace merlin::core
 {
@@ -17,14 +18,6 @@ using faultsim::Outcome;
 
 namespace
 {
-
-double
-secondsSince(std::chrono::steady_clock::time_point t0)
-{
-    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                         t0)
-        .count();
-}
 
 unsigned
 entriesOf(uarch::Structure s, const uarch::CoreConfig &cfg)
@@ -84,6 +77,7 @@ PreparedCampaign
 Campaign::prepare(bool inject_all, bool relyzer, unsigned path_depth,
                   bool grouping_only)
 {
+    obs::Span span("campaign", "prepare " + prog_.name);
     PreparedCampaign prep;
     CampaignResult &res = prep.result;
     Rng rng(cfg_.seed);
@@ -100,13 +94,13 @@ Campaign::prepare(bool inject_all, bool relyzer, unsigned path_depth,
     runner_ = std::make_unique<InjectionRunner>(prog_, cfg_.core, ropts);
 
     // ---- Phase 1: preprocessing (profiled golden run + fault list) ----
-    auto t0 = std::chrono::steady_clock::now();
+    const obs::TimePoint t0 = obs::now();
     profile::AceProfiler profiler(cfg_.core.numPhysIntRegs,
                                   cfg_.core.sqEntries,
                                   cfg_.core.l1d.totalWords());
     golden_ = runner_->golden(&profiler);
     profiler.finalize();
-    res.profileSeconds = secondsSince(t0);
+    res.profileSeconds = obs::secondsSince(t0);
     res.goldenCycles = golden_.stats.cycles;
     res.goldenInstret = golden_.stats.instret;
 
@@ -166,6 +160,7 @@ Campaign::finish(PreparedCampaign prep,
                  const std::vector<Outcome> &outcomes,
                  double injection_seconds) const
 {
+    obs::Span span("campaign", "finish " + prog_.name);
     CampaignResult res = std::move(prep.result);
     if (prep.groupingOnly)
         return res;
@@ -248,10 +243,12 @@ Campaign::runImpl(bool inject_all, bool relyzer, unsigned path_depth)
     // no cross-batch memo is needed.
     const unsigned jobs =
         cfg_.jobs ? cfg_.jobs : base::ThreadPool::hardwareThreads();
-    auto t0 = std::chrono::steady_clock::now();
-    const std::vector<Outcome> outcomes =
-        runner_->injectBatch(prep.faults, golden_, jobs);
-    return finish(std::move(prep), outcomes, secondsSince(t0));
+    const obs::TimePoint t0 = obs::now();
+    const std::vector<Outcome> outcomes = [&] {
+        obs::Span span("campaign", "inject-batch " + prog_.name);
+        return runner_->injectBatch(prep.faults, golden_, jobs);
+    }();
+    return finish(std::move(prep), outcomes, obs::secondsSince(t0));
 }
 
 } // namespace merlin::core

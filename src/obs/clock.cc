@@ -1,0 +1,39 @@
+#include "obs/clock.hh"
+
+#include <atomic>
+
+namespace merlin::obs
+{
+
+namespace
+{
+
+/**
+ * The installed override, or null for the real clock.  An atomic
+ * pointer keeps the common path (no override) to one relaxed load;
+ * tests that install an override synchronize their own threads.
+ */
+std::atomic<std::function<TimePoint()> *> clockOverride{nullptr};
+
+} // namespace
+
+TimePoint
+now()
+{
+    if (auto *fn = clockOverride.load(std::memory_order_acquire))
+        return (*fn)();
+    return std::chrono::steady_clock::now();
+}
+
+ClockOverride::ClockOverride(std::function<TimePoint()> fn)
+    : fn_(std::move(fn))
+{
+    prev_ = clockOverride.exchange(&fn_, std::memory_order_acq_rel);
+}
+
+ClockOverride::~ClockOverride()
+{
+    clockOverride.store(prev_, std::memory_order_release);
+}
+
+} // namespace merlin::obs

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * The tree's single monotonic-clock wrapper.
+ *
+ * Every wall-clock read in the engine — suite/campaign phase timing,
+ * the injection watchdog, metrics latencies, trace span timestamps —
+ * goes through obs::now(), so there is exactly one clock in the tree
+ * and exactly one test seam: ClockOverride swaps the source for a
+ * deterministic fake, letting tests drive watchdogs and timers
+ * without sleeping.
+ *
+ * Telemetry built on this clock is strictly out-of-band: time values
+ * feed reports, metrics and traces, never simulation outcomes.
+ */
+
+#ifndef MERLIN_OBS_CLOCK_HH
+#define MERLIN_OBS_CLOCK_HH
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+
+namespace merlin::obs
+{
+
+using TimePoint = std::chrono::steady_clock::time_point;
+
+/** Current monotonic time (the override's, when a test installed one). */
+TimePoint now();
+
+/** Seconds from @p t0 to @p t1 (negative if t1 precedes t0). */
+inline double
+secondsBetween(TimePoint t0, TimePoint t1)
+{
+    return std::chrono::duration<double>(t1 - t0).count();
+}
+
+/** Seconds elapsed since @p t0. */
+inline double
+secondsSince(TimePoint t0)
+{
+    return secondsBetween(t0, now());
+}
+
+/** Whole microseconds from @p t0 to @p t1, clamped at zero. */
+inline std::uint64_t
+microsBetween(TimePoint t0, TimePoint t1)
+{
+    if (t1 <= t0)
+        return 0;
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(t1 - t0)
+            .count());
+}
+
+/** Whole microseconds elapsed since @p t0, clamped at zero. */
+inline std::uint64_t
+microsSince(TimePoint t0)
+{
+    return microsBetween(t0, now());
+}
+
+/**
+ * Test seam: while alive, obs::now() returns @p fn() instead of the
+ * steady clock.  Overrides do not nest (the previous source is
+ * restored on destruction, so scoped use in one test at a time is
+ * fine); installing one while worker threads are reading the clock is
+ * the test's own race to avoid.
+ */
+class ClockOverride
+{
+  public:
+    explicit ClockOverride(std::function<TimePoint()> fn);
+    ~ClockOverride();
+
+    ClockOverride(const ClockOverride &) = delete;
+    ClockOverride &operator=(const ClockOverride &) = delete;
+
+  private:
+    std::function<TimePoint()> fn_;
+    std::function<TimePoint()> *prev_;
+};
+
+} // namespace merlin::obs
+
+#endif // MERLIN_OBS_CLOCK_HH

@@ -1,0 +1,246 @@
+#include "obs/metrics.hh"
+
+#include <bit>
+#include <thread>
+
+namespace merlin::obs
+{
+
+namespace detail
+{
+
+unsigned
+shardIndex() noexcept
+{
+    // One hash per thread, cached: the hot path pays a thread_local
+    // read, not a std::hash of std::thread::id per event.
+    thread_local const unsigned idx = static_cast<unsigned>(
+        std::hash<std::thread::id>{}(std::this_thread::get_id()) %
+        kShards);
+    return idx;
+}
+
+} // namespace detail
+
+// ---------------------------------------------------------------- Gauge
+
+void
+Gauge::set(double v) noexcept
+{
+    value_.store(v, std::memory_order_relaxed);
+    double cur = max_.load(std::memory_order_relaxed);
+    while (v > cur &&
+           !max_.compare_exchange_weak(cur, v,
+                                       std::memory_order_relaxed)) {
+    }
+    sets_.fetch_add(1, std::memory_order_relaxed);
+}
+
+GaugeSnapshot
+Gauge::snapshot() const noexcept
+{
+    GaugeSnapshot s;
+    s.sets = sets_.load(std::memory_order_relaxed);
+    s.value = value_.load(std::memory_order_relaxed);
+    s.max = s.sets ? max_.load(std::memory_order_relaxed) : 0.0;
+    return s;
+}
+
+void
+Gauge::reset() noexcept
+{
+    value_.store(0.0, std::memory_order_relaxed);
+    max_.store(std::numeric_limits<double>::lowest(),
+               std::memory_order_relaxed);
+    sets_.store(0, std::memory_order_relaxed);
+}
+
+// ------------------------------------------------------------ Histogram
+
+void
+Histogram::observe(std::uint64_t v) noexcept
+{
+    Shard &s = shards_[detail::shardIndex()];
+    s.count.fetch_add(1, std::memory_order_relaxed);
+    s.sum.fetch_add(v, std::memory_order_relaxed);
+    s.buckets[std::bit_width(v)].fetch_add(1, std::memory_order_relaxed);
+    std::uint64_t cur = s.min.load(std::memory_order_relaxed);
+    while (v < cur &&
+           !s.min.compare_exchange_weak(cur, v,
+                                        std::memory_order_relaxed)) {
+    }
+    cur = s.max.load(std::memory_order_relaxed);
+    while (v > cur &&
+           !s.max.compare_exchange_weak(cur, v,
+                                        std::memory_order_relaxed)) {
+    }
+}
+
+HistogramSnapshot
+Histogram::snapshot() const
+{
+    HistogramSnapshot out;
+    for (const Shard &s : shards_) {
+        HistogramSnapshot part;
+        part.count = s.count.load(std::memory_order_relaxed);
+        if (part.count == 0)
+            continue;
+        part.sum = s.sum.load(std::memory_order_relaxed);
+        part.min = s.min.load(std::memory_order_relaxed);
+        part.max = s.max.load(std::memory_order_relaxed);
+        for (unsigned b = 0; b < HistogramSnapshot::kBuckets; ++b)
+            part.buckets[b] =
+                s.buckets[b].load(std::memory_order_relaxed);
+        out.merge(part);
+    }
+    return out;
+}
+
+void
+Histogram::reset() noexcept
+{
+    for (Shard &s : shards_) {
+        s.count.store(0, std::memory_order_relaxed);
+        s.sum.store(0, std::memory_order_relaxed);
+        s.min.store(std::numeric_limits<std::uint64_t>::max(),
+                    std::memory_order_relaxed);
+        s.max.store(0, std::memory_order_relaxed);
+        for (auto &b : s.buckets)
+            b.store(0, std::memory_order_relaxed);
+    }
+}
+
+void
+HistogramSnapshot::merge(const HistogramSnapshot &o)
+{
+    if (o.count == 0)
+        return;
+    min = count == 0 ? o.min : std::min(min, o.min);
+    max = count == 0 ? o.max : std::max(max, o.max);
+    count += o.count;
+    sum += o.sum;
+    for (unsigned b = 0; b < kBuckets; ++b)
+        buckets[b] += o.buckets[b];
+}
+
+// ------------------------------------------------------ MetricsSnapshot
+
+io::Json
+MetricsSnapshot::toJson() const
+{
+    io::Json c = io::Json::object();
+    for (const auto &[name, total] : counters)
+        c.set(name, total);
+
+    io::Json g = io::Json::object();
+    for (const auto &[name, snap] : gauges) {
+        io::Json e = io::Json::object();
+        e.set("value", snap.value);
+        e.set("max", snap.max);
+        e.set("sets", snap.sets);
+        g.set(name, e);
+    }
+
+    io::Json h = io::Json::object();
+    for (const auto &[name, snap] : histograms) {
+        io::Json e = io::Json::object();
+        e.set("count", snap.count);
+        e.set("sum", snap.sum);
+        e.set("min", snap.count ? snap.min : 0);
+        e.set("max", snap.count ? snap.max : 0);
+        e.set("mean", snap.mean());
+        // Sparse [bucket_floor, count] pairs: bucket b >= 1 holds
+        // values in [2^(b-1), 2^b), bucket 0 holds exact zeros.
+        io::Json buckets = io::Json::array();
+        for (unsigned b = 0; b < HistogramSnapshot::kBuckets; ++b) {
+            if (snap.buckets[b] == 0)
+                continue;
+            io::Json pair = io::Json::array();
+            pair.push(b == 0 ? std::uint64_t(0)
+                             : std::uint64_t(1) << (b - 1));
+            pair.push(snap.buckets[b]);
+            buckets.push(pair);
+        }
+        e.set("buckets", buckets);
+        h.set(name, e);
+    }
+
+    io::Json doc = io::Json::object();
+    doc.set("format", "merlin-metrics-v1");
+    doc.set("counters", c);
+    doc.set("gauges", g);
+    doc.set("histograms", h);
+    return doc;
+}
+
+// ------------------------------------------------------------- Registry
+
+Registry &
+Registry::global()
+{
+    static Registry r;
+    return r;
+}
+
+Counter &
+Registry::counter(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto &slot = counters_[name];
+    if (!slot)
+        slot = std::make_unique<Counter>();
+    return *slot;
+}
+
+Gauge &
+Registry::gauge(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto &slot = gauges_[name];
+    if (!slot)
+        slot = std::make_unique<Gauge>();
+    return *slot;
+}
+
+Histogram &
+Registry::histogram(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto &slot = histograms_[name];
+    if (!slot)
+        slot = std::make_unique<Histogram>();
+    return *slot;
+}
+
+MetricsSnapshot
+Registry::snapshot() const
+{
+    MetricsSnapshot s;
+    std::lock_guard<std::mutex> lock(mu_);
+    // std::map iteration is sorted by name — the deterministic
+    // aggregation order the serializer relies on.
+    s.counters.reserve(counters_.size());
+    for (const auto &[name, c] : counters_)
+        s.counters.emplace_back(name, c->total());
+    s.gauges.reserve(gauges_.size());
+    for (const auto &[name, g] : gauges_)
+        s.gauges.emplace_back(name, g->snapshot());
+    s.histograms.reserve(histograms_.size());
+    for (const auto &[name, h] : histograms_)
+        s.histograms.emplace_back(name, h->snapshot());
+    return s;
+}
+
+void
+Registry::reset()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto &[name, c] : counters_)
+        c->reset();
+    for (auto &[name, g] : gauges_)
+        g->reset();
+    for (auto &[name, h] : histograms_)
+        h->reset();
+}
+
+} // namespace merlin::obs

@@ -1,0 +1,216 @@
+/**
+ * @file
+ * Low-overhead metrics registry for the campaign engine's hot paths.
+ *
+ * Three instrument kinds, all safe to hammer from every pool worker:
+ *
+ *   Counter    monotonic u64 (events, bytes, accumulated microseconds)
+ *   Gauge      last-set double plus a running max (bench measurements)
+ *   Histogram  log2-bucketed u64 samples with count/sum/min/max
+ *              (latencies, queue depths)
+ *
+ * Updates land in cache-line-padded per-thread shards (indexed by a
+ * thread-id hash), so the hot path is one relaxed atomic RMW with no
+ * shared line bouncing and no locks.  Aggregation happens only at
+ * snapshot() time, deterministically by sorted instrument name — so a
+ * metrics dump has stable key order even though the VALUES may differ
+ * run to run (threads race on real time; only simulation results are
+ * byte-stable).
+ *
+ * Instruments live forever once created: registry lookups return
+ * references that stay valid for the process lifetime (reset() zeroes
+ * in place), so call sites cache them in function-local statics or
+ * members instead of paying the name lookup per event.
+ *
+ * Telemetry is strictly out-of-band: nothing here feeds outcomes, the
+ * result store, or the journal.
+ */
+
+#ifndef MERLIN_OBS_METRICS_HH
+#define MERLIN_OBS_METRICS_HH
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "io/json.hh"
+
+namespace merlin::obs
+{
+
+namespace detail
+{
+
+/** Shard count: enough to spread a few dozen workers, small enough to
+ *  keep per-instrument footprint trivial. */
+constexpr unsigned kShards = 16;
+
+/** This thread's shard index (a cached thread-id hash). */
+unsigned shardIndex() noexcept;
+
+struct alignas(64) PaddedU64
+{
+    std::atomic<std::uint64_t> v{0};
+};
+
+} // namespace detail
+
+/** Monotonic event/byte/microsecond counter. */
+class Counter
+{
+  public:
+    void
+    add(std::uint64_t n = 1) noexcept
+    {
+        shards_[detail::shardIndex()].v.fetch_add(
+            n, std::memory_order_relaxed);
+    }
+
+    std::uint64_t
+    total() const noexcept
+    {
+        std::uint64_t t = 0;
+        for (const auto &s : shards_)
+            t += s.v.load(std::memory_order_relaxed);
+        return t;
+    }
+
+    void
+    reset() noexcept
+    {
+        for (auto &s : shards_)
+            s.v.store(0, std::memory_order_relaxed);
+    }
+
+  private:
+    detail::PaddedU64 shards_[detail::kShards];
+};
+
+struct GaugeSnapshot
+{
+    double value = 0.0; ///< most recent set() (any thread)
+    double max = 0.0;   ///< largest value ever set (0 until a set)
+    std::uint64_t sets = 0;
+};
+
+/** Last-set-wins value with a running max; set() is wait-free. */
+class Gauge
+{
+  public:
+    void set(double v) noexcept;
+    GaugeSnapshot snapshot() const noexcept;
+    void reset() noexcept;
+
+  private:
+    std::atomic<double> value_{0.0};
+    std::atomic<double> max_{std::numeric_limits<double>::lowest()};
+    std::atomic<std::uint64_t> sets_{0};
+};
+
+/**
+ * Aggregated view of a Histogram.  buckets[b] counts samples whose
+ * bit width is b, i.e. bucket 0 holds the value 0 and bucket b >= 1
+ * holds [2^(b-1), 2^b).  merge() is commutative and associative, so
+ * folding shard (or worker) snapshots in any order yields the same
+ * aggregate.
+ */
+struct HistogramSnapshot
+{
+    static constexpr unsigned kBuckets = 65;
+
+    std::uint64_t count = 0;
+    std::uint64_t sum = 0;
+    std::uint64_t min = 0; ///< valid only when count > 0
+    std::uint64_t max = 0; ///< valid only when count > 0
+    std::array<std::uint64_t, kBuckets> buckets{};
+
+    void merge(const HistogramSnapshot &o);
+
+    double
+    mean() const
+    {
+        return count ? static_cast<double>(sum) /
+                           static_cast<double>(count)
+                     : 0.0;
+    }
+};
+
+/** Log2-bucketed distribution of u64 samples. */
+class Histogram
+{
+  public:
+    void observe(std::uint64_t v) noexcept;
+    HistogramSnapshot snapshot() const;
+    void reset() noexcept;
+
+  private:
+    struct alignas(64) Shard
+    {
+        std::atomic<std::uint64_t> count{0};
+        std::atomic<std::uint64_t> sum{0};
+        std::atomic<std::uint64_t> min{
+            std::numeric_limits<std::uint64_t>::max()};
+        std::atomic<std::uint64_t> max{0};
+        std::atomic<std::uint64_t> buckets[HistogramSnapshot::kBuckets] =
+            {};
+    };
+
+    Shard shards_[detail::kShards];
+};
+
+/**
+ * A point-in-time aggregate of every instrument, entries sorted by
+ * name — the deterministic serialization order.
+ */
+struct MetricsSnapshot
+{
+    std::vector<std::pair<std::string, std::uint64_t>> counters;
+    std::vector<std::pair<std::string, GaugeSnapshot>> gauges;
+    std::vector<std::pair<std::string, HistogramSnapshot>> histograms;
+
+    /**
+     * `{"format": "merlin-metrics-v1", "counters": {...}, "gauges":
+     * {...}, "histograms": {...}}` with keys in sorted-name order;
+     * parses back under the strict io::Json parser.  Histogram
+     * buckets serialize sparsely as [bucket_floor, count] pairs.
+     */
+    io::Json toJson() const;
+};
+
+/**
+ * Name -> instrument registry.  Creation takes a mutex; the returned
+ * references are update-hot-path handles valid forever.  One global()
+ * registry serves the whole process — separate Registry instances
+ * exist for tests.
+ */
+class Registry
+{
+  public:
+    static Registry &global();
+
+    Counter &counter(const std::string &name);
+    Gauge &gauge(const std::string &name);
+    Histogram &histogram(const std::string &name);
+
+    MetricsSnapshot snapshot() const;
+
+    /** Zero every instrument in place (handles stay valid). */
+    void reset();
+
+  private:
+    mutable std::mutex mu_;
+    std::map<std::string, std::unique_ptr<Counter>> counters_;
+    std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+    std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+} // namespace merlin::obs
+
+#endif // MERLIN_OBS_METRICS_HH

@@ -1,0 +1,160 @@
+#include "obs/trace.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
+#include "base/logging.hh"
+
+namespace merlin::obs
+{
+
+namespace
+{
+
+std::uint64_t
+processId()
+{
+#if defined(__unix__) || defined(__APPLE__)
+    return static_cast<std::uint64_t>(::getpid());
+#else
+    return 1;
+#endif
+}
+
+/** Small stable per-thread ids (0, 1, 2, ...) for the "tid" field —
+ *  far more readable in a trace viewer than hashed native ids. */
+std::uint32_t
+threadId()
+{
+    static std::atomic<std::uint32_t> next{0};
+    thread_local const std::uint32_t id =
+        next.fetch_add(1, std::memory_order_relaxed);
+    return id;
+}
+
+} // namespace
+
+TraceWriter &
+TraceWriter::global()
+{
+    static TraceWriter w;
+    return w;
+}
+
+void
+TraceWriter::start(std::string path)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    events_.clear();
+    path_ = std::move(path);
+    t0_ = now();
+    started_ = true;
+    enabled_.store(true, std::memory_order_relaxed);
+}
+
+void
+TraceWriter::complete(const char *cat, std::string name, TimePoint begin,
+                      TimePoint end)
+{
+    if (!enabled())
+        return;
+    Event e;
+    e.name = std::move(name);
+    e.cat = cat;
+    e.tid = threadId();
+    std::lock_guard<std::mutex> lock(mu_);
+    // Timestamps are relative to start(): clamp spans that began
+    // before it (or raced with it) instead of underflowing.
+    e.ts = microsBetween(t0_, begin);
+    e.dur = microsBetween(begin, end);
+    events_.push_back(std::move(e));
+}
+
+io::Json
+TraceWriter::toJson() const
+{
+    std::vector<const Event *> sorted;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        sorted.reserve(events_.size());
+        for (const Event &e : events_)
+            sorted.push_back(&e);
+    }
+    // Chronological order (ties broken by thread then name) so the
+    // file is stable for a given event multiset and pleasant to diff.
+    std::sort(sorted.begin(), sorted.end(),
+              [](const Event *a, const Event *b) {
+                  if (a->ts != b->ts)
+                      return a->ts < b->ts;
+                  if (a->tid != b->tid)
+                      return a->tid < b->tid;
+                  return a->name < b->name;
+              });
+
+    const std::uint64_t pid = processId();
+    io::Json arr = io::Json::array();
+    for (const Event *e : sorted) {
+        io::Json ev = io::Json::object();
+        ev.set("name", e->name);
+        ev.set("cat", e->cat);
+        ev.set("ph", "X");
+        ev.set("pid", pid);
+        ev.set("tid", std::uint64_t(e->tid));
+        ev.set("ts", e->ts);
+        ev.set("dur", e->dur);
+        arr.push(ev);
+    }
+    io::Json doc = io::Json::object();
+    doc.set("traceEvents", arr);
+    doc.set("displayTimeUnit", "ms");
+    return doc;
+}
+
+bool
+TraceWriter::finish()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (!started_)
+            return false;
+    }
+    // Disable first: stragglers on other threads stop recording while
+    // we serialize (any that raced in already hold the buffer's data).
+    enabled_.store(false, std::memory_order_relaxed);
+    const io::Json doc = toJson();
+
+    std::string path;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        path = path_;
+        events_.clear();
+        path_.clear();
+        started_ = false;
+    }
+    if (path.empty())
+        return true;
+
+    // Atomic publish (temp + rename), like every other artifact the
+    // tree writes: a crash mid-dump must not leave a torn trace.
+    const std::string tmp = path + ".tmp";
+    {
+        std::ofstream os(tmp, std::ios::trunc);
+        if (!os)
+            fatal("trace: cannot write '", tmp, "'");
+        os << doc.dump(2) << '\n';
+        os.flush();
+        os.close();
+        if (!os.good())
+            fatal("trace: write to '", tmp, "' failed (disk full?)");
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0)
+        fatal("trace: cannot rename '", tmp, "' to '", path, "'");
+    return true;
+}
+
+} // namespace merlin::obs

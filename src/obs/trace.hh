@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Chrome trace_event JSON spans for whole-run timelines.
+ *
+ * One process-global TraceWriter collects complete ("ph":"X") events
+ * while enabled and dumps them as `{"traceEvents": [...]}` — the
+ * format chrome://tracing and Perfetto load directly — at finish().
+ * Span is the RAII recording primitive: construct at phase entry,
+ * the destructor emits the event.
+ *
+ * Cost model: when tracing is off (the default), a Span costs one
+ * relaxed atomic load and never touches the clock or allocates; code
+ * can therefore leave spans in hot paths unconditionally.  When on,
+ * each span is two clock reads plus one short mutex-guarded append.
+ *
+ * Tracing is strictly out-of-band: spans observe phases, they never
+ * influence outcomes, store bytes, or journal bytes.
+ */
+
+#ifndef MERLIN_OBS_TRACE_HH
+#define MERLIN_OBS_TRACE_HH
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "io/json.hh"
+#include "obs/clock.hh"
+
+namespace merlin::obs
+{
+
+class TraceWriter
+{
+  public:
+    static TraceWriter &global();
+
+    /**
+     * Begin collecting.  @p path is where finish() writes the trace
+     * (empty: collect only, e.g. for tests that inspect toJson()).
+     * Restarting discards previously collected events.
+     */
+    void start(std::string path);
+
+    bool
+    enabled() const noexcept
+    {
+        return enabled_.load(std::memory_order_relaxed);
+    }
+
+    /** Record one complete event (used by Span's destructor). */
+    void complete(const char *cat, std::string name, TimePoint begin,
+                  TimePoint end);
+
+    /**
+     * Stop collecting, write the trace file (atomically, when a path
+     * was given), and clear the buffer.  @return false when start()
+     * was never called — callers can finish() unconditionally.
+     */
+    bool finish();
+
+    /** The collected events as a trace_event document (sorted). */
+    io::Json toJson() const;
+
+  private:
+    struct Event
+    {
+        std::string name;
+        const char *cat;
+        std::uint32_t tid;
+        std::uint64_t ts;  ///< microseconds since start()
+        std::uint64_t dur; ///< microseconds
+    };
+
+    mutable std::mutex mu_;
+    std::vector<Event> events_;
+    std::string path_;
+    TimePoint t0_;
+    bool started_ = false;
+    std::atomic<bool> enabled_{false};
+};
+
+/**
+ * RAII trace span: records [construction, destruction) as one complete
+ * event under the global writer.  @p cat groups events into trace
+ * viewer rows/colors — the layer names used across the tree are
+ * "sched", "campaign", "inject", and "io".
+ */
+class Span
+{
+  public:
+    Span(const char *cat, const char *name)
+    {
+        if (TraceWriter::global().enabled())
+            arm(cat, name);
+    }
+
+    Span(const char *cat, std::string name)
+    {
+        if (TraceWriter::global().enabled())
+            arm(cat, std::move(name));
+    }
+
+    ~Span() { end(); }
+
+    Span(const Span &) = delete;
+    Span &operator=(const Span &) = delete;
+
+    /** Close the span early (idempotent). */
+    void
+    end()
+    {
+        if (!active_)
+            return;
+        active_ = false;
+        TraceWriter::global().complete(cat_, std::move(name_), begin_,
+                                       now());
+    }
+
+  private:
+    void
+    arm(const char *cat, std::string name)
+    {
+        cat_ = cat;
+        name_ = std::move(name);
+        begin_ = now();
+        active_ = true;
+    }
+
+    const char *cat_ = nullptr;
+    std::string name_;
+    TimePoint begin_;
+    bool active_ = false;
+};
+
+} // namespace merlin::obs
+
+#endif // MERLIN_OBS_TRACE_HH

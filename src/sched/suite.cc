@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <atomic>
-#include <chrono>
 #include <filesystem>
 #include <map>
 #include <memory>
@@ -13,6 +12,9 @@
 #include "base/threadpool.hh"
 #include "io/journal.hh"
 #include "io/result_store.hh"
+#include "obs/clock.hh"
+#include "obs/progress.hh"
+#include "obs/trace.hh"
 
 namespace merlin::sched
 {
@@ -21,14 +23,6 @@ using io::Json;
 
 namespace
 {
-
-double
-secondsSince(std::chrono::steady_clock::time_point t0)
-{
-    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                         t0)
-        .count();
-}
 
 const char *
 structureTag(uarch::Structure s)
@@ -309,7 +303,8 @@ SuiteScheduler::SuiteScheduler(std::vector<CampaignSpec> specs,
 SuiteResult
 SuiteScheduler::run()
 {
-    const auto t0 = std::chrono::steady_clock::now();
+    const obs::TimePoint t0 = obs::now();
+    obs::Span suite_span("sched", "suite.run");
     SuiteResult out;
     out.results.resize(specs_.size());
     out.cached.assign(specs_.size(), false);
@@ -318,6 +313,18 @@ SuiteScheduler::run()
         for (std::size_t i = 0; i < specs_.size(); ++i)
             out.selected[i] = opts_.select->selects(i, specs_[i].key());
     }
+
+    // Live progress: inert unless an output is configured, so the
+    // counters are maintained unconditionally at relaxed-atomic cost.
+    obs::ProgressSink progress(obs::ProgressSink::Options{
+        opts_.progressInterval, opts_.progressStderr, opts_.progressPath,
+        opts_.select ? opts_.select->describe() : std::string()});
+    progress.campaignsTotal.store(specs_.size(),
+                                  std::memory_order_relaxed);
+    progress.campaignsSelected.store(
+        static_cast<std::uint64_t>(
+            std::count(out.selected.begin(), out.selected.end(), true)),
+        std::memory_order_relaxed);
 
     io::ResultStore store(opts_.storePath);
     if (opts_.reuseCached && store.load() && store.selection() &&
@@ -444,6 +451,9 @@ SuiteScheduler::run()
         if (opts_.reuseCached &&
             store.lookup(specs_[i].key(), out.results[i])) {
             out.cached[i] = true;
+            progress.campaignsDone.fetch_add(1, std::memory_order_relaxed);
+            progress.campaignsCached.fetch_add(1,
+                                               std::memory_order_relaxed);
             if (!opts_.shardDir.empty())
                 spillShard(specs_[i], out.results[i]);
             // A journal outliving a stored result means the previous
@@ -472,6 +482,8 @@ SuiteScheduler::run()
 
     const auto runCampaign = [&](std::size_t i) {
         const CampaignSpec &spec = specs_[i];
+        obs::Span span("sched",
+                       "campaign " + spec.workload + " " + spec.key());
         const auto wl = workloadFor(spec.workload);
         core::CampaignConfig cc = spec.campaignConfig(*wl);
         // Fault-tolerance knobs ride on the options, not the spec:
@@ -497,16 +509,22 @@ SuiteScheduler::run()
             // --resume the journal is started over along with the
             // campaign.
             faultsim::OutcomeMemo memo(prep.faults.size());
-            if (opts_.reuseCached)
+            if (opts_.reuseCached) {
+                obs::Span replay_span("io", "journal.replay");
                 restored = journal.restore(
                     [&](std::uint64_t key, faultsim::Outcome o) {
                         memo.insert(key, o);
                     });
+            }
+            progress.injections.fetch_add(restored.runs,
+                                          std::memory_order_relaxed);
             journal.open();
             const faultsim::InjectionRunner::OutcomeCallback record =
                 [&](std::uint64_t key, faultsim::Outcome o,
                     const faultsim::InjectDetail &detail) {
                     journal.append(key, o, detail);
+                    progress.injections.fetch_add(
+                        1, std::memory_order_relaxed);
                 };
             // Fan this campaign's injections into the SHARED pool: the
             // queue interleaves them with every other in-flight
@@ -514,11 +532,14 @@ SuiteScheduler::run()
             // dry picks them up.  (The batch dedups internally; no
             // cross-batch memo exists to share any more.)
             base::TaskGroup group(pool);
-            const auto t1 = std::chrono::steady_clock::now();
-            outcomes =
-                camp.runner().injectBatch(prep.faults, camp.goldenRun(),
-                                          group, &memo, &record);
-            inject_seconds = secondsSince(t1);
+            const obs::TimePoint t1 = obs::now();
+            {
+                obs::Span inject_span("campaign",
+                                      "inject-batch " + spec.workload);
+                outcomes = camp.runner().injectBatch(
+                    prep.faults, camp.goldenRun(), group, &memo, &record);
+            }
+            inject_seconds = obs::secondsSince(t1);
             journal.close();
         }
         core::CampaignResult res =
@@ -562,6 +583,7 @@ SuiteScheduler::run()
         journal.remove();
         out.results[i] = std::move(res);
         ran.fetch_add(1, std::memory_order_relaxed);
+        progress.campaignsDone.fetch_add(1, std::memory_order_relaxed);
     };
 
     // One looping driver per worker, pulling campaigns off a shared
@@ -595,7 +617,10 @@ SuiteScheduler::run()
         std::rethrow_exception(firstError);
 
     out.campaignsRun = ran.load();
-    out.wallSeconds = secondsSince(t0);
+    out.injectionsSimulated =
+        progress.injections.load(std::memory_order_relaxed);
+    out.wallSeconds = obs::secondsSince(t0);
+    progress.finish();
     return out;
 }
 

@@ -155,6 +155,15 @@ struct SuiteOptions
     double injectWallLimit = 0.0;
     bool quarantineFail = false;
     /**
+     * Live-progress outputs (strictly out-of-band, never part of the
+     * spec or the stored bytes): a periodic stderr line and/or an
+     * atomically-rewritten progress.json sampled every
+     * progressInterval seconds.  Both off by default.
+     */
+    double progressInterval = 1.0;
+    bool progressStderr = false;
+    std::string progressPath;
+    /**
      * This worker's share of the suite (--select i/n /
      * --select-hash i/n); nullopt = run everything.  Applied before
      * dispatch: unselected specs are not run, not served from the
@@ -182,6 +191,11 @@ struct SuiteResult
      */
     std::vector<bool> selected;
     std::uint64_t campaignsRun = 0;
+    /**
+     * Injections this run simulated or replayed from journals (cache
+     * hits excluded) — the numerator of the suite's injections/sec.
+     */
+    std::uint64_t injectionsSimulated = 0;
     double wallSeconds = 0.0;
 };
 

@@ -37,6 +37,8 @@
  *       [--jobs N] [--out results.json] [--out-dir DIR] [--resume]
  *       [--no-timing] [--select i/n | --select-hash i/n]
  *       [--quarantine=fail|continue] [--inject-wall-limit SECONDS]
+ *       [--trace trace.json] [--metrics metrics.json]
+ *       [--progress[=SECS]] [--progress-json FILE]
  *       Run a whole suite of campaigns (one JSON manifest entry each)
  *       on one shared worker pool: profiles overlap and workers steal
  *       injections across campaigns, with bit-identical results for
@@ -50,6 +52,16 @@
  *       shard file DIR/<key>.json for `store merge`.  --no-timing
  *       zeroes wall-clock fields so the results file is byte-identical
  *       across runs.
+ *       Telemetry (all strictly out-of-band — results and store bytes
+ *       are byte-identical with or without it): --trace records every
+ *       scheduler/campaign/injection/store span as Chrome trace_event
+ *       JSON (load in chrome://tracing or Perfetto); --metrics dumps
+ *       the metrics registry (counters, gauges, log2 histograms) as
+ *       JSON on exit; --progress prints a progress line to stderr
+ *       every SECS (default 1) seconds; --progress-json atomically
+ *       rewrites FILE with machine-readable progress at the same
+ *       cadence (what tools/dispatch.sh reads for heartbeats).
+ *       --trace and --metrics also work on `campaign`.
  *       --select i/n runs only worker i's share of the suite
  *       (round-robin over the manifest order); --select-hash i/n
  *       partitions on the spec content hash instead, so the share is
@@ -98,6 +110,8 @@
 #include "base/parse.hh"
 #include "base/strings.hh"
 #include "io/result_store.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "isa/interp.hh"
 #include "masm/asm.hh"
 #include "merlin/campaign.hh"
@@ -191,6 +205,53 @@ struct Args
         return base::parseDouble(it->second, "--" + k);
     }
 };
+
+/** Write @p text to @p path atomically (temp file + rename). */
+void
+writeTextFile(const std::string &path, const std::string &text)
+{
+    const std::string tmp = path + ".tmp";
+    {
+        std::ofstream os(tmp, std::ios::trunc);
+        if (!os)
+            fatal("cannot write '", tmp, "'");
+        os << text;
+        os.flush();
+        os.close();
+        if (!os.good())
+            fatal("write to '", tmp, "' failed (disk full?)");
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0)
+        fatal("cannot rename '", tmp, "' to '", path, "'");
+}
+
+/**
+ * Telemetry flags shared by `campaign` and `suite`: --trace=FILE
+ * records Chrome trace_event spans, --metrics=FILE dumps the metrics
+ * registry snapshot.  Strictly out-of-band — simulation results and
+ * store/journal bytes are identical with or without them.
+ */
+void
+startTelemetry(const Args &args)
+{
+    const std::string trace = args.get("trace");
+    if (!trace.empty())
+        obs::TraceWriter::global().start(trace);
+}
+
+void
+finishTelemetry(const Args &args)
+{
+    if (obs::TraceWriter::global().finish())
+        std::printf("trace written to %s\n", args.get("trace").c_str());
+    const std::string metrics = args.get("metrics");
+    if (!metrics.empty()) {
+        writeTextFile(metrics,
+                      obs::Registry::global().snapshot().toJson().dump(2) +
+                          "\n");
+        std::printf("metrics written to %s\n", metrics.c_str());
+    }
+}
 
 uarch::Structure
 parseStructure(const std::string &s)
@@ -362,9 +423,11 @@ cmdCampaign(const Args &args)
     auto w = workloads::buildWorkload(args.get("workload", "qsort"));
     core::CampaignConfig cc = campaignConfig(
         args, args.has("window") ? 0 : w.suggestedWindow);
+    startTelemetry(args);
     core::Campaign camp(w.program, cc);
     auto r = args.has("relyzer") ? camp.runRelyzer(args.has("truth"))
                                  : camp.run(args.has("truth"));
+    finishTelemetry(args);
     std::printf("== %s / %s ==\n", w.program.name.c_str(),
                 uarch::structureName(cc.target));
     printCampaign(r, [&] {
@@ -396,25 +459,6 @@ requireKnownFlags(const Args &args,
         if (!ok)
             fatal(what, ": unknown flag '--", flag, "'");
     }
-}
-
-/** Write @p text to @p path atomically (temp file + rename). */
-void
-writeTextFile(const std::string &path, const std::string &text)
-{
-    const std::string tmp = path + ".tmp";
-    {
-        std::ofstream os(tmp, std::ios::trunc);
-        if (!os)
-            fatal("cannot write '", tmp, "'");
-        os << text;
-        os.flush();
-        os.close();
-        if (!os.good())
-            fatal("write to '", tmp, "' failed (disk full?)");
-    }
-    if (std::rename(tmp.c_str(), path.c_str()) != 0)
-        fatal("cannot rename '", tmp, "' to '", path, "'");
 }
 
 /**
@@ -493,7 +537,8 @@ cmdSuite(const std::string &manifest_path, const Args &args)
     requireKnownFlags(args,
                       {"jobs", "out", "out-dir", "resume", "no-timing",
                        "select", "select-hash", "quarantine",
-                       "inject-wall-limit"},
+                       "inject-wall-limit", "trace", "metrics",
+                       "progress", "progress-json"},
                       "suite");
 
     sched::SuiteOptions opts;
@@ -504,6 +549,12 @@ cmdSuite(const std::string &manifest_path, const Args &args)
     opts.recordTiming = !args.has("no-timing");
     opts.injectWallLimit = args.getD("inject-wall-limit", 0.0);
     opts.quarantineFail = parseQuarantineFail(args);
+    // --progress / --progress=SECS: periodic stderr line (a bare flag
+    // parses as "1" — one second).  --progress-json FILE additionally
+    // rewrites a machine-readable progress file at the same cadence.
+    opts.progressStderr = args.has("progress");
+    opts.progressInterval = args.getD("progress", 1.0);
+    opts.progressPath = args.get("progress-json");
     if (opts.reuseCached && opts.storePath.empty())
         fatal("--resume requires --out <results.json>");
     if (args.has("select") && args.has("select-hash"))
@@ -516,8 +567,10 @@ cmdSuite(const std::string &manifest_path, const Args &args)
         opts.select = sched::SpecSelector::parse(
             args.get("select-hash"), sched::SpecSelector::Mode::Hash);
 
+    startTelemetry(args);
     sched::SuiteScheduler scheduler(specs, opts);
     sched::SuiteResult suite = scheduler.run();
+    finishTelemetry(args);
 
     std::printf("%-14s %-4s %-13s %10s %10s %10s %8s %6s %s\n",
                 "workload", "tgt", "mode", "initial", "survivors",
@@ -551,6 +604,13 @@ cmdSuite(const std::string &manifest_path, const Args &args)
                 static_cast<unsigned long long>(suite.campaignsRun),
                 static_cast<unsigned long long>(cached),
                 suite.wallSeconds, opts.jobs);
+    if (suite.injectionsSimulated && suite.wallSeconds > 0.0) {
+        std::printf("throughput: %llu injections at %.0f/s\n",
+                    static_cast<unsigned long long>(
+                        suite.injectionsSimulated),
+                    static_cast<double>(suite.injectionsSimulated) /
+                        suite.wallSeconds);
+    }
     if (opts.select) {
         // The suite report records the selection: which share of the
         // manifest this worker ran, and what it left for the others.
@@ -719,7 +779,11 @@ main(int argc, char **argv)
                              "[--no-timing] "
                              "[--select i/n | --select-hash i/n] "
                              "[--quarantine=fail|continue] "
-                             "[--inject-wall-limit SECONDS] | "
+                             "[--inject-wall-limit SECONDS] "
+                             "[--trace trace.json] "
+                             "[--metrics metrics.json] "
+                             "[--progress[=SECS]] "
+                             "[--progress-json FILE] | "
                              "--plan n [--hash] [--plan-dir DIR]\n");
                 return 2;
             }

@@ -10,8 +10,9 @@
 #
 # Fault tolerance: every --hosts entry is preflighted with a
 # short-timeout ssh no-op (unreachable hosts are dropped from the
-# rotation); each worker writes a heartbeat/progress file while it
-# runs; and failed shares are retried up to --retries times with
+# rotation); each worker publishes live counters to a progress.json
+# (via the CLI's --progress-json) that drives the heartbeat and stall
+# detection; and failed shares are retried up to --retries times with
 # exponential backoff, re-dispatched onto the surviving hosts and
 # resumed from the dead worker's store and outcome journals — so a
 # killed worker costs only its uncommitted injections, and the merged
@@ -23,6 +24,7 @@
 #       [--jobs N] [--out merged.json] [--hash] [--resume] \
 #       [--retries N] [--retry-backoff S] [--stall-timeout S] \
 #       [--hosts "user@h1 user@h2 ..."] [--reference ref.json]
+#   tools/dispatch.sh --check-progress FILE [--stall-timeout S]
 #
 #   --manifest      suite manifest every worker runs its share of
 #   --workers       number of shares (--select 0/n .. n-1/n)
@@ -39,43 +41,87 @@
 #   --retries       re-dispatch a failed share up to N times (default 0)
 #   --retry-backoff base seconds between retry rounds, doubling each
 #                   round (default 5)
-#   --stall-timeout kill a local worker whose share shows no shard
-#                   progress for S seconds, turning a hang into a
-#                   retryable failure (default 0 = off; local mode
-#                   only — remote progress is not visible until scp)
+#   --stall-timeout kill a local worker whose share shows no progress
+#                   (progress.json injections, or the shard count when
+#                   the file is absent) for S seconds, turning a hang
+#                   into a retryable failure (default 0 = off; local
+#                   mode only — remote progress is not visible until
+#                   scp)
 #   --hosts         run workers over ssh, round-robin across the listed
 #                   hosts, instead of as local processes; shards are
 #                   gathered back with scp
 #   --reference     after merging, byte-compare the merged store
 #                   against this single-host store and fail on any
 #                   difference
+#   --check-progress FILE
+#                   standalone mode: judge a worker progress.json
+#                   (written by `merlin_cli suite --progress-json`)
+#                   against this host's clock and exit 0 when it is
+#                   fresh or finished, 3 when its epoch is older than
+#                   --stall-timeout seconds (default 60) — the stall
+#                   test external monitors and CI reuse
 set -euo pipefail
 
 manifest="" workers="" cli="./build/merlin_cli" work_dir="dispatch-work"
 jobs=1 out="" hash=0 resume=0 hosts="" reference=""
-retries=0 retry_backoff=5 stall_timeout=0
+retries=0 retry_backoff=5 stall_timeout=0 check_progress=""
 
 die() { echo "dispatch.sh: $*" >&2; exit 1; }
 
+# progress_field FILE KEY: pull one scalar member out of a pretty-
+# printed progress.json without a JSON tool (the writer indents one
+# member per line, so a sed match on the quoted key is exact —
+# "injections" does not match "injections_per_sec").
+progress_field() {
+    sed -n 's/^[[:space:]]*"'"$2"'": *"\{0,1\}\([^",}]*\)"\{0,1\}.*$/\1/p' \
+        "$1" 2>/dev/null | head -1
+}
+
 while [ $# -gt 0 ]; do
     case "$1" in
-        --manifest)      manifest="${2:?}"; shift 2 ;;
-        --workers)       workers="${2:?}"; shift 2 ;;
-        --cli)           cli="${2:?}"; shift 2 ;;
-        --work-dir)      work_dir="${2:?}"; shift 2 ;;
-        --jobs)          jobs="${2:?}"; shift 2 ;;
-        --out)           out="${2:?}"; shift 2 ;;
-        --hash)          hash=1; shift ;;
-        --resume)        resume=1; shift ;;
-        --retries)       retries="${2:?}"; shift 2 ;;
-        --retry-backoff) retry_backoff="${2:?}"; shift 2 ;;
-        --stall-timeout) stall_timeout="${2:?}"; shift 2 ;;
-        --hosts)         hosts="${2:?}"; shift 2 ;;
-        --reference)     reference="${2:?}"; shift 2 ;;
+        --manifest)       manifest="${2:?}"; shift 2 ;;
+        --workers)        workers="${2:?}"; shift 2 ;;
+        --cli)            cli="${2:?}"; shift 2 ;;
+        --work-dir)       work_dir="${2:?}"; shift 2 ;;
+        --jobs)           jobs="${2:?}"; shift 2 ;;
+        --out)            out="${2:?}"; shift 2 ;;
+        --hash)           hash=1; shift ;;
+        --resume)         resume=1; shift ;;
+        --retries)        retries="${2:?}"; shift 2 ;;
+        --retry-backoff)  retry_backoff="${2:?}"; shift 2 ;;
+        --stall-timeout)  stall_timeout="${2:?}"; shift 2 ;;
+        --hosts)          hosts="${2:?}"; shift 2 ;;
+        --reference)      reference="${2:?}"; shift 2 ;;
+        --check-progress) check_progress="${2:?}"; shift 2 ;;
         -h|--help)       awk 'NR==1{next} /^#/{sub(/^# ?/,""); print; next} {exit}' "$0"; exit 0 ;;
         *) die "unknown argument '$1' (see --help)" ;;
     esac
 done
+
+# --------------------------------------------------- --check-progress
+# Staleness is epoch-only: a finished worker ("state": "done") stops
+# rewriting the file, and that is fine — its last epoch marks when it
+# finished, which a monitor should treat as final, not stale.
+if [ -n "$check_progress" ]; then
+    [ -f "$check_progress" ] || die "progress file '$check_progress' not found"
+    state=$(progress_field "$check_progress" state)
+    [ -n "$state" ] || die "'$check_progress' has no \"state\" member — not a merlin progress.json?"
+    if [ "$state" = "done" ]; then
+        echo "dispatch.sh: $check_progress: worker finished"
+        exit 0
+    fi
+    epoch=$(progress_field "$check_progress" epoch)
+    case "$epoch" in (*[!0-9]*|'') die "'$check_progress' has no numeric \"epoch\" member" ;; esac
+    limit=$stall_timeout
+    [ "$limit" -gt 0 ] || limit=60
+    age=$(( $(date +%s) - epoch ))
+    if [ "$age" -gt "$limit" ]; then
+        echo "dispatch.sh: $check_progress: STALE — last rewrite ${age}s ago (limit ${limit}s)" >&2
+        exit 3
+    fi
+    echo "dispatch.sh: $check_progress: fresh (${age}s old, state $state)"
+    exit 0
+fi
 
 [ -n "$manifest" ] || die "--manifest is required"
 [ -f "$manifest" ] || die "manifest '$manifest' not found"
@@ -114,7 +160,10 @@ fi
 # ------------------------------------------------------------ scatter
 # One suite invocation per worker share.  Each worker gets a private
 # store (resume state), a private shard directory (the merge inputs),
-# and a private heartbeat file, so nothing below shares a file.
+# and private progress/heartbeat files, so nothing below shares a
+# file.  Workers run with --progress-json so the monitor and the
+# gather completeness check can read structured progress instead of
+# scraping logs.
 #
 # launch_worker SHARE ATTEMPT starts the share in the background and
 # leaves its pid in $launched_pid (NOT echoed: a command substitution
@@ -128,11 +177,16 @@ launch_worker() {
     local shard_dir="$work_dir/shards-$i"
     local store="$work_dir/worker-$i.json"
     local log="$work_dir/worker-$i.log"
+    local prog="$work_dir/worker-$i.progress.json"
     local resume_args=()
     { [ "$resume" = 1 ] || [ "$attempt" -gt 0 ]; } && resume_args=(--resume)
+    # Drop the previous attempt's progress file so the monitor never
+    # reads a dead worker's counters as this attempt's progress.
+    rm -f "$prog"
     if [ ${#host_list[@]} -eq 0 ]; then
         "$cli" suite "$manifest" "$select_flag" "$i/$workers" \
             --jobs "$jobs" --out "$store" --out-dir "$shard_dir" \
+            --progress-json "$prog" \
             --no-timing "${resume_args[@]}" >> "$log" 2>&1 &
     else
         # Round-robin shares across the surviving hosts, rotated by
@@ -147,7 +201,8 @@ launch_worker() {
             ssh "$host" "'$cli' suite '$remote_dir/manifest.json' \
                 $select_flag $i/$workers --jobs $jobs \
                 --out '$remote_dir/worker.json' \
-                --out-dir '$remote_dir/shards' --no-timing \
+                --out-dir '$remote_dir/shards' \
+                --progress-json '$remote_dir/progress.json' --no-timing \
                 ${resume_args[*]:-}" &&
             mkdir -p "$shard_dir" &&
             # A hash share can be legitimately empty: only scp shards
@@ -156,29 +211,40 @@ launch_worker() {
             { ! ssh "$host" \
                   "ls '$remote_dir'/shards/*.json > /dev/null 2>&1" ||
               scp -q "$host:$remote_dir/shards/*.json" "$shard_dir/"; } &&
-            scp -q "$host:$remote_dir/worker.json" "$store"
+            scp -q "$host:$remote_dir/worker.json" "$store" &&
+            # The final progress.json feeds the gather summary; losing
+            # it only degrades reporting, never the merge.
+            { scp -q "$host:$remote_dir/progress.json" "$prog" || true; }
         } >> "$log" 2>&1 &
     fi
     launched_pid=$!
 }
 
-# monitor_worker SHARE PID heartbeats "epoch shard-count" into
-# worker-SHARE.heartbeat every 2 s while the share runs — a hung
-# worker is one whose heartbeat file goes stale or whose shard count
-# stops growing.  With --stall-timeout, a stalled local worker is
+# monitor_worker SHARE PID heartbeats "epoch signature" into
+# worker-SHARE.heartbeat every 2 s while the share runs.  The change
+# signature is the worker's own progress.json (injection and campaign
+# counters — fine-grained, moves within a campaign) when the file
+# exists, with the shard count as the fallback for workers that
+# cannot surface one (remote shares before scp, older CLIs).  With
+# --stall-timeout, a local worker whose signature stops changing is
 # killed so the retry loop can re-dispatch its share.
 monitor_worker() {
     local i="$1" pid="$2"
     local hb="$work_dir/worker-$i.heartbeat"
-    local last_count=-1 last_change
+    local prog="$work_dir/worker-$i.progress.json"
+    local last_sig="" last_change
     last_change=$(date +%s)
     while kill -0 "$pid" 2>/dev/null; do
-        local now count
+        local now sig
         now=$(date +%s)
-        count=$(find "$work_dir/shards-$i" -name '*.json' 2>/dev/null | wc -l)
-        echo "$now $count" > "$hb"
-        if [ "$count" -ne "$last_count" ]; then
-            last_count=$count
+        if [ -f "$prog" ]; then
+            sig="inj=$(progress_field "$prog" injections) done=$(progress_field "$prog" done)"
+        else
+            sig="shards=$(find "$work_dir/shards-$i" -name '*.json' 2>/dev/null | wc -l)"
+        fi
+        echo "$now $sig" > "$hb"
+        if [ "$sig" != "$last_sig" ]; then
+            last_sig=$sig
             last_change=$now
         elif [ "$stall_timeout" -gt 0 ] && [ ${#host_list[@]} -eq 0 ] &&
              [ $((now - last_change)) -ge "$stall_timeout" ]; then
@@ -244,15 +310,26 @@ fi
 
 # ------------------------------------------------------------- gather
 # Every share exited 0, so together they ran the complete, disjoint
-# selection 0/n..n-1/n.  Double-check that from the workers' own
-# reports — each prints "selection i/n: X of Y manifest campaigns" —
-# before trusting the merge: the sum of the X's must be exactly Y.
+# selection 0/n..n-1/n.  Double-check that before trusting the merge:
+# the per-worker selected counts must sum to exactly the manifest
+# size.  The counts come from each worker's final progress.json
+# (structured, "state": "done"); a worker without one — remote scp
+# lost it, or an older CLI — falls back to scraping its log for the
+# "selection i/n: X of Y manifest campaigns" line.
 total="" sum=0
 for i in $(seq 0 $((workers - 1))); do
-    line=$(grep 'manifest campaigns$' "$work_dir/worker-$i.log" | tail -1 || true)
-    [ -n "$line" ] || die "worker $i reported no selection (see $work_dir/worker-$i.log)"
-    sel=$(echo "$line" | awk '{print $(NF-4)}')
-    tot=$(echo "$line" | awk '{print $(NF-2)}')
+    prog="$work_dir/worker-$i.progress.json"
+    sel="" tot=""
+    if [ -f "$prog" ] && [ "$(progress_field "$prog" state)" = "done" ]; then
+        sel=$(progress_field "$prog" selected)
+        tot=$(progress_field "$prog" total)
+    fi
+    if [ -z "$sel" ] || [ -z "$tot" ]; then
+        line=$(grep 'manifest campaigns$' "$work_dir/worker-$i.log" | tail -1 || true)
+        [ -n "$line" ] || die "worker $i reported no selection (see $work_dir/worker-$i.log)"
+        sel=$(echo "$line" | awk '{print $(NF-4)}')
+        tot=$(echo "$line" | awk '{print $(NF-2)}')
+    fi
     [ -z "$total" ] || [ "$total" = "$tot" ] || die "workers disagree on the manifest size ($total vs $tot)"
     total=$tot
     sum=$((sum + sel))
@@ -283,4 +360,16 @@ if [ -n "$reference" ]; then
         die "merged store '$out' differs from reference '$reference'"
     echo "dispatch.sh: merged store byte-matches $reference"
 fi
+
+# Per-worker throughput, from each share's final progress.json.  A
+# share can report 0 injections legitimately (everything cached or an
+# empty hash share); a missing file just skips the line.
+for i in $(seq 0 $((workers - 1))); do
+    prog="$work_dir/worker-$i.progress.json"
+    [ -f "$prog" ] || continue
+    inj=$(progress_field "$prog" injections)
+    rate=$(progress_field "$prog" injections_per_sec)
+    secs=$(progress_field "$prog" elapsed_seconds)
+    echo "dispatch.sh: worker $i: ${inj:-?} injections in $(awk -v v="${secs:-0}" 'BEGIN{printf "%.1f", v}')s ($(awk -v v="${rate:-0}" 'BEGIN{printf "%.1f", v}') inj/s)"
+done
 echo "dispatch.sh: $workers workers -> $out"
