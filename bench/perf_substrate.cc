@@ -10,7 +10,10 @@
 #include <benchmark/benchmark.h>
 
 #include <chrono>
+#include <cstring>
+#include <string>
 
+#include "bench/common.hh"
 #include "faultsim/runner.hh"
 #include "isa/interp.hh"
 #include "merlin/campaign.hh"
@@ -225,8 +228,12 @@ BM_InjectSeedSerial(benchmark::State &state)
 {
     const auto &w = qsortWorkload();
     uarch::CoreConfig cfg;
-    faultsim::InjectionRunner runner(w.program, cfg,
-                                     /*checkpoint_interval=*/0);
+    // Replay off: this bench IS the legacy baseline the fast paths
+    // are measured against, so it must not take their shortcuts.
+    faultsim::RunnerOptions opts;
+    opts.checkpointInterval = 0;
+    opts.replay = false;
+    faultsim::InjectionRunner runner(w.program, cfg, opts);
     const auto g = runner.golden();
     const auto faults = engineFaults(g, cfg, 32);
     std::uint64_t n = 0;
@@ -246,7 +253,10 @@ BM_InjectCheckpointed(benchmark::State &state)
 {
     const auto &w = qsortWorkload();
     uarch::CoreConfig cfg;
-    faultsim::InjectionRunner runner(w.program, cfg);
+    // Replay off, isolating the checkpoint win alone.
+    faultsim::RunnerOptions opts;
+    opts.replay = false;
+    faultsim::InjectionRunner runner(w.program, cfg, opts);
     const auto g = runner.golden();
     const auto faults = engineFaults(g, cfg, 32);
     std::uint64_t n = 0;
@@ -271,9 +281,15 @@ BM_InjectEngineSpeedup(benchmark::State &state)
     const auto &w = qsortWorkload();
     uarch::CoreConfig cfg;
     const unsigned jobs = static_cast<unsigned>(state.range(0));
-    faultsim::InjectionRunner seed_runner(w.program, cfg,
-                                          /*checkpoint_interval=*/0);
-    faultsim::InjectionRunner runner(w.program, cfg);
+    // Replay off on BOTH sides: the counter isolates checkpoints +
+    // pool against the seed path (BM_ReplayFastForward owns replay).
+    faultsim::RunnerOptions opts;
+    opts.checkpointInterval = 0;
+    opts.replay = false;
+    faultsim::InjectionRunner seed_runner(w.program, cfg, opts);
+    opts.checkpointInterval =
+        faultsim::RunnerOptions::kDefaultCheckpointInterval;
+    faultsim::InjectionRunner runner(w.program, cfg, opts);
     const auto g = runner.golden();
     const auto faults = engineFaults(g, cfg, 64);
 
@@ -328,6 +344,8 @@ BM_EarlyExit(benchmark::State &state)
     uarch::CoreConfig cfg;
     faultsim::RunnerOptions opts;
     opts.earlyExit = state.range(0) != 0;
+    // Replay off so the off-vs-on delta is the early exit alone.
+    opts.replay = false;
     faultsim::InjectionRunner runner(w.program, cfg, opts);
     const auto g = runner.golden();
     const auto faults = engineFaults(g, cfg, 64);
@@ -349,6 +367,72 @@ BENCHMARK(BM_EarlyExit)
     ->Arg(1)
     ->ArgNames({"on"})
     ->Unit(benchmark::kMillisecond);
+
+/**
+ * Golden-trace replay fast path against full simulation on the same
+ * random RF fault list.  Most random flips land on dead bytes: the
+ * trace classifies them Masked with zero simulation, and diverging
+ * flips resume from the last pre-divergence checkpoint instead of the
+ * one behind the fault.  The full-sim reference is measured once
+ * outside the timing loop (same early-exit setting on both sides, so
+ * the delta is the head cost alone); "head_speedup" is the acceptance
+ * number, also recorded as bench.replay_head_speedup for --json.
+ */
+void
+BM_ReplayFastForward(benchmark::State &state)
+{
+    const auto &w = qsortWorkload();
+    // The paper's smallest RF variant: enough live entries that the
+    // fault list mixes Masked shortcuts with genuine handoffs, so the
+    // measured speedup covers both replay paths.
+    const uarch::CoreConfig cfg =
+        uarch::CoreConfig{}.withRegisterFile(64);
+    faultsim::RunnerOptions opts;
+    opts.replay = false;
+    faultsim::InjectionRunner slow(w.program, cfg, opts);
+    opts.replay = true;
+    faultsim::InjectionRunner fast(w.program, cfg, opts);
+    const auto g_slow = slow.golden();
+    const auto g_fast = fast.golden();
+    const auto faults = engineFaults(g_fast, cfg, 64);
+
+    const auto t0 = std::chrono::steady_clock::now();
+    benchmark::DoNotOptimize(slow.injectBatch(faults, g_slow, 1));
+    const double slow_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      t0)
+            .count();
+
+    std::uint64_t n = 0;
+    double fast_seconds = 0;
+    for (auto _ : state) {
+        const auto t1 = std::chrono::steady_clock::now();
+        benchmark::DoNotOptimize(fast.injectBatch(faults, g_fast, 1));
+        fast_seconds += std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - t1)
+                            .count();
+        n += faults.size();
+    }
+    const auto st = fast.injectionStats();
+    const double batches = static_cast<double>(n) /
+                           static_cast<double>(faults.size());
+    const double speedup =
+        fast_seconds > 0 ? slow_seconds * batches / fast_seconds : 0.0;
+    state.counters["inject/s"] = benchmark::Counter(
+        static_cast<double>(n), benchmark::Counter::kIsRate);
+    state.counters["head_speedup"] = speedup;
+    state.counters["masked%"] =
+        st.runs ? 100.0 * static_cast<double>(st.replayMasked) /
+                      static_cast<double>(st.runs)
+                : 0.0;
+    state.counters["skip%"] =
+        st.replayHeadCycles
+            ? 100.0 * static_cast<double>(st.replayCyclesSkipped) /
+                  static_cast<double>(st.replayHeadCycles)
+            : 0.0;
+    bench::record("bench.replay_head_speedup", speedup);
+}
+BENCHMARK(BM_ReplayFastForward)->Unit(benchmark::kMillisecond);
 
 // ------------------------------------------------ suite scheduler
 
@@ -435,4 +519,31 @@ BENCHMARK(BM_Sampling)->Unit(benchmark::kMillisecond);
 
 } // namespace
 
-BENCHMARK_MAIN();
+/**
+ * BENCHMARK_MAIN() plus one extra flag: --json=FILE writes the metrics
+ * snapshot (engine counters + bench::record() measurements) on exit —
+ * the same machine-readable path every per-figure bench binary has.
+ * The flag is stripped before benchmark::Initialize so google-benchmark
+ * never sees it.
+ */
+int
+main(int argc, char **argv)
+{
+    std::string json;
+    int kept = 1;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strncmp(argv[i], "--json=", 7) == 0)
+            json = argv[i] + 7;
+        else
+            argv[kept++] = argv[i];
+    }
+    argc = kept;
+    if (!json.empty())
+        merlin::bench::detail::dumpMetricsAtExit(json);
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

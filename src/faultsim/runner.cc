@@ -5,6 +5,7 @@
 #include <chrono>
 #include <limits>
 #include <numeric>
+#include <optional>
 
 #include "base/logging.hh"
 #include "base/threadpool.hh"
@@ -47,6 +48,18 @@ struct InjectMetrics
         obs::Registry::global().counter("inject.quarantined");
     obs::Counter &memoHits =
         obs::Registry::global().counter("inject.memo_hits");
+    obs::Counter &replayMasked =
+        obs::Registry::global().counter("inject.replay_masked");
+    obs::Counter &replayHandoffs =
+        obs::Registry::global().counter("inject.replay_handoffs");
+    obs::Histogram &replaySkipped =
+        obs::Registry::global().histogram("inject.replay_cycles_skipped");
+    obs::Histogram &replayDivergence =
+        obs::Registry::global().histogram("inject.replay_divergence_cycle");
+    obs::Gauge &traceBytes =
+        obs::Registry::global().gauge("replay.trace_bytes");
+    obs::Gauge &traceEvents =
+        obs::Registry::global().gauge("replay.trace_events");
     obs::Counter &dedupAliases =
         obs::Registry::global().counter("inject.dedup_aliases");
     obs::Histogram &wallUs =
@@ -181,6 +194,12 @@ InjectionRunner::injectionStats() const
     InjectionStats s;
     s.runs = runs_.load(std::memory_order_relaxed);
     s.earlyExits = earlyExits_.load(std::memory_order_relaxed);
+    s.replayMasked = replayMasked_.load(std::memory_order_relaxed);
+    s.replayHandoffs = replayHandoffs_.load(std::memory_order_relaxed);
+    s.replayCyclesSkipped =
+        replayCyclesSkipped_.load(std::memory_order_relaxed);
+    s.replayHeadCycles =
+        replayHeadCycles_.load(std::memory_order_relaxed);
     {
         std::lock_guard<std::mutex> lock(quarantineMu_);
         s.quarantined = quarantine_.size();
@@ -233,6 +252,20 @@ InjectionRunner::golden(uarch::Probe *probe) const
     uarch::Core core(prog_, cfg_, probe);
     GoldenRun g;
 
+    // Record the effect trace for the replay fast path.  Attached after
+    // construction so reset-time initialisation is not mistaken for
+    // kill-writes; skipped entirely under an injectHook, whose tests
+    // observe every simulated cycle.
+    std::shared_ptr<replay::EffectTrace> trace;
+    std::optional<obs::Span> tspan;
+    if (opts_.replay && !opts_.injectHook) {
+        tspan.emplace("replay", "record " + prog_.name);
+        trace = std::make_shared<replay::EffectTrace>(
+            core.numRegisterFileEntries(), core.numStoreQueueEntries(),
+            core.numL1dWords());
+        core.setEffectSink(trace.get());
+    }
+
     if (opts_.checkpointInterval == 0) {
         g.arch = core.run();
     } else {
@@ -268,6 +301,13 @@ InjectionRunner::golden(uarch::Probe *probe) const
                 break;
         }
         g.arch = core.result();
+    }
+
+    if (trace) {
+        m.traceBytes.set(static_cast<double>(trace->memoryBytes()));
+        m.traceEvents.set(static_cast<double>(trace->numEvents()));
+        g.trace = std::move(trace);
+        tspan.reset();
     }
 
     g.stats = core.stats();
@@ -366,6 +406,88 @@ InjectionRunner::inject(const Fault &fault, const GoldenRun &ref,
             after != ref.checkpoints.begin() ? &*std::prev(after)
                                              : nullptr;
 
+        // Replay fast path: ask the golden effect trace for the flip's
+        // first architectural consequence before simulating anything.
+        const replay::EffectTrace *trace =
+            (opts_.replay && !opts_.injectHook) ? ref.trace.get()
+                                                : nullptr;
+        bool flip_at_restore = false;
+        if (trace) {
+            // Classic resume cycle — the baseline every head/skip
+            // figure is measured against.
+            const Cycle r0 = resume ? resume->cycle() : 0;
+            const replay::FirstTouch ft = trace->firstTouch(
+                fault.structure, fault.entry, fault.bit, fault.cycle);
+
+            if (ft.kind == replay::Touch::Killed ||
+                (ft.kind == replay::Touch::None && !ref.windowed)) {
+                // The flip is overwritten before any read (or never
+                // touched in a to-completion run): the faulty run's
+                // observable behaviour is the golden run's.  Masked,
+                // zero cycles simulated.  Windowed never-touched flips
+                // do NOT take this exit — they are still live at the
+                // window end and must run the Table-4 comparison.
+                obs::Span rspan("replay", "shortcut-masked");
+                const Cycle head = ref.stats.cycles - r0;
+                replayMasked_.fetch_add(1, std::memory_order_relaxed);
+                replayCyclesSkipped_.fetch_add(
+                    head, std::memory_order_relaxed);
+                replayHeadCycles_.fetch_add(head,
+                                            std::memory_order_relaxed);
+                m.replayMasked.add();
+                m.replaySkipped.observe(head);
+                if (detail) {
+                    detail->replay = ReplayAction::Masked;
+                    detail->replayCyclesSkipped = head;
+                    detail->replayHeadCycles = head;
+                }
+                return Outcome::Masked;
+            }
+
+            // Diverged at ft.cycle: any checkpoint in [flip, ft.cycle]
+            // holds state identical to the faulty run's except for the
+            // flipped byte itself, so full simulation may start there
+            // with the flip applied at restore.  Windowed never-touched
+            // flips hand off the same way with no divergence bound
+            // (latest checkpoint), keeping the window-end comparison.
+            const Cycle limit = ft.kind == replay::Touch::Diverged
+                                    ? ft.cycle
+                                    : std::numeric_limits<Cycle>::max();
+            auto ub = std::upper_bound(
+                ref.checkpoints.begin(), ref.checkpoints.end(), limit,
+                [](Cycle c, const uarch::Core::Snapshot &s) {
+                    return c < s.cycle();
+                });
+            const uarch::Core::Snapshot *handoff =
+                ub != ref.checkpoints.begin() ? &*std::prev(ub) : nullptr;
+            Cycle skipped = 0;
+            if (handoff && handoff->cycle() >= fault.cycle) {
+                skipped = handoff->cycle() - r0;
+                resume = handoff;
+                after = ub;
+                flip_at_restore = true;
+            }
+            // else: no checkpoint inside the head — classic path, with
+            // the handoff still counted (skipped = 0).
+            const Cycle head = (ft.kind == replay::Touch::Diverged
+                                    ? ft.cycle
+                                    : ref.stats.cycles) -
+                               r0;
+            replayHandoffs_.fetch_add(1, std::memory_order_relaxed);
+            replayCyclesSkipped_.fetch_add(skipped,
+                                           std::memory_order_relaxed);
+            replayHeadCycles_.fetch_add(head, std::memory_order_relaxed);
+            m.replayHandoffs.add();
+            m.replaySkipped.observe(skipped);
+            if (ft.kind == replay::Touch::Diverged)
+                m.replayDivergence.observe(ft.cycle - fault.cycle);
+            if (detail) {
+                detail->replay = ReplayAction::Handoff;
+                detail->replayCyclesSkipped = skipped;
+                detail->replayHeadCycles = head;
+            }
+        }
+
         uarch::SnapshotStats rstats;
         const obs::TimePoint restore_t0 = obs::now();
         uarch::Core core =
@@ -377,20 +499,31 @@ InjectionRunner::inject(const Fault &fault, const GoldenRun &ref,
             m.restoreCopied.add(rstats.bytesCopied);
             m.restoreShared.add(rstats.bytesShared);
         }
+        const auto applyFlip = [&](uarch::Core &c) {
+            switch (fault.structure) {
+              case uarch::Structure::RegisterFile:
+                c.flipRegisterFileBit(fault.entry, fault.bit);
+                break;
+              case uarch::Structure::StoreQueue:
+                c.flipStoreQueueBit(fault.entry, fault.bit);
+                break;
+              case uarch::Structure::L1DCache:
+                c.flipL1dBit(fault.entry, fault.bit);
+                break;
+            }
+        };
         bool applied = false;
+        if (flip_at_restore) {
+            // Handoff resume: the golden state at this checkpoint
+            // differs from the faulty run's only in the flipped byte
+            // (the trace proved nothing touched it since the flip), so
+            // applying the flip here reconstructs it exactly.
+            applyFlip(core);
+            applied = true;
+        }
         for (;;) {
             if (!applied && core.cycle() == fault.cycle) {
-                switch (fault.structure) {
-                  case uarch::Structure::RegisterFile:
-                    core.flipRegisterFileBit(fault.entry, fault.bit);
-                    break;
-                  case uarch::Structure::StoreQueue:
-                    core.flipStoreQueueBit(fault.entry, fault.bit);
-                    break;
-                  case uarch::Structure::L1DCache:
-                    core.flipL1dBit(fault.entry, fault.bit);
-                    break;
-                }
+                applyFlip(core);
                 applied = true;
             }
             // Test hook: model a fault that corrupts the simulator

@@ -37,6 +37,17 @@
  * run is terminated immediately with the golden outcome (Masked) —
  * classifications are unchanged by construction, only the post-mask
  * tail simulation is skipped.
+ *
+ * Replay fast path: the golden run additionally records a per-cycle
+ * effect trace (replay/trace.hh).  Each injection first consults the
+ * trace for the flip's first architectural consequence: a flip that is
+ * overwritten before any read (or never touched at all) is Masked with
+ * zero simulation, and a flip first read at cycle D resumes full
+ * simulation from the latest checkpoint in [flip, D] with the flip
+ * applied at restore — the pre-divergence head between the classic
+ * resume point and that checkpoint is never simulated.  Early exit
+ * then still trims the tail, compressing the simulated window to
+ * roughly [divergence, reconvergence).
  */
 
 #ifndef MERLIN_FAULTSIM_RUNNER_HH
@@ -55,6 +66,7 @@
 #include "faultsim/fault.hh"
 #include "isa/interp.hh"
 #include "isa/program.hh"
+#include "replay/trace.hh"
 #include "uarch/core.hh"
 
 namespace merlin::base
@@ -77,6 +89,11 @@ struct GoldenRun
     std::shared_ptr<const isa::SegmentedMemory> archMem;
     /** Periodic core checkpoints, ascending by cycle (possibly empty). */
     std::vector<uarch::Core::Snapshot> checkpoints;
+    /**
+     * Per-cycle effect trace of the golden run (replay fast path);
+     * null when RunnerOptions::replay is off or an injectHook is set.
+     */
+    std::shared_ptr<const replay::EffectTrace> trace;
 };
 
 /**
@@ -157,12 +174,26 @@ struct QuarantineRecord
     }
 };
 
+/** How the replay fast path resolved one injection. */
+enum class ReplayAction : std::uint8_t
+{
+    None = 0,    ///< replay off / no trace: classic full simulation
+    Masked = 1,  ///< trace proved the flip dead; no simulation at all
+    Handoff = 2, ///< diverged (or windowed tail): full sim from the
+                 ///< latest pre-divergence checkpoint
+};
+
 /** Per-injection facts beyond the Outcome (for journals/quarantine). */
 struct InjectDetail
 {
     bool earlyExit = false;   ///< ended at a reconverged checkpoint
     bool quarantined = false; ///< guarded failure, outcome forced Crash
     std::string reason;       ///< quarantine reason when quarantined
+    ReplayAction replay = ReplayAction::None;
+    /** Full-simulation cycles the replay fast path avoided. */
+    Cycle replayCyclesSkipped = 0;
+    /** Pre-divergence head length (classic resume to first effect). */
+    Cycle replayHeadCycles = 0;
 };
 
 /** What to do when an injection trips the quarantine guard. */
@@ -190,6 +221,17 @@ struct RunnerOptions
     unsigned maxCheckpoints = kDefaultMaxCheckpoints;
     /** Terminate runs that provably reconverged with the golden run. */
     bool earlyExit = true;
+    /**
+     * Golden-trace replay fast path: record the golden run's effect
+     * trace and let each injection skip its pre-divergence head
+     * (consult the trace, classify dead flips Masked outright, resume
+     * live ones from the latest pre-divergence checkpoint).  Outcome-
+     * invariant by construction; like earlyExit it is a provenance
+     * knob, not a result knob.  Automatically disabled while an
+     * injectHook is set — the hook observes every simulated cycle, so
+     * skipping cycles would change what tests see.
+     */
+    bool replay = true;
     /** Timeout budget multiplier (0 is treated as 1). */
     unsigned timeoutFactor = kDefaultTimeoutFactor;
     /**
@@ -222,6 +264,10 @@ struct InjectionStats
     std::uint64_t runs = 0;       ///< faulty runs actually simulated
     std::uint64_t earlyExits = 0; ///< ended at a reconverged checkpoint
     std::uint64_t quarantined = 0; ///< of which tripped the guard
+    std::uint64_t replayMasked = 0;   ///< classified Masked off the trace
+    std::uint64_t replayHandoffs = 0; ///< diverged into full simulation
+    std::uint64_t replayCyclesSkipped = 0; ///< full-sim cycles avoided
+    std::uint64_t replayHeadCycles = 0;    ///< pre-divergence head total
 };
 
 /** Runs golden and faulty executions of one program/configuration. */
@@ -347,6 +393,10 @@ class InjectionRunner
     RunnerOptions opts_;
     mutable std::atomic<std::uint64_t> runs_{0};
     mutable std::atomic<std::uint64_t> earlyExits_{0};
+    mutable std::atomic<std::uint64_t> replayMasked_{0};
+    mutable std::atomic<std::uint64_t> replayHandoffs_{0};
+    mutable std::atomic<std::uint64_t> replayCyclesSkipped_{0};
+    mutable std::atomic<std::uint64_t> replayHeadCycles_{0};
     mutable std::mutex quarantineMu_;
     mutable std::vector<QuarantineRecord> quarantine_;
 };

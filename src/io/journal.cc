@@ -131,7 +131,12 @@ OutcomeJournal::restore(
                       " — stale file from a different suite?");
             headerPresent_ = true;
         } else {
-            if (!j.isArray() || j.size() < 3 || j.size() > 4)
+            // Sizes 6/7 carry the replay fields; 3/4 are the legacy
+            // shape without them (the optional extra element is the
+            // quarantine reason either way).
+            if (!j.isArray() ||
+                (j.size() != 3 && j.size() != 4 && j.size() != 6 &&
+                 j.size() != 7))
                 fatal("outcome journal '", path_,
                       "': malformed entry; delete the journal to drop "
                       "the resume data");
@@ -145,9 +150,22 @@ OutcomeJournal::restore(
             ++r.runs;
             if (j[2].asU64() != 0)
                 ++r.earlyExits;
-            if (j.size() == 4)
-                r.quarantine.push_back(
-                    faultsim::QuarantineRecord{key, j[3].asString()});
+            if (j.size() >= 6) {
+                const std::uint64_t action = j[3].asU64();
+                if (action ==
+                    static_cast<std::uint64_t>(
+                        faultsim::ReplayAction::Masked))
+                    ++r.replayMasked;
+                else if (action ==
+                         static_cast<std::uint64_t>(
+                             faultsim::ReplayAction::Handoff))
+                    ++r.replayHandoffs;
+                r.replayCyclesSkipped += j[4].asU64();
+                r.replayHeadCycles += j[5].asU64();
+            }
+            if (j.size() == 4 || j.size() == 7)
+                r.quarantine.push_back(faultsim::QuarantineRecord{
+                    key, j[j.size() - 1].asString()});
         }
         pos = nl + 1;
         valid = pos;
@@ -208,6 +226,9 @@ OutcomeJournal::append(std::uint64_t key, faultsim::Outcome outcome,
     e.push(key);
     e.push(static_cast<std::uint64_t>(outcome));
     e.push(static_cast<std::uint64_t>(detail.earlyExit ? 1 : 0));
+    e.push(static_cast<std::uint64_t>(detail.replay));
+    e.push(detail.replayCyclesSkipped);
+    e.push(detail.replayHeadCycles);
     if (detail.quarantined)
         e.push(detail.reason);
     const std::string line = e.dump() + "\n";

@@ -14,9 +14,13 @@
  * saved store) is byte-identical to an uninterrupted run's.
  *
  * Format: one header line `{"format":"merlin-journal-v1","spec":K}`
- * then one compact JSON array per entry, `[key, outcome, early_exit]`
- * with a fourth element — the quarantine reason — when the injection
- * was quarantined.  A torn final line is the expected crash artifact
+ * then one compact JSON array per entry,
+ * `[key, outcome, early_exit, replay, cycles_skipped, head_cycles]`
+ * with a seventh element — the quarantine reason — when the injection
+ * was quarantined (`replay` is the numeric ReplayAction).  Legacy
+ * 3/4-element entries without the replay fields restore fine, counting
+ * zero toward the replay totals.  A torn final line is the expected
+ * crash artifact
  * and is truncated away on restore; garbage in a COMPLETE line is real
  * corruption and fatal.  The journal is removed once the campaign's
  * result reaches the store, whose atomic save takes over from there.
@@ -47,6 +51,14 @@ class OutcomeJournal
         std::uint64_t runs = 0;
         /** Of which ended at a golden-reconvergence checkpoint. */
         std::uint64_t earlyExits = 0;
+        /** Of which the replay fast path proved dead (Masked). */
+        std::uint64_t replayMasked = 0;
+        /** Of which replay handed off to full simulation. */
+        std::uint64_t replayHandoffs = 0;
+        /** Full-simulation cycles the replay fast path avoided. */
+        std::uint64_t replayCyclesSkipped = 0;
+        /** Total pre-divergence head cycles of replayed entries. */
+        std::uint64_t replayHeadCycles = 0;
         /** Quarantined injections, with their recorded reasons. */
         std::vector<faultsim::QuarantineRecord> quarantine;
     };

@@ -124,6 +124,10 @@ resultToJson(const CampaignResult &r)
     j.set("speedup_total", r.speedupTotal);
     j.set("injection_runs", r.injectionRuns);
     j.set("early_exits", r.earlyExits);
+    j.set("replay_masked", r.replayMasked);
+    j.set("replay_handoffs", r.replayHandoffs);
+    j.set("replay_cycles_skipped", r.replayCyclesSkipped);
+    j.set("replay_head_cycles", r.replayHeadCycles);
     if (!r.quarantine.empty()) {
         // Only when non-empty, so stores of clean campaigns keep their
         // pre-quarantine bytes.  Entries are (packed fault key, reason)
@@ -183,9 +187,13 @@ resultFromJson(const Json &j)
     }
     r.speedupAce = j.at("speedup_ace").asDouble();
     r.speedupTotal = j.at("speedup_total").asDouble();
-    // Tolerant reads: absent in pre-early-exit stores.
+    // Tolerant reads: absent in pre-early-exit / pre-replay stores.
     r.injectionRuns = j.u64Or("injection_runs", 0);
     r.earlyExits = j.u64Or("early_exits", 0);
+    r.replayMasked = j.u64Or("replay_masked", 0);
+    r.replayHandoffs = j.u64Or("replay_handoffs", 0);
+    r.replayCyclesSkipped = j.u64Or("replay_cycles_skipped", 0);
+    r.replayHeadCycles = j.u64Or("replay_head_cycles", 0);
     if (const Json *q = j.find("quarantine")) {
         // Degrade gracefully on records a newer writer may have
         // extended: take the two fields this reader understands, warn

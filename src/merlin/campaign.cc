@@ -85,6 +85,7 @@ Campaign::prepare(bool inject_all, bool relyzer, unsigned path_depth,
     ropts.checkpointInterval = cfg_.checkpointInterval;
     ropts.maxCheckpoints = cfg_.maxCheckpoints;
     ropts.earlyExit = cfg_.earlyExit;
+    ropts.replay = cfg_.replay;
     ropts.timeoutFactor = cfg_.timeoutFactor;
     ropts.wallClockLimit = cfg_.injectWallLimit;
     ropts.quarantine = cfg_.quarantineFail
@@ -218,6 +219,10 @@ Campaign::finish(PreparedCampaign prep,
     const faultsim::InjectionStats is = runner_->injectionStats();
     res.injectionRuns = is.runs;
     res.earlyExits = is.earlyExits;
+    res.replayMasked = is.replayMasked;
+    res.replayHandoffs = is.replayHandoffs;
+    res.replayCyclesSkipped = is.replayCyclesSkipped;
+    res.replayHeadCycles = is.replayHeadCycles;
     res.quarantine = runner_->quarantineRecords();
 
     res.injectionSeconds = injection_seconds;

@@ -60,6 +60,12 @@ struct CampaignConfig
      * for A/B validation).
      */
     bool earlyExit = true;
+    /**
+     * Golden-trace replay fast path: skip each injection's
+     * pre-divergence head off the recorded effect trace
+     * (classification-preserving; off only for A/B validation).
+     */
+    bool replay = true;
     /** Timeout budget multiplier (the paper's rule is 3x golden). */
     unsigned timeoutFactor =
         faultsim::RunnerOptions::kDefaultTimeoutFactor;
@@ -112,6 +118,12 @@ struct CampaignResult
     std::uint64_t injectionRuns = 0; ///< distinct faulty runs simulated
     std::uint64_t earlyExits = 0;    ///< of which ended at a checkpoint
 
+    // Replay-fast-path accounting (golden-trace consults).
+    std::uint64_t replayMasked = 0;   ///< proved dead, zero simulation
+    std::uint64_t replayHandoffs = 0; ///< diverged into full simulation
+    std::uint64_t replayCyclesSkipped = 0; ///< full-sim cycles avoided
+    std::uint64_t replayHeadCycles = 0;    ///< pre-divergence head total
+
     /**
      * Injections the quarantine guard caught (escaped simulator
      * exceptions, wall-clock-watchdog trips), sorted by (fault key,
@@ -132,6 +144,26 @@ struct CampaignResult
         return injectionRuns ? static_cast<double>(earlyExits) /
                                    static_cast<double>(injectionRuns)
                              : 0.0;
+    }
+
+    /** Fraction of replay-consulted runs that diverged into full sim. */
+    double
+    replayDivergenceRate() const
+    {
+        const std::uint64_t consulted = replayMasked + replayHandoffs;
+        return consulted ? static_cast<double>(replayHandoffs) /
+                               static_cast<double>(consulted)
+                         : 0.0;
+    }
+
+    /** Fraction of the total pre-divergence head replay skipped. */
+    double
+    replaySkipRate() const
+    {
+        return replayHeadCycles
+                   ? static_cast<double>(replayCyclesSkipped) /
+                         static_cast<double>(replayHeadCycles)
+                   : 0.0;
     }
 
     /** Truth over the full initial list (survivorTruth + ACE Masked). */

@@ -1,0 +1,163 @@
+#include "replay/trace.hh"
+
+#include <algorithm>
+#include <istream>
+#include <numeric>
+#include <ostream>
+
+#include "base/logging.hh"
+
+namespace merlin::replay
+{
+
+namespace
+{
+
+constexpr char kMagic[8] = {'M', 'R', 'L', 'N', 'E', 'F', 'T', '1'};
+
+void
+writeRaw(std::ostream &out, const void *p, std::size_t n)
+{
+    out.write(static_cast<const char *>(p),
+              static_cast<std::streamsize>(n));
+}
+
+void
+readRaw(std::istream &in, void *p, std::size_t n, const std::string &what,
+        const char *field)
+{
+    in.read(static_cast<char *>(p), static_cast<std::streamsize>(n));
+    if (static_cast<std::size_t>(in.gcount()) != n) {
+        fatal("effect trace ", what, ": truncated while reading ", field,
+              " (wanted ", n, " bytes, got ", in.gcount(),
+              ") — the trace was cut short and cannot drive replay; "
+              "re-record the golden run");
+    }
+}
+
+} // namespace
+
+EffectTrace::EffectTrace(unsigned rf_entries, unsigned sq_entries,
+                         unsigned l1d_words)
+    : counts_{rf_entries, sq_entries, l1d_words}
+{
+    base_[0] = 0;
+    base_[1] = counts_[0];
+    base_[2] = base_[1] + counts_[1];
+    events_.resize(base_[2] + counts_[2]);
+}
+
+std::size_t
+EffectTrace::slotOf(uarch::Structure s, EntryIndex entry) const
+{
+    const auto si = static_cast<std::size_t>(s);
+    MERLIN_ASSERT(si < 3 && entry < counts_[si],
+                  "effect-trace entry out of range");
+    return base_[si] + entry;
+}
+
+void
+EffectTrace::onEffect(uarch::Structure s, EntryIndex entry, Cycle cycle,
+                      std::uint8_t byte_mask, bool is_write)
+{
+    MERLIN_ASSERT(cycle < (1ULL << (64 - kCycleShift)),
+                  "effect-trace cycle overflow");
+    std::vector<std::uint64_t> &v = events_[slotOf(s, entry)];
+    MERLIN_ASSERT(v.empty() || (v.back() >> kCycleShift) <= cycle,
+                  "effect-trace events must arrive in cycle order");
+    v.push_back((cycle << kCycleShift) |
+                (static_cast<std::uint64_t>(byte_mask) << 1) |
+                (is_write ? 1u : 0u));
+}
+
+FirstTouch
+EffectTrace::firstTouch(uarch::Structure s, EntryIndex entry,
+                        unsigned bit, Cycle from) const
+{
+    const std::vector<std::uint64_t> &v = events_[slotOf(s, entry)];
+    const std::uint64_t byte_bit = 1ULL << (bit / 8 + 1); // mask field
+    auto it = std::lower_bound(
+        v.begin(), v.end(), from,
+        [](std::uint64_t ev, Cycle c) { return (ev >> kCycleShift) < c; });
+    for (; it != v.end(); ++it) {
+        if (*it & byte_bit) {
+            return FirstTouch{(*it & 1u) ? Touch::Killed : Touch::Diverged,
+                              *it >> kCycleShift};
+        }
+    }
+    return FirstTouch{};
+}
+
+unsigned
+EffectTrace::entries(uarch::Structure s) const
+{
+    return counts_[static_cast<std::size_t>(s)];
+}
+
+std::uint64_t
+EffectTrace::numEvents() const
+{
+    return std::accumulate(events_.begin(), events_.end(),
+                           std::uint64_t{0},
+                           [](std::uint64_t n, const auto &v) {
+                               return n + v.size();
+                           });
+}
+
+std::uint64_t
+EffectTrace::memoryBytes() const
+{
+    std::uint64_t n = events_.size() * sizeof(events_[0]);
+    for (const auto &v : events_)
+        n += v.capacity() * sizeof(std::uint64_t);
+    return n;
+}
+
+void
+EffectTrace::serialize(std::ostream &out) const
+{
+    writeRaw(out, kMagic, sizeof(kMagic));
+    for (std::uint32_t c : counts_)
+        writeRaw(out, &c, sizeof(c));
+    for (const auto &v : events_) {
+        const std::uint64_t n = v.size();
+        writeRaw(out, &n, sizeof(n));
+        if (n)
+            writeRaw(out, v.data(), n * sizeof(std::uint64_t));
+    }
+}
+
+EffectTrace
+EffectTrace::deserialize(std::istream &in, const std::string &what)
+{
+    char magic[8];
+    readRaw(in, magic, sizeof(magic), what, "magic");
+    if (!std::equal(std::begin(magic), std::end(magic),
+                    std::begin(kMagic))) {
+        fatal("effect trace ", what,
+              ": bad magic — not an effect trace, or written by an "
+              "incompatible build");
+    }
+    std::uint32_t counts[3];
+    for (std::uint32_t &c : counts)
+        readRaw(in, &c, sizeof(c), what, "entry counts");
+    EffectTrace t(counts[0], counts[1], counts[2]);
+    for (std::size_t slot = 0; slot < t.events_.size(); ++slot) {
+        std::uint64_t n = 0;
+        readRaw(in, &n, sizeof(n), what, "event count");
+        if (n) {
+            t.events_[slot].resize(n);
+            readRaw(in, t.events_[slot].data(),
+                    n * sizeof(std::uint64_t), what, "events");
+        }
+    }
+    return t;
+}
+
+bool
+EffectTrace::operator==(const EffectTrace &o) const
+{
+    return counts_ == o.counts_ && events_ == o.events_;
+}
+
+} // namespace merlin::replay

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Golden-run effect trace: the record that powers the replay fast path.
+ *
+ * The golden run is executed once with an EffectSink attached; every
+ * physical touch of a target-structure byte (reads at consumption time,
+ * writes at overwrite time — wrong-path and scheduling accesses
+ * included) lands here as one packed event per (structure, entry).
+ *
+ * An injection then asks one question: starting from the flip cycle,
+ * what is the FIRST recorded event that covers the flipped byte?
+ *
+ *  - none, and the run is not windowed: the byte is never consumed nor
+ *    rewritten, so the faulty run's observable behaviour is the golden
+ *    run's — Masked without simulating a single cycle;
+ *  - a write: the flip is overwritten with data derived only from
+ *    un-flipped state before anything reads it — the fault is dead,
+ *    Masked (valid even for windowed runs);
+ *  - a read at cycle D: the flip's first architectural consequence is
+ *    at D, so full simulation can start from any golden checkpoint in
+ *    [flip, D] with the flip applied at restore, skipping the whole
+ *    pre-divergence head.
+ *
+ * Soundness rests on an asymmetry in how the core reports events:
+ * reads may be over-reported (a spurious read only costs a handoff
+ * into full simulation, never a wrong outcome), while writes are
+ * reported exactly when bytes are overwritten independently of their
+ * prior content.
+ */
+
+#ifndef MERLIN_REPLAY_TRACE_HH
+#define MERLIN_REPLAY_TRACE_HH
+
+#include <array>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "base/types.hh"
+#include "uarch/probe.hh"
+
+namespace merlin::replay
+{
+
+/** How (and when) the golden run first touches a flipped byte. */
+enum class Touch : std::uint8_t
+{
+    None,     ///< never touched at or after the flip cycle
+    Killed,   ///< first touch overwrites it: the fault cannot propagate
+    Diverged, ///< first touch reads it: first architectural consequence
+};
+
+struct FirstTouch
+{
+    Touch kind = Touch::None;
+    Cycle cycle = 0; ///< cycle of the deciding event (Killed/Diverged)
+};
+
+/**
+ * Per-(structure, entry) streams of packed effect events.
+ *
+ * Event packing: cycle << 9 | byte_mask << 1 | is_write.  Events of one
+ * entry are appended in nondecreasing cycle order (within a cycle, in
+ * physical stage order), so the divergence query is a binary search to
+ * the flip cycle plus a linear scan for the first covering byte mask.
+ */
+class EffectTrace final : public uarch::EffectSink
+{
+  public:
+    /** Cycle budget of the packing (55 bits of cycle). */
+    static constexpr unsigned kCycleShift = 9;
+
+    EffectTrace() = default; ///< empty trace (deserialize target)
+
+    EffectTrace(unsigned rf_entries, unsigned sq_entries,
+                unsigned l1d_words);
+
+    void onEffect(uarch::Structure s, EntryIndex entry, Cycle cycle,
+                  std::uint8_t byte_mask, bool is_write) override;
+
+    /**
+     * First recorded event at cycle >= @p from that covers the byte
+     * holding @p bit of @p entry.
+     */
+    FirstTouch firstTouch(uarch::Structure s, EntryIndex entry,
+                          unsigned bit, Cycle from) const;
+
+    /** Entry count recorded for @p s. */
+    unsigned entries(uarch::Structure s) const;
+
+    std::uint64_t numEvents() const;
+
+    /** Approximate heap footprint of the recorded events. */
+    std::uint64_t memoryBytes() const;
+
+    /**
+     * Binary round-trip.  deserialize() raises FatalError with a
+     * diagnostic naming @p what on a truncated or foreign stream.
+     */
+    void serialize(std::ostream &out) const;
+    static EffectTrace deserialize(std::istream &in,
+                                   const std::string &what);
+
+    bool operator==(const EffectTrace &o) const;
+
+  private:
+    std::size_t slotOf(uarch::Structure s, EntryIndex entry) const;
+
+    /** Entry counts per structure, indexed by Structure value. */
+    std::array<std::uint32_t, 3> counts_{};
+    /** events_ offset of each structure's first entry. */
+    std::array<std::size_t, 3> base_{};
+    std::vector<std::vector<std::uint64_t>> events_;
+};
+
+} // namespace merlin::replay
+
+#endif // MERLIN_REPLAY_TRACE_HH

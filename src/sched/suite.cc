@@ -105,7 +105,8 @@ const char *const kSpecMembers[] = {
     "faults",        "confidence",     "error_margin",
     "split",         "max_group_size", "reps_per_group",
     "seed",          "checkpoint_interval", "max_checkpoints",
-    "early_exit",    "timeout_factor", "mem_chunk_bytes",
+    "early_exit",    "replay",         "timeout_factor",
+    "mem_chunk_bytes",
     "mode",          "relyzer",        "path_depth",
 };
 
@@ -152,6 +153,7 @@ CampaignSpec::campaignConfig(const workloads::BuiltWorkload &w) const
     cc.checkpointInterval = checkpointInterval;
     cc.maxCheckpoints = maxCheckpoints;
     cc.earlyExit = earlyExit;
+    cc.replay = replay;
     cc.timeoutFactor = timeoutFactor;
     cc.core.memChunkBytes = memChunkBytes;
     return cc;
@@ -183,6 +185,7 @@ CampaignSpec::toJson() const
     j.set("checkpoint_interval", checkpointInterval);
     j.set("max_checkpoints", maxCheckpoints);
     j.set("early_exit", earlyExit);
+    j.set("replay", replay);
     j.set("timeout_factor", timeoutFactor);
     j.set("mem_chunk_bytes", memChunkBytes);
     j.set("mode", modeTag(mode));
@@ -227,6 +230,7 @@ CampaignSpec::fromJson(const Json &j)
     s.maxCheckpoints = static_cast<unsigned>(
         j.u64Or("max_checkpoints", s.maxCheckpoints));
     s.earlyExit = j.boolOr("early_exit", s.earlyExit);
+    s.replay = j.boolOr("replay", s.replay);
     s.timeoutFactor = static_cast<unsigned>(
         j.u64Or("timeout_factor", s.timeoutFactor));
     const std::uint64_t chunk =
@@ -550,6 +554,10 @@ SuiteScheduler::run()
         // list — for the store bytes to stay identical.
         res.injectionRuns += restored.runs;
         res.earlyExits += restored.earlyExits;
+        res.replayMasked += restored.replayMasked;
+        res.replayHandoffs += restored.replayHandoffs;
+        res.replayCyclesSkipped += restored.replayCyclesSkipped;
+        res.replayHeadCycles += restored.replayHeadCycles;
         if (!restored.quarantine.empty()) {
             res.quarantine.insert(res.quarantine.end(),
                                   restored.quarantine.begin(),

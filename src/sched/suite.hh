@@ -75,12 +75,14 @@ struct CampaignSpec
     /**
      * Engine knobs, part of the spec value and therefore of the
      * content hash: a result must record exactly how it was produced.
-     * earlyExit and memChunkBytes never change campaign outcomes
-     * (early exit is classification-preserving, the chunk size only
-     * shapes COW detach cost); timeoutFactor DOES move the Timeout
-     * classification boundary — the paper's rule is the default 3.
+     * earlyExit, replay and memChunkBytes never change campaign
+     * outcomes (early exit and the golden-trace replay fast path are
+     * classification-preserving, the chunk size only shapes COW detach
+     * cost); timeoutFactor DOES move the Timeout classification
+     * boundary — the paper's rule is the default 3.
      */
     bool earlyExit = true;
+    bool replay = true;
     unsigned timeoutFactor =
         faultsim::RunnerOptions::kDefaultTimeoutFactor;
     std::uint32_t memChunkBytes = isa::SegmentedMemory::kDefaultChunkBytes;

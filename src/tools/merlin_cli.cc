@@ -11,7 +11,8 @@
  *       [--regs N] [--sq N] [--l1d KB] [--faults N | --margin E --conf C]
  *       [--seed N] [--window N] [--truth] [--relyzer]
  *       [--jobs N] [--checkpoint-interval CYCLES] [--max-checkpoints N]
- *       [--early-exit=on|off] [--mem-chunk-bytes N] [--timeout-factor N]
+ *       [--early-exit=on|off] [--replay=on|off]
+ *       [--mem-chunk-bytes N] [--timeout-factor N]
  *       Run a MeRLiN campaign and print the reliability report.
  *       --jobs N spreads the injections over N worker threads (0 = all
  *       hardware threads); results are bit-identical for any N.
@@ -20,7 +21,11 @@
  *       --max-checkpoints bounds how many are retained.
  *       --early-exit ends faulty runs at the first golden checkpoint
  *       they provably reconverged with (classification-preserving; on
- *       by default).  --mem-chunk-bytes sets the copy-on-write chunk
+ *       by default).  --replay consults the golden effect trace to
+ *       classify dead flips Masked without simulation and to resume
+ *       diverging flips at the last pre-divergence checkpoint
+ *       (classification-preserving; on by default — off only for A/B
+ *       validation).  --mem-chunk-bytes sets the copy-on-write chunk
  *       granularity of memory/cache state (power of two >= 64).
  *       Neither changes campaign outcomes.  --timeout-factor scales
  *       the paper's 3x-golden timeout rule — it moves the Timeout
@@ -348,6 +353,20 @@ printCampaign(const core::CampaignResult &r, std::uint64_t bits)
                     static_cast<unsigned long long>(r.injectionRuns),
                     100.0 * r.earlyExitRate());
     }
+    if (r.replayMasked + r.replayHandoffs) {
+        std::printf("replay: %llu dead flips shortcut Masked, %llu "
+                    "handed off to simulation (divergence rate %.1f%%)"
+                    "\n",
+                    static_cast<unsigned long long>(r.replayMasked),
+                    static_cast<unsigned long long>(r.replayHandoffs),
+                    100 * r.replayDivergenceRate());
+        std::printf("replay: %llu of %llu head cycles skipped "
+                    "(%.1f%%)\n",
+                    static_cast<unsigned long long>(
+                        r.replayCyclesSkipped),
+                    static_cast<unsigned long long>(r.replayHeadCycles),
+                    100 * r.replaySkipRate());
+    }
     if (!r.quarantine.empty()) {
         std::printf("quarantined: %zu injection%s failed the simulator "
                     "and %s counted Crash:\n",
@@ -377,6 +396,24 @@ parseQuarantineFail(const Args &args)
     fatal("--quarantine: '", q, "' is not fail|continue");
 }
 
+/** Reject flags outside @p known — a typo'd flag must not silently
+ *  fall back to a default (e.g. --axes degenerating to an exact
+ *  join with zero pairs). */
+void
+requireKnownFlags(const Args &args,
+                  std::initializer_list<const char *> known,
+                  const char *what)
+{
+    for (const auto &[flag, value] : args.kv) {
+        (void)value;
+        bool ok = false;
+        for (const char *k : known)
+            ok = ok || flag == k;
+        if (!ok)
+            fatal(what, ": unknown flag '--", flag, "'");
+    }
+}
+
 core::CampaignConfig
 campaignConfig(const Args &args, std::uint64_t default_window)
 {
@@ -404,6 +441,7 @@ campaignConfig(const Args &args, std::uint64_t default_window)
         "max-checkpoints",
         faultsim::InjectionRunner::kDefaultMaxCheckpoints);
     cc.earlyExit = args.getOnOff("early-exit", true);
+    cc.replay = args.getOnOff("replay", true);
     cc.timeoutFactor = args.getU32(
         "timeout-factor", faultsim::RunnerOptions::kDefaultTimeoutFactor);
     const std::uint64_t chunk = args.getU(
@@ -420,6 +458,15 @@ campaignConfig(const Args &args, std::uint64_t default_window)
 int
 cmdCampaign(const Args &args)
 {
+    requireKnownFlags(args,
+                      {"workload", "structure", "regs", "sq", "l1d",
+                       "faults", "margin", "conf", "seed", "window",
+                       "truth", "relyzer", "jobs",
+                       "checkpoint-interval", "max-checkpoints",
+                       "early-exit", "replay", "mem-chunk-bytes",
+                       "timeout-factor", "inject-wall-limit",
+                       "quarantine", "trace", "metrics"},
+                      "campaign");
     auto w = workloads::buildWorkload(args.get("workload", "qsort"));
     core::CampaignConfig cc = campaignConfig(
         args, args.has("window") ? 0 : w.suggestedWindow);
@@ -441,24 +488,6 @@ cmdCampaign(const Args &args)
         }
     }());
     return 0;
-}
-
-/** Reject flags outside @p known — a typo'd flag must not silently
- *  fall back to a default (e.g. --axes degenerating to an exact
- *  join with zero pairs). */
-void
-requireKnownFlags(const Args &args,
-                  std::initializer_list<const char *> known,
-                  const char *what)
-{
-    for (const auto &[flag, value] : args.kv) {
-        (void)value;
-        bool ok = false;
-        for (const char *k : known)
-            ok = ok || flag == k;
-        if (!ok)
-            fatal(what, ": unknown flag '--", flag, "'");
-    }
 }
 
 /**
@@ -572,9 +601,11 @@ cmdSuite(const std::string &manifest_path, const Args &args)
     sched::SuiteResult suite = scheduler.run();
     finishTelemetry(args);
 
-    std::printf("%-14s %-4s %-13s %10s %10s %10s %8s %6s %s\n",
+    // New columns go AFTER ee%: downstream consumers (CI's awk among
+    // them) address AVF% as whitespace-separated field 7.
+    std::printf("%-14s %-4s %-13s %10s %10s %10s %8s %6s %6s %6s %s\n",
                 "workload", "tgt", "mode", "initial", "survivors",
-                "injected", "AVF%", "ee%", "");
+                "injected", "AVF%", "ee%", "skip%", "div%", "");
     std::uint64_t cached = 0;
     std::uint64_t selected = 0;
     for (std::size_t i = 0; i < specs.size(); ++i) {
@@ -584,7 +615,8 @@ cmdSuite(const std::string &manifest_path, const Args &args)
         ++selected;
         cached += suite.cached[i] ? 1 : 0;
         std::printf(
-            "%-14s %-4s %-13s %10llu %10llu %10llu %7.3f%% %5.1f%% %s\n",
+            "%-14s %-4s %-13s %10llu %10llu %10llu %7.3f%% %5.1f%% "
+            "%5.1f%% %5.1f%% %s\n",
             specs[i].workload.c_str(),
             uarch::structureName(specs[i].structure),
             specs[i].mode == sched::CampaignSpec::Mode::GroupingOnly
@@ -596,6 +628,7 @@ cmdSuite(const std::string &manifest_path, const Args &args)
             static_cast<unsigned long long>(r.survivors),
             static_cast<unsigned long long>(r.injections),
             100 * r.merlinEstimate.avf(), 100 * r.earlyExitRate(),
+            100 * r.replaySkipRate(), 100 * r.replayDivergenceRate(),
             suite.cached[i] ? "[cached]" : "");
     }
     std::printf("\n%llu campaigns (%llu run, %llu cached) in %.2fs "

@@ -138,6 +138,8 @@ Cache::access(Addr addr, bool is_write, Cycle now, Rip rip, Upc upc)
             for (std::uint32_t o = 0; o < cfg_.lineSize; o += 8) {
                 sink_->onCacheWordWritebackRead(wordIndex(set, victim, o),
                                                 now, rip, upc);
+                sink_->onCacheWordReadMasked(wordIndex(set, victim, o),
+                                             0xff, now);
             }
         }
         writeLineBelow(victim_addr, lineData(set, victim), now, rip, upc);
@@ -152,8 +154,11 @@ Cache::access(Addr addr, bool is_write, Cycle now, Rip rip, Upc upc)
     line.tag = tag;
     line.lruStamp = ++lruCounter_;
     if (sink_) {
-        for (std::uint32_t o = 0; o < cfg_.lineSize; o += 8)
+        for (std::uint32_t o = 0; o < cfg_.lineSize; o += 8) {
             sink_->onCacheWordWrite(wordIndex(set, victim, o), now);
+            sink_->onCacheWordWriteMasked(wordIndex(set, victim, o),
+                                          0xff, now);
+        }
     }
 
     res.way = victim;
@@ -176,8 +181,21 @@ Cache::writeBytes(std::uint32_t set, std::uint32_t way, std::uint32_t offset,
 {
     MERLIN_ASSERT(offset + size <= cfg_.lineSize, "write past line end");
     storeLE(lineDataMut(set, way) + offset, value, size);
-    if (sink_)
+    if (sink_) {
         sink_->onCacheWordWrite(wordIndex(set, way, offset), now);
+        // A sub-word store may straddle a word boundary; report the
+        // exact bytes of every word it touches.
+        for (std::uint32_t b = offset; b < offset + size;) {
+            const std::uint32_t word_end = (b & ~7u) + 8;
+            const std::uint32_t run = std::min(offset + size, word_end);
+            std::uint8_t mask = 0;
+            for (std::uint32_t i = b; i < run; ++i)
+                mask |= static_cast<std::uint8_t>(1u << (i & 7u));
+            sink_->onCacheWordWriteMasked(wordIndex(set, way, b), mask,
+                                          now);
+            b = run;
+        }
+    }
 }
 
 void

@@ -46,6 +46,24 @@ class CacheEventSink
      */
     virtual void onCacheWordWritebackRead(EntryIndex word, Cycle cycle,
                                           Rip rip, Upc upc) = 0;
+
+    /**
+     * Byte-granular physical events for the replay effect trace; the
+     * defaults ignore them so probe-only sinks are unaffected.  Unlike
+     * onCacheWordWrite (first word only, profiler semantics), the
+     * masked write fires once per touched word with the exact bytes
+     * overwritten; the masked read fires for every word physically
+     * read out of the array (write-back victims).
+     */
+    virtual void
+    onCacheWordWriteMasked(EntryIndex /*word*/, std::uint8_t /*mask*/,
+                           Cycle /*cycle*/)
+    {}
+
+    virtual void
+    onCacheWordReadMasked(EntryIndex /*word*/, std::uint8_t /*mask*/,
+                          Cycle /*cycle*/)
+    {}
 };
 
 /** One level of the hierarchy; lowest level backs onto SegmentedMemory. */

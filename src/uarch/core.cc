@@ -65,8 +65,10 @@ Core::Core(const isa::Program &prog, const CoreConfig &cfg, Probe *probe)
 void
 Core::fixupAfterCopy()
 {
-    // Restored cores never profile: the probe belongs to the golden run.
+    // Restored cores never profile: the probe belongs to the golden
+    // run, and so does the effect-trace sink.
     probe_ = nullptr;
+    esink_ = nullptr;
     l2_.repoint(nullptr, &mem_);
     l1i_.repoint(&l2_, nullptr);
     l1d_.repoint(&l2_, nullptr);
@@ -311,23 +313,52 @@ Core::readPhysReg(RobEntry &e, std::uint16_t preg)
 {
     addPendingRead(e, Structure::RegisterFile, preg, cycle_,
                    phase::RegRead);
+    emitEffect(Structure::RegisterFile, preg, 0xff, false);
     return prf_[preg];
+}
+
+void
+Core::setEffectSink(EffectSink *sink)
+{
+    esink_ = sink;
+    if (esink_) {
+        l1dSink_.core = this;
+        l1d_.setEventSink(&l1dSink_);
+    }
 }
 
 void
 Core::L1dSink::onCacheWordWrite(EntryIndex word, Cycle cycle)
 {
-    core->probe_->onWrite(Structure::L1DCache, word, cycle,
-                          core->l1dWritePhase_);
+    if (core->probe_) {
+        core->probe_->onWrite(Structure::L1DCache, word, cycle,
+                              core->l1dWritePhase_);
+    }
 }
 
 void
 Core::L1dSink::onCacheWordWritebackRead(EntryIndex word, Cycle cycle,
                                         Rip rip, Upc upc)
 {
-    core->probe_->onCommittedRead(Structure::L1DCache, word, cycle,
-                                  core->l1dWbReadPhase_, rip, upc,
-                                  core->l1dCtxSeq_);
+    if (core->probe_) {
+        core->probe_->onCommittedRead(Structure::L1DCache, word, cycle,
+                                      core->l1dWbReadPhase_, rip, upc,
+                                      core->l1dCtxSeq_);
+    }
+}
+
+void
+Core::L1dSink::onCacheWordWriteMasked(EntryIndex word, std::uint8_t mask,
+                                      Cycle /*cycle*/)
+{
+    core->emitEffect(Structure::L1DCache, word, mask, true);
+}
+
+void
+Core::L1dSink::onCacheWordReadMasked(EntryIndex word, std::uint8_t mask,
+                                     Cycle /*cycle*/)
+{
+    core->emitEffect(Structure::L1DCache, word, mask, false);
 }
 
 void
@@ -595,6 +626,14 @@ Core::loadBlocked(const RobEntry &e, Addr addr, unsigned size,
             return true; // partial overlap: wait for drain
         const unsigned shift =
             static_cast<unsigned>(addr - q.addr) * 8;
+        // Physical consumption of the SQ data field — recorded even
+        // when the caller is only probing issue eligibility (a
+        // conservative over-report; see EffectSink).
+        emitEffect(Structure::StoreQueue, slot,
+                   static_cast<std::uint8_t>(
+                       (size >= 8 ? 0xffu : (1u << size) - 1u)
+                       << (shift / 8)),
+                   false);
         std::uint64_t v = sqData_[slot] >> shift;
         if (size < 8)
             v &= (1ULL << (size * 8)) - 1;
@@ -663,6 +702,7 @@ Core::executeUop(RobEntry &e)
         const Addr addr = prf_[e.physSrc1] + su.imm;
         addPendingRead(e, Structure::RegisterFile, e.physSrc1, cycle_,
                        phase::RegRead);
+        emitEffect(Structure::RegisterFile, e.physSrc1, 0xff, false);
         const TrapKind t = mem_.check(addr, su.memSize, false);
         if (t != TrapKind::None) {
             e.trap = t;
@@ -693,6 +733,21 @@ Core::executeUop(RobEntry &e)
             addPendingRead(e, Structure::L1DCache,
                            l1d_.wordIndex(ar.set, ar.way, off), cycle_,
                            phase::L1dLoadRead);
+            if (esink_) {
+                // Exact bytes consumed, per touched word (a load may
+                // straddle an 8-byte word boundary).
+                for (std::uint32_t b = off; b < off + su.memSize;) {
+                    const std::uint32_t run = std::min<std::uint32_t>(
+                        off + su.memSize, (b & ~7u) + 8);
+                    std::uint8_t mask = 0;
+                    for (std::uint32_t i = b; i < run; ++i)
+                        mask |= static_cast<std::uint8_t>(1u << (i & 7u));
+                    emitEffect(Structure::L1DCache,
+                               l1d_.wordIndex(ar.set, ar.way, b), mask,
+                               false);
+                    b = run;
+                }
+            }
             done_at = cycle_ + ar.latency;
             ar.hit ? ++stats_.l1dHits : ++stats_.l1dMisses;
         }
@@ -718,6 +773,8 @@ Core::executeUop(RobEntry &e)
             q.addrReady = true;
             sqData_[e.sqSlot] = data;
             q.dataReady = true;
+            emitEffect(Structure::StoreQueue,
+                       static_cast<EntryIndex>(e.sqSlot), 0xff, true);
             if (probe_) {
                 probe_->onWrite(Structure::StoreQueue,
                                 static_cast<EntryIndex>(e.sqSlot), cycle_,
@@ -817,6 +874,10 @@ Core::stageIssue()
         // a blocked attempt; the final successful issue records them).
         if (e.su.kind == UopKind::Load) {
             const Addr addr = prf_[e.physSrc1] + e.su.imm;
+            // Scheduling read: the register value decides whether the
+            // load can issue this cycle, so it is physically consumed
+            // even when the load ends up blocked.
+            emitEffect(Structure::RegisterFile, e.physSrc1, 0xff, false);
             if (mem_.check(addr, e.su.memSize, false) == TrapKind::None) {
                 bool fwd = false;
                 std::uint64_t v = 0;
@@ -909,6 +970,7 @@ Core::stageWriteback()
         if (e.physDst != NO_PREG) {
             prf_[e.physDst] = e.resultValue;
             prfReady_[e.physDst] = 1;
+            emitEffect(Structure::RegisterFile, e.physDst, 0xff, true);
             if (probe_) {
                 probe_->onWrite(Structure::RegisterFile, e.physDst,
                                 c.cycle, phase::RegWrite);
@@ -944,6 +1006,11 @@ Core::stageDrainStores()
                                          q.upc);
     const std::uint32_t off =
         static_cast<std::uint32_t>(q.addr & (cfg_.l1d.lineSize - 1));
+    // Draining physically reads the low q.size bytes of the data field.
+    emitEffect(Structure::StoreQueue, slot,
+               static_cast<std::uint8_t>(q.size >= 8 ? 0xffu
+                                                     : (1u << q.size) - 1u),
+               false);
     l1d_.writeBytes(ar.set, ar.way, off, q.size, sqData_[slot], cycle_);
     if (probe_) {
         // Draining reads the SQ data field one last time.

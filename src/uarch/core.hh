@@ -144,6 +144,15 @@ class Core
     unsigned numStoreQueueEntries() const { return cfg_.sqEntries; }
     unsigned numL1dWords() const { return cfg_.l1d.totalWords(); }
 
+    /**
+     * Attach a raw physical-effect listener (the replay effect-trace
+     * recorder).  Must be attached AFTER construction — the
+     * constructor's initialisation writes are the pre-run state, not
+     * replayable effects — and before the first tick().  Snapshots
+     * never carry the sink (it belongs to the recording run only).
+     */
+    void setEffectSink(EffectSink *sink);
+
     // ---- architectural state extraction (window-end comparison) ----
     /** Committed value of architectural register @p arch. */
     std::uint64_t archRegValue(unsigned arch) const;
@@ -185,15 +194,31 @@ class Core
         bool operator==(const PendingRead &) const = default;
     };
 
-    /** Forwards L1D data-array events to the probe with phase context. */
+    /**
+     * Forwards L1D data-array events to the probe with phase context,
+     * and raw masked events to the effect sink.
+     */
     struct L1dSink : CacheEventSink
     {
         Core *core = nullptr;
         void onCacheWordWrite(EntryIndex word, Cycle cycle) override;
         void onCacheWordWritebackRead(EntryIndex word, Cycle cycle,
                                       Rip rip, Upc upc) override;
+        void onCacheWordWriteMasked(EntryIndex word, std::uint8_t mask,
+                                    Cycle cycle) override;
+        void onCacheWordReadMasked(EntryIndex word, std::uint8_t mask,
+                                   Cycle cycle) override;
     };
     friend struct L1dSink;
+
+    /** Record a physical touch of a target structure, if recording. */
+    void
+    emitEffect(Structure s, EntryIndex entry, std::uint8_t mask,
+               bool is_write)
+    {
+        if (esink_)
+            esink_->onEffect(s, entry, cycle_, mask, is_write);
+    }
 
     struct RobEntry
     {
@@ -350,6 +375,7 @@ class Core
 
     CoreConfig cfg_;
     Probe *probe_;
+    EffectSink *esink_ = nullptr;
 
     // Memory system.
     isa::SegmentedMemory mem_;

@@ -54,6 +54,31 @@ constexpr std::uint8_t L1dIssueWrite = 9; ///< fill during a load miss
 constexpr std::uint8_t L1dLoadRead = 10;
 } // namespace phase
 
+/**
+ * Raw physical effect listener for the replay fast path (replay/).
+ *
+ * Unlike Probe, which follows the paper's committed-read semantics for
+ * ACE analysis, an EffectSink sees every PHYSICAL touch of a target
+ * structure's storage the moment it happens — wrong-path reads,
+ * scheduling reads and squashed writes included.  That conservatism is
+ * what makes the recorded trace a sound divergence detector: a read
+ * may be over-reported (costing only a handoff into full simulation),
+ * but a write is reported exactly when the bytes are overwritten with
+ * data independent of their prior content.
+ *
+ * @p byte_mask selects the touched bytes of the 8-byte entry (bit i =
+ * byte i).  Events for one entry arrive in nondecreasing cycle order,
+ * and within a cycle in physical stage order.
+ */
+class EffectSink
+{
+  public:
+    virtual ~EffectSink() = default;
+
+    virtual void onEffect(Structure s, EntryIndex entry, Cycle cycle,
+                          std::uint8_t byte_mask, bool is_write) = 0;
+};
+
 /** Core event listener; default implementations ignore everything. */
 class Probe
 {

@@ -365,6 +365,67 @@ TEST(Runner, CheckpointListIsAscendingAndBounded)
     EXPECT_LT(g.checkpoints.back().cycle(), g.stats.cycles);
 }
 
+/**
+ * Checkpoint-thinning regression: after thinning has fired (once,
+ * then repeatedly), every kept checkpoint must still hold bit-identical
+ * golden state — a fresh run advanced to the checkpoint cycle compares
+ * equal — and a run resumed from any of them must finish exactly like
+ * the golden run.  The kept grid must stay uniform through the last
+ * checkpoint: thinning may never drop the deepest resume point.
+ */
+TEST(Runner, ThinnedCheckpointsHoldBitIdenticalGoldenState)
+{
+    auto w = workloads::buildWorkload("qsort");
+    uarch::CoreConfig cfg;
+    const Cycle interval = 64;
+    for (const unsigned max_ckpts : {16u, 8u}) {
+        InjectionRunner runner(w.program, cfg, interval, max_ckpts);
+        auto g = runner.golden();
+        ASSERT_GE(g.checkpoints.size(), 2u);
+
+        // Thinning fired: the kept grid is coarser than requested, and
+        // the tighter bound has been through at least one more round.
+        const Cycle spacing =
+            g.checkpoints[1].cycle() - g.checkpoints[0].cycle();
+        unsigned rounds = 0;
+        for (Cycle s = interval; s < spacing; s *= 2)
+            ++rounds;
+        EXPECT_GE(rounds, max_ckpts == 16u ? 1u : 2u)
+            << "max " << max_ckpts << " spacing " << spacing;
+
+        // Uniform grid through the back: the last checkpoint survived
+        // every thinning round.
+        for (std::size_t i = 1; i < g.checkpoints.size(); ++i) {
+            EXPECT_EQ(g.checkpoints[i].cycle(),
+                      g.checkpoints[0].cycle() + i * spacing);
+        }
+        EXPECT_GT(g.checkpoints.back().cycle() + 2 * spacing,
+                  g.stats.cycles);
+
+        // Bit-identical state at every kept checkpoint.
+        uarch::Core fresh(w.program, cfg);
+        auto ck = g.checkpoints.begin();
+        while (ck != g.checkpoints.end()) {
+            if (fresh.cycle() == ck->cycle()) {
+                EXPECT_TRUE(fresh.stateEquals(*ck))
+                    << "checkpoint at cycle " << ck->cycle();
+                ++ck;
+            }
+            ASSERT_TRUE(fresh.tick());
+        }
+
+        // Resume from every kept checkpoint reproduces the golden run.
+        for (const auto &snap : g.checkpoints) {
+            uarch::Core resumed(w.program, cfg, snap);
+            const auto r = resumed.run();
+            EXPECT_EQ(r.reason, g.arch.reason);
+            EXPECT_EQ(r.output, g.arch.output);
+            EXPECT_EQ(r.exitCode, g.arch.exitCode);
+            EXPECT_EQ(resumed.stats().cycles, g.stats.cycles);
+        }
+    }
+}
+
 TEST(Runner, TimeoutBudgetIsSaturatingAndFactorScaled)
 {
     constexpr Cycle kMax = std::numeric_limits<Cycle>::max();
@@ -390,6 +451,9 @@ TEST(Runner, EarlyExitPreservesEveryOutcome)
     uarch::CoreConfig cfg;
     RunnerOptions on;
     on.checkpointInterval = 128;
+    // Replay would resolve most of these flips before the early-exit
+    // machinery ever runs; this test isolates the early-exit property.
+    on.replay = false;
     RunnerOptions off = on;
     off.earlyExit = false;
 
@@ -455,6 +519,122 @@ TEST(Runner, EarlyExitMatchesAcrossStructures)
                 << " bit " << unsigned(f.bit) << " cycle " << f.cycle;
         }
     }
+}
+
+// ------------------------------------------------ replay fast path
+
+/**
+ * The replay acceptance property: outcomes are bit-identical with the
+ * golden-trace fast path on vs off, across all three target
+ * structures, and the trace actually resolves faults both ways
+ * (shortcut Masked and divergence handoff).
+ */
+TEST(Runner, ReplayPreservesEveryOutcome)
+{
+    auto w = workloads::buildWorkload("qsort");
+    uarch::CoreConfig cfg;
+    RunnerOptions on;
+    RunnerOptions off;
+    off.replay = false;
+    InjectionRunner fast(w.program, cfg, on);
+    InjectionRunner slow(w.program, cfg, off);
+    auto g_fast = fast.golden();
+    auto g_slow = slow.golden();
+    ASSERT_NE(g_fast.trace, nullptr);
+    EXPECT_EQ(g_slow.trace, nullptr);
+    EXPECT_GT(g_fast.trace->numEvents(), 0u);
+
+    Rng rng(41);
+    std::vector<Fault> faults;
+    for (unsigned i = 0; i < 90; ++i) {
+        Fault f;
+        f.structure = i % 3 == 0   ? Structure::RegisterFile
+                      : i % 3 == 1 ? Structure::StoreQueue
+                                   : Structure::L1DCache;
+        const unsigned entries =
+            f.structure == Structure::RegisterFile ? cfg.numPhysIntRegs
+            : f.structure == Structure::StoreQueue ? cfg.sqEntries
+                                                   : cfg.l1d.totalWords();
+        f.entry = static_cast<EntryIndex>(rng.nextBelow(entries));
+        f.bit = static_cast<std::uint8_t>(rng.nextBelow(64));
+        f.cycle = rng.nextBelow(g_fast.stats.cycles);
+        faults.push_back(f);
+    }
+    const auto with = fast.injectBatch(faults, g_fast, 1);
+    const auto without = slow.injectBatch(faults, g_slow, 1);
+    EXPECT_EQ(with, without);
+
+    // Every replay-enabled injection is resolved by the trace, one way
+    // or the other; the replay-off runner never consults it.
+    const auto st = fast.injectionStats();
+    EXPECT_GT(st.replayMasked, 0u);
+    EXPECT_GT(st.replayHandoffs, 0u);
+    EXPECT_EQ(st.replayMasked + st.replayHandoffs, st.runs);
+    EXPECT_GT(st.replayCyclesSkipped, 0u);
+    EXPECT_EQ(slow.injectionStats().replayMasked, 0u);
+    EXPECT_EQ(slow.injectionStats().replayHandoffs, 0u);
+    EXPECT_EQ(slow.injectionStats().replayCyclesSkipped, 0u);
+}
+
+/**
+ * Windowed runs: a never-touched flip is still latent at the window
+ * end, so replay must hand it off to the Table-4 comparison rather
+ * than shortcut it — the Unknown class must survive intact.
+ */
+TEST(Runner, ReplayPreservesWindowedOutcomes)
+{
+    auto w = workloads::buildWorkload("mcf");
+    uarch::CoreConfig cfg;
+    cfg.instructionWindowEnd = w.suggestedWindow;
+    RunnerOptions on;
+    RunnerOptions off;
+    off.replay = false;
+    InjectionRunner fast(w.program, cfg, on);
+    InjectionRunner slow(w.program, cfg, off);
+    auto g_fast = fast.golden();
+    auto g_slow = slow.golden();
+    ASSERT_TRUE(g_fast.windowed);
+
+    Rng rng(5);
+    unsigned unknown = 0;
+    for (unsigned i = 0; i < 60; ++i) {
+        Fault f;
+        f.structure = Structure::RegisterFile;
+        f.entry = static_cast<EntryIndex>(
+            rng.nextBelow(cfg.numPhysIntRegs));
+        f.bit = static_cast<std::uint8_t>(rng.nextBelow(64));
+        f.cycle = rng.nextBelow(g_fast.stats.cycles);
+        const Outcome o = fast.inject(f, g_fast);
+        EXPECT_EQ(o, slow.inject(f, g_slow))
+            << "entry " << f.entry << " bit " << unsigned(f.bit)
+            << " cycle " << f.cycle;
+        if (o == Outcome::Unknown)
+            ++unknown;
+    }
+    EXPECT_GT(unknown, 0u);
+}
+
+/** Per-injection replay facts land in InjectDetail. */
+TEST(Runner, ReplayDetailReportsActionAndSkippedCycles)
+{
+    auto prog = masm::assemble("movi a0, 9\nout.d a0\nhalt 0\n", "t");
+    uarch::CoreConfig cfg;
+    InjectionRunner runner(prog, cfg);
+    auto g = runner.golden();
+    ASSERT_NE(g.trace, nullptr);
+
+    // Deep in the free list, flipped on the final cycles: nothing can
+    // touch it again, so the trace proves it dead outright.
+    Fault f;
+    f.structure = Structure::RegisterFile;
+    f.entry = cfg.numPhysIntRegs - 1;
+    f.bit = 5;
+    f.cycle = g.stats.cycles - 1;
+    InjectDetail detail;
+    EXPECT_EQ(runner.inject(f, g, &detail), Outcome::Masked);
+    EXPECT_EQ(detail.replay, ReplayAction::Masked);
+    EXPECT_EQ(detail.replayCyclesSkipped, detail.replayHeadCycles);
+    EXPECT_GT(detail.replayCyclesSkipped, 0u);
 }
 
 /** jobs=1 and jobs=8 must produce bit-identical outcome vectors. */

@@ -71,6 +71,12 @@ TEST(CampaignSpec, EveryFieldChangesTheKey)
     s = base;
     s.grouping.maxGroupSize = 7;
     EXPECT_NE(s.key(), k);
+    s = base;
+    s.earlyExit = false;
+    EXPECT_NE(s.key(), k);
+    s = base;
+    s.replay = false;
+    EXPECT_NE(s.key(), k);
 }
 
 TEST(CampaignSpec, JsonRoundTrip)
@@ -431,6 +437,145 @@ TEST_F(SuiteFixture, OutcomesInvariantToEarlyExitAndChunkSize)
         exits += ref.results[i].earlyExits;
     }
     EXPECT_GT(exits, 0u);
+}
+
+/**
+ * Replay-knob invariance, the acceptance grid for the golden-trace
+ * fast path: replay {on,off} x early-exit {on,off} x jobs {1,4}.
+ * Per knob config the serialized store must be byte-identical across
+ * job counts; across knob configs every campaign OUTCOME (and the
+ * injection-run count) must match.  earlyExits is NOT compared across
+ * replay variants: a dead flip that full simulation would early-exit
+ * is classified Masked by the replay shortcut without ever reaching a
+ * reconvergence checkpoint, so the counter legitimately differs —
+ * which is exactly why replay is a spec member.
+ */
+TEST_F(SuiteFixture, OutcomesInvariantToReplayEarlyExitAndJobs)
+{
+    std::vector<CampaignSpec> base;
+    CampaignSpec s;
+    s.workload = "qsort";
+    s.structure = uarch::Structure::RegisterFile;
+    s.regs = 128;
+    s.window = 0;
+    s.sampling = core::specFixed(120);
+    s.seed = 5;
+    s.mode = CampaignSpec::Mode::Truth;
+    base.push_back(s);
+
+    s = CampaignSpec{};
+    s.workload = "fft";
+    s.structure = uarch::Structure::StoreQueue;
+    s.sqEntries = 16;
+    s.window = 0;
+    s.sampling = core::specFixed(120);
+    s.seed = 5;
+    base.push_back(s);
+
+    // L1D lines live far longer than registers or SQ slots, and the
+    // tight checkpoint cadence puts checkpoints between a fault and
+    // its first read — the case where the handoff actually skips
+    // head cycles instead of degenerating to the classic resume.
+    s = CampaignSpec{};
+    s.workload = "qsort";
+    s.structure = uarch::Structure::L1DCache;
+    s.l1dKb = 16;
+    s.window = 0;
+    s.sampling = core::specFixed(80);
+    s.seed = 5;
+    s.checkpointInterval = 64;
+    base.push_back(s);
+
+    struct Config
+    {
+        bool replay;
+        bool earlyExit;
+        const char *name;
+    };
+    const Config configs[] = {
+        {true, true, "r1e1"},
+        {true, false, "r1e0"},
+        {false, true, "r0e1"},
+        {false, false, "r0e0"},
+    };
+
+    std::vector<SuiteResult> results;
+    for (const Config &cfg : configs) {
+        auto specs = base;
+        for (auto &sp : specs) {
+            sp.replay = cfg.replay;
+            sp.earlyExit = cfg.earlyExit;
+        }
+        SuiteOptions opts;
+        opts.recordTiming = false;
+        opts.jobs = 1;
+        opts.storePath =
+            storePath((std::string(cfg.name) + "_j1").c_str());
+        SuiteScheduler(specs, opts).run();
+
+        opts.jobs = 4;
+        opts.storePath =
+            storePath((std::string(cfg.name) + "_j4").c_str());
+        results.push_back(SuiteScheduler(specs, opts).run());
+
+        const std::string j1 =
+            storeBytes(created_[created_.size() - 2]);
+        EXPECT_FALSE(j1.empty());
+        EXPECT_EQ(j1, storeBytes(created_.back()))
+            << cfg.name << ": jobs 1 vs 4 stores differ";
+    }
+
+    const SuiteResult &ref = results[0];
+    for (std::size_t c = 1; c < results.size(); ++c) {
+        for (std::size_t i = 0; i < base.size(); ++i) {
+            const auto &a = ref.results[i];
+            const auto &b = results[c].results[i];
+            EXPECT_EQ(a.merlinEstimate.counts, b.merlinEstimate.counts)
+                << configs[c].name << " campaign " << i;
+            EXPECT_EQ(a.merlinSurvivorEstimate.counts,
+                      b.merlinSurvivorEstimate.counts)
+                << configs[c].name << " campaign " << i;
+            EXPECT_EQ(a.initialFaults, b.initialFaults);
+            EXPECT_EQ(a.survivors, b.survivors);
+            EXPECT_EQ(a.injections, b.injections);
+            EXPECT_EQ(a.injectionRuns, b.injectionRuns);
+            ASSERT_EQ(a.survivorTruth.has_value(),
+                      b.survivorTruth.has_value());
+            if (a.survivorTruth) {
+                EXPECT_EQ(a.survivorTruth->counts,
+                          b.survivorTruth->counts)
+                    << configs[c].name << " campaign " << i;
+            }
+        }
+    }
+
+    // The replay counters record what actually happened: with the
+    // knob on every injection run was consulted (shortcut or
+    // handoff); with it off the counters are hard zero.  Campaign
+    // survivors are by construction faults whose entry IS read (the
+    // ACE-like analysis already dropped the dead flips without
+    // simulating them), so here the trace mostly hands off — the
+    // Masked shortcut itself is pinned by the runner-level tests.
+    std::uint64_t consulted = 0;
+    std::uint64_t skipped = 0;
+    for (std::size_t i = 0; i < base.size(); ++i) {
+        for (std::size_t c = 0; c < 2; ++c) { // replay-on configs
+            const auto &r = results[c].results[i];
+            EXPECT_EQ(r.replayMasked + r.replayHandoffs,
+                      r.injectionRuns)
+                << configs[c].name << " campaign " << i;
+            consulted += r.replayMasked + r.replayHandoffs;
+            skipped += r.replayCyclesSkipped;
+        }
+        for (std::size_t c = 2; c < 4; ++c) { // replay-off configs
+            const auto &r = results[c].results[i];
+            EXPECT_EQ(r.replayMasked, 0u) << configs[c].name;
+            EXPECT_EQ(r.replayHandoffs, 0u) << configs[c].name;
+            EXPECT_EQ(r.replayCyclesSkipped, 0u) << configs[c].name;
+        }
+    }
+    EXPECT_GT(consulted, 0u);
+    EXPECT_GT(skipped, 0u) << "replay never skipped any head cycles";
 }
 
 TEST_F(SuiteFixture, ResumeServesCachedResultsWithoutRerunning)
