@@ -76,6 +76,17 @@ OutcomeJournal::Restored
 OutcomeJournal::restore(
     const std::function<void(std::uint64_t, faultsim::Outcome)> &sink)
 {
+    return restore([&sink](std::uint64_t key, faultsim::Outcome outcome,
+                           const faultsim::InjectDetail &) {
+        sink(key, outcome);
+    });
+}
+
+OutcomeJournal::Restored
+OutcomeJournal::restore(
+    const std::function<void(std::uint64_t, faultsim::Outcome,
+                             const faultsim::InjectDetail &)> &sink)
+{
     Restored r;
     if (path_.empty())
         return r;
@@ -146,26 +157,36 @@ OutcomeJournal::restore(
                 fatal("outcome journal '", path_,
                       "': entry carries outcome ", o,
                       ", beyond this build's outcome classes");
-            sink(key, static_cast<faultsim::Outcome>(o));
+            faultsim::InjectDetail detail;
+            detail.earlyExit = j[2].asU64() != 0;
             ++r.runs;
-            if (j[2].asU64() != 0)
+            if (detail.earlyExit)
                 ++r.earlyExits;
             if (j.size() >= 6) {
                 const std::uint64_t action = j[3].asU64();
                 if (action ==
                     static_cast<std::uint64_t>(
-                        faultsim::ReplayAction::Masked))
+                        faultsim::ReplayAction::Masked)) {
+                    detail.replay = faultsim::ReplayAction::Masked;
                     ++r.replayMasked;
-                else if (action ==
-                         static_cast<std::uint64_t>(
-                             faultsim::ReplayAction::Handoff))
+                } else if (action ==
+                           static_cast<std::uint64_t>(
+                               faultsim::ReplayAction::Handoff)) {
+                    detail.replay = faultsim::ReplayAction::Handoff;
                     ++r.replayHandoffs;
-                r.replayCyclesSkipped += j[4].asU64();
-                r.replayHeadCycles += j[5].asU64();
+                }
+                detail.replayCyclesSkipped = j[4].asU64();
+                detail.replayHeadCycles = j[5].asU64();
+                r.replayCyclesSkipped += detail.replayCyclesSkipped;
+                r.replayHeadCycles += detail.replayHeadCycles;
             }
-            if (j.size() == 4 || j.size() == 7)
+            if (j.size() == 4 || j.size() == 7) {
+                detail.quarantined = true;
+                detail.reason = j[j.size() - 1].asString();
                 r.quarantine.push_back(faultsim::QuarantineRecord{
-                    key, j[j.size() - 1].asString()});
+                    key, detail.reason});
+            }
+            sink(key, static_cast<faultsim::Outcome>(o), detail);
         }
         pos = nl + 1;
         valid = pos;

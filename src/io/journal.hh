@@ -95,6 +95,18 @@ class OutcomeJournal
                 &sink);
 
     /**
+     * Like restore(sink), but hands the sink the full per-injection
+     * detail reconstructed from the entry (replay action, skipped and
+     * head cycles, quarantine flag + reason).  Sectioned campaigns use
+     * this to re-attribute every restored injection to its section;
+     * the detail-free overload above is a thin wrapper.
+     */
+    Restored
+    restore(const std::function<void(std::uint64_t, faultsim::Outcome,
+                                     const faultsim::InjectDetail &)>
+                &sink);
+
+    /**
      * Open for appending, writing the header first when the file is
      * new/empty.  Without a prior restore() any existing file is
      * started over — its entries belong to a run the caller chose not

@@ -13,6 +13,7 @@
 #endif
 
 #include "base/logging.hh"
+#include "base/parse.hh"
 #include "obs/clock.hh"
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
@@ -28,7 +29,11 @@ using core::HomogeneityReport;
 namespace
 {
 
-constexpr const char *kFormatTag = "merlin-results-v1";
+// Written format.  v1 files (whole-campaign entries only, no
+// "sections" member) still load; their entries are served as
+// all-sections hits by the suite scheduler.
+constexpr const char *kFormatTag = "merlin-store-v2";
+constexpr const char *kFormatTagV1 = "merlin-results-v1";
 
 Json
 classCountsToJson(const ClassCounts &c)
@@ -79,6 +84,46 @@ syncToDisk(const std::string &path, bool directory)
     (void)path;
     (void)directory;
 #endif
+}
+
+Json
+quarantineToJson(const std::vector<faultsim::QuarantineRecord> &recs)
+{
+    Json q = Json::array();
+    for (const faultsim::QuarantineRecord &rec : recs) {
+        Json e = Json::object();
+        e.set("fault_key", rec.faultKey);
+        e.set("reason", rec.reason);
+        q.push(e);
+    }
+    return q;
+}
+
+/**
+ * Decode a quarantine array, degrading gracefully on records a newer
+ * writer may have extended: take the two fields this reader
+ * understands and skip the rest.  With @p skipped set, skips are
+ * counted there silently (the store load aggregates them into one
+ * warning); without it each skip warns individually.
+ */
+void
+quarantineFromJson(const Json &q,
+                   std::vector<faultsim::QuarantineRecord> &out,
+                   std::size_t *skipped)
+{
+    out.reserve(out.size() + q.size());
+    for (const Json &e : q.items()) {
+        if (!e.isObject() || !e.find("fault_key") || !e.find("reason")) {
+            if (skipped)
+                ++*skipped;
+            else
+                warn("result store: skipping unrecognized quarantine "
+                     "record (newer schema?); outcomes are unaffected");
+            continue;
+        }
+        out.push_back(faultsim::QuarantineRecord{
+            e.at("fault_key").asU64(), e.at("reason").asString()});
+    }
 }
 
 } // namespace
@@ -134,14 +179,7 @@ resultToJson(const CampaignResult &r)
         // in the result's deterministic sort order; the producing spec
         // (with its seed) sits beside this result in the store entry,
         // so each record pins down one reproducible injection.
-        Json q = Json::array();
-        for (const faultsim::QuarantineRecord &rec : r.quarantine) {
-            Json e = Json::object();
-            e.set("fault_key", rec.faultKey);
-            e.set("reason", rec.reason);
-            q.push(e);
-        }
-        j.set("quarantine", q);
+        j.set("quarantine", quarantineToJson(r.quarantine));
     }
     j.set("profile_seconds", r.profileSeconds);
     j.set("injection_seconds", r.injectionSeconds);
@@ -150,7 +188,7 @@ resultToJson(const CampaignResult &r)
 }
 
 CampaignResult
-resultFromJson(const Json &j)
+resultFromJson(const Json &j, std::size_t *skipped_quarantine)
 {
     CampaignResult r;
     r.goldenCycles = j.at("golden_cycles").asU64();
@@ -194,27 +232,44 @@ resultFromJson(const Json &j)
     r.replayHandoffs = j.u64Or("replay_handoffs", 0);
     r.replayCyclesSkipped = j.u64Or("replay_cycles_skipped", 0);
     r.replayHeadCycles = j.u64Or("replay_head_cycles", 0);
-    if (const Json *q = j.find("quarantine")) {
-        // Degrade gracefully on records a newer writer may have
-        // extended: take the two fields this reader understands, warn
-        // (by name) about entries it cannot, and keep the rest of the
-        // result usable either way.
-        r.quarantine.reserve(q->size());
-        for (const Json &e : q->items()) {
-            if (!e.isObject() || !e.find("fault_key") ||
-                !e.find("reason")) {
-                warn("result store: skipping unrecognized quarantine "
-                     "record (newer schema?); outcomes are unaffected");
-                continue;
-            }
-            r.quarantine.push_back(faultsim::QuarantineRecord{
-                e.at("fault_key").asU64(), e.at("reason").asString()});
-        }
-    }
+    if (const Json *q = j.find("quarantine"))
+        quarantineFromJson(*q, r.quarantine, skipped_quarantine);
     r.profileSeconds = j.numOr("profile_seconds", 0.0);
     r.injectionSeconds = j.numOr("injection_seconds", 0.0);
     r.secondsPerInjection = j.numOr("seconds_per_injection", 0.0);
     return r;
+}
+
+Json
+sectionDataToJson(const core::SectionData &s)
+{
+    Json j = Json::object();
+    j.set("estimate", classCountsToJson(s.estimate));
+    j.set("injection_runs", s.injectionRuns);
+    j.set("early_exits", s.earlyExits);
+    j.set("replay_masked", s.replayMasked);
+    j.set("replay_handoffs", s.replayHandoffs);
+    j.set("replay_cycles_skipped", s.replayCyclesSkipped);
+    j.set("replay_head_cycles", s.replayHeadCycles);
+    if (!s.quarantine.empty())
+        j.set("quarantine", quarantineToJson(s.quarantine));
+    return j;
+}
+
+core::SectionData
+sectionDataFromJson(const Json &j, std::size_t *skipped_quarantine)
+{
+    core::SectionData s;
+    s.estimate = classCountsFromJson(j.at("estimate"));
+    s.injectionRuns = j.at("injection_runs").asU64();
+    s.earlyExits = j.at("early_exits").asU64();
+    s.replayMasked = j.at("replay_masked").asU64();
+    s.replayHandoffs = j.at("replay_handoffs").asU64();
+    s.replayCyclesSkipped = j.at("replay_cycles_skipped").asU64();
+    s.replayHeadCycles = j.at("replay_head_cycles").asU64();
+    if (const Json *q = j.find("quarantine"))
+        quarantineFromJson(*q, s.quarantine, skipped_quarantine);
+    return s;
 }
 
 // ---------------------------------------------------------- ResultStore
@@ -252,18 +307,41 @@ ResultStore::load()
               "); delete it (or restore it from shards with "
               "`merlin_cli store merge`) before resuming");
     }
-    if (doc.strOr("format", "") != kFormatTag)
+    const std::string format = doc.strOr("format", "");
+    if (format != kFormatTag && format != kFormatTagV1)
         fatal("result store '", path_, "': unknown format");
     entries_.clear();
+    sections_.clear();
     selection_.reset();
     if (const Json *sel = doc.find("selection"))
         selection_ = *sel;
+    // One aggregated warning per store for quarantine records a newer
+    // writer extended, not one per record: a large store read by an
+    // old binary must not flood stderr with identical lines.
+    std::size_t skipped = 0;
     for (const auto &[key, entry] : doc.at("campaigns").members()) {
         // Validate eagerly: a malformed entry should fail the load,
         // not the lookup that happens to hit it mid-suite.
-        resultFromJson(entry.at("result"));
+        resultFromJson(entry.at("result"), &skipped);
         entries_[key] = Entry{entry.at("spec"), entry.at("result")};
     }
+    if (const Json *secs = doc.find("sections")) {
+        for (const auto &[key, tbl] : secs->members()) {
+            SectionTable table;
+            table.spec = tbl.at("spec");
+            table.goldenCycles = tbl.at("golden_cycles").asU64();
+            for (const auto &[idx, data] : tbl.at("entries").members()) {
+                sectionDataFromJson(data, &skipped); // eager validation
+                table.entries[base::parseU32(
+                    idx, "result store section index")] = data;
+            }
+            sections_[key] = std::move(table);
+        }
+    }
+    if (skipped > 0)
+        warn("result store '", path_, "': skipped ", skipped,
+             " unrecognized quarantine record", skipped == 1 ? "" : "s",
+             " (newer schema?); outcomes are unaffected");
     return true;
 }
 
@@ -282,6 +360,24 @@ ResultStore::toJson() const
     if (selection_)
         doc.set("selection", *selection_);
     doc.set("campaigns", campaigns);
+    if (!sections_.empty()) {
+        // Only when non-empty, so unsectioned stores keep their
+        // pre-section bytes (modulo the format tag).  Table keys sort
+        // lexically, entry keys numerically — both pure functions of
+        // the contents.
+        Json secs = Json::object();
+        for (const auto &[key, table] : sections_) {
+            Json t = Json::object();
+            t.set("spec", table.spec);
+            t.set("golden_cycles", table.goldenCycles);
+            Json entries = Json::object();
+            for (const auto &[idx, data] : table.entries)
+                entries.set(std::to_string(idx), data);
+            t.set("entries", entries);
+            secs.set(key, t);
+        }
+        doc.set("sections", secs);
+    }
     return doc;
 }
 
@@ -332,7 +428,10 @@ ResultStore::lookup(const std::string &key, CampaignResult &out) const
     auto it = entries_.find(key);
     if (it == entries_.end())
         return false;
-    out = resultFromJson(it->second.result);
+    // Silent skip counter: load() already warned (once) about any
+    // unrecognized quarantine records in this store.
+    std::size_t skipped = 0;
+    out = resultFromJson(it->second.result, &skipped);
     return true;
 }
 
@@ -353,6 +452,46 @@ bool
 ResultStore::erase(const std::string &key)
 {
     return entries_.erase(key) != 0;
+}
+
+ResultStore::SectionLookup
+ResultStore::lookupSections(const std::string &key) const
+{
+    SectionLookup out;
+    auto it = sections_.find(key);
+    if (it == sections_.end())
+        return out;
+    out.found = true;
+    out.goldenCycles = it->second.goldenCycles;
+    std::size_t skipped = 0; // load() already warned once
+    for (const auto &[idx, data] : it->second.entries)
+        out.sections[idx] = sectionDataFromJson(data, &skipped);
+    return out;
+}
+
+void
+ResultStore::putSections(const std::string &key, Json spec,
+                         std::uint64_t golden_cycles,
+                         const std::vector<core::SectionData> &table)
+{
+    SectionTable t;
+    t.spec = std::move(spec);
+    t.goldenCycles = golden_cycles;
+    for (std::size_t i = 0; i < table.size(); ++i)
+        t.entries[static_cast<unsigned>(i)] = sectionDataToJson(table[i]);
+    sections_[key] = std::move(t);
+}
+
+void
+ResultStore::putSectionTable(const std::string &key, SectionTable table)
+{
+    sections_[key] = std::move(table);
+}
+
+bool
+ResultStore::eraseSections(const std::string &key)
+{
+    return sections_.erase(key) != 0;
 }
 
 ResultStore::MergeStats
@@ -382,6 +521,45 @@ ResultStore::merge(const ResultStore &other, bool force_theirs)
                   "merge with --force-theirs");
         it->second = theirs;
         ++stats.replaced;
+    }
+    // Section tables fold per key and per section index under the
+    // same bit-identity rule: sections are deterministic slices of
+    // deterministic campaigns, so two stores disagreeing on a slice's
+    // bytes means one of them is corrupt.
+    for (const auto &[key, theirs] : other.sections_) {
+        auto it = sections_.find(key);
+        if (it == sections_.end()) {
+            stats.sectionEntriesAdded += theirs.entries.size();
+            sections_[key] = theirs;
+            continue;
+        }
+        SectionTable &ours = it->second;
+        if (ours.spec.dump() != theirs.spec.dump() ||
+            ours.goldenCycles != theirs.goldenCycles) {
+            if (!force_theirs)
+                fatal("result store merge: section table '", key,
+                      "' has conflicting spec/golden-cycle payloads; "
+                      "re-run one side or merge with --force-theirs");
+            stats.sectionEntriesAdded += theirs.entries.size();
+            ours = theirs;
+            continue;
+        }
+        for (const auto &[idx, data] : theirs.entries) {
+            auto eit = ours.entries.find(idx);
+            if (eit == ours.entries.end()) {
+                ours.entries[idx] = data;
+                ++stats.sectionEntriesAdded;
+                continue;
+            }
+            if (eit->second.dump() == data.dump())
+                continue;
+            if (!force_theirs)
+                fatal("result store merge: section ", idx,
+                      " of table '", key,
+                      "' has conflicting payloads; re-run one side "
+                      "or merge with --force-theirs");
+            eit->second = data;
+        }
     }
     return stats;
 }

@@ -198,6 +198,85 @@ struct PreparedCampaign
     bool groupingOnly = false;
 };
 
+/**
+ * One section's slice of a sectioned campaign: the golden run is cut
+ * into `sections` equal cycle intervals, every fault group is
+ * attributed to the section containing its representative's injection
+ * cycle, and this struct carries everything the section contributed to
+ * the campaign — the survivor-restricted extrapolated outcome counts
+ * plus the per-run engine counters and quarantine records.  A complete
+ * table of these (one per section) composes back into the exact
+ * CampaignResult a cold full run produces, which is what lets the
+ * result store serve *partial* hits: only missing sections' faults are
+ * re-injected.
+ */
+struct SectionData
+{
+    /** Extrapolated outcome counts over this section's groups
+     *  (survivor-restricted; ACE-masked faults are added once at
+     *  composition, not per section). */
+    ClassCounts estimate;
+    std::uint64_t injectionRuns = 0;
+    std::uint64_t earlyExits = 0;
+    std::uint64_t replayMasked = 0;
+    std::uint64_t replayHandoffs = 0;
+    std::uint64_t replayCyclesSkipped = 0;
+    std::uint64_t replayHeadCycles = 0;
+    /** Sorted by (fault key, reason), like CampaignResult::quarantine. */
+    std::vector<faultsim::QuarantineRecord> quarantine;
+
+    /** Fold one completed injection run's engine facts in (not the
+     *  outcome — estimates extrapolate per group, not per run). */
+    void addRun(std::uint64_t fault_key,
+                const faultsim::InjectDetail &detail);
+};
+
+/**
+ * Section containing @p cycle when [0, golden_cycles) is cut into
+ * @p sections equal cycle intervals (the remainder widens the last
+ * section, and a cycle at/past golden_cycles clamps into it).
+ */
+unsigned sectionOfCycle(Cycle cycle, Cycle golden_cycles,
+                        unsigned sections);
+
+/**
+ * Can @p prep be run and cached section-by-section?  Requires a plain
+ * estimate campaign (no ground-truth sweep, no grouping-only) whose
+ * groups carry exactly one representative each: then prep.faults[g]
+ * IS group g's representative, every group is attributed to the
+ * section of that one injection cycle, and batch deduplication stays
+ * section-local (duplicate faults share a cycle, hence a section) —
+ * the properties that make per-section run accounting sum exactly to
+ * a cold run's totals.
+ */
+bool sectionable(const PreparedCampaign &prep);
+
+/**
+ * Section index of every fault group of @p prep (prep must be
+ * sectionable()): group g lands in the section containing its
+ * representative's injection cycle.
+ */
+std::vector<unsigned> groupSections(const PreparedCampaign &prep,
+                                    unsigned sections);
+
+/**
+ * Compose a CampaignResult from a COMPLETE per-section table (stored
+ * hits and freshly-run sections alike) — the sectioned counterpart of
+ * Campaign::finish().  Sums the survivor-restricted estimates, adds
+ * the ACE-masked faults once, sums the engine counters, and
+ * concatenates + sorts the quarantine records; each section's own
+ * quarantine list is also sorted in place so @p table serializes
+ * deterministically.  Byte-identical to a cold full run's result by
+ * construction (integer sums commute; every per-run fact is a pure
+ * function of its fault).  @p fresh_faults is the number of faults
+ * this process actually handed to the injection engine (the
+ * seconds-per-injection denominator).
+ */
+CampaignResult composeSectioned(PreparedCampaign prep,
+                                std::vector<SectionData> &table,
+                                double injection_seconds,
+                                std::size_t fresh_faults);
+
 /** Drives one (program, structure, configuration) campaign. */
 class Campaign
 {

@@ -30,24 +30,6 @@ struct SideEntry
 };
 
 /**
- * Conservative sampling margin of one side's AVF estimate: the
- * initial fault list is a statistical sample of n faults from the
- * (huge) exhaustive population, so at confidence c the estimate of
- * any outcome fraction carries e = z(c) * sqrt(p(1-p)/n), p = 0.5.
- * MeRLiN's claim (which the accuracy figures verify) is that pruning
- * and grouping add no further error, so n is initialFaults, not the
- * injected representative count.
- */
-double
-sideMargin(const core::CampaignResult &r, double confidence)
-{
-    if (r.initialFaults == 0)
-        return 0.0;
-    return stats::zForConfidence(confidence) *
-           std::sqrt(0.25 / static_cast<double>(r.initialFaults));
-}
-
-/**
  * Index a store by axis-masked spec hash.  Fatal when two entries
  * collapse onto one join key: that store contains the sweep itself,
  * and the pairing would be ambiguous.
@@ -134,6 +116,23 @@ axisLabel(const Json &axis_vals)
 
 } // namespace
 
+std::optional<double>
+samplingMargin(std::uint64_t initial_faults, double confidence)
+{
+    if (initial_faults == 0)
+        return std::nullopt;
+    return stats::zForConfidence(confidence) *
+           std::sqrt(0.25 / static_cast<double>(initial_faults));
+}
+
+std::optional<double>
+quadratureMargin(std::optional<double> a, std::optional<double> b)
+{
+    if (!a || !b)
+        return std::nullopt;
+    return std::sqrt(*a * *a + *b * *b);
+}
+
 SuiteDiff::SuiteDiff(const io::ResultStore &a, const io::ResultStore &b,
                      DiffOptions opts)
     : a_(a), b_(b), opts_(std::move(opts))
@@ -163,6 +162,7 @@ SuiteDiff::run() const
     std::uint64_t runsTotalA = 0, runsTotalB = 0;
     std::uint64_t exitsTotalA = 0, exitsTotalB = 0;
     double ciSquares = 0.0;
+    bool allMargins = true;
 
     // Both indexes iterate in joinKey order, so the output is sorted
     // by construction.
@@ -186,9 +186,9 @@ SuiteDiff::run() const
         d.avfA = ea.res.merlinEstimate.avf();
         d.avfB = eb.res.merlinEstimate.avf();
         d.dAvf = d.avfB - d.avfA;
-        const double mA = sideMargin(ea.res, opts_.confidence);
-        const double mB = sideMargin(eb.res, opts_.confidence);
-        d.dAvfCi = std::sqrt(mA * mA + mB * mB);
+        d.dAvfCi = quadratureMargin(
+            samplingMargin(ea.res.initialFaults, opts_.confidence),
+            samplingMargin(eb.res.initialFaults, opts_.confidence));
 
         for (unsigned c = 0; c < faultsim::NUM_OUTCOMES; ++c) {
             const auto o = static_cast<faultsim::Outcome>(c);
@@ -214,7 +214,10 @@ SuiteDiff::run() const
 
         out.meanDAvf += d.dAvf;
         out.meanAbsDAvf += std::abs(d.dAvf);
-        ciSquares += d.dAvfCi * d.dAvfCi;
+        if (d.dAvfCi)
+            ciSquares += *d.dAvfCi * *d.dAvfCi;
+        else
+            allMargins = false;
         out.dRuns += d.dRuns;
         runsTotalA += d.runsA;
         runsTotalB += d.runsB;
@@ -233,7 +236,8 @@ SuiteDiff::run() const
         const double n = static_cast<double>(out.deltas.size());
         out.meanDAvf /= n;
         out.meanAbsDAvf /= n;
-        out.meanDAvfCi = std::sqrt(ciSquares) / n;
+        if (allMargins)
+            out.meanDAvfCi = std::sqrt(ciSquares) / n;
     }
     const auto pooledRate = [](std::uint64_t exits, std::uint64_t runs) {
         return runs ? static_cast<double>(exits) /
@@ -271,7 +275,7 @@ SuiteDiffResult::toJson() const
         r.set("avf_a", d.avfA);
         r.set("avf_b", d.avfB);
         r.set("d_avf", d.dAvf);
-        r.set("d_avf_ci", d.dAvfCi);
+        r.set("d_avf_ci", d.dAvfCi ? Json(*d.dAvfCi) : Json());
         r.set("d_classes", classDeltaJson(d.dClasses));
         r.set("d_class_fracs", classFracJson(d.dClassFracs));
         r.set("runs_a", d.runsA);
@@ -292,7 +296,7 @@ SuiteDiffResult::toJson() const
     Json agg = Json::object();
     agg.set("mean_d_avf", meanDAvf);
     agg.set("mean_abs_d_avf", meanAbsDAvf);
-    agg.set("mean_d_avf_ci", meanDAvfCi);
+    agg.set("mean_d_avf_ci", meanDAvfCi ? Json(*meanDAvfCi) : Json());
     agg.set("d_class_totals", classDeltaJson(dClassTotals));
     agg.set("d_runs", dRuns);
     agg.set("d_early_exit_rate", dEeRate);
@@ -328,24 +332,37 @@ SuiteDiffResult::table() const
         std::string mode = d.maskedSpec.strOr("mode", "*");
         if (mode == "grouping_only")
             mode = "grouping-only";
-        emit("%-14s %-4s %-13s %14s %9.3f %9.3f %+10.3f %9.3f %+8lld "
+        char ci[32];
+        if (d.dAvfCi)
+            std::snprintf(ci, sizeof ci, "%9.3f", 100.0 * *d.dAvfCi);
+        else
+            std::snprintf(ci, sizeof ci, "%9s", "-");
+        emit("%-14s %-4s %-13s %14s %9.3f %9.3f %+10.3f %s %+8lld "
              "%+8.2f\n",
              d.maskedSpec.strOr("workload", "*").c_str(),
              d.maskedSpec.strOr("structure", "*").c_str(), mode.c_str(),
              axisAB.c_str(), 100.0 * d.avfA, 100.0 * d.avfB,
-             100.0 * d.dAvf, 100.0 * d.dAvfCi,
-             static_cast<long long>(d.dRuns), 100.0 * d.dEeRate);
+             100.0 * d.dAvf, ci, static_cast<long long>(d.dRuns),
+             100.0 * d.dEeRate);
     }
     emit("\n%zu campaigns joined (A: %zu, B: %zu; only-A: %zu, "
          "only-B: %zu)\n",
          deltas.size(), campaignsA, campaignsB, onlyA.size(),
          onlyB.size());
     if (!deltas.empty()) {
-        emit("aggregate: mean dAVF %+.3f pp (+- %.3f pp at %.3g%%), "
-             "mean |dAVF| %.3f pp, dRuns %+lld, dEE %+.2f pp\n",
-             100.0 * meanDAvf, 100.0 * meanDAvfCi, 100.0 * confidence,
-             100.0 * meanAbsDAvf, static_cast<long long>(dRuns),
-             100.0 * dEeRate);
+        if (meanDAvfCi) {
+            emit("aggregate: mean dAVF %+.3f pp (+- %.3f pp at %.3g%%), "
+                 "mean |dAVF| %.3f pp, dRuns %+lld, dEE %+.2f pp\n",
+                 100.0 * meanDAvf, 100.0 * *meanDAvfCi,
+                 100.0 * confidence, 100.0 * meanAbsDAvf,
+                 static_cast<long long>(dRuns), 100.0 * dEeRate);
+        } else {
+            emit("aggregate: mean dAVF %+.3f pp (CI -: a zero-fault "
+                 "side has no sampling margin), mean |dAVF| %.3f pp, "
+                 "dRuns %+lld, dEE %+.2f pp\n",
+                 100.0 * meanDAvf, 100.0 * meanAbsDAvf,
+                 static_cast<long long>(dRuns), 100.0 * dEeRate);
+        }
     }
     for (const UnpairedCampaign &u : onlyA)
         emit("only in A: %s (%s)\n",

@@ -33,6 +33,7 @@
 
 #include <array>
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -41,6 +42,28 @@
 
 namespace merlin::sched
 {
+
+/**
+ * Conservative sampling margin of one AVF estimate derived from an
+ * initial statistical sample of @p initial_faults faults: at
+ * confidence c the estimate of any outcome fraction carries
+ * e = z(c) * sqrt(p(1-p)/n) with the conservative p = 0.5 (Leveugle
+ * et al.; MeRLiN's claim, verified by the accuracy figures, is that
+ * pruning and grouping add no further error, so n is the INITIAL
+ * fault count, not the injected representative count).  A zero-fault
+ * side has no sample and therefore NO margin — the statistical model
+ * simply does not apply — so the margin is absent, never 0.
+ */
+std::optional<double> samplingMargin(std::uint64_t initial_faults,
+                                     double confidence);
+
+/**
+ * Margin of the difference of two independent estimates: the
+ * quadrature combination sqrt(a^2 + b^2), absent when either side's
+ * margin is (an absent side would silently understate the interval).
+ */
+std::optional<double> quadratureMargin(std::optional<double> a,
+                                       std::optional<double> b);
 
 struct DiffOptions
 {
@@ -67,9 +90,14 @@ struct CampaignDelta
 
     double avfA = 0.0; ///< MeRLiN-estimate AVF, side A
     double avfB = 0.0;
-    double dAvf = 0.0;   ///< avfB - avfA
-    double dAvfCi = 0.0; ///< CI half-width on dAvf (and any class
-                         ///< fraction delta; same conservative margin)
+    double dAvf = 0.0; ///< avfB - avfA
+    /**
+     * CI half-width on dAvf (and any class fraction delta; same
+     * conservative margin).  Absent — serialized as JSON null,
+     * printed as "-" — when either side ran zero initial faults:
+     * no sample, no margin (0 would claim false certainty).
+     */
+    std::optional<double> dAvfCi;
 
     /** Per-class deltas of the extrapolated estimate (Table-2 order). */
     std::array<std::int64_t, faultsim::NUM_OUTCOMES> dClasses{};
@@ -108,7 +136,12 @@ struct SuiteDiffResult
     // Aggregates over the joined pairs.
     double meanDAvf = 0.0;
     double meanAbsDAvf = 0.0;
-    double meanDAvfCi = 0.0; ///< sqrt(sum ci^2)/n — CI on meanDAvf
+    /**
+     * sqrt(sum ci^2)/n — CI on meanDAvf.  Present only when EVERY
+     * joined pair carries a margin; one absent pair would make the
+     * aggregate silently understate the interval.
+     */
+    std::optional<double> meanDAvfCi;
     std::array<std::int64_t, faultsim::NUM_OUTCOMES> dClassTotals{};
     std::int64_t dRuns = 0;
     double dEeRate = 0.0; ///< pooled-rate delta (total exits / runs)

@@ -10,9 +10,11 @@
 
 #include "base/logging.hh"
 #include "base/threadpool.hh"
+#include "faultsim/fault.hh"
 #include "io/journal.hh"
 #include "io/result_store.hh"
 #include "obs/clock.hh"
+#include "obs/metrics.hh"
 #include "obs/progress.hh"
 #include "obs/trace.hh"
 
@@ -118,6 +120,42 @@ checkSpecMembers(const Json &j, const char *what)
         if (!isSpecMember(name))
             fatal("suite ", what, ": unknown member '", name, "'");
     }
+}
+
+/**
+ * Can @p spec take part in sectioned (partial-hit) caching?  The
+ * spec-level half of the test — the runtime half is
+ * core::sectionable() on the prepared campaign.  Estimate mode with
+ * one representative per group is the paper's configuration and the
+ * one where per-section accounting provably sums to a cold run's
+ * totals (see core::sectionable()).
+ */
+bool
+sectionEligible(const CampaignSpec &spec)
+{
+    return spec.mode == CampaignSpec::Mode::Estimate &&
+           spec.grouping.repsPerGroup == 1;
+}
+
+/**
+ * The reduced spec a section table is keyed by: the full spec minus
+ * the swept knobs — members a sweep varies WITHOUT changing campaign
+ * outcomes, currently {mem_chunk_bytes} — plus the section count (a
+ * table cut into 4 sections serves no 16-section lookup).
+ */
+Json
+reducedSpecFor(const CampaignSpec &spec, unsigned sections)
+{
+    Json j = spec.toJson();
+    j.erase("mem_chunk_bytes");
+    j.set("sections", static_cast<std::uint64_t>(sections));
+    return j;
+}
+
+std::string
+reducedKeyFor(const CampaignSpec &spec, unsigned sections)
+{
+    return io::contentKey(reducedSpecFor(spec, sections));
 }
 
 } // namespace
@@ -313,6 +351,8 @@ SuiteScheduler::run()
     out.results.resize(specs_.size());
     out.cached.assign(specs_.size(), false);
     out.selected.assign(specs_.size(), true);
+    out.sectionsHit.assign(specs_.size(), 0);
+    out.sectionsMissed.assign(specs_.size(), 0);
     if (opts_.select) {
         for (std::size_t i = 0; i < specs_.size(); ++i)
             out.selected[i] = opts_.select->selects(i, specs_[i].key());
@@ -367,6 +407,25 @@ SuiteScheduler::run()
         }
         for (const std::string &key : foreign)
             store.erase(key);
+        // Section tables are foreign under the same rule, against the
+        // reduced keys this worker's share can produce (none at all
+        // when sectioning is off).
+        std::set<std::string> mineSections;
+        if (opts_.sections > 0) {
+            for (std::size_t i = 0; i < specs_.size(); ++i) {
+                if (out.selected[i] && sectionEligible(specs_[i]))
+                    mineSections.insert(
+                        reducedKeyFor(specs_[i], opts_.sections));
+            }
+        }
+        std::vector<std::string> foreignSections;
+        for (const auto &[key, table] : store.sectionTables()) {
+            (void)table;
+            if (!mineSections.count(key))
+                foreignSections.push_back(key);
+        }
+        for (const std::string &key : foreignSections)
+            store.eraseSections(key);
     } else {
         // A full run owns the whole suite; a worker store being
         // promoted back to a single-host store sheds its selection.
@@ -431,15 +490,22 @@ SuiteScheduler::run()
     // One single-entry store per campaign, named by the spec key, so
     // `store merge` folds shards in any order into exactly the
     // single-store bytes.
-    const auto spillShard = [&](const CampaignSpec &spec,
-                                const core::CampaignResult &res) {
-        io::ResultStore shard(
-            (std::filesystem::path(opts_.shardDir) /
-             (spec.key() + ".json"))
-                .string());
-        shard.put(spec.key(), spec.toJson(), res);
-        shard.save();
-    };
+    // A sectioned campaign's shard also carries its section table
+    // (@p section_key + @p table, both empty/null when unsectioned),
+    // so merged shards reassemble the section tables too.
+    const auto spillShard =
+        [&](const CampaignSpec &spec, const core::CampaignResult &res,
+            const std::string &section_key = std::string(),
+            const io::ResultStore::SectionTable *table = nullptr) {
+            io::ResultStore shard(
+                (std::filesystem::path(opts_.shardDir) /
+                 (spec.key() + ".json"))
+                    .string());
+            shard.put(spec.key(), spec.toJson(), res);
+            if (table)
+                shard.putSectionTable(section_key, *table);
+            shard.save();
+        };
 
     // Resolve every cache hit BEFORE any campaign starts: workers
     // mutate the store (put + save under storeMu below), so lookups
@@ -447,19 +513,51 @@ SuiteScheduler::run()
     // the shard directory's contract is one shard per suite
     // campaign, however the result was obtained, so merging it
     // always reassembles the full store.
+    // Section bookkeeping, resolved alongside the cache hits (the
+    // store must not be read once workers mutate it): for every
+    // selected, section-eligible spec, decode the reduced-key table
+    // and pin the answer for the campaign body to consume.
+    const unsigned S = opts_.sections;
+    std::vector<io::ResultStore::SectionLookup> sectionCache(
+        specs_.size());
+    obs::Counter &sectionHitsCtr =
+        obs::Registry::global().counter("store.section_hits");
+    obs::Counter &sectionMissCtr =
+        obs::Registry::global().counter("store.section_misses");
+
     std::vector<std::size_t> pending;
     pending.reserve(specs_.size());
     for (std::size_t i = 0; i < specs_.size(); ++i) {
         if (!out.selected[i])
             continue; // another worker's spec: not run, not spilled
+        const bool sectionedSpec = S > 0 && sectionEligible(specs_[i]);
         if (opts_.reuseCached &&
             store.lookup(specs_[i].key(), out.results[i])) {
             out.cached[i] = true;
+            if (sectionedSpec) {
+                // A whole-campaign hit IS an all-sections hit — this
+                // is also how legacy v1 stores (no section tables at
+                // all) are promoted into the sectioned accounting.
+                out.sectionsHit[i] = S;
+                sectionHitsCtr.add(S);
+            }
             progress.campaignsDone.fetch_add(1, std::memory_order_relaxed);
             progress.campaignsCached.fetch_add(1,
                                                std::memory_order_relaxed);
-            if (!opts_.shardDir.empty())
-                spillShard(specs_[i], out.results[i]);
+            if (!opts_.shardDir.empty()) {
+                // The cached spec's section table (when the store has
+                // one) rides along on the shard, keeping merged shards
+                // byte-identical to the single-host store.
+                const io::ResultStore::SectionTable *table = nullptr;
+                std::string rkey;
+                if (sectionedSpec) {
+                    rkey = reducedKeyFor(specs_[i], S);
+                    auto it = store.sectionTables().find(rkey);
+                    if (it != store.sectionTables().end())
+                        table = &it->second;
+                }
+                spillShard(specs_[i], out.results[i], rkey, table);
+            }
             // A journal outliving a stored result means the previous
             // run died between the store save and the journal cleanup;
             // the store won, so the journal is stale.
@@ -468,6 +566,24 @@ SuiteScheduler::run()
                 std::filesystem::remove(journalPathFor(specs_[i]), ec);
             }
         } else {
+            if (sectionedSpec) {
+                // Like the whole-campaign cache, stored tables are
+                // only consulted under --resume; a cold run overwrites.
+                if (opts_.reuseCached) {
+                    sectionCache[i] =
+                        store.lookupSections(reducedKeyFor(specs_[i], S));
+                }
+                std::uint32_t hits = 0;
+                for (const auto &[idx, data] : sectionCache[i].sections) {
+                    (void)data;
+                    if (idx < S)
+                        ++hits;
+                }
+                out.sectionsHit[i] = hits;
+                out.sectionsMissed[i] = S - hits;
+                sectionHitsCtr.add(hits);
+                sectionMissCtr.add(S - hits);
+            }
             pending.push_back(i);
         }
     }
@@ -483,6 +599,138 @@ SuiteScheduler::run()
     std::mutex errMu;
     std::exception_ptr firstError;
     std::atomic<std::uint64_t> ran{0};
+
+    // The sectioned campaign body: serve the stored slices, inject
+    // only the missing sections' representatives, compose the result
+    // from the complete per-section table, and persist both.  By
+    // construction (see core::composeSectioned) the result — and
+    // therefore the store bytes — is identical to the unsectioned
+    // path's for the same spec.
+    const auto runSectioned = [&](std::size_t i, const CampaignSpec &spec,
+                                  core::Campaign &camp,
+                                  core::PreparedCampaign prep) {
+        const Cycle goldenCycles = prep.result.goldenCycles;
+        const std::vector<unsigned> gsec = core::groupSections(prep, S);
+        const io::ResultStore::SectionLookup &hit = sectionCache[i];
+        if (hit.found && hit.goldenCycles != goldenCycles)
+            fatal("suite: stored section table for spec ", spec.key(),
+                  " records a golden run of ", hit.goldenCycles,
+                  " cycles, but this campaign produced ", goldenCycles,
+                  " — the store was built by a different engine; "
+                  "delete it or run without --sections");
+        std::vector<bool> missing(S, true);
+        if (hit.found) {
+            for (const auto &[idx, data] : hit.sections) {
+                (void)data;
+                if (idx < S)
+                    missing[idx] = false;
+            }
+        }
+
+        // Only missing sections' representatives run; freshGroups maps
+        // the reduced fault list back onto group indices.
+        std::vector<faultsim::Fault> runFaults;
+        std::vector<std::size_t> freshGroups;
+        for (std::size_t g = 0; g < prep.faults.size(); ++g) {
+            if (missing[gsec[g]]) {
+                runFaults.push_back(prep.faults[g]);
+                freshGroups.push_back(g);
+            }
+        }
+
+        std::vector<core::SectionData> acct(S);
+        std::mutex acctMu;
+        const auto sectionOfKey = [&](std::uint64_t key) {
+            return core::sectionOfCycle(faultsim::faultKeyCycle(key),
+                                        goldenCycles, S);
+        };
+        std::vector<faultsim::Outcome> outcomes;
+        double inject_seconds = 0.0;
+        io::OutcomeJournal journal(journalPathFor(spec), spec.key());
+        if (!runFaults.empty()) {
+            faultsim::OutcomeMemo memo(runFaults.size());
+            io::OutcomeJournal::Restored restored;
+            if (opts_.reuseCached) {
+                obs::Span replay_span("io", "journal.replay");
+                restored = journal.restore(
+                    [&](std::uint64_t key, faultsim::Outcome o,
+                        const faultsim::InjectDetail &detail) {
+                        memo.insert(key, o);
+                        // Hit sections already carry their runs inside
+                        // the stored table; only missing sections
+                        // account the replayed share.
+                        const unsigned s = sectionOfKey(key);
+                        if (missing[s])
+                            acct[s].addRun(key, detail);
+                    });
+            }
+            progress.injections.fetch_add(restored.runs,
+                                          std::memory_order_relaxed);
+            journal.open();
+            const faultsim::InjectionRunner::OutcomeCallback record =
+                [&](std::uint64_t key, faultsim::Outcome o,
+                    const faultsim::InjectDetail &detail) {
+                    journal.append(key, o, detail);
+                    const unsigned s = sectionOfKey(key);
+                    {
+                        // Callbacks fire concurrently from pool
+                        // workers as injections finish.
+                        std::lock_guard<std::mutex> lock(acctMu);
+                        if (missing[s])
+                            acct[s].addRun(key, detail);
+                    }
+                    progress.injections.fetch_add(
+                        1, std::memory_order_relaxed);
+                };
+            base::TaskGroup group(pool);
+            const obs::TimePoint t1 = obs::now();
+            {
+                obs::Span inject_span("campaign",
+                                      "inject-batch " + spec.workload);
+                outcomes = camp.runner().injectBatch(
+                    runFaults, camp.goldenRun(), group, &memo, &record);
+            }
+            inject_seconds = obs::secondsSince(t1);
+            journal.close();
+        }
+        // Extrapolate each freshly-run group into its section's slice.
+        // The engine counters are already inside acct: restored runs
+        // via the restore sink, simulated runs via the callback.
+        for (std::size_t p = 0; p < runFaults.size(); ++p) {
+            const std::size_t g = freshGroups[p];
+            acct[gsec[g]].estimate.add(
+                outcomes[p], prep.grouping.groups[g].members.size());
+        }
+        // The COMPLETE table: stored slices for hit sections, fresh
+        // accounting for the rest.
+        std::vector<core::SectionData> table(S);
+        for (unsigned s = 0; s < S; ++s) {
+            table[s] =
+                missing[s] ? std::move(acct[s]) : hit.sections.at(s);
+        }
+        core::CampaignResult res = core::composeSectioned(
+            std::move(prep), table, inject_seconds, runFaults.size());
+        if (!opts_.recordTiming) {
+            res.profileSeconds = 0.0;
+            res.injectionSeconds = 0.0;
+            res.secondsPerInjection = 0.0;
+        }
+        const std::string rkey = reducedKeyFor(spec, S);
+        {
+            std::lock_guard<std::mutex> lock(storeMu);
+            store.put(spec.key(), spec.toJson(), res);
+            store.putSections(rkey, reducedSpecFor(spec, S),
+                              goldenCycles, table);
+            store.save();
+            if (!opts_.shardDir.empty())
+                spillShard(spec, res, rkey,
+                           &store.sectionTables().at(rkey));
+        }
+        journal.remove();
+        out.results[i] = std::move(res);
+        ran.fetch_add(1, std::memory_order_relaxed);
+        progress.campaignsDone.fetch_add(1, std::memory_order_relaxed);
+    };
 
     const auto runCampaign = [&](std::size_t i) {
         const CampaignSpec &spec = specs_[i];
@@ -500,6 +748,11 @@ SuiteScheduler::run()
             camp.prepare(spec.mode == CampaignSpec::Mode::Truth,
                          spec.relyzer, spec.pathDepth,
                          spec.mode == CampaignSpec::Mode::GroupingOnly);
+
+        if (S > 0 && sectionEligible(spec) && core::sectionable(prep)) {
+            runSectioned(i, spec, camp, std::move(prep));
+            return;
+        }
 
         std::vector<faultsim::Outcome> outcomes;
         double inject_seconds = 0.0;

@@ -142,6 +142,23 @@ struct SuiteOptions
      */
     bool reuseCached = false;
     /**
+     * Section count for incremental campaigns (--sections; 0 = off).
+     * With N > 0 every eligible campaign's golden run is cut into N
+     * equal cycle intervals, each sampled fault is attributed to the
+     * section containing its injection cycle, and the per-section
+     * outcome slices are stored in the result store keyed at (spec
+     * minus the swept knobs, currently {mem_chunk_bytes}) x section.
+     * A later run whose spec differs only in a swept knob then serves
+     * the stored sections as PARTIAL cache hits: only missing
+     * sections' faults are re-injected, and the composed result is
+     * byte-identical to a cold full run.  Eligible campaigns are
+     * estimate-mode specs with reps_per_group == 1 (the paper's
+     * configuration); others always run whole.  Deliberately NOT a
+     * spec member — like jobs, it never changes a campaign's result,
+     * so it must not change the cache key.
+     */
+    unsigned sections = 0;
+    /**
      * Record wall-clock fields in the results.  Off zeroes them so
      * the serialized store is byte-identical across runs — the suite
      * determinism guarantee in testable form.
@@ -192,6 +209,15 @@ struct SuiteResult
      * --select).  results[i] is meaningful only when selected[i].
      */
     std::vector<bool> selected;
+    /**
+     * Per-spec section-store accounting (all zero when sectioning is
+     * off or the spec is not section-eligible): how many of the
+     * SuiteOptions::sections slices were served from the store and how
+     * many had to run.  A whole-campaign cache hit on an eligible spec
+     * counts as all sections hit.
+     */
+    std::vector<std::uint32_t> sectionsHit;
+    std::vector<std::uint32_t> sectionsMissed;
     std::uint64_t campaignsRun = 0;
     /**
      * Injections this run simulated or replayed from journals (cache

@@ -40,7 +40,8 @@
  *       instead (default: continue).
  *   merlin_cli suite manifest.json
  *       [--jobs N] [--out results.json] [--out-dir DIR] [--resume]
- *       [--no-timing] [--select i/n | --select-hash i/n]
+ *       [--no-timing] [--sections N]
+ *       [--select i/n | --select-hash i/n]
  *       [--quarantine=fail|continue] [--inject-wall-limit SECONDS]
  *       [--trace trace.json] [--metrics metrics.json]
  *       [--progress[=SECS]] [--progress-json FILE]
@@ -57,6 +58,16 @@
  *       shard file DIR/<key>.json for `store merge`.  --no-timing
  *       zeroes wall-clock fields so the results file is byte-identical
  *       across runs.
+ *       --sections N turns on incremental (partial-hit) caching: each
+ *       eligible campaign's golden run is cut into N equal cycle
+ *       intervals, per-section outcome slices are stored keyed at
+ *       (spec minus swept knobs, currently mem_chunk_bytes) x section
+ *       in the merlin-store-v2 shape, and a --resume whose spec
+ *       differs only in a swept knob re-injects ONLY the sections the
+ *       store is missing — with the composed result byte-identical to
+ *       a cold full run.  The report tags eligible campaigns with
+ *       [sections hit/N] and prints each composed AVF with its
+ *       Leveugle sampling margin.
  *       Telemetry (all strictly out-of-band — results and store bytes
  *       are byte-identical with or without it): --trace records every
  *       scheduler/campaign/injection/store span as Chrome trace_event
@@ -565,7 +576,7 @@ cmdSuite(const std::string &manifest_path, const Args &args)
     }
     requireKnownFlags(args,
                       {"jobs", "out", "out-dir", "resume", "no-timing",
-                       "select", "select-hash", "quarantine",
+                       "sections", "select", "select-hash", "quarantine",
                        "inject-wall-limit", "trace", "metrics",
                        "progress", "progress-json"},
                       "suite");
@@ -576,6 +587,10 @@ cmdSuite(const std::string &manifest_path, const Args &args)
     opts.shardDir = args.get("out-dir");
     opts.reuseCached = args.has("resume");
     opts.recordTiming = !args.has("no-timing");
+    opts.sections = args.getU32("sections", 0);
+    if (args.has("sections") &&
+        (opts.sections == 0 || opts.sections > 4096))
+        fatal("--sections must be in [1, 4096]");
     opts.injectWallLimit = args.getD("inject-wall-limit", 0.0);
     opts.quarantineFail = parseQuarantineFail(args);
     // --progress / --progress=SECS: periodic stderr line (a bare flag
@@ -608,12 +623,29 @@ cmdSuite(const std::string &manifest_path, const Args &args)
                 "injected", "AVF%", "ee%", "skip%", "div%", "");
     std::uint64_t cached = 0;
     std::uint64_t selected = 0;
+    std::uint64_t sectionsHit = 0;
+    std::uint64_t sectionsMissed = 0;
     for (std::size_t i = 0; i < specs.size(); ++i) {
         if (!suite.selected[i])
             continue; // another worker's share
         const auto &r = suite.results[i];
         ++selected;
         cached += suite.cached[i] ? 1 : 0;
+        sectionsHit += suite.sectionsHit[i];
+        sectionsMissed += suite.sectionsMissed[i];
+        // Trailing tags, strictly after every numeric column:
+        // [cached] for whole-campaign hits, [sections h/N] for the
+        // section-eligible campaigns of a --sections run.
+        std::string tag = suite.cached[i] ? "[cached]" : "";
+        if (suite.sectionsHit[i] + suite.sectionsMissed[i] > 0) {
+            if (!tag.empty())
+                tag += ' ';
+            tag += "[sections " + std::to_string(suite.sectionsHit[i]) +
+                   "/" +
+                   std::to_string(suite.sectionsHit[i] +
+                                  suite.sectionsMissed[i]) +
+                   "]";
+        }
         std::printf(
             "%-14s %-4s %-13s %10llu %10llu %10llu %7.3f%% %5.1f%% "
             "%5.1f%% %5.1f%% %s\n",
@@ -629,7 +661,7 @@ cmdSuite(const std::string &manifest_path, const Args &args)
             static_cast<unsigned long long>(r.injections),
             100 * r.merlinEstimate.avf(), 100 * r.earlyExitRate(),
             100 * r.replaySkipRate(), 100 * r.replayDivergenceRate(),
-            suite.cached[i] ? "[cached]" : "");
+            tag.c_str());
     }
     std::printf("\n%llu campaigns (%llu run, %llu cached) in %.2fs "
                 "with --jobs %u\n",
@@ -637,6 +669,39 @@ cmdSuite(const std::string &manifest_path, const Args &args)
                 static_cast<unsigned long long>(suite.campaignsRun),
                 static_cast<unsigned long long>(cached),
                 suite.wallSeconds, opts.jobs);
+    if (opts.sections > 0) {
+        std::printf("sections (--sections %u): %llu hit, %llu missed\n",
+                    opts.sections,
+                    static_cast<unsigned long long>(sectionsHit),
+                    static_cast<unsigned long long>(sectionsMissed));
+        // Composed per-campaign AVF with its Leveugle sampling margin:
+        // the CI is a function of the INITIAL sample size, so partial
+        // composition leaves it — like the AVF itself — identical to
+        // a cold full run's.
+        for (std::size_t i = 0; i < specs.size(); ++i) {
+            if (!suite.selected[i] ||
+                suite.sectionsHit[i] + suite.sectionsMissed[i] == 0)
+                continue;
+            const auto &r = suite.results[i];
+            const double confidence = specs[i].sampling.confidence;
+            const std::optional<double> margin =
+                sched::samplingMargin(r.initialFaults, confidence);
+            if (margin) {
+                std::printf("  %-14s %-4s composed AVF %7.3f%% +- "
+                            "%.3fpp at %.3g%% confidence\n",
+                            specs[i].workload.c_str(),
+                            uarch::structureName(specs[i].structure),
+                            100 * r.merlinEstimate.avf(), 100 * *margin,
+                            100 * confidence);
+            } else {
+                std::printf("  %-14s %-4s composed AVF %7.3f%% (no "
+                            "sampling margin: zero initial faults)\n",
+                            specs[i].workload.c_str(),
+                            uarch::structureName(specs[i].structure),
+                            100 * r.merlinEstimate.avf());
+            }
+        }
+    }
     if (suite.injectionsSimulated && suite.wallSeconds > 0.0) {
         std::printf("throughput: %llu injections at %.0f/s\n",
                     static_cast<unsigned long long>(
@@ -809,7 +874,7 @@ main(int argc, char **argv)
                              "usage: merlin_cli suite manifest.json "
                              "[--jobs N] [--out results.json] "
                              "[--out-dir DIR] [--resume] "
-                             "[--no-timing] "
+                             "[--no-timing] [--sections N] "
                              "[--select i/n | --select-hash i/n] "
                              "[--quarantine=fail|continue] "
                              "[--inject-wall-limit SECONDS] "

@@ -307,7 +307,64 @@ TEST(SuiteDiff, JoinsAcrossTheMaskedAxisAndReportsOneSiders)
     // quadrature: e = z(c) * sqrt(0.25 / initialFaults).
     const double e = stats::zForConfidence(opts.confidence) *
                      std::sqrt(0.25 / 100.0);
-    EXPECT_DOUBLE_EQ(d.dAvfCi, std::sqrt(2.0 * e * e));
+    ASSERT_TRUE(d.dAvfCi.has_value());
+    EXPECT_DOUBLE_EQ(*d.dAvfCi, std::sqrt(2.0 * e * e));
+}
+
+// -------------------------------------------------- sampling margins
+
+TEST(SamplingMargin, MatchesTheLeveugleFormula)
+{
+    const auto m = samplingMargin(100, 0.9);
+    ASSERT_TRUE(m.has_value());
+    EXPECT_DOUBLE_EQ(*m, stats::zForConfidence(0.9) *
+                             std::sqrt(0.25 / 100.0));
+    // More faults, tighter margin.
+    EXPECT_LT(*samplingMargin(400, 0.9), *m);
+}
+
+TEST(SamplingMargin, ZeroFaultSideHasNoMarginNotZero)
+{
+    // A side with no sample has no margin at all — reporting 0 would
+    // claim false certainty (the original sideMargin() bug).
+    EXPECT_FALSE(samplingMargin(0, 0.998).has_value());
+    EXPECT_FALSE(quadratureMargin(std::nullopt, 0.1).has_value());
+    EXPECT_FALSE(quadratureMargin(0.1, std::nullopt).has_value());
+    const auto q = quadratureMargin(0.3, 0.4);
+    ASSERT_TRUE(q.has_value());
+    EXPECT_DOUBLE_EQ(*q, 0.5);
+}
+
+/**
+ * Regression: a joined pair with a zero-fault side (e.g. a
+ * grouping-only campaign stored with initialFaults == 0 on one side)
+ * must yield an ABSENT per-pair CI and an absent aggregate CI — never
+ * inf/NaN, and never a false-certainty 0 — while the finite deltas
+ * keep flowing.
+ */
+TEST(SamplingMargin, ZeroFaultPairPropagatesAbsenceIntoTheDiff)
+{
+    ResultStore a, b;
+    putSpec(a, makeSpec("qsort", 64), makeResult(80, 15, 5, 100, 20, 4));
+    CampaignResult empty = makeResult(0, 0, 0, 100, 0, 0);
+    empty.initialFaults = 0; // the zero-fault side
+    putSpec(b, makeSpec("qsort", 16), empty);
+
+    DiffOptions opts;
+    opts.axis = {"l1d_kb"};
+    const SuiteDiffResult diff = SuiteDiff(a, b, opts).run();
+    ASSERT_EQ(diff.deltas.size(), 1u);
+    EXPECT_FALSE(diff.deltas[0].dAvfCi.has_value());
+    EXPECT_FALSE(diff.meanDAvfCi.has_value());
+    // Absent margins serialize as null and render as "-", without
+    // poisoning anything else in the report.
+    const Json doc = diff.toJson();
+    EXPECT_TRUE(doc.at("deltas")[0].at("d_avf_ci").isNull());
+    EXPECT_TRUE(doc.at("aggregate").at("mean_d_avf_ci").isNull());
+    const std::string table = diff.table();
+    EXPECT_NE(table.find("-"), std::string::npos);
+    EXPECT_EQ(table.find("nan"), std::string::npos);
+    EXPECT_EQ(table.find("inf"), std::string::npos);
 }
 
 TEST(SuiteDiff, EmptyAxisMeansExactJoin)
@@ -445,11 +502,15 @@ TEST(DiffInvariants, DiffIsAntisymmetric)
             EXPECT_DOUBLE_EQ(f.dClassFracs[c], -r.dClassFracs[c]);
         }
         // ...and the uncertainty does not.
-        EXPECT_DOUBLE_EQ(f.dAvfCi, r.dAvfCi);
+        ASSERT_TRUE(f.dAvfCi.has_value());
+        ASSERT_TRUE(r.dAvfCi.has_value());
+        EXPECT_DOUBLE_EQ(*f.dAvfCi, *r.dAvfCi);
     }
     EXPECT_DOUBLE_EQ(ab.meanDAvf, -ba.meanDAvf);
     EXPECT_DOUBLE_EQ(ab.meanAbsDAvf, ba.meanAbsDAvf);
-    EXPECT_DOUBLE_EQ(ab.meanDAvfCi, ba.meanDAvfCi);
+    ASSERT_TRUE(ab.meanDAvfCi.has_value());
+    ASSERT_TRUE(ba.meanDAvfCi.has_value());
+    EXPECT_DOUBLE_EQ(*ab.meanDAvfCi, *ba.meanDAvfCi);
     EXPECT_EQ(ab.dRuns, -ba.dRuns);
     EXPECT_DOUBLE_EQ(ab.dEeRate, -ba.dEeRate);
     for (unsigned c = 0; c < faultsim::NUM_OUTCOMES; ++c)

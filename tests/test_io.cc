@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <limits>
@@ -358,6 +359,16 @@ class StoreFixture : public ::testing::Test
         return p;
     }
 
+    static std::string
+    storeText(const std::string &p)
+    {
+        std::ifstream in(p);
+        EXPECT_TRUE(in.good()) << p;
+        std::stringstream ss;
+        ss << in.rdbuf();
+        return ss.str();
+    }
+
     std::vector<std::string> created_;
 };
 
@@ -584,6 +595,241 @@ TEST(ResultJson, UnrecognizedQuarantineRecordsAreSkippedNotFatal)
     ASSERT_EQ(back.quarantine.size(), 1u);
     EXPECT_TRUE(back.quarantine[0] == r.quarantine[0]);
     expectSameResult(r, back);
+}
+
+// ------------------------------------------- section tables (v2)
+
+/** A distinguishable SectionData for section index @p idx. */
+core::SectionData
+sampleSection(unsigned idx, bool with_quarantine = false)
+{
+    core::SectionData s;
+    s.estimate.add(Outcome::Masked, 100 + idx);
+    s.estimate.add(Outcome::SDC, 10 * idx);
+    s.injectionRuns = 5 + idx;
+    s.earlyExits = idx;
+    s.replayMasked = 2 * idx;
+    s.replayHandoffs = 7 + idx;
+    s.replayCyclesSkipped = 1000 + idx;
+    s.replayHeadCycles = 2000 + idx;
+    if (with_quarantine)
+        s.quarantine.push_back({0xbeef + idx, "wall clock"});
+    return s;
+}
+
+void
+expectSameSection(const core::SectionData &a, const core::SectionData &b)
+{
+    EXPECT_EQ(a.estimate.counts, b.estimate.counts);
+    EXPECT_EQ(a.injectionRuns, b.injectionRuns);
+    EXPECT_EQ(a.earlyExits, b.earlyExits);
+    EXPECT_EQ(a.replayMasked, b.replayMasked);
+    EXPECT_EQ(a.replayHandoffs, b.replayHandoffs);
+    EXPECT_EQ(a.replayCyclesSkipped, b.replayCyclesSkipped);
+    EXPECT_EQ(a.replayHeadCycles, b.replayHeadCycles);
+    ASSERT_EQ(a.quarantine.size(), b.quarantine.size());
+    for (std::size_t i = 0; i < a.quarantine.size(); ++i)
+        EXPECT_TRUE(a.quarantine[i] == b.quarantine[i]);
+}
+
+TEST_F(StoreFixture, SectionTablesRoundTripThroughDisk)
+{
+    const std::string p = track(path("sections"));
+    std::vector<core::SectionData> table;
+    for (unsigned i = 0; i < 4; ++i)
+        table.push_back(sampleSection(i, i == 2));
+    Json spec = Json::object();
+    spec.set("workload", "fft");
+    spec.set("sections", 4);
+    {
+        ResultStore store(p);
+        store.put("k1", Json::object(), sampleResult(false));
+        store.putSections("rk1", spec, 12345, table);
+        store.save();
+    }
+    ResultStore loaded(p);
+    ASSERT_TRUE(loaded.load());
+    EXPECT_EQ(loaded.size(), 1u);
+    const auto hit = loaded.lookupSections("rk1");
+    ASSERT_TRUE(hit.found);
+    EXPECT_EQ(hit.goldenCycles, 12345u);
+    ASSERT_EQ(hit.sections.size(), 4u);
+    for (unsigned i = 0; i < 4; ++i) {
+        ASSERT_TRUE(hit.sections.count(i));
+        expectSameSection(table[i], hit.sections.at(i));
+    }
+    EXPECT_FALSE(loaded.lookupSections("rk2").found);
+
+    // eraseSections removes the table without touching campaigns.
+    EXPECT_TRUE(loaded.eraseSections("rk1"));
+    EXPECT_FALSE(loaded.eraseSections("rk1"));
+    EXPECT_TRUE(loaded.contains("k1"));
+}
+
+TEST_F(StoreFixture, SectionSerializationIsIndependentOfInsertionOrder)
+{
+    const std::vector<core::SectionData> t1 = {sampleSection(0),
+                                               sampleSection(1)};
+    const std::vector<core::SectionData> t2 = {sampleSection(2)};
+    ResultStore a, b;
+    a.putSections("zz", Json::object(), 100, t1);
+    a.putSections("aa", Json::object(), 200, t2);
+    b.putSections("aa", Json::object(), 200, t2);
+    b.putSections("zz", Json::object(), 100, t1);
+    EXPECT_EQ(a.toJson().dump(2), b.toJson().dump(2));
+}
+
+TEST_F(StoreFixture, SectionlessStoresCarryNoSectionsMember)
+{
+    // The v2 member is emitted only when tables exist, so a suite run
+    // without --sections writes the same campaign-only shape as v1
+    // (modulo the format tag).
+    ResultStore store;
+    store.put("k", Json::object(), sampleResult(false));
+    EXPECT_FALSE(store.toJson().find("sections"));
+    EXPECT_EQ(store.toJson().strOr("format", ""), "merlin-store-v2");
+}
+
+TEST_F(StoreFixture, LegacyV1TagLoadsAndResavesAsV2)
+{
+    const std::string p = track(path("v1_upgrade"));
+    {
+        ResultStore store(p);
+        store.put("k1", Json::object(), sampleResult(true));
+        store.save();
+    }
+    // Rewrite the file as a v1-era store: old tag, no sections.
+    std::string text = storeText(p);
+    const std::size_t at = text.find("merlin-store-v2");
+    ASSERT_NE(at, std::string::npos);
+    text.replace(at, std::strlen("merlin-store-v2"), "merlin-results-v1");
+    std::ofstream(p, std::ios::trunc) << text;
+
+    ResultStore loaded(p);
+    ASSERT_TRUE(loaded.load());
+    EXPECT_EQ(loaded.size(), 1u);
+    CampaignResult out;
+    ASSERT_TRUE(loaded.lookup("k1", out));
+    expectSameResult(sampleResult(true), out);
+    // Saving writes the current format; a reload round-trips.
+    loaded.save();
+    EXPECT_NE(storeText(p).find("merlin-store-v2"), std::string::npos);
+    ASSERT_TRUE(loaded.load());
+}
+
+TEST_F(StoreFixture, MergeFoldsSectionTables)
+{
+    const std::vector<core::SectionData> t1 = {sampleSection(0),
+                                               sampleSection(1)};
+    const std::vector<core::SectionData> t2 = {sampleSection(2),
+                                               sampleSection(3)};
+    ResultStore a;
+    a.putSections("shared", Json::object(), 100, t1);
+    ResultStore b;
+    b.putSections("shared", Json::object(), 100, t1); // identical
+    b.putSections("only_b", Json::object(), 200, t2);
+
+    ResultStore merged;
+    auto stats = merged.merge(a);
+    EXPECT_EQ(stats.sectionEntriesAdded, t1.size());
+    stats = merged.merge(b);
+    EXPECT_EQ(stats.sectionEntriesAdded, t2.size()); // "shared" dedups
+    EXPECT_EQ(merged.sectionTables().size(), 2u);
+    // Merge order cannot leak into the bytes.
+    ResultStore reversed;
+    reversed.merge(b);
+    reversed.merge(a);
+    EXPECT_EQ(merged.toJson().dump(2), reversed.toJson().dump(2));
+
+    // A same-key table with a DIFFERENT payload is a conflict: fatal
+    // by default, resolved by force_theirs.
+    ResultStore conflicting;
+    conflicting.putSections("shared", Json::object(), 100,
+                            {sampleSection(7), sampleSection(8)});
+    EXPECT_THROW(merged.merge(conflicting), FatalError);
+    merged.merge(conflicting, /*force_theirs=*/true);
+    const auto hit = merged.lookupSections("shared");
+    ASSERT_TRUE(hit.found);
+    expectSameSection(sampleSection(7), hit.sections.at(0));
+}
+
+TEST_F(StoreFixture, MergeFillsMissingSectionEntriesOfATable)
+{
+    // Two workers ran disjoint halves of one table (same reduced key,
+    // same golden run): the merge must interleave their entries.
+    ResultStore evens, odds;
+    ResultStore::SectionTable half;
+    half.spec = Json::object();
+    half.goldenCycles = 100;
+    half.entries[0] = sectionDataToJson(sampleSection(0));
+    half.entries[2] = sectionDataToJson(sampleSection(2));
+    evens.putSectionTable("rk", half);
+    half.entries.clear();
+    half.entries[1] = sectionDataToJson(sampleSection(1));
+    half.entries[3] = sectionDataToJson(sampleSection(3));
+    odds.putSectionTable("rk", half);
+
+    ResultStore merged;
+    merged.merge(evens);
+    const auto stats = merged.merge(odds);
+    EXPECT_EQ(stats.sectionEntriesAdded, 2u);
+    const auto hit = merged.lookupSections("rk");
+    ASSERT_TRUE(hit.found);
+    ASSERT_EQ(hit.sections.size(), 4u);
+    for (unsigned i = 0; i < 4; ++i)
+        expectSameSection(sampleSection(i), hit.sections.at(i));
+}
+
+TEST_F(StoreFixture, UnrecognizedQuarantineWarnsOncePerStoreLoad)
+{
+    // Three foreign records spread over a campaign entry and two
+    // section entries must produce ONE aggregated warning naming the
+    // count — not three identical lines.
+    const std::string p = track(path("quarantine_dedupe"));
+    {
+        ResultStore store(p);
+        CampaignResult r = sampleResult(false);
+        r.quarantine.push_back({1, "known"});
+        store.put("k1", Json::object(), r);
+        std::vector<core::SectionData> table = {sampleSection(0, true),
+                                                sampleSection(1, true)};
+        store.putSections("rk", Json::object(), 100, table);
+        store.save();
+    }
+    std::string text = storeText(p);
+    std::size_t spliced = 0;
+    const std::string marker = "\"quarantine\": [";
+    for (std::size_t at = text.find(marker); at != std::string::npos;
+         at = text.find(marker, at + 1)) {
+        text.insert(at + marker.size(), "{\"future_field\": 9},");
+        ++spliced;
+    }
+    ASSERT_EQ(spliced, 3u);
+    std::ofstream(p, std::ios::trunc) << text;
+
+    ResultStore loaded(p);
+    testing::internal::CaptureStderr();
+    ASSERT_TRUE(loaded.load());
+    const std::string err = testing::internal::GetCapturedStderr();
+    EXPECT_NE(err.find("skipped 3 unrecognized quarantine records"),
+              std::string::npos)
+        << err;
+    // One line, not one per record.
+    std::size_t warnings = 0;
+    const std::string warned = "unrecognized quarantine";
+    for (std::size_t at = err.find(warned); at != std::string::npos;
+         at = err.find(warned, at + 1))
+        ++warnings;
+    EXPECT_EQ(warnings, 1u) << err;
+    // Every readable record survived the skip.
+    CampaignResult out;
+    ASSERT_TRUE(loaded.lookup("k1", out));
+    ASSERT_EQ(out.quarantine.size(), 1u);
+    EXPECT_EQ(out.quarantine[0].reason, "known");
+    const auto hit = loaded.lookupSections("rk");
+    ASSERT_TRUE(hit.found);
+    ASSERT_EQ(hit.sections.at(0).quarantine.size(), 1u);
+    ASSERT_EQ(hit.sections.at(1).quarantine.size(), 1u);
 }
 
 // ------------------------------------------------- OutcomeJournal

@@ -15,6 +15,7 @@
 
 #include "base/logging.hh"
 #include "io/result_store.hh"
+#include "obs/metrics.hh"
 #include "sched/suite.hh"
 #include "workloads/workloads.hh"
 
@@ -643,6 +644,195 @@ TEST_F(SuiteFixture, PartialStoreResumesOnlyTheMissingCampaigns)
         EXPECT_EQ(resumed.results[i].merlinEstimate.counts,
                   full.results[i].merlinEstimate.counts);
     }
+}
+
+// --------------------------------------------- sectioned campaigns
+
+/**
+ * The section-eligible pair (Estimate mode, one representative per
+ * group): fft on the register file and on the store queue.
+ */
+std::vector<CampaignSpec>
+sectionSpecs()
+{
+    const auto all = testSpecs();
+    return {all[1], all[2]};
+}
+
+/**
+ * Turning sectioning on must not move a byte of any campaign entry:
+ * the composed result of a cold sectioned run equals the unsectioned
+ * run's, and ineligible specs (Truth, GroupingOnly) fall back to the
+ * plain path untouched.
+ */
+TEST_F(SuiteFixture, ColdSectionedRunComposesTheUnsectionedResults)
+{
+    const auto specs = testSpecs();
+    SuiteOptions opts;
+    opts.jobs = 2;
+    opts.recordTiming = false;
+    opts.storePath = storePath("sec_off");
+    SuiteScheduler(specs, opts).run();
+
+    opts.sections = 4;
+    opts.storePath = storePath("sec_on");
+    const SuiteResult sectioned = SuiteScheduler(specs, opts).run();
+
+    io::ResultStore off(created_[0]), on(created_[1]);
+    ASSERT_TRUE(off.load());
+    ASSERT_TRUE(on.load());
+    // Campaign entries byte-identical; only the sectioned store grows
+    // the v2 tables (one per eligible spec).
+    EXPECT_EQ(off.toJson().at("campaigns").dump(2),
+              on.toJson().at("campaigns").dump(2));
+    EXPECT_EQ(off.sectionTables().size(), 0u);
+    EXPECT_EQ(on.sectionTables().size(), 2u);
+
+    // A cold run consults no cache: eligible specs miss every
+    // section, ineligible specs stay out of the accounting.
+    ASSERT_EQ(sectioned.sectionsMissed.size(), specs.size());
+    EXPECT_EQ(sectioned.sectionsMissed[0], 0u); // Truth: ineligible
+    EXPECT_EQ(sectioned.sectionsMissed[1], 4u);
+    EXPECT_EQ(sectioned.sectionsMissed[2], 4u);
+    EXPECT_EQ(sectioned.sectionsMissed[3], 0u); // GroupingOnly
+    EXPECT_EQ(sectioned.sectionsHit[1], 0u);
+}
+
+/**
+ * A whole-campaign cache hit under --sections counts as an
+ * all-sections hit — which is exactly how a legacy v1 store (no
+ * section tables at all) is promoted into the sectioned accounting.
+ */
+TEST_F(SuiteFixture, FullEntryHitPromotesToAllSectionsHit)
+{
+    const auto specs = testSpecs();
+    SuiteOptions opts;
+    opts.jobs = 2;
+    opts.recordTiming = false;
+    opts.reuseCached = true;
+    opts.storePath = storePath("promote");
+    SuiteScheduler(specs, opts).run(); // unsectioned: no tables
+
+    opts.sections = 4;
+    const SuiteResult warm = SuiteScheduler(specs, opts).run();
+    EXPECT_EQ(warm.campaignsRun, 0u);
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        EXPECT_TRUE(warm.cached[i]);
+        EXPECT_EQ(warm.sectionsMissed[i], 0u);
+    }
+    EXPECT_EQ(warm.sectionsHit[0], 0u); // Truth: ineligible
+    EXPECT_EQ(warm.sectionsHit[1], 4u);
+    EXPECT_EQ(warm.sectionsHit[2], 4u);
+    EXPECT_EQ(warm.sectionsHit[3], 0u); // GroupingOnly
+}
+
+/**
+ * The tentpole acceptance grid: doctor a cold sectioned store down to
+ * a partial table (campaign entries gone, even-indexed sections
+ * gone), resume, and require (a) only the missing sections'
+ * representatives re-ran, (b) the composed result and the final store
+ * BYTES equal the cold run's — for jobs {1,4} x sections {1,4,16}.
+ */
+TEST_F(SuiteFixture, PartialSectionHitsComposeByteIdenticalStores)
+{
+    const auto specs = sectionSpecs();
+    obs::Counter &injectRuns =
+        obs::Registry::global().counter("inject.runs");
+    for (const unsigned jobs : {1u, 4u}) {
+        for (const unsigned S : {1u, 4u, 16u}) {
+            const std::string name = "grid_j" + std::to_string(jobs) +
+                                     "_s" + std::to_string(S);
+            SuiteOptions opts;
+            opts.jobs = jobs;
+            opts.recordTiming = false;
+            opts.sections = S;
+            opts.storePath = storePath(name.c_str());
+
+            const std::uint64_t runs0 = injectRuns.total();
+            const SuiteResult cold = SuiteScheduler(specs, opts).run();
+            const std::uint64_t coldRuns = injectRuns.total() - runs0;
+            const std::string coldBytes = storeBytes(opts.storePath);
+            ASSERT_FALSE(coldBytes.empty());
+
+            // Doctor the store into a partial-hit shape.
+            io::ResultStore store(opts.storePath);
+            ASSERT_TRUE(store.load());
+            for (const CampaignSpec &sp : specs)
+                ASSERT_TRUE(store.erase(sp.key()));
+            std::vector<std::pair<std::string,
+                                  io::ResultStore::SectionTable>>
+                doctored;
+            for (const auto &[key, table] : store.sectionTables()) {
+                auto t = table;
+                for (unsigned s = 0; s < S; s += 2)
+                    t.entries.erase(s);
+                doctored.emplace_back(key, std::move(t));
+            }
+            ASSERT_EQ(doctored.size(), specs.size());
+            for (auto &[key, t] : doctored)
+                store.putSectionTable(key, std::move(t));
+            store.save();
+
+            opts.reuseCached = true;
+            const std::uint64_t runs1 = injectRuns.total();
+            const SuiteResult warm = SuiteScheduler(specs, opts).run();
+            const std::uint64_t warmRuns = injectRuns.total() - runs1;
+
+            EXPECT_EQ(warm.campaignsRun, specs.size());
+            const std::uint32_t hits = S / 2; // odd indices survived
+            for (std::size_t i = 0; i < specs.size(); ++i) {
+                EXPECT_EQ(warm.sectionsHit[i], hits) << name;
+                EXPECT_EQ(warm.sectionsMissed[i], S - hits) << name;
+                EXPECT_EQ(warm.results[i].merlinEstimate.counts,
+                          cold.results[i].merlinEstimate.counts)
+                    << name << " campaign " << i;
+                EXPECT_EQ(warm.results[i].injectionRuns,
+                          cold.results[i].injectionRuns);
+            }
+            // Strictly fewer injections when any section was served
+            // (S == 1 degenerates to a full re-run)...
+            if (S > 1) {
+                EXPECT_LT(warmRuns, coldRuns) << name;
+            } else {
+                EXPECT_EQ(warmRuns, coldRuns) << name;
+            }
+            // ...yet the final store is the cold store, byte for byte.
+            EXPECT_EQ(storeBytes(opts.storePath), coldBytes) << name;
+        }
+    }
+}
+
+/**
+ * A stored table cut from a different golden run must be refused, not
+ * silently composed into nonsense.
+ */
+TEST_F(SuiteFixture, MismatchedGoldenRunFailsTheSectionedResume)
+{
+    const auto specs = sectionSpecs();
+    SuiteOptions opts;
+    opts.jobs = 2;
+    opts.recordTiming = false;
+    opts.sections = 4;
+    opts.storePath = storePath("golden_mismatch");
+    SuiteScheduler(specs, opts).run();
+
+    io::ResultStore store(opts.storePath);
+    ASSERT_TRUE(store.load());
+    for (const CampaignSpec &sp : specs)
+        ASSERT_TRUE(store.erase(sp.key()));
+    std::vector<std::pair<std::string, io::ResultStore::SectionTable>>
+        doctored;
+    for (const auto &[key, table] : store.sectionTables()) {
+        auto t = table;
+        t.goldenCycles += 1;
+        doctored.emplace_back(key, std::move(t));
+    }
+    for (auto &[key, t] : doctored)
+        store.putSectionTable(key, std::move(t));
+    store.save();
+
+    opts.reuseCached = true;
+    EXPECT_THROW(SuiteScheduler(specs, opts).run(), FatalError);
 }
 
 TEST_F(SuiteFixture, UnknownWorkloadFailsTheSuite)

@@ -115,6 +115,10 @@ if [ -n "$check_progress" ]; then
     limit=$stall_timeout
     [ "$limit" -gt 0 ] || limit=60
     age=$(( $(date +%s) - epoch ))
+    # A remote worker's clock may run ahead of the monitor's: a
+    # negative age is skew, not time travel — clamp it to "just
+    # rewritten" instead of tripping the [ -gt ] comparison oddly.
+    [ "$age" -ge 0 ] || age=0
     if [ "$age" -gt "$limit" ]; then
         echo "dispatch.sh: $check_progress: STALE — last rewrite ${age}s ago (limit ${limit}s)" >&2
         exit 3
