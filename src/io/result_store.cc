@@ -282,6 +282,15 @@ ResultStore::load()
     if (path_.empty())
         return false;
     obs::Span span("io", "store.load");
+    // A directory at the store path opens "successfully" but reads
+    // nothing, which would fall through to the empty-file diagnosis
+    // and blame a truncated save for what is a path mix-up (a shard
+    // --out-dir passed as --out, say).  Name the real problem.
+    if (std::filesystem::is_directory(path_))
+        fatal("result store '", path_,
+              "' is a directory, not a store file — pass the store "
+              "FILE here (a shard directory merges with `merlin_cli "
+              "store merge`)");
     std::ifstream in(path_);
     if (!in)
         return false;

@@ -1,0 +1,294 @@
+#include "io/wire.hh"
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "base/logging.hh"
+#include "obs/trace.hh"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define MERLIN_HAVE_UNIX_SOCKETS 1
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+#else
+#define MERLIN_HAVE_UNIX_SOCKETS 0
+#endif
+
+namespace merlin::io
+{
+
+namespace
+{
+
+#if MERLIN_HAVE_UNIX_SOCKETS
+
+/** Full read; @return bytes read (short only at EOF), loops on EINTR. */
+std::size_t
+readFull(int fd, void *buf, std::size_t n)
+{
+    std::size_t got = 0;
+    while (got < n) {
+        const ssize_t r = ::read(fd, static_cast<char *>(buf) + got,
+                                 n - got);
+        if (r < 0) {
+            if (errno == EINTR)
+                continue;
+            fatal("wire: read failed: ", std::strerror(errno));
+        }
+        if (r == 0)
+            break;
+        got += static_cast<std::size_t>(r);
+    }
+    return got;
+}
+
+void
+writeFull(int fd, const void *buf, std::size_t n)
+{
+    std::size_t put = 0;
+    while (put < n) {
+        const ssize_t w = ::write(fd, static_cast<const char *>(buf) + put,
+                                  n - put);
+        if (w < 0) {
+            if (errno == EINTR)
+                continue;
+            fatal("wire: write failed: ", std::strerror(errno));
+        }
+        put += static_cast<std::size_t>(w);
+    }
+}
+
+sockaddr_un
+unixAddr(const std::string &path)
+{
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (path.size() >= sizeof(addr.sun_path))
+        fatal("wire: socket path '", path, "' exceeds the ",
+              sizeof(addr.sun_path) - 1, "-byte AF_UNIX limit");
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    return addr;
+}
+
+#endif // MERLIN_HAVE_UNIX_SOCKETS
+
+[[noreturn]] [[maybe_unused]] void
+noSockets()
+{
+    fatal("wire: Unix domain sockets are not available on this "
+          "platform; merlin_serve requires a POSIX host");
+}
+
+} // namespace
+
+// ------------------------------------------------------------ framing
+
+bool
+wireReadFrame(int fd, std::string &payload)
+{
+#if MERLIN_HAVE_UNIX_SOCKETS
+    unsigned char len_be[4];
+    const std::size_t got = readFull(fd, len_be, sizeof(len_be));
+    if (got == 0)
+        return false; // clean EOF at a frame boundary
+    if (got < sizeof(len_be))
+        fatal("wire: connection closed mid-length (", got, " of 4 "
+              "prefix bytes)");
+    const std::uint32_t len = (std::uint32_t{len_be[0]} << 24) |
+                              (std::uint32_t{len_be[1]} << 16) |
+                              (std::uint32_t{len_be[2]} << 8) |
+                              std::uint32_t{len_be[3]};
+    if (len > kWireMaxFrame)
+        fatal("wire: frame of ", len, " bytes exceeds the ",
+              kWireMaxFrame, "-byte cap");
+    payload.resize(len);
+    if (len > 0 && readFull(fd, payload.data(), len) < len)
+        fatal("wire: connection closed mid-frame (expected ", len,
+              " payload bytes)");
+    return true;
+#else
+    (void)fd;
+    (void)payload;
+    noSockets();
+#endif
+}
+
+void
+wireWriteFrame(int fd, const std::string &payload)
+{
+#if MERLIN_HAVE_UNIX_SOCKETS
+    if (payload.size() > kWireMaxFrame)
+        fatal("wire: refusing to send a ", payload.size(),
+              "-byte frame (cap ", kWireMaxFrame, ")");
+    const auto len = static_cast<std::uint32_t>(payload.size());
+    const unsigned char len_be[4] = {
+        static_cast<unsigned char>(len >> 24),
+        static_cast<unsigned char>(len >> 16),
+        static_cast<unsigned char>(len >> 8),
+        static_cast<unsigned char>(len),
+    };
+    writeFull(fd, len_be, sizeof(len_be));
+    if (len > 0)
+        writeFull(fd, payload.data(), len);
+#else
+    (void)fd;
+    (void)payload;
+    noSockets();
+#endif
+}
+
+// ----------------------------------------------------- WireConnection
+
+WireConnection::~WireConnection()
+{
+#if MERLIN_HAVE_UNIX_SOCKETS
+    if (fd_ >= 0)
+        ::close(fd_);
+#endif
+}
+
+WireConnection::WireConnection(WireConnection &&o) noexcept
+    : fd_(std::exchange(o.fd_, -1))
+{
+}
+
+WireConnection &
+WireConnection::operator=(WireConnection &&o) noexcept
+{
+#if MERLIN_HAVE_UNIX_SOCKETS
+    if (this != &o) {
+        if (fd_ >= 0)
+            ::close(fd_);
+        fd_ = std::exchange(o.fd_, -1);
+    }
+#else
+    fd_ = std::exchange(o.fd_, -1);
+#endif
+    return *this;
+}
+
+bool
+WireConnection::read(Json &msg)
+{
+    std::string payload;
+    if (!wireReadFrame(fd_, payload))
+        return false;
+    msg = Json::parse(payload);
+    if (!msg.isObject())
+        fatal("wire: message must be a JSON object");
+    return true;
+}
+
+std::size_t
+WireConnection::write(const Json &msg)
+{
+    obs::Span span("wire", "wire.write");
+    const std::string payload = msg.dump();
+    wireWriteFrame(fd_, payload);
+    return payload.size();
+}
+
+void
+WireConnection::shutdownBoth()
+{
+#if MERLIN_HAVE_UNIX_SOCKETS
+    if (fd_ >= 0)
+        ::shutdown(fd_, SHUT_RDWR);
+#endif
+}
+
+// ------------------------------------------------------------ sockets
+
+int
+wireListen(const std::string &path)
+{
+#if MERLIN_HAVE_UNIX_SOCKETS
+    const sockaddr_un addr = unixAddr(path);
+    int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0)
+        fatal("wire: socket(): ", std::strerror(errno));
+    if (::bind(fd, reinterpret_cast<const sockaddr *>(&addr),
+               sizeof(addr)) < 0) {
+        if (errno != EADDRINUSE) {
+            ::close(fd);
+            fatal("wire: cannot bind '", path, "': ",
+                  std::strerror(errno));
+        }
+        // The path exists.  A connect() probe tells a live daemon
+        // (fatal — two daemons must not share a store) from the stale
+        // socket file of a dead one (unlink and rebind).
+        const int probe = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        if (probe >= 0 &&
+            ::connect(probe, reinterpret_cast<const sockaddr *>(&addr),
+                      sizeof(addr)) == 0) {
+            ::close(probe);
+            ::close(fd);
+            fatal("wire: a daemon is already listening on '", path, "'");
+        }
+        if (probe >= 0)
+            ::close(probe);
+        ::unlink(path.c_str());
+        if (::bind(fd, reinterpret_cast<const sockaddr *>(&addr),
+                   sizeof(addr)) < 0) {
+            ::close(fd);
+            fatal("wire: cannot bind '", path, "': ",
+                  std::strerror(errno));
+        }
+    }
+    if (::listen(fd, 64) < 0) {
+        ::close(fd);
+        fatal("wire: listen('", path, "'): ", std::strerror(errno));
+    }
+    return fd;
+#else
+    (void)path;
+    noSockets();
+#endif
+}
+
+int
+wireAccept(int listen_fd)
+{
+#if MERLIN_HAVE_UNIX_SOCKETS
+    for (;;) {
+        const int fd = ::accept(listen_fd, nullptr, nullptr);
+        if (fd >= 0)
+            return fd;
+        if (errno == EINTR)
+            continue;
+        // EBADF/EINVAL: the listener was closed or shut down — the
+        // daemon's orderly way out of the accept loop.
+        return -1;
+    }
+#else
+    (void)listen_fd;
+    noSockets();
+#endif
+}
+
+int
+wireConnect(const std::string &path)
+{
+#if MERLIN_HAVE_UNIX_SOCKETS
+    const sockaddr_un addr = unixAddr(path);
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0)
+        fatal("wire: socket(): ", std::strerror(errno));
+    if (::connect(fd, reinterpret_cast<const sockaddr *>(&addr),
+                  sizeof(addr)) < 0) {
+        const int err = errno;
+        ::close(fd);
+        fatal("wire: cannot connect to '", path, "': ",
+              std::strerror(err),
+              " (is merlin_serve running on this socket?)");
+    }
+    return fd;
+#else
+    (void)path;
+    noSockets();
+#endif
+}
+
+} // namespace merlin::io

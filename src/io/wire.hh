@@ -1,0 +1,109 @@
+/**
+ * @file
+ * merlin-wire-v1: length-prefixed JSON framing for the campaign
+ * service, over Unix domain sockets.
+ *
+ * Every frame is a 4-byte big-endian payload length followed by
+ * exactly that many bytes of UTF-8 JSON — one message object per
+ * frame, parsed by the strict io::Json parser (duplicate keys, bad
+ * number grammar and over-deep nesting are all connection errors, not
+ * silent acceptance).  The frame cap kWireMaxFrame bounds what a
+ * malformed or hostile peer can make the daemon buffer.
+ *
+ * Message shapes (documented normatively in docs/wire-protocol.md):
+ * requests `hello | submit | status | result | cancel | shutdown`,
+ * replies `ok | submitted | status | result | error`.  The framing
+ * layer below is shape-agnostic: it moves one Json per call and
+ * reports clean EOF separately from mid-frame truncation.
+ *
+ * POSIX only (Unix sockets); the CMake build only targets POSIX
+ * toolchains today, and every entry point fatal()s with a clear
+ * message if the socket layer is unavailable.
+ */
+
+#ifndef MERLIN_IO_WIRE_HH
+#define MERLIN_IO_WIRE_HH
+
+#include <cstdint>
+#include <string>
+
+#include "io/json.hh"
+
+namespace merlin::io
+{
+
+/** Protocol tag clients and daemon exchange in hello/ok. */
+inline constexpr const char *kWireFormat = "merlin-wire-v1";
+
+/** Largest accepted frame payload; a 4-byte length field could name
+ *  4 GiB, which no legitimate message approaches. */
+inline constexpr std::uint32_t kWireMaxFrame = 64u << 20;
+
+/**
+ * Blocking framed-JSON transport over one stream fd (socket or
+ * socketpair end).  Owns the fd; reads and writes may run on
+ * different threads, but each direction must have a single caller at
+ * a time.
+ */
+class WireConnection
+{
+  public:
+    /** Takes ownership of @p fd (-1 = empty connection). */
+    explicit WireConnection(int fd = -1) : fd_(fd) {}
+    ~WireConnection();
+
+    WireConnection(WireConnection &&o) noexcept;
+    WireConnection &operator=(WireConnection &&o) noexcept;
+    WireConnection(const WireConnection &) = delete;
+    WireConnection &operator=(const WireConnection &) = delete;
+
+    int fd() const { return fd_; }
+    bool valid() const { return fd_ >= 0; }
+
+    /**
+     * Read one message.  @return false on clean EOF (peer closed at a
+     * frame boundary); fatal() on a truncated frame, an oversize
+     * length, malformed JSON, or a non-object payload.
+     */
+    bool read(Json &msg);
+
+    /**
+     * Write one message; fatal() on any I/O error (including EPIPE —
+     * callers that tolerate vanishing peers catch FatalError).
+     * @return the framed payload size in bytes (for accounting).
+     */
+    std::size_t write(const Json &msg);
+
+    /**
+     * Disallow further sends and wake a blocked reader (SHUT_RDWR) —
+     * how the daemon unsticks per-client session threads at shutdown.
+     * The fd stays owned and open until destruction.
+     */
+    void shutdownBoth();
+
+  private:
+    int fd_ = -1;
+};
+
+// Raw framing primitives under WireConnection, exposed for tests and
+// for callers managing their own fds.  Both loop over EINTR and
+// partial transfers.
+/** @return false on clean EOF before any byte of the length prefix. */
+bool wireReadFrame(int fd, std::string &payload);
+void wireWriteFrame(int fd, const std::string &payload);
+
+// Unix-domain socket plumbing (all fatal() on error).
+/**
+ * Bind and listen on @p path.  A stale socket file (bound by a dead
+ * daemon: connect() is refused) is silently replaced; a LIVE daemon
+ * on the path is fatal().
+ */
+int wireListen(const std::string &path);
+/** Accept one client; -1 when the listening fd was closed/shut down. */
+int wireAccept(int listen_fd);
+/** Connect to a daemon at @p path. */
+int wireConnect(const std::string &path);
+
+} // namespace merlin::io
+
+#endif // MERLIN_IO_WIRE_HH

@@ -1,0 +1,885 @@
+/**
+ * @file
+ * CampaignService implementation.  The campaign bodies (plain and
+ * sectioned) are the former SuiteScheduler internals, moved here
+ * verbatim so the batch wrapper keeps its byte-identity guarantees;
+ * what is new is the lifetime around them: per-client queues, the
+ * single-flight index, and drivers that spawn on demand instead of
+ * once per suite.
+ */
+
+#include "sched/service.hh"
+
+#include <algorithm>
+#include <filesystem>
+#include <set>
+#include <utility>
+
+#include "base/logging.hh"
+#include "faultsim/fault.hh"
+#include "io/journal.hh"
+#include "obs/clock.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
+
+namespace merlin::sched
+{
+
+using io::Json;
+
+bool
+sectionEligible(const CampaignSpec &spec)
+{
+    return spec.mode == CampaignSpec::Mode::Estimate &&
+           spec.grouping.repsPerGroup == 1;
+}
+
+Json
+reducedSpecFor(const CampaignSpec &spec, unsigned sections)
+{
+    Json j = spec.toJson();
+    j.erase("mem_chunk_bytes");
+    j.set("sections", static_cast<std::uint64_t>(sections));
+    return j;
+}
+
+std::string
+reducedKeyFor(const CampaignSpec &spec, unsigned sections)
+{
+    return io::contentKey(reducedSpecFor(spec, sections));
+}
+
+namespace
+{
+
+void
+bumpRelaxed(obs::ProgressSink *sink,
+            std::atomic<std::uint64_t> obs::ProgressSink::*field,
+            std::uint64_t n = 1)
+{
+    if (sink)
+        (sink->*field).fetch_add(n, std::memory_order_relaxed);
+}
+
+obs::Gauge &
+clientGauge(const std::string &client, const char *what)
+{
+    return obs::Registry::global().gauge("service.client." + client +
+                                         "." + what);
+}
+
+obs::Counter &
+clientCounter(const std::string &client, const char *what)
+{
+    return obs::Registry::global().counter("service.client." + client +
+                                           "." + what);
+}
+
+} // namespace
+
+// --------------------------------------------------------------- Ticket
+
+CampaignService::Ticket::Ticket(CampaignSpec spec, std::string key,
+                                SubmitOptions opts)
+    : spec_(std::move(spec)), key_(std::move(key)), opts_(std::move(opts))
+{
+}
+
+CampaignService::State
+CampaignService::Ticket::state() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return state_;
+}
+
+CampaignService::State
+CampaignService::Ticket::wait()
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] {
+        return state_ == State::Done || state_ == State::Failed ||
+               state_ == State::Cancelled;
+    });
+    return state_;
+}
+
+const CampaignService::Outcome &
+CampaignService::Ticket::outcome() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    if (state_ != State::Done)
+        fatal("campaign service: outcome() on a ticket in state ",
+              stateName(state_));
+    return outcome_;
+}
+
+std::exception_ptr
+CampaignService::Ticket::error() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return error_;
+}
+
+void
+CampaignService::Ticket::complete(State s, Outcome out,
+                                  std::exception_ptr err)
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        state_ = s;
+        outcome_ = std::move(out);
+        error_ = err;
+    }
+    cv_.notify_all();
+}
+
+const char *
+CampaignService::stateName(State s)
+{
+    switch (s) {
+      case State::Queued:    return "queued";
+      case State::Running:   return "running";
+      case State::Done:      return "done";
+      case State::Failed:    return "failed";
+      case State::Cancelled: return "cancelled";
+    }
+    panic("bad service state");
+}
+
+// ------------------------------------------------------ CampaignService
+
+/** One queued/running simulation and everyone waiting on it. */
+struct CampaignService::Job
+{
+    CampaignSpec spec;
+    std::string key;
+    std::string client; ///< fairness queue that owns the job
+    /** Consult journals / section tables (primary's reuseCached). */
+    bool resume = false;
+    bool sectioned = false; ///< section-eligible under cfg_.sections
+    /** Pinned at submit time — the store must not be re-read once
+     *  drivers mutate it. */
+    io::ResultStore::SectionLookup sectionHit;
+    bool running = false;
+    /** Filled by runJob(); fanned out per ticket by settleLocked(). */
+    Outcome outcome;
+    /** Subscribers; [0] is the submitter whose options drive the run.
+     *  Mutated only under the service mutex. */
+    std::vector<TicketPtr> tickets;
+};
+
+struct CampaignService::WorkloadSlot
+{
+    std::once_flag once;
+    std::shared_ptr<const workloads::BuiltWorkload> wl;
+};
+
+CampaignService::CampaignService(Config cfg)
+    : cfg_(std::move(cfg)),
+      pool_(cfg_.jobs ? cfg_.jobs : base::ThreadPool::hardwareThreads()),
+      store_(cfg_.storePath), paused_(cfg_.startPaused)
+{
+    if (cfg_.loadStore)
+        store_.load();
+    if (!cfg_.journalDir.empty()) {
+        std::error_code ec;
+        std::filesystem::create_directories(cfg_.journalDir, ec);
+        if (ec)
+            fatal("campaign service: cannot create journal directory '",
+                  cfg_.journalDir, "': ", ec.message());
+    }
+}
+
+CampaignService::~CampaignService()
+{
+    drain();
+}
+
+std::shared_ptr<const workloads::BuiltWorkload>
+CampaignService::workloadFor(const std::string &name)
+{
+    WorkloadSlot *slot;
+    {
+        // Slot creation is the only map mutation; call_once runs
+        // outside the lock so DIFFERENT workloads build concurrently.
+        std::lock_guard<std::mutex> lock(wlMu_);
+        auto &up = wlCache_[name];
+        if (!up)
+            up = std::make_unique<WorkloadSlot>();
+        slot = up.get();
+    }
+    std::call_once(slot->once, [&] {
+        slot->wl = std::make_shared<const workloads::BuiltWorkload>(
+            workloads::buildWorkload(name));
+    });
+    return slot->wl;
+}
+
+std::string
+CampaignService::journalPathFor(const CampaignSpec &spec) const
+{
+    return cfg_.journalDir.empty()
+               ? std::string()
+               : (std::filesystem::path(cfg_.journalDir) /
+                  (spec.key() + ".journal"))
+                     .string();
+}
+
+// One single-entry store per campaign, named by the spec key, so
+// `store merge` folds shards in any order into exactly the
+// single-store bytes.  A sectioned campaign's shard also carries its
+// section table (@p section_key + @p table, both empty/null when
+// unsectioned), so merged shards reassemble the section tables too.
+// Caller holds storeMu_ — two writers racing on one shard path (a
+// manifest may repeat a spec) must serialize.
+void
+CampaignService::spillShardLocked(const std::string &shard_dir,
+                                  const CampaignSpec &spec,
+                                  const core::CampaignResult &res,
+                                  const std::string &section_key,
+                                  const io::ResultStore::SectionTable *table)
+{
+    io::ResultStore shard(
+        (std::filesystem::path(shard_dir) / (spec.key() + ".json"))
+            .string());
+    shard.put(spec.key(), spec.toJson(), res);
+    if (table)
+        shard.putSectionTable(section_key, *table);
+    shard.save();
+}
+
+CampaignService::TicketPtr
+CampaignService::submit(const CampaignSpec &spec, const SubmitOptions &opts)
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (draining_)
+            return nullptr;
+    }
+    const std::string key = spec.key();
+    TicketPtr ticket(new Ticket(spec, key, opts));
+    const unsigned S = cfg_.sections;
+    const bool sectionedSpec = S > 0 && sectionEligible(spec);
+    obs::Counter &sectionHitsCtr =
+        obs::Registry::global().counter("store.section_hits");
+    obs::Counter &sectionMissCtr =
+        obs::Registry::global().counter("store.section_misses");
+    clientCounter(opts.client, "submitted").add();
+
+    // Resolve the store on the submitter's thread, before the job ever
+    // reaches a driver — the same "lookups never race with writers"
+    // discipline the batch scheduler had, per submission.
+    bool cacheHit = false;
+    core::CampaignResult cachedRes;
+    io::ResultStore::SectionLookup sectionHit;
+    if (opts.reuseCached) {
+        std::lock_guard<std::mutex> lock(storeMu_);
+        if (store_.lookup(key, cachedRes)) {
+            cacheHit = true;
+            if (!opts.shardDir.empty()) {
+                // The cached spec's section table (when the store has
+                // one) rides along on the shard, keeping merged shards
+                // byte-identical to the single-host store.
+                const io::ResultStore::SectionTable *table = nullptr;
+                std::string rkey;
+                if (sectionedSpec) {
+                    rkey = reducedKeyFor(spec, S);
+                    auto it = store_.sectionTables().find(rkey);
+                    if (it != store_.sectionTables().end())
+                        table = &it->second;
+                }
+                spillShardLocked(opts.shardDir, spec, cachedRes, rkey,
+                                 table);
+            }
+        } else if (sectionedSpec) {
+            sectionHit = store_.lookupSections(reducedKeyFor(spec, S));
+        }
+    }
+
+    if (cacheHit) {
+        Outcome out;
+        out.result = std::move(cachedRes);
+        out.cached = true;
+        if (sectionedSpec) {
+            // A whole-campaign hit IS an all-sections hit — this is
+            // also how legacy v1 stores (no section tables at all) are
+            // promoted into the sectioned accounting.
+            out.sectionsHit = S;
+            sectionHitsCtr.add(S);
+        }
+        // A journal outliving a stored result means a previous run
+        // died between the store save and the journal cleanup; the
+        // store won, so the journal is stale.
+        if (!cfg_.journalDir.empty()) {
+            std::error_code ec;
+            std::filesystem::remove(journalPathFor(spec), ec);
+        }
+        bumpRelaxed(opts.progress, &obs::ProgressSink::campaignsDone);
+        bumpRelaxed(opts.progress, &obs::ProgressSink::campaignsCached);
+        clientCounter(opts.client, "cache_hits").add();
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            ++stats_.submitted;
+            ++stats_.cacheHits;
+        }
+        ticket->complete(State::Done, std::move(out), nullptr);
+        return ticket;
+    }
+
+    std::lock_guard<std::mutex> lock(mu_);
+    if (draining_)
+        return nullptr;
+    ++stats_.submitted;
+
+    // Single-flight: an identical spec already queued or running means
+    // this submission subscribes instead of simulating — outcomes are
+    // a pure function of the spec, so the bytes are safely shareable.
+    auto it = inflight_.find(key);
+    if (it != inflight_.end()) {
+        Job &job = *it->second;
+        if (job.running)
+            ticket->state_ = State::Running; // ticket not yet shared
+        job.tickets.push_back(ticket);
+        ++stats_.coalesced;
+        clientCounter(opts.client, "coalesced").add();
+        return ticket;
+    }
+
+    auto job = std::make_shared<Job>();
+    job->spec = spec;
+    job->key = key;
+    job->client = opts.client;
+    job->resume = opts.reuseCached;
+    job->sectioned = sectionedSpec;
+    job->sectionHit = std::move(sectionHit);
+    if (sectionedSpec) {
+        std::uint32_t hits = 0;
+        for (const auto &[idx, data] : job->sectionHit.sections) {
+            (void)data;
+            if (idx < S)
+                ++hits;
+        }
+        job->outcome.sectionsHit = hits;
+        job->outcome.sectionsMissed = S - hits;
+        sectionHitsCtr.add(hits);
+        sectionMissCtr.add(S - hits);
+    }
+    job->tickets.push_back(ticket);
+
+    auto [qit, fresh] = queues_.try_emplace(opts.client);
+    if (fresh)
+        clientOrder_.push_back(opts.client);
+    qit->second.push_back(job);
+    clientGauge(opts.client, "queued")
+        .set(static_cast<double>(qit->second.size()));
+    inflight_.emplace(key, job);
+    ++queuedJobs_;
+    ++stats_.queued;
+    maybeSpawnDriverLocked();
+    return ticket;
+}
+
+CampaignService::TicketPtr
+CampaignService::subscribe(const std::string &key)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = inflight_.find(key);
+    if (it == inflight_.end())
+        return nullptr;
+    Job &job = *it->second;
+    TicketPtr ticket(new Ticket(job.spec, key, SubmitOptions{}));
+    if (job.running)
+        ticket->state_ = State::Running;
+    job.tickets.push_back(ticket);
+    ++stats_.coalesced;
+    return ticket;
+}
+
+bool
+CampaignService::cancel(const TicketPtr &ticket)
+{
+    if (!ticket)
+        return false;
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = inflight_.find(ticket->key());
+    if (it == inflight_.end() || it->second->running)
+        return false;
+    Job &job = *it->second;
+    auto tit = std::find(job.tickets.begin(), job.tickets.end(), ticket);
+    if (tit == job.tickets.end())
+        return false; // a ticket from some earlier job for this key
+    job.tickets.erase(tit);
+    ticket->complete(State::Cancelled, Outcome{}, nullptr);
+    ++stats_.cancelled;
+    if (!job.tickets.empty())
+        return true; // other subscribers keep the job alive
+    auto &q = queues_[job.client];
+    auto qit = std::find(q.begin(), q.end(), it->second);
+    if (qit != q.end())
+        q.erase(qit);
+    clientGauge(job.client, "queued").set(static_cast<double>(q.size()));
+    inflight_.erase(it);
+    --queuedJobs_;
+    --stats_.queued;
+    idleCv_.notify_all();
+    return true;
+}
+
+void
+CampaignService::resume()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    paused_ = false;
+    maybeSpawnDriverLocked();
+}
+
+void
+CampaignService::drain()
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    if (paused_) {
+        // Draining a paused service would deadlock on its own queue.
+        paused_ = false;
+        maybeSpawnDriverLocked();
+    }
+    // Wait for the drivers too, not just the jobs: a driver that just
+    // settled its last job is still executing driverLoop(), and the
+    // destructor must not tear the queues down under it.
+    idleCv_.wait(lock, [&] {
+        return queuedJobs_ == 0 && runningJobs_ == 0 &&
+               activeDrivers_ == 0;
+    });
+}
+
+void
+CampaignService::beginShutdown(bool cancel_queued)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    draining_ = true;
+    if (!cancel_queued)
+        return;
+    for (auto &[client, q] : queues_) {
+        while (!q.empty()) {
+            std::shared_ptr<Job> job = q.front();
+            q.pop_front();
+            --queuedJobs_;
+            --stats_.queued;
+            settleLocked(job, State::Cancelled, nullptr);
+        }
+        clientGauge(client, "queued").set(0.0);
+    }
+    idleCv_.notify_all();
+}
+
+bool
+CampaignService::draining() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return draining_;
+}
+
+void
+CampaignService::withStore(const std::function<void(io::ResultStore &)> &fn)
+{
+    std::lock_guard<std::mutex> lock(storeMu_);
+    fn(store_);
+}
+
+bool
+CampaignService::keyState(const std::string &key, State &out)
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        auto it = inflight_.find(key);
+        if (it != inflight_.end()) {
+            out = it->second->running ? State::Running : State::Queued;
+            return true;
+        }
+    }
+    std::lock_guard<std::mutex> lock(storeMu_);
+    if (store_.contains(key)) {
+        out = State::Done;
+        return true;
+    }
+    return false;
+}
+
+CampaignService::Stats
+CampaignService::stats() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+}
+
+void
+CampaignService::maybeSpawnDriverLocked()
+{
+    // Driver demand is one per in-flight job, capped at the pool: the
+    // classic "min(pool.size(), pending.size())" of the batch
+    // scheduler, maintained incrementally.  Drivers that find the
+    // queues empty exit, freeing their worker for queued injections.
+    while (!paused_ && activeDrivers_ < pool_.size() &&
+           activeDrivers_ < runningJobs_ + queuedJobs_) {
+        ++activeDrivers_;
+        pool_.submit([this] { driverLoop(); });
+    }
+}
+
+std::shared_ptr<CampaignService::Job>
+CampaignService::popNextLocked()
+{
+    // Round-robin across the per-client queues: the rotation pointer
+    // advances past each served client, so one tenant's thousand-spec
+    // sweep cannot starve another's single submission.
+    for (std::size_t k = 0; k < clientOrder_.size(); ++k) {
+        const std::size_t idx = (rrNext_ + k) % clientOrder_.size();
+        auto &q = queues_[clientOrder_[idx]];
+        if (q.empty())
+            continue;
+        std::shared_ptr<Job> job = q.front();
+        q.pop_front();
+        clientGauge(clientOrder_[idx], "queued")
+            .set(static_cast<double>(q.size()));
+        rrNext_ = (idx + 1) % clientOrder_.size();
+        return job;
+    }
+    return nullptr;
+}
+
+void
+CampaignService::driverLoop()
+{
+    for (;;) {
+        std::shared_ptr<Job> job;
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            job = popNextLocked();
+            if (!job) {
+                --activeDrivers_;
+                idleCv_.notify_all();
+                return;
+            }
+            --queuedJobs_;
+            --stats_.queued;
+            ++runningJobs_;
+            ++stats_.running;
+            job->running = true;
+            clientGauge(job->client, "running")
+                .set(static_cast<double>(++runningByClient_[job->client]));
+            for (const TicketPtr &t : job->tickets)
+                t->complete(State::Running, Outcome{}, nullptr);
+        }
+        std::exception_ptr err;
+        try {
+            runJob(*job);
+        } catch (...) {
+            err = std::current_exception();
+        }
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            --runningJobs_;
+            --stats_.running;
+            clientGauge(job->client, "running")
+                .set(static_cast<double>(--runningByClient_[job->client]));
+            settleLocked(job, err ? State::Failed : State::Done, err);
+            idleCv_.notify_all();
+        }
+    }
+}
+
+void
+CampaignService::settleLocked(const std::shared_ptr<Job> &job, State state,
+                              std::exception_ptr err)
+{
+    auto it = inflight_.find(job->key);
+    if (it != inflight_.end() && it->second == job)
+        inflight_.erase(it);
+    if (state == State::Done)
+        ++stats_.executed;
+    else if (state == State::Failed)
+        ++stats_.failed;
+    else if (state == State::Cancelled)
+        stats_.cancelled += job->tickets.size();
+    bool first = true;
+    for (const TicketPtr &t : job->tickets) {
+        Outcome out = job->outcome;
+        out.coalesced = !first;
+        first = false;
+        if (state == State::Done) {
+            bumpRelaxed(t->opts_.progress,
+                        &obs::ProgressSink::campaignsDone);
+        }
+        t->complete(state, std::move(out), err);
+    }
+}
+
+std::vector<std::string>
+CampaignService::shardDirsOf(const Job &job)
+{
+    // Snapshot under the service mutex (subscribers may still be
+    // attaching); distinct dirs only — one shard file per campaign
+    // per directory, however many tickets share it.
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<std::string> dirs;
+    for (const TicketPtr &t : job.tickets) {
+        const std::string &d = t->opts_.shardDir;
+        if (!d.empty() &&
+            std::find(dirs.begin(), dirs.end(), d) == dirs.end())
+            dirs.push_back(d);
+    }
+    return dirs;
+}
+
+obs::ProgressSink *
+CampaignService::primaryProgress(const Job &job)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return job.tickets.empty() ? nullptr : job.tickets[0]->opts_.progress;
+}
+
+// The sectioned campaign body: serve the stored slices, inject only
+// the missing sections' representatives, compose the result from the
+// complete per-section table, and persist both.  By construction (see
+// core::composeSectioned) the result — and therefore the store bytes —
+// is identical to the unsectioned path's for the same spec.
+void
+CampaignService::runSectioned(Job &job, core::Campaign &camp,
+                              core::PreparedCampaign prep)
+{
+    const CampaignSpec &spec = job.spec;
+    const unsigned S = cfg_.sections;
+    obs::ProgressSink *progress = primaryProgress(job);
+    const Cycle goldenCycles = prep.result.goldenCycles;
+    const std::vector<unsigned> gsec = core::groupSections(prep, S);
+    const io::ResultStore::SectionLookup &hit = job.sectionHit;
+    if (hit.found && hit.goldenCycles != goldenCycles)
+        fatal("suite: stored section table for spec ", spec.key(),
+              " records a golden run of ", hit.goldenCycles,
+              " cycles, but this campaign produced ", goldenCycles,
+              " — the store was built by a different engine; "
+              "delete it or run without --sections");
+    std::vector<bool> missing(S, true);
+    if (hit.found) {
+        for (const auto &[idx, data] : hit.sections) {
+            (void)data;
+            if (idx < S)
+                missing[idx] = false;
+        }
+    }
+
+    // Only missing sections' representatives run; freshGroups maps
+    // the reduced fault list back onto group indices.
+    std::vector<faultsim::Fault> runFaults;
+    std::vector<std::size_t> freshGroups;
+    for (std::size_t g = 0; g < prep.faults.size(); ++g) {
+        if (missing[gsec[g]]) {
+            runFaults.push_back(prep.faults[g]);
+            freshGroups.push_back(g);
+        }
+    }
+
+    std::vector<core::SectionData> acct(S);
+    std::mutex acctMu;
+    const auto sectionOfKey = [&](std::uint64_t key) {
+        return core::sectionOfCycle(faultsim::faultKeyCycle(key),
+                                    goldenCycles, S);
+    };
+    std::vector<faultsim::Outcome> outcomes;
+    double inject_seconds = 0.0;
+    io::OutcomeJournal journal(journalPathFor(spec), spec.key());
+    if (!runFaults.empty()) {
+        faultsim::OutcomeMemo memo(runFaults.size());
+        io::OutcomeJournal::Restored restored;
+        if (job.resume) {
+            obs::Span replay_span("io", "journal.replay");
+            restored = journal.restore(
+                [&](std::uint64_t key, faultsim::Outcome o,
+                    const faultsim::InjectDetail &detail) {
+                    memo.insert(key, o);
+                    // Hit sections already carry their runs inside
+                    // the stored table; only missing sections
+                    // account the replayed share.
+                    const unsigned s = sectionOfKey(key);
+                    if (missing[s])
+                        acct[s].addRun(key, detail);
+                });
+        }
+        bumpRelaxed(progress, &obs::ProgressSink::injections,
+                    restored.runs);
+        journal.open();
+        const faultsim::InjectionRunner::OutcomeCallback record =
+            [&](std::uint64_t key, faultsim::Outcome o,
+                const faultsim::InjectDetail &detail) {
+                journal.append(key, o, detail);
+                const unsigned s = sectionOfKey(key);
+                {
+                    // Callbacks fire concurrently from pool
+                    // workers as injections finish.
+                    std::lock_guard<std::mutex> lock(acctMu);
+                    if (missing[s])
+                        acct[s].addRun(key, detail);
+                }
+                bumpRelaxed(progress, &obs::ProgressSink::injections);
+            };
+        base::TaskGroup group(pool_);
+        const obs::TimePoint t1 = obs::now();
+        {
+            obs::Span inject_span("campaign",
+                                  "inject-batch " + spec.workload);
+            outcomes = camp.runner().injectBatch(
+                runFaults, camp.goldenRun(), group, &memo, &record);
+        }
+        inject_seconds = obs::secondsSince(t1);
+        journal.close();
+    }
+    // Extrapolate each freshly-run group into its section's slice.
+    // The engine counters are already inside acct: restored runs
+    // via the restore sink, simulated runs via the callback.
+    for (std::size_t p = 0; p < runFaults.size(); ++p) {
+        const std::size_t g = freshGroups[p];
+        acct[gsec[g]].estimate.add(
+            outcomes[p], prep.grouping.groups[g].members.size());
+    }
+    // The COMPLETE table: stored slices for hit sections, fresh
+    // accounting for the rest.
+    std::vector<core::SectionData> table(S);
+    for (unsigned s = 0; s < S; ++s)
+        table[s] = missing[s] ? std::move(acct[s]) : hit.sections.at(s);
+    core::CampaignResult res = core::composeSectioned(
+        std::move(prep), table, inject_seconds, runFaults.size());
+    if (!cfg_.recordTiming) {
+        res.profileSeconds = 0.0;
+        res.injectionSeconds = 0.0;
+        res.secondsPerInjection = 0.0;
+    }
+    const std::string rkey = reducedKeyFor(spec, S);
+    const std::vector<std::string> shardDirs = shardDirsOf(job);
+    {
+        std::lock_guard<std::mutex> lock(storeMu_);
+        store_.put(spec.key(), spec.toJson(), res);
+        store_.putSections(rkey, reducedSpecFor(spec, S), goldenCycles,
+                           table);
+        store_.save();
+        for (const std::string &dir : shardDirs)
+            spillShardLocked(dir, spec, res, rkey,
+                             &store_.sectionTables().at(rkey));
+    }
+    journal.remove();
+    job.outcome.result = std::move(res);
+}
+
+void
+CampaignService::runJob(Job &job)
+{
+    const CampaignSpec &spec = job.spec;
+    obs::Span span("sched",
+                   "campaign " + spec.workload + " " + spec.key());
+    obs::ProgressSink *progress = primaryProgress(job);
+    const auto wl = workloadFor(spec.workload);
+    core::CampaignConfig cc = spec.campaignConfig(*wl);
+    // Fault-tolerance knobs ride on the service config, not the spec:
+    // they decide how failures are handled, never what a healthy
+    // campaign computes.
+    cc.injectWallLimit = cfg_.injectWallLimit;
+    cc.quarantineFail = cfg_.quarantineFail;
+    core::Campaign camp(wl->program, cc);
+    core::PreparedCampaign prep =
+        camp.prepare(spec.mode == CampaignSpec::Mode::Truth, spec.relyzer,
+                     spec.pathDepth,
+                     spec.mode == CampaignSpec::Mode::GroupingOnly);
+
+    if (cfg_.sections > 0 && sectionEligible(spec) &&
+        core::sectionable(prep)) {
+        runSectioned(job, camp, std::move(prep));
+        return;
+    }
+
+    std::vector<faultsim::Outcome> outcomes;
+    double inject_seconds = 0.0;
+    io::OutcomeJournal journal(journalPathFor(spec), spec.key());
+    io::OutcomeJournal::Restored restored;
+    if (!prep.faults.empty()) {
+        // Crash safety under the per-campaign store save: replay the
+        // journal of a killed predecessor into the batch memo (so
+        // finished injections are not re-simulated), then journal
+        // every fresh outcome as it lands.  Without resume the
+        // journal is started over along with the campaign.
+        faultsim::OutcomeMemo memo(prep.faults.size());
+        if (job.resume) {
+            obs::Span replay_span("io", "journal.replay");
+            restored = journal.restore(
+                [&](std::uint64_t key, faultsim::Outcome o) {
+                    memo.insert(key, o);
+                });
+        }
+        bumpRelaxed(progress, &obs::ProgressSink::injections,
+                    restored.runs);
+        journal.open();
+        const faultsim::InjectionRunner::OutcomeCallback record =
+            [&](std::uint64_t key, faultsim::Outcome o,
+                const faultsim::InjectDetail &detail) {
+                journal.append(key, o, detail);
+                bumpRelaxed(progress, &obs::ProgressSink::injections);
+            };
+        // Fan this campaign's injections into the SHARED pool: the
+        // queue interleaves them with every other in-flight
+        // campaign, so any worker whose own campaign chain has run
+        // dry picks them up.  (The batch dedups internally; no
+        // cross-batch memo exists to share any more.)
+        base::TaskGroup group(pool_);
+        const obs::TimePoint t1 = obs::now();
+        {
+            obs::Span inject_span("campaign",
+                                  "inject-batch " + spec.workload);
+            outcomes = camp.runner().injectBatch(
+                prep.faults, camp.goldenRun(), group, &memo, &record);
+        }
+        inject_seconds = obs::secondsSince(t1);
+        journal.close();
+    }
+    core::CampaignResult res =
+        camp.finish(std::move(prep), outcomes, inject_seconds);
+    // Fold the replayed share back in: the runner's counters only
+    // saw what THIS process simulated, but the result must equal
+    // an uninterrupted run's — same totals, same sorted quarantine
+    // list — for the store bytes to stay identical.
+    res.injectionRuns += restored.runs;
+    res.earlyExits += restored.earlyExits;
+    res.replayMasked += restored.replayMasked;
+    res.replayHandoffs += restored.replayHandoffs;
+    res.replayCyclesSkipped += restored.replayCyclesSkipped;
+    res.replayHeadCycles += restored.replayHeadCycles;
+    if (!restored.quarantine.empty()) {
+        res.quarantine.insert(res.quarantine.end(),
+                              restored.quarantine.begin(),
+                              restored.quarantine.end());
+        std::sort(res.quarantine.begin(), res.quarantine.end(),
+                  [](const faultsim::QuarantineRecord &a,
+                     const faultsim::QuarantineRecord &b) {
+                      return a.faultKey != b.faultKey
+                                 ? a.faultKey < b.faultKey
+                                 : a.reason < b.reason;
+                  });
+    }
+    if (!cfg_.recordTiming) {
+        res.profileSeconds = 0.0;
+        res.injectionSeconds = 0.0;
+        res.secondsPerInjection = 0.0;
+    }
+    const std::vector<std::string> shardDirs = shardDirsOf(job);
+    {
+        // Persist after EVERY campaign: an interrupted service
+        // resumes from the completed prefix.
+        std::lock_guard<std::mutex> lock(storeMu_);
+        store_.put(spec.key(), spec.toJson(), res);
+        store_.save();
+        for (const std::string &dir : shardDirs)
+            spillShardLocked(dir, spec, res);
+    }
+    // The store save is durable; the journal has nothing left to
+    // protect (and must not shadow the next run of this spec).
+    journal.remove();
+    job.outcome.result = std::move(res);
+}
+
+} // namespace merlin::sched

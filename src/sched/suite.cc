@@ -1,22 +1,16 @@
 #include "sched/suite.hh"
 
 #include <algorithm>
-#include <atomic>
+#include <exception>
 #include <filesystem>
-#include <map>
-#include <memory>
-#include <mutex>
 #include <set>
 
 #include "base/logging.hh"
-#include "base/threadpool.hh"
-#include "faultsim/fault.hh"
-#include "io/journal.hh"
 #include "io/result_store.hh"
 #include "obs/clock.hh"
-#include "obs/metrics.hh"
 #include "obs/progress.hh"
 #include "obs/trace.hh"
+#include "sched/service.hh"
 
 namespace merlin::sched
 {
@@ -120,42 +114,6 @@ checkSpecMembers(const Json &j, const char *what)
         if (!isSpecMember(name))
             fatal("suite ", what, ": unknown member '", name, "'");
     }
-}
-
-/**
- * Can @p spec take part in sectioned (partial-hit) caching?  The
- * spec-level half of the test — the runtime half is
- * core::sectionable() on the prepared campaign.  Estimate mode with
- * one representative per group is the paper's configuration and the
- * one where per-section accounting provably sums to a cold run's
- * totals (see core::sectionable()).
- */
-bool
-sectionEligible(const CampaignSpec &spec)
-{
-    return spec.mode == CampaignSpec::Mode::Estimate &&
-           spec.grouping.repsPerGroup == 1;
-}
-
-/**
- * The reduced spec a section table is keyed by: the full spec minus
- * the swept knobs — members a sweep varies WITHOUT changing campaign
- * outcomes, currently {mem_chunk_bytes} — plus the section count (a
- * table cut into 4 sections serves no 16-section lookup).
- */
-Json
-reducedSpecFor(const CampaignSpec &spec, unsigned sections)
-{
-    Json j = spec.toJson();
-    j.erase("mem_chunk_bytes");
-    j.set("sections", static_cast<std::uint64_t>(sections));
-    return j;
-}
-
-std::string
-reducedKeyFor(const CampaignSpec &spec, unsigned sections)
-{
-    return io::contentKey(reducedSpecFor(spec, sections));
 }
 
 } // namespace
@@ -370,67 +328,92 @@ SuiteScheduler::run()
             std::count(out.selected.begin(), out.selected.end(), true)),
         std::memory_order_relaxed);
 
-    io::ResultStore store(opts_.storePath);
-    if (opts_.reuseCached && store.load() && store.selection() &&
-        opts_.select) {
-        // Refuse overlapping resume stores: a store that records a
-        // different selection belongs to another worker, and resuming
-        // from it would mix two shares into one file (and clobber the
-        // other worker's entries on save).
-        const SpecSelector recorded =
-            SpecSelector::fromJson(*store.selection());
-        if (!(recorded == *opts_.select))
-            fatal("suite --resume: store '", opts_.storePath,
-                  "' was produced under selection ",
-                  recorded.describe(), ", not ",
-                  opts_.select->describe(),
-                  " — give every worker its own --out store");
-    }
-    if (opts_.select) {
-        store.setSelection(opts_.select->toJson());
-        // Entries outside this worker's share — unselected manifest
-        // specs, or specs of some other suite entirely (a single-host
-        // store copied in to seed the resume) — are foreign: drop
-        // them so they are neither re-spilled as shards nor
-        // re-serialized into this worker's store, which would
-        // duplicate them across the merge inputs.
-        std::set<std::string> mine;
-        for (std::size_t i = 0; i < specs_.size(); ++i) {
-            if (out.selected[i])
-                mine.insert(specs_[i].key());
+    // The engine: a CampaignService scoped to this one suite.  The
+    // config derivations (journal placement, store loading only under
+    // --resume) are exactly the one-shot scheduler's old rules.
+    // startPaused preserves the batch phase structure: every cache
+    // hit and section lookup resolves against the loaded store BEFORE
+    // any campaign mutates it, so reports and store bytes cannot
+    // depend on submission/completion races.
+    CampaignService::Config cfg;
+    cfg.jobs = opts_.jobs;
+    cfg.storePath = opts_.storePath;
+    cfg.journalDir =
+        !opts_.shardDir.empty()
+            ? opts_.shardDir
+            : (opts_.storePath.empty() ? std::string()
+                                       : opts_.storePath + ".journal");
+    cfg.sections = opts_.sections;
+    cfg.recordTiming = opts_.recordTiming;
+    cfg.injectWallLimit = opts_.injectWallLimit;
+    cfg.quarantineFail = opts_.quarantineFail;
+    cfg.loadStore = opts_.reuseCached;
+    cfg.startPaused = true;
+    CampaignService svc(cfg);
+
+    svc.withStore([&](io::ResultStore &store) {
+        if (opts_.reuseCached && store.selection() && opts_.select) {
+            // Refuse overlapping resume stores: a store that records a
+            // different selection belongs to another worker, and
+            // resuming from it would mix two shares into one file (and
+            // clobber the other worker's entries on save).  (A store
+            // that failed to load has no selection, so this gate is
+            // the old load()-gated check unchanged.)
+            const SpecSelector recorded =
+                SpecSelector::fromJson(*store.selection());
+            if (!(recorded == *opts_.select))
+                fatal("suite --resume: store '", opts_.storePath,
+                      "' was produced under selection ",
+                      recorded.describe(), ", not ",
+                      opts_.select->describe(),
+                      " — give every worker its own --out store");
         }
-        std::vector<std::string> foreign;
-        for (const auto &[key, entry] : store.entries()) {
-            (void)entry;
-            if (!mine.count(key))
-                foreign.push_back(key);
-        }
-        for (const std::string &key : foreign)
-            store.erase(key);
-        // Section tables are foreign under the same rule, against the
-        // reduced keys this worker's share can produce (none at all
-        // when sectioning is off).
-        std::set<std::string> mineSections;
-        if (opts_.sections > 0) {
+        if (opts_.select) {
+            store.setSelection(opts_.select->toJson());
+            // Entries outside this worker's share — unselected
+            // manifest specs, or specs of some other suite entirely (a
+            // single-host store copied in to seed the resume) — are
+            // foreign: drop them so they are neither re-spilled as
+            // shards nor re-serialized into this worker's store, which
+            // would duplicate them across the merge inputs.
+            std::set<std::string> mine;
             for (std::size_t i = 0; i < specs_.size(); ++i) {
-                if (out.selected[i] && sectionEligible(specs_[i]))
-                    mineSections.insert(
-                        reducedKeyFor(specs_[i], opts_.sections));
+                if (out.selected[i])
+                    mine.insert(specs_[i].key());
             }
+            std::vector<std::string> foreign;
+            for (const auto &[key, entry] : store.entries()) {
+                (void)entry;
+                if (!mine.count(key))
+                    foreign.push_back(key);
+            }
+            for (const std::string &key : foreign)
+                store.erase(key);
+            // Section tables are foreign under the same rule, against
+            // the reduced keys this worker's share can produce (none
+            // at all when sectioning is off).
+            std::set<std::string> mineSections;
+            if (opts_.sections > 0) {
+                for (std::size_t i = 0; i < specs_.size(); ++i) {
+                    if (out.selected[i] && sectionEligible(specs_[i]))
+                        mineSections.insert(
+                            reducedKeyFor(specs_[i], opts_.sections));
+                }
+            }
+            std::vector<std::string> foreignSections;
+            for (const auto &[key, table] : store.sectionTables()) {
+                (void)table;
+                if (!mineSections.count(key))
+                    foreignSections.push_back(key);
+            }
+            for (const std::string &key : foreignSections)
+                store.eraseSections(key);
+        } else {
+            // A full run owns the whole suite; a worker store being
+            // promoted back to a single-host store sheds its selection.
+            store.clearSelection();
         }
-        std::vector<std::string> foreignSections;
-        for (const auto &[key, table] : store.sectionTables()) {
-            (void)table;
-            if (!mineSections.count(key))
-                foreignSections.push_back(key);
-        }
-        for (const std::string &key : foreignSections)
-            store.eraseSections(key);
-    } else {
-        // A full run owns the whole suite; a worker store being
-        // promoted back to a single-host store sheds its selection.
-        store.clearSelection();
-    }
+    });
     if (!opts_.shardDir.empty()) {
         std::error_code ec;
         std::filesystem::create_directories(opts_.shardDir, ec);
@@ -439,445 +422,57 @@ SuiteScheduler::run()
                   opts_.shardDir, "': ", ec.message());
     }
 
-    // Crash-safe journals live next to the shard spill when there is
-    // one, else in a sibling directory of the store; a memory-only
-    // suite (neither path set) has nothing durable to resume into, so
-    // journaling is off.  Shards keep the .json suffix to themselves —
-    // gatherStoreFiles must never pick a journal up as a shard.
-    const std::string journalDir =
-        !opts_.shardDir.empty()
-            ? opts_.shardDir
-            : (opts_.storePath.empty() ? std::string()
-                                       : opts_.storePath + ".journal");
-    if (!journalDir.empty()) {
-        std::error_code ec;
-        std::filesystem::create_directories(journalDir, ec);
-        if (ec)
-            fatal("suite: cannot create journal directory '", journalDir,
-                  "': ", ec.message());
-    }
-    const auto journalPathFor = [&](const CampaignSpec &spec) {
-        return journalDir.empty()
-                   ? std::string()
-                   : (std::filesystem::path(journalDir) /
-                      (spec.key() + ".journal"))
-                         .string();
-    };
-
-    // Campaigns of one workload share the built program.  One slot per
-    // distinct name, created up front so lookups never mutate the map;
-    // call_once builds each workload exactly once while leaving
-    // DIFFERENT workloads free to build concurrently (a single cache
-    // mutex held across buildWorkload() would serialize the whole
-    // profile phase).
-    struct WorkloadSlot
-    {
-        std::once_flag once;
-        std::shared_ptr<const workloads::BuiltWorkload> wl;
-    };
-    std::map<std::string, WorkloadSlot> wlCache;
-    for (const CampaignSpec &spec : specs_)
-        wlCache[spec.workload];
-    const auto workloadFor = [&](const std::string &name) {
-        WorkloadSlot &slot = wlCache.at(name);
-        std::call_once(slot.once, [&] {
-            slot.wl = std::make_shared<const workloads::BuiltWorkload>(
-                workloads::buildWorkload(name));
-        });
-        return slot.wl;
-    };
-
-    // One single-entry store per campaign, named by the spec key, so
-    // `store merge` folds shards in any order into exactly the
-    // single-store bytes.
-    // A sectioned campaign's shard also carries its section table
-    // (@p section_key + @p table, both empty/null when unsectioned),
-    // so merged shards reassemble the section tables too.
-    const auto spillShard =
-        [&](const CampaignSpec &spec, const core::CampaignResult &res,
-            const std::string &section_key = std::string(),
-            const io::ResultStore::SectionTable *table = nullptr) {
-            io::ResultStore shard(
-                (std::filesystem::path(opts_.shardDir) /
-                 (spec.key() + ".json"))
-                    .string());
-            shard.put(spec.key(), spec.toJson(), res);
-            if (table)
-                shard.putSectionTable(section_key, *table);
-            shard.save();
-        };
-
-    // Resolve every cache hit BEFORE any campaign starts: workers
-    // mutate the store (put + save under storeMu below), so lookups
-    // must not race with them.  Cache hits spill their shard too —
-    // the shard directory's contract is one shard per suite
-    // campaign, however the result was obtained, so merging it
-    // always reassembles the full store.
-    // Section bookkeeping, resolved alongside the cache hits (the
-    // store must not be read once workers mutate it): for every
-    // selected, section-eligible spec, decode the reduced-key table
-    // and pin the answer for the campaign body to consume.
-    const unsigned S = opts_.sections;
-    std::vector<io::ResultStore::SectionLookup> sectionCache(
-        specs_.size());
-    obs::Counter &sectionHitsCtr =
-        obs::Registry::global().counter("store.section_hits");
-    obs::Counter &sectionMissCtr =
-        obs::Registry::global().counter("store.section_misses");
-
-    std::vector<std::size_t> pending;
-    pending.reserve(specs_.size());
+    // Submit every selected spec; cache hits resolve immediately on
+    // this thread (the service is paused, so nothing mutates the
+    // store underneath the lookups), misses queue for the drivers.
+    CampaignService::SubmitOptions sopts;
+    sopts.reuseCached = opts_.reuseCached;
+    sopts.shardDir = opts_.shardDir;
+    sopts.client = "suite";
+    sopts.progress = &progress;
+    std::vector<CampaignService::TicketPtr> tickets(specs_.size());
     for (std::size_t i = 0; i < specs_.size(); ++i) {
-        if (!out.selected[i])
-            continue; // another worker's spec: not run, not spilled
-        const bool sectionedSpec = S > 0 && sectionEligible(specs_[i]);
-        if (opts_.reuseCached &&
-            store.lookup(specs_[i].key(), out.results[i])) {
-            out.cached[i] = true;
-            if (sectionedSpec) {
-                // A whole-campaign hit IS an all-sections hit — this
-                // is also how legacy v1 stores (no section tables at
-                // all) are promoted into the sectioned accounting.
-                out.sectionsHit[i] = S;
-                sectionHitsCtr.add(S);
-            }
-            progress.campaignsDone.fetch_add(1, std::memory_order_relaxed);
-            progress.campaignsCached.fetch_add(1,
-                                               std::memory_order_relaxed);
-            if (!opts_.shardDir.empty()) {
-                // The cached spec's section table (when the store has
-                // one) rides along on the shard, keeping merged shards
-                // byte-identical to the single-host store.
-                const io::ResultStore::SectionTable *table = nullptr;
-                std::string rkey;
-                if (sectionedSpec) {
-                    rkey = reducedKeyFor(specs_[i], S);
-                    auto it = store.sectionTables().find(rkey);
-                    if (it != store.sectionTables().end())
-                        table = &it->second;
-                }
-                spillShard(specs_[i], out.results[i], rkey, table);
-            }
-            // A journal outliving a stored result means the previous
-            // run died between the store save and the journal cleanup;
-            // the store won, so the journal is stale.
-            if (!journalDir.empty()) {
-                std::error_code ec;
-                std::filesystem::remove(journalPathFor(specs_[i]), ec);
-            }
-        } else {
-            if (sectionedSpec) {
-                // Like the whole-campaign cache, stored tables are
-                // only consulted under --resume; a cold run overwrites.
-                if (opts_.reuseCached) {
-                    sectionCache[i] =
-                        store.lookupSections(reducedKeyFor(specs_[i], S));
-                }
-                std::uint32_t hits = 0;
-                for (const auto &[idx, data] : sectionCache[i].sections) {
-                    (void)data;
-                    if (idx < S)
-                        ++hits;
-                }
-                out.sectionsHit[i] = hits;
-                out.sectionsMissed[i] = S - hits;
-                sectionHitsCtr.add(hits);
-                sectionMissCtr.add(S - hits);
-            }
-            pending.push_back(i);
-        }
+        if (out.selected[i])
+            tickets[i] = svc.submit(specs_[i], sopts);
     }
     // Canonicalize a worker store up front: selection recorded and
     // foreign entries gone even when every campaign is served from
     // the cache and no per-campaign save would otherwise happen.
     if (opts_.select && !opts_.storePath.empty())
-        store.save();
+        svc.withStore([](io::ResultStore &store) { store.save(); });
 
-    base::ThreadPool pool(opts_.jobs ? opts_.jobs
-                                     : base::ThreadPool::hardwareThreads());
-    std::mutex storeMu;
-    std::mutex errMu;
+    // Unpause: the drivers spin up (one per pool worker, at most) and
+    // run the queued campaigns with cross-campaign work stealing.
+    svc.resume();
+
     std::exception_ptr firstError;
-    std::atomic<std::uint64_t> ran{0};
-
-    // The sectioned campaign body: serve the stored slices, inject
-    // only the missing sections' representatives, compose the result
-    // from the complete per-section table, and persist both.  By
-    // construction (see core::composeSectioned) the result — and
-    // therefore the store bytes — is identical to the unsectioned
-    // path's for the same spec.
-    const auto runSectioned = [&](std::size_t i, const CampaignSpec &spec,
-                                  core::Campaign &camp,
-                                  core::PreparedCampaign prep) {
-        const Cycle goldenCycles = prep.result.goldenCycles;
-        const std::vector<unsigned> gsec = core::groupSections(prep, S);
-        const io::ResultStore::SectionLookup &hit = sectionCache[i];
-        if (hit.found && hit.goldenCycles != goldenCycles)
-            fatal("suite: stored section table for spec ", spec.key(),
-                  " records a golden run of ", hit.goldenCycles,
-                  " cycles, but this campaign produced ", goldenCycles,
-                  " — the store was built by a different engine; "
-                  "delete it or run without --sections");
-        std::vector<bool> missing(S, true);
-        if (hit.found) {
-            for (const auto &[idx, data] : hit.sections) {
-                (void)data;
-                if (idx < S)
-                    missing[idx] = false;
-            }
+    std::uint64_t ran = 0;
+    for (std::size_t i = 0; i < specs_.size(); ++i) {
+        if (!tickets[i])
+            continue;
+        const CampaignService::State st = tickets[i]->wait();
+        if (st == CampaignService::State::Failed) {
+            // A campaign failure is recorded and the rest of the suite
+            // still runs; the first one propagates afterwards.
+            if (!firstError)
+                firstError = tickets[i]->error();
+            continue;
         }
-
-        // Only missing sections' representatives run; freshGroups maps
-        // the reduced fault list back onto group indices.
-        std::vector<faultsim::Fault> runFaults;
-        std::vector<std::size_t> freshGroups;
-        for (std::size_t g = 0; g < prep.faults.size(); ++g) {
-            if (missing[gsec[g]]) {
-                runFaults.push_back(prep.faults[g]);
-                freshGroups.push_back(g);
-            }
-        }
-
-        std::vector<core::SectionData> acct(S);
-        std::mutex acctMu;
-        const auto sectionOfKey = [&](std::uint64_t key) {
-            return core::sectionOfCycle(faultsim::faultKeyCycle(key),
-                                        goldenCycles, S);
-        };
-        std::vector<faultsim::Outcome> outcomes;
-        double inject_seconds = 0.0;
-        io::OutcomeJournal journal(journalPathFor(spec), spec.key());
-        if (!runFaults.empty()) {
-            faultsim::OutcomeMemo memo(runFaults.size());
-            io::OutcomeJournal::Restored restored;
-            if (opts_.reuseCached) {
-                obs::Span replay_span("io", "journal.replay");
-                restored = journal.restore(
-                    [&](std::uint64_t key, faultsim::Outcome o,
-                        const faultsim::InjectDetail &detail) {
-                        memo.insert(key, o);
-                        // Hit sections already carry their runs inside
-                        // the stored table; only missing sections
-                        // account the replayed share.
-                        const unsigned s = sectionOfKey(key);
-                        if (missing[s])
-                            acct[s].addRun(key, detail);
-                    });
-            }
-            progress.injections.fetch_add(restored.runs,
-                                          std::memory_order_relaxed);
-            journal.open();
-            const faultsim::InjectionRunner::OutcomeCallback record =
-                [&](std::uint64_t key, faultsim::Outcome o,
-                    const faultsim::InjectDetail &detail) {
-                    journal.append(key, o, detail);
-                    const unsigned s = sectionOfKey(key);
-                    {
-                        // Callbacks fire concurrently from pool
-                        // workers as injections finish.
-                        std::lock_guard<std::mutex> lock(acctMu);
-                        if (missing[s])
-                            acct[s].addRun(key, detail);
-                    }
-                    progress.injections.fetch_add(
-                        1, std::memory_order_relaxed);
-                };
-            base::TaskGroup group(pool);
-            const obs::TimePoint t1 = obs::now();
-            {
-                obs::Span inject_span("campaign",
-                                      "inject-batch " + spec.workload);
-                outcomes = camp.runner().injectBatch(
-                    runFaults, camp.goldenRun(), group, &memo, &record);
-            }
-            inject_seconds = obs::secondsSince(t1);
-            journal.close();
-        }
-        // Extrapolate each freshly-run group into its section's slice.
-        // The engine counters are already inside acct: restored runs
-        // via the restore sink, simulated runs via the callback.
-        for (std::size_t p = 0; p < runFaults.size(); ++p) {
-            const std::size_t g = freshGroups[p];
-            acct[gsec[g]].estimate.add(
-                outcomes[p], prep.grouping.groups[g].members.size());
-        }
-        // The COMPLETE table: stored slices for hit sections, fresh
-        // accounting for the rest.
-        std::vector<core::SectionData> table(S);
-        for (unsigned s = 0; s < S; ++s) {
-            table[s] =
-                missing[s] ? std::move(acct[s]) : hit.sections.at(s);
-        }
-        core::CampaignResult res = core::composeSectioned(
-            std::move(prep), table, inject_seconds, runFaults.size());
-        if (!opts_.recordTiming) {
-            res.profileSeconds = 0.0;
-            res.injectionSeconds = 0.0;
-            res.secondsPerInjection = 0.0;
-        }
-        const std::string rkey = reducedKeyFor(spec, S);
-        {
-            std::lock_guard<std::mutex> lock(storeMu);
-            store.put(spec.key(), spec.toJson(), res);
-            store.putSections(rkey, reducedSpecFor(spec, S),
-                              goldenCycles, table);
-            store.save();
-            if (!opts_.shardDir.empty())
-                spillShard(spec, res, rkey,
-                           &store.sectionTables().at(rkey));
-        }
-        journal.remove();
-        out.results[i] = std::move(res);
-        ran.fetch_add(1, std::memory_order_relaxed);
-        progress.campaignsDone.fetch_add(1, std::memory_order_relaxed);
-    };
-
-    const auto runCampaign = [&](std::size_t i) {
-        const CampaignSpec &spec = specs_[i];
-        obs::Span span("sched",
-                       "campaign " + spec.workload + " " + spec.key());
-        const auto wl = workloadFor(spec.workload);
-        core::CampaignConfig cc = spec.campaignConfig(*wl);
-        // Fault-tolerance knobs ride on the options, not the spec:
-        // they decide how failures are handled, never what a healthy
-        // campaign computes.
-        cc.injectWallLimit = opts_.injectWallLimit;
-        cc.quarantineFail = opts_.quarantineFail;
-        core::Campaign camp(wl->program, cc);
-        core::PreparedCampaign prep =
-            camp.prepare(spec.mode == CampaignSpec::Mode::Truth,
-                         spec.relyzer, spec.pathDepth,
-                         spec.mode == CampaignSpec::Mode::GroupingOnly);
-
-        if (S > 0 && sectionEligible(spec) && core::sectionable(prep)) {
-            runSectioned(i, spec, camp, std::move(prep));
-            return;
-        }
-
-        std::vector<faultsim::Outcome> outcomes;
-        double inject_seconds = 0.0;
-        io::OutcomeJournal journal(journalPathFor(spec), spec.key());
-        io::OutcomeJournal::Restored restored;
-        if (!prep.faults.empty()) {
-            // Crash safety under the per-campaign store save: replay
-            // the journal of a killed predecessor into the batch memo
-            // (so finished injections are not re-simulated), then
-            // journal every fresh outcome as it lands.  Without
-            // --resume the journal is started over along with the
-            // campaign.
-            faultsim::OutcomeMemo memo(prep.faults.size());
-            if (opts_.reuseCached) {
-                obs::Span replay_span("io", "journal.replay");
-                restored = journal.restore(
-                    [&](std::uint64_t key, faultsim::Outcome o) {
-                        memo.insert(key, o);
-                    });
-            }
-            progress.injections.fetch_add(restored.runs,
-                                          std::memory_order_relaxed);
-            journal.open();
-            const faultsim::InjectionRunner::OutcomeCallback record =
-                [&](std::uint64_t key, faultsim::Outcome o,
-                    const faultsim::InjectDetail &detail) {
-                    journal.append(key, o, detail);
-                    progress.injections.fetch_add(
-                        1, std::memory_order_relaxed);
-                };
-            // Fan this campaign's injections into the SHARED pool: the
-            // queue interleaves them with every other in-flight
-            // campaign, so any worker whose own campaign chain has run
-            // dry picks them up.  (The batch dedups internally; no
-            // cross-batch memo exists to share any more.)
-            base::TaskGroup group(pool);
-            const obs::TimePoint t1 = obs::now();
-            {
-                obs::Span inject_span("campaign",
-                                      "inject-batch " + spec.workload);
-                outcomes = camp.runner().injectBatch(
-                    prep.faults, camp.goldenRun(), group, &memo, &record);
-            }
-            inject_seconds = obs::secondsSince(t1);
-            journal.close();
-        }
-        core::CampaignResult res =
-            camp.finish(std::move(prep), outcomes, inject_seconds);
-        // Fold the replayed share back in: the runner's counters only
-        // saw what THIS process simulated, but the result must equal
-        // an uninterrupted run's — same totals, same sorted quarantine
-        // list — for the store bytes to stay identical.
-        res.injectionRuns += restored.runs;
-        res.earlyExits += restored.earlyExits;
-        res.replayMasked += restored.replayMasked;
-        res.replayHandoffs += restored.replayHandoffs;
-        res.replayCyclesSkipped += restored.replayCyclesSkipped;
-        res.replayHeadCycles += restored.replayHeadCycles;
-        if (!restored.quarantine.empty()) {
-            res.quarantine.insert(res.quarantine.end(),
-                                  restored.quarantine.begin(),
-                                  restored.quarantine.end());
-            std::sort(res.quarantine.begin(), res.quarantine.end(),
-                      [](const faultsim::QuarantineRecord &a,
-                         const faultsim::QuarantineRecord &b) {
-                          return a.faultKey != b.faultKey
-                                     ? a.faultKey < b.faultKey
-                                     : a.reason < b.reason;
-                      });
-        }
-        if (!opts_.recordTiming) {
-            res.profileSeconds = 0.0;
-            res.injectionSeconds = 0.0;
-            res.secondsPerInjection = 0.0;
-        }
-        {
-            // Persist after EVERY campaign: an interrupted suite
-            // resumes from the completed prefix.  Shard spill shares
-            // the lock — a manifest may repeat a spec, and two
-            // writers racing on the same shard path must serialize.
-            std::lock_guard<std::mutex> lock(storeMu);
-            store.put(spec.key(), spec.toJson(), res);
-            store.save();
-            if (!opts_.shardDir.empty())
-                spillShard(spec, res);
-        }
-        // The store save is durable; the journal has nothing left to
-        // protect (and must not shadow the next run of this spec).
-        journal.remove();
-        out.results[i] = std::move(res);
-        ran.fetch_add(1, std::memory_order_relaxed);
-        progress.campaignsDone.fetch_add(1, std::memory_order_relaxed);
-    };
-
-    // One looping driver per worker, pulling campaigns off a shared
-    // cursor: at most `jobs` campaigns are in flight (golden runs and
-    // checkpoints resident) at a time, however long the suite is.
-    // Drivers that exhaust the cursor finish their pool task, freeing
-    // that worker to execute queued injection tasks of the campaigns
-    // still running — the cross-campaign work stealing.  A campaign
-    // failure is recorded and the chain moves on, so one bad spec
-    // cannot starve the rest of the suite.
-    std::atomic<std::size_t> cursor{0};
-    const std::size_t drivers =
-        std::min<std::size_t>(pool.size(), pending.size());
-    for (std::size_t d = 0; d < drivers; ++d) {
-        pool.submit([&] {
-            for (std::size_t n;
-                 (n = cursor.fetch_add(1, std::memory_order_relaxed)) <
-                 pending.size();) {
-                try {
-                    runCampaign(pending[n]);
-                } catch (...) {
-                    std::lock_guard<std::mutex> lock(errMu);
-                    if (!firstError)
-                        firstError = std::current_exception();
-                }
-            }
-        });
+        if (st != CampaignService::State::Done)
+            continue;
+        const CampaignService::Outcome &o = tickets[i]->outcome();
+        out.results[i] = o.result;
+        out.cached[i] = o.cached;
+        out.sectionsHit[i] = o.sectionsHit;
+        out.sectionsMissed[i] = o.sectionsMissed;
+        if (!o.cached)
+            ++ran;
     }
-    pool.wait();
+    svc.drain();
     if (firstError)
         std::rethrow_exception(firstError);
 
-    out.campaignsRun = ran.load();
+    out.campaignsRun = ran;
     out.injectionsSimulated =
         progress.injections.load(std::memory_order_relaxed);
     out.wallSeconds = obs::secondsSince(t0);

@@ -1,0 +1,492 @@
+#include "tools/cli_spec.hh"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <optional>
+#include <sstream>
+
+#include "base/logging.hh"
+#include "base/parse.hh"
+#include "faultsim/runner.hh"
+#include "io/json.hh"
+#include "isa/memory.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
+#include "sched/diff.hh"
+
+namespace merlin::tools
+{
+
+// ---------------------------------------------------------------- Args
+
+Args
+Args::parse(int argc, char **argv, int start)
+{
+    Args a;
+    for (int i = start; i < argc; ++i) {
+        std::string k = argv[i];
+        if (k.rfind("--", 0) != 0)
+            fatal("unexpected argument '", k, "'");
+        k = k.substr(2);
+        // --key=value style.
+        if (const auto eq = k.find('='); eq != std::string::npos) {
+            a.kv[k.substr(0, eq)] = k.substr(eq + 1);
+            continue;
+        }
+        if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
+            a.kv[k] = argv[++i];
+        } else {
+            a.kv[k] = "1"; // boolean flag
+        }
+    }
+    return a;
+}
+
+std::string
+Args::get(const std::string &k, const std::string &def) const
+{
+    auto it = kv.find(k);
+    return it == kv.end() ? def : it->second;
+}
+
+std::uint64_t
+Args::getU(const std::string &k, std::uint64_t def) const
+{
+    auto it = kv.find(k);
+    if (it == kv.end())
+        return def;
+    // One strict parser for every numeric flag (base::parseU64):
+    // signs, whitespace, trailing junk and overflow are all fatal,
+    // where raw strtoull would wrap "-1" to 2^64-1 silently.
+    return base::parseU64(it->second, "--" + k);
+}
+
+unsigned
+Args::getU32(const std::string &k, unsigned def) const
+{
+    auto it = kv.find(k);
+    if (it == kv.end())
+        return def;
+    return base::parseU32(it->second, "--" + k);
+}
+
+bool
+Args::getOnOff(const std::string &k, bool def) const
+{
+    auto it = kv.find(k);
+    if (it == kv.end())
+        return def;
+    if (it->second == "on" || it->second == "1")
+        return true;
+    if (it->second == "off" || it->second == "0")
+        return false;
+    fatal("--", k, ": '", it->second, "' is not on|off");
+}
+
+double
+Args::getD(const std::string &k, double def) const
+{
+    auto it = kv.find(k);
+    if (it == kv.end())
+        return def;
+    return base::parseDouble(it->second, "--" + k);
+}
+
+void
+requireKnownFlags(const Args &args,
+                  std::initializer_list<const char *> known,
+                  const char *what)
+{
+    for (const auto &[flag, value] : args.kv) {
+        (void)value;
+        bool ok = false;
+        for (const char *k : known)
+            ok = ok || flag == k;
+        if (!ok)
+            fatal(what, ": unknown flag '--", flag, "'");
+    }
+}
+
+// --------------------------------------------------------------- files
+
+void
+writeTextFile(const std::string &path, const std::string &text)
+{
+    const std::string tmp = path + ".tmp";
+    {
+        std::ofstream os(tmp, std::ios::trunc);
+        if (!os)
+            fatal("cannot write '", tmp, "'");
+        os << text;
+        os.flush();
+        os.close();
+        if (!os.good())
+            fatal("write to '", tmp, "' failed (disk full?)");
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0)
+        fatal("cannot rename '", tmp, "' to '", path, "'");
+}
+
+io::Json
+loadJsonFile(const std::string &path, const char *what)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal("cannot open ", what, " '", path, "'");
+    std::stringstream ss;
+    ss << in.rdbuf();
+    return io::Json::parse(ss.str());
+}
+
+std::vector<sched::CampaignSpec>
+loadManifestFile(const std::string &path)
+{
+    return sched::parseManifest(loadJsonFile(path, "manifest"));
+}
+
+// ----------------------------------------------------------- telemetry
+
+void
+startTelemetry(const Args &args)
+{
+    const std::string trace = args.get("trace");
+    if (!trace.empty())
+        obs::TraceWriter::global().start(trace);
+}
+
+void
+finishTelemetry(const Args &args)
+{
+    if (obs::TraceWriter::global().finish())
+        std::printf("trace written to %s\n", args.get("trace").c_str());
+    const std::string metrics = args.get("metrics");
+    if (!metrics.empty()) {
+        writeTextFile(metrics,
+                      obs::Registry::global().snapshot().toJson().dump(2) +
+                          "\n");
+        std::printf("metrics written to %s\n", metrics.c_str());
+    }
+}
+
+// ------------------------------------------------------- flag grammars
+
+uarch::Structure
+parseStructure(const std::string &s)
+{
+    if (s == "rf" || s == "RF")
+        return uarch::Structure::RegisterFile;
+    if (s == "sq" || s == "SQ")
+        return uarch::Structure::StoreQueue;
+    if (s == "l1d" || s == "L1D")
+        return uarch::Structure::L1DCache;
+    fatal("unknown structure '", s, "' (use rf | sq | l1d)");
+}
+
+bool
+parseQuarantineFail(const Args &args)
+{
+    const std::string q = args.get("quarantine", "continue");
+    if (q == "continue")
+        return false;
+    if (q == "fail")
+        return true;
+    fatal("--quarantine: '", q, "' is not fail|continue");
+}
+
+core::CampaignConfig
+campaignConfig(const Args &args, std::uint64_t default_window)
+{
+    core::CampaignConfig cc;
+    cc.target = parseStructure(args.get("structure", "rf"));
+    cc.core = uarch::CoreConfig{}
+                  .withRegisterFile(args.getU32("regs", 256))
+                  .withStoreQueue(args.getU32("sq", 64))
+                  .withL1dKb(args.getU32("l1d", 64));
+    cc.core.instructionWindowEnd = args.getU("window", default_window);
+    if (args.has("faults")) {
+        cc.sampling = core::specFixed(args.getU("faults", 2000));
+    } else if (args.has("margin")) {
+        cc.sampling.errorMargin = args.getD("margin", 0.0063);
+        cc.sampling.confidence = args.getD("conf", 0.998);
+    } else {
+        cc.sampling = core::specFixed(2000);
+    }
+    cc.seed = args.getU("seed", 1);
+    cc.jobs = args.getU32("jobs", 1);
+    cc.checkpointInterval = args.getU(
+        "checkpoint-interval",
+        faultsim::InjectionRunner::kDefaultCheckpointInterval);
+    cc.maxCheckpoints = args.getU32(
+        "max-checkpoints",
+        faultsim::InjectionRunner::kDefaultMaxCheckpoints);
+    cc.earlyExit = args.getOnOff("early-exit", true);
+    cc.replay = args.getOnOff("replay", true);
+    cc.timeoutFactor = args.getU32(
+        "timeout-factor", faultsim::RunnerOptions::kDefaultTimeoutFactor);
+    const std::uint64_t chunk = args.getU(
+        "mem-chunk-bytes", isa::SegmentedMemory::kDefaultChunkBytes);
+    if (!isa::isValidChunkBytes(chunk))
+        fatal("--mem-chunk-bytes: ", chunk,
+              " is not a power of two >= 64");
+    cc.core.memChunkBytes = static_cast<std::uint32_t>(chunk);
+    cc.injectWallLimit = args.getD("inject-wall-limit", 0.0);
+    cc.quarantineFail = parseQuarantineFail(args);
+    return cc;
+}
+
+sched::SuiteOptions
+suiteOptionsFromArgs(const Args &args)
+{
+    sched::SuiteOptions opts;
+    opts.jobs = args.getU32("jobs", 1);
+    opts.storePath = args.get("out");
+    opts.shardDir = args.get("out-dir");
+    opts.reuseCached = args.has("resume");
+    opts.recordTiming = !args.has("no-timing");
+    opts.sections = args.getU32("sections", 0);
+    if (args.has("sections") &&
+        (opts.sections == 0 || opts.sections > 4096))
+        fatal("--sections must be in [1, 4096]");
+    opts.injectWallLimit = args.getD("inject-wall-limit", 0.0);
+    opts.quarantineFail = parseQuarantineFail(args);
+    // --progress / --progress=SECS: periodic stderr line (a bare flag
+    // parses as "1" — one second).  --progress-json FILE additionally
+    // rewrites a machine-readable progress file at the same cadence.
+    opts.progressStderr = args.has("progress");
+    opts.progressInterval = args.getD("progress", 1.0);
+    opts.progressPath = args.get("progress-json");
+    if (opts.reuseCached && opts.storePath.empty())
+        fatal("--resume requires --out <results.json>");
+    if (args.has("select") && args.has("select-hash"))
+        fatal("suite: --select and --select-hash are mutually "
+              "exclusive");
+    if (args.has("select"))
+        opts.select = sched::SpecSelector::parse(
+            args.get("select"), sched::SpecSelector::Mode::RoundRobin);
+    else if (args.has("select-hash"))
+        opts.select = sched::SpecSelector::parse(
+            args.get("select-hash"), sched::SpecSelector::Mode::Hash);
+    return opts;
+}
+
+sched::CampaignService::Config
+serviceConfigFromArgs(const Args &args)
+{
+    sched::CampaignService::Config cfg;
+    // A daemon defaults to every hardware thread — it IS the machine's
+    // campaign engine — where the one-shot suite defaults to 1.
+    cfg.jobs = args.getU32("jobs", 0);
+    cfg.storePath = args.get("store");
+    cfg.sections = args.getU32("sections", 0);
+    if (args.has("sections") &&
+        (cfg.sections == 0 || cfg.sections > 4096))
+        fatal("--sections must be in [1, 4096]");
+    cfg.recordTiming = !args.has("no-timing");
+    cfg.injectWallLimit = args.getD("inject-wall-limit", 0.0);
+    cfg.quarantineFail = parseQuarantineFail(args);
+    // The daemon always warms from its store: a persistent cache is
+    // the point of process-lifetime service.
+    cfg.loadStore = !cfg.storePath.empty();
+    if (!cfg.storePath.empty())
+        cfg.journalDir = cfg.storePath + ".journal";
+    return cfg;
+}
+
+// ------------------------------------------------------------- reports
+
+std::uint64_t
+structureBits(const core::CampaignConfig &cc)
+{
+    switch (cc.target) {
+      case uarch::Structure::RegisterFile:
+        return std::uint64_t(cc.core.numPhysIntRegs) * 64;
+      case uarch::Structure::StoreQueue:
+        return std::uint64_t(cc.core.sqEntries) * 64;
+      default:
+        return std::uint64_t(cc.core.l1d.totalWords()) * 64;
+    }
+}
+
+void
+printCampaign(const core::CampaignResult &r, std::uint64_t bits)
+{
+    std::printf("golden: %llu instructions, %llu cycles; ACE-like AVF "
+                "%.2f%%\n",
+                static_cast<unsigned long long>(r.goldenInstret),
+                static_cast<unsigned long long>(r.goldenCycles),
+                100 * r.aceAvf);
+    std::printf("faults: %llu initial -> %llu survivors -> %llu "
+                "injected (%.1fX / %.1fX)\n",
+                static_cast<unsigned long long>(r.initialFaults),
+                static_cast<unsigned long long>(r.survivors),
+                static_cast<unsigned long long>(r.injections),
+                r.speedupAce, r.speedupTotal);
+    for (unsigned c = 0; c < faultsim::NUM_OUTCOMES; ++c) {
+        auto o = static_cast<faultsim::Outcome>(c);
+        if (r.merlinEstimate.of(o) == 0)
+            continue;
+        std::printf("  %-8s %7.3f%%\n", faultsim::outcomeName(o),
+                    100.0 * r.merlinEstimate.fraction(o));
+    }
+    std::printf("AVF %.3f%%  FIT %.4f (0.01 FIT/bit x %llu bits)\n",
+                100 * r.merlinEstimate.avf(), r.merlinFit(bits),
+                static_cast<unsigned long long>(bits));
+    if (r.survivorTruth) {
+        std::printf("ground truth: AVF %.3f%%; max class inaccuracy "
+                    "%.2f pp; homogeneity %.3f\n",
+                    100 * r.fullTruth().avf(),
+                    r.merlinEstimate.maxInaccuracyVs(r.fullTruth()),
+                    r.homogeneity->fine);
+    }
+    if (r.injectionRuns) {
+        std::printf("early exit: %llu of %llu runs reconverged with the "
+                    "golden state (%.1f%%)\n",
+                    static_cast<unsigned long long>(r.earlyExits),
+                    static_cast<unsigned long long>(r.injectionRuns),
+                    100.0 * r.earlyExitRate());
+    }
+    if (r.replayMasked + r.replayHandoffs) {
+        std::printf("replay: %llu dead flips shortcut Masked, %llu "
+                    "handed off to simulation (divergence rate %.1f%%)"
+                    "\n",
+                    static_cast<unsigned long long>(r.replayMasked),
+                    static_cast<unsigned long long>(r.replayHandoffs),
+                    100 * r.replayDivergenceRate());
+        std::printf("replay: %llu of %llu head cycles skipped "
+                    "(%.1f%%)\n",
+                    static_cast<unsigned long long>(
+                        r.replayCyclesSkipped),
+                    static_cast<unsigned long long>(r.replayHeadCycles),
+                    100 * r.replaySkipRate());
+    }
+    if (!r.quarantine.empty()) {
+        std::printf("quarantined: %zu injection%s failed the simulator "
+                    "and %s counted Crash:\n",
+                    r.quarantine.size(),
+                    r.quarantine.size() == 1 ? "" : "s",
+                    r.quarantine.size() == 1 ? "was" : "were");
+        for (const auto &q : r.quarantine)
+            std::printf("  fault 0x%016llx: %s\n",
+                        static_cast<unsigned long long>(q.faultKey),
+                        q.reason.c_str());
+    }
+    std::printf("wall clock: %.2fs profile + %.2fs injections "
+                "(%.3f ms/injection)\n",
+                r.profileSeconds, r.injectionSeconds,
+                1e3 * r.secondsPerInjection);
+}
+
+void
+printSuiteReport(const std::vector<sched::CampaignSpec> &specs,
+                 const sched::SuiteResult &suite,
+                 const sched::SuiteOptions &opts)
+{
+    // New columns go AFTER ee%: downstream consumers (CI's awk among
+    // them) address AVF% as whitespace-separated field 7.
+    std::printf("%-14s %-4s %-13s %10s %10s %10s %8s %6s %6s %6s %s\n",
+                "workload", "tgt", "mode", "initial", "survivors",
+                "injected", "AVF%", "ee%", "skip%", "div%", "");
+    std::uint64_t cached = 0;
+    std::uint64_t selected = 0;
+    std::uint64_t sectionsHit = 0;
+    std::uint64_t sectionsMissed = 0;
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        if (!suite.selected[i])
+            continue; // another worker's share
+        const auto &r = suite.results[i];
+        ++selected;
+        cached += suite.cached[i] ? 1 : 0;
+        sectionsHit += suite.sectionsHit[i];
+        sectionsMissed += suite.sectionsMissed[i];
+        // Trailing tags, strictly after every numeric column:
+        // [cached] for whole-campaign hits, [sections h/N] for the
+        // section-eligible campaigns of a --sections run.
+        std::string tag = suite.cached[i] ? "[cached]" : "";
+        if (suite.sectionsHit[i] + suite.sectionsMissed[i] > 0) {
+            if (!tag.empty())
+                tag += ' ';
+            tag += "[sections " + std::to_string(suite.sectionsHit[i]) +
+                   "/" +
+                   std::to_string(suite.sectionsHit[i] +
+                                  suite.sectionsMissed[i]) +
+                   "]";
+        }
+        std::printf(
+            "%-14s %-4s %-13s %10llu %10llu %10llu %7.3f%% %5.1f%% "
+            "%5.1f%% %5.1f%% %s\n",
+            specs[i].workload.c_str(),
+            uarch::structureName(specs[i].structure),
+            specs[i].mode == sched::CampaignSpec::Mode::GroupingOnly
+                ? "grouping-only"
+                : (specs[i].mode == sched::CampaignSpec::Mode::Truth
+                       ? "truth"
+                       : "estimate"),
+            static_cast<unsigned long long>(r.initialFaults),
+            static_cast<unsigned long long>(r.survivors),
+            static_cast<unsigned long long>(r.injections),
+            100 * r.merlinEstimate.avf(), 100 * r.earlyExitRate(),
+            100 * r.replaySkipRate(), 100 * r.replayDivergenceRate(),
+            tag.c_str());
+    }
+    std::printf("\n%llu campaigns (%llu run, %llu cached) in %.2fs "
+                "with --jobs %u\n",
+                static_cast<unsigned long long>(selected),
+                static_cast<unsigned long long>(suite.campaignsRun),
+                static_cast<unsigned long long>(cached),
+                suite.wallSeconds, opts.jobs);
+    if (opts.sections > 0) {
+        std::printf("sections (--sections %u): %llu hit, %llu missed\n",
+                    opts.sections,
+                    static_cast<unsigned long long>(sectionsHit),
+                    static_cast<unsigned long long>(sectionsMissed));
+        // Composed per-campaign AVF with its Leveugle sampling margin:
+        // the CI is a function of the INITIAL sample size, so partial
+        // composition leaves it — like the AVF itself — identical to
+        // a cold full run's.
+        for (std::size_t i = 0; i < specs.size(); ++i) {
+            if (!suite.selected[i] ||
+                suite.sectionsHit[i] + suite.sectionsMissed[i] == 0)
+                continue;
+            const auto &r = suite.results[i];
+            const double confidence = specs[i].sampling.confidence;
+            const std::optional<double> margin =
+                sched::samplingMargin(r.initialFaults, confidence);
+            if (margin) {
+                std::printf("  %-14s %-4s composed AVF %7.3f%% +- "
+                            "%.3fpp at %.3g%% confidence\n",
+                            specs[i].workload.c_str(),
+                            uarch::structureName(specs[i].structure),
+                            100 * r.merlinEstimate.avf(), 100 * *margin,
+                            100 * confidence);
+            } else {
+                std::printf("  %-14s %-4s composed AVF %7.3f%% (no "
+                            "sampling margin: zero initial faults)\n",
+                            specs[i].workload.c_str(),
+                            uarch::structureName(specs[i].structure),
+                            100 * r.merlinEstimate.avf());
+            }
+        }
+    }
+    if (suite.injectionsSimulated && suite.wallSeconds > 0.0) {
+        std::printf("throughput: %llu injections at %.0f/s\n",
+                    static_cast<unsigned long long>(
+                        suite.injectionsSimulated),
+                    static_cast<double>(suite.injectionsSimulated) /
+                        suite.wallSeconds);
+    }
+    if (opts.select) {
+        // The suite report records the selection: which share of the
+        // manifest this worker ran, and what it left for the others.
+        std::printf("selection %s: %llu of %zu manifest campaigns\n",
+                    opts.select->describe().c_str(),
+                    static_cast<unsigned long long>(selected),
+                    specs.size());
+    }
+    if (!opts.storePath.empty())
+        std::printf("results written to %s\n", opts.storePath.c_str());
+    if (!opts.shardDir.empty())
+        std::printf("shards spilled to %s/\n", opts.shardDir.c_str());
+}
+
+} // namespace merlin::tools

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Shared CLI plumbing for the merlin tools.
+ *
+ * merlin_cli and merlin_serve must parse specs and flags IDENTICALLY —
+ * a campaign submitted over the wire has to hash to the same content
+ * key the batch CLI would give it, and a daemon flag must accept
+ * exactly the grammar the one-shot suite accepts.  Everything that
+ * defines that grammar lives here: the --flag parser, the strict
+ * numeric/on-off accessors, manifest loading, the SuiteOptions /
+ * CampaignService::Config derivations, and the report printers both
+ * front ends share.
+ */
+
+#ifndef MERLIN_TOOLS_CLI_SPEC_HH
+#define MERLIN_TOOLS_CLI_SPEC_HH
+
+#include <cstdint>
+#include <initializer_list>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "merlin/campaign.hh"
+#include "sched/service.hh"
+#include "sched/suite.hh"
+#include "uarch/core.hh"
+
+namespace merlin::tools
+{
+
+/** Minimal --key value / --flag parser. */
+struct Args
+{
+    std::map<std::string, std::string> kv;
+
+    static Args parse(int argc, char **argv, int start);
+
+    bool has(const std::string &k) const { return kv.count(k) != 0; }
+    std::string get(const std::string &k,
+                    const std::string &def = "") const;
+    /** Unsigned value of --k; fatal() on garbage instead of reading
+     *  0 (one strict parser, base::parseU64, for every numeric
+     *  flag). */
+    std::uint64_t getU(const std::string &k, std::uint64_t def) const;
+    /** Like getU but range-checked for `unsigned` destinations, so a
+     *  2^32 cannot truncate to 0 (for --jobs: "all threads"). */
+    unsigned getU32(const std::string &k, unsigned def) const;
+    /** on/off value of --k; fatal() on anything else. */
+    bool getOnOff(const std::string &k, bool def) const;
+    /** Floating-point value of --k; fatal() on garbage. */
+    double getD(const std::string &k, double def) const;
+};
+
+/** Reject flags outside @p known — a typo'd flag must not silently
+ *  fall back to a default. */
+void requireKnownFlags(const Args &args,
+                       std::initializer_list<const char *> known,
+                       const char *what);
+
+/** Write @p text to @p path atomically (temp file + rename). */
+void writeTextFile(const std::string &path, const std::string &text);
+
+/**
+ * Telemetry flags shared by `campaign`, `suite` and the daemon:
+ * --trace=FILE records Chrome trace_event spans, --metrics=FILE dumps
+ * the metrics registry snapshot.  Strictly out-of-band — simulation
+ * results and store/journal bytes are identical with or without them.
+ */
+void startTelemetry(const Args &args);
+void finishTelemetry(const Args &args);
+
+uarch::Structure parseStructure(const std::string &s);
+
+/** --quarantine=fail|continue (the fault-tolerance policy switch). */
+bool parseQuarantineFail(const Args &args);
+
+core::CampaignConfig campaignConfig(const Args &args,
+                                    std::uint64_t default_window);
+
+/** Read and strictly parse the JSON file at @p path. */
+io::Json loadJsonFile(const std::string &path, const char *what);
+
+/** Load a suite manifest file into fully-resolved specs. */
+std::vector<sched::CampaignSpec>
+loadManifestFile(const std::string &path);
+
+/**
+ * The one-shot suite knobs (--jobs/--out/--resume/--sections/...),
+ * validations included — the single derivation both `suite` and any
+ * batch-flavored front end use.
+ */
+sched::SuiteOptions suiteOptionsFromArgs(const Args &args);
+
+/**
+ * The daemon-lifetime service knobs from the SAME flag grammar
+ * (--jobs/--store/--sections/--no-timing/quarantine).  The daemon
+ * always loads its store — a warm cache is its reason to exist.
+ */
+sched::CampaignService::Config serviceConfigFromArgs(const Args &args);
+
+/** Print one campaign's reliability report (`campaign` / `result`). */
+void printCampaign(const core::CampaignResult &r, std::uint64_t bits);
+
+/** Target-structure bit count for FIT math, from a resolved config. */
+std::uint64_t structureBits(const core::CampaignConfig &cc);
+
+/**
+ * Print the suite report table + summary blocks exactly as
+ * `merlin_cli suite` always has (byte-identical contract: CI awks
+ * these columns).  @p opts supplies jobs/sections/select/store paths
+ * for the trailer lines.
+ */
+void printSuiteReport(const std::vector<sched::CampaignSpec> &specs,
+                      const sched::SuiteResult &suite,
+                      const sched::SuiteOptions &opts);
+
+} // namespace merlin::tools
+
+#endif // MERLIN_TOOLS_CLI_SPEC_HH

@@ -1,0 +1,39 @@
+/** @file `merlin_cli campaign`: run one MeRLiN campaign and report. */
+
+#include <cstdio>
+
+#include "merlin/campaign.hh"
+#include "tools/cli_cmds.hh"
+#include "uarch/core.hh"
+#include "workloads/workloads.hh"
+
+namespace merlin::tools
+{
+
+int
+cmdCampaign(const Args &args)
+{
+    requireKnownFlags(args,
+                      {"workload", "structure", "regs", "sq", "l1d",
+                       "faults", "margin", "conf", "seed", "window",
+                       "truth", "relyzer", "jobs",
+                       "checkpoint-interval", "max-checkpoints",
+                       "early-exit", "replay", "mem-chunk-bytes",
+                       "timeout-factor", "inject-wall-limit",
+                       "quarantine", "trace", "metrics"},
+                      "campaign");
+    auto w = workloads::buildWorkload(args.get("workload", "qsort"));
+    core::CampaignConfig cc = campaignConfig(
+        args, args.has("window") ? 0 : w.suggestedWindow);
+    startTelemetry(args);
+    core::Campaign camp(w.program, cc);
+    auto r = args.has("relyzer") ? camp.runRelyzer(args.has("truth"))
+                                 : camp.run(args.has("truth"));
+    finishTelemetry(args);
+    std::printf("== %s / %s ==\n", w.program.name.c_str(),
+                uarch::structureName(cc.target));
+    printCampaign(r, structureBits(cc));
+    return 0;
+}
+
+} // namespace merlin::tools

@@ -1,0 +1,190 @@
+/** @file `merlin_cli suite | suite --plan | suite --diff | store
+ *  merge`: the batch suite family. */
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "base/logging.hh"
+#include "base/strings.hh"
+#include "io/result_store.hh"
+#include "sched/diff.hh"
+#include "sched/suite.hh"
+#include "tools/cli_cmds.hh"
+
+namespace merlin::tools
+{
+
+namespace
+{
+
+/**
+ * suite --plan n: emit one manifest per worker instead of running.
+ * Each output holds that worker's selection, fully resolved (defaults
+ * folded in, every member explicit), so running it — with or without
+ * a further --select — spills shards that merge back into exactly the
+ * single-host store.
+ */
+int
+cmdSuitePlan(const std::vector<sched::CampaignSpec> &specs,
+             const Args &args)
+{
+    const std::uint64_t n = args.getU("plan", 0);
+    if (n == 0)
+        fatal("--plan: worker count must be >= 1");
+    if (n > specs.size())
+        fatal("--plan: ", n, " workers for ", specs.size(),
+              " campaign", specs.size() == 1 ? "" : "s",
+              " — at least one per-worker manifest would be empty");
+    const auto mode = args.has("hash")
+                          ? sched::SpecSelector::Mode::Hash
+                          : sched::SpecSelector::Mode::RoundRobin;
+    const std::string dir = args.get("plan-dir", "plan");
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    if (ec)
+        fatal("--plan: cannot create directory '", dir,
+              "': ", ec.message());
+
+    for (std::uint64_t i = 0; i < n; ++i) {
+        sched::SpecSelector sel;
+        sel.mode = mode;
+        sel.index = i;
+        sel.count = n;
+        io::Json camps = io::Json::array();
+        for (std::size_t j = 0; j < specs.size(); ++j) {
+            if (sel.selects(j, specs[j].key()))
+                camps.push(specs[j].toJson());
+        }
+        if (camps.size() == 0)
+            fatal("--plan: worker ", i, " of ", n, " selects no "
+                  "campaigns under hash partitioning — use fewer "
+                  "workers or round-robin");
+        io::Json manifest = io::Json::object();
+        manifest.set("campaigns", camps);
+        const std::string path =
+            (std::filesystem::path(dir) /
+             ("worker-" + std::to_string(i) + "-of-" +
+              std::to_string(n) + ".json"))
+                .string();
+        writeTextFile(path, manifest.dump(2) + "\n");
+        std::printf("%s: %zu campaign%s (%s)\n", path.c_str(),
+                    camps.size(), camps.size() == 1 ? "" : "s",
+                    sel.describe().c_str());
+    }
+    return 0;
+}
+
+io::ResultStore
+loadStore(const std::string &path)
+{
+    io::ResultStore store(path);
+    if (!store.load())
+        fatal("cannot open result store '", path, "'");
+    return store;
+}
+
+} // namespace
+
+int
+cmdSuite(const std::string &manifest_path, const Args &args)
+{
+    std::vector<sched::CampaignSpec> specs =
+        loadManifestFile(manifest_path);
+
+    if (args.has("plan")) {
+        requireKnownFlags(args, {"plan", "plan-dir", "hash"},
+                          "suite --plan");
+        return cmdSuitePlan(specs, args);
+    }
+    requireKnownFlags(args,
+                      {"jobs", "out", "out-dir", "resume", "no-timing",
+                       "sections", "select", "select-hash", "quarantine",
+                       "inject-wall-limit", "trace", "metrics",
+                       "progress", "progress-json"},
+                      "suite");
+
+    sched::SuiteOptions opts = suiteOptionsFromArgs(args);
+
+    startTelemetry(args);
+    sched::SuiteScheduler scheduler(specs, opts);
+    sched::SuiteResult suite = scheduler.run();
+    finishTelemetry(args);
+
+    printSuiteReport(specs, suite, opts);
+    return 0;
+}
+
+int
+cmdSuiteDiff(const std::string &path_a, const std::string &path_b,
+             const Args &args)
+{
+    requireKnownFlags(args, {"axis", "confidence", "out"},
+                      "suite --diff");
+    const io::ResultStore a = loadStore(path_a);
+    const io::ResultStore b = loadStore(path_b);
+
+    sched::DiffOptions dopts;
+    dopts.axis = base::splitCommaList(args.get("axis"));
+    dopts.confidence = args.getD("confidence", dopts.confidence);
+
+    sched::SuiteDiffResult diff =
+        sched::SuiteDiff(a, b, dopts).run();
+    std::fputs(diff.table().c_str(), stdout);
+
+    const std::string out = args.get("out");
+    if (!out.empty()) {
+        writeTextFile(out, diff.toJson().dump(2) + "\n");
+        std::printf("diff written to %s\n", out.c_str());
+    }
+    return 0;
+}
+
+int
+cmdStoreMerge(int argc, char **argv, int start)
+{
+    std::string out;
+    bool force_theirs = false;
+    std::vector<std::string> inputs;
+    for (int i = start; i < argc; ++i) {
+        const std::string a = argv[i];
+        if (a == "--force-theirs") {
+            force_theirs = true;
+        } else if (a == "--out") {
+            if (++i >= argc)
+                fatal("--out requires a path");
+            out = argv[i];
+        } else if (a.rfind("--out=", 0) == 0) {
+            out = a.substr(6);
+        } else if (a.rfind("--", 0) == 0) {
+            fatal("store merge: unknown flag '", a, "'");
+        } else {
+            inputs.push_back(a);
+        }
+    }
+    if (out.empty())
+        fatal("store merge requires --out <merged.json>");
+    if (inputs.empty())
+        fatal("store merge requires at least one input store or "
+              "shard directory");
+
+    // The gather half of distributed dispatch, shared with the tests:
+    // expand shard directories (sorted members), then fold every
+    // store into one.  Worker stores carry a recorded selection;
+    // merge() drops it, so the merged store is byte-identical to the
+    // single-host run whatever the gather order.
+    const std::vector<std::string> files = io::gatherStoreFiles(inputs);
+    io::ResultStore merged(out);
+    const io::ResultStore::MergeStats total =
+        io::mergeStoreFiles(merged, files, force_theirs);
+    merged.save();
+    std::printf("merged %zu input%s -> %s: %zu campaigns "
+                "(%zu added, %zu identical, %zu replaced)\n",
+                files.size(), files.size() == 1 ? "" : "s",
+                out.c_str(), merged.size(), total.added,
+                total.identical, total.replaced);
+    return 0;
+}
+
+} // namespace merlin::tools

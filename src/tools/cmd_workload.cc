@@ -1,0 +1,99 @@
+/** @file `merlin_cli list | run | asm`: workload-level commands. */
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "base/logging.hh"
+#include "masm/asm.hh"
+#include "merlin/campaign.hh"
+#include "tools/cli_cmds.hh"
+#include "uarch/core.hh"
+#include "workloads/workloads.hh"
+
+namespace merlin::tools
+{
+
+int
+cmdList()
+{
+    std::printf("MiBench-like (run to completion):\n");
+    for (const auto &n : workloads::mibenchWorkloads()) {
+        auto w = workloads::buildWorkload(n);
+        std::printf("  %-14s %s\n", n.c_str(), w.description.c_str());
+    }
+    std::printf("SPEC-like (SimPoint-style windows):\n");
+    for (const auto &n : workloads::specWorkloads()) {
+        auto w = workloads::buildWorkload(n);
+        std::printf("  %-14s window=%llu  %s\n", n.c_str(),
+                    static_cast<unsigned long long>(w.suggestedWindow),
+                    w.description.c_str());
+    }
+    return 0;
+}
+
+int
+cmdRun(const Args &args)
+{
+    auto w = workloads::buildWorkload(args.get("workload", "qsort"));
+    uarch::Core core(w.program, uarch::CoreConfig{});
+    auto r = core.run();
+    const auto &st = core.stats();
+    std::printf("%s: %llu instructions, %llu cycles, IPC %.2f\n",
+                w.program.name.c_str(),
+                static_cast<unsigned long long>(r.instret),
+                static_cast<unsigned long long>(st.cycles), st.ipc());
+    std::printf("branches: %llu cond, %llu mispredicted (%.1f%%)\n",
+                static_cast<unsigned long long>(st.condBranches),
+                static_cast<unsigned long long>(st.branchMispredicts),
+                st.condBranches ? 100.0 * st.branchMispredicts /
+                                      st.condBranches
+                                : 0.0);
+    std::printf("L1D: %llu hits, %llu misses; %llu store-forwards\n",
+                static_cast<unsigned long long>(st.l1dHits),
+                static_cast<unsigned long long>(st.l1dMisses),
+                static_cast<unsigned long long>(st.storeForwards));
+    std::printf("output %s the reference implementation\n",
+                r.output == w.expectedOutput ? "matches"
+                                             : "DOES NOT match");
+    return r.output == w.expectedOutput ? 0 : 1;
+}
+
+int
+cmdAsm(const Args &args)
+{
+    const std::string path = args.get("file");
+    if (path.empty())
+        fatal("asm requires --file <program.s>");
+    std::ifstream in(path);
+    if (!in)
+        fatal("cannot open '", path, "'");
+    std::stringstream ss;
+    ss << in.rdbuf();
+    isa::Program prog = masm::assemble(ss.str(), path);
+    std::printf("assembled %llu instructions, %zu data bytes\n",
+                static_cast<unsigned long long>(
+                    prog.instructionCount()),
+                prog.data.size());
+
+    uarch::Core core(prog, uarch::CoreConfig{});
+    auto r = core.run();
+    std::printf("run: reason=%d exit=%d, %llu instructions, %llu "
+                "cycles, %zu output bytes\n",
+                static_cast<int>(r.reason), r.exitCode,
+                static_cast<unsigned long long>(r.instret),
+                static_cast<unsigned long long>(core.stats().cycles),
+                r.output.size());
+
+    if (args.has("campaign")) {
+        Args a2 = args;
+        a2.kv["structure"] = args.get("campaign");
+        core::CampaignConfig cc = campaignConfig(a2, 0);
+        core::Campaign camp(prog, cc);
+        auto res = camp.run(a2.has("truth"));
+        printCampaign(res, 64ULL * 64);
+    }
+    return 0;
+}
+
+} // namespace merlin::tools

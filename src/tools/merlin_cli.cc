@@ -109,747 +109,52 @@
  *       --out-dir shards reproduces its --out store byte-for-byte.
  *   merlin_cli asm --file prog.s [--campaign rf|sq|l1d]
  *       Assemble a user program, run it, optionally run a campaign.
+ *
+ * Campaign-service client mode (see docs/wire-protocol.md and
+ * `merlin_serve --help` for the daemon side):
+ *
+ *   merlin_cli submit manifest.json --socket PATH
+ *       [--client NAME] [--no-resume] [--no-wait]
+ *       Submit every manifest spec to a running merlin_serve daemon.
+ *       The daemon serves store hits, coalesces identical in-flight
+ *       specs across clients (one simulation, every subscriber gets
+ *       the identical bytes), and persists to ITS store.  By default
+ *       the client waits and prints the same suite report the batch
+ *       `suite` command prints; --no-wait just prints each spec's
+ *       content key.  --no-resume forces re-runs instead of cache
+ *       hits.
+ *   merlin_cli status --socket PATH [--key K]
+ *       Daemon queue/stats snapshot, or one spec key's state.
+ *   merlin_cli result --socket PATH --key K [--out FILE]
+ *       Fetch one campaign result by spec content key (waits if it is
+ *       still queued/running); prints the campaign report, or writes
+ *       the raw result JSON with --out.
+ *   merlin_cli shutdown --socket PATH [--cancel-queued]
+ *       Ask the daemon to drain and exit (same policy as SIGTERM):
+ *       running campaigns complete and persist; --cancel-queued hands
+ *       queued submissions back as cancelled instead of running them.
+ *
+ * All command implementations live in cmd_*.cc over the shared
+ * cli_spec parsing helpers; main() only dispatches.
  */
 
-#include <algorithm>
-#include <cerrno>
 #include <cstdio>
 #include <cstring>
-#include <filesystem>
-#include <fstream>
-#include <map>
-#include <sstream>
+#include <exception>
 #include <string>
-#include <vector>
 
-#include "base/logging.hh"
-#include "base/parse.hh"
-#include "base/strings.hh"
-#include "io/result_store.hh"
-#include "obs/metrics.hh"
-#include "obs/trace.hh"
-#include "isa/interp.hh"
-#include "masm/asm.hh"
-#include "merlin/campaign.hh"
-#include "sched/diff.hh"
-#include "sched/suite.hh"
-#include "uarch/core.hh"
-#include "workloads/workloads.hh"
-
-namespace
-{
-
-using namespace merlin;
-
-/** Minimal --key value / --flag parser. */
-struct Args
-{
-    std::map<std::string, std::string> kv;
-
-    static Args
-    parse(int argc, char **argv, int start)
-    {
-        Args a;
-        for (int i = start; i < argc; ++i) {
-            std::string k = argv[i];
-            if (k.rfind("--", 0) != 0)
-                fatal("unexpected argument '", k, "'");
-            k = k.substr(2);
-            // --key=value style.
-            if (const auto eq = k.find('='); eq != std::string::npos) {
-                a.kv[k.substr(0, eq)] = k.substr(eq + 1);
-                continue;
-            }
-            if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
-                a.kv[k] = argv[++i];
-            } else {
-                a.kv[k] = "1"; // boolean flag
-            }
-        }
-        return a;
-    }
-
-    bool has(const std::string &k) const { return kv.count(k) != 0; }
-    std::string
-    get(const std::string &k, const std::string &def = "") const
-    {
-        auto it = kv.find(k);
-        return it == kv.end() ? def : it->second;
-    }
-    /** Unsigned value of --k; fatal() on garbage instead of reading 0. */
-    std::uint64_t
-    getU(const std::string &k, std::uint64_t def) const
-    {
-        auto it = kv.find(k);
-        if (it == kv.end())
-            return def;
-        // One strict parser for every numeric flag (base::parseU64):
-        // signs, whitespace, trailing junk and overflow are all fatal,
-        // where raw strtoull would wrap "-1" to 2^64-1 silently.
-        return base::parseU64(it->second, "--" + k);
-    }
-    /** Like getU but range-checked for `unsigned` destinations, so a
-     *  2^32 cannot truncate to 0 (for --jobs: "all threads"). */
-    unsigned
-    getU32(const std::string &k, unsigned def) const
-    {
-        auto it = kv.find(k);
-        if (it == kv.end())
-            return def;
-        return base::parseU32(it->second, "--" + k);
-    }
-    /** on/off value of --k; fatal() on anything else. */
-    bool
-    getOnOff(const std::string &k, bool def) const
-    {
-        auto it = kv.find(k);
-        if (it == kv.end())
-            return def;
-        if (it->second == "on" || it->second == "1")
-            return true;
-        if (it->second == "off" || it->second == "0")
-            return false;
-        fatal("--", k, ": '", it->second, "' is not on|off");
-    }
-    /** Floating-point value of --k; fatal() on garbage. */
-    double
-    getD(const std::string &k, double def) const
-    {
-        auto it = kv.find(k);
-        if (it == kv.end())
-            return def;
-        return base::parseDouble(it->second, "--" + k);
-    }
-};
-
-/** Write @p text to @p path atomically (temp file + rename). */
-void
-writeTextFile(const std::string &path, const std::string &text)
-{
-    const std::string tmp = path + ".tmp";
-    {
-        std::ofstream os(tmp, std::ios::trunc);
-        if (!os)
-            fatal("cannot write '", tmp, "'");
-        os << text;
-        os.flush();
-        os.close();
-        if (!os.good())
-            fatal("write to '", tmp, "' failed (disk full?)");
-    }
-    if (std::rename(tmp.c_str(), path.c_str()) != 0)
-        fatal("cannot rename '", tmp, "' to '", path, "'");
-}
-
-/**
- * Telemetry flags shared by `campaign` and `suite`: --trace=FILE
- * records Chrome trace_event spans, --metrics=FILE dumps the metrics
- * registry snapshot.  Strictly out-of-band — simulation results and
- * store/journal bytes are identical with or without them.
- */
-void
-startTelemetry(const Args &args)
-{
-    const std::string trace = args.get("trace");
-    if (!trace.empty())
-        obs::TraceWriter::global().start(trace);
-}
-
-void
-finishTelemetry(const Args &args)
-{
-    if (obs::TraceWriter::global().finish())
-        std::printf("trace written to %s\n", args.get("trace").c_str());
-    const std::string metrics = args.get("metrics");
-    if (!metrics.empty()) {
-        writeTextFile(metrics,
-                      obs::Registry::global().snapshot().toJson().dump(2) +
-                          "\n");
-        std::printf("metrics written to %s\n", metrics.c_str());
-    }
-}
-
-uarch::Structure
-parseStructure(const std::string &s)
-{
-    if (s == "rf" || s == "RF")
-        return uarch::Structure::RegisterFile;
-    if (s == "sq" || s == "SQ")
-        return uarch::Structure::StoreQueue;
-    if (s == "l1d" || s == "L1D")
-        return uarch::Structure::L1DCache;
-    fatal("unknown structure '", s, "' (use rf | sq | l1d)");
-}
-
-int
-cmdList()
-{
-    std::printf("MiBench-like (run to completion):\n");
-    for (const auto &n : workloads::mibenchWorkloads()) {
-        auto w = workloads::buildWorkload(n);
-        std::printf("  %-14s %s\n", n.c_str(), w.description.c_str());
-    }
-    std::printf("SPEC-like (SimPoint-style windows):\n");
-    for (const auto &n : workloads::specWorkloads()) {
-        auto w = workloads::buildWorkload(n);
-        std::printf("  %-14s window=%llu  %s\n", n.c_str(),
-                    static_cast<unsigned long long>(w.suggestedWindow),
-                    w.description.c_str());
-    }
-    return 0;
-}
-
-int
-cmdRun(const Args &args)
-{
-    auto w = workloads::buildWorkload(args.get("workload", "qsort"));
-    uarch::Core core(w.program, uarch::CoreConfig{});
-    auto r = core.run();
-    const auto &st = core.stats();
-    std::printf("%s: %llu instructions, %llu cycles, IPC %.2f\n",
-                w.program.name.c_str(),
-                static_cast<unsigned long long>(r.instret),
-                static_cast<unsigned long long>(st.cycles), st.ipc());
-    std::printf("branches: %llu cond, %llu mispredicted (%.1f%%)\n",
-                static_cast<unsigned long long>(st.condBranches),
-                static_cast<unsigned long long>(st.branchMispredicts),
-                st.condBranches ? 100.0 * st.branchMispredicts /
-                                      st.condBranches
-                                : 0.0);
-    std::printf("L1D: %llu hits, %llu misses; %llu store-forwards\n",
-                static_cast<unsigned long long>(st.l1dHits),
-                static_cast<unsigned long long>(st.l1dMisses),
-                static_cast<unsigned long long>(st.storeForwards));
-    std::printf("output %s the reference implementation\n",
-                r.output == w.expectedOutput ? "matches"
-                                             : "DOES NOT match");
-    return r.output == w.expectedOutput ? 0 : 1;
-}
-
-void
-printCampaign(const core::CampaignResult &r, std::uint64_t bits)
-{
-    std::printf("golden: %llu instructions, %llu cycles; ACE-like AVF "
-                "%.2f%%\n",
-                static_cast<unsigned long long>(r.goldenInstret),
-                static_cast<unsigned long long>(r.goldenCycles),
-                100 * r.aceAvf);
-    std::printf("faults: %llu initial -> %llu survivors -> %llu "
-                "injected (%.1fX / %.1fX)\n",
-                static_cast<unsigned long long>(r.initialFaults),
-                static_cast<unsigned long long>(r.survivors),
-                static_cast<unsigned long long>(r.injections),
-                r.speedupAce, r.speedupTotal);
-    for (unsigned c = 0; c < faultsim::NUM_OUTCOMES; ++c) {
-        auto o = static_cast<faultsim::Outcome>(c);
-        if (r.merlinEstimate.of(o) == 0)
-            continue;
-        std::printf("  %-8s %7.3f%%\n", faultsim::outcomeName(o),
-                    100.0 * r.merlinEstimate.fraction(o));
-    }
-    std::printf("AVF %.3f%%  FIT %.4f (0.01 FIT/bit x %llu bits)\n",
-                100 * r.merlinEstimate.avf(), r.merlinFit(bits),
-                static_cast<unsigned long long>(bits));
-    if (r.survivorTruth) {
-        std::printf("ground truth: AVF %.3f%%; max class inaccuracy "
-                    "%.2f pp; homogeneity %.3f\n",
-                    100 * r.fullTruth().avf(),
-                    r.merlinEstimate.maxInaccuracyVs(r.fullTruth()),
-                    r.homogeneity->fine);
-    }
-    if (r.injectionRuns) {
-        std::printf("early exit: %llu of %llu runs reconverged with the "
-                    "golden state (%.1f%%)\n",
-                    static_cast<unsigned long long>(r.earlyExits),
-                    static_cast<unsigned long long>(r.injectionRuns),
-                    100.0 * r.earlyExitRate());
-    }
-    if (r.replayMasked + r.replayHandoffs) {
-        std::printf("replay: %llu dead flips shortcut Masked, %llu "
-                    "handed off to simulation (divergence rate %.1f%%)"
-                    "\n",
-                    static_cast<unsigned long long>(r.replayMasked),
-                    static_cast<unsigned long long>(r.replayHandoffs),
-                    100 * r.replayDivergenceRate());
-        std::printf("replay: %llu of %llu head cycles skipped "
-                    "(%.1f%%)\n",
-                    static_cast<unsigned long long>(
-                        r.replayCyclesSkipped),
-                    static_cast<unsigned long long>(r.replayHeadCycles),
-                    100 * r.replaySkipRate());
-    }
-    if (!r.quarantine.empty()) {
-        std::printf("quarantined: %zu injection%s failed the simulator "
-                    "and %s counted Crash:\n",
-                    r.quarantine.size(),
-                    r.quarantine.size() == 1 ? "" : "s",
-                    r.quarantine.size() == 1 ? "was" : "were");
-        for (const auto &q : r.quarantine)
-            std::printf("  fault 0x%016llx: %s\n",
-                        static_cast<unsigned long long>(q.faultKey),
-                        q.reason.c_str());
-    }
-    std::printf("wall clock: %.2fs profile + %.2fs injections "
-                "(%.3f ms/injection)\n",
-                r.profileSeconds, r.injectionSeconds,
-                1e3 * r.secondsPerInjection);
-}
-
-/** --quarantine=fail|continue (the fault-tolerance policy switch). */
-bool
-parseQuarantineFail(const Args &args)
-{
-    const std::string q = args.get("quarantine", "continue");
-    if (q == "continue")
-        return false;
-    if (q == "fail")
-        return true;
-    fatal("--quarantine: '", q, "' is not fail|continue");
-}
-
-/** Reject flags outside @p known — a typo'd flag must not silently
- *  fall back to a default (e.g. --axes degenerating to an exact
- *  join with zero pairs). */
-void
-requireKnownFlags(const Args &args,
-                  std::initializer_list<const char *> known,
-                  const char *what)
-{
-    for (const auto &[flag, value] : args.kv) {
-        (void)value;
-        bool ok = false;
-        for (const char *k : known)
-            ok = ok || flag == k;
-        if (!ok)
-            fatal(what, ": unknown flag '--", flag, "'");
-    }
-}
-
-core::CampaignConfig
-campaignConfig(const Args &args, std::uint64_t default_window)
-{
-    core::CampaignConfig cc;
-    cc.target = parseStructure(args.get("structure", "rf"));
-    cc.core = uarch::CoreConfig{}
-                  .withRegisterFile(args.getU32("regs", 256))
-                  .withStoreQueue(args.getU32("sq", 64))
-                  .withL1dKb(args.getU32("l1d", 64));
-    cc.core.instructionWindowEnd = args.getU("window", default_window);
-    if (args.has("faults")) {
-        cc.sampling = core::specFixed(args.getU("faults", 2000));
-    } else if (args.has("margin")) {
-        cc.sampling.errorMargin = args.getD("margin", 0.0063);
-        cc.sampling.confidence = args.getD("conf", 0.998);
-    } else {
-        cc.sampling = core::specFixed(2000);
-    }
-    cc.seed = args.getU("seed", 1);
-    cc.jobs = args.getU32("jobs", 1);
-    cc.checkpointInterval = args.getU(
-        "checkpoint-interval",
-        faultsim::InjectionRunner::kDefaultCheckpointInterval);
-    cc.maxCheckpoints = args.getU32(
-        "max-checkpoints",
-        faultsim::InjectionRunner::kDefaultMaxCheckpoints);
-    cc.earlyExit = args.getOnOff("early-exit", true);
-    cc.replay = args.getOnOff("replay", true);
-    cc.timeoutFactor = args.getU32(
-        "timeout-factor", faultsim::RunnerOptions::kDefaultTimeoutFactor);
-    const std::uint64_t chunk = args.getU(
-        "mem-chunk-bytes", isa::SegmentedMemory::kDefaultChunkBytes);
-    if (!isa::isValidChunkBytes(chunk))
-        fatal("--mem-chunk-bytes: ", chunk,
-              " is not a power of two >= 64");
-    cc.core.memChunkBytes = static_cast<std::uint32_t>(chunk);
-    cc.injectWallLimit = args.getD("inject-wall-limit", 0.0);
-    cc.quarantineFail = parseQuarantineFail(args);
-    return cc;
-}
-
-int
-cmdCampaign(const Args &args)
-{
-    requireKnownFlags(args,
-                      {"workload", "structure", "regs", "sq", "l1d",
-                       "faults", "margin", "conf", "seed", "window",
-                       "truth", "relyzer", "jobs",
-                       "checkpoint-interval", "max-checkpoints",
-                       "early-exit", "replay", "mem-chunk-bytes",
-                       "timeout-factor", "inject-wall-limit",
-                       "quarantine", "trace", "metrics"},
-                      "campaign");
-    auto w = workloads::buildWorkload(args.get("workload", "qsort"));
-    core::CampaignConfig cc = campaignConfig(
-        args, args.has("window") ? 0 : w.suggestedWindow);
-    startTelemetry(args);
-    core::Campaign camp(w.program, cc);
-    auto r = args.has("relyzer") ? camp.runRelyzer(args.has("truth"))
-                                 : camp.run(args.has("truth"));
-    finishTelemetry(args);
-    std::printf("== %s / %s ==\n", w.program.name.c_str(),
-                uarch::structureName(cc.target));
-    printCampaign(r, [&] {
-        switch (cc.target) {
-          case uarch::Structure::RegisterFile:
-            return std::uint64_t(cc.core.numPhysIntRegs) * 64;
-          case uarch::Structure::StoreQueue:
-            return std::uint64_t(cc.core.sqEntries) * 64;
-          default:
-            return std::uint64_t(cc.core.l1d.totalWords()) * 64;
-        }
-    }());
-    return 0;
-}
-
-/**
- * suite --plan n: emit one manifest per worker instead of running.
- * Each output holds that worker's selection, fully resolved (defaults
- * folded in, every member explicit), so running it — with or without
- * a further --select — spills shards that merge back into exactly the
- * single-host store.
- */
-int
-cmdSuitePlan(const std::vector<sched::CampaignSpec> &specs,
-             const Args &args)
-{
-    const std::uint64_t n = args.getU("plan", 0);
-    if (n == 0)
-        fatal("--plan: worker count must be >= 1");
-    if (n > specs.size())
-        fatal("--plan: ", n, " workers for ", specs.size(),
-              " campaign", specs.size() == 1 ? "" : "s",
-              " — at least one per-worker manifest would be empty");
-    const auto mode = args.has("hash")
-                          ? sched::SpecSelector::Mode::Hash
-                          : sched::SpecSelector::Mode::RoundRobin;
-    const std::string dir = args.get("plan-dir", "plan");
-    std::error_code ec;
-    std::filesystem::create_directories(dir, ec);
-    if (ec)
-        fatal("--plan: cannot create directory '", dir,
-              "': ", ec.message());
-
-    for (std::uint64_t i = 0; i < n; ++i) {
-        sched::SpecSelector sel;
-        sel.mode = mode;
-        sel.index = i;
-        sel.count = n;
-        io::Json camps = io::Json::array();
-        for (std::size_t j = 0; j < specs.size(); ++j) {
-            if (sel.selects(j, specs[j].key()))
-                camps.push(specs[j].toJson());
-        }
-        if (camps.size() == 0)
-            fatal("--plan: worker ", i, " of ", n, " selects no "
-                  "campaigns under hash partitioning — use fewer "
-                  "workers or round-robin");
-        io::Json manifest = io::Json::object();
-        manifest.set("campaigns", camps);
-        const std::string path =
-            (std::filesystem::path(dir) /
-             ("worker-" + std::to_string(i) + "-of-" +
-              std::to_string(n) + ".json"))
-                .string();
-        writeTextFile(path, manifest.dump(2) + "\n");
-        std::printf("%s: %zu campaign%s (%s)\n", path.c_str(),
-                    camps.size(), camps.size() == 1 ? "" : "s",
-                    sel.describe().c_str());
-    }
-    return 0;
-}
-
-int
-cmdSuite(const std::string &manifest_path, const Args &args)
-{
-    std::ifstream in(manifest_path);
-    if (!in)
-        fatal("cannot open manifest '", manifest_path, "'");
-    std::stringstream ss;
-    ss << in.rdbuf();
-    std::vector<sched::CampaignSpec> specs =
-        sched::parseManifest(io::Json::parse(ss.str()));
-
-    if (args.has("plan")) {
-        requireKnownFlags(args, {"plan", "plan-dir", "hash"},
-                          "suite --plan");
-        return cmdSuitePlan(specs, args);
-    }
-    requireKnownFlags(args,
-                      {"jobs", "out", "out-dir", "resume", "no-timing",
-                       "sections", "select", "select-hash", "quarantine",
-                       "inject-wall-limit", "trace", "metrics",
-                       "progress", "progress-json"},
-                      "suite");
-
-    sched::SuiteOptions opts;
-    opts.jobs = args.getU32("jobs", 1);
-    opts.storePath = args.get("out");
-    opts.shardDir = args.get("out-dir");
-    opts.reuseCached = args.has("resume");
-    opts.recordTiming = !args.has("no-timing");
-    opts.sections = args.getU32("sections", 0);
-    if (args.has("sections") &&
-        (opts.sections == 0 || opts.sections > 4096))
-        fatal("--sections must be in [1, 4096]");
-    opts.injectWallLimit = args.getD("inject-wall-limit", 0.0);
-    opts.quarantineFail = parseQuarantineFail(args);
-    // --progress / --progress=SECS: periodic stderr line (a bare flag
-    // parses as "1" — one second).  --progress-json FILE additionally
-    // rewrites a machine-readable progress file at the same cadence.
-    opts.progressStderr = args.has("progress");
-    opts.progressInterval = args.getD("progress", 1.0);
-    opts.progressPath = args.get("progress-json");
-    if (opts.reuseCached && opts.storePath.empty())
-        fatal("--resume requires --out <results.json>");
-    if (args.has("select") && args.has("select-hash"))
-        fatal("suite: --select and --select-hash are mutually "
-              "exclusive");
-    if (args.has("select"))
-        opts.select = sched::SpecSelector::parse(
-            args.get("select"), sched::SpecSelector::Mode::RoundRobin);
-    else if (args.has("select-hash"))
-        opts.select = sched::SpecSelector::parse(
-            args.get("select-hash"), sched::SpecSelector::Mode::Hash);
-
-    startTelemetry(args);
-    sched::SuiteScheduler scheduler(specs, opts);
-    sched::SuiteResult suite = scheduler.run();
-    finishTelemetry(args);
-
-    // New columns go AFTER ee%: downstream consumers (CI's awk among
-    // them) address AVF% as whitespace-separated field 7.
-    std::printf("%-14s %-4s %-13s %10s %10s %10s %8s %6s %6s %6s %s\n",
-                "workload", "tgt", "mode", "initial", "survivors",
-                "injected", "AVF%", "ee%", "skip%", "div%", "");
-    std::uint64_t cached = 0;
-    std::uint64_t selected = 0;
-    std::uint64_t sectionsHit = 0;
-    std::uint64_t sectionsMissed = 0;
-    for (std::size_t i = 0; i < specs.size(); ++i) {
-        if (!suite.selected[i])
-            continue; // another worker's share
-        const auto &r = suite.results[i];
-        ++selected;
-        cached += suite.cached[i] ? 1 : 0;
-        sectionsHit += suite.sectionsHit[i];
-        sectionsMissed += suite.sectionsMissed[i];
-        // Trailing tags, strictly after every numeric column:
-        // [cached] for whole-campaign hits, [sections h/N] for the
-        // section-eligible campaigns of a --sections run.
-        std::string tag = suite.cached[i] ? "[cached]" : "";
-        if (suite.sectionsHit[i] + suite.sectionsMissed[i] > 0) {
-            if (!tag.empty())
-                tag += ' ';
-            tag += "[sections " + std::to_string(suite.sectionsHit[i]) +
-                   "/" +
-                   std::to_string(suite.sectionsHit[i] +
-                                  suite.sectionsMissed[i]) +
-                   "]";
-        }
-        std::printf(
-            "%-14s %-4s %-13s %10llu %10llu %10llu %7.3f%% %5.1f%% "
-            "%5.1f%% %5.1f%% %s\n",
-            specs[i].workload.c_str(),
-            uarch::structureName(specs[i].structure),
-            specs[i].mode == sched::CampaignSpec::Mode::GroupingOnly
-                ? "grouping-only"
-                : (specs[i].mode == sched::CampaignSpec::Mode::Truth
-                       ? "truth"
-                       : "estimate"),
-            static_cast<unsigned long long>(r.initialFaults),
-            static_cast<unsigned long long>(r.survivors),
-            static_cast<unsigned long long>(r.injections),
-            100 * r.merlinEstimate.avf(), 100 * r.earlyExitRate(),
-            100 * r.replaySkipRate(), 100 * r.replayDivergenceRate(),
-            tag.c_str());
-    }
-    std::printf("\n%llu campaigns (%llu run, %llu cached) in %.2fs "
-                "with --jobs %u\n",
-                static_cast<unsigned long long>(selected),
-                static_cast<unsigned long long>(suite.campaignsRun),
-                static_cast<unsigned long long>(cached),
-                suite.wallSeconds, opts.jobs);
-    if (opts.sections > 0) {
-        std::printf("sections (--sections %u): %llu hit, %llu missed\n",
-                    opts.sections,
-                    static_cast<unsigned long long>(sectionsHit),
-                    static_cast<unsigned long long>(sectionsMissed));
-        // Composed per-campaign AVF with its Leveugle sampling margin:
-        // the CI is a function of the INITIAL sample size, so partial
-        // composition leaves it — like the AVF itself — identical to
-        // a cold full run's.
-        for (std::size_t i = 0; i < specs.size(); ++i) {
-            if (!suite.selected[i] ||
-                suite.sectionsHit[i] + suite.sectionsMissed[i] == 0)
-                continue;
-            const auto &r = suite.results[i];
-            const double confidence = specs[i].sampling.confidence;
-            const std::optional<double> margin =
-                sched::samplingMargin(r.initialFaults, confidence);
-            if (margin) {
-                std::printf("  %-14s %-4s composed AVF %7.3f%% +- "
-                            "%.3fpp at %.3g%% confidence\n",
-                            specs[i].workload.c_str(),
-                            uarch::structureName(specs[i].structure),
-                            100 * r.merlinEstimate.avf(), 100 * *margin,
-                            100 * confidence);
-            } else {
-                std::printf("  %-14s %-4s composed AVF %7.3f%% (no "
-                            "sampling margin: zero initial faults)\n",
-                            specs[i].workload.c_str(),
-                            uarch::structureName(specs[i].structure),
-                            100 * r.merlinEstimate.avf());
-            }
-        }
-    }
-    if (suite.injectionsSimulated && suite.wallSeconds > 0.0) {
-        std::printf("throughput: %llu injections at %.0f/s\n",
-                    static_cast<unsigned long long>(
-                        suite.injectionsSimulated),
-                    static_cast<double>(suite.injectionsSimulated) /
-                        suite.wallSeconds);
-    }
-    if (opts.select) {
-        // The suite report records the selection: which share of the
-        // manifest this worker ran, and what it left for the others.
-        std::printf("selection %s: %llu of %zu manifest campaigns\n",
-                    opts.select->describe().c_str(),
-                    static_cast<unsigned long long>(selected),
-                    specs.size());
-    }
-    if (!opts.storePath.empty())
-        std::printf("results written to %s\n", opts.storePath.c_str());
-    if (!opts.shardDir.empty())
-        std::printf("shards spilled to %s/\n", opts.shardDir.c_str());
-    return 0;
-}
-
-io::ResultStore
-loadStore(const std::string &path)
-{
-    io::ResultStore store(path);
-    if (!store.load())
-        fatal("cannot open result store '", path, "'");
-    return store;
-}
-
-int
-cmdSuiteDiff(const std::string &path_a, const std::string &path_b,
-             const Args &args)
-{
-    requireKnownFlags(args, {"axis", "confidence", "out"},
-                      "suite --diff");
-    const io::ResultStore a = loadStore(path_a);
-    const io::ResultStore b = loadStore(path_b);
-
-    sched::DiffOptions dopts;
-    dopts.axis = base::splitCommaList(args.get("axis"));
-    dopts.confidence = args.getD("confidence", dopts.confidence);
-
-    sched::SuiteDiffResult diff =
-        sched::SuiteDiff(a, b, dopts).run();
-    std::fputs(diff.table().c_str(), stdout);
-
-    const std::string out = args.get("out");
-    if (!out.empty()) {
-        writeTextFile(out, diff.toJson().dump(2) + "\n");
-        std::printf("diff written to %s\n", out.c_str());
-    }
-    return 0;
-}
-
-int
-cmdStoreMerge(int argc, char **argv, int start)
-{
-    std::string out;
-    bool force_theirs = false;
-    std::vector<std::string> inputs;
-    for (int i = start; i < argc; ++i) {
-        const std::string a = argv[i];
-        if (a == "--force-theirs") {
-            force_theirs = true;
-        } else if (a == "--out") {
-            if (++i >= argc)
-                fatal("--out requires a path");
-            out = argv[i];
-        } else if (a.rfind("--out=", 0) == 0) {
-            out = a.substr(6);
-        } else if (a.rfind("--", 0) == 0) {
-            fatal("store merge: unknown flag '", a, "'");
-        } else {
-            inputs.push_back(a);
-        }
-    }
-    if (out.empty())
-        fatal("store merge requires --out <merged.json>");
-    if (inputs.empty())
-        fatal("store merge requires at least one input store or "
-              "shard directory");
-
-    // The gather half of distributed dispatch, shared with the tests:
-    // expand shard directories (sorted members), then fold every
-    // store into one.  Worker stores carry a recorded selection;
-    // merge() drops it, so the merged store is byte-identical to the
-    // single-host run whatever the gather order.
-    const std::vector<std::string> files = io::gatherStoreFiles(inputs);
-    io::ResultStore merged(out);
-    const io::ResultStore::MergeStats total =
-        io::mergeStoreFiles(merged, files, force_theirs);
-    merged.save();
-    std::printf("merged %zu input%s -> %s: %zu campaigns "
-                "(%zu added, %zu identical, %zu replaced)\n",
-                files.size(), files.size() == 1 ? "" : "s",
-                out.c_str(), merged.size(), total.added,
-                total.identical, total.replaced);
-    return 0;
-}
-
-int
-cmdAsm(const Args &args)
-{
-    const std::string path = args.get("file");
-    if (path.empty())
-        fatal("asm requires --file <program.s>");
-    std::ifstream in(path);
-    if (!in)
-        fatal("cannot open '", path, "'");
-    std::stringstream ss;
-    ss << in.rdbuf();
-    isa::Program prog = masm::assemble(ss.str(), path);
-    std::printf("assembled %llu instructions, %zu data bytes\n",
-                static_cast<unsigned long long>(
-                    prog.instructionCount()),
-                prog.data.size());
-
-    uarch::Core core(prog, uarch::CoreConfig{});
-    auto r = core.run();
-    std::printf("run: reason=%d exit=%d, %llu instructions, %llu "
-                "cycles, %zu output bytes\n",
-                static_cast<int>(r.reason), r.exitCode,
-                static_cast<unsigned long long>(r.instret),
-                static_cast<unsigned long long>(core.stats().cycles),
-                r.output.size());
-
-    if (args.has("campaign")) {
-        Args a2 = args;
-        a2.kv["structure"] = args.get("campaign");
-        core::CampaignConfig cc = campaignConfig(a2, 0);
-        core::Campaign camp(prog, cc);
-        auto res = camp.run(a2.has("truth"));
-        printCampaign(res, 64ULL * 64);
-    }
-    return 0;
-}
-
-} // namespace
+#include "tools/cli_cmds.hh"
 
 int
 main(int argc, char **argv)
 {
+    using namespace merlin::tools;
+
     if (argc < 2) {
         std::fprintf(stderr,
                      "usage: merlin_cli "
-                     "<list|run|campaign|suite|store|asm> [--flags]\n");
+                     "<list|run|campaign|suite|store|asm|"
+                     "submit|status|result|shutdown> [--flags]\n");
         return 2;
     }
     const std::string cmd = argv[1];
@@ -897,6 +202,16 @@ main(int argc, char **argv)
             }
             return cmdStoreMerge(argc, argv, 3);
         }
+        if (cmd == "submit") {
+            if (argc < 3 || std::strncmp(argv[2], "--", 2) == 0) {
+                std::fprintf(stderr,
+                             "usage: merlin_cli submit manifest.json "
+                             "--socket PATH [--client NAME] "
+                             "[--no-resume] [--no-wait]\n");
+                return 2;
+            }
+            return cmdSubmit(argv[2], Args::parse(argc, argv, 3));
+        }
         Args args = Args::parse(argc, argv, 2);
         if (cmd == "list")
             return cmdList();
@@ -906,6 +221,12 @@ main(int argc, char **argv)
             return cmdCampaign(args);
         if (cmd == "asm")
             return cmdAsm(args);
+        if (cmd == "status")
+            return cmdStatus(args);
+        if (cmd == "result")
+            return cmdResult(args);
+        if (cmd == "shutdown")
+            return cmdShutdown(args);
         std::fprintf(stderr, "unknown command '%s'\n", cmd.c_str());
         return 2;
     } catch (const std::exception &e) {

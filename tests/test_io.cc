@@ -438,6 +438,27 @@ TEST_F(StoreFixture, TruncatedStoresAreDiagnosedByName)
     }
 }
 
+TEST_F(StoreFixture, DirectoryAtStorePathIsDiagnosedAsPathMixUp)
+{
+    // A shard --out-dir passed where the store FILE belongs: the
+    // directory opens "successfully" and reads nothing, so without a
+    // dedicated check this would be blamed on a truncated save.  The
+    // diagnosis must name the path, say it is a directory, and point
+    // at `store merge`.
+    const std::string p = track(testing::TempDir() + "merlin_dirstore");
+    std::filesystem::create_directory(p);
+    ResultStore store(p);
+    try {
+        store.load();
+        FAIL() << "directory loaded as a store";
+    } catch (const FatalError &e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find(p), std::string::npos);
+        EXPECT_NE(what.find("is a directory"), std::string::npos);
+        EXPECT_NE(what.find("store merge"), std::string::npos);
+    }
+}
+
 TEST_F(StoreFixture, SaveFailureIsFatalNotSilent)
 {
     // A store whose temp file cannot be created must throw, not

@@ -1,0 +1,188 @@
+/**
+ * @file
+ * merlin-wire-v1 framing tests over socketpairs and a real Unix
+ * socket: message round-trips, the clean-EOF vs truncated-frame
+ * distinction, oversize/malformed-frame rejection, and stale-socket
+ * replacement at bind time.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <string>
+#include <thread>
+
+#include "base/logging.hh"
+#include "io/json.hh"
+#include "io/wire.hh"
+
+namespace merlin::io
+{
+namespace
+{
+
+/** A connected socketpair, each end owned by a WireConnection. */
+struct WirePair
+{
+    WireConnection a, b;
+
+    WirePair()
+    {
+        int fds[2];
+        EXPECT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+        a = WireConnection(fds[0]);
+        b = WireConnection(fds[1]);
+    }
+};
+
+TEST(Wire, MessagesRoundTripInOrder)
+{
+    WirePair p;
+    Json req = Json::object();
+    req.set("type", Json("status"));
+    req.set("id", Json(std::uint64_t(7)));
+    Json nested = Json::object();
+    nested.set("resume", Json(true));
+    req.set("opts", nested);
+
+    const std::size_t bytes = p.a.write(req);
+    EXPECT_GT(bytes, 0u);
+
+    Json got;
+    ASSERT_TRUE(p.b.read(got));
+    // Framing must deliver the exact dump bytes, not a re-encoding.
+    EXPECT_EQ(got.dump(), req.dump());
+    EXPECT_EQ(got.strOr("type", ""), "status");
+    EXPECT_EQ(got.u64Or("id", 0), 7u);
+
+    // Several frames queued before any read stay ordered.
+    for (int i = 0; i < 3; ++i) {
+        Json m = Json::object();
+        m.set("seq", Json(std::uint64_t(i)));
+        p.b.write(m);
+    }
+    for (int i = 0; i < 3; ++i) {
+        Json m;
+        ASSERT_TRUE(p.a.read(m));
+        EXPECT_EQ(m.u64Or("seq", 99), std::uint64_t(i));
+    }
+}
+
+TEST(Wire, CleanEofIsFalseNotFatal)
+{
+    WirePair p;
+    p.a = WireConnection(); // destroys a's end: close at frame boundary
+    Json msg;
+    EXPECT_FALSE(p.b.read(msg));
+}
+
+TEST(Wire, TruncatedFrameIsFatal)
+{
+    int fds[2];
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+    // A length prefix promising 16 bytes, then only 4, then EOF: a
+    // peer that died mid-frame must be distinguished from a clean
+    // close.
+    const unsigned char partial[] = {0, 0, 0, 16, '{', '"', 'a', '"'};
+    ASSERT_EQ(::write(fds[0], partial, sizeof partial),
+              static_cast<ssize_t>(sizeof partial));
+    ::close(fds[0]);
+
+    WireConnection conn(fds[1]);
+    Json msg;
+    EXPECT_THROW(conn.read(msg), FatalError);
+}
+
+TEST(Wire, OversizeFrameIsRejectedWithoutBuffering)
+{
+    int fds[2];
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+    // Length prefix just past the cap; no payload needs to follow —
+    // the reader must refuse on the prefix alone.
+    const std::uint32_t len = kWireMaxFrame + 1;
+    const unsigned char prefix[] = {
+        static_cast<unsigned char>(len >> 24),
+        static_cast<unsigned char>(len >> 16),
+        static_cast<unsigned char>(len >> 8),
+        static_cast<unsigned char>(len),
+    };
+    ASSERT_EQ(::write(fds[0], prefix, sizeof prefix),
+              static_cast<ssize_t>(sizeof prefix));
+
+    WireConnection conn(fds[1]);
+    Json msg;
+    EXPECT_THROW(conn.read(msg), FatalError);
+    ::close(fds[0]);
+}
+
+TEST(Wire, MalformedAndNonObjectPayloadsAreFatal)
+{
+    for (const std::string payload : {"{\"a\":", "[1,2,3]", "42"}) {
+        int fds[2];
+        ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+        wireWriteFrame(fds[0], payload);
+        WireConnection conn(fds[1]);
+        Json msg;
+        EXPECT_THROW(conn.read(msg), FatalError)
+            << "payload: " << payload;
+        ::close(fds[0]);
+    }
+}
+
+TEST(Wire, RawFramesCarryArbitraryBytes)
+{
+    int fds[2];
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+    std::string payload("\x00\x01\xffraw", 6);
+    wireWriteFrame(fds[0], payload);
+    std::string got;
+    ASSERT_TRUE(wireReadFrame(fds[1], got));
+    EXPECT_EQ(got, payload);
+
+    ::close(fds[0]);
+    EXPECT_FALSE(wireReadFrame(fds[1], got)); // clean EOF
+    ::close(fds[1]);
+}
+
+TEST(Wire, ListenConnectAcceptAndStaleSocketReplacement)
+{
+    const std::string path =
+        testing::TempDir() + "merlin_wire_test.sock";
+    ::unlink(path.c_str());
+
+    int listener = wireListen(path);
+    ASSERT_GE(listener, 0);
+
+    Json reply;
+    std::thread server([&] {
+        WireConnection conn(wireAccept(listener));
+        Json msg;
+        ASSERT_TRUE(conn.read(msg));
+        msg.set("echoed", Json(true));
+        conn.write(msg);
+    });
+
+    {
+        WireConnection client(wireConnect(path));
+        Json hello = Json::object();
+        hello.set("type", Json("hello"));
+        client.write(hello);
+        ASSERT_TRUE(client.read(reply));
+    }
+    server.join();
+    EXPECT_TRUE(reply.boolOr("echoed", false));
+    ::close(listener);
+
+    // The socket file is still on disk but nothing is bound: the next
+    // daemon must treat it as stale and bind anyway.
+    int relisten = wireListen(path);
+    EXPECT_GE(relisten, 0);
+    ::close(relisten);
+    ::unlink(path.c_str());
+}
+
+} // namespace
+} // namespace merlin::io

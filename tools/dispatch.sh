@@ -198,7 +198,8 @@ launch_worker() {
         # merlin_cli path; the manifest is shipped to a per-worker
         # scratch directory and the shards scp'd back.
         local host="${host_list[$(((i + attempt) % ${#host_list[@]}))]}"
-        local remote_dir=".merlin-dispatch/$(basename "$work_dir")/worker-$i"
+        local remote_dir
+        remote_dir=".merlin-dispatch/$(basename "$work_dir")/worker-$i"
         {
             ssh "$host" "mkdir -p '$remote_dir'" &&
             scp -q "$manifest" "$host:$remote_dir/manifest.json" &&
@@ -283,7 +284,7 @@ run_round() {
     wait # reap the monitors
 }
 
-shares=($(seq 0 $((workers - 1))))
+mapfile -t shares < <(seq 0 $((workers - 1)))
 failed=()
 recovered=()
 backoff=$retry_backoff
@@ -300,7 +301,9 @@ while :; do
     fi
     [ ${#failed[@]} -gt 0 ] || break
     if [ "$attempt" -ge "$retries" ]; then
-        die "shares ${failed[*]} still failing after $attempt retr$( [ "$attempt" = 1 ] && echo y || echo ies )"
+        plural=ies
+        [ "$attempt" = 1 ] && plural=y
+        die "shares ${failed[*]} still failing after $attempt retr$plural"
     fi
     attempt=$((attempt + 1))
     echo "dispatch.sh: retrying share(s) ${failed[*]} in ${backoff}s (retry $attempt of $retries)" >&2
